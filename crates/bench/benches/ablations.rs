@@ -1,0 +1,53 @@
+//! Ablation sweeps for the design choices DESIGN.md calls out.
+//!
+//! Run with `cargo bench -p trinity-bench --bench ablations`.
+
+use trinity_bench::ablations::*;
+use trinity_bench::print_table;
+
+fn main() {
+    println!("Trinity reproduction — ablation studies");
+    println!("=======================================");
+
+    print_table(
+        "Ablation A — HBM bandwidth sweep",
+        &["Bootstrap ms", "PBS kOPS"],
+        &ablation_hbm_bandwidth(),
+    );
+
+    print_table(
+        "Ablation B — scratchpad capacity vs key streaming",
+        &["key fraction", "8x HMult ms"],
+        &ablation_scratchpad_capacity(),
+    );
+
+    print_table(
+        "Ablation C — CU-2 pool size",
+        &["Bootstrap ms"],
+        &ablation_cu_pool(),
+    );
+
+    print_table(
+        "Ablation D — compiler bootstrap insertion vs level budget",
+        &["bootstraps", "latency ms"],
+        &ablation_bootstrap_insertion(),
+    );
+
+    print_table(
+        "Ablation E — multi-application co-scheduling (SS IV-K)",
+        &["latency ms"],
+        &ablation_coscheduling(),
+    );
+
+    print_table(
+        "Ablation F — adaptive vs fixed TFHE mapping (PBS OPS)",
+        &["adaptive", "fixed", "ratio"],
+        &ablation_tfhe_mapping(),
+    );
+
+    print_table(
+        "Ablation G — inter-cluster NoC bandwidth (SS IV-I layout switches)",
+        &["8x HMult ms"],
+        &ablation_noc_bandwidth(),
+    );
+}

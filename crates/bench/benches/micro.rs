@@ -1,0 +1,249 @@
+//! Criterion microbenchmarks of the functional crates — the `measured`
+//! CPU-baseline rows of the reproduction, exercising the same kernels
+//! the accelerator model schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NTT across polynomial lengths (the Fig. 1 x-axis, on the host CPU).
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward");
+    for log_n in [10usize, 12, 14] {
+        let n = 1 << log_n;
+        let p = fhe_math::prime::ntt_primes(50, n, 1)[0];
+        let table = fhe_math::NttTable::new(fhe_math::Modulus::new(p).unwrap(), n);
+        let mut rng = StdRng::seed_from_u64(1);
+        let poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = poly.clone();
+                table.forward(&mut x);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+/// NTT variants: reference vs constant-geometry vs four-step.
+fn bench_ntt_variants(c: &mut Criterion) {
+    let n = 1 << 12;
+    let p = fhe_math::prime::ntt_primes(50, n, 1)[0];
+    let table = fhe_math::NttTable::new(fhe_math::Modulus::new(p).unwrap(), n);
+    let mut rng = StdRng::seed_from_u64(2);
+    let poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+    let mut group = c.benchmark_group("ntt_variants_4096");
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut x = poly.clone();
+            table.forward(&mut x);
+            x
+        })
+    });
+    group.bench_function("constant_geometry", |b| {
+        b.iter(|| {
+            let mut x = poly.clone();
+            table.forward_constant_geometry(&mut x);
+            x
+        })
+    });
+    group.finish();
+}
+
+/// Hybrid keyswitch (the paper's Algorithm 1) at test scale.
+fn bench_keyswitch(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let mut rng = StdRng::seed_from_u64(3);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let rlk = kg.relin_key(&sk, &mut rng);
+    let l = ctx.params().max_level();
+    let basis = ctx.level_basis(l).clone();
+    let rows: Vec<Vec<u64>> = basis
+        .moduli()
+        .iter()
+        .map(|m| fhe_math::sampler::uniform_residues(&mut rng, m, ctx.n()))
+        .collect();
+    let d = fhe_math::RnsPoly::from_rows(basis, rows, fhe_math::Representation::Eval);
+    c.bench_function("ckks_hybrid_keyswitch_n1024_l3", |b| {
+        b.iter(|| key_switch(&ctx, &d, &rlk, l))
+    });
+}
+
+/// Homomorphic multiplication end to end.
+fn bench_hmult(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let mut rng = StdRng::seed_from_u64(4);
+    let keys = KeyGenerator::new(ctx.clone()).key_set(&[], &mut rng);
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let eval = Evaluator::new(ctx.clone());
+    let l = ctx.params().max_level();
+    let x = encryptor.encrypt_sk(&enc.encode_real(&[0.5; 8], l), &keys.secret, &mut rng);
+    let y = encryptor.encrypt_sk(&enc.encode_real(&[0.25; 8], l), &keys.secret, &mut rng);
+    c.bench_function("ckks_hmult_rescale", |b| {
+        b.iter(|| eval.rescale(&eval.mul(&x, &y, &keys.relin)))
+    });
+}
+
+/// TFHE external product: exact NTT path vs approximate FFT path — the
+/// paper's core substitution, measured on the host.
+fn bench_external_product(c: &mut Criterion) {
+    use fhe_tfhe::*;
+    let ring = TfheRing::new(1024, 32);
+    let mut rng = StdRng::seed_from_u64(5);
+    let sk = GlweSecretKey::generate(1, 1024, &mut rng);
+    let msg: Vec<u64> = (0..1024).map(|i| (i as u64 % 8) * (ring.q() / 8)).collect();
+    let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
+    let mut group = c.benchmark_group("tfhe_external_product_n1024");
+    for backend in [MulBackend::Ntt, MulBackend::Fft] {
+        let ggsw = Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 3.73e-9, backend, &mut rng);
+        group.bench_function(format!("{backend:?}"), |b| {
+            b.iter(|| ggsw.external_product(&ring, &glwe))
+        });
+    }
+    group.finish();
+}
+
+/// One full programmable bootstrap per paper set — the `measured` CPU
+/// row of Table VII (OPS = 1/time).
+fn bench_pbs(c: &mut Criterion) {
+    use fhe_tfhe::*;
+    let mut group = c.benchmark_group("tfhe_pbs");
+    group.sample_size(10);
+    for params in [TfheParams::set_i(), TfheParams::set_ii()] {
+        let name = params.name;
+        let mut rng = StdRng::seed_from_u64(6);
+        let ck = ClientKey::generate(TfheContext::new(params), &mut rng);
+        let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+        let ct = ck.encrypt_bit(true, &mut rng);
+        group.bench_function(name, |b| b.iter(|| sk.bootstrap_sign(&ct)));
+    }
+    group.finish();
+}
+
+/// LWE repacking (Table IX's `measured` CPU row) at reduced ring degree.
+fn bench_repack(c: &mut Criterion) {
+    use fhe_ckks::*;
+    use fhe_convert::*;
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let mut rng = StdRng::seed_from_u64(7);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let lwe_key = fhe_tfhe::LweSecretKey::from_coeffs(sk.coeffs().to_vec());
+    let packer = RlwePacker::new(ctx.clone(), &sk, 1, &mut rng);
+    let q0 = *ctx.level_basis(0).modulus(0);
+    let delta = q0.value() / (64 * ctx.n() as u64);
+    let mut group = c.benchmark_group("repack_n1024_l1");
+    group.sample_size(10);
+    for nslot in [2usize, 8] {
+        let lwes: Vec<fhe_tfhe::LweCiphertext> = (0..nslot)
+            .map(|_| fhe_tfhe::LweCiphertext::encrypt(&q0, &lwe_key, delta, 1e-8, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nslot), &nslot, |b, _| {
+            b.iter(|| packer.convert(&lwes, delta as f64))
+        });
+    }
+    group.finish();
+}
+
+/// Low-depth Chebyshev evaluation (EvalMod's workhorse) across degrees.
+fn bench_chebyshev(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let params = CkksParams::new(1 << 10, 8, 40, 2).expect("valid");
+    let ctx = CkksContext::new(params);
+    let mut rng = StdRng::seed_from_u64(8);
+    let keys = KeyGenerator::new(ctx.clone()).key_set(&[], &mut rng);
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let eval = Evaluator::new(ctx.clone());
+    let l = ctx.params().max_level();
+    let ct = encryptor.encrypt_sk(&enc.encode_real(&[0.5; 8], l), &keys.secret, &mut rng);
+    let mut group = c.benchmark_group("ckks_chebyshev_n1024");
+    group.sample_size(20);
+    for degree in [7usize, 31] {
+        let fit = ChebyshevPoly::fit(|x| (2.0 * x).tanh(), -1.0, 1.0, degree);
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
+            b.iter(|| eval.eval_chebyshev(&ct, &fit.coeffs, &keys.relin, &enc))
+        });
+    }
+    group.finish();
+}
+
+/// Full packed CKKS bootstrapping at functional test scale — the
+/// `measured` counterpart of Table VI's Bootstrap row.
+fn bench_ckks_bootstrap(c: &mut Criterion) {
+    use fhe_ckks::bootstrap::bootstrap_test_params;
+    use fhe_ckks::*;
+    let ctx = CkksContext::new(bootstrap_test_params());
+    let boot = Bootstrapper::new(ctx.clone(), BootstrapParams::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let keys = boot.generate_keys(&mut rng);
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let eval = Evaluator::new(ctx.clone());
+    let n = boot.params().sparse_slots;
+    let slots = ctx.n() / 2;
+    let tiled: Vec<f64> = (0..slots).map(|j| (j % n) as f64 / n as f64 - 0.5).collect();
+    let ct = encryptor.encrypt_sk(&enc.encode_real(&tiled, 0), &keys.secret, &mut rng);
+    let mut group = c.benchmark_group("ckks_bootstrap_n2048");
+    group.sample_size(10);
+    group.bench_function("sparse8", |b| {
+        b.iter(|| boot.bootstrap(&ct, &eval, &enc, &keys))
+    });
+    group.finish();
+}
+
+/// Radix-integer operations (the HE3DB filter arithmetic): bootstraps
+/// per op are the dominant cost.
+fn bench_radix_ops(c: &mut Criterion) {
+    use fhe_tfhe::*;
+    let mut rng = StdRng::seed_from_u64(10);
+    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+    let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+    let p = RadixParams::new(2, 2);
+    let a = ck.encrypt_radix(11, p, &mut rng);
+    let b_ct = ck.encrypt_radix(6, p, &mut rng);
+    let mut group = c.benchmark_group("tfhe_radix_4bit");
+    group.sample_size(10);
+    group.bench_function("add", |bch| bch.iter(|| sk.radix_add(&a, &b_ct)));
+    group.bench_function("lt_scalar", |bch| bch.iter(|| sk.radix_lt_scalar(&a, 8)));
+    group.finish();
+}
+
+/// One sign-network neuron (linear combination + PBS) — the NN-x unit.
+fn bench_nn_neuron(c: &mut Criterion) {
+    use fhe_tfhe::*;
+    let mut rng = StdRng::seed_from_u64(11);
+    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+    let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+    let layer = SignLayer::new(vec![vec![1, -1, 1, 1, -1, 1, -1, 1]], vec![0]);
+    let net = DiscreteMlp::new(vec![layer.clone()]);
+    let inputs = ck.encrypt_signs(&[1, 1, -1, 1, -1, -1, 1, 1], &net, &mut rng);
+    let q = ck.ctx.q().value();
+    let mut group = c.benchmark_group("tfhe_nn");
+    group.sample_size(10);
+    group.bench_function("neuron_fanin8", |b| {
+        b.iter(|| sk.infer_layer(&layer, &inputs, q / 8))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ntt,
+    bench_ntt_variants,
+    bench_keyswitch,
+    bench_hmult,
+    bench_external_product,
+    bench_pbs,
+    bench_repack,
+    bench_chebyshev,
+    bench_ckks_bootstrap,
+    bench_radix_ops,
+    bench_nn_neuron
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Regenerates every table and figure of the Trinity paper's evaluation.
+//!
+//! Run with `cargo bench -p trinity-bench --bench paper_tables`.
+//! Rows tagged `paper` are cited constants; rows tagged `modeled` come
+//! from this repository's cycle simulator; the criterion `micro` bench
+//! supplies the `measured` CPU rows.
+
+use trinity_bench::*;
+
+fn main() {
+    println!("Trinity (MICRO 2024) — reproduction of all evaluation tables and figures");
+    println!("========================================================================");
+
+    let n_cols = ["2^8", "2^9", "2^10", "2^11", "2^12", "2^13", "2^14", "2^15", "2^16"];
+    print_table("Fig. 1 — NTT engine utilization vs polynomial length", &n_cols, &fig1());
+    print_table(
+        "Fig. 2 — NTT share of compute [modeled %, paper %]",
+        &["modeled", "paper"],
+        &fig2(),
+    );
+
+    let machines = Machines::build();
+    println!("\n[simulating CKKS applications ...]");
+    let apps = ckks_apps(&machines);
+    print_table(
+        "Table VI — CKKS workloads (ms): Bootstrap / HELR / ResNet-20",
+        &["Bootstrap", "HELR", "ResNet-20"],
+        &table6(&apps),
+    );
+
+    println!("\n[simulating PBS batches ...]");
+    print_table(
+        "Table VII — TFHE PBS throughput (OPS)",
+        &["Set-I", "Set-II", "Set-III"],
+        &table7(&machines, 64),
+    );
+
+    print_table(
+        "Table VIII — NN-x latency (ms)",
+        &["NN-20", "NN-50", "NN-100"],
+        &table8(&machines),
+    );
+
+    print_table(
+        "Table IX — scheme conversion latency (ms)",
+        &["nslot=2", "nslot=8", "nslot=32"],
+        &table9(&machines),
+    );
+
+    print_table(
+        "Table X — HE3DB hybrid query latency (s)",
+        &["HE3DB-4096", "HE3DB-16384"],
+        &table10(&machines),
+    );
+
+    print_table(
+        "Table XI — circuit area (mm^2) and power (W), per cluster component",
+        &["area", "power"],
+        &table11(),
+    );
+
+    print_table(
+        "Table XII — accelerator comparison",
+        &["word", "GHz", "GB/s", "MB", "mm^2", "W"],
+        &table12(),
+    );
+
+    print_table(
+        "Fig. 9 — Trinity vs F1-like NTT utilization",
+        &n_cols,
+        &fig9(),
+    );
+    print_table(
+        "Fig. 10 — NTTU+EWE(+CU) utilization on CKKS apps (%)",
+        &["Bootstrap", "HELR", "ResNet-20"],
+        &fig10(&apps),
+    );
+    print_table(
+        "Fig. 11 — normalized latency vs IP-use-EWE ablation",
+        &["Bootstrap", "HELR", "ResNet-20"],
+        &fig11(&apps),
+    );
+    print_table(
+        "Fig. 12 — fixed vs flexible TFHE utilization (%)",
+        &["Set-I", "Set-II", "Set-III"],
+        &fig12(&machines, 64),
+    );
+    print_table(
+        "Fig. 13 — per-component utilization, CKKS (%)",
+        &["Bootstrap", "HELR", "ResNet-20"],
+        &fig13(&apps),
+    );
+    print_table(
+        "Fig. 14 — per-component utilization, TFHE PBS (%)",
+        &["Set-I", "Set-II", "Set-III"],
+        &fig14(&machines, 64),
+    );
+    print_table(
+        "Fig. 15 — latency vs cluster count (normalized to 2 clusters)",
+        &["Bootstrap", "HELR", "NN-20"],
+        &fig15(),
+    );
+    print_table(
+        "Fig. 16 — area/power vs cluster count (normalized to 2 clusters)",
+        &["area", "power"],
+        &fig16(),
+    );
+
+    println!("\nDone. See EXPERIMENTS.md for the paper-vs-modeled discussion.");
+}

@@ -1,0 +1,332 @@
+//! Ablation studies beyond the paper's printed figures.
+//!
+//! DESIGN.md calls out the load-bearing design choices of the Trinity
+//! model; each sweep here isolates one of them. These complement the
+//! paper's own sensitivity study (Figs. 15/16, cluster count) with the
+//! axes the paper discusses qualitatively: off-chip bandwidth (§IV-A),
+//! scratchpad-driven key residency (§IV-J), CU pool size (§IV-C), and
+//! the compiler's bootstrap insertion / multi-application co-scheduling
+//! (§IV-K, Fig. 8).
+
+use trinity_compiler::{compile, BootstrapPolicy, CompilerConfig, FheProgram};
+use trinity_core::arch::AcceleratorConfig;
+use trinity_core::arch::ComponentKind;
+use trinity_core::mapping::{build_machine, MappingPolicy};
+use trinity_core::memory::WorkingSet;
+use trinity_core::sched::simulate;
+use trinity_workloads::ckks_ops::{CkksShape, KeySwitchOpts};
+use trinity_workloads::reference::Source;
+use trinity_workloads::tfhe_ops::TfheShape;
+use trinity_workloads::apps;
+
+use crate::{pbs_throughput, Row};
+
+/// HBM bandwidth sweep: Bootstrap latency (ms) and PBS Set-I
+/// throughput (kOPS) at 0.25x / 0.5x / 1x / 2x the paper's 1 TB/s.
+pub fn ablation_hbm_bandwidth() -> Vec<Row> {
+    let boot_graph = apps::bootstrap(&CkksShape::paper_default());
+    [250.0, 500.0, 1000.0, 2000.0]
+        .into_iter()
+        .map(|gbps| {
+            let mut cfg = AcceleratorConfig::trinity();
+            cfg.hbm_gbps = gbps;
+            let ckks = build_machine(&cfg, MappingPolicy::CkksAdaptive);
+            let tfhe = build_machine(&cfg, MappingPolicy::TfheAdaptive);
+            let boot_ms = simulate(&ckks, &boot_graph).time_ms;
+            let kops = pbs_throughput(&tfhe, &TfheShape::set_i(), 64) / 1e3;
+            Row::new(
+                &format!("Trinity @ {gbps:.0} GB/s"),
+                Source::Modeled,
+                vec![boot_ms, kops],
+            )
+        })
+        .collect()
+}
+
+/// Scratchpad capacity sweep: the key-residency fraction from the
+/// memory model feeds the keyswitch builders' HBM charge, and the
+/// Bootstrap latency follows.
+pub fn ablation_scratchpad_capacity() -> Vec<Row> {
+    let shape = CkksShape::paper_default();
+    // One switching key live at a time, reused 4x per BSGS stage.
+    let ws = WorkingSet::ckks_bootstrap(shape.n, shape.levels, shape.dnum, 0, shape.word_bytes);
+    let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+    [11.25, 45.0, 90.0, 180.0, 360.0]
+        .into_iter()
+        .map(|mib| {
+            let capacity = mib * 1024.0 * 1024.0;
+            let fraction = ws.key_stream_fraction(capacity, 4);
+            let mut g = trinity_core::kernel::KernelGraph::new();
+            // A keyswitch-dominated probe: 8 HMults at the top level.
+            for _ in 0..8 {
+                trinity_workloads::ckks_ops::hmult(
+                    &mut g,
+                    &shape,
+                    shape.levels,
+                    &[],
+                    KeySwitchOpts {
+                        hbm_key_fraction: fraction,
+                        ..KeySwitchOpts::default()
+                    },
+                );
+            }
+            let ms = simulate(&machine, &g).time_ms;
+            Row::new(
+                &format!("{mib:.2} MiB scratchpad"),
+                Source::Modeled,
+                vec![fraction, ms],
+            )
+        })
+        .collect()
+}
+
+/// CU pool sweep: Trinity with 2 / 4 / 6 CU-2 columns per cluster,
+/// Bootstrap latency (the paper's CU count is 4; fewer CUs starve
+/// BConv, more saturate).
+pub fn ablation_cu_pool() -> Vec<Row> {
+    let boot_graph = apps::bootstrap(&CkksShape::paper_default());
+    [2usize, 4, 6]
+        .into_iter()
+        .map(|cu2| {
+            let mut cfg = AcceleratorConfig::trinity();
+            for spec in cfg.components.iter_mut() {
+                if matches!(spec.kind, ComponentKind::Cu { cols: 2 }) {
+                    spec.count = cu2;
+                }
+            }
+            cfg.name = format!("Trinity-{cu2}xCU2");
+            let machine = build_machine(&cfg, MappingPolicy::CkksAdaptive);
+            let ms = simulate(&machine, &boot_graph).time_ms;
+            Row::new(&format!("{cu2} x CU-2 per cluster"), Source::Modeled, vec![ms])
+        })
+        .collect()
+}
+
+/// Compiler ablation (Fig. 8): a 24-deep multiply chain compiled
+/// against shrinking level budgets. Rows report inserted bootstraps
+/// and end-to-end latency — the cost of each forced refresh.
+pub fn ablation_bootstrap_insertion() -> Vec<Row> {
+    [35usize, 29, 23, 17]
+        .into_iter()
+        .map(|levels| {
+            let ckks = CkksShape {
+                levels,
+                ..CkksShape::paper_default()
+            };
+            let config = CompilerConfig {
+                ckks,
+                tfhe: TfheShape::set_i(),
+                ks_opts: KeySwitchOpts::default(),
+                policy: BootstrapPolicy {
+                    min_level: 1,
+                    restored_level: levels - 14,
+                },
+            };
+            let mut p = FheProgram::new();
+            let a = p.ckks_input(levels);
+            let mut cur = a;
+            for _ in 0..24 {
+                let m = p.hmult(cur, cur);
+                cur = p.rescale(m);
+            }
+            let compiled = compile(p, &config);
+            let machine =
+                build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+            let ms = compiled.simulate(&machine).time_ms;
+            Row::new(
+                &format!("L = {levels}"),
+                Source::Modeled,
+                vec![compiled.inserted_bootstraps as f64, ms],
+            )
+        })
+        .collect()
+}
+
+/// Multi-application co-scheduling (§IV-K): a PBS batch and a CKKS
+/// rotation pipeline, run serially vs merged onto one hybrid machine.
+pub fn ablation_coscheduling() -> Vec<Row> {
+    let config = CompilerConfig::paper_default();
+    let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
+
+    let mut tfhe_app = FheProgram::new();
+    let mut cur = tfhe_app.tfhe_input();
+    for _ in 0..8 {
+        cur = tfhe_app.pbs(cur);
+    }
+
+    let mut ckks_app = FheProgram::new();
+    let a = ckks_app.ckks_input(20);
+    let b = ckks_app.ckks_input(20);
+    let mut acc = ckks_app.hmult(a, b);
+    for _ in 0..6 {
+        acc = ckks_app.rescale(acc);
+        let r = ckks_app.hrotate(acc);
+        acc = ckks_app.hmult(acc, r);
+    }
+
+    let t_tfhe = compile(tfhe_app.clone(), &config)
+        .simulate(&machine)
+        .time_ms;
+    let t_ckks = compile(ckks_app.clone(), &config)
+        .simulate(&machine)
+        .time_ms;
+    let mut merged = tfhe_app;
+    merged.merge(&ckks_app);
+    let t_merged = compile(merged, &config).simulate(&machine).time_ms;
+
+    vec![
+        Row::new("TFHE app alone", Source::Modeled, vec![t_tfhe]),
+        Row::new("CKKS app alone", Source::Modeled, vec![t_ckks]),
+        Row::new("serial (sum)", Source::Modeled, vec![t_tfhe + t_ckks]),
+        Row::new("co-scheduled (merged)", Source::Modeled, vec![t_merged]),
+    ]
+}
+
+/// Inter-cluster NoC bandwidth sweep with the §IV-I layout switches
+/// modeled explicitly: a keyswitch-heavy probe at 0.25x / 0.5x / 1x /
+/// 2x the default all-to-all bandwidth, plus a switches-off reference
+/// row. At the design-point bandwidth the switches hide under compute.
+pub fn ablation_noc_bandwidth() -> Vec<Row> {
+    let shape = CkksShape::paper_default();
+    let probe = |opts: KeySwitchOpts| {
+        let mut g = trinity_core::kernel::KernelGraph::new();
+        for _ in 0..8 {
+            trinity_workloads::ckks_ops::hmult(&mut g, &shape, shape.levels, &[], opts);
+        }
+        g
+    };
+    let mut rows = Vec::new();
+    let off = simulate(
+        &build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive),
+        &probe(KeySwitchOpts::default()),
+    )
+    .time_ms;
+    rows.push(Row::new("switches not modeled", Source::Modeled, vec![off]));
+    let on = KeySwitchOpts {
+        model_layout_switch: true,
+        ..KeySwitchOpts::default()
+    };
+    for scale in [0.25, 0.5, 1.0, 2.0] {
+        let mut cfg = AcceleratorConfig::trinity();
+        cfg.noc_gbps *= scale;
+        let machine = build_machine(&cfg, MappingPolicy::CkksAdaptive);
+        let ms = simulate(&machine, &probe(on)).time_ms;
+        rows.push(Row::new(
+            &format!("NoC @ {:.0} GB/s", cfg.noc_gbps),
+            Source::Modeled,
+            vec![ms],
+        ));
+    }
+    rows
+}
+
+/// NTT/FFT word-width ablation context row: PBS throughput of the TFHE
+/// mapping against the fixed-pipeline ablation across the three
+/// parameter sets (complements Table VII's Trinity-TFHE rows).
+pub fn ablation_tfhe_mapping() -> Vec<Row> {
+    let flexible = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::TfheAdaptive);
+    let fixed = build_machine(
+        &AcceleratorConfig::trinity_tfhe_without_cu(),
+        MappingPolicy::TfheFixed,
+    );
+    let mut rows = Vec::new();
+    for (name, shape) in TfheShape::paper_sets() {
+        let f = pbs_throughput(&flexible, &shape, 32);
+        let x = pbs_throughput(&fixed, &shape, 32);
+        rows.push(Row::new(
+            &format!("{name}: adaptive vs fixed"),
+            Source::Modeled,
+            vec![f, x, f / x],
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let rows = ablation_hbm_bandwidth();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].values[0] <= w[0].values[0] * 1.001,
+                "bootstrap latency must not grow with bandwidth"
+            );
+            assert!(
+                w[1].values[1] >= w[0].values[1] * 0.999,
+                "PBS throughput must not shrink with bandwidth"
+            );
+        }
+        // And the sweep actually bites at the low end.
+        assert!(rows[0].values[0] > rows.last().unwrap().values[0]);
+    }
+
+    #[test]
+    fn scratchpad_capacity_reduces_key_traffic() {
+        let rows = ablation_scratchpad_capacity();
+        for w in rows.windows(2) {
+            assert!(w[1].values[0] <= w[0].values[0] + 1e-12, "fraction monotone");
+            assert!(w[1].values[1] <= w[0].values[1] * 1.001, "latency monotone");
+        }
+        // Tiny scratchpad streams cold; big one reaches the reuse floor.
+        assert!(rows[0].values[0] > 0.9);
+        assert!((rows.last().unwrap().values[0] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cu_pool_sweep_is_monotone() {
+        let rows = ablation_cu_pool();
+        for w in rows.windows(2) {
+            assert!(w[1].values[0] <= w[0].values[0] * 1.001);
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_insert_more_bootstraps() {
+        let rows = ablation_bootstrap_insertion();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].values[0] >= w[0].values[0],
+                "fewer levels cannot need fewer bootstraps"
+            );
+        }
+        assert_eq!(rows[0].values[0], 0.0, "L=35 fits 24 muls outright");
+        assert!(rows.last().unwrap().values[0] >= 2.0);
+    }
+
+    #[test]
+    fn coscheduling_beats_serial() {
+        let rows = ablation_coscheduling();
+        let serial = rows[2].values[0];
+        let merged = rows[3].values[0];
+        assert!(merged < serial, "co-scheduling {merged} vs serial {serial}");
+        assert!(merged >= rows[0].values[0].max(rows[1].values[0]) * 0.999);
+    }
+
+    #[test]
+    fn adaptive_mapping_beats_fixed_everywhere() {
+        for r in ablation_tfhe_mapping() {
+            assert!(r.values[2] > 1.0, "{}: ratio {}", r.name, r.values[2]);
+        }
+    }
+
+    #[test]
+    fn noc_switches_hide_at_design_bandwidth() {
+        let rows = ablation_noc_bandwidth();
+        let off = rows[0].values[0];
+        // Design point (1x = 4608 GB/s) is the 4th row.
+        let design = rows[3].values[0];
+        assert!(
+            design < off * 1.25,
+            "layout switches should mostly hide: {design} vs {off}"
+        );
+        // Bandwidth monotone.
+        for w in rows[1..].windows(2) {
+            assert!(w[1].values[0] <= w[0].values[0] * 1.001);
+        }
+        // Starved NoC visibly hurts.
+        assert!(rows[1].values[0] > design);
+    }
+}

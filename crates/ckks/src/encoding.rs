@@ -1,0 +1,280 @@
+//! CKKS encoding: the canonical embedding between complex slot vectors
+//! and plaintext polynomials.
+//!
+//! A plaintext polynomial `p` with real coefficients encodes the slot
+//! vector `z_j = p(zeta^{5^j})`, `j = 0..N/2-1`, where `zeta = e^{i pi/N}`
+//! is a primitive 2N-th root of unity — this is why CKKS rotations use
+//! Galois elements `5^r` (the paper's `Auto` kernel). Encoding inverts
+//! the embedding and scales by `Delta` before rounding.
+//!
+//! Both directions run through a single 2N-point FFT by placing the slot
+//! values at the exponents `5^j mod 2N` of the spectrum (and conjugates
+//! at `-5^j`), costing `O(N log N)`.
+
+use std::sync::Arc;
+
+use fhe_math::{Complex, Representation, RnsBasis, RnsPoly};
+
+use crate::context::CkksContext;
+
+/// A CKKS plaintext: an RNS polynomial plus the scale it was encoded at.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    /// The encoded polynomial (evaluation form, at some level).
+    pub poly: RnsPoly,
+    /// Scale Delta the slots were multiplied by.
+    pub scale: f64,
+    /// Level the plaintext lives at.
+    pub level: usize,
+}
+
+/// Encoder/decoder for a CKKS context.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    ctx: Arc<CkksContext>,
+    /// 5^j mod 2N for j in 0..N/2.
+    rot_group: Vec<usize>,
+}
+
+impl Encoder {
+    /// Creates an encoder for a context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        let n = ctx.n();
+        let mut rot_group = Vec::with_capacity(n / 2);
+        let mut e = 1usize;
+        for _ in 0..n / 2 {
+            rot_group.push(e);
+            e = (e * 5) % (2 * n);
+        }
+        Self { ctx, rot_group }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.ctx.n() / 2
+    }
+
+    /// Encodes complex slots into a plaintext at `level` with the default
+    /// scale. Unfilled slots are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` slots are supplied.
+    pub fn encode(&self, slots: &[Complex], level: usize) -> Plaintext {
+        self.encode_at_scale(slots, level, self.ctx.params().scale())
+    }
+
+    /// Encodes complex slots at an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` slots are supplied or the scaled
+    /// coefficients overflow the 62-bit signed range.
+    pub fn encode_at_scale(&self, slots: &[Complex], level: usize, scale: f64) -> Plaintext {
+        let n = self.ctx.n();
+        assert!(slots.len() <= n / 2, "too many slots");
+        // Spectrum S of length 2N: S[5^j] = z_j, S[2N - 5^j] = conj(z_j).
+        let mut s = vec![Complex::default(); 2 * n];
+        for (j, &z) in slots.iter().enumerate() {
+            let e = self.rot_group[j];
+            s[e] = z;
+            s[2 * n - e] = z.conj();
+        }
+        // a_i = (1/N) * Re( DFT_2N(S)[i] ) for i < N  — forward FFT uses
+        // the e^{-2 pi i jk / 2N} kernel, matching the derivation in the
+        // module docs (the conjugate pair already doubles the real part).
+        self.ctx.encode_fft().forward(&mut s);
+        let basis = self.ctx.level_basis(level).clone();
+        let inv_n = 1.0 / n as f64;
+        let coeffs: Vec<i64> = (0..n)
+            .map(|i| {
+                let v = s[i].re * inv_n * scale;
+                assert!(
+                    v.abs() < 4.6e18,
+                    "encoded coefficient overflows i64; reduce scale"
+                );
+                v.round() as i64
+            })
+            .collect();
+        let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        poly.to_eval();
+        Plaintext {
+            poly,
+            scale,
+            level,
+        }
+    }
+
+    /// Encodes a vector of reals (imaginary parts zero).
+    pub fn encode_real(&self, values: &[f64], level: usize) -> Plaintext {
+        let slots: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        self.encode(&slots, level)
+    }
+
+    /// Encodes a single constant into all slots.
+    pub fn encode_constant(&self, value: f64, level: usize) -> Plaintext {
+        self.encode_real(&vec![value; self.slots()], level)
+    }
+
+    /// Decodes a plaintext back to complex slots.
+    pub fn decode(&self, pt: &Plaintext) -> Vec<Complex> {
+        let mut poly = pt.poly.clone();
+        poly.to_coeff();
+        self.decode_poly(&poly, pt.scale)
+    }
+
+    /// Decodes a coefficient-form polynomial at a known scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is in evaluation form.
+    pub fn decode_poly(&self, poly: &RnsPoly, scale: f64) -> Vec<Complex> {
+        assert_eq!(poly.representation(), Representation::Coeff);
+        let n = self.ctx.n();
+        let centered = poly.to_centered_f64();
+        // z_j = sum_i a_i zeta^{i * 5^j}: positive-kernel 2N-point DFT,
+        // i.e. the inverse FFT scaled by 2N.
+        let mut s: Vec<Complex> = centered
+            .iter()
+            .map(|&c| Complex::new(c, 0.0))
+            .chain(std::iter::repeat(Complex::default()).take(n))
+            .collect();
+        self.ctx.encode_fft().inverse(&mut s);
+        let scale_up = 2.0 * n as f64 / scale;
+        (0..n / 2)
+            .map(|j| s[self.rot_group[j]] * scale_up)
+            .collect()
+    }
+
+    /// Reference to the underlying basis for a level (test helper).
+    pub fn level_basis(&self, level: usize) -> Arc<RnsBasis> {
+        self.ctx.level_basis(level).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn encoder() -> Encoder {
+        Encoder::new(CkksContext::new(CkksParams::tiny_params()))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let enc = encoder();
+        let mut rng = StdRng::seed_from_u64(21);
+        let slots: Vec<Complex> = (0..enc.slots())
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let pt = enc.encode(&slots, 2);
+        let back = enc.decode(&pt);
+        for (a, b) in slots.iter().zip(&back) {
+            assert!((a.re - b.re).abs() < 1e-6, "{} vs {}", a.re, b.re);
+            assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_encoding_fills_all_slots() {
+        let enc = encoder();
+        let pt = enc.encode_constant(0.5, 1);
+        let back = enc.decode(&pt);
+        assert_eq!(back.len(), enc.slots());
+        for z in back {
+            assert!((z.re - 0.5).abs() < 1e-6);
+            assert!(z.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partial_slots_zero_filled() {
+        let enc = encoder();
+        let pt = enc.encode_real(&[1.0, 2.0, 3.0], 1);
+        let back = enc.decode(&pt);
+        assert!((back[0].re - 1.0).abs() < 1e-6);
+        assert!((back[1].re - 2.0).abs() < 1e-6);
+        assert!((back[2].re - 3.0).abs() < 1e-6);
+        for z in &back[3..] {
+            assert!(z.re.abs() < 1e-6 && z.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        // encode(x) + encode(y) decodes to x + y: the embedding is linear.
+        let enc = encoder();
+        let x = vec![0.25, -0.5, 0.125];
+        let y = vec![0.5, 0.25, -0.75];
+        let px = enc.encode_real(&x, 1);
+        let py = enc.encode_real(&y, 1);
+        let mut sum = px.poly.clone();
+        sum.add_assign(&py.poly);
+        let pt = Plaintext {
+            poly: sum,
+            scale: px.scale,
+            level: 1,
+        };
+        let back = enc.decode(&pt);
+        for i in 0..3 {
+            assert!((back[i].re - (x[i] + y[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plaintext_product_is_slotwise_product() {
+        // The whole point of the embedding: ring multiplication acts
+        // slot-wise. encode(x)*encode(y) decodes (at scale^2) to x.*y.
+        let enc = encoder();
+        let x = vec![0.5, -0.25, 0.75, 1.0];
+        let y = vec![0.25, 0.5, -0.5, -1.0];
+        let px = enc.encode_real(&x, 1);
+        let py = enc.encode_real(&y, 1);
+        let mut prod = px.poly.clone();
+        prod.mul_assign_pointwise(&py.poly);
+        let pt = Plaintext {
+            poly: prod,
+            scale: px.scale * py.scale,
+            level: 1,
+        };
+        let back = enc.decode(&pt);
+        for i in 0..4 {
+            assert!(
+                (back[i].re - x[i] * y[i]).abs() < 1e-5,
+                "slot {i}: {} vs {}",
+                back[i].re,
+                x[i] * y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_galois_permutes_slots() {
+        // Applying sigma_{5} to the plaintext rotates the slot vector by
+        // one position — the algebraic fact behind HRotate.
+        let enc = encoder();
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let vals: Vec<f64> = (0..8).map(|i| (i + 1) as f64 / 8.0).collect();
+        let pt = enc.encode_real(&vals, 1);
+        let mut poly = pt.poly.clone();
+        poly.automorphism(fhe_math::galois::rotation_galois_element(1, ctx.n()), ctx.galois());
+        let rotated = Plaintext {
+            poly,
+            scale: pt.scale,
+            level: 1,
+        };
+        let back = enc.decode(&rotated);
+        // Slot j of the rotated plaintext holds original slot j+1.
+        for j in 0..7 {
+            assert!(
+                (back[j].re - vals[j + 1]).abs() < 1e-6,
+                "slot {j}: {} vs {}",
+                back[j].re,
+                vals[j + 1]
+            );
+        }
+    }
+}

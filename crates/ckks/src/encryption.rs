@@ -1,0 +1,214 @@
+//! Encryption and decryption.
+
+use std::sync::Arc;
+
+use fhe_math::{sampler, Representation, RnsPoly};
+use rand::Rng;
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::{Encoder, Plaintext};
+use crate::keys::{PublicKey, SecretKey};
+
+/// Encrypts plaintexts under a public or secret key.
+#[derive(Debug)]
+pub struct Encryptor {
+    ctx: Arc<CkksContext>,
+}
+
+impl Encryptor {
+    /// Creates an encryptor for a context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        Self { ctx }
+    }
+
+    /// Public-key encryption: `c0 = b u + e0 + m`, `c1 = a u + e1`.
+    pub fn encrypt_pk<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let l = pt.level;
+        let basis = self.ctx.level_basis(l).clone();
+        let n = self.ctx.n();
+        let sigma = self.ctx.params().sigma;
+
+        let mut u = RnsPoly::from_signed_coeffs(basis.clone(), &sampler::ternary(rng, n, None));
+        u.to_eval();
+        let mut e0 = RnsPoly::from_signed_coeffs(basis.clone(), &sampler::gaussian(rng, n, sigma));
+        e0.to_eval();
+        let mut e1 = RnsPoly::from_signed_coeffs(basis.clone(), &sampler::gaussian(rng, n, sigma));
+        e1.to_eval();
+
+        // Restrict pk (level L) to level l.
+        let b_rows = pk.b.rows()[..=l].to_vec();
+        let a_rows = pk.a.rows()[..=l].to_vec();
+        let b = RnsPoly::from_rows(basis.clone(), b_rows, Representation::Eval);
+        let a = RnsPoly::from_rows(basis, a_rows, Representation::Eval);
+
+        let mut c0 = b;
+        c0.mul_assign_pointwise(&u);
+        c0.add_assign(&e0);
+        c0.add_assign(&pt.poly);
+        let mut c1 = a;
+        c1.mul_assign_pointwise(&u);
+        c1.add_assign(&e1);
+        Ciphertext {
+            c0,
+            c1,
+            level: l,
+            scale: pt.scale,
+        }
+    }
+
+    /// Secret-key encryption: `c1` uniform, `c0 = -c1 s + e + m`.
+    pub fn encrypt_sk<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let l = pt.level;
+        let basis = self.ctx.level_basis(l).clone();
+        let n = self.ctx.n();
+        let c1_rows: Vec<Vec<u64>> = basis
+            .moduli()
+            .iter()
+            .map(|m| sampler::uniform_residues(rng, m, n))
+            .collect();
+        let c1 = RnsPoly::from_rows(basis.clone(), c1_rows, Representation::Eval);
+        let mut e = RnsPoly::from_signed_coeffs(
+            basis,
+            &sampler::gaussian(rng, n, self.ctx.params().sigma),
+        );
+        e.to_eval();
+        let s = sk.poly_at_level(&self.ctx, l);
+        let mut c0 = c1.clone();
+        c0.mul_assign_pointwise(&s);
+        c0.neg_assign();
+        c0.add_assign(&e);
+        c0.add_assign(&pt.poly);
+        Ciphertext {
+            c0,
+            c1,
+            level: l,
+            scale: pt.scale,
+        }
+    }
+}
+
+/// Decrypts ciphertexts with the secret key.
+#[derive(Debug)]
+pub struct Decryptor {
+    ctx: Arc<CkksContext>,
+}
+
+impl Decryptor {
+    /// Creates a decryptor for a context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        Self { ctx }
+    }
+
+    /// Raw decryption: returns the message polynomial `c0 + c1 s` in
+    /// coefficient form (still scaled by the ciphertext scale).
+    pub fn decrypt_poly(&self, ct: &Ciphertext, sk: &SecretKey) -> RnsPoly {
+        let s = sk.poly_at_level(&self.ctx, ct.level);
+        let mut m = ct.c1.clone();
+        m.mul_assign_pointwise(&s);
+        m.add_assign(&ct.c0);
+        m.to_coeff();
+        m
+    }
+
+    /// Decrypts and decodes to complex slots.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey, encoder: &Encoder) -> Vec<fhe_math::Complex> {
+        let poly = self.decrypt_poly(ct, sk);
+        encoder.decode_poly(&poly, ct.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        Arc<CkksContext>,
+        Encoder,
+        Encryptor,
+        Decryptor,
+        crate::keys::KeySet,
+        StdRng,
+    ) {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(41);
+        let kg = KeyGenerator::new(ctx.clone());
+        let keys = kg.key_set(&[1], &mut rng);
+        (
+            ctx.clone(),
+            Encoder::new(ctx.clone()),
+            Encryptor::new(ctx.clone()),
+            Decryptor::new(ctx),
+            keys,
+            rng,
+        )
+    }
+
+    #[test]
+    fn sk_encrypt_decrypt_roundtrip() {
+        let (ctx, enc, encryptor, decryptor, keys, mut rng) = setup();
+        let vals: Vec<f64> = (0..enc.slots()).map(|i| (i as f64 / 100.0).sin()).collect();
+        let pt = enc.encode_real(&vals, ctx.params().max_level());
+        let ct = encryptor.encrypt_sk(&pt, &keys.secret, &mut rng);
+        let back = decryptor.decrypt(&ct, &keys.secret, &enc);
+        for (v, z) in vals.iter().zip(&back) {
+            assert!((v - z.re).abs() < 1e-4, "{} vs {}", v, z.re);
+            assert!(z.im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pk_encrypt_decrypt_roundtrip() {
+        let (ctx, enc, encryptor, decryptor, keys, mut rng) = setup();
+        let vals: Vec<f64> = (0..enc.slots()).map(|i| ((i * 7 % 13) as f64) / 13.0).collect();
+        let pt = enc.encode_real(&vals, ctx.params().max_level());
+        let ct = encryptor.encrypt_pk(&pt, &keys.public, &mut rng);
+        let back = decryptor.decrypt(&ct, &keys.secret, &enc);
+        for (v, z) in vals.iter().zip(&back) {
+            assert!((v - z.re).abs() < 1e-3, "{} vs {}", v, z.re);
+        }
+    }
+
+    #[test]
+    fn encryption_at_lower_level_works() {
+        let (_ctx, enc, encryptor, decryptor, keys, mut rng) = setup();
+        let vals = vec![0.123, -0.456, 0.789];
+        let pt = enc.encode_real(&vals, 1);
+        let ct = encryptor.encrypt_sk(&pt, &keys.secret, &mut rng);
+        assert_eq!(ct.level, 1);
+        assert_eq!(ct.limbs(), 2);
+        let back = decryptor.decrypt(&ct, &keys.secret, &enc);
+        for (i, &v) in vals.iter().enumerate() {
+            assert!((back[i].re - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn wrong_key_does_not_decrypt() {
+        let (ctx, enc, encryptor, decryptor, keys, mut rng) = setup();
+        let kg = KeyGenerator::new(ctx.clone());
+        let other = kg.secret_key(&mut rng);
+        let vals = vec![0.5; 8];
+        let pt = enc.encode_real(&vals, ctx.params().max_level());
+        let ct = encryptor.encrypt_sk(&pt, &keys.secret, &mut rng);
+        let back = decryptor.decrypt(&ct, &other, &enc);
+        // Decryption under the wrong key yields garbage much larger than
+        // the message.
+        let max = back.iter().map(|z| z.re.abs()).fold(0.0, f64::max);
+        assert!(max > 1e3, "wrong-key decryption suspiciously small: {max}");
+    }
+}

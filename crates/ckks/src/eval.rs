@@ -1,0 +1,599 @@
+//! Homomorphic operations — the paper's Table II reconstruction model.
+//!
+//! | Operation | Composing kernels (paper)             |
+//! |-----------|----------------------------------------|
+//! | HMult     | NTT, BConv, IP, ModMul, ModAdd        |
+//! | PMult     | ModMul, ModAdd                        |
+//! | HRotate   | NTT, BConv, IP, ModMul, ModAdd, Auto  |
+//! | HAdd      | ModAdd                                |
+//! | PAdd      | ModAdd                                |
+//! | Rescale   | NTT, ModAdd                           |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fhe_math::{Representation, RnsPoly};
+
+use crate::ciphertext::{Ciphertext, Ciphertext3};
+use crate::context::CkksContext;
+use crate::encoding::Plaintext;
+use crate::keys::SwitchingKey;
+use crate::keyswitch::key_switch;
+
+/// Relative scale mismatch tolerated by additive operations.
+const SCALE_TOLERANCE: f64 = 1e-6;
+
+/// Running totals of the homomorphic operations an [`Evaluator`] has
+/// performed — the functional layer's own Table II accounting, used to
+/// pin the performance model's operation counts to what the real
+/// implementation executes.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// Ciphertext-ciphertext multiplications (HMult tensor products).
+    pub ct_mults: AtomicU64,
+    /// Plaintext multiplications (PMult).
+    pub pt_mults: AtomicU64,
+    /// Rescales.
+    pub rescales: AtomicU64,
+    /// Keyswitches (relinearisations + Galois applications).
+    pub keyswitches: AtomicU64,
+    /// Galois applications (rotations and conjugations).
+    pub galois_ops: AtomicU64,
+    /// Ciphertext additions/subtractions.
+    pub additions: AtomicU64,
+}
+
+impl OpCounters {
+    /// Snapshot as plain integers `(ct_mults, pt_mults, rescales,
+    /// keyswitches, galois_ops, additions)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.ct_mults.load(Ordering::Relaxed),
+            self.pt_mults.load(Ordering::Relaxed),
+            self.rescales.load(Ordering::Relaxed),
+            self.keyswitches.load(Ordering::Relaxed),
+            self.galois_ops.load(Ordering::Relaxed),
+            self.additions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.ct_mults.store(0, Ordering::Relaxed);
+        self.pt_mults.store(0, Ordering::Relaxed);
+        self.rescales.store(0, Ordering::Relaxed);
+        self.keyswitches.store(0, Ordering::Relaxed);
+        self.galois_ops.store(0, Ordering::Relaxed);
+        self.additions.store(0, Ordering::Relaxed);
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Evaluator for homomorphic CKKS operations.
+#[derive(Debug)]
+pub struct Evaluator {
+    ctx: Arc<CkksContext>,
+    counters: OpCounters,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        Self {
+            ctx,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// The bound context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// The running operation counters.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn assert_compatible(&self, a: &Ciphertext, b: &Ciphertext) {
+        assert_eq!(a.level, b.level, "level mismatch: {} vs {}", a.level, b.level);
+        let rel = (a.scale - b.scale).abs() / a.scale;
+        assert!(
+            rel < SCALE_TOLERANCE,
+            "scale mismatch: {} vs {}",
+            a.scale,
+            b.scale
+        );
+    }
+
+    /// HAdd: ciphertext addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.assert_compatible(a, b);
+        OpCounters::bump(&self.counters.additions);
+        let mut out = a.clone();
+        out.c0.add_assign(&b.c0);
+        out.c1.add_assign(&b.c1);
+        out
+    }
+
+    /// Ciphertext subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.assert_compatible(a, b);
+        OpCounters::bump(&self.counters.additions);
+        let mut out = a.clone();
+        out.c0.sub_assign(&b.c0);
+        out.c1.sub_assign(&b.c1);
+        out
+    }
+
+    /// Negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let mut out = a.clone();
+        out.c0.neg_assign();
+        out.c1.neg_assign();
+        out
+    }
+
+    /// PAdd: add a plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+        let rel = (a.scale - pt.scale).abs() / a.scale;
+        assert!(rel < SCALE_TOLERANCE, "plaintext scale mismatch");
+        let mut out = a.clone();
+        out.c0.add_assign(&pt.poly);
+        out
+    }
+
+    /// Subtract a plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+        let mut out = a.clone();
+        out.c0.sub_assign(&pt.poly);
+        out
+    }
+
+    /// PMult: multiply by a plaintext (scales multiply; rescale after).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+        OpCounters::bump(&self.counters.pt_mults);
+        let mut out = a.clone();
+        out.c0.mul_assign_pointwise(&pt.poly);
+        out.c1.mul_assign_pointwise(&pt.poly);
+        out.scale = a.scale * pt.scale;
+        out
+    }
+
+    /// Tensor product without relinearisation: returns the degree-2
+    /// ciphertext `(d0, d1, d2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch.
+    pub fn mul_no_relin(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext3 {
+        assert_eq!(a.level, b.level, "level mismatch");
+        OpCounters::bump(&self.counters.ct_mults);
+        let mut d0 = a.c0.clone();
+        d0.mul_assign_pointwise(&b.c0);
+        let mut d1 = a.c0.clone();
+        d1.mul_assign_pointwise(&b.c1);
+        let mut d1b = a.c1.clone();
+        d1b.mul_assign_pointwise(&b.c0);
+        d1.add_assign(&d1b);
+        let mut d2 = a.c1.clone();
+        d2.mul_assign_pointwise(&b.c1);
+        Ciphertext3 {
+            d0,
+            d1,
+            d2,
+            level: a.level,
+            scale: a.scale * b.scale,
+        }
+    }
+
+    /// Relinearises a degree-2 ciphertext with the relin key (the
+    /// KeySwitch inside HMult).
+    pub fn relinearize(&self, ct: &Ciphertext3, rlk: &SwitchingKey) -> Ciphertext {
+        OpCounters::bump(&self.counters.keyswitches);
+        let (ks0, ks1) = key_switch(&self.ctx, &ct.d2, rlk, ct.level);
+        let mut c0 = ct.d0.clone();
+        c0.add_assign(&ks0);
+        let mut c1 = ct.d1.clone();
+        c1.add_assign(&ks1);
+        Ciphertext {
+            c0,
+            c1,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// HMult: full homomorphic multiplication (tensor + relinearise).
+    /// The result has scale `scale_a * scale_b`; rescale afterwards.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, rlk: &SwitchingKey) -> Ciphertext {
+        self.relinearize(&self.mul_no_relin(a, b), rlk)
+    }
+
+    /// Rescale: divides by the top prime `q_l`, dropping one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 0 (nothing left to drop).
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        assert!(a.level > 0, "cannot rescale at level 0");
+        OpCounters::bump(&self.counters.rescales);
+        let new_level = a.level - 1;
+        let q_last = self.ctx.level_basis(a.level).modulus(a.level).value();
+        let c0 = self.rescale_poly(&a.c0, a.level);
+        let c1 = self.rescale_poly(&a.c1, a.level);
+        Ciphertext {
+            c0,
+            c1,
+            level: new_level,
+            scale: a.scale / q_last as f64,
+        }
+    }
+
+    fn rescale_poly(&self, p: &RnsPoly, level: usize) -> RnsPoly {
+        let mut p = p.clone();
+        p.to_coeff();
+        let rows = p.into_rows();
+        let basis = self.ctx.level_basis(level);
+        let last_mod = *basis.modulus(level);
+        let last_row = &rows[level];
+        let new_basis = self.ctx.level_basis(level - 1).clone();
+        let out_rows: Vec<Vec<u64>> = (0..level)
+            .map(|i| {
+                let qi = basis.modulus(i);
+                let inv = qi.inv(qi.reduce(last_mod.value())).expect("distinct primes");
+                rows[i]
+                    .iter()
+                    .zip(last_row)
+                    .map(|(&c, &r)| {
+                        // Centered lift of r into q_i for unbiased rounding.
+                        let r_centered = last_mod.to_centered(r);
+                        let r_in_qi = qi.from_i64(r_centered);
+                        qi.mul(qi.sub(c, r_in_qi), inv)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = RnsPoly::from_rows(new_basis, out_rows, Representation::Coeff);
+        out.to_eval();
+        out
+    }
+
+    /// Drops limbs down to `target_level` without dividing (level
+    /// alignment before ops between mismatched ciphertexts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_level > a.level`.
+    pub fn mod_down_to(&self, a: &Ciphertext, target_level: usize) -> Ciphertext {
+        assert!(target_level <= a.level, "cannot raise level");
+        if target_level == a.level {
+            return a.clone();
+        }
+        let basis = self.ctx.level_basis(target_level).clone();
+        let take = |p: &RnsPoly| {
+            RnsPoly::from_rows(
+                basis.clone(),
+                p.rows()[..=target_level].to_vec(),
+                Representation::Eval,
+            )
+        };
+        Ciphertext {
+            c0: take(&a.c0),
+            c1: take(&a.c1),
+            level: target_level,
+            scale: a.scale,
+        }
+    }
+
+    /// HRotate: homomorphic slot rotation by `r` (Galois automorphism on
+    /// both components, then KeySwitch of the rotated `c1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gk` was generated for a different Galois element.
+    pub fn rotate(&self, a: &Ciphertext, r: i64, gk: &SwitchingKey) -> Ciphertext {
+        let g = fhe_math::galois::rotation_galois_element(r, self.ctx.n());
+        self.apply_galois(a, g, gk)
+    }
+
+    /// Complex conjugation of all slots.
+    pub fn conjugate(&self, a: &Ciphertext, gk: &SwitchingKey) -> Ciphertext {
+        let g = fhe_math::galois::conjugation_galois_element(self.ctx.n());
+        self.apply_galois(a, g, gk)
+    }
+
+    /// Applies an arbitrary Galois automorphism with its switching key.
+    pub fn apply_galois(&self, a: &Ciphertext, g: u64, gk: &SwitchingKey) -> Ciphertext {
+        OpCounters::bump(&self.counters.galois_ops);
+        OpCounters::bump(&self.counters.keyswitches);
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.automorphism(g, self.ctx.galois());
+        c1.automorphism(g, self.ctx.galois());
+        let (ks0, ks1) = key_switch(&self.ctx, &c1, gk, a.level);
+        c0.add_assign(&ks0);
+        Ciphertext {
+            c0,
+            c1: ks1,
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Multiplies by the monomial `X^k` — exact, key-free, used by the
+    /// scheme-conversion packing algorithm (Alg. 4's `Rotate`).
+    pub fn mul_monomial(&self, a: &Ciphertext, k: i64) -> Ciphertext {
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_coeff();
+        c1.to_coeff();
+        c0.mul_monomial(k);
+        c1.mul_monomial(k);
+        c0.to_eval();
+        c1.to_eval();
+        Ciphertext {
+            c0,
+            c1,
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+    use crate::encryption::{Decryptor, Encryptor};
+    use crate::keys::{KeyGenerator, KeySet};
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        ctx: Arc<CkksContext>,
+        enc: Encoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        eval: Evaluator,
+        keys: KeySet,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(61);
+        let kg = KeyGenerator::new(ctx.clone());
+        let keys = kg.key_set(&[1, 2, -1], &mut rng);
+        Fixture {
+            enc: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::new(ctx.clone()),
+            decryptor: Decryptor::new(ctx.clone()),
+            eval: Evaluator::new(ctx.clone()),
+            ctx,
+            keys,
+            rng,
+        }
+    }
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let x = vec![0.5, -0.25, 0.125, 1.0];
+        let y = vec![0.25, 0.5, -0.5, -1.0];
+        let ct_x = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let ct_y = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&y, l), &f.keys.secret, &mut f.rng);
+        let sum = f.eval.add(&ct_x, &ct_y);
+        let back = f.decryptor.decrypt(&sum, &f.keys.secret, &f.enc);
+        for i in 0..4 {
+            assert!(close(back[i].re, x[i] + y[i], 1e-3), "{} vs {}", back[i].re, x[i] + y[i]);
+        }
+    }
+
+    #[test]
+    fn homomorphic_multiplication_with_rescale() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let x = vec![0.5, -0.25, 0.75, 0.1];
+        let y = vec![0.25, 0.5, -0.5, 0.9];
+        let ct_x = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let ct_y = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&y, l), &f.keys.secret, &mut f.rng);
+        let prod = f.eval.mul(&ct_x, &ct_y, &f.keys.relin);
+        let prod = f.eval.rescale(&prod);
+        assert_eq!(prod.level, l - 1);
+        let back = f.decryptor.decrypt(&prod, &f.keys.secret, &f.enc);
+        for i in 0..4 {
+            assert!(
+                close(back[i].re, x[i] * y[i], 1e-2),
+                "slot {i}: {} vs {}",
+                back[i].re,
+                x[i] * y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn multiplication_chain_consumes_levels() {
+        // x^4 via two squarings: exercises rescale bookkeeping.
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let x = vec![0.9, -0.8, 0.5];
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let sq = f.eval.rescale(&f.eval.mul(&ct, &ct, &f.keys.relin));
+        let fourth = f.eval.rescale(&f.eval.mul(&sq, &sq, &f.keys.relin));
+        assert_eq!(fourth.level, l - 2);
+        let back = f.decryptor.decrypt(&fourth, &f.keys.secret, &f.enc);
+        for i in 0..3 {
+            let expect = x[i].powi(4);
+            assert!(
+                close(back[i].re, expect, 3e-2),
+                "slot {i}: {} vs {expect}",
+                back[i].re
+            );
+        }
+    }
+
+    #[test]
+    fn plaintext_multiplication() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let x = vec![0.5, -0.5, 0.25];
+        let w = vec![2.0, 3.0, -4.0];
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let pt_w = f.enc.encode_real(&w, l);
+        let prod = f.eval.rescale(&f.eval.mul_plain(&ct, &pt_w));
+        let back = f.decryptor.decrypt(&prod, &f.keys.secret, &f.enc);
+        for i in 0..3 {
+            assert!(close(back[i].re, x[i] * w[i], 1e-2));
+        }
+    }
+
+    #[test]
+    fn homomorphic_rotation() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let slots = f.enc.slots();
+        let x: Vec<f64> = (0..slots).map(|i| (i % 17) as f64 / 17.0).collect();
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let g = fhe_math::galois::rotation_galois_element(1, f.ctx.n());
+        let rot = f.eval.rotate(&ct, 1, &f.keys.galois[&g]);
+        let back = f.decryptor.decrypt(&rot, &f.keys.secret, &f.enc);
+        for j in 0..slots - 1 {
+            assert!(
+                close(back[j].re, x[j + 1], 1e-3),
+                "slot {j}: {} vs {}",
+                back[j].re,
+                x[j + 1]
+            );
+        }
+        // Cyclic wraparound.
+        assert!(close(back[slots - 1].re, x[0], 1e-3));
+    }
+
+    #[test]
+    fn rotation_by_negative_amount() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let slots = f.enc.slots();
+        let x: Vec<f64> = (0..slots).map(|i| ((i * 3) % 11) as f64 / 11.0).collect();
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let g = fhe_math::galois::rotation_galois_element(-1, f.ctx.n());
+        let rot = f.eval.rotate(&ct, -1, &f.keys.galois[&g]);
+        let back = f.decryptor.decrypt(&rot, &f.keys.secret, &f.enc);
+        for j in 1..slots {
+            assert!(close(back[j].re, x[j - 1], 1e-3));
+        }
+        assert!(close(back[0].re, x[slots - 1], 1e-3));
+    }
+
+    #[test]
+    fn conjugation_flips_imaginary() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let slots: Vec<fhe_math::Complex> = vec![
+            fhe_math::Complex::new(0.5, 0.25),
+            fhe_math::Complex::new(-0.25, 0.75),
+        ];
+        let pt = f.enc.encode(&slots, l);
+        let ct = f.encryptor.encrypt_sk(&pt, &f.keys.secret, &mut f.rng);
+        let g = fhe_math::galois::conjugation_galois_element(f.ctx.n());
+        let conj = f.eval.conjugate(&ct, &f.keys.galois[&g]);
+        let back = f.decryptor.decrypt(&conj, &f.keys.secret, &f.enc);
+        for (i, z) in slots.iter().enumerate() {
+            assert!(close(back[i].re, z.re, 1e-3));
+            assert!(close(back[i].im, -z.im, 1e-3));
+        }
+    }
+
+    #[test]
+    fn monomial_multiplication_preserves_decryption_structure() {
+        // X^k multiplication is exact and commutes with decryption.
+        let mut f = fixture();
+        let x = vec![0.5, -0.25];
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, 1), &f.keys.secret, &mut f.rng);
+        let shifted = f.eval.mul_monomial(&ct, 5);
+        let twice = f.eval.mul_monomial(&shifted, f.ctx.n() as i64 * 2 - 5);
+        // X^5 * X^(2n-5) = X^(2n) = 1.
+        let back = f.decryptor.decrypt(&twice, &f.keys.secret, &f.enc);
+        assert!(close(back[0].re, 0.5, 1e-3));
+        assert!(close(back[1].re, -0.25, 1e-3));
+    }
+
+    #[test]
+    fn mod_down_alignment() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let x = vec![0.75, 0.1];
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let low = f.eval.mod_down_to(&ct, 1);
+        assert_eq!(low.level, 1);
+        let back = f.decryptor.decrypt(&low, &f.keys.secret, &f.enc);
+        assert!(close(back[0].re, 0.75, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "level mismatch")]
+    fn adding_mismatched_levels_panics() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let ct1 = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&[0.1], l), &f.keys.secret, &mut f.rng);
+        let ct2 = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&[0.1], l - 1), &f.keys.secret, &mut f.rng);
+        let _ = f.eval.add(&ct1, &ct2);
+    }
+}

@@ -1,0 +1,364 @@
+//! Key material: secret, public, relinearisation, and Galois keys.
+//!
+//! Switching keys follow the hybrid-keyswitch construction the paper
+//! accelerates (Algorithm 1, after Han–Ki): the chain `q_0..q_L` is
+//! partitioned into `dnum` digits; for each digit `j` the key holds an
+//! RLWE sample over the extended modulus `Q * P` whose message is
+//! `P * G_j * s_from`, where the gadget `G_j = (Q/D_j) * [(Q/D_j)^{-1}]_{D_j}`
+//! has residues `P mod q_i` on the digit's own limbs and `0` everywhere
+//! else — so key generation never touches big integers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fhe_math::{sampler, Representation, RnsPoly};
+use rand::Rng;
+
+use crate::context::CkksContext;
+
+/// The ternary secret key.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    /// Signed coefficients in {-1, 0, 1}.
+    coeffs: Vec<i64>,
+    /// Cached evaluation-form secret over the full extended basis.
+    full_eval: RnsPoly,
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret.
+    pub fn generate<R: Rng + ?Sized>(ctx: &Arc<CkksContext>, rng: &mut R) -> Self {
+        let coeffs = sampler::ternary(rng, ctx.n(), ctx.params().secret_hamming_weight);
+        Self::from_coeffs(ctx, coeffs)
+    }
+
+    /// Builds a secret key from explicit ternary coefficients (used by
+    /// the scheme-conversion layer, which must share secrets with TFHE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the ring degree or any entry is
+    /// outside {-1, 0, 1}.
+    pub fn from_coeffs(ctx: &Arc<CkksContext>, coeffs: Vec<i64>) -> Self {
+        assert_eq!(coeffs.len(), ctx.n());
+        assert!(coeffs.iter().all(|&c| (-1..=1).contains(&c)));
+        let mut full_eval = RnsPoly::from_signed_coeffs(ctx.full_basis().clone(), &coeffs);
+        full_eval.to_eval();
+        Self { coeffs, full_eval }
+    }
+
+    /// The signed coefficients.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Evaluation-form secret over the level-`l` basis.
+    pub fn poly_at_level(&self, ctx: &CkksContext, l: usize) -> RnsPoly {
+        let rows = self.full_eval.rows()[..=l].to_vec();
+        RnsPoly::from_rows(ctx.level_basis(l).clone(), rows, Representation::Eval)
+    }
+
+    /// Evaluation-form secret over the extended level-`l` basis
+    /// (`q_0..q_l ++ P`).
+    pub fn poly_extended(&self, ctx: &CkksContext, l: usize) -> RnsPoly {
+        let max_l = ctx.params().max_level();
+        let mut rows = self.full_eval.rows()[..=l].to_vec();
+        rows.extend_from_slice(&self.full_eval.rows()[max_l + 1..]);
+        RnsPoly::from_rows(ctx.extended_basis(l).clone(), rows, Representation::Eval)
+    }
+}
+
+/// A public encryption key: an RLWE sample `(b, a)` with `b = -a s + e`
+/// over the full `q`-chain.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    /// `b = -a s + e` (evaluation form, level L).
+    pub b: RnsPoly,
+    /// Uniform `a` (evaluation form, level L).
+    pub a: RnsPoly,
+}
+
+/// A switching key: one RLWE sample per digit over `Q * P`.
+#[derive(Debug, Clone)]
+pub struct SwitchingKey {
+    /// Per-digit pairs `(b_j, a_j)` in evaluation form over the full
+    /// extended basis.
+    pub rows: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl SwitchingKey {
+    /// Generates a key switching `s_from -> s_to`.
+    ///
+    /// `s_from` and `s_to` are evaluation-form polynomials over the full
+    /// extended basis.
+    pub fn generate<R: Rng + ?Sized>(
+        ctx: &Arc<CkksContext>,
+        s_from: &RnsPoly,
+        s_to: &RnsPoly,
+        rng: &mut R,
+    ) -> Self {
+        let params = ctx.params();
+        let full = ctx.full_basis().clone();
+        let n = ctx.n();
+        let max_l = params.max_level();
+        let dnum_digits = params.beta_at_level(max_l);
+        let mut rows = Vec::with_capacity(dnum_digits);
+        for j in 0..dnum_digits {
+            // Uniform a_j over the extended basis.
+            let a_rows: Vec<Vec<u64>> = full
+                .moduli()
+                .iter()
+                .map(|m| sampler::uniform_residues(rng, m, n))
+                .collect();
+            let a = RnsPoly::from_rows(full.clone(), a_rows, Representation::Eval);
+            // e_j small.
+            let mut e = RnsPoly::from_signed_coeffs(
+                full.clone(),
+                &sampler::gaussian(rng, n, params.sigma),
+            );
+            e.to_eval();
+            // Gadget residues: P mod q_i on digit-j q-limbs, else 0.
+            let digit: Vec<usize> = params.digit_limbs(j).collect();
+            let gadget: Vec<u64> = full
+                .moduli()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    if i <= max_l && digit.contains(&i) {
+                        let mut p_mod = 1u64;
+                        for &p in &params.p_special {
+                            p_mod = m.mul(p_mod, m.reduce(p));
+                        }
+                        p_mod
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            // b_j = -a_j * s_to + e_j + gadget ⊙ s_from.
+            let mut b = a.clone();
+            b.mul_assign_pointwise(s_to);
+            b.neg_assign();
+            b.add_assign(&e);
+            let mut gs = s_from.clone();
+            gs.mul_scalar_residues(&gadget);
+            b.add_assign(&gs);
+            rows.push((b, a));
+        }
+        Self { rows }
+    }
+
+    /// Restricts digit `j`'s pair to the extended basis of level `l`
+    /// (residues for `q_0..q_l ++ P`).
+    pub fn row_at_level(&self, ctx: &CkksContext, j: usize, l: usize) -> (RnsPoly, RnsPoly) {
+        let max_l = ctx.params().max_level();
+        let target = ctx.extended_basis(l).clone();
+        let select = |p: &RnsPoly| {
+            let mut rows = p.rows()[..=l].to_vec();
+            rows.extend_from_slice(&p.rows()[max_l + 1..]);
+            RnsPoly::from_rows(target.clone(), rows, Representation::Eval)
+        };
+        let (b, a) = &self.rows[j];
+        (select(b), select(a))
+    }
+}
+
+/// The full key set most applications need.
+#[derive(Debug)]
+pub struct KeySet {
+    /// The secret key.
+    pub secret: SecretKey,
+    /// Public encryption key.
+    pub public: PublicKey,
+    /// Relinearisation key (`s^2 -> s`).
+    pub relin: SwitchingKey,
+    /// Galois keys by Galois element.
+    pub galois: HashMap<u64, SwitchingKey>,
+}
+
+/// Generates key material for a context.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    ctx: Arc<CkksContext>,
+}
+
+impl KeyGenerator {
+    /// Creates a generator bound to a context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        Self { ctx }
+    }
+
+    /// Samples a secret key.
+    pub fn secret_key<R: Rng + ?Sized>(&self, rng: &mut R) -> SecretKey {
+        SecretKey::generate(&self.ctx, rng)
+    }
+
+    /// Derives the public key for a secret.
+    pub fn public_key<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
+        let l = self.ctx.params().max_level();
+        let basis = self.ctx.level_basis(l).clone();
+        let n = self.ctx.n();
+        let a_rows: Vec<Vec<u64>> = basis
+            .moduli()
+            .iter()
+            .map(|m| sampler::uniform_residues(rng, m, n))
+            .collect();
+        let a = RnsPoly::from_rows(basis.clone(), a_rows, Representation::Eval);
+        let mut e = RnsPoly::from_signed_coeffs(
+            basis,
+            &sampler::gaussian(rng, n, self.ctx.params().sigma),
+        );
+        e.to_eval();
+        let s = sk.poly_at_level(&self.ctx, l);
+        let mut b = a.clone();
+        b.mul_assign_pointwise(&s);
+        b.neg_assign();
+        b.add_assign(&e);
+        PublicKey { b, a }
+    }
+
+    /// Relinearisation key: switches `s^2` back to `s`.
+    pub fn relin_key<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> SwitchingKey {
+        let l = self.ctx.params().max_level();
+        let s = sk.poly_extended(&self.ctx, l);
+        let mut s2 = s.clone();
+        s2.mul_assign_pointwise(&s);
+        SwitchingKey::generate(&self.ctx, &s2, &s, rng)
+    }
+
+    /// Galois key for automorphism `X -> X^g`: switches `sigma_g(s) -> s`.
+    pub fn galois_key<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        g: u64,
+        rng: &mut R,
+    ) -> SwitchingKey {
+        let l = self.ctx.params().max_level();
+        let s = sk.poly_extended(&self.ctx, l);
+        let mut s_g = s.clone();
+        s_g.automorphism(g, self.ctx.galois());
+        SwitchingKey::generate(&self.ctx, &s_g, &s, rng)
+    }
+
+    /// Generates the complete key set with Galois keys for the listed
+    /// rotations (by slot count; conjugation key is always included).
+    pub fn key_set<R: Rng + ?Sized>(&self, rotations: &[i64], rng: &mut R) -> KeySet {
+        let sk = self.secret_key(rng);
+        let pk = self.public_key(&sk, rng);
+        let rlk = self.relin_key(&sk, rng);
+        let mut galois = HashMap::new();
+        for &r in rotations {
+            let g = fhe_math::galois::rotation_galois_element(r, self.ctx.n());
+            galois
+                .entry(g)
+                .or_insert_with(|| self.galois_key(&sk, g, rng));
+        }
+        let conj = fhe_math::galois::conjugation_galois_element(self.ctx.n());
+        galois
+            .entry(conj)
+            .or_insert_with(|| self.galois_key(&sk, conj, rng));
+        KeySet {
+            secret: sk,
+            public: pk,
+            relin: rlk,
+            galois,
+        }
+    }
+
+    /// The bound context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn secret_key_has_requested_weight() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(31);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let h = ctx.params().secret_hamming_weight.unwrap();
+        assert_eq!(sk.coeffs().iter().filter(|&&c| c != 0).count(), h);
+    }
+
+    #[test]
+    fn public_key_is_valid_rlwe_sample() {
+        // b + a*s must be small (the error term).
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(32);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let pk = kg.public_key(&sk, &mut rng);
+        let l = ctx.params().max_level();
+        let s = sk.poly_at_level(&ctx, l);
+        let mut check = pk.a.clone();
+        check.mul_assign_pointwise(&s);
+        check.add_assign(&pk.b);
+        check.to_coeff();
+        let vals = check.to_centered_f64();
+        let bound = 6.0 * ctx.params().sigma + 1.0;
+        for v in vals {
+            assert!(v.abs() <= bound, "error coefficient {v} too large");
+        }
+    }
+
+    #[test]
+    fn switching_key_satisfies_gadget_relation() {
+        // For each digit j: b_j + a_j*s = e_j + gadget_j ⊙ s_from, so
+        // (b_j + a_j*s - gadget⊙s_from) must be small on every limb.
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(33);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key(&sk, &mut rng);
+        let l = ctx.params().max_level();
+        let s = sk.poly_extended(&ctx, l);
+        let mut s2 = s.clone();
+        s2.mul_assign_pointwise(&s);
+        let full = ctx.full_basis();
+        for (j, (b, a)) in rlk.rows.iter().enumerate() {
+            let mut check = a.clone();
+            check.mul_assign_pointwise(&s);
+            check.add_assign(b);
+            // Subtract gadget ⊙ s^2.
+            let digit: Vec<usize> = ctx.params().digit_limbs(j).collect();
+            let gadget: Vec<u64> = full
+                .moduli()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    if i <= l && digit.contains(&i) {
+                        let mut p_mod = 1u64;
+                        for &p in &ctx.params().p_special {
+                            p_mod = m.mul(p_mod, m.reduce(p));
+                        }
+                        p_mod
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let mut gs = s2.clone();
+            gs.mul_scalar_residues(&gadget);
+            check.sub_assign(&gs);
+            check.to_coeff();
+            // Every limb should hold the same small error polynomial.
+            let bound = 6.0 * ctx.params().sigma + 1.0;
+            for (row, m) in check.rows().iter().zip(full.moduli()) {
+                for &c in row {
+                    let centered = m.to_centered(c);
+                    assert!(
+                        (centered as f64).abs() <= bound,
+                        "digit {j}: residue {centered} too large"
+                    );
+                }
+            }
+        }
+    }
+}

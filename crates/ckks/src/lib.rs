@@ -1,0 +1,61 @@
+//! # fhe-ckks — RNS-CKKS built from scratch
+//!
+//! The arithmetic-FHE substrate of the Trinity reproduction (paper
+//! §II-A): approximate homomorphic arithmetic over packed complex slot
+//! vectors, with the full hierarchical operation set of the paper's
+//! Table II — `HAdd`, `PAdd`, `PMult`, `HMult` (tensor +
+//! hybrid-keyswitch relinearisation, Algorithm 1), `HRotate` (Galois
+//! automorphism + keyswitch), and `Rescale` — plus the BSGS linear
+//! transforms CKKS applications are built from.
+//!
+//! # Examples
+//!
+//! ```
+//! use fhe_ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let ctx = CkksContext::new(CkksParams::tiny_params());
+//! let keys = KeyGenerator::new(ctx.clone()).key_set(&[], &mut rng);
+//! let enc = Encoder::new(ctx.clone());
+//! let encryptor = Encryptor::new(ctx.clone());
+//! let eval = Evaluator::new(ctx.clone());
+//! let decryptor = Decryptor::new(ctx.clone());
+//!
+//! let l = ctx.params().max_level();
+//! let ct_x = encryptor.encrypt_sk(&enc.encode_real(&[0.5, 0.25], l), &keys.secret, &mut rng);
+//! let ct_y = encryptor.encrypt_sk(&enc.encode_real(&[0.5, 0.5], l), &keys.secret, &mut rng);
+//! let prod = eval.rescale(&eval.mul(&ct_x, &ct_y, &keys.relin));
+//! let slots = decryptor.decrypt(&prod, &keys.secret, &enc);
+//! assert!((slots[0].re - 0.25).abs() < 1e-2);
+//! assert!((slots[1].re - 0.125).abs() < 1e-2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod chebyshev;
+pub mod ciphertext;
+pub mod context;
+pub mod encoding;
+pub mod encryption;
+pub mod eval;
+pub mod keys;
+pub mod keyswitch;
+pub mod linalg;
+pub mod noise;
+pub mod params;
+pub mod poly_eval;
+
+pub use bootstrap::{BootstrapParams, Bootstrapper};
+pub use chebyshev::ChebyshevPoly;
+pub use ciphertext::{Ciphertext, Ciphertext3};
+pub use context::CkksContext;
+pub use encoding::{Encoder, Plaintext};
+pub use encryption::{Decryptor, Encryptor};
+pub use eval::Evaluator;
+pub use keys::{KeyGenerator, KeySet, PublicKey, SecretKey, SwitchingKey};
+pub use keyswitch::key_switch;
+pub use linalg::LinearTransform;
+pub use noise::{measure_noise_bits, NoiseEstimate, NoiseModel};
+pub use params::{CkksParams, InvalidParamsError};

@@ -1,0 +1,294 @@
+//! Encrypted linear algebra: diagonal-encoded matrix-vector products.
+//!
+//! CKKS applications (the paper's HELR and ResNet-20 benchmarks, and the
+//! CoeffToSlot/SlotToCoeff stages of bootstrapping) reduce to products of
+//! an encrypted slot vector with plaintext matrices. The standard
+//! technique encodes the matrix by generalised diagonals and evaluates
+//!
+//! ```text
+//! M * v = sum_d  diag_d .* rot(v, d)
+//! ```
+//!
+//! using baby-step/giant-step (BSGS) to cut the rotation count from
+//! `#diagonals` to `O(sqrt(#diagonals))` — each rotation being one of
+//! the paper's `HRotate` operations.
+
+use std::collections::HashMap;
+
+use fhe_math::Complex;
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::Encoder;
+use crate::eval::Evaluator;
+use crate::keys::SwitchingKey;
+
+/// A plaintext linear transform stored by generalised diagonals.
+#[derive(Debug, Clone)]
+pub struct LinearTransform {
+    /// Diagonal index -> diagonal entries (length = slot count).
+    pub diagonals: HashMap<i64, Vec<Complex>>,
+    /// Slot dimension the transform acts on.
+    pub dim: usize,
+}
+
+impl LinearTransform {
+    /// Builds a transform from a dense row-major `dim x dim` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.len() != dim * dim`.
+    pub fn from_matrix(matrix: &[Complex], dim: usize) -> Self {
+        assert_eq!(matrix.len(), dim * dim);
+        let mut diagonals: HashMap<i64, Vec<Complex>> = HashMap::new();
+        for d in 0..dim {
+            // Generalised diagonal d: entry j is M[j][(j + d) mod dim].
+            let diag: Vec<Complex> = (0..dim)
+                .map(|j| matrix[j * dim + ((j + d) % dim)])
+                .collect();
+            if diag.iter().any(|z| z.norm_sqr() > 1e-24) {
+                diagonals.insert(d as i64, diag);
+            }
+        }
+        Self { diagonals, dim }
+    }
+
+    /// Rotation amounts required to evaluate this transform naively.
+    pub fn required_rotations(&self) -> Vec<i64> {
+        let mut v: Vec<i64> = self.diagonals.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rotation amounts required by the BSGS evaluation with giant-step
+    /// `g`: baby steps `1..g` and giant steps `g, 2g, ...`.
+    pub fn bsgs_rotations(&self, g: usize) -> Vec<i64> {
+        let mut set = std::collections::BTreeSet::new();
+        for &d in self.diagonals.keys() {
+            let d = d as usize;
+            set.insert((d % g) as i64);
+            set.insert((d - d % g) as i64);
+        }
+        set.remove(&0);
+        set.into_iter().collect()
+    }
+
+    /// Evaluates the transform on a ciphertext, naive variant: one
+    /// rotation per diagonal.
+    ///
+    /// `galois_keys` maps Galois elements to switching keys and must
+    /// cover [`Self::required_rotations`]. Consumes one level (rescale
+    /// included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required Galois key is missing.
+    pub fn apply(
+        &self,
+        eval: &Evaluator,
+        enc: &Encoder,
+        ct: &Ciphertext,
+        galois_keys: &HashMap<u64, SwitchingKey>,
+    ) -> Ciphertext {
+        let ctx = eval.context().clone();
+        let mut acc: Option<Ciphertext> = None;
+        for (&d, diag) in &self.diagonals {
+            let rotated = if d == 0 {
+                ct.clone()
+            } else {
+                let g = fhe_math::galois::rotation_galois_element(d, ctx.n());
+                let gk = galois_keys
+                    .get(&g)
+                    .unwrap_or_else(|| panic!("missing galois key for rotation {d}"));
+                eval.rotate(ct, d, gk)
+            };
+            let diag_slots = self.tile_diagonal(diag, enc.slots());
+            let pt = enc.encode(&diag_slots, ct.level);
+            let term = eval.mul_plain(&rotated, &pt);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => eval.add(&a, &term),
+            });
+        }
+        let acc = acc.expect("transform has at least one diagonal");
+        eval.rescale(&acc)
+    }
+
+    /// Evaluates with baby-step/giant-step: rotations grouped so that
+    /// only `O(sqrt(D))` distinct rotations are applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required Galois key is missing.
+    pub fn apply_bsgs(
+        &self,
+        eval: &Evaluator,
+        enc: &Encoder,
+        ct: &Ciphertext,
+        galois_keys: &HashMap<u64, SwitchingKey>,
+        giant_step: usize,
+    ) -> Ciphertext {
+        let ctx = eval.context().clone();
+        let g = giant_step.max(1);
+        // Baby rotations rot(v, b) for all needed b.
+        let mut baby: HashMap<usize, Ciphertext> = HashMap::new();
+        baby.insert(0, ct.clone());
+        for &d in self.diagonals.keys() {
+            let b = (d as usize) % g;
+            if b != 0 && !baby.contains_key(&b) {
+                let ge = fhe_math::galois::rotation_galois_element(b as i64, ctx.n());
+                let gk = galois_keys
+                    .get(&ge)
+                    .unwrap_or_else(|| panic!("missing galois key for baby step {b}"));
+                baby.insert(b, eval.rotate(ct, b as i64, gk));
+            }
+        }
+        // Group diagonals by giant step i: d = i*g + b.
+        let mut groups: HashMap<usize, Vec<(usize, &Vec<Complex>)>> = HashMap::new();
+        for (&d, diag) in &self.diagonals {
+            let d = d as usize;
+            groups.entry(d / g).or_default().push((d % g, diag));
+        }
+        let mut acc: Option<Ciphertext> = None;
+        for (&i, members) in &groups {
+            let shift = i * g;
+            // Inner sum: sum_b rot(diag_{i*g+b}, -i*g) .* baby_b.
+            let mut inner: Option<Ciphertext> = None;
+            for &(b, diag) in members {
+                let tiled = self.tile_diagonal(diag, enc.slots());
+                // Pre-rotate the plaintext diagonal by -shift.
+                let pre: Vec<Complex> = (0..tiled.len())
+                    .map(|j| tiled[(j + tiled.len() - shift % tiled.len()) % tiled.len()])
+                    .collect();
+                let pt = enc.encode(&pre, ct.level);
+                let term = eval.mul_plain(&baby[&b], &pt);
+                inner = Some(match inner {
+                    None => term,
+                    Some(a) => eval.add(&a, &term),
+                });
+            }
+            let mut partial = inner.expect("non-empty group");
+            if shift != 0 {
+                let ge = fhe_math::galois::rotation_galois_element(shift as i64, ctx.n());
+                let gk = galois_keys
+                    .get(&ge)
+                    .unwrap_or_else(|| panic!("missing galois key for giant step {shift}"));
+                partial = eval.rotate(&partial, shift as i64, gk);
+            }
+            acc = Some(match acc {
+                None => partial,
+                Some(a) => eval.add(&a, &partial),
+            });
+        }
+        eval.rescale(&acc.expect("transform has at least one diagonal"))
+    }
+
+    /// Tiles a `dim`-length diagonal across all slots so rotations of
+    /// the full slot vector act like rotations of the `dim`-vector.
+    fn tile_diagonal(&self, diag: &[Complex], slots: usize) -> Vec<Complex> {
+        (0..slots).map(|j| diag[j % self.dim]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::encryption::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn real_matrix(dim: usize, rng: &mut StdRng) -> Vec<Complex> {
+        (0..dim * dim)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn matvec_matches_plain_computation() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(71);
+        let dim = 8usize;
+        let matrix = real_matrix(dim, &mut rng);
+        let lt = LinearTransform::from_matrix(&matrix, dim);
+
+        let kg = KeyGenerator::new(ctx.clone());
+        let keys = kg.key_set(&lt.required_rotations(), &mut rng);
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let eval = Evaluator::new(ctx.clone());
+
+        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Tile v across slots so rotations behave cyclically mod dim.
+        let tiled: Vec<f64> = (0..enc.slots()).map(|j| v[j % dim]).collect();
+        let ct = encryptor.encrypt_sk(
+            &enc.encode_real(&tiled, ctx.params().max_level()),
+            &keys.secret,
+            &mut rng,
+        );
+        let out = lt.apply(&eval, &enc, &ct, &keys.galois);
+        let back = decryptor.decrypt(&out, &keys.secret, &enc);
+
+        for r in 0..dim {
+            let expect: f64 = (0..dim).map(|c| matrix[r * dim + c].re * v[c]).sum();
+            assert!(
+                (back[r].re - expect).abs() < 1e-2,
+                "row {r}: {} vs {expect}",
+                back[r].re
+            );
+        }
+    }
+
+    #[test]
+    fn bsgs_matches_naive() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(72);
+        let dim = 8usize;
+        let matrix = real_matrix(dim, &mut rng);
+        let lt = LinearTransform::from_matrix(&matrix, dim);
+        let g = 4usize;
+
+        let mut rots = lt.required_rotations();
+        rots.extend(lt.bsgs_rotations(g));
+        let kg = KeyGenerator::new(ctx.clone());
+        let keys = kg.key_set(&rots, &mut rng);
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let eval = Evaluator::new(ctx.clone());
+
+        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let tiled: Vec<f64> = (0..enc.slots()).map(|j| v[j % dim]).collect();
+        let ct = encryptor.encrypt_sk(
+            &enc.encode_real(&tiled, ctx.params().max_level()),
+            &keys.secret,
+            &mut rng,
+        );
+        let naive = lt.apply(&eval, &enc, &ct, &keys.galois);
+        let bsgs = lt.apply_bsgs(&eval, &enc, &ct, &keys.galois, g);
+        let dn = decryptor.decrypt(&naive, &keys.secret, &enc);
+        let db = decryptor.decrypt(&bsgs, &keys.secret, &enc);
+        for r in 0..dim {
+            assert!(
+                (dn[r].re - db[r].re).abs() < 2e-2,
+                "row {r}: naive {} vs bsgs {}",
+                dn[r].re,
+                db[r].re
+            );
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_identity() {
+        let dim = 4usize;
+        let mut matrix = vec![Complex::default(); dim * dim];
+        for i in 0..dim {
+            matrix[i * dim + i] = Complex::new(1.0, 0.0);
+        }
+        let lt = LinearTransform::from_matrix(&matrix, dim);
+        assert_eq!(lt.diagonals.len(), 1, "identity has only the main diagonal");
+        assert!(lt.diagonals.contains_key(&0));
+    }
+}

@@ -1,0 +1,254 @@
+//! CKKS parameter sets.
+//!
+//! The paper's default CKKS configuration (Table IV) is `N = 2^16`,
+//! `L = 35`, `dnum = 3` at 128-bit security with a 36-bit word. The
+//! functional layer runs the same algorithms at reduced ring degrees so
+//! tests finish quickly; [`CkksParams::paper_default`] records the paper
+//! configuration for the performance model, and
+//! [`CkksParams::test_params`] is the workhorse for functional tests.
+
+use fhe_math::prime;
+
+/// Parameters of an RNS-CKKS instance.
+#[derive(Debug, Clone)]
+pub struct CkksParams {
+    /// Ring degree `N` (power of two). Slots = N/2.
+    pub n: usize,
+    /// Prime chain `q_0 .. q_L` (level `l` uses the first `l+1`).
+    pub q_chain: Vec<u64>,
+    /// Special primes `p_0 .. p_{alpha-1}` for hybrid keyswitching.
+    pub p_special: Vec<u64>,
+    /// log2 of the encoding scale Delta.
+    pub scale_bits: u32,
+    /// Decomposition number for hybrid keyswitch (digits).
+    pub dnum: usize,
+    /// Hamming weight of the ternary secret (None = dense i.i.d.).
+    pub secret_hamming_weight: Option<usize>,
+    /// Error standard deviation.
+    pub sigma: f64,
+}
+
+/// Error produced when a parameter set is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParamsError(pub String);
+
+impl std::fmt::Display for InvalidParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CKKS parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParamsError {}
+
+impl CkksParams {
+    /// Builds a parameter set with a freshly generated prime chain.
+    ///
+    /// `levels` is the maximum multiplicative level `L`; the chain holds
+    /// `L + 1` primes. The first prime and the special primes are
+    /// `scale_bits + 10` bits for decryption headroom and keyswitch noise
+    /// control; the rest sit within 2N of `2^scale_bits` so rescaling
+    /// preserves the scale to high precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] if the geometry is unsatisfiable
+    /// (non-power-of-two `n`, zero `dnum`, too many primes requested for
+    /// the bit range, ...).
+    pub fn new(
+        n: usize,
+        levels: usize,
+        scale_bits: u32,
+        dnum: usize,
+    ) -> Result<Self, InvalidParamsError> {
+        if !n.is_power_of_two() || n < 8 {
+            return Err(InvalidParamsError(format!("n={n} must be a power of two >= 8")));
+        }
+        if dnum == 0 || dnum > levels + 1 {
+            return Err(InvalidParamsError(format!(
+                "dnum={dnum} must be in [1, L+1={}]",
+                levels + 1
+            )));
+        }
+        if scale_bits < 20 || scale_bits > 50 {
+            return Err(InvalidParamsError(format!(
+                "scale_bits={scale_bits} outside supported range [20, 50]"
+            )));
+        }
+        let big_bits = scale_bits + 10;
+        // q_0: one big prime; q_1..q_L: primes hugging 2^scale_bits.
+        let q0 = prime::ntt_primes(big_bits, n, 1)[0];
+        let mut q_chain = vec![q0];
+        if levels > 0 {
+            // Alternate above/below 2^scale_bits to keep the product of
+            // ratios near 1 (standard scale-drift control).
+            let mut found = Vec::new();
+            let step = 2 * n as u64;
+            let target = 1u64 << scale_bits;
+            let mut k = 0u64;
+            while found.len() < levels {
+                for cand in [target + 1 + k * step, target + 1 - (k + 1) * step] {
+                    if found.len() < levels
+                        && prime::is_prime(cand)
+                        && cand % step == 1
+                        && cand != q0
+                        && !found.contains(&cand)
+                    {
+                        found.push(cand);
+                    }
+                }
+                k += 1;
+                if k > 1 << 22 {
+                    return Err(InvalidParamsError(format!(
+                        "could not find {levels} scale primes near 2^{scale_bits}"
+                    )));
+                }
+            }
+            q_chain.extend(found);
+        }
+        // alpha special primes, alpha = ceil((L+1)/dnum) (Table I).
+        let alpha = ((levels + 1) + dnum - 1) / dnum;
+        let mut p_special = Vec::new();
+        let mut bits = big_bits;
+        while p_special.len() < alpha {
+            for p in prime::ntt_primes(bits, n, alpha.min(8)) {
+                if p_special.len() < alpha && !q_chain.contains(&p) && !p_special.contains(&p) {
+                    p_special.push(p);
+                }
+            }
+            bits += 1;
+        }
+        Ok(Self {
+            n,
+            q_chain,
+            p_special,
+            scale_bits,
+            dnum,
+            secret_hamming_weight: Some((n / 16).clamp(32, 192)),
+            sigma: fhe_math::sampler::DEFAULT_SIGMA,
+        })
+    }
+
+    /// Small but real parameter set used by the test suite:
+    /// `N = 2^12`, `L = 4`, 36-bit scale, `dnum = 3`.
+    pub fn test_params() -> Self {
+        Self::new(1 << 12, 4, 36, 3).expect("test parameters are valid")
+    }
+
+    /// A tiny parameter set for fast unit tests (`N = 2^10`, `L = 3`).
+    pub fn tiny_params() -> Self {
+        Self::new(1 << 10, 3, 30, 2).expect("tiny parameters are valid")
+    }
+
+    /// The paper's default CKKS configuration (Table IV): `N = 2^16`,
+    /// `L = 35`, `dnum = 3`, 128-bit security target.
+    ///
+    /// Intended for the performance model; running the functional layer
+    /// at this size works but is slow.
+    pub fn paper_default() -> Self {
+        Self::new(1 << 16, 35, 36, 3).expect("paper parameters are valid")
+    }
+
+    /// Maximum level `L`.
+    pub fn max_level(&self) -> usize {
+        self.q_chain.len() - 1
+    }
+
+    /// Number of RNS moduli per digit, `alpha = ceil((L+1)/dnum)`.
+    pub fn alpha(&self) -> usize {
+        (self.q_chain.len() + self.dnum - 1) / self.dnum
+    }
+
+    /// Number of digits at level `l`, `beta = ceil((l+1)/alpha)`.
+    pub fn beta_at_level(&self, l: usize) -> usize {
+        (l + 1 + self.alpha() - 1) / self.alpha()
+    }
+
+    /// Number of slots (N/2).
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The encoding scale Delta.
+    pub fn scale(&self) -> f64 {
+        2f64.powi(self.scale_bits as i32)
+    }
+
+    /// Limb indices (into `0..=L`) belonging to digit `j`.
+    pub fn digit_limbs(&self, j: usize) -> std::ops::Range<usize> {
+        let a = self.alpha();
+        let start = j * a;
+        let end = ((j + 1) * a).min(self.q_chain.len());
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_geometry() {
+        let p = CkksParams::test_params();
+        assert_eq!(p.max_level(), 4);
+        assert_eq!(p.q_chain.len(), 5);
+        assert_eq!(p.alpha(), 2); // ceil(5/3)
+        assert_eq!(p.p_special.len(), 2);
+        assert_eq!(p.beta_at_level(4), 3);
+        assert_eq!(p.beta_at_level(1), 1);
+        assert_eq!(p.beta_at_level(2), 2);
+    }
+
+    #[test]
+    fn scale_primes_hug_target() {
+        let p = CkksParams::test_params();
+        let target = 1u64 << p.scale_bits;
+        for &q in &p.q_chain[1..] {
+            let rel = (q as f64 - target as f64).abs() / target as f64;
+            assert!(rel < 1e-3, "prime {q} too far from 2^{}", p.scale_bits);
+        }
+    }
+
+    #[test]
+    fn primes_are_distinct_and_ntt_friendly() {
+        let p = CkksParams::test_params();
+        let mut all: Vec<u64> = p.q_chain.clone();
+        all.extend(&p.p_special);
+        let set: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicate primes");
+        for &q in &all {
+            assert!(fhe_math::prime::is_prime(q));
+            assert_eq!(q % (2 * p.n as u64), 1);
+        }
+    }
+
+    #[test]
+    fn digit_partition_covers_chain() {
+        let p = CkksParams::test_params();
+        let mut covered = vec![false; p.q_chain.len()];
+        for j in 0..p.dnum {
+            for i in p.digit_limbs(j) {
+                assert!(!covered[i], "limb {i} in two digits");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(CkksParams::new(100, 3, 36, 2).is_err()); // not a power of 2
+        assert!(CkksParams::new(1024, 3, 36, 0).is_err()); // dnum 0
+        assert!(CkksParams::new(1024, 3, 60, 2).is_err()); // scale too large
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        // Only geometry checks; building the full chain is fast since it
+        // is pure prime search.
+        let p = CkksParams::paper_default();
+        assert_eq!(p.n, 1 << 16);
+        assert_eq!(p.max_level(), 35);
+        assert_eq!(p.dnum, 3);
+        assert_eq!(p.alpha(), 12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests: CKKS homomorphism invariants over random data.
+
+use std::sync::OnceLock;
+
+use fhe_ckks::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Shared fixture: key generation is the expensive part, so all cases
+/// reuse one key set.
+struct Fixture {
+    ctx: Arc<CkksContext>,
+    keys: KeySet,
+    enc: Encoder,
+    encryptor: Encryptor,
+    eval: Evaluator,
+    dec: Decryptor,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(401);
+        let keys = KeyGenerator::new(ctx.clone()).key_set(&[1, -1], &mut rng);
+        Fixture {
+            enc: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::new(ctx.clone()),
+            eval: Evaluator::new(ctx.clone()),
+            dec: Decryptor::new(ctx.clone()),
+            keys,
+            ctx,
+        }
+    })
+}
+
+fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, 4..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// dec(enc(x) + enc(y)) == x + y.
+    #[test]
+    fn addition_homomorphism(x in small_vec(), y in small_vec(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = f.ctx.params().max_level();
+        let n = x.len().min(y.len());
+        let cx = f.encryptor.encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut rng);
+        let cy = f.encryptor.encrypt_sk(&f.enc.encode_real(&y, l), &f.keys.secret, &mut rng);
+        let out = f.dec.decrypt(&f.eval.add(&cx, &cy), &f.keys.secret, &f.enc);
+        for i in 0..n {
+            prop_assert!((out[i].re - (x[i] + y[i])).abs() < 1e-3,
+                "slot {i}: {} vs {}", out[i].re, x[i] + y[i]);
+        }
+    }
+
+    /// dec(enc(x) * enc(y)) == x .* y after rescale.
+    #[test]
+    fn multiplication_homomorphism(x in small_vec(), y in small_vec(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = f.ctx.params().max_level();
+        let n = x.len().min(y.len());
+        let cx = f.encryptor.encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut rng);
+        let cy = f.encryptor.encrypt_sk(&f.enc.encode_real(&y, l), &f.keys.secret, &mut rng);
+        let prod = f.eval.rescale(&f.eval.mul(&cx, &cy, &f.keys.relin));
+        let out = f.dec.decrypt(&prod, &f.keys.secret, &f.enc);
+        for i in 0..n {
+            prop_assert!((out[i].re - x[i] * y[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}", out[i].re, x[i] * y[i]);
+        }
+    }
+
+    /// Rotating by +1 then -1 is the identity.
+    #[test]
+    fn rotation_inverse(x in small_vec(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = f.ctx.params().max_level();
+        let cx = f.encryptor.encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut rng);
+        let g_fwd = fhe_math::galois::rotation_galois_element(1, f.ctx.n());
+        let g_bwd = fhe_math::galois::rotation_galois_element(-1, f.ctx.n());
+        let there = f.eval.rotate(&cx, 1, &f.keys.galois[&g_fwd]);
+        let back = f.eval.rotate(&there, -1, &f.keys.galois[&g_bwd]);
+        let out = f.dec.decrypt(&back, &f.keys.secret, &f.enc);
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert!((out[i].re - v).abs() < 1e-3, "slot {i}");
+        }
+    }
+
+    /// Scalar distributes: enc(x) * c + enc(x) * d == enc(x) * (c + d).
+    #[test]
+    fn plaintext_mul_distributes(x in small_vec(), c in -2.0f64..2.0, d in -2.0f64..2.0, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = f.ctx.params().max_level();
+        let cx = f.encryptor.encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut rng);
+        let pc = f.enc.encode_constant(c, l);
+        let pd = f.enc.encode_constant(d, l);
+        let lhs = f.eval.add(&f.eval.mul_plain(&cx, &pc), &f.eval.mul_plain(&cx, &pd));
+        let sum = f.enc.encode_constant(c + d, l);
+        let rhs = f.eval.mul_plain(&cx, &sum);
+        let lo = f.dec.decrypt(&f.eval.rescale(&lhs), &f.keys.secret, &f.enc);
+        let ro = f.dec.decrypt(&f.eval.rescale(&rhs), &f.keys.secret, &f.enc);
+        for i in 0..x.len() {
+            prop_assert!((lo[i].re - ro[i].re).abs() < 1e-2, "slot {i}");
+        }
+    }
+
+    /// Level drop via mod_down preserves the plaintext.
+    #[test]
+    fn mod_down_preserves_message(x in small_vec(), target in 0usize..3, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = f.ctx.params().max_level();
+        let cx = f.encryptor.encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut rng);
+        let low = f.eval.mod_down_to(&cx, target);
+        let out = f.dec.decrypt(&low, &f.keys.secret, &f.enc);
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert!((out[i].re - v).abs() < 1e-3, "slot {i} at level {target}");
+        }
+    }
+}
+
+mod chebyshev_props {
+    use fhe_ckks::chebyshev::{chebyshev_depth, clenshaw, ChebyshevPoly};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Interpolating a polynomial of degree d with degree >= d nodes
+        /// is exact.
+        #[test]
+        fn fit_interpolates_polynomials_exactly(
+            coeffs in proptest::collection::vec(-2.0f64..2.0, 1..7),
+            extra in 0usize..4,
+        ) {
+            let poly = move |x: f64| {
+                coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+            };
+            let degree = 6 + extra;
+            let p = ChebyshevPoly::fit(&poly, -1.0, 1.0, degree);
+            for i in 0..32 {
+                let x = -1.0 + 2.0 * i as f64 / 31.0;
+                prop_assert!((p.eval(x) - poly(x)).abs() < 1e-9, "x={x}");
+            }
+        }
+
+        /// Clenshaw matches the three-term recurrence evaluation.
+        #[test]
+        fn clenshaw_matches_recurrence(
+            coeffs in proptest::collection::vec(-1.0f64..1.0, 1..24),
+            u in -1.0f64..1.0,
+        ) {
+            // Direct: T_0 = 1, T_1 = u, T_{k+1} = 2u T_k - T_{k-1}.
+            let mut t_prev = 1.0;
+            let mut t_cur = u;
+            let mut direct = coeffs[0];
+            for (j, &c) in coeffs.iter().enumerate().skip(1) {
+                if j == 1 {
+                    direct += c * t_cur;
+                } else {
+                    let t_next = 2.0 * u * t_cur - t_prev;
+                    t_prev = t_cur;
+                    t_cur = t_next;
+                    direct += c * t_cur;
+                }
+            }
+            prop_assert!((clenshaw(&coeffs, u) - direct).abs() < 1e-9);
+        }
+
+        /// The homomorphic evaluator's depth stays logarithmic.
+        #[test]
+        fn depth_is_logarithmic(degree in 1usize..512) {
+            let d = chebyshev_depth(degree);
+            let log_bound = (degree.max(2) as f64).log2().ceil() as usize + 1;
+            prop_assert!(d <= log_bound, "depth {d} > bound {log_bound} at degree {degree}");
+            prop_assert!(d >= 1);
+        }
+
+        /// Fitting on a shifted interval agrees with fitting the shifted
+        /// function on [-1, 1].
+        #[test]
+        fn interval_shift_equivariance(a in -4.0f64..0.0, width in 0.5f64..4.0) {
+            let b = a + width;
+            let f = |x: f64| (x * 0.7).sin();
+            let direct = ChebyshevPoly::fit(f, a, b, 16);
+            let remapped = ChebyshevPoly::fit(
+                |u| f(0.5 * (u * (b - a) + a + b)),
+                -1.0,
+                1.0,
+                16,
+            );
+            for i in 0..16 {
+                let x = a + width * i as f64 / 15.0;
+                let u = (2.0 * x - a - b) / (b - a);
+                prop_assert!((direct.eval(x) - remapped.eval(u)).abs() < 1e-9);
+            }
+        }
+    }
+}

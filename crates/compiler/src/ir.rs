@@ -1,0 +1,511 @@
+//! The FHE-operation intermediate representation.
+//!
+//! The paper's Fig. 8 pipeline starts from an application expressed as
+//! FHE operations ("Generate execution graph"). This module is that
+//! layer: an SSA-style program over virtual ciphertext values, spanning
+//! CKKS, TFHE, and the conversions between them — the property that
+//! makes Trinity a *multi-modal* target. The compiler tracks CKKS
+//! levels through the program and inserts bootstraps where a chain
+//! would exhaust its modulus ("Insert Bootstrap"), before lowering
+//! everything to a kernel flow ("Generate execution flow").
+
+use std::collections::HashMap;
+
+/// Identifier of a virtual ciphertext value.
+pub type ValueId = usize;
+
+/// Which scheme a value lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Arithmetic FHE (packed approximate numbers).
+    Ckks,
+    /// Logic FHE (single LWE samples).
+    Tfhe,
+}
+
+/// One FHE operation (the paper's Table II plus TFHE and conversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FheOpKind {
+    /// A fresh CKKS ciphertext entering at a level.
+    CkksInput {
+        /// Starting level.
+        level: usize,
+    },
+    /// Ciphertext addition (level-preserving).
+    HAdd,
+    /// Ciphertext multiplication + relinearisation (rescale separate,
+    /// as in Table II).
+    HMult,
+    /// Plaintext multiplication.
+    PMult,
+    /// Homomorphic rotation.
+    HRotate,
+    /// Divide by the top prime; consumes one level.
+    Rescale,
+    /// Packed CKKS bootstrapping; restores the level.
+    CkksBootstrap,
+    /// A fresh TFHE LWE ciphertext.
+    TfheInput,
+    /// Programmable bootstrap.
+    Pbs,
+    /// Bootstrapped binary gate.
+    Gate,
+    /// CKKS -> TFHE conversion (Algorithm 3): extracts `nslot` LWEs;
+    /// the output value stands for the extracted batch.
+    CkksToTfhe {
+        /// Number of extracted slots.
+        nslot: usize,
+    },
+    /// TFHE -> CKKS conversion (Algorithms 4-5): repacks `nslot` LWEs.
+    TfheToCkks {
+        /// Number of packed slots.
+        nslot: usize,
+    },
+}
+
+impl FheOpKind {
+    /// Scheme of the operation's *output* value.
+    pub fn output_scheme(&self) -> Scheme {
+        match self {
+            FheOpKind::CkksInput { .. }
+            | FheOpKind::HAdd
+            | FheOpKind::HMult
+            | FheOpKind::PMult
+            | FheOpKind::HRotate
+            | FheOpKind::Rescale
+            | FheOpKind::CkksBootstrap
+            | FheOpKind::TfheToCkks { .. } => Scheme::Ckks,
+            FheOpKind::TfheInput
+            | FheOpKind::Pbs
+            | FheOpKind::Gate
+            | FheOpKind::CkksToTfhe { .. } => Scheme::Tfhe,
+        }
+    }
+
+    /// Scheme required of the operation's inputs.
+    pub fn input_scheme(&self) -> Option<Scheme> {
+        match self {
+            FheOpKind::CkksInput { .. } | FheOpKind::TfheInput => None,
+            FheOpKind::HAdd
+            | FheOpKind::HMult
+            | FheOpKind::PMult
+            | FheOpKind::HRotate
+            | FheOpKind::Rescale
+            | FheOpKind::CkksBootstrap
+            | FheOpKind::CkksToTfhe { .. } => Some(Scheme::Ckks),
+            FheOpKind::Pbs | FheOpKind::Gate | FheOpKind::TfheToCkks { .. } => {
+                Some(Scheme::Tfhe)
+            }
+        }
+    }
+}
+
+/// One operation instance.
+#[derive(Debug, Clone)]
+pub struct FheOp {
+    /// What to compute.
+    pub kind: FheOpKind,
+    /// Input values.
+    pub inputs: Vec<ValueId>,
+    /// Output value.
+    pub output: ValueId,
+}
+
+/// An SSA-style FHE program.
+#[derive(Debug, Clone, Default)]
+pub struct FheProgram {
+    ops: Vec<FheOp>,
+    schemes: Vec<Scheme>,
+}
+
+impl FheProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All operations in program order.
+    pub fn ops(&self) -> &[FheOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of virtual values.
+    pub fn value_count(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Scheme of a value.
+    pub fn scheme(&self, v: ValueId) -> Scheme {
+        self.schemes[v]
+    }
+
+    /// Appends an operation, validating input schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input value does not exist or belongs to the wrong
+    /// scheme.
+    pub fn push(&mut self, kind: FheOpKind, inputs: &[ValueId]) -> ValueId {
+        if let Some(want) = kind.input_scheme() {
+            for &v in inputs {
+                assert!(
+                    v < self.schemes.len(),
+                    "input value {v} does not exist"
+                );
+                assert_eq!(
+                    self.schemes[v], want,
+                    "op {kind:?} expects {want:?} inputs, value {v} is {:?}",
+                    self.schemes[v]
+                );
+            }
+        }
+        let output = self.schemes.len();
+        self.schemes.push(kind.output_scheme());
+        self.ops.push(FheOp {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        output
+    }
+
+    /// Fresh CKKS input at `level`.
+    pub fn ckks_input(&mut self, level: usize) -> ValueId {
+        self.push(FheOpKind::CkksInput { level }, &[])
+    }
+
+    /// Fresh TFHE input.
+    pub fn tfhe_input(&mut self) -> ValueId {
+        self.push(FheOpKind::TfheInput, &[])
+    }
+
+    /// `a + b`.
+    pub fn hadd(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.push(FheOpKind::HAdd, &[a, b])
+    }
+
+    /// `a * b` followed by an explicit [`Self::rescale`].
+    pub fn hmult(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.push(FheOpKind::HMult, &[a, b])
+    }
+
+    /// `a * plaintext`.
+    pub fn pmult(&mut self, a: ValueId) -> ValueId {
+        self.push(FheOpKind::PMult, &[a])
+    }
+
+    /// Homomorphic rotation.
+    pub fn hrotate(&mut self, a: ValueId) -> ValueId {
+        self.push(FheOpKind::HRotate, &[a])
+    }
+
+    /// Rescale (consumes a level).
+    pub fn rescale(&mut self, a: ValueId) -> ValueId {
+        self.push(FheOpKind::Rescale, &[a])
+    }
+
+    /// Programmable bootstrap.
+    pub fn pbs(&mut self, a: ValueId) -> ValueId {
+        self.push(FheOpKind::Pbs, &[a])
+    }
+
+    /// Bootstrapped binary gate.
+    pub fn gate(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.push(FheOpKind::Gate, &[a, b])
+    }
+
+    /// Scheme conversion CKKS -> TFHE.
+    pub fn ckks_to_tfhe(&mut self, a: ValueId, nslot: usize) -> ValueId {
+        self.push(FheOpKind::CkksToTfhe { nslot }, &[a])
+    }
+
+    /// Scheme conversion TFHE -> CKKS.
+    pub fn tfhe_to_ckks(&mut self, a: ValueId, nslot: usize) -> ValueId {
+        self.push(FheOpKind::TfheToCkks { nslot }, &[a])
+    }
+
+    /// Concatenates another program (the paper's §IV-K multi-application
+    /// scenario: Trinity schedules kernels "without distinguishing which
+    /// FHE scheme the kernel comes from", so independent applications
+    /// co-run on one machine). Value ids of `other` are offset.
+    pub fn merge(&mut self, other: &FheProgram) {
+        let offset = self.schemes.len();
+        self.schemes.extend(other.schemes.iter().copied());
+        for op in &other.ops {
+            self.ops.push(FheOp {
+                kind: op.kind,
+                inputs: op.inputs.iter().map(|&v| v + offset).collect(),
+                output: op.output + offset,
+            });
+        }
+    }
+}
+
+/// Level-analysis outcome for one program.
+#[derive(Debug, Clone)]
+pub struct LevelAnalysis {
+    /// Level of each CKKS value (absent for TFHE values).
+    pub levels: HashMap<ValueId, usize>,
+}
+
+/// Error from level analysis: some chain exhausts the modulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelUnderflowError {
+    /// Index of the offending op.
+    pub op_index: usize,
+    /// The input value that ran out of levels.
+    pub value: ValueId,
+}
+
+impl std::fmt::Display for LevelUnderflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "op {} exhausts the modulus of value {} (insert a bootstrap)",
+            self.op_index, self.value
+        )
+    }
+}
+
+impl std::error::Error for LevelUnderflowError {}
+
+/// Parameters of the bootstrap-insertion pass.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapPolicy {
+    /// Rescales refuse to go below this level.
+    pub min_level: usize,
+    /// Level a bootstrap restores to (`L` minus the bootstrap's own
+    /// consumption — 14 levels in the packed pipeline the workload
+    /// model uses).
+    pub restored_level: usize,
+}
+
+impl FheProgram {
+    /// Computes the level of every CKKS value.
+    ///
+    /// `HMult`/`PMult`/`HAdd` align operands to the minimum input level
+    /// (the mod-down the functional layer performs); `Rescale` drops one
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelUnderflowError`] if a rescale would drop below
+    /// `min_level`, identifying the op to fix.
+    pub fn analyze_levels(
+        &self,
+        min_level: usize,
+        restored_level: usize,
+    ) -> Result<LevelAnalysis, LevelUnderflowError> {
+        let mut levels: HashMap<ValueId, usize> = HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let min_in = op
+                .inputs
+                .iter()
+                .filter_map(|v| levels.get(v).copied())
+                .min();
+            let out_level = match op.kind {
+                FheOpKind::CkksInput { level } => Some(level),
+                FheOpKind::HAdd
+                | FheOpKind::HMult
+                | FheOpKind::PMult
+                | FheOpKind::HRotate => Some(min_in.expect("ckks op has ckks input")),
+                FheOpKind::Rescale => {
+                    let l = min_in.expect("rescale input has a level");
+                    if l <= min_level {
+                        return Err(LevelUnderflowError {
+                            op_index: i,
+                            value: op.inputs[0],
+                        });
+                    }
+                    Some(l - 1)
+                }
+                FheOpKind::CkksBootstrap => Some(restored_level),
+                FheOpKind::TfheToCkks { .. } => Some(restored_level),
+                FheOpKind::TfheInput
+                | FheOpKind::Pbs
+                | FheOpKind::Gate
+                | FheOpKind::CkksToTfhe { .. } => None,
+            };
+            if let Some(l) = out_level {
+                levels.insert(op.output, l);
+            }
+        }
+        Ok(LevelAnalysis { levels })
+    }
+
+    /// The Fig. 8 "Insert Bootstrap" pass: repeatedly runs level
+    /// analysis and inserts a [`FheOpKind::CkksBootstrap`] in front of
+    /// the first offending rescale until the program is level-sound.
+    /// Returns the number of bootstraps inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.restored_level <= policy.min_level` (no
+    /// progress would be possible).
+    pub fn insert_bootstraps(&mut self, policy: BootstrapPolicy) -> usize {
+        assert!(
+            policy.restored_level > policy.min_level,
+            "bootstrap must restore above min_level"
+        );
+        let mut inserted = 0;
+        loop {
+            match self.analyze_levels(policy.min_level, policy.restored_level) {
+                Ok(_) => return inserted,
+                Err(e) => {
+                    // Insert: boot = Bootstrap(value); rewire the
+                    // offending op (and all later uses) to boot.
+                    let boot_out = self.schemes.len();
+                    self.schemes.push(Scheme::Ckks);
+                    let target = e.value;
+                    self.ops.insert(
+                        e.op_index,
+                        FheOp {
+                            kind: FheOpKind::CkksBootstrap,
+                            inputs: vec![target],
+                            output: boot_out,
+                        },
+                    );
+                    for op in self.ops.iter_mut().skip(e.op_index + 1) {
+                        for v in op.inputs.iter_mut() {
+                            if *v == target {
+                                *v = boot_out;
+                            }
+                        }
+                    }
+                    inserted += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssa_construction_and_schemes() {
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(10);
+        let b = p.ckks_input(10);
+        let m = p.hmult(a, b);
+        let r = p.rescale(m);
+        assert_eq!(p.scheme(r), Scheme::Ckks);
+        let t = p.ckks_to_tfhe(r, 8);
+        assert_eq!(p.scheme(t), Scheme::Tfhe);
+        let g = p.pbs(t);
+        let back = p.tfhe_to_ckks(g, 8);
+        assert_eq!(p.scheme(back), Scheme::Ckks);
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects Ckks")]
+    fn scheme_mismatch_rejected() {
+        let mut p = FheProgram::new();
+        let t = p.tfhe_input();
+        let _ = p.hmult(t, t);
+    }
+
+    #[test]
+    fn level_analysis_tracks_rescales() {
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(5);
+        let mut cur = a;
+        for _ in 0..3 {
+            let m = p.hmult(cur, cur);
+            cur = p.rescale(m);
+        }
+        let la = p.analyze_levels(0, 5).expect("no underflow");
+        assert_eq!(la.levels[&cur], 2);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(1);
+        let m1 = p.hmult(a, a);
+        let r1 = p.rescale(m1);
+        let m2 = p.hmult(r1, r1);
+        let _ = p.rescale(m2);
+        let err = p.analyze_levels(0, 5).unwrap_err();
+        assert_eq!(err.value, m2);
+    }
+
+    #[test]
+    fn hadd_aligns_to_minimum_level() {
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(7);
+        let b = p.ckks_input(3);
+        let s = p.hadd(a, b);
+        let la = p.analyze_levels(0, 7).expect("valid");
+        assert_eq!(la.levels[&s], 3);
+    }
+
+    #[test]
+    fn bootstrap_insertion_fixes_deep_chain() {
+        // 10 mult+rescale pairs starting from level 4: needs refreshes.
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(4);
+        let mut cur = a;
+        for _ in 0..10 {
+            let m = p.hmult(cur, cur);
+            cur = p.rescale(m);
+        }
+        let inserted = p.insert_bootstraps(BootstrapPolicy {
+            min_level: 1,
+            restored_level: 6,
+        });
+        assert!(inserted >= 1, "deep chain must insert bootstraps");
+        // Now level-sound.
+        let la = p.analyze_levels(1, 6).expect("sound after insertion");
+        assert!(!la.levels.is_empty());
+        // Bootstraps actually appear in the op stream.
+        let boots = p
+            .ops()
+            .iter()
+            .filter(|o| o.kind == FheOpKind::CkksBootstrap)
+            .count();
+        assert_eq!(boots, inserted);
+    }
+
+    #[test]
+    fn shallow_chain_needs_no_bootstrap() {
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(10);
+        let m = p.hmult(a, a);
+        let _ = p.rescale(m);
+        let inserted = p.insert_bootstraps(BootstrapPolicy {
+            min_level: 1,
+            restored_level: 8,
+        });
+        assert_eq!(inserted, 0);
+    }
+
+    #[test]
+    fn merge_offsets_values() {
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(5);
+        let _ = p.pmult(a);
+        let mut q = FheProgram::new();
+        let b = q.tfhe_input();
+        let _ = q.pbs(b);
+        p.merge(&q);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.value_count(), 4);
+        // Merged op inputs were offset into fresh values.
+        assert_eq!(p.ops()[2].output, 2);
+        assert_eq!(p.ops()[3].inputs, vec![2]);
+        assert_eq!(p.scheme(2), Scheme::Tfhe);
+    }
+}

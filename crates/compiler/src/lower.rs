@@ -1,0 +1,321 @@
+//! Lowering: FHE-operation programs to scheduled kernel flows.
+//!
+//! The back half of the paper's Fig. 8: after bootstrap insertion, the
+//! program is expanded into the kernel DAG ("Generate execution flow
+//! with Bootstrap") that the event-driven scheduler then places onto
+//! the accelerator "without distinguishing which FHE scheme the kernel
+//! comes from" (§IV-K). Hazards are eliminated structurally: every
+//! kernel's dependencies are the producing ops' sink kernels, so the
+//! scheduler can never reorder across a data hazard.
+
+use trinity_core::kernel::{KernelGraph, KernelId, KernelKind};
+use trinity_core::mapping::Machine;
+use trinity_core::sched::{simulate, SimResult};
+use trinity_workloads::ckks_ops::{self, CkksShape, KeySwitchOpts};
+use trinity_workloads::conversion;
+use trinity_workloads::tfhe_ops::{self, TfheShape};
+
+use crate::ir::{BootstrapPolicy, FheOpKind, FheProgram};
+
+/// Target configuration for compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerConfig {
+    /// CKKS shape (ring, levels, dnum).
+    pub ckks: CkksShape,
+    /// TFHE shape (paper Set I-III).
+    pub tfhe: TfheShape,
+    /// Keyswitch emission options.
+    pub ks_opts: KeySwitchOpts,
+    /// Bootstrap-insertion policy.
+    pub policy: BootstrapPolicy,
+}
+
+impl CompilerConfig {
+    /// Paper defaults: CKKS `N = 2^16, L = 35`, TFHE Set-I, bootstraps
+    /// restore to `L - 14` and chains never drop below level 1.
+    pub fn paper_default() -> Self {
+        let ckks = CkksShape::paper_default();
+        Self {
+            ckks,
+            tfhe: TfheShape::set_i(),
+            ks_opts: KeySwitchOpts::default(),
+            policy: BootstrapPolicy {
+                min_level: 1,
+                restored_level: ckks.levels - 14,
+            },
+        }
+    }
+}
+
+/// A compiled program: the kernel flow plus compilation statistics.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// The lowered kernel DAG.
+    pub graph: KernelGraph,
+    /// Bootstraps inserted by the level pass.
+    pub inserted_bootstraps: usize,
+    /// FHE-operation count after insertion.
+    pub op_count: usize,
+}
+
+impl CompiledProgram {
+    /// Schedules the flow on a machine.
+    pub fn simulate(&self, machine: &Machine) -> SimResult {
+        simulate(machine, &self.graph)
+    }
+}
+
+/// Compiles a program: bootstrap insertion, level analysis, lowering.
+///
+/// # Panics
+///
+/// Panics if the program references values inconsistently (callers
+/// construct programs through the typed [`FheProgram`] API, which
+/// prevents this).
+pub fn compile(mut program: FheProgram, config: &CompilerConfig) -> CompiledProgram {
+    let inserted = program.insert_bootstraps(config.policy);
+    let levels = program
+        .analyze_levels(config.policy.min_level, config.policy.restored_level)
+        .expect("level-sound after insertion");
+
+    let mut graph = KernelGraph::new();
+    // Sink kernels per value: downstream ops depend on these.
+    let mut sinks: Vec<Vec<KernelId>> = vec![Vec::new(); program.value_count()];
+
+    for op in program.ops() {
+        let deps: Vec<KernelId> = op
+            .inputs
+            .iter()
+            .flat_map(|&v| sinks[v].iter().copied())
+            .collect();
+        let in_level = op
+            .inputs
+            .iter()
+            .filter_map(|v| levels.levels.get(v).copied())
+            .min();
+        let out = match op.kind {
+            FheOpKind::CkksInput { .. } | FheOpKind::TfheInput => {
+                // Fresh inputs arrive over HBM.
+                let bytes = match op.kind {
+                    FheOpKind::CkksInput { level } => {
+                        (2 * (level + 1) * config.ckks.n) as u64
+                            * config.ckks.word_bytes as u64
+                    }
+                    _ => (config.tfhe.n_lwe as u64 + 1) * config.tfhe.word_bytes as u64,
+                };
+                vec![graph.add(KernelKind::HbmLoad { bytes }, &[])]
+            }
+            FheOpKind::HAdd => {
+                ckks_ops::hadd(&mut graph, &config.ckks, in_level.expect("ckks"), &deps)
+            }
+            FheOpKind::HMult => ckks_ops::hmult(
+                &mut graph,
+                &config.ckks,
+                in_level.expect("ckks"),
+                &deps,
+                config.ks_opts,
+            ),
+            FheOpKind::PMult => {
+                ckks_ops::pmult(&mut graph, &config.ckks, in_level.expect("ckks"), &deps)
+            }
+            FheOpKind::HRotate => ckks_ops::hrotate(
+                &mut graph,
+                &config.ckks,
+                in_level.expect("ckks"),
+                &deps,
+                config.ks_opts,
+            ),
+            FheOpKind::Rescale => {
+                ckks_ops::rescale(&mut graph, &config.ckks, in_level.expect("ckks"), &deps)
+            }
+            FheOpKind::CkksBootstrap => {
+                let boot = trinity_workloads::apps::bootstrap(&config.ckks);
+                let boot_sinks = boot.sinks();
+                let offset = graph.append(&boot, &deps);
+                boot_sinks.into_iter().map(|s| s + offset).collect()
+            }
+            FheOpKind::Pbs => tfhe_ops::pbs(&mut graph, &config.tfhe, &deps, true),
+            FheOpKind::Gate => tfhe_ops::gate(&mut graph, &config.tfhe, &deps),
+            FheOpKind::CkksToTfhe { nslot } => {
+                // Algorithm 3: nslot SampleExtracts off the RLWE.
+                (0..nslot)
+                    .map(|_| {
+                        graph.add(KernelKind::SampleExtract { n: config.ckks.n }, &deps)
+                    })
+                    .collect()
+            }
+            FheOpKind::TfheToCkks { nslot } => {
+                let mut sub = KernelGraph::new();
+                let repack_sinks = conversion::repack(&mut sub, &config.ckks, nslot);
+                let offset = graph.append(&sub, &deps);
+                repack_sinks.into_iter().map(|s| s + offset).collect()
+            }
+        };
+        sinks[op.output] = out;
+    }
+
+    CompiledProgram {
+        graph,
+        inserted_bootstraps: inserted,
+        op_count: program.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FheProgram;
+    use trinity_core::arch::AcceleratorConfig;
+    use trinity_core::kernel::KernelClass;
+    use trinity_core::mapping::{build_machine, MappingPolicy};
+
+    fn small_config() -> CompilerConfig {
+        let mut c = CompilerConfig::paper_default();
+        // Smaller CKKS so test graphs stay compact.
+        c.ckks = CkksShape {
+            n: 1 << 14,
+            levels: 15,
+            dnum: 3,
+            word_bytes: 4.5,
+        };
+        c.policy = BootstrapPolicy {
+            min_level: 1,
+            restored_level: 10,
+        };
+        c
+    }
+
+    fn trinity_machine() -> Machine {
+        build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid)
+    }
+
+    #[test]
+    fn single_hmult_matches_manual_builder() {
+        let cfg = small_config();
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(10);
+        let b = p.ckks_input(10);
+        let _ = p.hmult(a, b);
+        let compiled = compile(p, &cfg);
+
+        // Manual: two HBM loads + the hmult builder at level 10.
+        let mut manual = KernelGraph::new();
+        manual.add(KernelKind::HbmLoad { bytes: 1 }, &[]);
+        manual.add(KernelKind::HbmLoad { bytes: 1 }, &[]);
+        ckks_ops::hmult(&mut manual, &cfg.ckks, 10, &[], cfg.ks_opts);
+        assert_eq!(compiled.graph.len(), manual.len());
+        assert_eq!(compiled.inserted_bootstraps, 0);
+    }
+
+    #[test]
+    fn deep_chain_gets_bootstraps_and_runs() {
+        let cfg = small_config();
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(10);
+        let mut cur = a;
+        for _ in 0..12 {
+            let m = p.hmult(cur, cur);
+            cur = p.rescale(m);
+        }
+        let compiled = compile(p, &cfg);
+        assert!(compiled.inserted_bootstraps >= 1);
+        let r = compiled.simulate(&trinity_machine());
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn hybrid_program_lowers_all_schemes() {
+        let cfg = small_config();
+        let mut p = FheProgram::new();
+        // The HE3DB pattern: TFHE filter, convert, CKKS aggregate.
+        let x = p.tfhe_input();
+        let y = p.tfhe_input();
+        let flag = p.gate(x, y);
+        let packed = p.tfhe_to_ckks(flag, 8);
+        let w = p.ckks_input(cfg.ckks.levels);
+        let prod = p.hmult(packed, w);
+        let _ = p.rescale(prod);
+        let compiled = compile(p, &cfg);
+
+        let classes: std::collections::HashSet<KernelClass> = compiled
+            .graph
+            .kernels()
+            .iter()
+            .map(|k| k.kind.class())
+            .collect();
+        // All the multi-modal machinery is exercised.
+        for want in [
+            KernelClass::Ntt,
+            KernelClass::Mac,
+            KernelClass::Ewe,
+            KernelClass::Rotator,
+            KernelClass::Vpu,
+            KernelClass::Auto,
+        ] {
+            assert!(classes.contains(&want), "missing {want:?} kernels");
+        }
+        let r = compiled.simulate(&trinity_machine());
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn conversion_extract_emits_nslot_kernels() {
+        let cfg = small_config();
+        let mut p = FheProgram::new();
+        let a = p.ckks_input(5);
+        let _ = p.ckks_to_tfhe(a, 32);
+        let compiled = compile(p, &cfg);
+        let extracts = compiled
+            .graph
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::SampleExtract { .. }))
+            .count();
+        assert_eq!(extracts, 32);
+    }
+
+    #[test]
+    fn co_scheduling_two_apps_beats_serial() {
+        // Paper §IV-K: simultaneous execution of multiple FHE
+        // applications on one machine. A serial PBS chain leaves CKKS
+        // units idle; co-running a CKKS app overlaps.
+        let cfg = small_config();
+        let machine = trinity_machine();
+
+        let mut tfhe_app = FheProgram::new();
+        let mut cur = tfhe_app.tfhe_input();
+        for _ in 0..4 {
+            cur = tfhe_app.pbs(cur);
+        }
+
+        let mut ckks_app = FheProgram::new();
+        let a = ckks_app.ckks_input(10);
+        let b = ckks_app.ckks_input(10);
+        let mut acc = ckks_app.hmult(a, b);
+        for _ in 0..3 {
+            acc = ckks_app.rescale(acc);
+            let r = ckks_app.hrotate(acc);
+            acc = ckks_app.hmult(acc, r);
+        }
+
+        let t_tfhe = compile(tfhe_app.clone(), &cfg)
+            .simulate(&machine)
+            .total_cycles;
+        let t_ckks = compile(ckks_app.clone(), &cfg)
+            .simulate(&machine)
+            .total_cycles;
+
+        let mut merged = tfhe_app;
+        merged.merge(&ckks_app);
+        let t_merged = compile(merged, &cfg).simulate(&machine).total_cycles;
+
+        assert!(
+            t_merged < t_tfhe + t_ckks,
+            "co-scheduling ({t_merged}) must beat serial ({} + {})",
+            t_tfhe,
+            t_ckks
+        );
+        // And it cannot be faster than the slower app alone.
+        assert!(t_merged >= t_tfhe.max(t_ckks));
+    }
+}

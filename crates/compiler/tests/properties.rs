@@ -1,0 +1,162 @@
+//! Property-based tests for the compiler pipeline.
+//!
+//! Random FHE programs probe the two guarantees the Fig. 8 flow must
+//! give: bootstrap insertion always yields a level-sound program, and
+//! lowering always yields an acyclic kernel flow every Trinity machine
+//! can schedule.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trinity_compiler::{compile, BootstrapPolicy, CompilerConfig, FheProgram, Scheme};
+use trinity_core::arch::AcceleratorConfig;
+use trinity_core::mapping::{build_machine, MappingPolicy};
+use trinity_workloads::ckks_ops::{CkksShape, KeySwitchOpts};
+use trinity_workloads::tfhe_ops::TfheShape;
+
+/// Builds a random well-typed program with both schemes and
+/// conversions.
+fn random_program(seed: u64, ops: usize) -> FheProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = FheProgram::new();
+    let mut ckks_vals = vec![p.ckks_input(12)];
+    let mut tfhe_vals = vec![p.tfhe_input()];
+    for _ in 0..ops {
+        match rng.gen_range(0..10) {
+            0 => ckks_vals.push(p.ckks_input(rng.gen_range(4..12))),
+            1 => {
+                let a = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                let b = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                ckks_vals.push(p.hadd(a, b));
+            }
+            2 | 3 => {
+                let a = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                let b = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                let m = p.hmult(a, b);
+                ckks_vals.push(p.rescale(m));
+            }
+            4 => {
+                let a = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                ckks_vals.push(p.hrotate(a));
+            }
+            5 => {
+                let a = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                ckks_vals.push(p.pmult(a));
+            }
+            6 | 7 => {
+                let a = tfhe_vals[rng.gen_range(0..tfhe_vals.len())];
+                tfhe_vals.push(p.pbs(a));
+            }
+            8 => {
+                let a = ckks_vals[rng.gen_range(0..ckks_vals.len())];
+                tfhe_vals.push(p.ckks_to_tfhe(a, 8));
+            }
+            _ => {
+                let a = tfhe_vals[rng.gen_range(0..tfhe_vals.len())];
+                ckks_vals.push(p.tfhe_to_ckks(a, 8));
+            }
+        }
+    }
+    p
+}
+
+fn small_config() -> CompilerConfig {
+    CompilerConfig {
+        ckks: CkksShape {
+            n: 1 << 13,
+            levels: 12,
+            dnum: 3,
+            word_bytes: 4.5,
+        },
+        tfhe: TfheShape::set_i(),
+        ks_opts: KeySwitchOpts::default(),
+        policy: BootstrapPolicy {
+            min_level: 1,
+            restored_level: 8,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bootstrap insertion terminates and leaves the program
+    /// level-sound for any random program.
+    #[test]
+    fn insertion_always_reaches_soundness(seed in any::<u64>(), ops in 1usize..40) {
+        let mut p = random_program(seed, ops);
+        let policy = BootstrapPolicy { min_level: 1, restored_level: 8 };
+        let inserted = p.insert_bootstraps(policy);
+        prop_assert!(p.analyze_levels(1, 8).is_ok());
+        // Insertion count is bounded by the rescale count (each rescale
+        // can force at most one bootstrap).
+        let rescales = p
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, trinity_compiler::FheOpKind::Rescale))
+            .count();
+        prop_assert!(inserted <= rescales);
+    }
+
+    /// Lowered graphs are acyclic (dependencies reference earlier
+    /// kernels only) and non-trivial for non-trivial programs.
+    #[test]
+    fn lowering_preserves_acyclicity(seed in any::<u64>(), ops in 1usize..25) {
+        let p = random_program(seed, ops);
+        let compiled = compile(p, &small_config());
+        for k in compiled.graph.kernels() {
+            for &d in &k.deps {
+                prop_assert!(d < k.id, "kernel {} depends forward on {d}", k.id);
+            }
+        }
+        prop_assert!(compiled.graph.len() > 0);
+    }
+
+    /// Every compiled program schedules on the hybrid machine, and the
+    /// makespan is positive.
+    #[test]
+    fn compiled_programs_schedule(seed in any::<u64>(), ops in 1usize..15) {
+        let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
+        let p = random_program(seed, ops);
+        let compiled = compile(p, &small_config());
+        let r = compiled.simulate(&machine);
+        prop_assert!(r.total_cycles > 0);
+        prop_assert!(r.kernel_count == compiled.graph.len());
+    }
+
+    /// Merging programs adds op and value counts exactly and preserves
+    /// schemes.
+    #[test]
+    fn merge_is_disjoint_union(sa in any::<u64>(), sb in any::<u64>(), na in 1usize..15, nb in 1usize..15) {
+        let a = random_program(sa, na);
+        let b = random_program(sb, nb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        prop_assert_eq!(merged.value_count(), a.value_count() + b.value_count());
+        for v in 0..a.value_count() {
+            prop_assert_eq!(merged.scheme(v), a.scheme(v));
+        }
+        for v in 0..b.value_count() {
+            prop_assert_eq!(merged.scheme(a.value_count() + v), b.scheme(v));
+        }
+        let _ = Scheme::Ckks;
+    }
+
+    /// Co-scheduling two random programs is never slower than running
+    /// them serially.
+    #[test]
+    fn coscheduling_never_slower_than_serial(sa in any::<u64>(), sb in any::<u64>()) {
+        let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
+        let cfg = small_config();
+        let a = random_program(sa, 8);
+        let b = random_program(sb, 8);
+        let ta = compile(a.clone(), &cfg).simulate(&machine).total_cycles;
+        let tb = compile(b.clone(), &cfg).simulate(&machine).total_cycles;
+        let mut merged = a;
+        merged.merge(&b);
+        let tm = compile(merged, &cfg).simulate(&machine).total_cycles;
+        prop_assert!(tm <= ta + tb, "merged {tm} vs serial {}", ta + tb);
+        prop_assert!(tm >= ta.max(tb), "merged {tm} below max({ta}, {tb})");
+    }
+}

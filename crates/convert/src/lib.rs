@@ -1,0 +1,24 @@
+//! # fhe-convert — scheme conversion between CKKS and TFHE
+//!
+//! The paper's Algorithms 3–5 (after Chen–Dai–Kim–Song \[10\]):
+//!
+//! * **CKKS → TFHE** ([`extract`]): `SampleExtract` turns one RLWE
+//!   ciphertext into per-coefficient LWE ciphertexts; an LWE modulus
+//!   switch moves them onto the TFHE prime.
+//! * **TFHE → CKKS** ([`pack`]): ring embedding, the recursive
+//!   `PackLWEs` merge (monomial `Rotate` + keyswitched `HRotate`), and
+//!   the field trace — producing an RLWE ciphertext ready for CKKS
+//!   arithmetic.
+//!
+//! Both directions share the CKKS secret key's coefficient vector as
+//! the LWE key, matching the paper's single-accelerator premise: the
+//! conversion reuses CKKS and TFHE kernels (`SampleExtract` on the
+//! Rotator, `HRotate` on AutoU + NTTU + CU + EWE, §IV-G).
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod pack;
+
+pub use extract::{extract_lwes, extracted_key, lwe_mod_switch, sample_extract};
+pub use pack::RlwePacker;

@@ -1,0 +1,109 @@
+//! Property-based tests: scheme-conversion invariants.
+
+use std::sync::{Arc, OnceLock};
+
+use fhe_ckks::{CkksContext, CkksParams, Decryptor, Encryptor, KeyGenerator, SecretKey};
+use fhe_convert::{extract_lwes, extracted_key, RlwePacker};
+use fhe_math::{Representation, RnsPoly};
+use fhe_tfhe::{LweCiphertext, LweSecretKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    ctx: Arc<CkksContext>,
+    sk: SecretKey,
+    lwe_key: LweSecretKey,
+    packer: RlwePacker,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(601);
+        let sk = KeyGenerator::new(ctx.clone()).secret_key(&mut rng);
+        let lwe_key = extracted_key(&sk);
+        let packer = RlwePacker::new(ctx.clone(), &sk, 1, &mut rng);
+        Fixture {
+            ctx,
+            sk,
+            lwe_key,
+            packer,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Extraction is exact for every requested coefficient index set.
+    #[test]
+    fn extraction_matches_coefficients(
+        msgs in proptest::collection::vec(-7i64..8, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = f.ctx.n();
+        let q0 = f.ctx.level_basis(0).modulus(0);
+        let delta = (q0.value() / (64 * n as u64)) as i64;
+        let mut coeffs = vec![0i64; n];
+        for (j, &m) in msgs.iter().enumerate() {
+            coeffs[j] = m * delta;
+        }
+        let mut poly = RnsPoly::from_signed_coeffs(f.ctx.level_basis(0).clone(), &coeffs);
+        poly.to_eval();
+        let pt = fhe_ckks::Plaintext { poly, scale: delta as f64, level: 0 };
+        let encryptor = Encryptor::new(f.ctx.clone());
+        let ct = encryptor.encrypt_sk(&pt, &f.sk, &mut rng);
+        let lwes = extract_lwes(&f.ctx, &ct, msgs.len());
+        for (j, lwe) in lwes.iter().enumerate() {
+            let got = (q0.to_centered(lwe.phase(q0, &f.lwe_key)) as f64 / delta as f64).round() as i64;
+            prop_assert_eq!(got, msgs[j], "coefficient {}", j);
+        }
+    }
+
+    /// Pack-then-decrypt recovers every message at its strided position
+    /// for random message vectors and batch sizes.
+    #[test]
+    fn packing_recovers_messages(
+        log_nslot in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nslot = 1usize << log_nslot;
+        let n = f.ctx.n();
+        let q0 = f.ctx.level_basis(0).modulus(0);
+        let delta = q0.value() / (64 * n as u64);
+        use rand::Rng;
+        let msgs: Vec<i64> = (0..nslot).map(|_| rng.gen_range(-8i64..8)).collect();
+        let lwes: Vec<LweCiphertext> = msgs
+            .iter()
+            .map(|&m| {
+                let enc = if m >= 0 {
+                    q0.mul(q0.reduce(m as u64), q0.reduce(delta))
+                } else {
+                    q0.neg(q0.mul(q0.reduce((-m) as u64), q0.reduce(delta)))
+                };
+                LweCiphertext::encrypt(q0, &f.lwe_key, enc, 1e-8, &mut rng)
+            })
+            .collect();
+        let packed = f.packer.convert(&lwes, delta as f64);
+        let dec = Decryptor::new(f.ctx.clone());
+        let vals = dec.decrypt_poly(&packed, &f.sk).to_centered_f64();
+        let stride = n / nslot;
+        for (j, &m) in msgs.iter().enumerate() {
+            let got = vals[j * stride] / packed.scale;
+            prop_assert!((got - m as f64).abs() < 0.02, "msg {}: {} vs {}", j, got, m);
+        }
+        // All other coefficients annihilated.
+        for (i, &v) in vals.iter().enumerate() {
+            if i % stride != 0 {
+                prop_assert!((v / packed.scale).abs() < 0.02, "junk at {}", i);
+            }
+        }
+        let _ = Representation::Coeff;
+    }
+}

@@ -1,0 +1,339 @@
+//! Accelerator configurations: Trinity (§IV, Table III) and the
+//! baselines it is compared against (Table V).
+//!
+//! A configuration lists the functional components of one cluster plus
+//! chip-level resources (cluster count, frequency, HBM bandwidth,
+//! scratchpad capacity). Mapping policies (how CUs split between NTT
+//! and MAC duty) live in [`crate::mapping`].
+
+use crate::ntt_engine::NttEngineModel;
+
+/// A functional component type inside a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentKind {
+    /// Fixed 8-stage NTT unit, 256 elements/cycle (Trinity Group 0).
+    Nttu,
+    /// Transpose unit for four-step NTT.
+    Tp,
+    /// Configurable unit with `cols` columns of 128 PEs (Trinity Group 1).
+    Cu {
+        /// PE columns.
+        cols: usize,
+    },
+    /// Automorphism unit.
+    AutoU,
+    /// Element-wise engine, 512 lanes.
+    Ewe,
+    /// Vector rotate / sample-extract unit.
+    Rotator,
+    /// Vector processing unit (ModSwitch, LWE keyswitch, decompose).
+    Vpu,
+    /// Base-conversion systolic unit (SHARP/ARK style), `lanes` MACs/cycle.
+    BConvU {
+        /// MAC lanes.
+        lanes: usize,
+    },
+    /// FFT/IFFT unit of an FFT-based TFHE accelerator, `lanes`
+    /// elements/cycle (Morphling/Strix style).
+    Fftu {
+        /// Elements per cycle.
+        lanes: usize,
+    },
+    /// Vector MAC engine of a TFHE accelerator (Morphling VPE).
+    VectorMac {
+        /// MAC lanes.
+        lanes: usize,
+    },
+    /// Fixed systolic array (the Trinity-TFHE-w/o-CU ablation), `depth`
+    /// rows deep.
+    SystolicArray {
+        /// Array depth.
+        depth: usize,
+    },
+}
+
+impl ComponentKind {
+    /// Short display name used in utilization reports.
+    pub fn label(&self) -> String {
+        match self {
+            ComponentKind::Nttu => "NTTU".into(),
+            ComponentKind::Tp => "TP".into(),
+            ComponentKind::Cu { cols } => format!("CU-{cols}"),
+            ComponentKind::AutoU => "AutoU".into(),
+            ComponentKind::Ewe => "EWE".into(),
+            ComponentKind::Rotator => "Rotator".into(),
+            ComponentKind::Vpu => "VPU".into(),
+            ComponentKind::BConvU { .. } => "BConvU".into(),
+            ComponentKind::Fftu { .. } => "FFTU".into(),
+            ComponentKind::VectorMac { .. } => "VMAC".into(),
+            ComponentKind::SystolicArray { .. } => "SA".into(),
+        }
+    }
+}
+
+/// A component type with its per-cluster multiplicity.
+#[derive(Debug, Clone)]
+pub struct ComponentSpec {
+    /// The component.
+    pub kind: ComponentKind,
+    /// Instances per cluster.
+    pub count: usize,
+}
+
+/// A full accelerator configuration.
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfig {
+    /// Display name.
+    pub name: String,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Components per cluster.
+    pub components: Vec<ComponentSpec>,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Off-chip bandwidth in GB/s.
+    pub hbm_gbps: f64,
+    /// Inter-cluster NoC bandwidth in GB/s (all-to-all, §IV-I layout
+    /// switches ride on it).
+    pub noc_gbps: f64,
+    /// On-chip scratchpad capacity in MiB (key residency check).
+    pub scratchpad_mib: f64,
+    /// Word size in bytes (36-bit => 4.5).
+    pub word_bytes: f64,
+    /// NTT engine model for this design's NTT pipelines.
+    pub ntt_model: NttEngineModel,
+}
+
+impl AcceleratorConfig {
+    /// Trinity's default configuration (Table III / Table V): 4 clusters,
+    /// each with 2 NTTU + 2 TP, 1 CU-1 + 4 CU-2 + 1 CU-3, AutoU, EWE,
+    /// Rotator, VPU; 1 TB/s HBM; 1 GHz; 180 MB scratchpad class storage.
+    pub fn trinity() -> Self {
+        Self::trinity_with_clusters(4)
+    }
+
+    /// Trinity with a different cluster count (the Fig. 15/16
+    /// sensitivity study).
+    pub fn trinity_with_clusters(clusters: usize) -> Self {
+        Self {
+            name: format!("Trinity-{clusters}c"),
+            clusters,
+            components: vec![
+                ComponentSpec { kind: ComponentKind::Nttu, count: 2 },
+                ComponentSpec { kind: ComponentKind::Tp, count: 2 },
+                ComponentSpec { kind: ComponentKind::Cu { cols: 1 }, count: 1 },
+                ComponentSpec { kind: ComponentKind::Cu { cols: 2 }, count: 4 },
+                ComponentSpec { kind: ComponentKind::Cu { cols: 3 }, count: 1 },
+                ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
+                ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
+                ComponentSpec { kind: ComponentKind::Rotator, count: 1 },
+                ComponentSpec { kind: ComponentKind::Vpu, count: 1 },
+            ],
+            freq_ghz: 1.0,
+            // 2 x HBM2 stacks, 1 TB/s total (§IV-A).
+            hbm_gbps: 1000.0,
+            // All-to-all fully connected: each cluster injects a
+            // 256-lane 36-bit flit per cycle (4 x 1152 GB/s).
+            noc_gbps: 4608.0,
+            scratchpad_mib: 45.0 * clusters as f64 / 4.0 * 4.0, // 45 MB total at 4 clusters
+            word_bytes: 4.5,
+            ntt_model: NttEngineModel::trinity(),
+        }
+    }
+
+    /// SHARP (Table V): 4 clusters, each 1 NTTU + 1 BConvU + 1 AutoU +
+    /// 1 EWE; 36-bit word; 1 TB/s HBM; 1 GHz.
+    pub fn sharp() -> Self {
+        Self {
+            name: "SHARP".into(),
+            clusters: 4,
+            components: vec![
+                ComponentSpec { kind: ComponentKind::Nttu, count: 1 },
+                ComponentSpec { kind: ComponentKind::Tp, count: 1 },
+                ComponentSpec { kind: ComponentKind::BConvU { lanes: 2048 }, count: 1 },
+                ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
+                ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
+            ],
+            freq_ghz: 1.0,
+            hbm_gbps: 1000.0,
+            noc_gbps: 4608.0,
+            scratchpad_mib: 198.0,
+            word_bytes: 4.5,
+            // SHARP's single NTTU per cluster is wider than Trinity's
+            // (320 lanes, calibrated so the simulated Bootstrap gap
+            // reproduces Table VI's SHARP 3.12 ms vs Trinity 1.92 ms
+            // ratio; see EXPERIMENTS.md).
+            ntt_model: {
+                let mut m = NttEngineModel::f1_like();
+                m.lanes = 320;
+                m
+            },
+        }
+    }
+
+    /// Morphling (Table V): throughput-maximised TFHE accelerator —
+    /// 8 FFT + 16 IFFT units, 64 VPEs, 1.2 GHz, 310 GB/s.
+    pub fn morphling() -> Self {
+        Self::morphling_at_freq(1.2)
+    }
+
+    /// Morphling clocked at a custom frequency (the paper's
+    /// `Morphling-1GHz` comparison row).
+    pub fn morphling_at_freq(freq_ghz: f64) -> Self {
+        Self {
+            name: if (freq_ghz - 1.2).abs() < 1e-9 {
+                "Morphling".into()
+            } else {
+                format!("Morphling-{freq_ghz}GHz")
+            },
+            clusters: 1,
+            components: vec![
+                // 8 forward FFT + 16 inverse FFT pipelines, 16 elem/cycle.
+                ComponentSpec { kind: ComponentKind::Fftu { lanes: 16 }, count: 24 },
+                ComponentSpec { kind: ComponentKind::VectorMac { lanes: 64 }, count: 64 },
+                ComponentSpec { kind: ComponentKind::Rotator, count: 8 },
+                ComponentSpec { kind: ComponentKind::Vpu, count: 8 },
+            ],
+            freq_ghz,
+            hbm_gbps: 310.0,
+            // Single-cluster crossbar between the 8 HSC-style groups.
+            noc_gbps: 512.0,
+            scratchpad_mib: 11.0,
+            word_bytes: 4.0,
+            ntt_model: NttEngineModel::fab_like(),
+        }
+    }
+
+    /// ARK (Table V): 4 clusters, each 1 NTTU + 1 BConvU + 1 AutoU +
+    /// 2 MADU. ARK is a 64-bit-word design, so at comparable silicon
+    /// its per-cycle element rates are roughly half of the 36-bit
+    /// SHARP's — which is why the paper's Table VI places it
+    /// consistently behind SHARP. The MADU pair is modelled as one
+    /// EWE-equivalent of 36-bit-normalised throughput.
+    pub fn ark() -> Self {
+        Self {
+            name: "ARK".into(),
+            clusters: 4,
+            components: vec![
+                ComponentSpec { kind: ComponentKind::Nttu, count: 1 },
+                ComponentSpec { kind: ComponentKind::Tp, count: 1 },
+                ComponentSpec { kind: ComponentKind::BConvU { lanes: 512 }, count: 1 },
+                ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
+                ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
+            ],
+            freq_ghz: 1.0,
+            hbm_gbps: 1000.0,
+            noc_gbps: 4608.0,
+            scratchpad_mib: 512.0,
+            word_bytes: 8.0,
+            ntt_model: NttEngineModel::f1_like(),
+        }
+    }
+
+    /// Strix (Table V): 8 HSC clusters, each with 1 FFT + 1 IFFT
+    /// pipeline, 2 vector MACs, decompose/accumulate units and a
+    /// rotator — a streaming TFHE design between Matcha and Morphling.
+    pub fn strix() -> Self {
+        Self {
+            name: "Strix".into(),
+            clusters: 8,
+            components: vec![
+                ComponentSpec { kind: ComponentKind::Fftu { lanes: 8 }, count: 2 },
+                ComponentSpec { kind: ComponentKind::VectorMac { lanes: 64 }, count: 2 },
+                ComponentSpec { kind: ComponentKind::Rotator, count: 1 },
+                ComponentSpec { kind: ComponentKind::Vpu, count: 1 },
+            ],
+            freq_ghz: 1.0,
+            hbm_gbps: 512.0,
+            noc_gbps: 1024.0,
+            scratchpad_mib: 16.0,
+            word_bytes: 4.0,
+            ntt_model: NttEngineModel::fab_like(),
+        }
+    }
+
+    /// The Trinity-TFHE-w/o-CU ablation (§V-C): fixed NTT units plus a
+    /// rigid depth-12 systolic array, no flexible mapping.
+    pub fn trinity_tfhe_without_cu() -> Self {
+        let mut cfg = Self::trinity();
+        cfg.name = "Trinity-TFHE-w/o-CU".into();
+        cfg.components = vec![
+            ComponentSpec { kind: ComponentKind::Nttu, count: 2 },
+            ComponentSpec { kind: ComponentKind::Tp, count: 2 },
+            ComponentSpec { kind: ComponentKind::SystolicArray { depth: 12 }, count: 1 },
+            ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
+            ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
+            ComponentSpec { kind: ComponentKind::Rotator, count: 1 },
+            ComponentSpec { kind: ComponentKind::Vpu, count: 1 },
+        ];
+        cfg
+    }
+
+    /// Cycles per second.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.freq_ghz * 1e9
+    }
+
+    /// HBM bytes deliverable per core cycle.
+    pub fn hbm_bytes_per_cycle(&self) -> f64 {
+        self.hbm_gbps * 1e9 / (self.freq_ghz * 1e9)
+    }
+
+    /// Inter-cluster NoC bytes per core cycle.
+    pub fn noc_bytes_per_cycle(&self) -> f64 {
+        self.noc_gbps * 1e9 / (self.freq_ghz * 1e9)
+    }
+
+    /// Total instances of a component kind across the chip.
+    pub fn total_count(&self, pred: impl Fn(&ComponentKind) -> bool) -> usize {
+        self.clusters
+            * self
+                .components
+                .iter()
+                .filter(|s| pred(&s.kind))
+                .map(|s| s.count)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trinity_matches_table_iii() {
+        let t = AcceleratorConfig::trinity();
+        assert_eq!(t.clusters, 4);
+        assert_eq!(t.total_count(|k| matches!(k, ComponentKind::Nttu)), 8);
+        assert_eq!(
+            t.total_count(|k| matches!(k, ComponentKind::Cu { .. })),
+            24
+        );
+        assert_eq!(t.total_count(|k| matches!(k, ComponentKind::Ewe)), 4);
+        assert!((t.hbm_bytes_per_cycle() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_scaling() {
+        for c in [2usize, 4, 8] {
+            let t = AcceleratorConfig::trinity_with_clusters(c);
+            assert_eq!(t.clusters, c);
+            assert_eq!(t.total_count(|k| matches!(k, ComponentKind::Nttu)), 2 * c);
+        }
+    }
+
+    #[test]
+    fn morphling_frequency_variants() {
+        let m = AcceleratorConfig::morphling();
+        assert!((m.freq_ghz - 1.2).abs() < 1e-12);
+        let m1 = AcceleratorConfig::morphling_at_freq(1.0);
+        assert!(m1.name.contains("1GHz") || m1.name.contains("1 GHz") || m1.name.contains("-1"));
+        assert!(m1.cycles_per_second() < m.cycles_per_second());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ComponentKind::Cu { cols: 2 }.label(), "CU-2");
+        assert_eq!(ComponentKind::Nttu.label(), "NTTU");
+    }
+}

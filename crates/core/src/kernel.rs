@@ -1,0 +1,443 @@
+//! The arithmetic kernel taxonomy of the Trinity paper (§II).
+//!
+//! Both CKKS and TFHE "consist of a finite set of kernels" — the key
+//! observation enabling a unified accelerator. Every workload in the
+//! evaluation decomposes into instances of these kernels, arranged in a
+//! dependency DAG that the scheduler maps onto hardware components.
+
+/// One arithmetic kernel instance (paper §II-A / §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Forward NTT of an `n`-point polynomial.
+    Ntt {
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Inverse NTT of an `n`-point polynomial.
+    Intt {
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Base conversion: `(rows_in x n)` polynomial matrix times a
+    /// `(rows_in x rows_out)` constant matrix (systolic-array MAC).
+    BConv {
+        /// Input RNS rows.
+        rows_in: usize,
+        /// Output RNS rows.
+        rows_out: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Inner product of `digits` raised polynomials with evaluation-key
+    /// polynomials, accumulating `outputs` result polynomials over
+    /// `limbs` RNS rows (KeySwitch line 9 of Algorithm 1).
+    InnerProduct {
+        /// Number of decomposition digits.
+        digits: usize,
+        /// RNS rows per polynomial.
+        limbs: usize,
+        /// Output polynomials (2 for keyswitch).
+        outputs: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Pointwise multiply-accumulate of the TFHE external product:
+    /// `rows` digit polynomials against `outputs` GGSW columns.
+    ExtProductMac {
+        /// `(k+1) * lb` digit rows.
+        rows: usize,
+        /// `k+1` output polynomials.
+        outputs: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Element-wise modular multiplication over `limbs` rows.
+    ModMul {
+        /// RNS rows.
+        limbs: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Element-wise modular addition over `limbs` rows.
+    ModAdd {
+        /// RNS rows.
+        limbs: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Automorphism index permutation over `limbs` rows.
+    Automorphism {
+        /// RNS rows.
+        limbs: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Matrix transpose inside the four-step NTT.
+    Transpose {
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Negacyclic vector rotation (monomial multiplication) — Rotator.
+    RotateVec {
+        /// Polynomial length.
+        n: usize,
+    },
+    /// SampleExtract of one coefficient — Rotator.
+    SampleExtract {
+        /// Polynomial length.
+        n: usize,
+    },
+    /// Gadget decomposition of `limbs` rows into `levels` digits.
+    Decompose {
+        /// Rows to decompose.
+        limbs: usize,
+        /// Decomposition levels.
+        levels: usize,
+        /// Polynomial length.
+        n: usize,
+    },
+    /// LWE modulus switch (VPU).
+    ModSwitch {
+        /// LWE dimension.
+        n: usize,
+    },
+    /// LWE keyswitch (VPU): `n_in` mask entries times `levels` digits.
+    LweKeySwitch {
+        /// Input dimension.
+        n_in: usize,
+        /// Output dimension.
+        n_out: usize,
+        /// Decomposition levels.
+        levels: usize,
+    },
+    /// Off-chip key/data transfer.
+    HbmLoad {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Inter-cluster data-layout switch (limb-wise <-> slot-wise,
+    /// paper §IV-I) over the all-to-all NoC.
+    LayoutSwitch {
+        /// Bytes exchanged.
+        bytes: u64,
+    },
+}
+
+/// Coarse functional class, used for component compatibility and the
+/// paper's Fig. 2 NTT/MAC breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Butterfly-network work (NTT/iNTT).
+    Ntt,
+    /// Systolic-array MAC work (BConv, IP, external product).
+    Mac,
+    /// Element-wise engine work.
+    Ewe,
+    /// Automorphism unit work.
+    Auto,
+    /// Transpose unit work.
+    Transpose,
+    /// Rotator work.
+    Rotator,
+    /// Vector processing unit work.
+    Vpu,
+    /// Off-chip transfer.
+    Hbm,
+    /// Inter-cluster NoC transfer.
+    Noc,
+}
+
+impl KernelKind {
+    /// The functional class this kernel belongs to.
+    pub fn class(&self) -> KernelClass {
+        match self {
+            KernelKind::Ntt { .. } | KernelKind::Intt { .. } => KernelClass::Ntt,
+            KernelKind::BConv { .. }
+            | KernelKind::InnerProduct { .. }
+            | KernelKind::ExtProductMac { .. } => KernelClass::Mac,
+            KernelKind::ModMul { .. } | KernelKind::ModAdd { .. } => KernelClass::Ewe,
+            KernelKind::Automorphism { .. } => KernelClass::Auto,
+            KernelKind::Transpose { .. } => KernelClass::Transpose,
+            KernelKind::RotateVec { .. } | KernelKind::SampleExtract { .. } => {
+                KernelClass::Rotator
+            }
+            // Gadget decomposition is element-wise shift/round logic and
+            // runs on the element-wise engine in Trinity.
+            KernelKind::Decompose { .. } => KernelClass::Ewe,
+            KernelKind::ModSwitch { .. } | KernelKind::LweKeySwitch { .. } => KernelClass::Vpu,
+            KernelKind::HbmLoad { .. } => KernelClass::Hbm,
+            KernelKind::LayoutSwitch { .. } => KernelClass::Noc,
+        }
+    }
+
+    /// Number of element-level operations (used as the unit of work for
+    /// throughput modelling).
+    pub fn element_ops(&self) -> u64 {
+        match *self {
+            KernelKind::Ntt { n } | KernelKind::Intt { n } => {
+                // (n/2) * log2(n) butterflies; one butterfly = one
+                // modular multiplication plus add/sub.
+                (n as u64 / 2) * (n.trailing_zeros() as u64)
+            }
+            KernelKind::BConv { rows_in, rows_out, n } => {
+                (rows_in * rows_out * n) as u64
+            }
+            KernelKind::InnerProduct {
+                digits,
+                limbs,
+                outputs,
+                n,
+            } => (digits * limbs * outputs * n) as u64,
+            KernelKind::ExtProductMac { rows, outputs, n } => (rows * outputs * n) as u64,
+            KernelKind::ModMul { limbs, n } | KernelKind::ModAdd { limbs, n } => {
+                (limbs * n) as u64
+            }
+            KernelKind::Automorphism { limbs, n } => (limbs * n) as u64,
+            KernelKind::Transpose { n } => n as u64,
+            KernelKind::RotateVec { n } | KernelKind::SampleExtract { n } => n as u64,
+            KernelKind::Decompose { limbs, levels, n } => (limbs * levels * n) as u64,
+            KernelKind::ModSwitch { n } => n as u64,
+            KernelKind::LweKeySwitch {
+                n_in,
+                n_out,
+                levels,
+            } => (n_in * levels * n_out) as u64,
+            KernelKind::HbmLoad { bytes } => bytes,
+            KernelKind::LayoutSwitch { bytes } => bytes,
+        }
+    }
+
+    /// Number of modular multiplications (the paper's Fig. 2 metric —
+    /// "computational amount breakdown of NTT and MAC").
+    pub fn modmul_ops(&self) -> u64 {
+        match *self {
+            // Butterflies each perform one multiplication.
+            KernelKind::Ntt { n } | KernelKind::Intt { n } => {
+                (n as u64 / 2) * (n.trailing_zeros() as u64)
+            }
+            KernelKind::BConv { .. }
+            | KernelKind::InnerProduct { .. }
+            | KernelKind::ExtProductMac { .. }
+            | KernelKind::ModMul { .. } => self.element_ops(),
+            KernelKind::LweKeySwitch { .. } => self.element_ops(),
+            _ => 0,
+        }
+    }
+}
+
+/// Identifier of a kernel within a graph.
+pub type KernelId = usize;
+
+/// A kernel instance with its dependencies.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Stable id within the owning graph.
+    pub id: KernelId,
+    /// What to compute.
+    pub kind: KernelKind,
+    /// Kernels that must complete first.
+    pub deps: Vec<KernelId>,
+}
+
+/// A dependency DAG of kernels. Acyclic by construction (dependencies
+/// must reference already-inserted kernels).
+#[derive(Debug, Clone, Default)]
+pub struct KernelGraph {
+    kernels: Vec<Kernel>,
+}
+
+impl KernelGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a kernel, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency id is not already in the graph (this
+    /// guarantees acyclicity).
+    pub fn add(&mut self, kind: KernelKind, deps: &[KernelId]) -> KernelId {
+        let id = self.kernels.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} not yet inserted (kernel {id})");
+        }
+        self.kernels.push(Kernel {
+            id,
+            kind,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Adds `count` identical independent kernels sharing `deps`,
+    /// returning all ids.
+    pub fn add_many(&mut self, kind: KernelKind, count: usize, deps: &[KernelId]) -> Vec<KernelId> {
+        (0..count).map(|_| self.add(kind, deps)).collect()
+    }
+
+    /// All kernels in insertion (topological) order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True when the graph has no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Appends another graph, offsetting ids, with the new sub-graph's
+    /// roots depending on `deps`. Returns the id offset.
+    pub fn append(&mut self, other: &KernelGraph, deps: &[KernelId]) -> usize {
+        let offset = self.kernels.len();
+        for k in &other.kernels {
+            let mut new_deps: Vec<KernelId> = k.deps.iter().map(|&d| d + offset).collect();
+            if k.deps.is_empty() {
+                new_deps.extend_from_slice(deps);
+            }
+            self.kernels.push(Kernel {
+                id: k.id + offset,
+                kind: k.kind,
+                deps: new_deps,
+            });
+        }
+        offset
+    }
+
+    /// Total modular multiplications per class — the paper's Fig. 2
+    /// breakdown.
+    pub fn modmul_breakdown(&self) -> ClassBreakdown {
+        let mut b = ClassBreakdown::default();
+        for k in &self.kernels {
+            let ops = k.kind.modmul_ops();
+            match k.kind.class() {
+                KernelClass::Ntt => b.ntt += ops,
+                KernelClass::Mac => b.mac += ops,
+                _ => b.other += ops,
+            }
+        }
+        b
+    }
+
+    /// Ids of kernels with no dependents (the graph's outputs).
+    pub fn sinks(&self) -> Vec<KernelId> {
+        let mut has_dependent = vec![false; self.kernels.len()];
+        for k in &self.kernels {
+            for &d in &k.deps {
+                has_dependent[d] = true;
+            }
+        }
+        (0..self.kernels.len())
+            .filter(|&i| !has_dependent[i])
+            .collect()
+    }
+}
+
+/// Modular-multiplication totals by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassBreakdown {
+    /// NTT-class multiplications.
+    pub ntt: u64,
+    /// MAC-class multiplications.
+    pub mac: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
+impl ClassBreakdown {
+    /// NTT share of NTT + MAC (the paper's Fig. 2 percentages).
+    pub fn ntt_fraction(&self) -> f64 {
+        if self.ntt + self.mac == 0 {
+            return 0.0;
+        }
+        self.ntt as f64 / (self.ntt + self.mac) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_stable() {
+        assert_eq!(KernelKind::Ntt { n: 1024 }.class(), KernelClass::Ntt);
+        assert_eq!(
+            KernelKind::BConv {
+                rows_in: 2,
+                rows_out: 3,
+                n: 8
+            }
+            .class(),
+            KernelClass::Mac
+        );
+        assert_eq!(KernelKind::ModMul { limbs: 1, n: 8 }.class(), KernelClass::Ewe);
+        assert_eq!(KernelKind::HbmLoad { bytes: 64 }.class(), KernelClass::Hbm);
+    }
+
+    #[test]
+    fn ntt_op_count_formula() {
+        // 1024-point NTT: 512 butterflies * 10 stages.
+        assert_eq!(KernelKind::Ntt { n: 1024 }.element_ops(), 5120);
+        assert_eq!(KernelKind::Intt { n: 65536 }.element_ops(), 32768 * 16);
+    }
+
+    #[test]
+    fn graph_rejects_forward_deps() {
+        let mut g = KernelGraph::new();
+        let a = g.add(KernelKind::Ntt { n: 64 }, &[]);
+        let _b = g.add(KernelKind::Intt { n: 64 }, &[a]);
+        assert_eq!(g.len(), 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g2 = g.clone();
+            g2.add(KernelKind::Ntt { n: 64 }, &[99]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn append_offsets_dependencies() {
+        let mut sub = KernelGraph::new();
+        let a = sub.add(KernelKind::Ntt { n: 64 }, &[]);
+        sub.add(KernelKind::Intt { n: 64 }, &[a]);
+
+        let mut g = KernelGraph::new();
+        let root = g.add(KernelKind::ModAdd { limbs: 1, n: 64 }, &[]);
+        let off = g.append(&sub, &[root]);
+        assert_eq!(off, 1);
+        assert_eq!(g.kernels()[1].deps, vec![root]);
+        assert_eq!(g.kernels()[2].deps, vec![1]);
+    }
+
+    #[test]
+    fn sinks_found() {
+        let mut g = KernelGraph::new();
+        let a = g.add(KernelKind::Ntt { n: 64 }, &[]);
+        let b = g.add(KernelKind::Intt { n: 64 }, &[a]);
+        let c = g.add(KernelKind::Ntt { n: 64 }, &[]);
+        assert_eq!(g.sinks(), vec![b, c]);
+    }
+
+    #[test]
+    fn breakdown_fraction() {
+        let mut g = KernelGraph::new();
+        g.add(KernelKind::Ntt { n: 1024 }, &[]); // 5120 mults
+        g.add(
+            KernelKind::BConv {
+                rows_in: 8,
+                rows_out: 8,
+                n: 80,
+            },
+            &[],
+        ); // 5120 mults
+        let b = g.modmul_breakdown();
+        assert_eq!(b.ntt, 5120);
+        assert_eq!(b.mac, 5120);
+        assert!((b.ntt_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,633 @@
+//! Mapping policies: how components are grouped into execution lanes.
+//!
+//! This is the paper's §IV-F — "our strategy prioritizes fulfilling NTT
+//! requirements first; subsequently, unutilized CUs are allocated for
+//! the computations of BConv, Inner Product, and External Product"
+//! (Fig. 7). Each policy turns an [`AcceleratorConfig`] into a
+//! [`Machine`]: a set of lanes, each lane being one or more physical
+//! components ganged behind a single kernel queue.
+
+use crate::arch::{AcceleratorConfig, ComponentKind};
+use crate::kernel::{KernelClass, KernelKind};
+use crate::ntt_engine::NttEngineModel;
+
+/// Restricts which kernels a MAC-class lane accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneFilter {
+    /// Any kernel of the lane's class.
+    Any,
+    /// Base conversion only.
+    BConvOnly,
+    /// Inner product only.
+    IpOnly,
+    /// External-product MAC only.
+    ExtProdOnly,
+}
+
+/// Cost model of one lane.
+#[derive(Debug, Clone)]
+pub enum LaneModel {
+    /// An NTT pipeline with a structural utilization model.
+    Ntt(NttEngineModel),
+    /// A throughput resource: `elems` element-ops per cycle plus a
+    /// pipeline-fill overhead per kernel.
+    Throughput {
+        /// Element-ops per cycle.
+        elems: f64,
+        /// Fixed pipeline-fill cycles per kernel.
+        fill: u64,
+    },
+}
+
+/// One execution lane.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Display name (`c0.NTT1`, ...).
+    pub name: String,
+    /// Kernel class served.
+    pub class: KernelClass,
+    /// Additional kind filter.
+    pub filter: LaneFilter,
+    /// Cost model.
+    pub model: LaneModel,
+    /// Physical component labels busy while this lane works.
+    pub members: Vec<String>,
+}
+
+impl Lane {
+    /// Whether this lane can execute `kind`.
+    pub fn accepts(&self, kind: &KernelKind) -> bool {
+        if kind.class() != self.class {
+            return false;
+        }
+        match self.filter {
+            LaneFilter::Any => true,
+            LaneFilter::BConvOnly => matches!(kind, KernelKind::BConv { .. }),
+            LaneFilter::IpOnly => matches!(kind, KernelKind::InnerProduct { .. }),
+            LaneFilter::ExtProdOnly => matches!(kind, KernelKind::ExtProductMac { .. }),
+        }
+    }
+
+    /// Cycles to execute `kind` on this lane.
+    pub fn cycles(&self, kind: &KernelKind) -> u64 {
+        match (&self.model, kind) {
+            (LaneModel::Ntt(m), KernelKind::Ntt { n } | KernelKind::Intt { n }) => m.cycles(*n),
+            (LaneModel::Ntt(m), _) => {
+                // NTT lanes also absorb their transposes.
+                let _ = m;
+                1
+            }
+            (LaneModel::Throughput { elems, fill }, k) => {
+                (k.element_ops() as f64 / elems).ceil() as u64 + fill
+            }
+        }
+    }
+}
+
+/// A machine: the scheduled view of an accelerator under one policy.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Display name.
+    pub name: String,
+    /// All lanes.
+    pub lanes: Vec<Lane>,
+    /// Frequency in GHz.
+    pub freq_ghz: f64,
+    /// HBM bytes per cycle (a dedicated lane is created for it).
+    pub hbm_bytes_per_cycle: f64,
+}
+
+/// CU allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingPolicy {
+    /// Trinity running CKKS (Fig. 7 a/b/d): NTTUs on NTT; CU-1 + CU-3 +
+    /// 2 CU-2 on BConv; 2 CU-2 on Inner Product.
+    CkksAdaptive,
+    /// Ablation (§V-C): Inner Product on the EWE instead of CUs
+    /// (`Trinity-CKKS-IP-use-EWE`).
+    CkksIpUseEwe,
+    /// Trinity running TFHE (Fig. 7 c/e): NTTU + CU-1/CU-3 + 2 CU-2 as
+    /// two NTT pipelines; 2 CU-2 on the external product.
+    TfheAdaptive,
+    /// Ablation: fixed NTT units + rigid systolic array
+    /// (`Trinity-TFHE-w/o-CU`).
+    TfheFixed,
+    /// Trinity running hybrid-scheme applications (Table X): the CU
+    /// pool is split between the CKKS duties (BConv, Inner Product) and
+    /// the TFHE external product, so kernels from both schemes schedule
+    /// onto one machine "without distinguishing which FHE scheme the
+    /// kernel comes from" (§IV-K).
+    Hybrid,
+    /// Generic mapping for non-Trinity baselines: every component forms
+    /// its own lane, MAC-capable units take any MAC kernel, EWE also
+    /// handles inner products (SHARP style).
+    Baseline,
+}
+
+/// Builds the machine for a configuration and policy.
+pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine {
+    let mut lanes = Vec::new();
+    for c in 0..cfg.clusters {
+        let p = |s: &str| format!("c{c}.{s}");
+        match policy {
+            MappingPolicy::CkksAdaptive | MappingPolicy::CkksIpUseEwe => {
+                let ip_on_cu = policy == MappingPolicy::CkksAdaptive;
+                // Two NTTU+TP pipelines.
+                for i in 0..count(cfg, |k| matches!(k, ComponentKind::Nttu)) {
+                    lanes.push(Lane {
+                        name: p(&format!("NTT{i}")),
+                        class: KernelClass::Ntt,
+                        filter: LaneFilter::Any,
+                        model: LaneModel::Ntt(cfg.ntt_model.clone()),
+                        members: vec![p(&format!("NTTU{i}")), p(&format!("TP{i}"))],
+                    });
+                    lanes.push(Lane {
+                        name: p(&format!("TPOSE{i}")),
+                        class: KernelClass::Transpose,
+                        filter: LaneFilter::Any,
+                        model: LaneModel::Throughput { elems: 256.0, fill: 4 },
+                        members: vec![p(&format!("TP{i}"))],
+                    });
+                }
+                // CU pools. Columns: CU-1 (1), CU-3 (3), CU-2s (2 each).
+                // With IP on the CUs, two CU-2s are reserved for it; in
+                // the IP-on-EWE ablation every column serves BConv.
+                let cu2 = count(cfg, |k| matches!(k, ComponentKind::Cu { cols: 2 }));
+                let bconv_cols = if ip_on_cu {
+                    1 + 3 + 2 * (cu2.saturating_sub(2))
+                } else {
+                    1 + 3 + 2 * cu2
+                };
+                lanes.push(Lane {
+                    name: p("BCONV"),
+                    class: KernelClass::Mac,
+                    filter: LaneFilter::BConvOnly,
+                    model: LaneModel::Throughput {
+                        // 256 MACs per 128-PE column: the paper's SRAMs
+                        // are double-pumped (SS V-A), feeding each PE two
+                        // operand pairs per core cycle.
+                        elems: 256.0 * bconv_cols as f64,
+                        fill: 4,
+                    },
+                    members: {
+                        let mut m = vec![p("CU-1"), p("CU-3")];
+                        for i in 2..cu2 {
+                            m.push(p(&format!("CU-2{}", (b'a' + i as u8) as char)));
+                        }
+                        m
+                    },
+                });
+                if ip_on_cu {
+                    lanes.push(Lane {
+                        name: p("IP"),
+                        class: KernelClass::Mac,
+                        filter: LaneFilter::IpOnly,
+                        model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                        members: vec![p("CU-2a"), p("CU-2b")],
+                    });
+                    // Dynamic scheduling (SS IV-F): the IP CU-2s absorb
+                    // BConv work when idle. (The scheduler books lanes
+                    // independently; the mild overcommit this allows is
+                    // the price of modelling dynamic reallocation.)
+                    lanes.push(Lane {
+                        name: p("BCONV2"),
+                        class: KernelClass::Mac,
+                        filter: LaneFilter::BConvOnly,
+                        model: LaneModel::Throughput { elems: 1024.0, fill: 4 },
+                        members: vec![p("CU-2a"), p("CU-2b")],
+                    });
+                }
+                // EWE: element-wise ops, plus IP in the ablation.
+                lanes.push(Lane {
+                    name: p("EWE"),
+                    class: KernelClass::Ewe,
+                    filter: LaneFilter::Any,
+                    model: LaneModel::Throughput { elems: 512.0, fill: 2 },
+                    members: vec![p("EWE")],
+                });
+                if !ip_on_cu {
+                    lanes.push(Lane {
+                        name: p("EWE-IP"),
+                        class: KernelClass::Mac,
+                        filter: LaneFilter::IpOnly,
+                        // The EWE has no fused MAC: each accumulation is a
+                        // ModMul pass plus a ModAdd pass, halving its
+                        // effective inner-product rate (the cost the
+                        // CU offload removes, Figs. 10-11).
+                        model: LaneModel::Throughput { elems: 256.0, fill: 2 },
+                        members: vec![p("EWE")],
+                    });
+                }
+                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
+                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
+            }
+            MappingPolicy::TfheAdaptive => {
+                // Two NTT pipelines: NTTU + CU stages (CU-1 + one CU-2,
+                // CU-3 + one CU-2). CU assistance keeps single-pass
+                // transforms for N in (256, 2048].
+                for (i, extra) in [("CU-1", "CU-2a"), ("CU-3", "CU-2b")].iter().enumerate() {
+                    lanes.push(Lane {
+                        name: p(&format!("NTT{i}")),
+                        class: KernelClass::Ntt,
+                        filter: LaneFilter::Any,
+                        model: LaneModel::Ntt(NttEngineModel::trinity()),
+                        members: vec![
+                            p(&format!("NTTU{i}")),
+                            p(extra.0.to_string().as_str()),
+                            p(extra.1.to_string().as_str()),
+                        ],
+                    });
+                }
+                // External product on the remaining two CU-2s.
+                lanes.push(Lane {
+                    name: p("EXTP"),
+                    class: KernelClass::Mac,
+                    filter: LaneFilter::Any,
+                    model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                    members: vec![p("CU-2c"), p("CU-2d")],
+                });
+                push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
+                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
+                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
+            }
+            MappingPolicy::Hybrid => {
+                // Shared NTTU+TP pipelines, as in the CKKS mapping.
+                for i in 0..count(cfg, |k| matches!(k, ComponentKind::Nttu)) {
+                    lanes.push(Lane {
+                        name: p(&format!("NTT{i}")),
+                        class: KernelClass::Ntt,
+                        filter: LaneFilter::Any,
+                        model: LaneModel::Ntt(cfg.ntt_model.clone()),
+                        members: vec![p(&format!("NTTU{i}")), p(&format!("TP{i}"))],
+                    });
+                    lanes.push(Lane {
+                        name: p(&format!("TPOSE{i}")),
+                        class: KernelClass::Transpose,
+                        filter: LaneFilter::Any,
+                        model: LaneModel::Throughput { elems: 256.0, fill: 4 },
+                        members: vec![p(&format!("TP{i}"))],
+                    });
+                }
+                // CU split: CU-1 + CU-3 on BConv, two CU-2s on Inner
+                // Product, the remaining two CU-2s on the external
+                // product — each scheme keeps dedicated MAC columns so
+                // phase changes need no drain (§IV-H).
+                lanes.push(Lane {
+                    name: p("BCONV"),
+                    class: KernelClass::Mac,
+                    filter: LaneFilter::BConvOnly,
+                    model: LaneModel::Throughput {
+                        elems: 256.0 * 4.0,
+                        fill: 4,
+                    },
+                    members: vec![p("CU-1"), p("CU-3")],
+                });
+                lanes.push(Lane {
+                    name: p("IP"),
+                    class: KernelClass::Mac,
+                    filter: LaneFilter::IpOnly,
+                    model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                    members: vec![p("CU-2a"), p("CU-2b")],
+                });
+                lanes.push(Lane {
+                    name: p("EXTP"),
+                    class: KernelClass::Mac,
+                    filter: LaneFilter::ExtProdOnly,
+                    model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                    members: vec![p("CU-2c"), p("CU-2d")],
+                });
+                push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
+                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
+                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
+            }
+            MappingPolicy::TfheFixed => {
+                // Rigid design: NTTUs alone (two passes for N > 256 —
+                // modelled by the F1-like fixed-pipeline curve) and a
+                // fixed systolic array for MACs.
+                for i in 0..count(cfg, |k| matches!(k, ComponentKind::Nttu)) {
+                    lanes.push(Lane {
+                        name: p(&format!("NTT{i}")),
+                        class: KernelClass::Ntt,
+                        filter: LaneFilter::Any,
+                        model: LaneModel::Ntt(NttEngineModel::f1_like()),
+                        members: vec![p(&format!("NTTU{i}"))],
+                    });
+                }
+                let depth = cfg
+                    .components
+                    .iter()
+                    .find_map(|s| match s.kind {
+                        ComponentKind::SystolicArray { depth } => Some(depth),
+                        _ => None,
+                    })
+                    .unwrap_or(12);
+                lanes.push(Lane {
+                    name: p("SA"),
+                    class: KernelClass::Mac,
+                    filter: LaneFilter::Any,
+                    model: LaneModel::Throughput {
+                        // Rigid array: matrix shapes rarely match depth 12,
+                        // so a third of the slots stall (SS V-C ablation).
+                        elems: 256.0 * depth as f64 / 3.0,
+                        fill: 32,
+                    },
+                    members: vec![p("SA")],
+                });
+                push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
+                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
+                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
+            }
+            MappingPolicy::Baseline => {
+                let mut nttu_idx = 0usize;
+                for spec in &cfg.components {
+                    for i in 0..spec.count {
+                        match &spec.kind {
+                            ComponentKind::Nttu => {
+                                lanes.push(Lane {
+                                    name: p(&format!("NTT{nttu_idx}")),
+                                    class: KernelClass::Ntt,
+                                    filter: LaneFilter::Any,
+                                    model: LaneModel::Ntt(cfg.ntt_model.clone()),
+                                    members: vec![p(&format!("NTTU{nttu_idx}"))],
+                                });
+                                nttu_idx += 1;
+                            }
+                            ComponentKind::Tp => {
+                                push_simple(
+                                    &mut lanes,
+                                    &p(&format!("TPOSE{i}")),
+                                    KernelClass::Transpose,
+                                    256.0,
+                                    &[p(&format!("TP{i}"))],
+                                );
+                            }
+                            ComponentKind::Fftu { lanes: l } => {
+                                lanes.push(Lane {
+                                    name: p(&format!("FFT{i}")),
+                                    class: KernelClass::Ntt,
+                                    filter: LaneFilter::Any,
+                                    model: LaneModel::Throughput {
+                                        // FFT feed: n elements at l/cycle,
+                                        // element_ops = n/2*logn, so scale.
+                                        elems: *l as f64 * 5.0,
+                                        fill: 2,
+                                    },
+                                    members: vec![p(&format!("FFTU{i}"))],
+                                });
+                            }
+                            ComponentKind::BConvU { lanes: l } => {
+                                lanes.push(Lane {
+                                    name: p(&format!("BCONV{i}")),
+                                    class: KernelClass::Mac,
+                                    filter: LaneFilter::BConvOnly,
+                                    model: LaneModel::Throughput {
+                                        elems: *l as f64,
+                                        fill: 4,
+                                    },
+                                    members: vec![p(&format!("BConvU{i}"))],
+                                });
+                            }
+                            ComponentKind::VectorMac { lanes: l } => {
+                                lanes.push(Lane {
+                                    name: p(&format!("VMAC{i}")),
+                                    class: KernelClass::Mac,
+                                    filter: LaneFilter::Any,
+                                    model: LaneModel::Throughput {
+                                        elems: *l as f64,
+                                        fill: 2,
+                                    },
+                                    members: vec![p(&format!("VMAC{i}"))],
+                                });
+                            }
+                            ComponentKind::Ewe => {
+                                push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
+                                // SHARP-style: inner products on the EWE,
+                                // at mul+add (non-fused) rate.
+                                lanes.push(Lane {
+                                    name: p("EWE-IP"),
+                                    class: KernelClass::Mac,
+                                    filter: LaneFilter::IpOnly,
+                                    model: LaneModel::Throughput { elems: 256.0, fill: 2 },
+                                    members: vec![p("EWE")],
+                                });
+                            }
+                            ComponentKind::AutoU => {
+                                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
+                                // Baselines without a dedicated Rotator
+                                // run vector rotations / extractions on
+                                // their shuffle (automorphism) network.
+                                push_simple(
+                                    &mut lanes,
+                                    &p("AUTO-ROT"),
+                                    KernelClass::Rotator,
+                                    256.0,
+                                    &[p("AutoU")],
+                                );
+                            }
+                            ComponentKind::Rotator => {
+                                push_simple(
+                                    &mut lanes,
+                                    &p(&format!("ROT{i}")),
+                                    KernelClass::Rotator,
+                                    256.0,
+                                    &[p(&format!("Rotator{i}"))],
+                                );
+                            }
+                            ComponentKind::Vpu => {
+                                push_simple(
+                                    &mut lanes,
+                                    &p(&format!("VPU{i}")),
+                                    KernelClass::Vpu,
+                                    1024.0,
+                                    &[p(&format!("VPU{i}"))],
+                                );
+                                // Baseline TFHE accelerators decompose on
+                                // their vector units (Morphling Decomp).
+                                push_simple(
+                                    &mut lanes,
+                                    &p(&format!("VPU-EWE{i}")),
+                                    KernelClass::Ewe,
+                                    512.0,
+                                    &[p(&format!("VPU{i}"))],
+                                );
+                            }
+                            ComponentKind::Cu { cols } => {
+                                lanes.push(Lane {
+                                    name: p(&format!("CU{i}")),
+                                    class: KernelClass::Mac,
+                                    filter: LaneFilter::Any,
+                                    model: LaneModel::Throughput {
+                                        elems: 256.0 * *cols as f64,
+                                        fill: 4,
+                                    },
+                                    members: vec![p(&format!("CU{i}"))],
+                                });
+                            }
+                            ComponentKind::SystolicArray { depth } => {
+                                lanes.push(Lane {
+                                    name: p(&format!("SA{i}")),
+                                    class: KernelClass::Mac,
+                                    filter: LaneFilter::Any,
+                                    model: LaneModel::Throughput {
+                                        elems: 128.0 * *depth as f64 / 3.0,
+                                        fill: 32,
+                                    },
+                                    members: vec![p(&format!("SA{i}"))],
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The shared HBM is one fluid lane.
+    lanes.push(Lane {
+        name: "HBM".into(),
+        class: KernelClass::Hbm,
+        filter: LaneFilter::Any,
+        model: LaneModel::Throughput {
+            elems: cfg.hbm_bytes_per_cycle(),
+            fill: 64,
+        },
+        members: vec!["HBM".into()],
+    });
+    // The inter-cluster NoC carries the §IV-I layout switches.
+    lanes.push(Lane {
+        name: "NOC".into(),
+        class: KernelClass::Noc,
+        filter: LaneFilter::Any,
+        model: LaneModel::Throughput {
+            elems: cfg.noc_bytes_per_cycle(),
+            fill: 8,
+        },
+        members: vec!["NoC".into()],
+    });
+    Machine {
+        name: format!("{} [{policy:?}]", cfg.name),
+        lanes,
+        freq_ghz: cfg.freq_ghz,
+        hbm_bytes_per_cycle: cfg.hbm_bytes_per_cycle(),
+    }
+}
+
+fn count(cfg: &AcceleratorConfig, pred: impl Fn(&ComponentKind) -> bool) -> usize {
+    cfg.components
+        .iter()
+        .filter(|s| pred(&s.kind))
+        .map(|s| s.count)
+        .sum()
+}
+
+fn push_simple(lanes: &mut Vec<Lane>, name: &str, class: KernelClass, elems: f64, members: &[String]) {
+    lanes.push(Lane {
+        name: name.to_string(),
+        class,
+        filter: LaneFilter::Any,
+        model: LaneModel::Throughput { elems, fill: 2 },
+        members: members.to_vec(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorConfig;
+
+    #[test]
+    fn trinity_ckks_machine_shape() {
+        let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+        let ntt = m.lanes.iter().filter(|l| l.class == KernelClass::Ntt).count();
+        assert_eq!(ntt, 8, "2 NTT lanes x 4 clusters");
+        let ip = m
+            .lanes
+            .iter()
+            .filter(|l| l.filter == LaneFilter::IpOnly)
+            .count();
+        assert_eq!(ip, 4, "one IP lane per cluster");
+        assert!(m.lanes.iter().any(|l| l.class == KernelClass::Hbm));
+    }
+
+    #[test]
+    fn ip_use_ewe_moves_ip_to_ewe() {
+        let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksIpUseEwe);
+        let ip_lane = m
+            .lanes
+            .iter()
+            .find(|l| l.filter == LaneFilter::IpOnly)
+            .unwrap();
+        assert!(ip_lane.members.iter().all(|c| c.contains("EWE")));
+    }
+
+    #[test]
+    fn lane_filters_work() {
+        let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+        let bconv = KernelKind::BConv { rows_in: 4, rows_out: 8, n: 1 << 16 };
+        let ip = KernelKind::InnerProduct { digits: 3, limbs: 10, outputs: 2, n: 1 << 16 };
+        let bconv_lanes: Vec<_> = m.lanes.iter().filter(|l| l.accepts(&bconv)).collect();
+        let ip_lanes: Vec<_> = m.lanes.iter().filter(|l| l.accepts(&ip)).collect();
+        assert!(!bconv_lanes.is_empty() && !ip_lanes.is_empty());
+        assert!(bconv_lanes.iter().all(|l| l.filter == LaneFilter::BConvOnly));
+        assert!(ip_lanes.iter().all(|l| l.filter == LaneFilter::IpOnly));
+    }
+
+    #[test]
+    fn ntt_lane_cycle_costs() {
+        let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+        let lane = m.lanes.iter().find(|l| l.class == KernelClass::Ntt).unwrap();
+        let short = lane.cycles(&KernelKind::Ntt { n: 1 << 12 });
+        let long = lane.cycles(&KernelKind::Ntt { n: 1 << 16 });
+        assert!(long > short);
+    }
+
+    #[test]
+    fn hybrid_machine_accepts_both_schemes() {
+        let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
+        let ip = KernelKind::InnerProduct { digits: 3, limbs: 1, outputs: 2, n: 1 << 16 };
+        let bconv = KernelKind::BConv { rows_in: 4, rows_out: 8, n: 1 << 16 };
+        let extp = KernelKind::ExtProductMac { rows: 4, outputs: 2, n: 1024 };
+        for k in [ip, bconv, extp] {
+            assert!(
+                m.lanes.iter().any(|l| l.accepts(&k)),
+                "hybrid machine rejects {k:?}"
+            );
+        }
+        // Schemes keep disjoint MAC columns: no member overlap between
+        // the IP and EXTP lanes.
+        let members = |name: &str| {
+            m.lanes
+                .iter()
+                .filter(|l| l.name.contains(name))
+                .flat_map(|l| l.members.clone())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        assert!(members("IP").is_disjoint(&members("EXTP")));
+    }
+
+    #[test]
+    fn tfhe_fixed_is_slower_per_ntt() {
+        let flexible = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::TfheAdaptive);
+        let fixed = build_machine(
+            &AcceleratorConfig::trinity_tfhe_without_cu(),
+            MappingPolicy::TfheFixed,
+        );
+        let k = KernelKind::Ntt { n: 1024 };
+        let fl = flexible
+            .lanes
+            .iter()
+            .find(|l| l.class == KernelClass::Ntt)
+            .unwrap()
+            .cycles(&k);
+        let fx = fixed
+            .lanes
+            .iter()
+            .find(|l| l.class == KernelClass::Ntt)
+            .unwrap()
+            .cycles(&k);
+        assert!(fx > fl, "fixed design must pay extra passes: {fx} vs {fl}");
+    }
+}

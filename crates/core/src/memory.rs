@@ -1,0 +1,331 @@
+//! On-chip memory system model (paper §IV-J).
+//!
+//! Trinity's memory hierarchy: per-cluster scratchpad (shared across
+//! groups, talks to HBM and the inter-cluster NoC) and per-group local
+//! buffers (shared across a group's functional units). This module
+//! reproduces the paper's published geometry —
+//!
+//! * local buffer: 256 lanes x 5 single-ported 36-bit banks, each bank
+//!   holding two 65536-coefficient polynomials per lane; double-pumped,
+//!   giving 2.8125 MiB and 11.25 TB/s at 1 GHz;
+//! * scratchpad: 256 lanes x 4 single-ported 36-bit banks, 45 MiB per
+//!   cluster and 9 TB/s at 1 GHz (Table III lists the 4-cluster total,
+//!   180 MB);
+//!
+//! — and derives from it the *key-residency* question that drives HBM
+//! traffic: does the working set (evk, bsk, ksk, ciphertexts) fit, and
+//! if not, what fraction of key material must re-stream per use? That
+//! fraction is the `hbm_key_fraction` the keyswitch DAG builders charge
+//! to the HBM lane.
+
+/// Bytes in one MiB.
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Geometry of one vectorised SRAM structure (local buffer or
+/// scratchpad).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramSpec {
+    /// Vector lanes.
+    pub lanes: usize,
+    /// Single-ported banks per lane.
+    pub banks: usize,
+    /// Items (words) per bank per lane.
+    pub items_per_bank: usize,
+    /// Word width in bytes (36-bit => 4.5).
+    pub word_bytes: f64,
+    /// Accesses per cycle per bank (2 = double-pumped, §V-A).
+    pub pump: f64,
+}
+
+impl SramSpec {
+    /// The paper's local buffer: 5 banks, each storing two polynomials
+    /// of length 65536 per 256-lane group.
+    pub fn local_buffer() -> Self {
+        Self {
+            lanes: 256,
+            banks: 5,
+            // Two 65536-polynomials spread over 256 lanes: 512 items.
+            items_per_bank: 2 * 65536 / 256,
+            word_bytes: 4.5,
+            pump: 2.0,
+        }
+    }
+
+    /// The paper's per-cluster scratchpad: 4 banks, 45 MiB per cluster.
+    pub fn scratchpad() -> Self {
+        Self {
+            lanes: 256,
+            banks: 4,
+            items_per_bank: 10240,
+            word_bytes: 4.5,
+            pump: 2.0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> f64 {
+        self.lanes as f64 * self.banks as f64 * self.items_per_bank as f64 * self.word_bytes
+    }
+
+    /// Total capacity in MiB.
+    pub fn capacity_mib(&self) -> f64 {
+        self.capacity_bytes() / MIB
+    }
+
+    /// Peak bandwidth in bytes per cycle (all banks of all lanes).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.lanes as f64 * self.banks as f64 * self.word_bytes * self.pump
+    }
+
+    /// Peak bandwidth in TB/s at a core frequency.
+    pub fn tb_per_s(&self, freq_ghz: f64) -> f64 {
+        self.bytes_per_cycle() * freq_ghz * 1e9 / 1e12
+    }
+}
+
+/// Chip-level memory system: per-cluster scratchpads plus per-group
+/// local buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct MemorySystem {
+    /// Clusters on the chip.
+    pub clusters: usize,
+    /// Local buffers per cluster (one per group).
+    pub buffers_per_cluster: usize,
+    /// Scratchpad geometry.
+    pub scratchpad: SramSpec,
+    /// Local-buffer geometry.
+    pub local_buffer: SramSpec,
+}
+
+impl MemorySystem {
+    /// Trinity's memory system (Table III: 4 clusters, 3 groups each).
+    pub fn trinity() -> Self {
+        Self {
+            clusters: 4,
+            buffers_per_cluster: 3,
+            scratchpad: SramSpec::scratchpad(),
+            local_buffer: SramSpec::local_buffer(),
+        }
+    }
+
+    /// Total scratchpad capacity in bytes (the key-residency budget).
+    pub fn scratchpad_bytes(&self) -> f64 {
+        self.clusters as f64 * self.scratchpad.capacity_bytes()
+    }
+
+    /// Total on-chip capacity in MiB (scratchpads + local buffers).
+    pub fn total_mib(&self) -> f64 {
+        (self.scratchpad_bytes()
+            + (self.clusters * self.buffers_per_cluster) as f64
+                * self.local_buffer.capacity_bytes())
+            / MIB
+    }
+
+    /// Aggregate scratchpad bandwidth in TB/s.
+    pub fn scratchpad_tb_per_s(&self, freq_ghz: f64) -> f64 {
+        self.clusters as f64 * self.scratchpad.tb_per_s(freq_ghz)
+    }
+
+    /// Aggregate local-buffer bandwidth in TB/s.
+    pub fn local_buffer_tb_per_s(&self, freq_ghz: f64) -> f64 {
+        (self.clusters * self.buffers_per_cluster) as f64
+            * self.local_buffer.tb_per_s(freq_ghz)
+    }
+}
+
+/// Key material a workload keeps live on chip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkingSet {
+    /// CKKS evaluation/relinearisation key bytes.
+    pub evk_bytes: f64,
+    /// CKKS Galois key bytes (rotation set).
+    pub galois_bytes: f64,
+    /// TFHE bootstrapping key bytes.
+    pub bsk_bytes: f64,
+    /// TFHE keyswitching key bytes.
+    pub ksk_bytes: f64,
+    /// Live ciphertext bytes (double-buffered working tiles).
+    pub ciphertext_bytes: f64,
+}
+
+impl WorkingSet {
+    /// One CKKS switching key at level `l`: `beta * 2 * ext_limbs * N`
+    /// words (hybrid keyswitch, Algorithm 1).
+    pub fn ckks_evk_bytes(n: usize, levels: usize, dnum: usize, l: usize, word_bytes: f64) -> f64 {
+        let alpha = (levels + 1).div_ceil(dnum);
+        let beta = (l + 1).div_ceil(alpha);
+        let ext = l + 1 + alpha;
+        (beta * 2 * ext * n) as f64 * word_bytes
+    }
+
+    /// TFHE bootstrapping key: `n_lwe` GGSWs of `(k+1)^2 * lb`
+    /// polynomials.
+    pub fn tfhe_bsk_bytes(n: usize, n_lwe: usize, k: usize, lb: usize, word_bytes: f64) -> f64 {
+        (n_lwe * (k + 1) * (k + 1) * lb * n) as f64 * word_bytes
+    }
+
+    /// TFHE keyswitching key: `k*N x lk` LWE rows of dimension
+    /// `n_lwe + 1`.
+    pub fn tfhe_ksk_bytes(n: usize, n_lwe: usize, k: usize, lk: usize, word_bytes: f64) -> f64 {
+        (k * n * lk * (n_lwe + 1)) as f64 * word_bytes
+    }
+
+    /// The full CKKS bootstrapping working set: relinearisation key plus
+    /// `galois_keys` rotation keys at the top level and a handful of
+    /// live ciphertext tiles.
+    pub fn ckks_bootstrap(
+        n: usize,
+        levels: usize,
+        dnum: usize,
+        galois_keys: usize,
+        word_bytes: f64,
+    ) -> Self {
+        let evk = Self::ckks_evk_bytes(n, levels, dnum, levels, word_bytes);
+        Self {
+            evk_bytes: evk,
+            galois_bytes: galois_keys as f64 * evk,
+            ciphertext_bytes: 4.0 * 2.0 * (levels + 1) as f64 * n as f64 * word_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.evk_bytes + self.galois_bytes + self.bsk_bytes + self.ksk_bytes + self.ciphertext_bytes
+    }
+
+    /// Whether everything fits in `capacity_bytes`.
+    pub fn fits(&self, capacity_bytes: f64) -> bool {
+        self.total_bytes() <= capacity_bytes
+    }
+
+    /// Fraction of *key* material that must re-stream from HBM per use.
+    ///
+    /// Keys that fit stay resident and are charged once over `uses`
+    /// reuses (`1/uses`); when the working set exceeds capacity, the
+    /// overflowing fraction of every use streams cold. This is the
+    /// principled version of the keyswitch builders'
+    /// `hbm_key_fraction`.
+    pub fn key_stream_fraction(&self, capacity_bytes: f64, uses: usize) -> f64 {
+        let keys = self.evk_bytes + self.galois_bytes + self.bsk_bytes + self.ksk_bytes;
+        if keys <= 0.0 {
+            return 0.0;
+        }
+        let available = (capacity_bytes - self.ciphertext_bytes).max(0.0);
+        let resident = keys.min(available);
+        let cold = (keys - resident) / keys;
+        let warm = resident / keys;
+        cold + warm / uses.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_buffer_matches_paper_geometry() {
+        // §IV-J: "a total capacity of 2.81 MB and a total bandwidth of
+        // 11.25 TB/s per local buffer".
+        let lb = SramSpec::local_buffer();
+        assert!((lb.capacity_mib() - 2.8125).abs() < 1e-9, "{}", lb.capacity_mib());
+        assert!((lb.tb_per_s(1.0) - 11.52).abs() < 0.3, "{}", lb.tb_per_s(1.0));
+    }
+
+    #[test]
+    fn scratchpad_matches_paper_geometry() {
+        // §IV-J: "a total capacity of 45 MB and a bandwidth of 9 TB/s".
+        let sp = SramSpec::scratchpad();
+        assert!((sp.capacity_mib() - 45.0).abs() < 1e-9, "{}", sp.capacity_mib());
+        assert!((sp.tb_per_s(1.0) - 9.216).abs() < 0.3, "{}", sp.tb_per_s(1.0));
+    }
+
+    #[test]
+    fn chip_rollup_matches_table_iii() {
+        // Table III: 180 MB scratchpad-class storage at 4 clusters;
+        // Table XII: ~191 MB on-chip total.
+        let m = MemorySystem::trinity();
+        assert!((m.scratchpad_bytes() / MIB - 180.0).abs() < 1e-9);
+        let total = m.total_mib();
+        assert!((180.0..225.0).contains(&total), "total {total}");
+        assert!(m.scratchpad_tb_per_s(1.0) > 35.0); // paper: 36 TB/s SPM
+        assert!(m.local_buffer_tb_per_s(1.0) > 130.0); // paper: 135 TB/s
+    }
+
+    #[test]
+    fn evk_formula_matches_workload_builder() {
+        // Same arithmetic as trinity-workloads::ckks_ops::evk_bytes.
+        let b = WorkingSet::ckks_evk_bytes(1 << 16, 35, 3, 35, 4.5);
+        // beta=3, ext=48: 3 * 2 * 48 * 65536 * 4.5.
+        assert!((b - (3.0 * 2.0 * 48.0 * 65536.0 * 4.5)).abs() < 1.0);
+    }
+
+    #[test]
+    fn tfhe_keys_are_megabytes() {
+        // Set-I: bsk = 500 GGSWs of 2*2*2=8 polys of 1024 32-bit words.
+        let bsk = WorkingSet::tfhe_bsk_bytes(1024, 500, 1, 2, 4.0);
+        assert!((bsk / MIB - 15.625).abs() < 0.1, "{}", bsk / MIB);
+        let ksk = WorkingSet::tfhe_ksk_bytes(1024, 500, 1, 8, 4.0);
+        assert!(ksk / MIB > 15.0 && ksk / MIB < 17.0, "{}", ksk / MIB);
+    }
+
+    #[test]
+    fn bootstrap_key_set_must_stream() {
+        // The full CKKS bootstrap key set (relin + ~48 rotation keys at
+        // L = 35) is gigabytes — far beyond any scratchpad. This is the
+        // pressure that motivated ARK's runtime key generation; the
+        // model reports a nearly cold stream fraction.
+        let trinity = MemorySystem::trinity().scratchpad_bytes();
+        let ws = WorkingSet::ckks_bootstrap(1 << 16, 35, 3, 48, 4.5);
+        assert!(!ws.fits(trinity), "49 switching keys exceed 180 MiB");
+        assert!(ws.total_bytes() > 1e9);
+        let f = ws.key_stream_fraction(trinity, 16);
+        assert!(f > 0.9, "stream fraction {f}");
+    }
+
+    #[test]
+    fn single_evk_residency_reproduces_default_key_fraction() {
+        // One switching key *does* fit beside the live ciphertext
+        // tiles; reused 4x within a BSGS stage it costs a quarter of a
+        // cold stream per use — the workloads' default
+        // `hbm_key_fraction = 0.25`.
+        let trinity = MemorySystem::trinity().scratchpad_bytes();
+        let ws = WorkingSet::ckks_bootstrap(1 << 16, 35, 3, 0, 4.5);
+        assert!(ws.fits(trinity), "one evk + tiles fit 180 MiB");
+        let f = ws.key_stream_fraction(trinity, 4);
+        assert!((f - 0.25).abs() < 1e-12, "fraction {f}");
+    }
+
+    #[test]
+    fn tfhe_keys_resident_on_trinity_stream_on_morphling() {
+        let trinity = MemorySystem::trinity().scratchpad_bytes();
+        let tfhe = WorkingSet {
+            bsk_bytes: WorkingSet::tfhe_bsk_bytes(1024, 500, 1, 2, 4.0),
+            ksk_bytes: WorkingSet::tfhe_ksk_bytes(1024, 500, 1, 8, 4.0),
+            ..WorkingSet::default()
+        };
+        assert!(tfhe.fits(trinity));
+        assert!(!tfhe.fits(11.0 * MIB), "Morphling must stream keys");
+    }
+
+    #[test]
+    fn stream_fraction_limits() {
+        let ws = WorkingSet {
+            evk_bytes: 100.0 * MIB,
+            ..WorkingSet::default()
+        };
+        // Infinite reuse, full residency: fraction -> 0.
+        assert!(ws.key_stream_fraction(200.0 * MIB, 1_000_000) < 1e-3);
+        // No capacity: every use streams cold.
+        assert!((ws.key_stream_fraction(0.0, 8) - 1.0).abs() < 1e-12);
+        // Single use: fraction 1 regardless of capacity.
+        assert!((ws.key_stream_fraction(200.0 * MIB, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_working_set_streams_nothing() {
+        let ws = WorkingSet::default();
+        assert_eq!(ws.key_stream_fraction(MIB, 4), 0.0);
+        assert!(ws.fits(0.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the scheduler and machine models.
+//!
+//! Random kernel DAGs probe the invariants any correct list scheduler
+//! must keep: results are deterministic, no component is busy longer
+//! than the makespan, dependencies serialize, and adding work never
+//! shortens the schedule.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trinity_core::arch::AcceleratorConfig;
+use trinity_core::kernel::{KernelGraph, KernelKind};
+use trinity_core::mapping::{build_machine, Machine, MappingPolicy};
+use trinity_core::sched::simulate;
+
+fn hybrid_machine() -> Machine {
+    build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid)
+}
+
+/// Builds a random DAG of schedulable kernels; every kernel depends on
+/// a random subset of its predecessors.
+fn random_graph(seed: u64, size: usize) -> KernelGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = KernelGraph::new();
+    for i in 0..size {
+        let kind = match rng.gen_range(0..7) {
+            0 => KernelKind::Ntt { n: 1 << rng.gen_range(8..=16) },
+            1 => KernelKind::Intt { n: 1 << rng.gen_range(8..=16) },
+            2 => KernelKind::BConv {
+                rows_in: rng.gen_range(1..8),
+                rows_out: rng.gen_range(1..40),
+                n: 1 << 14,
+            },
+            3 => KernelKind::ModMul { limbs: rng.gen_range(1..36), n: 1 << 14 },
+            4 => KernelKind::ModAdd { limbs: rng.gen_range(1..36), n: 1 << 14 },
+            5 => KernelKind::Automorphism { limbs: rng.gen_range(1..36), n: 1 << 14 },
+            _ => KernelKind::HbmLoad { bytes: rng.gen_range(1..4_000_000) },
+        };
+        let deps: Vec<usize> = (0..i)
+            .filter(|_| rng.gen_bool((4.0 / i.max(1) as f64).min(1.0)))
+            .collect();
+        g.add(kind, &deps);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scheduling is a pure function of the graph.
+    #[test]
+    fn schedule_is_deterministic(seed in any::<u64>()) {
+        let m = hybrid_machine();
+        let g = random_graph(seed, 40);
+        let a = simulate(&m, &g);
+        let b = simulate(&m, &g);
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.component_busy, b.component_busy);
+    }
+
+    /// No component accumulates more busy cycles than the makespan.
+    #[test]
+    fn busy_time_bounded_by_makespan(seed in any::<u64>()) {
+        let m = hybrid_machine();
+        let g = random_graph(seed, 50);
+        let r = simulate(&m, &g);
+        for (name, &busy) in &r.component_busy {
+            prop_assert!(
+                busy <= r.total_cycles,
+                "{name} busy {busy} > makespan {}",
+                r.total_cycles
+            );
+        }
+        prop_assert!(r.overall_utilization() <= 1.0 + 1e-9);
+    }
+
+    /// The makespan is at least the longest single kernel and at most
+    /// the serial sum of all kernels.
+    #[test]
+    fn makespan_bounds(seed in any::<u64>()) {
+        let m = hybrid_machine();
+        let g = random_graph(seed, 30);
+        let r = simulate(&m, &g);
+        // Upper bound: strictly serial execution on the slowest
+        // accepting lane.
+        let serial: u64 = g
+            .kernels()
+            .iter()
+            .map(|k| {
+                m.lanes
+                    .iter()
+                    .filter(|l| l.accepts(&k.kind))
+                    .map(|l| l.cycles(&k.kind).max(1))
+                    .max()
+                    .expect("some lane accepts")
+            })
+            .sum();
+        prop_assert!(r.total_cycles <= serial);
+        // Lower bound: the fastest execution of the slowest kernel.
+        let widest: u64 = g
+            .kernels()
+            .iter()
+            .map(|k| {
+                m.lanes
+                    .iter()
+                    .filter(|l| l.accepts(&k.kind))
+                    .map(|l| l.cycles(&k.kind).max(1))
+                    .min()
+                    .expect("some lane accepts")
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(r.total_cycles >= widest);
+    }
+
+    /// Appending extra kernels never shortens the schedule.
+    #[test]
+    fn monotone_under_added_work(seed in any::<u64>(), extra in 1usize..10) {
+        let m = hybrid_machine();
+        let g = random_graph(seed, 25);
+        let base = simulate(&m, &g).total_cycles;
+        let mut bigger = g.clone();
+        for _ in 0..extra {
+            bigger.add(KernelKind::Ntt { n: 1 << 16 }, &[]);
+        }
+        let grown = simulate(&m, &bigger).total_cycles;
+        prop_assert!(grown >= base, "adding work shrank {base} -> {grown}");
+    }
+
+    /// A linear dependency chain costs the sum of its parts.
+    #[test]
+    fn chains_serialize_exactly(len in 1usize..20) {
+        let m = hybrid_machine();
+        let mut g = KernelGraph::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..len {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(g.add(KernelKind::Ntt { n: 1 << 16 }, &deps));
+        }
+        let r = simulate(&m, &g);
+        let single = {
+            let mut g1 = KernelGraph::new();
+            g1.add(KernelKind::Ntt { n: 1 << 16 }, &[]);
+            simulate(&m, &g1).total_cycles
+        };
+        prop_assert_eq!(r.total_cycles, single * len as u64);
+    }
+
+    /// Every machine/policy pair schedules a mixed CKKS+TFHE-friendly
+    /// workload without panicking, and utilization stays sane.
+    #[test]
+    fn all_trinity_policies_schedule_their_kernels(seed in any::<u64>()) {
+        for policy in [
+            MappingPolicy::CkksAdaptive,
+            MappingPolicy::CkksIpUseEwe,
+            MappingPolicy::Hybrid,
+        ] {
+            let m = build_machine(&AcceleratorConfig::trinity(), policy);
+            let g = random_graph(seed, 25);
+            let r = simulate(&m, &g);
+            prop_assert!(r.total_cycles > 0);
+            prop_assert!(r.overall_utilization() <= 1.0 + 1e-9);
+        }
+    }
+}

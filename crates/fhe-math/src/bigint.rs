@@ -1,0 +1,282 @@
+//! Minimal unsigned big integer, just large enough for CRT reconstruction
+//! and modulus-product bookkeeping in RNS-CKKS.
+//!
+//! Only the operations the workspace needs are implemented: addition,
+//! subtraction, comparison, multiplication by a word, halving, reduction
+//! by repeated conditional subtraction, and conversion to `f64`. No
+//! general division is required anywhere in the codebase.
+
+/// An arbitrary-precision unsigned integer (little-endian 64-bit limbs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UBig {
+    limbs: Vec<u64>, // little-endian, no trailing zeros
+}
+
+impl UBig {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// Constructs from a single word.
+    pub fn from_u64(x: u64) -> Self {
+        if x == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![x] }
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &UBig) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub_assign(&mut self, other: &UBig) {
+        assert!(*self >= *other, "UBig subtraction underflow");
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, c1) = self.limbs[i].overflowing_sub(b);
+            let (d2, c2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.trim();
+    }
+
+    /// Returns `self * k`.
+    pub fn mul_u64(&self, k: u64) -> UBig {
+        if k == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let prod = l as u128 * k as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        UBig { limbs: out }
+    }
+
+    /// Returns `self / 2`, flooring.
+    pub fn half(&self) -> UBig {
+        let mut out = self.limbs.clone();
+        let mut carry = 0u64;
+        for l in out.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 63);
+            carry = new_carry;
+        }
+        let mut r = UBig { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `self mod m` where the quotient is known to be small, by repeated
+    /// conditional subtraction. Used for CRT sums (at most `count` excess
+    /// multiples).
+    pub fn reduce_by(&mut self, m: &UBig) {
+        while *self >= *m {
+            self.sub_assign(m);
+        }
+    }
+
+    /// Floor division by a word, returning the quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_u64(&self, d: u64) -> UBig {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | l as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut r = UBig { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Remainder modulo a word-size modulus.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        let mut r = 0u128;
+        for &l in self.limbs.iter().rev() {
+            r = ((r << 64) | l as u128) % m as u128;
+        }
+        r as u64
+    }
+
+    /// Approximate conversion to `f64` (correct to f64 precision).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 18446744073709551616.0 + l as f64;
+        }
+        acc
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl std::fmt::Display for UBig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UBig({} bits)", self.bits())
+    }
+}
+
+/// Product of a list of word-size moduli.
+pub fn product(moduli: impl IntoIterator<Item = u64>) -> UBig {
+    let mut acc = UBig::from_u64(1);
+    for m in moduli {
+        acc = acc.mul_u64(m);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = product([u64::MAX, u64::MAX - 1, 12345]);
+        let b = product([987654321, 1 << 40]);
+        let mut s = a.clone();
+        s.add_assign(&b);
+        assert!(s > a);
+        s.sub_assign(&b);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn mul_and_rem() {
+        let a = UBig::from_u64(1_000_000_007);
+        let b = a.mul_u64(1_000_000_009);
+        // (1e9+7)(1e9+9) mod 97
+        let expect = ((1_000_000_007u128 * 1_000_000_009u128) % 97) as u64;
+        assert_eq!(b.rem_u64(97), expect);
+    }
+
+    #[test]
+    fn product_and_bits() {
+        let p = product([1u64 << 35, 1 << 35, 1 << 35]);
+        assert_eq!(p.bits(), 106);
+        assert_eq!(p.rem_u64(7), {
+            // 2^105 mod 7: 2^3=1 mod 7, 105 % 3 == 0 -> 1
+            1
+        });
+    }
+
+    #[test]
+    fn half_matches_shift() {
+        let p = product([0xdeadbeefcafebabe, 0x123456789abcdef]);
+        let h = p.half();
+        let mut twice = h.clone();
+        twice.add_assign(&h);
+        // p is even or odd; twice = p or p-1.
+        let mut diff = p.clone();
+        diff.sub_assign(&twice);
+        assert!(diff.is_zero() || diff == UBig::from_u64(1));
+    }
+
+    #[test]
+    fn reduce_by_small_quotient() {
+        let m = product([(1 << 40) + 15, (1 << 41) + 21]);
+        let mut x = m.mul_u64(5);
+        x.add_assign(&UBig::from_u64(42));
+        x.reduce_by(&m);
+        assert_eq!(x, UBig::from_u64(42));
+    }
+
+    #[test]
+    fn div_u64_inverts_mul() {
+        let a = product([0xfeedface12345, 0x1b2c3d4e5f6a7, 99991]);
+        let d = 1_000_003u64;
+        let q = a.mul_u64(d).div_u64(d);
+        assert_eq!(q, a);
+        // Floor behaviour: (a*d + r)/d == a for r < d.
+        let mut x = a.mul_u64(d);
+        x.add_assign(&UBig::from_u64(d - 1));
+        assert_eq!(x.div_u64(d), a);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        let x = UBig::from_u64(1 << 52);
+        assert_eq!(x.to_f64(), (1u64 << 52) as f64);
+        let big = product([1 << 50, 1 << 50]);
+        let rel = (big.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut a = UBig::from_u64(1);
+        a.sub_assign(&UBig::from_u64(2));
+    }
+}

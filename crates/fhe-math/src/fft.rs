@@ -1,0 +1,314 @@
+//! Double-precision complex FFT.
+//!
+//! Two consumers in this workspace:
+//!
+//! * the CKKS canonical-embedding encoder/decoder (special FFT over the
+//!   odd powers of the 2N-th root of unity), and
+//! * the FFT-based TFHE external product that Morphling/Strix-style
+//!   accelerators use — the baseline Trinity replaces with NTT (§II-B).
+//!   Keeping a real FFT path lets the test suite quantify the
+//!   approximation error the paper's NTT substitution eliminates.
+
+/// A complex number in double precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// e^{i theta}.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Precomputed twiddle tables for power-of-two complex FFTs.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// w^k = e^{-2 pi i k / n} for k in 0..n/2 (forward twiddles).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Creates a plan for an `n`-point FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Self { n, twiddles }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward FFT: `X[k] = sum_j a[j] e^{-2 pi i jk / n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward(&self, a: &mut [Complex]) {
+        assert_eq!(a.len(), self.n);
+        crate::util::bit_reverse_permute(a);
+        let n = self.n;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let u = a[start + k];
+                    let v = a[start + k + half] * w;
+                    a[start + k] = u + v;
+                    a[start + k + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place inverse FFT (scaled by 1/n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [Complex]) {
+        assert_eq!(a.len(), self.n);
+        for x in a.iter_mut() {
+            *x = x.conj();
+        }
+        self.forward(a);
+        let scale = 1.0 / self.n as f64;
+        for x in a.iter_mut() {
+            *x = x.conj() * scale;
+        }
+    }
+}
+
+/// Negacyclic multiplication of integer polynomials via the complex FFT,
+/// with rounding back to integers — the approximate path TFHE
+/// accelerators like Morphling use, which Trinity's NTT substitution
+/// avoids (§II-B, §VII "Related Work").
+///
+/// Coefficients are interpreted as signed integers (centered), multiplied
+/// in `C[X]/(X^n - i...)` via the folded-twist technique, and rounded.
+/// Returns the rounded signed result; callers reduce into their modulus.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()` or the length is not a power of two.
+pub fn negacyclic_mul_fft(a: &[i64], b: &[i64]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    // Twist by e^{i pi j / n} turns negacyclic into cyclic of length n.
+    let plan = FftPlan::new(n);
+    let twist = |v: &[i64]| -> Vec<Complex> {
+        v.iter()
+            .enumerate()
+            .map(|(j, &x)| Complex::cis(std::f64::consts::PI * j as f64 / n as f64) * x as f64)
+            .collect()
+    };
+    let mut fa = twist(a);
+    let mut fb = twist(b);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for i in 0..n {
+        fa[i] = fa[i] * fb[i];
+    }
+    plan.inverse(&mut fa);
+    fa.iter()
+        .enumerate()
+        .map(|(j, &c)| {
+            let untwist = Complex::cis(-std::f64::consts::PI * j as f64 / n as f64);
+            (c * untwist).re.round() as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fft_roundtrip() {
+        let plan = FftPlan::new(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let orig: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut a = orig.clone();
+        plan.forward(&mut a);
+        plan.inverse(&mut a);
+        for (x, y) in a.iter().zip(&orig) {
+            assert!((x.re - y.re).abs() < 1e-10);
+            assert!((x.im - y.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let plan = FftPlan::new(16);
+        let mut a = vec![Complex::default(); 16];
+        a[0] = Complex::new(1.0, 0.0);
+        plan.forward(&mut a);
+        for x in &a {
+            assert!((x.re - 1.0).abs() < 1e-12 && x.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 32;
+        let plan = FftPlan::new(n);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut fast = a.clone();
+        plan.forward(&mut fast);
+        for k in 0..n {
+            let mut acc = Complex::default();
+            for (j, &x) in a.iter().enumerate() {
+                acc = acc + x * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+            }
+            assert!((fast[k].re - acc.re).abs() < 1e-9, "k={k}");
+            assert!((fast[k].im - acc.im).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_fft_matches_exact_small_coeffs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 256;
+        let a: Vec<i64> = (0..n).map(|_| rng.gen_range(-8..8)).collect();
+        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(-1024..1024)).collect();
+        let fast = negacyclic_mul_fft(&a, &b);
+        // Exact oracle in i128.
+        let mut exact = vec![0i128; n];
+        for i in 0..n {
+            for j in 0..n {
+                let k = i + j;
+                let prod = a[i] as i128 * b[j] as i128;
+                if k < n {
+                    exact[k] += prod;
+                } else {
+                    exact[k - n] -= prod;
+                }
+            }
+        }
+        for i in 0..n {
+            assert_eq!(fast[i] as i128, exact[i], "i={i}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_fft_error_grows_with_magnitude() {
+        // Demonstrates the approximation error the paper's NTT substitution
+        // eliminates: with ~40-bit operands the f64 FFT starts to round
+        // incorrectly, while NTT stays exact at any magnitude.
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 1024;
+        let a: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1 << 26)..(1 << 26))).collect();
+        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1 << 26)..(1 << 26))).collect();
+        let fast = negacyclic_mul_fft(&a, &b);
+        let mut exact = vec![0i128; n];
+        for i in 0..n {
+            for j in 0..n {
+                let k = i + j;
+                let prod = a[i] as i128 * b[j] as i128;
+                if k < n {
+                    exact[k] += prod;
+                } else {
+                    exact[k - n] -= prod;
+                }
+            }
+        }
+        let max_err = fast
+            .iter()
+            .zip(&exact)
+            .map(|(&f, &e)| (f as i128 - e).unsigned_abs())
+            .max()
+            .unwrap();
+        // f64 has 53 bits of mantissa; intermediate magnitudes here reach
+        // ~2^57, so rounding error must be nonzero but stay small.
+        assert!(max_err > 0, "expected visible FFT rounding error");
+        assert!(max_err < 1 << 20, "error unexpectedly large: {max_err}");
+    }
+}

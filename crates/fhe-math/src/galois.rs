@@ -1,0 +1,187 @@
+//! Galois automorphisms of the negacyclic ring.
+//!
+//! The automorphism `sigma_g : X -> X^g` (odd `g`) permutes the
+//! evaluation slots of a polynomial; CKKS rotations use `g = 5^r mod 2N`
+//! (the paper's `Auto` kernel: "maps the indices of each coefficient from
+//! i to sigma_r(i) = i * 5^r mod N", §II-A) and conjugation uses
+//! `g = 2N - 1`. Scheme conversion's field trace uses `g = N/2^k + 1`
+//! elements.
+//!
+//! In coefficient form the map is a signed index permutation. In
+//! evaluation form it is an unsigned slot permutation which depends on
+//! which evaluation point each NTT output slot holds; [`GaloisPerms`]
+//! recovers that mapping once per ring by transforming the monomial `X`
+//! and taking discrete logs against a precomputed table of psi powers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::ntt::NttTable;
+
+/// Per-ring cache of evaluation-domain automorphism permutations.
+#[derive(Debug)]
+pub struct GaloisPerms {
+    table: Arc<NttTable>,
+    /// Exponent `e_i` such that NTT output slot `i` holds `f(psi^{e_i})`.
+    slot_exponent: Vec<u64>,
+    /// Inverse map: exponent (odd, < 2n) -> slot index.
+    slot_of_exponent: Vec<u32>,
+    cache: Mutex<HashMap<u64, Arc<Vec<usize>>>>,
+}
+
+impl GaloisPerms {
+    /// Builds the slot-exponent map for a ring.
+    pub fn new(table: Arc<NttTable>) -> Self {
+        let n = table.n();
+        let m = *table.modulus();
+        // Transform f(X) = X: slot i then holds psi^{e_i}.
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        table.forward(&mut x);
+        // psi powers lookup: psi^e for all odd e < 2n.
+        // Recover psi as the element whose n-th power is -1 among slot
+        // values: every slot value IS some psi^odd; find psi^1 by checking
+        // which candidate generates all slot values consistently. Simpler:
+        // brute-force match each slot value against psi^e computed from
+        // any primitive 2n-th root — but we need the *same* psi the table
+        // used. The slot values themselves are psi^{odd}; the set of odd
+        // powers of any fixed primitive 2n-th root equals this set, but
+        // exponents must be consistent with the table's psi. We recover
+        // the table's psi by transforming f(X)=X with n=2 semantics:
+        // slot exponents are determined up to the choice of psi; any
+        // primitive 2n-th root whose odd powers match the slot values
+        // bijectively gives a consistent labelling, and automorphism
+        // permutations are identical under relabelling psi -> psi^u
+        // (u odd): slots permute the same way.
+        let mut value_to_exp: HashMap<u64, u64> = HashMap::with_capacity(n);
+        // Choose psi := value in slot of the exponent labelled 1 — any
+        // slot value works as the labelling root. Verify it is a
+        // primitive 2n-th root.
+        let cand = x[0];
+        debug_assert_eq!(m.pow(cand, n as u64), m.value() - 1, "slot value not a negacyclic root");
+        let mut pw = 1u64;
+        for e in 0..(2 * n as u64) {
+            value_to_exp.insert(pw, e);
+            pw = m.mul(pw, cand);
+        }
+        let mut slot_exponent = vec![0u64; n];
+        let mut slot_of_exponent = vec![u32::MAX; 2 * n];
+        for (i, &v) in x.iter().enumerate() {
+            let e = *value_to_exp
+                .get(&v)
+                .expect("slot value must be a power of the labelling root");
+            slot_exponent[i] = e;
+            slot_of_exponent[e as usize] = i as u32;
+        }
+        Self {
+            table,
+            slot_exponent,
+            slot_of_exponent,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.table.n()
+    }
+
+    /// Returns the evaluation-domain permutation for `sigma_g`:
+    /// `out[i] = in[perm[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even.
+    pub fn eval_permutation(&self, g: u64) -> Arc<Vec<usize>> {
+        assert_eq!(g % 2, 1, "galois element must be odd");
+        let two_n = 2 * self.n() as u64;
+        let g = g % two_n;
+        if let Some(p) = self.cache.lock().unwrap().get(&g) {
+            return p.clone();
+        }
+        // (sigma_g f)(psi^e) = f(psi^{e*g}), so the slot holding exponent
+        // e must read from the slot holding exponent e*g.
+        let perm: Vec<usize> = (0..self.n())
+            .map(|i| {
+                let e = self.slot_exponent[i];
+                let src_e = (e as u128 * g as u128 % two_n as u128) as u64;
+                self.slot_of_exponent[src_e as usize] as usize
+            })
+            .collect();
+        let arc = Arc::new(perm);
+        self.cache.lock().unwrap().insert(g, arc.clone());
+        arc
+    }
+}
+
+/// Galois element for a CKKS rotation by `r` slots: `5^r mod 2N`
+/// (negative `r` uses the inverse of 5).
+pub fn rotation_galois_element(r: i64, n: usize) -> u64 {
+    let two_n = 2 * n as u64;
+    let m = crate::modulus::Modulus::new(two_n).expect("2n in range");
+    if r >= 0 {
+        m.pow(5, r as u64 % (n as u64 / 2))
+    } else {
+        let inv5 = m.inv(5).expect("5 invertible mod 2^k");
+        m.pow(inv5, (-r) as u64 % (n as u64 / 2))
+    }
+}
+
+/// Galois element for complex conjugation: `2N - 1`.
+pub fn conjugation_galois_element(n: usize) -> u64 {
+    2 * n as u64 - 1
+}
+
+/// Galois elements used by the field trace (`N/nslot` doubling steps of
+/// the conversion algorithm, Alg. 5 line 4): `2^step_log + 1`.
+pub fn trace_galois_element(step_log: u32) -> u64 {
+    (1u64 << step_log) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::Modulus;
+    use crate::prime::ntt_primes;
+
+    #[test]
+    fn rotation_elements_are_odd_powers_of_five() {
+        let n = 1024;
+        assert_eq!(rotation_galois_element(0, n), 1);
+        assert_eq!(rotation_galois_element(1, n), 5);
+        assert_eq!(rotation_galois_element(2, n), 25);
+        let g = rotation_galois_element(-1, n);
+        assert_eq!((g as u128 * 5) % (2 * n as u128), 1);
+    }
+
+    #[test]
+    fn conjugation_element() {
+        assert_eq!(conjugation_galois_element(8), 15);
+    }
+
+    #[test]
+    fn eval_permutation_is_bijective() {
+        let n = 64;
+        let p = ntt_primes(40, n, 1)[0];
+        let t = Arc::new(NttTable::new(Modulus::new(p).unwrap(), n));
+        let perms = GaloisPerms::new(t);
+        for g in [5u64, 25, 127, 2 * 64 - 1] {
+            let perm = perms.eval_permutation(g);
+            let mut seen = vec![false; n];
+            for &s in perm.iter() {
+                assert!(!seen[s], "duplicate source slot {s} for g={g}");
+                seen[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn identity_automorphism_is_identity_permutation() {
+        let n = 32;
+        let p = ntt_primes(40, n, 1)[0];
+        let t = Arc::new(NttTable::new(Modulus::new(p).unwrap(), n));
+        let perms = GaloisPerms::new(t);
+        let perm = perms.eval_permutation(1);
+        assert!(perm.iter().enumerate().all(|(i, &s)| i == s));
+    }
+}

@@ -1,0 +1,57 @@
+//! # fhe-math — arithmetic substrate for the Trinity reproduction
+//!
+//! Everything the CKKS, TFHE and scheme-conversion layers need, built
+//! from scratch:
+//!
+//! * [`Modulus`] — Barrett/Shoup modular arithmetic on word-size primes.
+//! * [`prime`] — Miller–Rabin, NTT-friendly prime generation, and the
+//!   paper's "closest prime to `q`" selection for the FFT→NTT
+//!   substitution in TFHE (§II-B).
+//! * [`NttTable`] — negacyclic NTTs in three hardware-relevant flavours:
+//!   reference (Harvey), constant-geometry (Pease — Trinity's NTTU/CU
+//!   dataflow), and four-step (Bailey — Trinity's long-NTT strategy).
+//! * [`FftPlan`] — the double-precision FFT that FFT-based TFHE
+//!   accelerators use, kept as a comparison baseline.
+//! * [`RnsBasis`] / [`BasisConverter`] — RNS bases and the `BConv`
+//!   kernel (fast base conversion).
+//! * [`RnsPoly`] — RNS polynomials with NTT, automorphism, and monomial
+//!   operations.
+//! * [`sampler`] — uniform / ternary / binary / Gaussian samplers.
+//! * [`UBig`] — minimal big integers for CRT reconstruction.
+//!
+//! # Examples
+//!
+//! ```
+//! use fhe_math::{Modulus, NttTable, prime};
+//!
+//! // An NTT-friendly 36-bit prime for ring degree 1024 (the paper's word
+//! // size), and an exact negacyclic product.
+//! let p = prime::ntt_primes(36, 1024, 1)[0];
+//! let table = NttTable::new(Modulus::new(p)?, 1024);
+//! let mut x = vec![0u64; 1024];
+//! x[1] = 1; // X
+//! let y = table.negacyclic_mul(&x, &x); // X^2
+//! assert_eq!(y[2], 1);
+//! # Ok::<(), fhe_math::InvalidModulusError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod fft;
+pub mod galois;
+pub mod modulus;
+pub mod ntt;
+pub mod poly;
+pub mod prime;
+pub mod rns;
+pub mod sampler;
+pub mod util;
+
+pub use bigint::UBig;
+pub use fft::{Complex, FftPlan};
+pub use galois::GaloisPerms;
+pub use modulus::{InvalidModulusError, Modulus};
+pub use ntt::NttTable;
+pub use poly::{Representation, RnsPoly};
+pub use rns::{BasisConverter, RnsBasis};

@@ -1,0 +1,363 @@
+//! Modular arithmetic over word-sized prime moduli.
+//!
+//! All FHE arithmetic in this workspace runs over primes `p < 2^62`, which
+//! leaves two bits of slack for lazy accumulation in hot loops. Reduction
+//! uses 128-bit Barrett reduction with a precomputed `floor(2^128 / p)`
+//! ratio (the same approach as SEAL), plus Shoup multiplication for
+//! hot-path multiplications by precomputed constants such as NTT twiddles.
+
+/// A word-sized modulus with Barrett reduction precomputation.
+///
+/// # Examples
+///
+/// ```
+/// use fhe_math::Modulus;
+/// let m = Modulus::new(65537).unwrap();
+/// assert_eq!(m.mul(65536, 65536), 1); // (-1)^2 = 1 mod 65537
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    p: u64,
+    /// floor(2^128 / p), high word.
+    ratio_hi: u64,
+    /// floor(2^128 / p), low word.
+    ratio_lo: u64,
+}
+
+/// Error returned when constructing a [`Modulus`] from an unsupported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidModulusError(pub u64);
+
+impl std::fmt::Display for InvalidModulusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "modulus {} is not in range [2, 2^62)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidModulusError {}
+
+impl Modulus {
+    /// Maximum supported modulus value (exclusive): `2^62`.
+    pub const MAX: u64 = 1 << 62;
+
+    /// Creates a new modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModulusError`] if `p < 2` or `p >= 2^62`.
+    pub fn new(p: u64) -> Result<Self, InvalidModulusError> {
+        if p < 2 || p >= Self::MAX {
+            return Err(InvalidModulusError(p));
+        }
+        // Compute floor(2^128 / p) via long division of 2^128 by p.
+        let high = u128::MAX / p as u128; // floor((2^128 - 1)/p)
+        // 2^128 = (2^128 - 1) + 1; floor(2^128/p) differs from high only
+        // when p divides 2^128 exactly, impossible for p > 1 odd; for even
+        // p a power of two it matters, handle generically:
+        let rem = u128::MAX % p as u128;
+        let ratio = if rem == p as u128 - 1 { high + 1 } else { high };
+        Ok(Self {
+            p,
+            ratio_hi: (ratio >> 64) as u64,
+            ratio_lo: ratio as u64,
+        })
+    }
+
+    /// The modulus value.
+    #[inline]
+    pub const fn value(&self) -> u64 {
+        self.p
+    }
+
+    /// Number of significant bits in the modulus.
+    #[inline]
+    pub const fn bits(&self) -> u32 {
+        64 - self.p.leading_zeros()
+    }
+
+    /// Reduces an arbitrary u64 into `[0, p)`.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        if a < self.p {
+            a
+        } else {
+            a % self.p
+        }
+    }
+
+    /// Reduces a u128 into `[0, p)` using Barrett reduction.
+    #[inline]
+    pub fn reduce_u128(&self, a: u128) -> u64 {
+        // Barrett: q = floor(a * ratio / 2^128), r = a - q*p, then at most
+        // two conditional subtractions.
+        let a_lo = a as u64;
+        let a_hi = (a >> 64) as u64;
+        // q = floor((a_hi*2^64 + a_lo) * (r_hi*2^64 + r_lo) / 2^128)
+        //   = a_hi*r_hi + floor((a_hi*r_lo + a_lo*r_hi + carry_stuff)/2^64)
+        let lo_hi = ((a_lo as u128 * self.ratio_lo as u128) >> 64) as u64;
+        let mid1 = a_lo as u128 * self.ratio_hi as u128;
+        let mid2 = a_hi as u128 * self.ratio_lo as u128;
+        let mid = mid1.wrapping_add(mid2).wrapping_add(lo_hi as u128);
+        let q = (a_hi as u128 * self.ratio_hi as u128).wrapping_add(mid >> 64);
+        let r = (a as u64).wrapping_sub((q as u64).wrapping_mul(self.p));
+        // r in [0, 2p) after one correction in the worst case.
+        let mut r = r;
+        if r >= self.p {
+            r = r.wrapping_sub(self.p);
+        }
+        if r >= self.p {
+            r -= self.p;
+        }
+        r
+    }
+
+    /// Modular addition. Inputs must already be in `[0, p)`.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction. Inputs must already be in `[0, p)`.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// Modular negation. Input must be in `[0, p)`.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.p);
+        if a == 0 {
+            0
+        } else {
+            self.p - a
+        }
+    }
+
+    /// Modular multiplication via Barrett reduction.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Fused multiply-add: `a*b + c mod p`.
+    #[inline]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Precomputes the Shoup representation of a constant multiplier `w`:
+    /// `floor(w * 2^64 / p)`.
+    #[inline]
+    pub fn shoup(&self, w: u64) -> u64 {
+        debug_assert!(w < self.p);
+        (((w as u128) << 64) / self.p as u128) as u64
+    }
+
+    /// Shoup multiplication by a precomputed constant: `a * w mod p` where
+    /// `w_shoup = self.shoup(w)`. Roughly twice as fast as Barrett since it
+    /// needs a single high multiply.
+    #[inline]
+    pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(a < self.p);
+        let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        let r = a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(self.p));
+        if r >= self.p {
+            r - self.p
+        } else {
+            r
+        }
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.reduce(base);
+        let mut acc = 1u64 % self.p;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm so it is correct for
+    /// non-prime moduli as well (returns `None` when `gcd(a, p) != 1`).
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return None;
+        }
+        let (mut t, mut new_t): (i128, i128) = (0, 1);
+        let (mut r, mut new_r): (i128, i128) = (self.p as i128, a as i128);
+        while new_r != 0 {
+            let quotient = r / new_r;
+            (t, new_t) = (new_t, t - quotient * new_t);
+            (r, new_r) = (new_r, r - quotient * new_r);
+        }
+        if r > 1 {
+            return None;
+        }
+        let t = if t < 0 { t + self.p as i128 } else { t };
+        Some(t as u64)
+    }
+
+    /// Maps a signed integer to its representative in `[0, p)`.
+    #[inline]
+    pub fn from_i64(&self, a: i64) -> u64 {
+        if a >= 0 {
+            self.reduce(a as u64)
+        } else {
+            let m = self.reduce((-(a as i128)) as u64);
+            self.neg(m)
+        }
+    }
+
+    /// Maps a representative in `[0, p)` to the centered range
+    /// `[-p/2, p/2)`.
+    #[inline]
+    pub fn to_centered(&self, a: u64) -> i64 {
+        debug_assert!(a < self.p);
+        if a > self.p / 2 {
+            -((self.p - a) as i64)
+        } else {
+            a as i64
+        }
+    }
+}
+
+impl std::fmt::Display for Modulus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Modulus::new(0).is_err());
+        assert!(Modulus::new(1).is_err());
+        assert!(Modulus::new(1 << 62).is_err());
+        assert!(Modulus::new((1 << 62) - 1).is_ok());
+        assert!(Modulus::new(2).is_ok());
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let m = Modulus::new(97).unwrap();
+        for a in 0..97u64 {
+            for b in 0..97u64 {
+                let s = m.add(a, b);
+                assert_eq!(s, (a + b) % 97);
+                assert_eq!(m.sub(s, b), a);
+            }
+            assert_eq!(m.add(a, m.neg(a)), 0);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive_small() {
+        let m = Modulus::new(97).unwrap();
+        for a in 0..97u64 {
+            for b in 0..97u64 {
+                assert_eq!(m.mul(a, b), a * b % 97);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive_large() {
+        let p = (1u64 << 61) - 1; // Mersenne prime 2^61 - 1
+        let m = Modulus::new(p).unwrap();
+        let pairs = [
+            (p - 1, p - 1),
+            (p - 1, 2),
+            (123456789012345678 % p, 987654321098765432 % p),
+            (0, p - 1),
+            (1, p - 1),
+        ];
+        for (a, b) in pairs {
+            let expect = ((a as u128 * b as u128) % p as u128) as u64;
+            assert_eq!(m.mul(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn reduce_u128_extremes() {
+        let p = 4611686018427387847u64; // prime close to 2^62
+        let m = Modulus::new(p).unwrap();
+        assert_eq!(m.reduce_u128(u128::MAX), (u128::MAX % p as u128) as u64);
+        assert_eq!(m.reduce_u128(0), 0);
+        assert_eq!(m.reduce_u128(p as u128), 0);
+    }
+
+    #[test]
+    fn shoup_matches_barrett() {
+        let p = 1152921504606846883u64; // prime near 2^60
+        let m = Modulus::new(p).unwrap();
+        let w = 0x123456789abcdefu64 % p;
+        let ws = m.shoup(w);
+        let mut a = 1u64;
+        for _ in 0..1000 {
+            a = a.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) % p;
+            assert_eq!(m.mul_shoup(a, w, ws), m.mul(a, w));
+        }
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = Modulus::new(65537).unwrap();
+        assert_eq!(m.pow(3, 65536), 1); // Fermat
+        let inv3 = m.inv(3).unwrap();
+        assert_eq!(m.mul(3, inv3), 1);
+        assert_eq!(m.inv(0), None);
+        // Non-prime modulus: inverse exists iff coprime.
+        let m = Modulus::new(100).unwrap();
+        assert_eq!(m.inv(2), None);
+        let i = m.inv(3).unwrap();
+        assert_eq!(m.mul(3, i), 1);
+    }
+
+    #[test]
+    fn centered_representatives() {
+        let m = Modulus::new(17).unwrap();
+        assert_eq!(m.to_centered(0), 0);
+        assert_eq!(m.to_centered(8), 8);
+        assert_eq!(m.to_centered(9), -8);
+        assert_eq!(m.to_centered(16), -1);
+        assert_eq!(m.from_i64(-1), 16);
+        assert_eq!(m.from_i64(-17), 0);
+        assert_eq!(m.from_i64(-35), 16);
+        for a in -40i64..40 {
+            let r = m.from_i64(a);
+            assert_eq!((a.rem_euclid(17)) as u64, r);
+        }
+    }
+
+    #[test]
+    fn mul_add_consistent() {
+        let p = (1u64 << 50) - 27;
+        let m = Modulus::new(p).unwrap();
+        let (a, b, c) = (p - 1, p - 2, p - 3);
+        assert_eq!(m.mul_add(a, b, c), m.add(m.mul(a, b), c));
+    }
+}

@@ -1,0 +1,493 @@
+//! RNS polynomials over `Z_Q[X]/(X^N + 1)`.
+//!
+//! An [`RnsPoly`] stores one residue row per RNS limb and tracks whether
+//! it is in coefficient or evaluation (NTT) representation — mirroring
+//! the paper's kernel taxonomy, where `NTT`/`iNTT` convert between the
+//! two and `ModMul`/`ModAdd` act pointwise in evaluation form.
+
+use std::sync::Arc;
+
+use crate::galois::GaloisPerms;
+use crate::rns::RnsBasis;
+
+/// The representation a polynomial's residues are currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Coefficient domain.
+    Coeff,
+    /// Evaluation (NTT) domain.
+    Eval,
+}
+
+/// An RNS polynomial: `basis.len()` rows of `n` residues.
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    basis: Arc<RnsBasis>,
+    rows: Vec<Vec<u64>>,
+    repr: Representation,
+}
+
+impl RnsPoly {
+    /// The zero polynomial in the given representation.
+    pub fn zero(basis: Arc<RnsBasis>, repr: Representation) -> Self {
+        let rows = vec![vec![0u64; basis.n()]; basis.len()];
+        Self { basis, rows, repr }
+    }
+
+    /// Lifts small signed coefficients into every limb (coefficient form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != basis.n()`.
+    pub fn from_signed_coeffs(basis: Arc<RnsBasis>, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), basis.n());
+        let rows = basis
+            .moduli()
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.from_i64(c)).collect())
+            .collect();
+        Self {
+            basis,
+            rows,
+            repr: Representation::Coeff,
+        }
+    }
+
+    /// Wraps precomputed residue rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match the basis or any residue is out
+    /// of range.
+    pub fn from_rows(basis: Arc<RnsBasis>, rows: Vec<Vec<u64>>, repr: Representation) -> Self {
+        assert_eq!(rows.len(), basis.len());
+        for (row, m) in rows.iter().zip(basis.moduli()) {
+            assert_eq!(row.len(), basis.n());
+            debug_assert!(row.iter().all(|&x| x < m.value()));
+        }
+        Self { basis, rows, repr }
+    }
+
+    /// The RNS basis.
+    #[inline]
+    pub fn basis(&self) -> &Arc<RnsBasis> {
+        &self.basis
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.basis.n()
+    }
+
+    /// Number of RNS limbs.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Current representation.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// Residue rows (one per limb).
+    #[inline]
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Mutable residue rows. Callers must preserve range invariants.
+    #[inline]
+    pub fn rows_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.rows
+    }
+
+    /// Consumes the polynomial, returning its rows.
+    #[inline]
+    pub fn into_rows(self) -> Vec<Vec<u64>> {
+        self.rows
+    }
+
+    fn assert_same_basis(&self, other: &RnsPoly) {
+        assert_eq!(self.basis.n(), other.basis.n(), "ring degree mismatch");
+        assert_eq!(self.limbs(), other.limbs(), "limb count mismatch");
+        debug_assert!(self
+            .basis
+            .moduli()
+            .iter()
+            .zip(other.basis.moduli())
+            .all(|(a, b)| a.value() == b.value()));
+    }
+
+    /// Converts to evaluation form (no-op if already there).
+    pub fn to_eval(&mut self) {
+        if self.repr == Representation::Eval {
+            return;
+        }
+        for (row, t) in self.rows.iter_mut().zip(self.basis.tables()) {
+            t.forward(row);
+        }
+        self.repr = Representation::Eval;
+    }
+
+    /// Converts to coefficient form (no-op if already there).
+    pub fn to_coeff(&mut self) {
+        if self.repr == Representation::Coeff {
+            return;
+        }
+        for (row, t) in self.rows.iter_mut().zip(self.basis.tables()) {
+            t.inverse(row);
+        }
+        self.repr = Representation::Coeff;
+    }
+
+    /// `self += other` (element-wise per limb; representations must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or representation mismatch.
+    pub fn add_assign(&mut self, other: &RnsPoly) {
+        self.assert_same_basis(other);
+        assert_eq!(self.repr, other.repr, "representation mismatch");
+        for ((row, orow), m) in self
+            .rows
+            .iter_mut()
+            .zip(other.rows.iter())
+            .zip(self.basis.moduli())
+        {
+            for (x, &y) in row.iter_mut().zip(orow) {
+                *x = m.add(*x, y);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or representation mismatch.
+    pub fn sub_assign(&mut self, other: &RnsPoly) {
+        self.assert_same_basis(other);
+        assert_eq!(self.repr, other.repr, "representation mismatch");
+        for ((row, orow), m) in self
+            .rows
+            .iter_mut()
+            .zip(other.rows.iter())
+            .zip(self.basis.moduli())
+        {
+            for (x, &y) in row.iter_mut().zip(orow) {
+                *x = m.sub(*x, y);
+            }
+        }
+    }
+
+    /// Negates in place.
+    pub fn neg_assign(&mut self) {
+        for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
+            for x in row.iter_mut() {
+                *x = m.neg(*x);
+            }
+        }
+    }
+
+    /// `self *= other` pointwise (both must be in evaluation form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis mismatch or if either operand is in coefficient
+    /// form.
+    pub fn mul_assign_pointwise(&mut self, other: &RnsPoly) {
+        self.assert_same_basis(other);
+        assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
+        assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
+        for ((row, orow), m) in self
+            .rows
+            .iter_mut()
+            .zip(other.rows.iter())
+            .zip(self.basis.moduli())
+        {
+            for (x, &y) in row.iter_mut().zip(orow) {
+                *x = m.mul(*x, y);
+            }
+        }
+    }
+
+    /// `self += a * b` pointwise (all three in evaluation form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or representation mismatch.
+    pub fn mul_acc_pointwise(&mut self, a: &RnsPoly, b: &RnsPoly) {
+        self.assert_same_basis(a);
+        self.assert_same_basis(b);
+        assert_eq!(self.repr, Representation::Eval);
+        assert_eq!(a.repr, Representation::Eval);
+        assert_eq!(b.repr, Representation::Eval);
+        for (((row, arow), brow), m) in self
+            .rows
+            .iter_mut()
+            .zip(a.rows.iter())
+            .zip(b.rows.iter())
+            .zip(self.basis.moduli())
+        {
+            for ((x, &ya), &yb) in row.iter_mut().zip(arow).zip(brow) {
+                *x = m.reduce_u128(ya as u128 * yb as u128 + *x as u128);
+            }
+        }
+    }
+
+    /// Multiplies by a small signed scalar.
+    pub fn mul_scalar_i64(&mut self, s: i64) {
+        for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
+            let sv = m.from_i64(s);
+            for x in row.iter_mut() {
+                *x = m.mul(*x, sv);
+            }
+        }
+    }
+
+    /// Multiplies by per-limb scalar residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != self.limbs()`.
+    pub fn mul_scalar_residues(&mut self, s: &[u64]) {
+        assert_eq!(s.len(), self.limbs());
+        for ((row, m), &sv) in self.rows.iter_mut().zip(self.basis.moduli()).zip(s) {
+            let sv = m.reduce(sv);
+            for x in row.iter_mut() {
+                *x = m.mul(*x, sv);
+            }
+        }
+    }
+
+    /// Multiplies by the monomial `X^k` (negacyclic; `k` may be any
+    /// integer, negative meaning `X^{-k} = -X^{2n-k}` handling included).
+    ///
+    /// Only valid in coefficient form — in hardware this is the Rotator's
+    /// vector-rotate + negate datapath (§IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if in evaluation form.
+    pub fn mul_monomial(&mut self, k: i64) {
+        assert_eq!(
+            self.repr,
+            Representation::Coeff,
+            "monomial multiplication requires coefficient form"
+        );
+        let n = self.n() as i64;
+        let k = k.rem_euclid(2 * n) as usize;
+        if k == 0 {
+            return;
+        }
+        for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
+            let mut out = vec![0u64; n as usize];
+            for (j, &c) in row.iter().enumerate() {
+                let idx = j + k;
+                let (pos, negate) = if idx < n as usize {
+                    (idx, false)
+                } else if idx < 2 * n as usize {
+                    (idx - n as usize, true)
+                } else {
+                    (idx - 2 * n as usize, false)
+                };
+                out[pos] = if negate { m.neg(c) } else { c };
+            }
+            *row = out;
+        }
+    }
+
+    /// Applies the automorphism `X -> X^g` (`g` odd).
+    ///
+    /// Works in either representation: index mapping in coefficient form
+    /// (the paper's `Auto` kernel), slot permutation in evaluation form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even.
+    pub fn automorphism(&mut self, g: u64, perms: &GaloisPerms) {
+        assert_eq!(g % 2, 1, "galois element must be odd");
+        let n = self.n();
+        match self.repr {
+            Representation::Coeff => {
+                for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
+                    let mut out = vec![0u64; n];
+                    for (j, &c) in row.iter().enumerate() {
+                        let e = (j as u64 * g) % (2 * n as u64);
+                        if e < n as u64 {
+                            out[e as usize] = c;
+                        } else {
+                            out[(e - n as u64) as usize] = m.neg(c);
+                        }
+                    }
+                    *row = out;
+                }
+            }
+            Representation::Eval => {
+                let perm = perms.eval_permutation(g);
+                for row in self.rows.iter_mut() {
+                    let src = row.clone();
+                    for (i, &p) in perm.iter().enumerate() {
+                        row[i] = src[p];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keeps only the first `k` limbs (dropping the rest), switching to
+    /// the prefix basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the current limb count.
+    pub fn keep_limbs(&mut self, k: usize, prefix_basis: Arc<RnsBasis>) {
+        assert!(k > 0 && k <= self.limbs());
+        assert_eq!(prefix_basis.len(), k);
+        debug_assert!(prefix_basis
+            .moduli()
+            .iter()
+            .zip(self.basis.moduli())
+            .all(|(a, b)| a.value() == b.value()));
+        self.rows.truncate(k);
+        self.basis = prefix_basis;
+    }
+
+    /// Reconstructs centered coefficient values as `f64` (exact for small
+    /// magnitudes). Test/diagnostic helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if in evaluation form.
+    pub fn to_centered_f64(&self) -> Vec<f64> {
+        assert_eq!(self.repr, Representation::Coeff);
+        let n = self.n();
+        let mut out = Vec::with_capacity(n);
+        if self.limbs() == 1 {
+            let m = self.basis.modulus(0);
+            for &c in &self.rows[0] {
+                out.push(m.to_centered(c) as f64);
+            }
+            return out;
+        }
+        for c in 0..n {
+            let residues: Vec<u64> = self.rows.iter().map(|r| r[c]).collect();
+            out.push(self.basis.crt_to_centered_f64(&residues));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galois::GaloisPerms;
+    use crate::prime::ntt_primes;
+
+    fn basis(n: usize, limbs: usize) -> Arc<RnsBasis> {
+        Arc::new(RnsBasis::new(&ntt_primes(45, n, limbs), n))
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let b = basis(16, 3);
+        let a = RnsPoly::from_signed_coeffs(b.clone(), &[1i64; 16]);
+        let mut c = RnsPoly::from_signed_coeffs(b, &(0..16).map(|i| i as i64).collect::<Vec<_>>());
+        let orig = c.clone();
+        c.add_assign(&a);
+        c.sub_assign(&a);
+        assert_eq!(c.rows(), orig.rows());
+    }
+
+    #[test]
+    fn pointwise_mul_is_negacyclic_convolution() {
+        let b = basis(32, 2);
+        let x: Vec<i64> = (0..32).map(|i| (i as i64) - 16).collect();
+        let y: Vec<i64> = (0..32).map(|i| 3 - (i as i64 % 7)).collect();
+        let mut px = RnsPoly::from_signed_coeffs(b.clone(), &x);
+        let mut py = RnsPoly::from_signed_coeffs(b.clone(), &y);
+        px.to_eval();
+        py.to_eval();
+        px.mul_assign_pointwise(&py);
+        px.to_coeff();
+        // Oracle via schoolbook over i128.
+        let n = 32usize;
+        let mut exact = vec![0i128; n];
+        for i in 0..n {
+            for j in 0..n {
+                let k = i + j;
+                let p = x[i] as i128 * y[j] as i128;
+                if k < n {
+                    exact[k] += p;
+                } else {
+                    exact[k - n] -= p;
+                }
+            }
+        }
+        let got = px.to_centered_f64();
+        for i in 0..n {
+            assert_eq!(got[i] as i128, exact[i], "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn monomial_multiplication_wraps_with_sign() {
+        let b = basis(8, 1);
+        let mut p = RnsPoly::from_signed_coeffs(b.clone(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        p.mul_monomial(3);
+        let got = p.to_centered_f64();
+        // X^3 * (1 + 2X + ... + 8X^7) = -6 -7X -8X^2 + 1X^3 + ... + 5X^7
+        assert_eq!(got, vec![-6.0, -7.0, -8.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Multiplying by X^{2n} is identity; X^n is negation.
+        let mut q = RnsPoly::from_signed_coeffs(b.clone(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        q.mul_monomial(16);
+        assert_eq!(q.to_centered_f64(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut r = RnsPoly::from_signed_coeffs(b, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        r.mul_monomial(8);
+        assert_eq!(r.to_centered_f64(), vec![-1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0, -8.0]);
+    }
+
+    #[test]
+    fn automorphism_coeff_matches_eval() {
+        let b = basis(64, 2);
+        let perms = GaloisPerms::new(b.table(0).clone());
+        let coeffs: Vec<i64> = (0..64).map(|i| (i * i % 23) as i64 - 11).collect();
+        for g in [5u64, 25, 127, 3] {
+            let mut via_coeff = RnsPoly::from_signed_coeffs(b.clone(), &coeffs);
+            via_coeff.automorphism(g, &perms);
+
+            let mut via_eval = RnsPoly::from_signed_coeffs(b.clone(), &coeffs);
+            via_eval.to_eval();
+            via_eval.automorphism(g, &perms);
+            via_eval.to_coeff();
+
+            assert_eq!(via_coeff.rows(), via_eval.rows(), "g={g}");
+        }
+    }
+
+    #[test]
+    fn automorphism_composition() {
+        let b = basis(32, 1);
+        let perms = GaloisPerms::new(b.table(0).clone());
+        let coeffs: Vec<i64> = (0..32).map(|i| i as i64 + 1).collect();
+        let mut p = RnsPoly::from_signed_coeffs(b.clone(), &coeffs);
+        p.automorphism(5, &perms);
+        p.automorphism(5, &perms);
+        let mut q = RnsPoly::from_signed_coeffs(b, &coeffs);
+        q.automorphism(25, &perms);
+        assert_eq!(p.rows(), q.rows());
+    }
+
+    #[test]
+    fn keep_limbs_drops_rows() {
+        let b = basis(16, 3);
+        let prefix = Arc::new(b.prefix(2));
+        let mut p = RnsPoly::from_signed_coeffs(b, &[7i64; 16]);
+        p.keep_limbs(2, prefix);
+        assert_eq!(p.limbs(), 2);
+        assert_eq!(p.to_centered_f64(), vec![7.0; 16]);
+    }
+}

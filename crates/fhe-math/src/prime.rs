@@ -1,0 +1,260 @@
+//! Prime testing and NTT-friendly prime generation.
+//!
+//! FHE moduli must be primes `p ≡ 1 (mod 2N)` so that the negacyclic ring
+//! `Z_p[X]/(X^N + 1)` admits a 2N-th primitive root of unity and therefore
+//! an NTT. The Trinity paper additionally relies on choosing a prime
+//! *close to* TFHE's power-of-two modulus `q` (§II-B, "Substituting FFT
+//! with NTT"), which [`prime_near`] provides.
+
+use crate::modulus::Modulus;
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+///
+/// Uses the standard witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31,
+/// 37} which is known to be deterministic below 3.3 * 10^24.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    let m = match Modulus::new(n) {
+        Ok(m) => m,
+        // n >= 2^62: fall back to u128 arithmetic.
+        Err(_) => return is_prime_u128(n, d, r),
+    };
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = m.pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = m.mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn is_prime_u128(n: u64, d: u64, r: u32) -> bool {
+    let mul = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    let pow = |mut base: u64, mut exp: u64| {
+        let mut acc = 1u64;
+        base %= n;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = mul(acc, base);
+            }
+            base = mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    };
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes of exactly `bits` bits satisfying
+/// `p ≡ 1 (mod 2n)`, scanning downward from `2^bits - 1`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, if `bits` is not in `[4, 62)`, or
+/// if fewer than `count` such primes exist in the requested range.
+pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "ring degree must be a power of two");
+    assert!((4..62).contains(&bits), "bits must be in [4, 62)");
+    let step = 2 * n as u64;
+    let hi = (1u64 << bits) - 1;
+    let lo = 1u64 << (bits - 1);
+    // Largest candidate <= hi congruent to 1 mod 2n.
+    let mut cand = hi - ((hi - 1) % step);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count && cand >= lo {
+        if is_prime(cand) {
+            out.push(cand);
+        }
+        if cand < step {
+            break;
+        }
+        cand -= step;
+    }
+    assert!(
+        out.len() == count,
+        "not enough {bits}-bit primes ≡ 1 mod {step} (found {})",
+        out.len()
+    );
+    out
+}
+
+/// Finds the prime `p ≡ 1 (mod 2n)` closest to `target`.
+///
+/// This is the paper's FFT→NTT substitution for TFHE: pick the NTT-friendly
+/// prime closest to the power-of-two torus modulus `q` (§II-B, citing
+/// Joye–Walter and Ye et al.).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or no such prime exists below
+/// `2^63`.
+pub fn prime_near(target: u64, n: usize) -> u64 {
+    assert!(n.is_power_of_two(), "ring degree must be a power of two");
+    let step = 2 * n as u64;
+    // Candidates ≡ 1 mod 2n on both sides of target, nearest first.
+    let base = target - ((target.wrapping_sub(1)) % step);
+    for k in 0..(1u64 << 40) / step {
+        let below = base.checked_sub(k * step);
+        let above = base.checked_add((k + 1) * step);
+        // Order by distance from target.
+        let mut cands = [below, above];
+        if let (Some(b), Some(a)) = (below, above) {
+            if target.abs_diff(a) < target.abs_diff(b) {
+                cands = [above, below];
+            }
+        }
+        for c in cands.into_iter().flatten() {
+            if c > 2 && is_prime(c) {
+                return c;
+            }
+        }
+    }
+    panic!("no prime ≡ 1 mod {step} near {target}");
+}
+
+/// Returns a generator-derived primitive `order`-th root of unity mod `p`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `p - 1` or no root is found (which
+/// cannot happen for prime `p`).
+pub fn primitive_root_of_unity(m: &Modulus, order: u64) -> u64 {
+    let p = m.value();
+    assert_eq!((p - 1) % order, 0, "order must divide p-1");
+    let exp = (p - 1) / order;
+    // Try small candidates until one has full multiplicative order.
+    for g in 2..1000u64 {
+        let r = m.pow(g, exp);
+        // r has order dividing `order`; check it is exactly `order` by
+        // verifying r^(order/q) != 1 for each prime factor q of order.
+        if r == 1 {
+            continue;
+        }
+        let mut ok = true;
+        let mut o = order;
+        let mut f = 2u64;
+        let mut factors = Vec::new();
+        while f * f <= o {
+            if o % f == 0 {
+                factors.push(f);
+                while o % f == 0 {
+                    o /= f;
+                }
+            }
+            f += 1;
+        }
+        if o > 1 {
+            factors.push(o);
+        }
+        for q in factors {
+            if m.pow(r, order / q) == 1 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return r;
+        }
+    }
+    panic!("no primitive root found for order {order} mod {p}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime((1 << 61) - 1)); // Mersenne
+        assert!(is_prime(0xFFFFFFFF00000001)); // Goldilocks (2^64-2^32+1)
+        assert!(!is_prime(u64::MAX)); // 2^64-1 = 3*5*17*257*641*65537*6700417
+        assert!(!is_prime((1u64 << 62) - 1));
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        for (bits, n) in [(36, 1024usize), (50, 4096), (30, 2048)] {
+            let ps = ntt_primes(bits, n, 4);
+            assert_eq!(ps.len(), 4);
+            for &p in &ps {
+                assert!(is_prime(p));
+                assert_eq!(p % (2 * n as u64), 1);
+                assert_eq!(64 - p.leading_zeros(), bits);
+            }
+            // Distinct and descending.
+            for w in ps.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_near_power_of_two() {
+        // The TFHE substitution: prime near q = 2^32 for N = 1024 and 2048.
+        for logn in [10usize, 11] {
+            let n = 1 << logn;
+            let p = prime_near(1u64 << 32, n);
+            assert!(is_prime(p));
+            assert_eq!(p % (2 * n as u64), 1);
+            // Must be within 0.1% of 2^32 for the approximation to be benign.
+            let dist = p.abs_diff(1u64 << 32) as f64;
+            assert!(dist / ((1u64 << 32) as f64) < 1e-3, "p={p} too far from 2^32");
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_have_exact_order() {
+        let p = ntt_primes(36, 1024, 1)[0];
+        let m = Modulus::new(p).unwrap();
+        let w = primitive_root_of_unity(&m, 2048);
+        assert_eq!(m.pow(w, 2048), 1);
+        assert_ne!(m.pow(w, 1024), 1);
+        // psi^N = -1 for the negacyclic root.
+        assert_eq!(m.pow(w, 1024), p - 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Randomness for FHE: uniform, ternary, and discrete-Gaussian samplers.
+//!
+//! Secrets and noise are sampled as small signed vectors which callers
+//! lift into each RNS limb; uniform masks are sampled per-modulus.
+
+use rand::Rng;
+
+use crate::modulus::Modulus;
+
+/// Standard deviation used for RLWE/LWE error throughout the workspace
+/// (the conventional 3.2 from the FHE standardisation effort).
+pub const DEFAULT_SIGMA: f64 = 3.2;
+
+/// Samples `n` residues uniformly in `[0, p)`.
+pub fn uniform_residues<R: Rng + ?Sized>(rng: &mut R, m: &Modulus, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..m.value())).collect()
+}
+
+/// Samples a ternary vector with entries in `{-1, 0, 1}`.
+///
+/// With `hamming_weight = Some(h)`, exactly `h` entries are nonzero
+/// (split evenly between +1 and -1, the sparse-secret convention CKKS
+/// bootstrapping relies on). Otherwise each entry is i.i.d. uniform over
+/// the three values.
+///
+/// # Panics
+///
+/// Panics if `h > n`.
+pub fn ternary<R: Rng + ?Sized>(rng: &mut R, n: usize, hamming_weight: Option<usize>) -> Vec<i64> {
+    match hamming_weight {
+        None => (0..n).map(|_| rng.gen_range(-1i64..=1)).collect(),
+        Some(h) => {
+            assert!(h <= n, "hamming weight exceeds dimension");
+            let mut v = vec![0i64; n];
+            let mut placed = 0usize;
+            while placed < h {
+                let idx = rng.gen_range(0..n);
+                if v[idx] == 0 {
+                    v[idx] = if placed % 2 == 0 { 1 } else { -1 };
+                    placed += 1;
+                }
+            }
+            v
+        }
+    }
+}
+
+/// Samples a binary vector with entries in `{0, 1}` (TFHE LWE secrets).
+pub fn binary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(0i64..=1)).collect()
+}
+
+/// Samples `n` discrete-Gaussian values with standard deviation `sigma`,
+/// truncated at six sigma (rounding of a Box–Muller normal).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<i64> {
+    let bound = (6.0 * sigma).ceil() as i64;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box–Muller: two normals per pair of uniforms.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        for v in [r * theta.cos(), r * theta.sin()] {
+            let x = v.round() as i64;
+            if x.abs() <= bound && out.len() < n {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Modulus::new(97).unwrap();
+        let v = uniform_residues(&mut rng, &m, 10_000);
+        assert!(v.iter().all(|&x| x < 97));
+        // All residues should appear for this many samples.
+        let distinct: std::collections::HashSet<u64> = v.into_iter().collect();
+        assert_eq!(distinct.len(), 97);
+    }
+
+    #[test]
+    fn ternary_iid_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = ternary(&mut rng, 30_000, None);
+        let pos = v.iter().filter(|&&x| x == 1).count();
+        let neg = v.iter().filter(|&&x| x == -1).count();
+        let zero = v.iter().filter(|&&x| x == 0).count();
+        assert_eq!(pos + neg + zero, 30_000);
+        for c in [pos, neg, zero] {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c} too skewed");
+        }
+    }
+
+    #[test]
+    fn ternary_fixed_hamming_weight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = ternary(&mut rng, 1024, Some(64));
+        assert_eq!(v.iter().filter(|&&x| x != 0).count(), 64);
+        assert_eq!(v.iter().filter(|&&x| x == 1).count(), 32);
+        assert_eq!(v.iter().filter(|&&x| x == -1).count(), 32);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = gaussian(&mut rng, 100_000, DEFAULT_SIGMA);
+        let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - DEFAULT_SIGMA).abs() < 0.2,
+            "stddev {} too far from {DEFAULT_SIGMA}",
+            var.sqrt()
+        );
+        let bound = (6.0 * DEFAULT_SIGMA).ceil() as i64;
+        assert!(v.iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn binary_entries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = binary(&mut rng, 1000);
+        assert!(v.iter().all(|&x| x == 0 || x == 1));
+        let ones = v.iter().sum::<i64>();
+        assert!((300..700).contains(&ones));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests on the arithmetic substrate's invariants.
+
+use std::sync::Arc;
+
+use fhe_math::prime::ntt_primes;
+use fhe_math::{GaloisPerms, Modulus, NttTable, Representation, RnsBasis, RnsPoly};
+use proptest::prelude::*;
+
+fn modulus_50() -> Modulus {
+    Modulus::new(ntt_primes(50, 256, 1)[0]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mul_commutative_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let m = modulus_50();
+        let (a, b, c) = (m.reduce(a), m.reduce(b), m.reduce(c));
+        prop_assert_eq!(m.mul(a, b), m.mul(b, a));
+        prop_assert_eq!(m.mul(m.mul(a, b), c), m.mul(a, m.mul(b, c)));
+    }
+
+    #[test]
+    fn distributive_law(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let m = modulus_50();
+        let (a, b, c) = (m.reduce(a), m.reduce(b), m.reduce(c));
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in 1u64..u64::MAX) {
+        let m = modulus_50();
+        let a = m.reduce(a);
+        prop_assume!(a != 0);
+        let inv = m.inv(a).unwrap();
+        prop_assert_eq!(m.mul(a, inv), 1);
+        prop_assert_eq!(m.mul(inv, a), 1);
+    }
+
+    #[test]
+    fn centered_lift_roundtrip(a in any::<i64>()) {
+        let m = modulus_50();
+        let a = a % (m.value() as i64 / 2);
+        let r = m.from_i64(a);
+        prop_assert_eq!(m.to_centered(r), a);
+    }
+
+    #[test]
+    fn shoup_agrees_with_barrett(a in any::<u64>(), w in any::<u64>()) {
+        let m = modulus_50();
+        let (a, w) = (m.reduce(a), m.reduce(w));
+        let ws = m.shoup(w);
+        prop_assert_eq!(m.mul_shoup(a, w, ws), m.mul(a, w));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ntt_roundtrip_any_poly(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 128;
+        let p = ntt_primes(45, n, 1)[0];
+        let t = NttTable::new(Modulus::new(p).unwrap(), n);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        let mut b = a.clone();
+        t.forward(&mut b);
+        t.inverse(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convolution_theorem(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 64;
+        let p = ntt_primes(36, n, 1)[0];
+        let m = Modulus::new(p).unwrap();
+        let t = NttTable::new(m, n);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        let fast = t.negacyclic_mul(&a, &b);
+        let slow = fhe_math::ntt::negacyclic_mul_schoolbook(&m, &a, &b);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn automorphism_preserves_products(seed in any::<u64>(), g_pow in 0u32..5) {
+        // sigma_g(a * b) == sigma_g(a) * sigma_g(b): ring homomorphism.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 32;
+        let basis = Arc::new(RnsBasis::new(&ntt_primes(40, n, 2), n));
+        let perms = GaloisPerms::new(basis.table(0).clone());
+        let g = fhe_math::galois::rotation_galois_element(g_pow as i64, n);
+
+        let av: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        let bv: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+
+        // sigma(a*b)
+        let mut a = RnsPoly::from_signed_coeffs(basis.clone(), &av);
+        let mut b = RnsPoly::from_signed_coeffs(basis.clone(), &bv);
+        a.to_eval();
+        b.to_eval();
+        a.mul_assign_pointwise(&b);
+        a.automorphism(g, &perms);
+        a.to_coeff();
+
+        // sigma(a)*sigma(b)
+        let mut a2 = RnsPoly::from_signed_coeffs(basis.clone(), &av);
+        let mut b2 = RnsPoly::from_signed_coeffs(basis.clone(), &bv);
+        a2.automorphism(g, &perms);
+        b2.automorphism(g, &perms);
+        a2.to_eval();
+        b2.to_eval();
+        a2.mul_assign_pointwise(&b2);
+        a2.to_coeff();
+
+        prop_assert_eq!(a.rows(), a2.rows());
+    }
+
+    #[test]
+    fn monomial_mul_order(k1 in 0i64..64, k2 in 0i64..64, seed in any::<u64>()) {
+        // X^k1 * (X^k2 * a) == X^(k1+k2) * a
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 32;
+        let basis = Arc::new(RnsBasis::new(&ntt_primes(40, n, 1), n));
+        let av: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        let mut a = RnsPoly::from_signed_coeffs(basis.clone(), &av);
+        a.mul_monomial(k2);
+        a.mul_monomial(k1);
+        let mut b = RnsPoly::from_signed_coeffs(basis, &av);
+        b.mul_monomial(k1 + k2);
+        prop_assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn rns_add_matches_integer_add(x in -(1i64<<40)..(1i64<<40), y in -(1i64<<40)..(1i64<<40)) {
+        let n = 4;
+        let basis = Arc::new(RnsBasis::new(&ntt_primes(45, n, 3), n));
+        let a = RnsPoly::from_signed_coeffs(basis.clone(), &[x, 0, 0, 0]);
+        let b = RnsPoly::from_signed_coeffs(basis, &[y, 0, 0, 0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        let got = c.to_centered_f64()[0];
+        prop_assert!((got - (x + y) as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn representation_transitions_are_inverse(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 64;
+        let basis = Arc::new(RnsBasis::new(&ntt_primes(40, n, 2), n));
+        let av: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let mut a = RnsPoly::from_signed_coeffs(basis, &av);
+        let orig = a.clone();
+        prop_assert_eq!(a.representation(), Representation::Coeff);
+        a.to_eval();
+        a.to_coeff();
+        prop_assert_eq!(a.rows(), orig.rows());
+    }
+}

@@ -1,0 +1,397 @@
+//! Programmable bootstrapping — the paper's Algorithm 2.
+//!
+//! `ModSwitch → Blind Rotation (n_lwe CMUXes of external products) →
+//! SampleExtract → TFHE KeySwitch`. This is the operation Trinity's
+//! Table VII benchmarks (PBS throughput under Sets I–III) and the NN-x
+//! benchmarks chain thousands of times.
+
+use std::sync::Arc;
+
+use fhe_math::Modulus;
+use rand::Rng;
+
+use crate::ggsw::{Ggsw, MulBackend};
+use crate::glwe::{GlweCiphertext, GlweSecretKey};
+use crate::lwe::{LweCiphertext, LweKeySwitchKey, LweSecretKey};
+use crate::params::TfheParams;
+use crate::ring::TfheRing;
+
+/// Shared immutable TFHE state: parameters plus the ring.
+#[derive(Debug, Clone)]
+pub struct TfheContext {
+    /// Parameter set.
+    pub params: TfheParams,
+    /// The negacyclic ring (modulus = closest prime to `2^q_bits`).
+    pub ring: Arc<TfheRing>,
+}
+
+impl TfheContext {
+    /// Builds the ring for a parameter set.
+    pub fn new(params: TfheParams) -> Self {
+        let ring = Arc::new(TfheRing::new(params.n, params.q_bits));
+        Self { params, ring }
+    }
+
+    /// The LWE/GLWE modulus.
+    pub fn q(&self) -> &Modulus {
+        self.ring.modulus()
+    }
+
+    /// Encodes a boolean as `±q/8`.
+    pub fn encode_bit(&self, bit: bool) -> u64 {
+        let q = self.q().value();
+        if bit {
+            q / 8
+        } else {
+            q - q / 8
+        }
+    }
+
+    /// Decodes a phase to a boolean (`true` when the phase lies in the
+    /// upper half-plane `(0, q/2)`).
+    pub fn decode_bit(&self, phase: u64) -> bool {
+        phase < self.q().value() / 2
+    }
+
+    /// Encodes a message `m in [0, t)` at the centre of its half-torus
+    /// window (for LUT bootstrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= t`.
+    pub fn encode_message(&self, m: u64, t: u64) -> u64 {
+        assert!(m < t);
+        let q = self.q().value() as u128;
+        ((2 * m as u128 + 1) * q / (4 * t as u128)) as u64
+    }
+
+    /// Decodes a phase back to a message in `[0, t)` (half-torus
+    /// convention matching [`Self::encode_message`]): window `m` covers
+    /// phases `[m*q/2t, (m+1)*q/2t)`.
+    pub fn decode_message(&self, phase: u64, t: u64) -> u64 {
+        let q = self.q().value() as u128;
+        let m = (phase as u128 * 2 * t as u128) / q;
+        (m as u64).min(t - 1)
+    }
+}
+
+/// Client-side key material.
+#[derive(Debug)]
+pub struct ClientKey {
+    /// Context.
+    pub ctx: TfheContext,
+    /// Small-dimension LWE secret (ciphertexts live here).
+    pub lwe_sk: LweSecretKey,
+    /// GLWE secret used inside bootstrapping.
+    pub glwe_sk: GlweSecretKey,
+}
+
+impl ClientKey {
+    /// Generates fresh client keys.
+    pub fn generate<R: Rng + ?Sized>(ctx: TfheContext, rng: &mut R) -> Self {
+        let lwe_sk = LweSecretKey::generate(ctx.params.n_lwe, rng);
+        let glwe_sk = GlweSecretKey::generate(ctx.params.k, ctx.params.n, rng);
+        Self {
+            ctx,
+            lwe_sk,
+            glwe_sk,
+        }
+    }
+
+    /// Encrypts a boolean.
+    pub fn encrypt_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> LweCiphertext {
+        LweCiphertext::encrypt(
+            self.ctx.q(),
+            &self.lwe_sk,
+            self.ctx.encode_bit(bit),
+            self.ctx.params.lwe_noise,
+            rng,
+        )
+    }
+
+    /// Decrypts a boolean.
+    pub fn decrypt_bit(&self, ct: &LweCiphertext) -> bool {
+        self.ctx.decode_bit(ct.phase(self.ctx.q(), &self.lwe_sk))
+    }
+
+    /// Encrypts a message in `[0, t)` (half-torus encoding).
+    pub fn encrypt_message<R: Rng + ?Sized>(
+        &self,
+        m: u64,
+        t: u64,
+        rng: &mut R,
+    ) -> LweCiphertext {
+        LweCiphertext::encrypt(
+            self.ctx.q(),
+            &self.lwe_sk,
+            self.ctx.encode_message(m, t),
+            self.ctx.params.lwe_noise,
+            rng,
+        )
+    }
+
+    /// Decrypts a message in `[0, t)`.
+    pub fn decrypt_message(&self, ct: &LweCiphertext, t: u64) -> u64 {
+        self.ctx
+            .decode_message(ct.phase(self.ctx.q(), &self.lwe_sk), t)
+    }
+}
+
+/// Server-side key material: bootstrapping key + keyswitching key.
+#[derive(Debug)]
+pub struct ServerKey {
+    /// Context.
+    pub ctx: TfheContext,
+    /// One GGSW per LWE secret bit (`bsk`).
+    pub bsk: Vec<Ggsw>,
+    /// Keyswitch from the extracted dimension `k*N` back to `n_lwe`.
+    pub ksk: LweKeySwitchKey,
+    /// Which multiplication backend the bsk was prepared for.
+    pub backend: MulBackend,
+}
+
+impl ServerKey {
+    /// Generates server keys from client keys.
+    pub fn generate<R: Rng + ?Sized>(ck: &ClientKey, backend: MulBackend, rng: &mut R) -> Self {
+        let ctx = ck.ctx.clone();
+        let p = &ctx.params;
+        let bsk = ck
+            .lwe_sk
+            .s
+            .iter()
+            .map(|&si| {
+                Ggsw::encrypt_scalar(
+                    &ctx.ring,
+                    &ck.glwe_sk,
+                    si as u64,
+                    p.lb,
+                    p.bg_log,
+                    p.glwe_noise,
+                    backend,
+                    rng,
+                )
+            })
+            .collect();
+        let extracted = ck.glwe_sk.extracted_lwe_key();
+        let ksk = LweKeySwitchKey::generate(
+            ctx.q(),
+            &extracted,
+            &ck.lwe_sk,
+            p.ks_base_log,
+            p.lk,
+            p.lwe_noise,
+            rng,
+        );
+        Self {
+            ctx,
+            bsk,
+            ksk,
+            backend,
+        }
+    }
+
+    /// Blind rotation (Algorithm 2 lines 2–12): rotates the test vector
+    /// by the encrypted phase through `n_lwe` CMUXes.
+    pub fn blind_rotate(&self, a_tilde: &[u64], b_tilde: u64, tv: &[u64]) -> GlweCiphertext {
+        let ring = &self.ctx.ring;
+        let k = self.ctx.params.k;
+        let init = ring.mul_monomial(tv, -(b_tilde as i64));
+        let mut acc = GlweCiphertext::trivial(ring, k, init);
+        for (i, &ai) in a_tilde.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let rotated = acc.rotate(ring, ai as i64);
+            acc = self.bsk[i].cmux(ring, &acc, &rotated);
+        }
+        acc
+    }
+
+    /// Programmable bootstrap *without* the final TFHE keyswitch: the
+    /// result stays under the extracted GLWE key (dimension `k * N`)
+    /// and carries only the blind-rotation noise.
+    ///
+    /// Scheme-conversion pipelines aggregate and convert from this form
+    /// (the TFHE keyswitch would add noise the conversion budget cannot
+    /// afford); chain [`crate::lwe::LweKeySwitchKey::switch`] to return
+    /// to the small key.
+    pub fn bootstrap_with_tv_unswitched(&self, ct: &LweCiphertext, tv: &[u64]) -> LweCiphertext {
+        let two_n = 2 * self.ctx.params.n as u64;
+        let (a_tilde, b_tilde) = ct.mod_switch(self.ctx.q(), two_n);
+        let acc = self.blind_rotate(&a_tilde, b_tilde, tv);
+        acc.sample_extract(&self.ctx.ring, 0)
+    }
+
+    /// Full programmable bootstrap with an explicit test vector.
+    ///
+    /// Returns a fresh LWE ciphertext of dimension `n_lwe` whose phase is
+    /// the test-vector coefficient selected by the input phase.
+    pub fn bootstrap_with_tv(&self, ct: &LweCiphertext, tv: &[u64]) -> LweCiphertext {
+        let extracted = self.bootstrap_with_tv_unswitched(ct, tv);
+        self.ksk.switch(self.ctx.q(), &extracted)
+    }
+
+    /// Sign bootstrap: phase in `[0, q/2)` maps to `+q/8`, the rest to
+    /// `-q/8` (the gate-bootstrapping test vector).
+    pub fn bootstrap_sign(&self, ct: &LweCiphertext) -> LweCiphertext {
+        let q = self.ctx.q().value();
+        let tv = vec![q / 8; self.ctx.params.n];
+        self.bootstrap_with_tv(ct, &tv)
+    }
+
+    /// LUT bootstrap over the half-torus message space `[0, t)`:
+    /// applies `m -> lut[m]` (outputs are raw torus points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut.len()` does not divide the ring degree.
+    pub fn bootstrap_lut(&self, ct: &LweCiphertext, lut: &[u64]) -> LweCiphertext {
+        self.bootstrap_with_tv(ct, &self.lut_test_vector(lut))
+    }
+
+    /// Predicate bootstrap: evaluates `m -> +amplitude` when
+    /// `pred(m)` holds and `-amplitude` otherwise, over message space
+    /// `[0, t)`. The result stays under the extracted GLWE key so
+    /// predicate bits can be aggregated and scheme-converted without the
+    /// TFHE keyswitch noise (the HE3DB filter pattern; see the
+    /// `encrypted_db` example).
+    pub fn bootstrap_predicate_unswitched(
+        &self,
+        ct: &LweCiphertext,
+        t: u64,
+        pred: impl Fn(u64) -> bool,
+        amplitude: u64,
+    ) -> LweCiphertext {
+        let q = self.ctx.q();
+        let lut: Vec<u64> = (0..t)
+            .map(|m| if pred(m) { amplitude } else { q.neg(amplitude) })
+            .collect();
+        self.bootstrap_with_tv_unswitched(ct, &self.lut_test_vector(&lut))
+    }
+
+    /// Expands a `t`-entry LUT into the full test vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut.len()` does not divide the ring degree.
+    fn lut_test_vector(&self, lut: &[u64]) -> Vec<u64> {
+        let n = self.ctx.params.n;
+        let t = lut.len();
+        assert!(n % t == 0, "LUT size must divide N");
+        let window = n / t;
+        let mut tv = vec![0u64; n];
+        for (m, &v) in lut.iter().enumerate() {
+            tv[m * window..(m + 1) * window].fill(v);
+        }
+        tv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(params: TfheParams, backend: MulBackend, seed: u64) -> (ClientKey, ServerKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ck = ClientKey::generate(TfheContext::new(params), &mut rng);
+        let sk = ServerKey::generate(&ck, backend, &mut rng);
+        (ck, sk, rng)
+    }
+
+    #[test]
+    fn sign_bootstrap_refreshes_both_polarities() {
+        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Ntt, 111);
+        let q = ck.ctx.q().value();
+        for bit in [true, false] {
+            let ct = ck.encrypt_bit(bit, &mut rng);
+            let boot = sk.bootstrap_sign(&ct);
+            let phase = boot.phase(ck.ctx.q(), &ck.lwe_sk);
+            let expect = ck.ctx.encode_bit(bit);
+            let err = ck.ctx.q().to_centered(ck.ctx.q().sub(phase, expect)).abs();
+            assert!(
+                err < (q / 16) as i64,
+                "bit {bit}: phase {phase} vs {expect}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_reduces_noise() {
+        // Inject heavy noise, bootstrap, verify the output noise is small.
+        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Ntt, 112);
+        let q = ck.ctx.q();
+        let qv = q.value();
+        let mut ct = ck.encrypt_bit(true, &mut rng);
+        // Add noise worth q/32 — large but decodable.
+        ct.b = q.add(ct.b, qv / 32);
+        let boot = sk.bootstrap_sign(&ct);
+        let phase = boot.phase(q, &ck.lwe_sk);
+        let err = q.to_centered(q.sub(phase, ck.ctx.encode_bit(true))).abs();
+        assert!(err < (qv / 32) as i64, "post-bootstrap error {err}");
+    }
+
+    #[test]
+    fn lut_bootstrap_computes_function() {
+        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Ntt, 113);
+        let t = 4u64;
+        // LUT: m -> (3 - m) encoded in the half-torus.
+        let lut: Vec<u64> = (0..t).map(|m| ck.ctx.encode_message(3 - m, t)).collect();
+        for m in 0..t {
+            let ct = ck.encrypt_message(m, t, &mut rng);
+            let out = sk.bootstrap_lut(&ct, &lut);
+            let got = ck.decrypt_message(&out, t);
+            assert_eq!(got, 3 - m, "LUT({m})");
+        }
+    }
+
+    #[test]
+    fn predicate_bootstrap_evaluates_comparisons() {
+        let (ck, sk, mut rng) = keys(TfheParams::set_iii(), MulBackend::Ntt, 117);
+        let t = 16u64;
+        let q = ck.ctx.q();
+        let amplitude = q.value() / 32;
+        let extracted = ck.glwe_sk.extracted_lwe_key();
+        for m in [0u64, 5, 8, 15] {
+            let ct = ck.encrypt_message(m, t, &mut rng);
+            let out = sk.bootstrap_predicate_unswitched(&ct, t, |x| x < 8, amplitude);
+            let phase = q.to_centered(out.phase(q, &extracted));
+            let got_true = phase > 0;
+            assert_eq!(got_true, m < 8, "predicate(m={m})");
+            // Amplitude preserved within the blind-rotate noise.
+            assert!(
+                (phase.unsigned_abs() as f64 / amplitude as f64 - 1.0).abs() < 0.5,
+                "m={m}: phase {phase} vs +/-{amplitude}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_backend_also_bootstraps() {
+        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Fft, 114);
+        for bit in [true, false] {
+            let ct = ck.encrypt_bit(bit, &mut rng);
+            let boot = sk.bootstrap_sign(&ct);
+            assert_eq!(ck.decrypt_bit(&boot), bit);
+        }
+    }
+
+    #[test]
+    fn set_ii_bootstraps() {
+        let (ck, sk, mut rng) = keys(TfheParams::set_ii(), MulBackend::Ntt, 115);
+        for bit in [true, false] {
+            let ct = ck.encrypt_bit(bit, &mut rng);
+            assert_eq!(ck.decrypt_bit(&sk.bootstrap_sign(&ct)), bit);
+        }
+    }
+
+    #[test]
+    fn set_iii_bootstraps() {
+        let (ck, sk, mut rng) = keys(TfheParams::set_iii(), MulBackend::Ntt, 116);
+        for bit in [true, false] {
+            let ct = ck.encrypt_bit(bit, &mut rng);
+            assert_eq!(ck.decrypt_bit(&sk.bootstrap_sign(&ct)), bit);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Reusable boolean circuits over bootstrapped gates.
+//!
+//! The paper's logic-FHE workloads are gate circuits chained through
+//! programmable bootstraps; this module packages the standard building
+//! blocks — ripple-carry addition, subtraction, comparison, and word
+//! multiplexing — over vectors of bit ciphertexts (little-endian
+//! words). Gate counts matter: every binary gate is one PBS, which is
+//! exactly the unit Table VII measures, so each circuit documents its
+//! bootstrap cost.
+
+use crate::bootstrap::{ClientKey, ServerKey};
+use crate::lwe::LweCiphertext;
+use rand::Rng;
+
+/// An encrypted word: little-endian vector of boolean LWE ciphertexts.
+pub type BitWord = Vec<LweCiphertext>;
+
+impl ClientKey {
+    /// Encrypts a `bits`-wide little-endian word.
+    pub fn encrypt_word<R: Rng + ?Sized>(&self, value: u64, bits: usize, rng: &mut R) -> BitWord {
+        (0..bits)
+            .map(|i| self.encrypt_bit((value >> i) & 1 == 1, rng))
+            .collect()
+    }
+
+    /// Decrypts a word back to an integer.
+    pub fn decrypt_word(&self, word: &BitWord) -> u64 {
+        word.iter()
+            .enumerate()
+            .map(|(i, ct)| (self.decrypt_bit(ct) as u64) << i)
+            .sum()
+    }
+}
+
+impl ServerKey {
+    /// Full adder: returns `(sum, carry)`. Five gates (5 PBS).
+    pub fn full_adder(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        cin: &LweCiphertext,
+    ) -> (LweCiphertext, LweCiphertext) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(&axb, cin);
+        let c1 = self.and(a, b);
+        let c2 = self.and(&axb, cin);
+        let carry = self.or(&c1, &c2);
+        (sum, carry)
+    }
+
+    /// Ripple-carry addition of two equal-width words (mod `2^bits`).
+    /// Costs `5*bits - 3` gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn add_words(&self, a: &BitWord, b: &BitWord) -> BitWord {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        assert!(!a.is_empty(), "empty word");
+        let mut out = Vec::with_capacity(a.len());
+        // Half adder for the least significant bit.
+        out.push(self.xor(&a[0], &b[0]));
+        let mut carry = self.and(&a[0], &b[0]);
+        for i in 1..a.len() {
+            let (s, c) = self.full_adder(&a[i], &b[i], &carry);
+            out.push(s);
+            if i + 1 < a.len() {
+                carry = c;
+            }
+        }
+        out
+    }
+
+    /// Two's-complement negation (mod `2^bits`): invert and add one.
+    pub fn negate_word(&self, a: &BitWord) -> BitWord {
+        // NOT is linear (free); the +1 ripples a carry through.
+        let inverted: Vec<LweCiphertext> = a.iter().map(|ct| self.not(ct)).collect();
+        let mut out = Vec::with_capacity(a.len());
+        // +1 at the LSB: sum = !inv[0], carry = inv[0].
+        out.push(self.not(&inverted[0]));
+        let mut carry = inverted[0].clone();
+        for bit in inverted.iter().skip(1) {
+            out.push(self.xor(bit, &carry));
+            carry = self.and(bit, &carry);
+        }
+        out
+    }
+
+    /// Subtraction `a - b` (mod `2^bits`): negate and add.
+    pub fn sub_words(&self, a: &BitWord, b: &BitWord) -> BitWord {
+        let neg = self.negate_word(b);
+        self.add_words(a, &neg)
+    }
+
+    /// Unsigned comparison `a < b`: scan from the most significant bit
+    /// with `lt = (!a & b) | ((a == b) & lt_lower)`. Costs about
+    /// `5*bits` gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn lt_words(&self, a: &BitWord, b: &BitWord) -> LweCiphertext {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        assert!(!a.is_empty(), "empty word");
+        let bit_lt = |i: usize| self.and(&self.not(&a[i]), &b[i]);
+        let mut acc = bit_lt(0);
+        for i in 1..a.len() {
+            let lt_i = bit_lt(i);
+            let eq_i = self.xnor(&a[i], &b[i]);
+            let keep = self.and(&eq_i, &acc);
+            acc = self.or(&lt_i, &keep);
+        }
+        acc
+    }
+
+    /// Equality of two words: XNOR each bit and AND-reduce
+    /// (`2*bits - 1` gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn eq_words(&self, a: &BitWord, b: &BitWord) -> LweCiphertext {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        assert!(!a.is_empty(), "empty word");
+        let mut acc = self.xnor(&a[0], &b[0]);
+        for i in 1..a.len() {
+            let e = self.xnor(&a[i], &b[i]);
+            acc = self.and(&acc, &e);
+        }
+        acc
+    }
+
+    /// Word multiplexer: `sel ? a : b`, bit-wise (3 gates per bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn mux_words(&self, sel: &LweCiphertext, a: &BitWord, b: &BitWord) -> BitWord {
+        assert_eq!(a.len(), b.len(), "width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| self.mux(sel, x, y))
+            .collect()
+    }
+
+    /// Maximum of two unsigned words: one comparison + one mux.
+    pub fn max_words(&self, a: &BitWord, b: &BitWord) -> BitWord {
+        let a_lt_b = self.lt_words(a, b);
+        self.mux_words(&a_lt_b, b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::TfheContext;
+    use crate::ggsw::MulBackend;
+    use crate::params::TfheParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(seed: u64) -> (ClientKey, ServerKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+        let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+        (ck, sk, rng)
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let (ck, _sk, mut rng) = keys(801);
+        for v in [0u64, 1, 5, 12, 15] {
+            let w = ck.encrypt_word(v, 4, &mut rng);
+            assert_eq!(ck.decrypt_word(&w), v);
+        }
+    }
+
+    #[test]
+    fn ripple_adder() {
+        let (ck, sk, mut rng) = keys(802);
+        for (a, b) in [(3u64, 5u64), (7, 9), (15, 1), (12, 12)] {
+            let wa = ck.encrypt_word(a, 4, &mut rng);
+            let wb = ck.encrypt_word(b, 4, &mut rng);
+            let sum = sk.add_words(&wa, &wb);
+            assert_eq!(ck.decrypt_word(&sum), (a + b) % 16, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn twos_complement_subtraction() {
+        let (ck, sk, mut rng) = keys(803);
+        for (a, b) in [(9u64, 5u64), (5, 9), (15, 15), (0, 1)] {
+            let wa = ck.encrypt_word(a, 4, &mut rng);
+            let wb = ck.encrypt_word(b, 4, &mut rng);
+            let diff = sk.sub_words(&wa, &wb);
+            assert_eq!(ck.decrypt_word(&diff), a.wrapping_sub(b) % 16, "{a} - {b}");
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let (ck, sk, mut rng) = keys(804);
+        for (a, b) in [(3u64, 7u64), (7, 3), (5, 5), (8, 9)] {
+            let wa = ck.encrypt_word(a, 4, &mut rng);
+            let wb = ck.encrypt_word(b, 4, &mut rng);
+            assert_eq!(ck.decrypt_bit(&sk.lt_words(&wa, &wb)), a < b, "{a} < {b}");
+            assert_eq!(ck.decrypt_bit(&sk.eq_words(&wa, &wb)), a == b, "{a} == {b}");
+        }
+    }
+
+    #[test]
+    fn max_selects_larger() {
+        let (ck, sk, mut rng) = keys(805);
+        for (a, b) in [(3u64, 11u64), (14, 2)] {
+            let wa = ck.encrypt_word(a, 4, &mut rng);
+            let wb = ck.encrypt_word(b, 4, &mut rng);
+            let m = sk.max_words(&wa, &wb);
+            assert_eq!(ck.decrypt_word(&m), a.max(b), "max({a},{b})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_rejected() {
+        let (ck, sk, mut rng) = keys(806);
+        let wa = ck.encrypt_word(1, 3, &mut rng);
+        let wb = ck.encrypt_word(1, 4, &mut rng);
+        let _ = sk.add_words(&wa, &wb);
+    }
+}

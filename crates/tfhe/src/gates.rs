@@ -1,0 +1,175 @@
+//! Gate bootstrapping: homomorphic boolean gates.
+//!
+//! Each binary gate is one linear combination followed by one sign PBS —
+//! the throughput unit of the paper's Table VII and the building block
+//! of its NN-x benchmarks. Booleans are encoded as `±q/8`.
+
+use crate::bootstrap::ServerKey;
+use crate::lwe::LweCiphertext;
+
+impl ServerKey {
+    /// Homomorphic NOT — purely linear, no bootstrap.
+    pub fn not(&self, a: &LweCiphertext) -> LweCiphertext {
+        let mut out = a.clone();
+        out.neg_assign(self.ctx.q());
+        out
+    }
+
+    /// Homomorphic AND.
+    pub fn and(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let q = self.ctx.q();
+        let qv = q.value();
+        // phase = a + b - q/8
+        let mut lin = LweCiphertext::trivial(a.dim(), q.neg(qv / 8));
+        lin.add_assign(q, a);
+        lin.add_assign(q, b);
+        self.bootstrap_sign(&lin)
+    }
+
+    /// Homomorphic OR.
+    pub fn or(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let q = self.ctx.q();
+        let mut lin = LweCiphertext::trivial(a.dim(), q.value() / 8);
+        lin.add_assign(q, a);
+        lin.add_assign(q, b);
+        self.bootstrap_sign(&lin)
+    }
+
+    /// Homomorphic NAND — the universal gate the TFHE literature
+    /// benchmarks.
+    pub fn nand(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let mut out = self.and(a, b);
+        out.neg_assign(self.ctx.q());
+        out
+    }
+
+    /// Homomorphic NOR.
+    pub fn nor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let mut out = self.or(a, b);
+        out.neg_assign(self.ctx.q());
+        out
+    }
+
+    /// Homomorphic XOR (single bootstrap via the doubling trick).
+    pub fn xor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let q = self.ctx.q();
+        let mut lin = LweCiphertext::trivial(a.dim(), q.value() / 4);
+        let mut two_a = a.clone();
+        two_a.mul_small(q, 2);
+        let mut two_b = b.clone();
+        two_b.mul_small(q, 2);
+        lin.add_assign(q, &two_a);
+        lin.add_assign(q, &two_b);
+        self.bootstrap_sign(&lin)
+    }
+
+    /// Homomorphic XNOR.
+    pub fn xnor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let mut out = self.xor(a, b);
+        out.neg_assign(self.ctx.q());
+        out
+    }
+
+    /// Homomorphic MUX: `sel ? a : b` (three bootstraps).
+    pub fn mux(
+        &self,
+        sel: &LweCiphertext,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+    ) -> LweCiphertext {
+        let t1 = self.and(sel, a);
+        let not_sel = self.not(sel);
+        let t2 = self.and(&not_sel, b);
+        self.or(&t1, &t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{ClientKey, TfheContext};
+    use crate::ggsw::MulBackend;
+    use crate::params::TfheParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ClientKey, ServerKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(121);
+        let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+        let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+        (ck, sk, rng)
+    }
+
+    #[test]
+    fn truth_tables() {
+        let (ck, sk, mut rng) = setup();
+        for a in [false, true] {
+            for b in [false, true] {
+                let ca = ck.encrypt_bit(a, &mut rng);
+                let cb = ck.encrypt_bit(b, &mut rng);
+                assert_eq!(ck.decrypt_bit(&sk.and(&ca, &cb)), a && b, "AND({a},{b})");
+                assert_eq!(ck.decrypt_bit(&sk.or(&ca, &cb)), a || b, "OR({a},{b})");
+                assert_eq!(ck.decrypt_bit(&sk.nand(&ca, &cb)), !(a && b), "NAND({a},{b})");
+                assert_eq!(ck.decrypt_bit(&sk.nor(&ca, &cb)), !(a || b), "NOR({a},{b})");
+                assert_eq!(ck.decrypt_bit(&sk.xor(&ca, &cb)), a ^ b, "XOR({a},{b})");
+                assert_eq!(ck.decrypt_bit(&sk.xnor(&ca, &cb)), !(a ^ b), "XNOR({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn not_is_linear_and_exact() {
+        let (ck, sk, mut rng) = setup();
+        for a in [false, true] {
+            let ca = ck.encrypt_bit(a, &mut rng);
+            assert_eq!(ck.decrypt_bit(&sk.not(&ca)), !a);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let (ck, sk, mut rng) = setup();
+        for sel in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let cs = ck.encrypt_bit(sel, &mut rng);
+                    let ca = ck.encrypt_bit(a, &mut rng);
+                    let cb = ck.encrypt_bit(b, &mut rng);
+                    let out = sk.mux(&cs, &ca, &cb);
+                    let expect = if sel { a } else { b };
+                    assert_eq!(ck.decrypt_bit(&out), expect, "MUX({sel},{a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_chaining_survives_depth() {
+        // A small circuit: full adder chained 4 times (ripple carry).
+        let (ck, sk, mut rng) = setup();
+        let x = 0b1011u8;
+        let y = 0b0110u8;
+        let mut carry = ck.encrypt_bit(false, &mut rng);
+        let mut sum_bits = Vec::new();
+        for i in 0..4 {
+            let a = ck.encrypt_bit((x >> i) & 1 == 1, &mut rng);
+            let b = ck.encrypt_bit((y >> i) & 1 == 1, &mut rng);
+            let ab = sk.xor(&a, &b);
+            let s = sk.xor(&ab, &carry);
+            let c1 = sk.and(&a, &b);
+            let c2 = sk.and(&ab, &carry);
+            carry = sk.or(&c1, &c2);
+            sum_bits.push(s);
+        }
+        let mut got = 0u8;
+        for (i, s) in sum_bits.iter().enumerate() {
+            if ck.decrypt_bit(s) {
+                got |= 1 << i;
+            }
+        }
+        if ck.decrypt_bit(&carry) {
+            got |= 1 << 4;
+        }
+        assert_eq!(got, x + y, "homomorphic adder: {got} != {}", x + y);
+    }
+}

@@ -1,0 +1,327 @@
+//! GGSW ciphertexts and the external product, with interchangeable NTT
+//! and FFT polynomial-multiplication backends.
+//!
+//! The external product (paper §II-B) multiplies a GLWE ciphertext by a
+//! GGSW ciphertext: the GLWE components are gadget-decomposed into
+//! `(k+1) * lb` small polynomials, which are multiplied against the GGSW
+//! rows and accumulated — `NTT(tmp[j]) * bsk[i][j]` in Algorithm 2
+//! line 9. Trinity runs this on exact NTT hardware; FFT-based
+//! accelerators (Morphling, Strix, Matcha) use the approximate
+//! double-precision path kept here as [`MulBackend::Fft`] for the
+//! ablation.
+
+use rand::Rng;
+
+use crate::glwe::{GlweCiphertext, GlweSecretKey};
+use crate::lwe::{gadget_decompose, gadget_element};
+use crate::ring::TfheRing;
+
+/// Which polynomial multiplier the external product uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulBackend {
+    /// Exact NTT over the prime modulus (Trinity's approach).
+    Ntt,
+    /// Double-precision FFT with rounding (the conventional approach).
+    Fft,
+}
+
+/// A GGSW ciphertext prepared for fast external products.
+///
+/// Row `(i, j)` (for component `i in 0..=k`, level `j in 1..=lb`)
+/// encrypts `m * g_j` added at component `i`. For the NTT backend all
+/// rows are stored in evaluation form; for the FFT backend rows are
+/// stored as centered signed integers.
+#[derive(Debug, Clone)]
+pub struct Ggsw {
+    k: usize,
+    lb: usize,
+    bg_log: u32,
+    repr: GgswRepr,
+}
+
+#[derive(Debug, Clone)]
+enum GgswRepr {
+    /// `rows[r][component][coeff]` in NTT evaluation form.
+    Ntt(Vec<Vec<Vec<u64>>>),
+    /// `rows[r][component][coeff]` centered in `[-q/2, q/2)`.
+    Fft(Vec<Vec<Vec<i64>>>),
+}
+
+impl Ggsw {
+    /// Encrypts a small scalar `m` (0 or 1 for bootstrap keys) as a GGSW
+    /// ciphertext, prepared for the chosen backend.
+    pub fn encrypt_scalar<R: Rng + ?Sized>(
+        ring: &TfheRing,
+        sk: &GlweSecretKey,
+        m: u64,
+        lb: usize,
+        bg_log: u32,
+        noise_std: f64,
+        backend: MulBackend,
+        rng: &mut R,
+    ) -> Self {
+        let k = sk.k();
+        let q = ring.modulus();
+        let mut rows = Vec::with_capacity((k + 1) * lb);
+        for i in 0..=k {
+            for j in 1..=lb {
+                let zero = ring.zero_poly();
+                let mut ct = GlweCiphertext::encrypt(ring, sk, &zero, noise_std, rng);
+                if m != 0 {
+                    let g = gadget_element(q.value(), bg_log, j);
+                    let add = q.mul(q.reduce(m), g);
+                    if i < k {
+                        ct.mask[i][0] = q.add(ct.mask[i][0], add);
+                    } else {
+                        ct.body[0] = q.add(ct.body[0], add);
+                    }
+                }
+                rows.push(ct);
+            }
+        }
+        Self::prepare(ring, rows, k, lb, bg_log, backend)
+    }
+
+    fn prepare(
+        ring: &TfheRing,
+        rows: Vec<GlweCiphertext>,
+        k: usize,
+        lb: usize,
+        bg_log: u32,
+        backend: MulBackend,
+    ) -> Self {
+        let repr = match backend {
+            MulBackend::Ntt => GgswRepr::Ntt(
+                rows.into_iter()
+                    .map(|ct| {
+                        let mut comps = ct.mask;
+                        comps.push(ct.body);
+                        comps
+                            .into_iter()
+                            .map(|mut poly| {
+                                ring.table().forward(&mut poly);
+                                poly
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            ),
+            MulBackend::Fft => GgswRepr::Fft(
+                rows.into_iter()
+                    .map(|ct| {
+                        let mut comps = ct.mask;
+                        comps.push(ct.body);
+                        comps.into_iter().map(|poly| ring.to_centered(&poly)).collect()
+                    })
+                    .collect(),
+            ),
+        };
+        Self {
+            k,
+            lb,
+            bg_log,
+            repr,
+        }
+    }
+
+    /// The backend this GGSW was prepared for.
+    pub fn backend(&self) -> MulBackend {
+        match self.repr {
+            GgswRepr::Ntt(_) => MulBackend::Ntt,
+            GgswRepr::Fft(_) => MulBackend::Fft,
+        }
+    }
+
+    /// External product `self ⊡ glwe`.
+    ///
+    /// Decomposes every GLWE component into `lb` digit polynomials and
+    /// accumulates digit-by-row products (Algorithm 2 lines 6–10).
+    pub fn external_product(&self, ring: &TfheRing, glwe: &GlweCiphertext) -> GlweCiphertext {
+        let n = ring.n();
+        let q = ring.modulus();
+        let k = self.k;
+        // Digit polynomials, row-aligned: index i*lb + (j-1).
+        let mut digits: Vec<Vec<i64>> = vec![vec![0i64; n]; (k + 1) * self.lb];
+        for comp in 0..=k {
+            let poly = if comp < k { &glwe.mask[comp] } else { &glwe.body };
+            for (c, &x) in poly.iter().enumerate() {
+                let ds = gadget_decompose(q.value(), x, self.bg_log, self.lb);
+                for (j, &d) in ds.iter().enumerate() {
+                    digits[comp * self.lb + j][c] = d;
+                }
+            }
+        }
+        match &self.repr {
+            GgswRepr::Ntt(rows) => {
+                // Forward-transform each digit poly once, accumulate in
+                // the evaluation domain, inverse-transform per component.
+                let mut acc = vec![vec![0u64; n]; k + 1];
+                for (r, digit) in digits.iter().enumerate() {
+                    let mut d = ring.poly_from_signed(digit);
+                    ring.table().forward(&mut d);
+                    for comp in 0..=k {
+                        ring.table().pointwise_mul_acc(&mut acc[comp], &d, &rows[r][comp]);
+                    }
+                }
+                let mut comps: Vec<Vec<u64>> = acc
+                    .into_iter()
+                    .map(|mut poly| {
+                        ring.table().inverse(&mut poly);
+                        poly
+                    })
+                    .collect();
+                let body = comps.pop().expect("k+1 components");
+                GlweCiphertext { mask: comps, body }
+            }
+            GgswRepr::Fft(rows) => {
+                // Accumulate per-row FFT products in wide integers, then
+                // reduce — rounding error mirrors real FFT accelerators.
+                let mut acc = vec![vec![0i128; n]; k + 1];
+                for (r, digit) in digits.iter().enumerate() {
+                    for comp in 0..=k {
+                        let prod = fhe_math::fft::negacyclic_mul_fft(digit, &rows[r][comp]);
+                        for (a, &p) in acc[comp].iter_mut().zip(&prod) {
+                            *a += p as i128;
+                        }
+                    }
+                }
+                let reduce = |v: &Vec<i128>| -> Vec<u64> {
+                    v.iter()
+                        .map(|&x| {
+                            let r = x.rem_euclid(q.value() as i128);
+                            r as u64
+                        })
+                        .collect()
+                };
+                let mut comps: Vec<Vec<u64>> = acc.iter().map(reduce).collect();
+                let body = comps.pop().expect("k+1 components");
+                GlweCiphertext { mask: comps, body }
+            }
+        }
+    }
+
+    /// CMUX: returns `ct0 + self ⊡ (ct1 - ct0)` — selects `ct1` when the
+    /// encrypted bit is 1, `ct0` when it is 0.
+    pub fn cmux(
+        &self,
+        ring: &TfheRing,
+        ct0: &GlweCiphertext,
+        ct1: &GlweCiphertext,
+    ) -> GlweCiphertext {
+        let mut diff = ct1.clone();
+        diff.sub_assign(ring, ct0);
+        let mut out = self.external_product(ring, &diff);
+        out.add_assign(ring, ct0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TfheRing, GlweSecretKey, StdRng) {
+        let ring = TfheRing::new(1024, 32);
+        let mut rng = StdRng::seed_from_u64(101);
+        let sk = GlweSecretKey::generate(1, 1024, &mut rng);
+        (ring, sk, rng)
+    }
+
+    fn phase_error(ring: &TfheRing, got: &[u64], want: &[u64]) -> i64 {
+        let m = ring.modulus();
+        got.iter()
+            .zip(want)
+            .map(|(&g, &w)| m.to_centered(m.sub(g, w)).abs())
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn external_product_by_one_is_identity_ish() {
+        for backend in [MulBackend::Ntt, MulBackend::Fft] {
+            let (ring, sk, mut rng) = setup();
+            let q = ring.q();
+            let ggsw_one =
+                Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 3.73e-9, backend, &mut rng);
+            let mut msg = ring.zero_poly();
+            msg[0] = q / 8;
+            msg[7] = q - q / 8;
+            let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
+            let out = ggsw_one.external_product(&ring, &glwe);
+            let phase = out.phase(&ring, &sk);
+            let err = phase_error(&ring, &phase, &msg);
+            assert!(err < (q / 64) as i64, "{backend:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn external_product_by_zero_kills_message() {
+        for backend in [MulBackend::Ntt, MulBackend::Fft] {
+            let (ring, sk, mut rng) = setup();
+            let q = ring.q();
+            let ggsw_zero =
+                Ggsw::encrypt_scalar(&ring, &sk, 0, 2, 10, 3.73e-9, backend, &mut rng);
+            let mut msg = ring.zero_poly();
+            msg[0] = q / 4;
+            let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
+            let out = ggsw_zero.external_product(&ring, &glwe);
+            let phase = out.phase(&ring, &sk);
+            let err = phase_error(&ring, &phase, &ring.zero_poly());
+            assert!(err < (q / 64) as i64, "{backend:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn cmux_selects() {
+        for backend in [MulBackend::Ntt, MulBackend::Fft] {
+            let (ring, sk, mut rng) = setup();
+            let q = ring.q();
+            let mut m0 = ring.zero_poly();
+            m0[0] = q / 8;
+            let mut m1 = ring.zero_poly();
+            m1[0] = q - q / 8;
+            let ct0 = GlweCiphertext::encrypt(&ring, &sk, &m0, 3.73e-9, &mut rng);
+            let ct1 = GlweCiphertext::encrypt(&ring, &sk, &m1, 3.73e-9, &mut rng);
+            for bit in [0u64, 1] {
+                let sel = Ggsw::encrypt_scalar(&ring, &sk, bit, 2, 10, 3.73e-9, backend, &mut rng);
+                let out = sel.cmux(&ring, &ct0, &ct1);
+                let phase = out.phase(&ring, &sk);
+                let want = if bit == 0 { &m0 } else { &m1 };
+                let err = phase_error(&ring, &phase, want);
+                assert!(err < (q / 64) as i64, "{backend:?} bit {bit}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_backend_is_more_accurate_than_fft() {
+        // Chain external products by 1 and compare error growth: the NTT
+        // path only accrues decomposition/key noise, the FFT path adds
+        // rounding on top — the paper's motivation for the substitution.
+        let mut max_err = std::collections::HashMap::new();
+        for backend in [MulBackend::Ntt, MulBackend::Fft] {
+            let (ring, sk, mut rng) = setup();
+            let q = ring.q();
+            let ggsw_one =
+                Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 1e-9, backend, &mut rng);
+            let mut msg = ring.zero_poly();
+            msg[0] = q / 8;
+            let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 1e-9, &mut rng);
+            let mut cur = glwe;
+            for _ in 0..4 {
+                cur = ggsw_one.external_product(&ring, &cur);
+            }
+            let phase = cur.phase(&ring, &sk);
+            let err = phase_error(&ring, &phase, &msg);
+            max_err.insert(backend.clone(), err);
+        }
+        assert!(
+            max_err[&MulBackend::Ntt] <= max_err[&MulBackend::Fft],
+            "NTT {} should not exceed FFT {}",
+            max_err[&MulBackend::Ntt],
+            max_err[&MulBackend::Fft]
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! GLWE ciphertexts and sample extraction.
+//!
+//! A GLWE ciphertext is `(A_1(X), .., A_k(X), B(X))` with
+//! `B = sum A_i S_i + M + E` over the negacyclic ring (paper §II-B).
+//! `SampleExtract` (Algorithm 2 line 14, and the whole of the CKKS→TFHE
+//! conversion, Algorithm 3) reads one message coefficient out as an LWE
+//! ciphertext under the flattened key.
+
+use rand::Rng;
+
+use crate::lwe::{LweCiphertext, LweSecretKey};
+use crate::ring::TfheRing;
+
+/// A GLWE secret key: `k` binary polynomials.
+#[derive(Debug, Clone)]
+pub struct GlweSecretKey {
+    /// Secret polynomials (signed coefficients, binary).
+    pub polys: Vec<Vec<i64>>,
+}
+
+impl GlweSecretKey {
+    /// Samples a binary GLWE secret of dimension `k` over degree `n`.
+    pub fn generate<R: Rng + ?Sized>(k: usize, n: usize, rng: &mut R) -> Self {
+        Self {
+            polys: (0..k).map(|_| fhe_math::sampler::binary(rng, n)).collect(),
+        }
+    }
+
+    /// Builds from explicit coefficients (shared-secret scenarios in the
+    /// scheme-conversion layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is outside {0, 1} (binary GLWE keys).
+    pub fn from_polys(polys: Vec<Vec<i64>>) -> Self {
+        assert!(polys
+            .iter()
+            .all(|p| p.iter().all(|&c| c == 0 || c == 1)));
+        Self { polys }
+    }
+
+    /// GLWE dimension `k`.
+    pub fn k(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Flattens into the extracted LWE key of dimension `k * N`
+    /// (the key `SampleExtract` outputs live under).
+    pub fn extracted_lwe_key(&self) -> LweSecretKey {
+        LweSecretKey {
+            s: self.polys.concat(),
+        }
+    }
+}
+
+/// A GLWE ciphertext: `k` mask polynomials plus a body.
+#[derive(Debug, Clone)]
+pub struct GlweCiphertext {
+    /// Mask polynomials `A_i`.
+    pub mask: Vec<Vec<u64>>,
+    /// Body polynomial `B`.
+    pub body: Vec<u64>,
+}
+
+impl GlweCiphertext {
+    /// The trivial encryption of a plaintext polynomial.
+    pub fn trivial(ring: &TfheRing, k: usize, message: Vec<u64>) -> Self {
+        assert_eq!(message.len(), ring.n());
+        Self {
+            mask: vec![ring.zero_poly(); k],
+            body: message,
+        }
+    }
+
+    /// The all-zero ciphertext.
+    pub fn zero(ring: &TfheRing, k: usize) -> Self {
+        Self {
+            mask: vec![ring.zero_poly(); k],
+            body: ring.zero_poly(),
+        }
+    }
+
+    /// Encrypts a plaintext polynomial (torus-encoded coefficients).
+    pub fn encrypt<R: Rng + ?Sized>(
+        ring: &TfheRing,
+        sk: &GlweSecretKey,
+        message: &[u64],
+        noise_std: f64,
+        rng: &mut R,
+    ) -> Self {
+        let n = ring.n();
+        assert_eq!(message.len(), n);
+        let q = ring.modulus();
+        let mask: Vec<Vec<u64>> = (0..sk.k())
+            .map(|_| fhe_math::sampler::uniform_residues(rng, q, n))
+            .collect();
+        let sigma_abs = (noise_std * q.value() as f64).max(1e-9);
+        let noise = fhe_math::sampler::gaussian(rng, n, sigma_abs);
+        let mut body = ring.poly_from_signed(&noise);
+        ring.add_assign(&mut body, message);
+        // body += sum mask_i * s_i (negacyclic product via NTT).
+        for (a, s) in mask.iter().zip(&sk.polys) {
+            let s_lifted = ring.poly_from_signed(s);
+            let prod = ring.table().negacyclic_mul(a, &s_lifted);
+            ring.add_assign(&mut body, &prod);
+        }
+        Self { mask, body }
+    }
+
+    /// Decrypts to the raw phase polynomial `B - sum A_i S_i`.
+    pub fn phase(&self, ring: &TfheRing, sk: &GlweSecretKey) -> Vec<u64> {
+        let mut acc = self.body.clone();
+        for (a, s) in self.mask.iter().zip(&sk.polys) {
+            let s_lifted = ring.poly_from_signed(s);
+            let prod = ring.table().negacyclic_mul(a, &s_lifted);
+            ring.sub_assign(&mut acc, &prod);
+        }
+        acc
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, ring: &TfheRing, other: &GlweCiphertext) {
+        for (a, b) in self.mask.iter_mut().zip(&other.mask) {
+            ring.add_assign(a, b);
+        }
+        ring.add_assign(&mut self.body, &other.body);
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, ring: &TfheRing, other: &GlweCiphertext) {
+        for (a, b) in self.mask.iter_mut().zip(&other.mask) {
+            ring.sub_assign(a, b);
+        }
+        ring.sub_assign(&mut self.body, &other.body);
+    }
+
+    /// Returns `self * X^r` (the Rotate of Algorithm 2, exact).
+    pub fn rotate(&self, ring: &TfheRing, r: i64) -> GlweCiphertext {
+        GlweCiphertext {
+            mask: self.mask.iter().map(|a| ring.mul_monomial(a, r)).collect(),
+            body: ring.mul_monomial(&self.body, r),
+        }
+    }
+
+    /// SampleExtract: extracts coefficient `idx` of the message as an
+    /// LWE ciphertext under [`GlweSecretKey::extracted_lwe_key`].
+    pub fn sample_extract(&self, ring: &TfheRing, idx: usize) -> LweCiphertext {
+        let n = ring.n();
+        assert!(idx < n);
+        let q = ring.modulus();
+        let mut a = Vec::with_capacity(self.mask.len() * n);
+        for mask_poly in &self.mask {
+            // Coefficient of s_j[i] in (A_j * S_j)[idx]:
+            //   A_j[idx - i] for i <= idx, and -A_j[N + idx - i] for i > idx.
+            for i in 0..n {
+                if i <= idx {
+                    a.push(mask_poly[idx - i]);
+                } else {
+                    a.push(q.neg(mask_poly[n + idx - i]));
+                }
+            }
+        }
+        LweCiphertext {
+            a,
+            b: self.body[idx],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhe_math::Modulus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TfheRing, GlweSecretKey, StdRng) {
+        let ring = TfheRing::new(1024, 32);
+        let mut rng = StdRng::seed_from_u64(91);
+        let sk = GlweSecretKey::generate(1, 1024, &mut rng);
+        (ring, sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_polynomial() {
+        let (ring, sk, mut rng) = setup();
+        let q = ring.q();
+        let msg: Vec<u64> = (0..1024).map(|i| ((i % 8) as u64) * (q / 8)).collect();
+        let ct = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
+        let phase = ct.phase(&ring, &sk);
+        let m = ring.modulus();
+        for (p, &expect) in phase.iter().zip(&msg) {
+            let err = m.to_centered(m.sub(*p, expect)).abs();
+            assert!(err < (q / 64) as i64, "err {err}");
+        }
+    }
+
+    #[test]
+    fn rotation_shifts_message() {
+        let (ring, sk, mut rng) = setup();
+        let q = ring.q();
+        let mut msg = ring.zero_poly();
+        msg[0] = q / 8;
+        let ct = GlweCiphertext::encrypt(&ring, &sk, &msg, 1e-9, &mut rng);
+        let rot = ct.rotate(&ring, 5);
+        let phase = rot.phase(&ring, &sk);
+        let m = ring.modulus();
+        let err = m.to_centered(m.sub(phase[5], q / 8)).abs();
+        assert!(err < (q / 64) as i64);
+        // Rotating by N negates.
+        let neg = ct.rotate(&ring, 1024);
+        let phase = neg.phase(&ring, &sk);
+        let err = m.to_centered(m.sub(phase[0], m.neg(q / 8))).abs();
+        assert!(err < (q / 64) as i64);
+    }
+
+    #[test]
+    fn sample_extract_reads_each_coefficient() {
+        let (ring, sk, mut rng) = setup();
+        let q = ring.q();
+        let m: &Modulus = ring.modulus();
+        let msg: Vec<u64> = (0..1024).map(|i| ((i % 4) as u64) * (q / 4)).collect();
+        let ct = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
+        let lwe_key = sk.extracted_lwe_key();
+        for idx in [0usize, 1, 511, 1023] {
+            let lwe = ct.sample_extract(&ring, idx);
+            assert_eq!(lwe.dim(), 1024);
+            let phase = lwe.phase(m, &lwe_key);
+            let err = m.to_centered(m.sub(phase, msg[idx])).abs();
+            assert!(err < (q / 32) as i64, "idx {idx}: err {err}");
+        }
+    }
+
+    #[test]
+    fn trivial_ciphertext_has_exact_phase() {
+        let (ring, sk, _) = setup();
+        let mut msg = ring.zero_poly();
+        msg[3] = 42;
+        let ct = GlweCiphertext::trivial(&ring, 1, msg.clone());
+        assert_eq!(ct.phase(&ring, &sk), msg);
+    }
+}

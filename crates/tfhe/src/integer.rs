@@ -1,0 +1,473 @@
+//! Radix-encoded encrypted integers over TFHE.
+//!
+//! The paper's hybrid-scheme workloads (HE3DB, Table X) filter on
+//! encrypted integers in the TFHE domain. This module provides the
+//! standard radix construction: an integer is a little-endian vector of
+//! digits, each digit an LWE ciphertext over a message space with spare
+//! *carry space* — digits hold values in `[0, t)` inside a space of
+//! `T = t^2`, so digit-wise linear arithmetic never overflows before the
+//! next carry propagation, and two digits can be packed into one
+//! ciphertext for bivariate lookup tables (comparisons).
+//!
+//! Every non-linear step (carry extraction, comparison digits, the
+//! boolean combine tree) is one programmable bootstrap, which is exactly
+//! the unit the paper's Table VII throughput benchmarks count.
+
+use rand::Rng;
+
+use crate::bootstrap::{ClientKey, ServerKey};
+use crate::lwe::LweCiphertext;
+
+/// Shape of a radix integer: `num_digits` digits of `digit_bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixParams {
+    /// Bits per digit (digit base `t = 2^digit_bits`).
+    pub digit_bits: u32,
+    /// Number of digits (little-endian).
+    pub num_digits: usize,
+}
+
+impl RadixParams {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit_bits` is 0 or `num_digits` is 0, or if the
+    /// packed bivariate space `2^(2*digit_bits)` would not fit a
+    /// reasonable test vector (`digit_bits > 4`).
+    pub fn new(digit_bits: u32, num_digits: usize) -> Self {
+        assert!(digit_bits >= 1 && digit_bits <= 4, "digit_bits in [1,4]");
+        assert!(num_digits >= 1, "need at least one digit");
+        Self {
+            digit_bits,
+            num_digits,
+        }
+    }
+
+    /// Digit base `t`.
+    pub fn base(&self) -> u64 {
+        1 << self.digit_bits
+    }
+
+    /// Message space per ciphertext, `T = t^2` (digit + carry space).
+    pub fn space(&self) -> u64 {
+        1 << (2 * self.digit_bits)
+    }
+
+    /// Total plaintext modulus `t^num_digits`.
+    pub fn modulus(&self) -> u128 {
+        (self.base() as u128).pow(self.num_digits as u32)
+    }
+
+    /// Splits a value into little-endian digits (reduced mod
+    /// [`Self::modulus`]).
+    pub fn to_digits(&self, value: u128) -> Vec<u64> {
+        let t = self.base() as u128;
+        let mut v = value % self.modulus();
+        (0..self.num_digits)
+            .map(|_| {
+                let d = (v % t) as u64;
+                v /= t;
+                d
+            })
+            .collect()
+    }
+
+    /// Reassembles a value from little-endian digits.
+    pub fn from_digits(&self, digits: &[u64]) -> u128 {
+        let t = self.base() as u128;
+        digits
+            .iter()
+            .rev()
+            .fold(0u128, |acc, &d| acc * t + d as u128)
+    }
+}
+
+/// An encrypted integer: little-endian LWE digits in carry space.
+#[derive(Debug, Clone)]
+pub struct RadixCiphertext {
+    /// Digit ciphertexts, least significant first.
+    pub digits: Vec<LweCiphertext>,
+    /// Shape.
+    pub params: RadixParams,
+}
+
+impl ClientKey {
+    /// Encrypts an unsigned integer as a radix ciphertext.
+    pub fn encrypt_radix<R: Rng + ?Sized>(
+        &self,
+        value: u128,
+        params: RadixParams,
+        rng: &mut R,
+    ) -> RadixCiphertext {
+        let space = params.space();
+        let digits = params
+            .to_digits(value)
+            .into_iter()
+            .map(|d| self.encrypt_message(d, space, rng))
+            .collect();
+        RadixCiphertext { digits, params }
+    }
+
+    /// Decrypts a radix ciphertext back to an unsigned integer.
+    pub fn decrypt_radix(&self, ct: &RadixCiphertext) -> u128 {
+        let space = ct.params.space();
+        let digits: Vec<u64> = ct
+            .digits
+            .iter()
+            .map(|d| self.decrypt_message(d, space) % ct.params.base())
+            .collect();
+        ct.params.from_digits(&digits)
+    }
+}
+
+impl ServerKey {
+    /// Encoding step for message space `T`: phases are
+    /// `(2m + 1) q / (4T)`.
+    fn half_step(&self, space: u64) -> u64 {
+        (self.ctx.q().value() as u128 / (4 * space as u128)) as u64
+    }
+
+    /// Trivial encoding of `m` in space `T` (no encryption — used for
+    /// plaintext operands and offset corrections).
+    fn trivial_digit(&self, m: u64, space: u64, dim: usize) -> LweCiphertext {
+        LweCiphertext::trivial(dim, self.ctx.encode_message(m, space))
+    }
+
+    /// Digit-wise sum `a + b` within carry space: encodings satisfy
+    /// `enc(a) + enc(b) = enc(a + b) + q/(4T)`, so one trivial offset
+    /// fixes the window.
+    fn digit_add(&self, a: &LweCiphertext, b: &LweCiphertext, space: u64) -> LweCiphertext {
+        let q = self.ctx.q();
+        let mut out = a.clone();
+        out.add_assign(q, b);
+        out.b = q.sub(out.b, self.half_step(space));
+        out
+    }
+
+    /// Digit scaled by a small plaintext `c >= 1`:
+    /// `c * enc(m) = enc(c m) + (c - 1) q/(4T)`.
+    fn digit_scale(&self, a: &LweCiphertext, c: u64, space: u64) -> LweCiphertext {
+        let q = self.ctx.q();
+        let mut out = a.clone();
+        out.mul_small(q, c);
+        let fix = self.half_step(space).wrapping_mul(c - 1) % q.value();
+        out.b = q.sub(out.b, q.reduce(fix));
+        out
+    }
+
+    /// Bootstraps a digit through `f: [0, T) -> [0, T)`, re-encoding the
+    /// output in the same space.
+    fn digit_lut(&self, ct: &LweCiphertext, space: u64, f: impl Fn(u64) -> u64) -> LweCiphertext {
+        let lut: Vec<u64> = (0..space)
+            .map(|m| self.ctx.encode_message(f(m) % space, space))
+            .collect();
+        self.bootstrap_lut(ct, &lut)
+    }
+
+    /// Adds two radix integers (mod `t^d`): digit-wise adds followed by
+    /// sequential carry propagation — `2` bootstraps per digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn radix_add(&self, a: &RadixCiphertext, b: &RadixCiphertext) -> RadixCiphertext {
+        assert_eq!(a.params, b.params, "radix shape mismatch");
+        let p = a.params;
+        let space = p.space();
+        let t = p.base();
+        let mut digits = Vec::with_capacity(p.num_digits);
+        let mut carry: Option<LweCiphertext> = None;
+        for i in 0..p.num_digits {
+            // Raw sum <= 2(t-1) + 1 < T: safe in carry space.
+            let mut sum = self.digit_add(&a.digits[i], &b.digits[i], space);
+            if let Some(c) = carry {
+                sum = self.digit_add(&sum, &c, space);
+            }
+            digits.push(self.digit_lut(&sum, space, |m| m % t));
+            carry = if i + 1 < p.num_digits {
+                Some(self.digit_lut(&sum, space, |m| m / t))
+            } else {
+                None
+            };
+        }
+        RadixCiphertext { digits, params: p }
+    }
+
+    /// Adds a plaintext constant to a radix integer (mod `t^d`).
+    pub fn radix_scalar_add(&self, a: &RadixCiphertext, scalar: u128) -> RadixCiphertext {
+        let p = a.params;
+        let space = p.space();
+        let t = p.base();
+        let dim = a.digits[0].dim();
+        let scalar_digits = p.to_digits(scalar);
+        let mut digits = Vec::with_capacity(p.num_digits);
+        let mut carry: Option<LweCiphertext> = None;
+        for i in 0..p.num_digits {
+            let sd = self.trivial_digit(scalar_digits[i], space, dim);
+            let mut sum = self.digit_add(&a.digits[i], &sd, space);
+            if let Some(c) = carry {
+                sum = self.digit_add(&sum, &c, space);
+            }
+            digits.push(self.digit_lut(&sum, space, |m| m % t));
+            carry = if i + 1 < p.num_digits {
+                Some(self.digit_lut(&sum, space, |m| m / t))
+            } else {
+                None
+            };
+        }
+        RadixCiphertext { digits, params: p }
+    }
+
+    /// Multiplies a radix integer by a small plaintext scalar
+    /// `1 <= c <= t` (mod `t^d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is 0 or exceeds the digit base.
+    pub fn radix_scalar_mul(&self, a: &RadixCiphertext, c: u64) -> RadixCiphertext {
+        let p = a.params;
+        let t = p.base();
+        assert!(c >= 1 && c <= t, "scalar must be in [1, t]");
+        let space = p.space();
+        let mut digits = Vec::with_capacity(p.num_digits);
+        let mut carry: Option<LweCiphertext> = None;
+        for i in 0..p.num_digits {
+            // c * digit <= t(t-1) < T, plus a carry < t stays below T.
+            let mut prod = self.digit_scale(&a.digits[i], c, space);
+            if let Some(cin) = carry {
+                prod = self.digit_add(&prod, &cin, space);
+            }
+            digits.push(self.digit_lut(&prod, space, |m| m % t));
+            carry = if i + 1 < p.num_digits {
+                Some(self.digit_lut(&prod, space, |m| m / t))
+            } else {
+                None
+            };
+        }
+        RadixCiphertext { digits, params: p }
+    }
+
+    /// Packs digit pair `(a_i, b_i)` as `t * a_i + b_i` — the bivariate
+    /// LUT input. Both inputs must be clean digits (values `< t`).
+    fn pack_pair(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        space: u64,
+        t: u64,
+    ) -> LweCiphertext {
+        let scaled = self.digit_scale(a, t, space);
+        self.digit_add(&scaled, b, space)
+    }
+
+    /// Equality test: returns a boolean LWE ciphertext (`±q/8`
+    /// encoding, compatible with the gate API).
+    ///
+    /// Costs `d` bivariate bootstraps plus `d - 1` AND gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn radix_eq(&self, a: &RadixCiphertext, b: &RadixCiphertext) -> LweCiphertext {
+        assert_eq!(a.params, b.params, "radix shape mismatch");
+        let p = a.params;
+        let (space, t) = (p.space(), p.base());
+        let q = self.ctx.q();
+        let yes = q.value() / 8;
+        let no = q.neg(yes);
+        let eq_bits: Vec<LweCiphertext> = (0..p.num_digits)
+            .map(|i| {
+                let packed = self.pack_pair(&a.digits[i], &b.digits[i], space, t);
+                let lut: Vec<u64> = (0..space)
+                    .map(|m| if m / t == m % t { yes } else { no })
+                    .collect();
+                self.bootstrap_lut(&packed, &lut)
+            })
+            .collect();
+        let mut acc = eq_bits[0].clone();
+        for bit in &eq_bits[1..] {
+            acc = self.and(&acc, bit);
+        }
+        acc
+    }
+
+    /// Less-than test `a < b`: returns a boolean LWE ciphertext.
+    ///
+    /// Lexicographic combine from the most significant digit:
+    /// `lt = lt_d OR (eq_d AND lt_rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn radix_lt(&self, a: &RadixCiphertext, b: &RadixCiphertext) -> LweCiphertext {
+        assert_eq!(a.params, b.params, "radix shape mismatch");
+        let p = a.params;
+        let (space, t) = (p.space(), p.base());
+        let q = self.ctx.q();
+        let yes = q.value() / 8;
+        let no = q.neg(yes);
+        let digit_bool = |i: usize, f: &dyn Fn(u64, u64) -> bool| {
+            let packed = self.pack_pair(&a.digits[i], &b.digits[i], space, t);
+            let lut: Vec<u64> = (0..space)
+                .map(|m| if f(m / t, m % t) { yes } else { no })
+                .collect();
+            self.bootstrap_lut(&packed, &lut)
+        };
+        // Least significant digit contributes only its lt bit.
+        let mut acc = digit_bool(0, &|x, y| x < y);
+        for i in 1..p.num_digits {
+            let lt_i = digit_bool(i, &|x, y| x < y);
+            let eq_i = digit_bool(i, &|x, y| x == y);
+            let keep = self.and(&eq_i, &acc);
+            acc = self.or(&lt_i, &keep);
+        }
+        acc
+    }
+
+    /// Comparison against a plaintext threshold: `a < scalar`, one
+    /// univariate bootstrap per digit plus the combine tree.
+    pub fn radix_lt_scalar(&self, a: &RadixCiphertext, scalar: u128) -> LweCiphertext {
+        let p = a.params;
+        let (space, t) = (p.space(), p.base());
+        let q = self.ctx.q();
+        let yes = q.value() / 8;
+        let no = q.neg(yes);
+        let sd = p.to_digits(scalar);
+        let digit_bool = |i: usize, f: &dyn Fn(u64, u64) -> bool| {
+            let lut: Vec<u64> = (0..space)
+                .map(|m| if f(m % t, sd[i]) { yes } else { no })
+                .collect();
+            self.bootstrap_lut(&a.digits[i], &lut)
+        };
+        let mut acc = digit_bool(0, &|x, y| x < y);
+        for i in 1..p.num_digits {
+            let lt_i = digit_bool(i, &|x, y| x < y);
+            let eq_i = digit_bool(i, &|x, y| x == y);
+            let keep = self.and(&eq_i, &acc);
+            acc = self.or(&lt_i, &keep);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::TfheContext;
+    use crate::ggsw::MulBackend;
+    use crate::params::TfheParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(seed: u64) -> (ClientKey, ServerKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+        let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+        (ck, sk, rng)
+    }
+
+    #[test]
+    fn radix_digit_roundtrip() {
+        let p = RadixParams::new(2, 4);
+        assert_eq!(p.base(), 4);
+        assert_eq!(p.space(), 16);
+        assert_eq!(p.modulus(), 256);
+        for v in [0u128, 1, 37, 200, 255, 256, 300] {
+            let digits = p.to_digits(v);
+            assert_eq!(p.from_digits(&digits), v % 256);
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_radix() {
+        let (ck, _sk, mut rng) = keys(511);
+        let p = RadixParams::new(2, 3);
+        for v in [0u128, 5, 42, 63] {
+            let ct = ck.encrypt_radix(v, p, &mut rng);
+            assert_eq!(ck.decrypt_radix(&ct), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn radix_add_with_carries() {
+        let (ck, sk, mut rng) = keys(512);
+        let p = RadixParams::new(2, 3); // mod 64
+        for (a, b) in [(3u128, 1u128), (15, 1), (21, 42), (60, 10)] {
+            let ca = ck.encrypt_radix(a, p, &mut rng);
+            let cb = ck.encrypt_radix(b, p, &mut rng);
+            let sum = sk.radix_add(&ca, &cb);
+            assert_eq!(ck.decrypt_radix(&sum), (a + b) % 64, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn radix_scalar_add_and_mul() {
+        let (ck, sk, mut rng) = keys(513);
+        let p = RadixParams::new(2, 3);
+        let ct = ck.encrypt_radix(13, p, &mut rng);
+        assert_eq!(ck.decrypt_radix(&sk.radix_scalar_add(&ct, 9)), 22);
+        assert_eq!(ck.decrypt_radix(&sk.radix_scalar_mul(&ct, 3)), 39);
+        // Carry chains across all digits: 13 * 4 = 52.
+        assert_eq!(ck.decrypt_radix(&sk.radix_scalar_mul(&ct, 4)), 52);
+    }
+
+    #[test]
+    fn radix_eq_detects_equality_and_difference() {
+        let (ck, sk, mut rng) = keys(514);
+        let p = RadixParams::new(2, 2); // mod 16
+        let a = ck.encrypt_radix(11, p, &mut rng);
+        let b = ck.encrypt_radix(11, p, &mut rng);
+        let c = ck.encrypt_radix(7, p, &mut rng);
+        assert!(ck.decrypt_bit(&sk.radix_eq(&a, &b)));
+        assert!(!ck.decrypt_bit(&sk.radix_eq(&a, &c)));
+        // Differs only in the most significant digit.
+        let d = ck.encrypt_radix(11 + 4, p, &mut rng);
+        assert!(!ck.decrypt_bit(&sk.radix_eq(&a, &d)));
+    }
+
+    #[test]
+    fn radix_lt_orders_values() {
+        let (ck, sk, mut rng) = keys(515);
+        let p = RadixParams::new(2, 2);
+        for (a, b, want) in [
+            (3u128, 9u128, true),
+            (9, 3, false),
+            (7, 7, false),
+            // Same high digit, differing low digit.
+            (5, 6, true),
+            (6, 5, false),
+        ] {
+            let ca = ck.encrypt_radix(a, p, &mut rng);
+            let cb = ck.encrypt_radix(b, p, &mut rng);
+            assert_eq!(
+                ck.decrypt_bit(&sk.radix_lt(&ca, &cb)),
+                want,
+                "{a} < {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_lt_scalar_threshold() {
+        let (ck, sk, mut rng) = keys(516);
+        let p = RadixParams::new(2, 2);
+        for (a, thr, want) in [(3u128, 8u128, true), (8, 8, false), (12, 8, false)] {
+            let ca = ck.encrypt_radix(a, p, &mut rng);
+            assert_eq!(
+                ck.decrypt_bit(&sk.radix_lt_scalar(&ca, thr)),
+                want,
+                "{a} < {thr}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_rejected() {
+        let (ck, sk, mut rng) = keys(517);
+        let a = ck.encrypt_radix(1, RadixParams::new(2, 2), &mut rng);
+        let b = ck.encrypt_radix(1, RadixParams::new(2, 3), &mut rng);
+        let _ = sk.radix_add(&a, &b);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fhe-tfhe — TFHE built from scratch, with NTT and FFT backends
+//!
+//! The logic-FHE substrate of the Trinity reproduction (paper §II-B):
+//! LWE/GLWE/GGSW ciphertexts, the external product, CMUX, blind
+//! rotation, programmable bootstrapping (Algorithm 2), LWE keyswitching
+//! and the full boolean gate set.
+//!
+//! The distinguishing reproduction detail: polynomial multiplication
+//! inside the external product is pluggable — [`MulBackend::Ntt`] runs
+//! over the NTT-friendly prime closest to `2^32` (exact, Trinity's
+//! design), [`MulBackend::Fft`] uses double-precision FFT with rounding
+//! (the conventional accelerator approach the paper replaces).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fhe_tfhe::{ClientKey, MulBackend, ServerKey, TfheContext, TfheParams};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+//! let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+//! let a = ck.encrypt_bit(true, &mut rng);
+//! let b = ck.encrypt_bit(false, &mut rng);
+//! let out = sk.nand(&a, &b);
+//! assert!(ck.decrypt_bit(&out));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod circuits;
+pub mod gates;
+pub mod ggsw;
+pub mod glwe;
+pub mod integer;
+pub mod lwe;
+pub mod nn;
+pub mod params;
+pub mod ring;
+
+pub use bootstrap::{ClientKey, ServerKey, TfheContext};
+pub use circuits::BitWord;
+pub use ggsw::{Ggsw, MulBackend};
+pub use glwe::{GlweCiphertext, GlweSecretKey};
+pub use integer::{RadixCiphertext, RadixParams};
+pub use lwe::{LweCiphertext, LweKeySwitchKey, LweSecretKey};
+pub use nn::{DiscreteMlp, SignLayer};
+pub use params::TfheParams;
+pub use ring::TfheRing;

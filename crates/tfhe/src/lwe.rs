@@ -1,0 +1,361 @@
+//! LWE ciphertexts, keys, keyswitching and modulus switching.
+//!
+//! The scalar side of TFHE: `(a, b)` with `b = <a, s> + m + e`. The
+//! kernels here appear directly in the paper's Algorithm 2: `ModSwitch`
+//! (line 1), `TFHE KeySwitch` (lines 16–17), plus `Decompose`.
+
+use fhe_math::Modulus;
+use rand::Rng;
+
+/// An LWE secret key. TFHE proper uses binary coefficients; the
+/// scheme-conversion layer also produces ternary keys (extracted from
+/// CKKS secrets), which every operation here supports.
+#[derive(Debug, Clone)]
+pub struct LweSecretKey {
+    /// Secret coefficients in {-1, 0, 1}.
+    pub s: Vec<i64>,
+}
+
+impl LweSecretKey {
+    /// Samples a binary secret of dimension `n`.
+    pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        Self {
+            s: fhe_math::sampler::binary(rng, n),
+        }
+    }
+
+    /// Wraps explicit small signed coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is outside `{-1, 0, 1}`.
+    pub fn from_coeffs(s: Vec<i64>) -> Self {
+        assert!(s.iter().all(|&c| (-1..=1).contains(&c)));
+        Self { s }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.s.len()
+    }
+}
+
+/// An LWE ciphertext `(a, b)` modulo a word-size prime.
+#[derive(Debug, Clone)]
+pub struct LweCiphertext {
+    /// Mask.
+    pub a: Vec<u64>,
+    /// Body `b = <a, s> + m + e`.
+    pub b: u64,
+}
+
+impl LweCiphertext {
+    /// The trivial (noiseless, maskless) encryption of `m`.
+    pub fn trivial(n: usize, m: u64) -> Self {
+        Self {
+            a: vec![0; n],
+            b: m,
+        }
+    }
+
+    /// Dimension of the mask.
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Encrypts `message` (already encoded as a torus point in `[0, q)`).
+    pub fn encrypt<R: Rng + ?Sized>(
+        q: &Modulus,
+        sk: &LweSecretKey,
+        message: u64,
+        noise_std: f64,
+        rng: &mut R,
+    ) -> Self {
+        let n = sk.dim();
+        let a = fhe_math::sampler::uniform_residues(rng, q, n);
+        let e = sample_noise(q, noise_std, rng);
+        let mut b = q.add(q.reduce(message), e);
+        for (ai, &si) in a.iter().zip(&sk.s) {
+            match si {
+                1 => b = q.add(b, *ai),
+                -1 => b = q.sub(b, *ai),
+                _ => {}
+            }
+        }
+        Self { a, b }
+    }
+
+    /// Decrypts to the raw phase `b - <a, s>` (message plus noise).
+    pub fn phase(&self, q: &Modulus, sk: &LweSecretKey) -> u64 {
+        assert_eq!(self.dim(), sk.dim(), "key dimension mismatch");
+        let mut acc = self.b;
+        for (ai, &si) in self.a.iter().zip(&sk.s) {
+            match si {
+                1 => acc = q.sub(acc, *ai),
+                -1 => acc = q.add(acc, *ai),
+                _ => {}
+            }
+        }
+        acc
+    }
+
+    /// `self += other` (homomorphic addition).
+    pub fn add_assign(&mut self, q: &Modulus, other: &LweCiphertext) {
+        assert_eq!(self.dim(), other.dim());
+        for (x, &y) in self.a.iter_mut().zip(&other.a) {
+            *x = q.add(*x, y);
+        }
+        self.b = q.add(self.b, other.b);
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, q: &Modulus, other: &LweCiphertext) {
+        assert_eq!(self.dim(), other.dim());
+        for (x, &y) in self.a.iter_mut().zip(&other.a) {
+            *x = q.sub(*x, y);
+        }
+        self.b = q.sub(self.b, other.b);
+    }
+
+    /// Negates the ciphertext.
+    pub fn neg_assign(&mut self, q: &Modulus) {
+        for x in self.a.iter_mut() {
+            *x = q.neg(*x);
+        }
+        self.b = q.neg(self.b);
+    }
+
+    /// Multiplies by a small integer constant.
+    pub fn mul_small(&mut self, q: &Modulus, c: u64) {
+        let c = q.reduce(c);
+        for x in self.a.iter_mut() {
+            *x = q.mul(*x, c);
+        }
+        self.b = q.mul(self.b, c);
+    }
+
+    /// ModSwitch: rounds every component from modulus `q` to `2N`
+    /// (Algorithm 2 line 1). Returns `(a_tilde, b_tilde)` in `[0, 2N)`.
+    pub fn mod_switch(&self, q: &Modulus, two_n: u64) -> (Vec<u64>, u64) {
+        let switch = |x: u64| -> u64 {
+            // round(x * 2N / q) mod 2N
+            let prod = x as u128 * two_n as u128;
+            let rounded = (prod + q.value() as u128 / 2) / q.value() as u128;
+            (rounded % two_n as u128) as u64
+        };
+        (self.a.iter().map(|&x| switch(x)).collect(), switch(self.b))
+    }
+}
+
+/// Samples a discrete Gaussian noise term with standard deviation
+/// `noise_std * q` reduced into the modulus.
+pub fn sample_noise<R: Rng + ?Sized>(q: &Modulus, noise_std: f64, rng: &mut R) -> u64 {
+    let sigma_abs = noise_std * q.value() as f64;
+    let e = fhe_math::sampler::gaussian(rng, 1, sigma_abs.max(1e-9))[0];
+    q.from_i64(e)
+}
+
+/// Approximate gadget decomposition for a non-power-of-two modulus:
+/// digits `d_j ∈ [-B/2, B/2)` such that `sum_j d_j * round(q / B^j) ≈ x`.
+///
+/// Implemented by mapping `x` to its closest multiple of `q / B^levels`
+/// and balanced-decomposing in base `B` (the approximate decomposition
+/// of the TFHE line of work, valid for any `q` — the enabling detail of
+/// the paper's FFT→NTT substitution).
+pub fn gadget_decompose(q: u64, x: u64, base_log: u32, levels: usize) -> Vec<i64> {
+    let b = 1u64 << base_log;
+    // y = round(x * B^levels / q), an integer in [0, B^levels].
+    let bl = 1u128 << (base_log as usize * levels);
+    let y = ((x as u128 * bl + q as u128 / 2) / q as u128) as u64;
+    // Balanced base-B digits of y, most significant first:
+    // y = sum_{j=1..levels} d_j B^{levels-j}; a final carry wraps mod q.
+    let mut digits = vec![0i64; levels];
+    let mut rest = y;
+    for j in (0..levels).rev() {
+        let mut d = (rest % b) as i64;
+        rest /= b;
+        if d >= (b / 2) as i64 {
+            d -= b as i64;
+            rest += 1;
+        }
+        digits[j] = d;
+    }
+    digits
+}
+
+/// The gadget element `g_j = round(q / B^j)` for `j = 1..=levels`.
+pub fn gadget_element(q: u64, base_log: u32, j: usize) -> u64 {
+    let bj = 1u128 << (base_log as usize * j);
+    ((q as u128 + bj / 2) / bj) as u64
+}
+
+/// An LWE keyswitching key from dimension `n_in` to `n_out`:
+/// `ksk[i][j]` encrypts `s_in[i] * g_j` under `s_out` (paper Table I).
+#[derive(Debug, Clone)]
+pub struct LweKeySwitchKey {
+    /// `ksk[i][j]` for `i < n_in`, `j < lk`.
+    pub rows: Vec<Vec<LweCiphertext>>,
+    /// log2 of the decomposition base.
+    pub base_log: u32,
+    /// Number of levels `lk`.
+    pub levels: usize,
+}
+
+impl LweKeySwitchKey {
+    /// Generates a keyswitching key.
+    pub fn generate<R: Rng + ?Sized>(
+        q: &Modulus,
+        from: &LweSecretKey,
+        to: &LweSecretKey,
+        base_log: u32,
+        levels: usize,
+        noise_std: f64,
+        rng: &mut R,
+    ) -> Self {
+        let rows = from
+            .s
+            .iter()
+            .map(|&si| {
+                (1..=levels)
+                    .map(|j| {
+                        let g = gadget_element(q.value(), base_log, j);
+                        let msg = q.mul(q.from_i64(si), g);
+                        LweCiphertext::encrypt(q, to, msg, noise_std, rng)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            rows,
+            base_log,
+            levels,
+        }
+    }
+
+    /// Switches `ct` to the output key:
+    /// `c'' = (0, b) - sum_i sum_j a''_i[j] * ksk[i][j]` (Alg. 2 line 17).
+    pub fn switch(&self, q: &Modulus, ct: &LweCiphertext) -> LweCiphertext {
+        let n_out = self.rows[0][0].dim();
+        let mut out = LweCiphertext::trivial(n_out, ct.b);
+        for (i, &ai) in ct.a.iter().enumerate() {
+            let digits = gadget_decompose(q.value(), ai, self.base_log, self.levels);
+            for (j, &d) in digits.iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                let mut term = self.rows[i][j].clone();
+                if d < 0 {
+                    term.mul_small(q, q.reduce((-d) as u64));
+                    out.add_assign(q, &term);
+                } else {
+                    term.mul_small(q, d as u64);
+                    out.sub_assign(q, &term);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q32() -> Modulus {
+        Modulus::new(fhe_math::prime::prime_near(1 << 32, 1024)).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_phase() {
+        let q = q32();
+        let mut rng = StdRng::seed_from_u64(81);
+        let sk = LweSecretKey::generate(500, &mut rng);
+        let msg = q.value() / 8;
+        let ct = LweCiphertext::encrypt(&q, &sk, msg, 2.44e-5, &mut rng);
+        let phase = ct.phase(&q, &sk);
+        let err = q.to_centered(q.sub(phase, msg)).abs();
+        assert!(err < (q.value() / 64) as i64, "noise too large: {err}");
+    }
+
+    #[test]
+    fn homomorphic_linear_ops() {
+        let q = q32();
+        let mut rng = StdRng::seed_from_u64(82);
+        let sk = LweSecretKey::generate(500, &mut rng);
+        let m1 = q.value() / 8;
+        let m2 = q.value() / 4;
+        let c1 = LweCiphertext::encrypt(&q, &sk, m1, 1e-7, &mut rng);
+        let c2 = LweCiphertext::encrypt(&q, &sk, m2, 1e-7, &mut rng);
+        let mut sum = c1.clone();
+        sum.add_assign(&q, &c2);
+        let phase = sum.phase(&q, &sk);
+        let expect = q.add(m1, m2);
+        assert!(q.to_centered(q.sub(phase, expect)).abs() < 1 << 20);
+
+        let mut diff = c2.clone();
+        diff.sub_assign(&q, &c1);
+        let phase = diff.phase(&q, &sk);
+        assert!(q.to_centered(q.sub(phase, q.sub(m2, m1))).abs() < 1 << 20);
+    }
+
+    #[test]
+    fn gadget_decomposition_reconstructs() {
+        let q = q32().value();
+        for (base_log, levels) in [(10u32, 2usize), (7, 3), (8, 3), (2, 8)] {
+            let tail = q >> (base_log as usize * levels).min(40) as u32;
+            for x in [0u64, 1, q / 2, q - 1, 123456789, q / 3] {
+                let digits = gadget_decompose(q, x, base_log, levels);
+                assert!(digits
+                    .iter()
+                    .all(|&d| d >= -(1i64 << (base_log - 1)) && d <= (1i64 << (base_log - 1))));
+                // Reconstruct sum d_j g_j mod q and compare to x.
+                let m = Modulus::new(q).unwrap();
+                let mut acc = 0u64;
+                for (j, &d) in digits.iter().enumerate() {
+                    let g = gadget_element(q, base_log, j + 1);
+                    let term = m.mul(m.reduce(d.unsigned_abs()), g);
+                    acc = if d >= 0 { m.add(acc, term) } else { m.sub(acc, term) };
+                }
+                let err = m.to_centered(m.sub(acc, x)).abs();
+                let bound = (tail / 2 + (levels as u64) * (1 << base_log)) as i64 + 2;
+                assert!(
+                    err <= bound,
+                    "base 2^{base_log} levels {levels} x={x}: err {err} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod_switch_rounds() {
+        let q = q32();
+        let two_n = 2048u64;
+        let ct = LweCiphertext {
+            a: vec![0, q.value() / 2, q.value() - 1],
+            b: q.value() / 4,
+        };
+        let (a, b) = ct.mod_switch(&q, two_n);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[1], two_n / 2);
+        assert_eq!(a[2], 0); // rounds up to 2N then wraps
+        assert_eq!(b, two_n / 4);
+    }
+
+    #[test]
+    fn keyswitch_preserves_message() {
+        let q = q32();
+        let mut rng = StdRng::seed_from_u64(83);
+        let sk_in = LweSecretKey::generate(1024, &mut rng);
+        let sk_out = LweSecretKey::generate(500, &mut rng);
+        let ksk = LweKeySwitchKey::generate(&q, &sk_in, &sk_out, 2, 8, 2.44e-5, &mut rng);
+        let msg = 3 * (q.value() / 8);
+        let ct = LweCiphertext::encrypt(&q, &sk_in, msg, 1e-7, &mut rng);
+        let switched = ksk.switch(&q, &ct);
+        assert_eq!(switched.dim(), 500);
+        let phase = switched.phase(&q, &sk_out);
+        let err = q.to_centered(q.sub(phase, msg)).abs();
+        assert!(err < (q.value() / 32) as i64, "keyswitch error {err}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Discretized neural-network inference over TFHE — the functional
+//! counterpart of the paper's NN-20/50/100 benchmarks (Chillotti–Joye–
+//! Paillier style: one programmable bootstrap per neuron).
+//!
+//! Activations are signs (`±1`) carried as LWE phases `±A` for a
+//! per-layer amplitude `A`; each neuron computes a plaintext-weighted
+//! sum of its encrypted inputs (pure LWE linear algebra — the paper's
+//! MAC workload) followed by a sign bootstrap (the paper's PBS
+//! workload). The amplitude for each layer is chosen so the
+//! pre-activation phase never wraps the torus.
+
+use rand::Rng;
+
+use crate::bootstrap::{ClientKey, ServerKey};
+use crate::lwe::LweCiphertext;
+
+/// One dense layer with integer weights and biases and sign activation.
+#[derive(Debug, Clone)]
+pub struct SignLayer {
+    /// Row-major weights: `weights[o][i]` connects input `i` to output
+    /// `o`. Values are small signed integers.
+    pub weights: Vec<Vec<i64>>,
+    /// One bias per output neuron (in input-activation units).
+    pub biases: Vec<i64>,
+}
+
+impl SignLayer {
+    /// Builds a layer, validating the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, rows are ragged, or `biases` does
+    /// not match the output count.
+    pub fn new(weights: Vec<Vec<i64>>, biases: Vec<i64>) -> Self {
+        assert!(!weights.is_empty(), "layer needs outputs");
+        let fan_in = weights[0].len();
+        assert!(fan_in > 0, "layer needs inputs");
+        assert!(
+            weights.iter().all(|r| r.len() == fan_in),
+            "ragged weight matrix"
+        );
+        assert_eq!(weights.len(), biases.len(), "bias count mismatch");
+        Self { weights, biases }
+    }
+
+    /// Random `±1` weights and small biases (for tests and demos).
+    pub fn random<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        let weights = (0..outputs)
+            .map(|_| {
+                (0..inputs)
+                    .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+                    .collect()
+            })
+            .collect();
+        let biases = (0..outputs).map(|_| rng.gen_range(-2i64..=2)).collect();
+        Self::new(weights, biases)
+    }
+
+    /// Number of inputs.
+    pub fn fan_in(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Number of outputs.
+    pub fn fan_out(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Worst-case absolute pre-activation in input-amplitude units.
+    pub fn max_preactivation(&self) -> i64 {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(row, b)| row.iter().map(|w| w.abs()).sum::<i64>() + b.abs())
+            .max()
+            .expect("non-empty layer")
+    }
+
+    /// Plain reference inference on `±1` activations; `sign(0) = +1`.
+    pub fn infer_plain(&self, inputs: &[i64]) -> Vec<i64> {
+        assert_eq!(inputs.len(), self.fan_in(), "input arity mismatch");
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(row, b)| {
+                let pre: i64 = row.iter().zip(inputs).map(|(w, x)| w * x).sum::<i64>() + b;
+                if pre >= 0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect()
+    }
+}
+
+/// A multi-layer sign-activation network.
+#[derive(Debug, Clone)]
+pub struct DiscreteMlp {
+    /// Layers, input-side first.
+    pub layers: Vec<SignLayer>,
+}
+
+impl DiscreteMlp {
+    /// Builds a network, validating layer arities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive arities mismatch.
+    pub fn new(layers: Vec<SignLayer>) -> Self {
+        assert!(!layers.is_empty(), "network needs layers");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].fan_out(),
+                w[1].fan_in(),
+                "layer arity mismatch: {} outputs into {} inputs",
+                w[0].fan_out(),
+                w[1].fan_in()
+            );
+        }
+        Self { layers }
+    }
+
+    /// A random network with the given layer widths (e.g. `[16, 8, 4]`
+    /// gives two layers). Mirrors the paper's NN-x construction where
+    /// `x` is the depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn random<R: Rng + ?Sized>(widths: &[usize], rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "need input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| SignLayer::random(w[0], w[1], rng))
+            .collect();
+        Self::new(layers)
+    }
+
+    /// Network depth (layer count) — the `x` of NN-x.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total bootstrap count for one inference (one per neuron).
+    pub fn bootstraps_per_inference(&self) -> usize {
+        self.layers.iter().map(SignLayer::fan_out).sum()
+    }
+
+    /// Plain reference inference on `±1` inputs.
+    pub fn infer_plain(&self, inputs: &[i64]) -> Vec<i64> {
+        self.layers
+            .iter()
+            .fold(inputs.to_vec(), |acc, layer| layer.infer_plain(&acc))
+    }
+
+    /// Whether any neuron hits a zero pre-activation on these inputs
+    /// (the sign boundary, where encrypted and plain inference may
+    /// legitimately disagree). Tests should avoid such inputs.
+    pub fn has_boundary_preactivation(&self, inputs: &[i64]) -> bool {
+        let mut acts = inputs.to_vec();
+        for layer in &self.layers {
+            let mut next = Vec::with_capacity(layer.fan_out());
+            for (row, b) in layer.weights.iter().zip(&layer.biases) {
+                let pre: i64 = row.iter().zip(&acts).map(|(w, x)| w * x).sum::<i64>() + b;
+                if pre == 0 {
+                    return true;
+                }
+                next.push(if pre >= 0 { 1 } else { -1 });
+            }
+            acts = next;
+        }
+        false
+    }
+}
+
+impl ClientKey {
+    /// Encrypts a `±1` activation vector at the amplitude required by
+    /// the network's first layer.
+    pub fn encrypt_signs<R: Rng + ?Sized>(
+        &self,
+        signs: &[i64],
+        net: &DiscreteMlp,
+        rng: &mut R,
+    ) -> Vec<LweCiphertext> {
+        let q = self.ctx.q();
+        let amp = layer_amplitude(q.value(), &net.layers[0]);
+        signs
+            .iter()
+            .map(|&s| {
+                assert!(s == 1 || s == -1, "activations must be ±1");
+                let m = if s > 0 { amp } else { q.neg(amp) };
+                crate::lwe::LweCiphertext::encrypt(
+                    q,
+                    &self.lwe_sk,
+                    m,
+                    self.ctx.params.lwe_noise,
+                    rng,
+                )
+            })
+            .collect()
+    }
+
+    /// Decrypts a sign vector produced by [`ServerKey::infer_mlp`].
+    pub fn decrypt_signs(&self, cts: &[LweCiphertext]) -> Vec<i64> {
+        let q = self.ctx.q();
+        cts.iter()
+            .map(|ct| {
+                if q.to_centered(ct.phase(q, &self.lwe_sk)) >= 0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect()
+    }
+}
+
+/// Amplitude for a layer's input activations: keeps the worst-case
+/// pre-activation strictly inside `(-q/4, q/4)` with a 2x safety margin
+/// for noise.
+fn layer_amplitude(q: u64, layer: &SignLayer) -> u64 {
+    let margin = 2 * layer.max_preactivation().max(1) as u64;
+    (q / 4) / margin
+}
+
+impl ServerKey {
+    /// One dense sign layer: plaintext-weighted sums (LWE linear
+    /// algebra) followed by one sign bootstrap per neuron emitting the
+    /// next layer's amplitude.
+    pub fn infer_layer(
+        &self,
+        layer: &SignLayer,
+        inputs: &[LweCiphertext],
+        out_amplitude: u64,
+    ) -> Vec<LweCiphertext> {
+        assert_eq!(inputs.len(), layer.fan_in(), "input arity mismatch");
+        let q = self.ctx.q();
+        let in_amp = layer_amplitude(q.value(), layer);
+        let tv = vec![out_amplitude; self.ctx.params.n];
+        layer
+            .weights
+            .iter()
+            .zip(&layer.biases)
+            .map(|(row, &b)| {
+                let bias_phase = if b >= 0 {
+                    q.reduce(in_amp.wrapping_mul(b as u64))
+                } else {
+                    q.neg(q.reduce(in_amp.wrapping_mul((-b) as u64)))
+                };
+                let mut acc = LweCiphertext::trivial(inputs[0].dim(), bias_phase);
+                for (&w, x) in row.iter().zip(inputs) {
+                    if w == 0 {
+                        continue;
+                    }
+                    let mut term = x.clone();
+                    if w < 0 {
+                        term.neg_assign(q);
+                    }
+                    if w.unsigned_abs() > 1 {
+                        term.mul_small(q, w.unsigned_abs());
+                    }
+                    acc.add_assign(q, &term);
+                }
+                self.bootstrap_with_tv(&acc, &tv)
+            })
+            .collect()
+    }
+
+    /// Full network inference: inputs must be encrypted at the first
+    /// layer's amplitude ([`ClientKey::encrypt_signs`] does this).
+    /// Output phases are `±q/8`.
+    pub fn infer_mlp(&self, net: &DiscreteMlp, inputs: &[LweCiphertext]) -> Vec<LweCiphertext> {
+        let q = self.ctx.q().value();
+        let mut acts = inputs.to_vec();
+        for (i, layer) in net.layers.iter().enumerate() {
+            let out_amp = match net.layers.get(i + 1) {
+                Some(next) => layer_amplitude(q, next),
+                None => q / 8,
+            };
+            acts = self.infer_layer(layer, &acts, out_amp);
+        }
+        acts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::TfheContext;
+    use crate::ggsw::MulBackend;
+    use crate::params::TfheParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys(seed: u64) -> (ClientKey, ServerKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+        let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+        (ck, sk, rng)
+    }
+
+    fn random_signs<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+        (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+    }
+
+    #[test]
+    fn layer_shape_validation() {
+        let layer = SignLayer::new(vec![vec![1, -1, 1], vec![-1, 1, 1]], vec![0, 1]);
+        assert_eq!(layer.fan_in(), 3);
+        assert_eq!(layer.fan_out(), 2);
+        assert_eq!(layer.max_preactivation(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_weights_rejected() {
+        let _ = SignLayer::new(vec![vec![1, -1], vec![1]], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mismatched_layers_rejected() {
+        let a = SignLayer::new(vec![vec![1, 1]], vec![0]); // 2 -> 1
+        let b = SignLayer::new(vec![vec![1, 1]], vec![0]); // 2 -> 1
+        let _ = DiscreteMlp::new(vec![a, b]);
+    }
+
+    #[test]
+    fn plain_inference_signs() {
+        let layer = SignLayer::new(vec![vec![1, 1, 1], vec![-1, -1, -1]], vec![0, 0]);
+        assert_eq!(layer.infer_plain(&[1, 1, -1]), vec![1, -1]);
+        assert_eq!(layer.infer_plain(&[-1, -1, -1]), vec![-1, 1]);
+    }
+
+    #[test]
+    fn single_layer_encrypted_matches_plain() {
+        let (ck, sk, mut rng) = keys(611);
+        let layer = SignLayer::new(
+            vec![vec![1, -1, 1, 1], vec![-1, 1, 2, -1], vec![1, 1, 1, -2]],
+            vec![1, -1, 0],
+        );
+        let net = DiscreteMlp::new(vec![layer]);
+        for trial in 0..4 {
+            let inputs = random_signs(4, &mut rng);
+            if net.has_boundary_preactivation(&inputs) {
+                continue;
+            }
+            let cts = ck.encrypt_signs(&inputs, &net, &mut rng);
+            let out = sk.infer_mlp(&net, &cts);
+            assert_eq!(
+                ck.decrypt_signs(&out),
+                net.infer_plain(&inputs),
+                "trial {trial}, inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_layer_network_matches_plain() {
+        let (ck, sk, mut rng) = keys(612);
+        // 6 -> 4 -> 2, random ±1 weights.
+        let net = DiscreteMlp::random(&[6, 4, 2], &mut rng);
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.bootstraps_per_inference(), 6);
+        let mut tested = 0;
+        for _ in 0..6 {
+            let inputs = random_signs(6, &mut rng);
+            if net.has_boundary_preactivation(&inputs) {
+                continue;
+            }
+            let cts = ck.encrypt_signs(&inputs, &net, &mut rng);
+            let out = sk.infer_mlp(&net, &cts);
+            assert_eq!(ck.decrypt_signs(&out), net.infer_plain(&inputs));
+            tested += 1;
+            if tested >= 2 {
+                break;
+            }
+        }
+        assert!(tested >= 1, "no boundary-free input found");
+    }
+
+    #[test]
+    fn deep_network_plain_reference() {
+        // Depth-20 plain network — the NN-20 shape — sanity check that
+        // the reference path scales and stays ±1.
+        let mut rng = StdRng::seed_from_u64(613);
+        let widths: Vec<usize> = std::iter::once(8)
+            .chain(std::iter::repeat(8).take(20))
+            .collect();
+        let net = DiscreteMlp::random(&widths, &mut rng);
+        assert_eq!(net.depth(), 20);
+        let out = net.infer_plain(&random_signs(8, &mut rng));
+        assert!(out.iter().all(|&s| s == 1 || s == -1));
+    }
+}

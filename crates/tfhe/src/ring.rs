@@ -1,0 +1,150 @@
+//! Single-modulus negacyclic ring used by TFHE.
+//!
+//! TFHE works over `Z_q[X]/(X^N + 1)` with a *prime* `q = p` chosen as
+//! the NTT-friendly prime closest to `2^32` — the paper's FFT→NTT
+//! substitution (§II-B: "it is possible to substitute FFT with NTT by
+//! selecting a prime modulus p, which satisfies p ≡ 1 mod 2N and is
+//! chosen to be the closest prime to q"). All TFHE arithmetic here is
+//! exact modular arithmetic; the FFT engine exists as the lossy baseline
+//! Trinity's design avoids.
+
+use std::sync::Arc;
+
+use fhe_math::{Modulus, NttTable};
+
+/// Shared ring state: the modulus, degree and NTT tables.
+#[derive(Debug, Clone)]
+pub struct TfheRing {
+    modulus: Modulus,
+    table: Arc<NttTable>,
+    n: usize,
+}
+
+impl TfheRing {
+    /// Builds the ring for degree `n` with the prime closest to
+    /// `2^target_bits` (the paper's choice is `target_bits = 32`).
+    pub fn new(n: usize, target_bits: u32) -> Self {
+        let p = fhe_math::prime::prime_near(1u64 << target_bits, n);
+        let modulus = Modulus::new(p).expect("prime in range");
+        let table = Arc::new(NttTable::new(modulus, n));
+        Self { modulus, table, n }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The modulus value `p`.
+    #[inline]
+    pub fn q(&self) -> u64 {
+        self.modulus.value()
+    }
+
+    /// The NTT tables.
+    #[inline]
+    pub fn table(&self) -> &Arc<NttTable> {
+        &self.table
+    }
+
+    /// Allocates a zero polynomial.
+    pub fn zero_poly(&self) -> Vec<u64> {
+        vec![0u64; self.n]
+    }
+
+    /// Lifts signed coefficients into the ring.
+    pub fn poly_from_signed(&self, coeffs: &[i64]) -> Vec<u64> {
+        assert_eq!(coeffs.len(), self.n);
+        coeffs.iter().map(|&c| self.modulus.from_i64(c)).collect()
+    }
+
+    /// `a += b` coefficient-wise.
+    pub fn add_assign(&self, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.modulus.add(*x, y);
+        }
+    }
+
+    /// `a -= b` coefficient-wise.
+    pub fn sub_assign(&self, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.modulus.sub(*x, y);
+        }
+    }
+
+    /// Negates coefficient-wise.
+    pub fn neg_assign(&self, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = self.modulus.neg(*x);
+        }
+    }
+
+    /// Returns `a * X^k` (negacyclic rotation; any integer `k`).
+    pub fn mul_monomial(&self, a: &[u64], k: i64) -> Vec<u64> {
+        let n = self.n as i64;
+        let k = k.rem_euclid(2 * n) as usize;
+        let mut out = vec![0u64; self.n];
+        for (j, &c) in a.iter().enumerate() {
+            let idx = j + k;
+            if idx < self.n {
+                out[idx] = c;
+            } else if idx < 2 * self.n {
+                out[idx - self.n] = self.modulus.neg(c);
+            } else {
+                out[idx - 2 * self.n] = c;
+            }
+        }
+        out
+    }
+
+    /// Centered representatives of a polynomial.
+    pub fn to_centered(&self, a: &[u64]) -> Vec<i64> {
+        a.iter().map(|&c| self.modulus.to_centered(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_prime_is_near_2_32() {
+        for n in [1024usize, 2048] {
+            let ring = TfheRing::new(n, 32);
+            let dist = ring.q().abs_diff(1 << 32);
+            assert!((dist as f64) < 2e6, "prime too far: {}", ring.q());
+            assert_eq!(ring.q() % (2 * n as u64), 1);
+        }
+    }
+
+    #[test]
+    fn monomial_rotation_negacyclic() {
+        let ring = TfheRing::new(1024, 32);
+        let mut a = ring.zero_poly();
+        a[0] = 7;
+        let b = ring.mul_monomial(&a, 1024); // X^N = -1
+        assert_eq!(b[0], ring.q() - 7);
+        let c = ring.mul_monomial(&a, 2048); // X^2N = 1
+        assert_eq!(c[0], 7);
+        let d = ring.mul_monomial(&a, -1); // X^{-1}: coeff 0 -> -(coeff N-1)
+        assert_eq!(d[1023], ring.q() - 7);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let ring = TfheRing::new(1024, 32);
+        let a: Vec<u64> = (0..1024).map(|i| (i * 31) as u64 % ring.q()).collect();
+        let b: Vec<u64> = (0..1024).map(|i| (i * 17 + 5) as u64 % ring.q()).collect();
+        let mut c = a.clone();
+        ring.add_assign(&mut c, &b);
+        ring.sub_assign(&mut c, &b);
+        assert_eq!(a, c);
+    }
+}

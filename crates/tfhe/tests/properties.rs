@@ -1,0 +1,192 @@
+//! Property-based tests: TFHE invariants over random inputs.
+
+use std::sync::OnceLock;
+
+use fhe_tfhe::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    ck: ClientKey,
+    sk: ServerKey,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(501);
+        let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+        let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+        Fixture { ck, sk }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fresh encryptions decrypt correctly for random bits and seeds.
+    #[test]
+    fn encrypt_decrypt_bits(bits in proptest::collection::vec(any::<bool>(), 4..10), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &b in &bits {
+            let ct = f.ck.encrypt_bit(b, &mut rng);
+            prop_assert_eq!(f.ck.decrypt_bit(&ct), b);
+        }
+    }
+
+    /// De Morgan: NOT(a AND b) == (NOT a) OR (NOT b), homomorphically.
+    #[test]
+    fn de_morgan(a in any::<bool>(), b in any::<bool>(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = f.ck.encrypt_bit(a, &mut rng);
+        let cb = f.ck.encrypt_bit(b, &mut rng);
+        let lhs = f.sk.nand(&ca, &cb);
+        let rhs = f.sk.or(&f.sk.not(&ca), &f.sk.not(&cb));
+        prop_assert_eq!(f.ck.decrypt_bit(&lhs), f.ck.decrypt_bit(&rhs));
+        prop_assert_eq!(f.ck.decrypt_bit(&lhs), !(a && b));
+    }
+
+    /// XOR is associative under encryption.
+    #[test]
+    fn xor_associative(a in any::<bool>(), b in any::<bool>(), c in any::<bool>(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = f.ck.encrypt_bit(a, &mut rng);
+        let cb = f.ck.encrypt_bit(b, &mut rng);
+        let cc = f.ck.encrypt_bit(c, &mut rng);
+        let lhs = f.sk.xor(&f.sk.xor(&ca, &cb), &cc);
+        let rhs = f.sk.xor(&ca, &f.sk.xor(&cb, &cc));
+        prop_assert_eq!(f.ck.decrypt_bit(&lhs), f.ck.decrypt_bit(&rhs));
+        prop_assert_eq!(f.ck.decrypt_bit(&lhs), a ^ b ^ c);
+    }
+
+    /// LUT bootstrap computes arbitrary functions over the message space.
+    #[test]
+    fn lut_bootstrap_random_function(perm_seed in any::<u64>(), m in 0u64..8, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = 8u64;
+        // A pseudo-random function [0,8) -> [0,8).
+        let func = |x: u64| (x.wrapping_mul(perm_seed | 1) >> 3) % t;
+        let lut: Vec<u64> = (0..t).map(|x| f.ck.ctx.encode_message(func(x), t)).collect();
+        let ct = f.ck.encrypt_message(m, t, &mut rng);
+        let out = f.sk.bootstrap_lut(&ct, &lut);
+        prop_assert_eq!(f.ck.decrypt_message(&out, t), func(m));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gadget decomposition digits are bounded and reconstruct within
+    /// the documented error for random values and bases.
+    #[test]
+    fn gadget_decomposition_bounds(x in any::<u64>(), base_log in 2u32..12, levels in 1usize..5) {
+        let q = fhe_math::prime::prime_near(1 << 32, 1024);
+        let x = x % q;
+        let digits = fhe_tfhe::lwe::gadget_decompose(q, x, base_log, levels);
+        let b = 1i64 << base_log;
+        prop_assert!(digits.iter().all(|&d| d >= -b / 2 && d <= b / 2));
+        // Reconstruction error <= q/(2 B^levels) + levels * B/2 rounding.
+        let m = fhe_math::Modulus::new(q).unwrap();
+        let mut acc = 0u64;
+        for (j, &d) in digits.iter().enumerate() {
+            let g = fhe_tfhe::lwe::gadget_element(q, base_log, j + 1);
+            let term = m.mul(m.reduce(d.unsigned_abs()), g);
+            acc = if d >= 0 { m.add(acc, term) } else { m.sub(acc, term) };
+        }
+        let err = m.to_centered(m.sub(acc, x)).unsigned_abs();
+        let covered = (base_log as u64) * levels as u64;
+        let bound = if covered >= 63 { 1 } else { q >> (covered + 1) }
+            + levels as u64 * (1 << base_log);
+        prop_assert!(err <= bound, "err {err} > bound {bound} (B=2^{base_log}, l={levels})");
+    }
+
+    /// LWE linear operations track plaintext arithmetic exactly in the
+    /// phase (up to noise).
+    #[test]
+    fn lwe_linearity(m1 in 0u64..16, m2 in 0u64..16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = fhe_math::Modulus::new(fhe_math::prime::prime_near(1 << 32, 1024)).unwrap();
+        let sk = LweSecretKey::generate(256, &mut rng);
+        let delta = q.value() / 64;
+        let c1 = LweCiphertext::encrypt(&q, &sk, m1 * delta, 1e-8, &mut rng);
+        let c2 = LweCiphertext::encrypt(&q, &sk, m2 * delta, 1e-8, &mut rng);
+        let mut sum = c1.clone();
+        sum.add_assign(&q, &c2);
+        let phase = sum.phase(&q, &sk);
+        let expect = q.mul(q.reduce(m1 + m2), delta);
+        let err = q.to_centered(q.sub(phase, expect)).abs();
+        prop_assert!(err < (delta / 4) as i64, "err {err}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Radix digit split/reassemble is the identity mod t^d.
+    #[test]
+    fn radix_digit_codec(value in any::<u128>(), bits in 1u32..5, digits in 1usize..10) {
+        let p = RadixParams::new(bits, digits);
+        let v = value % p.modulus();
+        let ds = p.to_digits(v);
+        prop_assert_eq!(ds.len(), digits);
+        for &d in &ds {
+            prop_assert!(d < p.base());
+        }
+        prop_assert_eq!(p.from_digits(&ds), v);
+    }
+
+    /// Encrypt/decrypt radix roundtrip (linear path, no bootstraps).
+    #[test]
+    fn radix_encrypt_roundtrip(value in any::<u128>(), seed in any::<u64>()) {
+        let f = fixture();
+        let p = RadixParams::new(2, 4);
+        let v = value % p.modulus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = f.ck.encrypt_radix(v, p, &mut rng);
+        prop_assert_eq!(f.ck.decrypt_radix(&ct), v);
+    }
+
+    /// Negacyclic monomial rotation by k then 2N-k is the identity.
+    #[test]
+    fn ring_monomial_rotation_inverts(k in 1i64..2047, seed in any::<u64>()) {
+        let ring = TfheRing::new(1024, 32);
+        let q = ring.modulus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly: Vec<u64> = (0..1024).map(|_| q.reduce(rand::Rng::gen(&mut rng))).collect();
+        let fwd = ring.mul_monomial(&poly, k);
+        let back = ring.mul_monomial(&fwd, 2048 - k);
+        prop_assert_eq!(back, poly);
+    }
+
+    /// Plain sign-network inference always emits ±1 and is
+    /// deterministic in its inputs.
+    #[test]
+    fn sign_network_outputs_are_signs(widths_seed in any::<u64>(), input_seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(widths_seed);
+        let net = DiscreteMlp::random(&[6, 5, 3], &mut rng);
+        let mut irng = StdRng::seed_from_u64(input_seed);
+        let inputs: Vec<i64> = (0..6)
+            .map(|_| if rand::Rng::gen_bool(&mut irng, 0.5) { 1 } else { -1 })
+            .collect();
+        let out1 = net.infer_plain(&inputs);
+        let out2 = net.infer_plain(&inputs);
+        prop_assert_eq!(&out1, &out2);
+        prop_assert!(out1.iter().all(|&s| s == 1 || s == -1));
+        prop_assert_eq!(out1.len(), 3);
+    }
+
+    /// Message encode/decode roundtrip across all LUT-compatible spaces.
+    #[test]
+    fn message_codec_roundtrip(m in 0u64..64, t_log in 1u32..7) {
+        let f = fixture();
+        let t = 1u64 << t_log;
+        let m = m % t;
+        let enc = f.ck.ctx.encode_message(m, t);
+        prop_assert_eq!(f.ck.ctx.decode_message(enc, t), m);
+    }
+}

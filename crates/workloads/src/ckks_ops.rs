@@ -1,0 +1,383 @@
+//! Kernel DAGs for the CKKS operations of the paper's Table II.
+//!
+//! Every builder appends to a [`KernelGraph`] at the hardware's natural
+//! granularity — one kernel per RNS limb for NTTs (the accelerator's
+//! limb-wise data layout, §IV-I), one kernel per digit for `BConv`
+//! matrix products — so the scheduler sees the same parallelism the
+//! real machine would.
+
+use trinity_core::kernel::{KernelGraph, KernelId, KernelKind};
+
+/// Shape parameters of a CKKS instance (paper Table IV defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct CkksShape {
+    /// Ring degree.
+    pub n: usize,
+    /// Maximum level `L`.
+    pub levels: usize,
+    /// Decomposition number.
+    pub dnum: usize,
+    /// Word size in bytes.
+    pub word_bytes: f64,
+}
+
+impl CkksShape {
+    /// The paper's default: `N = 2^16, L = 35, dnum = 3`.
+    pub fn paper_default() -> Self {
+        Self {
+            n: 1 << 16,
+            levels: 35,
+            dnum: 3,
+            word_bytes: 4.5,
+        }
+    }
+
+    /// The scheme-conversion benchmark shape: `N = 2^14, L = 8`
+    /// (§V-B-3, following Chen et al.).
+    pub fn conversion_benchmark() -> Self {
+        Self {
+            n: 1 << 14,
+            levels: 8,
+            dnum: 3,
+            word_bytes: 4.5,
+        }
+    }
+
+    /// RNS limbs per digit.
+    pub fn alpha(&self) -> usize {
+        (self.levels + 1 + self.dnum - 1) / self.dnum
+    }
+
+    /// Digits at level `l`.
+    pub fn beta_at(&self, l: usize) -> usize {
+        (l + 1 + self.alpha() - 1) / self.alpha()
+    }
+
+    /// Limbs of the extended basis at level `l` (`q` limbs + special).
+    pub fn ext_limbs(&self, l: usize) -> usize {
+        l + 1 + self.alpha()
+    }
+
+    /// Limbs of digit `j` at level `l`.
+    pub fn digit_limbs_at(&self, j: usize, l: usize) -> usize {
+        let a = self.alpha();
+        let start = j * a;
+        let end = ((j + 1) * a).min(l + 1);
+        end.saturating_sub(start)
+    }
+
+    /// Size of one keyswitch key at level `l` in bytes.
+    pub fn evk_bytes(&self, l: usize) -> u64 {
+        (self.beta_at(l) * 2 * self.ext_limbs(l) * self.n) as u64 * self.word_bytes as u64
+    }
+}
+
+/// Options controlling keyswitch DAG emission.
+#[derive(Debug, Clone, Copy)]
+pub struct KeySwitchOpts {
+    /// Fraction of the evaluation key streamed from HBM (1.0 = cold,
+    /// 0.25 = reused 4x within a BSGS stage — see EXPERIMENTS.md).
+    pub hbm_key_fraction: f64,
+    /// Emit the §IV-I inter-cluster layout switches (limb-wise for the
+    /// NTTs, slot-wise for BConv/IP) as explicit NoC kernels. Off by
+    /// default: at Trinity's all-to-all NoC bandwidth the switches hide
+    /// under compute, and the calibrated tables assume that; the NoC
+    /// ablation turns this on to probe the sensitivity.
+    pub model_layout_switch: bool,
+}
+
+impl Default for KeySwitchOpts {
+    fn default() -> Self {
+        Self {
+            hbm_key_fraction: 0.25,
+            model_layout_switch: false,
+        }
+    }
+}
+
+/// Hybrid keyswitch (Algorithm 1) at level `l`. Returns the sink ids.
+pub fn keyswitch(
+    g: &mut KernelGraph,
+    shape: &CkksShape,
+    l: usize,
+    deps: &[KernelId],
+    opts: KeySwitchOpts,
+) -> Vec<KernelId> {
+    let beta = shape.beta_at(l);
+    let ext = shape.ext_limbs(l);
+    let n = shape.n;
+    // Key streaming (overlapped with compute by the scheduler).
+    let key_bytes = (shape.evk_bytes(l) as f64 * opts.hbm_key_fraction) as u64;
+    let hbm = g.add(KernelKind::HbmLoad { bytes: key_bytes.max(1) }, &[]);
+
+    // Per digit: ModUp BConv then NTTs over the extended basis.
+    // ntt_ids[digit][limb] for limb-granular downstream dependencies.
+    let mut ntt_ids: Vec<Vec<KernelId>> = Vec::with_capacity(beta);
+    for j in 0..beta {
+        let rows_in = shape.digit_limbs_at(j, l).max(1);
+        let bconv = g.add(
+            KernelKind::BConv {
+                rows_in,
+                rows_out: ext - rows_in,
+                n,
+            },
+            deps,
+        );
+        ntt_ids.push(g.add_many(KernelKind::Ntt { n }, ext, &[bconv]));
+    }
+    // Layout switch before the inner product: the raised digits move
+    // from the limb-wise NTT layout to the slot-wise MAC layout over
+    // the inter-cluster NoC (§IV-I).
+    let to_slot_wise = if opts.model_layout_switch {
+        let all_ntts: Vec<KernelId> = ntt_ids.iter().flatten().copied().collect();
+        let bytes = (beta * ext * n) as u64 * shape.word_bytes as u64;
+        Some(g.add(KernelKind::LayoutSwitch { bytes }, &all_ntts))
+    } else {
+        None
+    };
+    // Inner product with the key digits, limb by limb (the hardware
+    // streams limbs through the MAC array as their NTTs retire).
+    let mut intts = Vec::with_capacity(2 * ext);
+    for limb in 0..ext {
+        let mut ip_deps: Vec<KernelId> = ntt_ids.iter().map(|d| d[limb]).collect();
+        ip_deps.push(hbm);
+        if let Some(ls) = to_slot_wise {
+            ip_deps.push(ls);
+        }
+        let ip = g.add(
+            KernelKind::InnerProduct {
+                digits: beta,
+                limbs: 1,
+                outputs: 2,
+                n,
+            },
+            &ip_deps,
+        );
+        intts.extend(g.add_many(KernelKind::Intt { n }, 2, &[ip]));
+    }
+    // Layout switch back to limb-wise before the output NTTs.
+    let back_deps: Vec<KernelId> = if opts.model_layout_switch {
+        let bytes = (2 * ext * n) as u64 * shape.word_bytes as u64;
+        vec![g.add(KernelKind::LayoutSwitch { bytes }, &intts)]
+    } else {
+        intts.clone()
+    };
+    // ModDown: BConv P -> C_l per accumulator, then scale-and-subtract
+    // on the EWE and NTT back to evaluation form.
+    let mut sinks = Vec::new();
+    for _ in 0..2 {
+        let bconv = g.add(
+            KernelKind::BConv {
+                rows_in: shape.alpha(),
+                rows_out: l + 1,
+                n,
+            },
+            &back_deps,
+        );
+        let ewe = g.add(KernelKind::ModAdd { limbs: l + 1, n }, &[bconv]);
+        let scale = g.add(KernelKind::ModMul { limbs: l + 1, n }, &[ewe]);
+        for _ in 0..(l + 1) {
+            sinks.push(g.add(KernelKind::Ntt { n }, &[scale]));
+        }
+    }
+    sinks
+}
+
+/// HMult (Table II): tensor product, relinearisation, output adds.
+pub fn hmult(
+    g: &mut KernelGraph,
+    shape: &CkksShape,
+    l: usize,
+    deps: &[KernelId],
+    opts: KeySwitchOpts,
+) -> Vec<KernelId> {
+    let n = shape.n;
+    let limbs = l + 1;
+    // Tensor: c0*c0', c0*c1' + c1*c0', c1*c1'.
+    let tensor = g.add_many(KernelKind::ModMul { limbs, n }, 4, deps);
+    let d1_add = g.add(KernelKind::ModAdd { limbs, n }, &tensor);
+    let ks = keyswitch(g, shape, l, &[d1_add], opts);
+    let mut out = Vec::new();
+    out.push(g.add(KernelKind::ModAdd { limbs, n }, &ks));
+    out.push(g.add(KernelKind::ModAdd { limbs, n }, &ks));
+    out
+}
+
+/// HRotate (Table II): automorphism on both components + keyswitch.
+pub fn hrotate(
+    g: &mut KernelGraph,
+    shape: &CkksShape,
+    l: usize,
+    deps: &[KernelId],
+    opts: KeySwitchOpts,
+) -> Vec<KernelId> {
+    let n = shape.n;
+    let limbs = l + 1;
+    let autos = g.add_many(KernelKind::Automorphism { limbs, n }, 2, deps);
+    let ks = keyswitch(g, shape, l, &autos, opts);
+    vec![g.add(KernelKind::ModAdd { limbs, n }, &ks)]
+}
+
+/// Rescale (Table II): iNTT, per-limb scale/subtract, NTT back, one
+/// level lower.
+pub fn rescale(
+    g: &mut KernelGraph,
+    shape: &CkksShape,
+    l: usize,
+    deps: &[KernelId],
+) -> Vec<KernelId> {
+    assert!(l > 0, "cannot rescale at level 0");
+    let n = shape.n;
+    let intts = g.add_many(KernelKind::Intt { n }, 2 * (l + 1), deps);
+    let ewe = g.add_many(KernelKind::ModMul { limbs: l, n }, 2, &intts);
+    let mut sinks = Vec::new();
+    for _ in 0..(2 * l) {
+        sinks.push(g.add(KernelKind::Ntt { n }, &ewe));
+    }
+    sinks
+}
+
+/// PMult (Table II): two element-wise products.
+pub fn pmult(g: &mut KernelGraph, shape: &CkksShape, l: usize, deps: &[KernelId]) -> Vec<KernelId> {
+    g.add_many(
+        KernelKind::ModMul {
+            limbs: l + 1,
+            n: shape.n,
+        },
+        2,
+        deps,
+    )
+}
+
+/// HAdd / PAdd (Table II): element-wise addition.
+pub fn hadd(g: &mut KernelGraph, shape: &CkksShape, l: usize, deps: &[KernelId]) -> Vec<KernelId> {
+    vec![g.add(
+        KernelKind::ModAdd {
+            limbs: l + 1,
+            n: shape.n,
+        },
+        deps,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinity_core::kernel::KernelClass;
+
+    #[test]
+    fn shape_arithmetic_matches_paper() {
+        let s = CkksShape::paper_default();
+        assert_eq!(s.alpha(), 12);
+        assert_eq!(s.beta_at(35), 3);
+        assert_eq!(s.beta_at(11), 1);
+        assert_eq!(s.ext_limbs(35), 48);
+        assert_eq!(s.digit_limbs_at(0, 35), 12);
+        assert_eq!(s.digit_limbs_at(2, 35), 12);
+        assert_eq!(s.digit_limbs_at(2, 25), 2);
+    }
+
+    /// The paper's Fig. 2: KeySwitch at L=23, dnum=3 splits ~59.2% NTT /
+    /// ~40.8% MAC by modular-multiplication count.
+    #[test]
+    fn fig2_keyswitch_breakdown() {
+        let mut shape = CkksShape::paper_default();
+        shape.levels = 23; // Fig. 2 uses L = 23
+        let mut g = KernelGraph::new();
+        keyswitch(&mut g, &shape, 23, &[], KeySwitchOpts::default());
+        let b = g.modmul_breakdown();
+        let ntt_frac = b.ntt_fraction();
+        assert!(
+            (0.55..=0.64).contains(&ntt_frac),
+            "NTT fraction {ntt_frac:.3} vs paper 0.592"
+        );
+    }
+
+    #[test]
+    fn keyswitch_kernel_inventory() {
+        let s = CkksShape::paper_default();
+        let mut g = KernelGraph::new();
+        keyswitch(&mut g, &s, 35, &[], KeySwitchOpts::default());
+        let ntts = g
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::Ntt { .. }))
+            .count();
+        let intts = g
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::Intt { .. }))
+            .count();
+        // beta * ext forward + 2(l+1) output + 2*ext inverse.
+        assert_eq!(ntts, 3 * 48 + 2 * 36);
+        assert_eq!(intts, 2 * 48);
+        let hbm = g
+            .kernels()
+            .iter()
+            .filter(|k| k.kind.class() == KernelClass::Hbm)
+            .count();
+        assert_eq!(hbm, 1);
+    }
+
+    #[test]
+    fn hmult_includes_keyswitch() {
+        let s = CkksShape::paper_default();
+        let mut g = KernelGraph::new();
+        hmult(&mut g, &s, 10, &[], KeySwitchOpts::default());
+        let b = g.modmul_breakdown();
+        assert!(b.ntt > 0 && b.mac > 0 && b.other > 0);
+    }
+
+    #[test]
+    fn layout_switches_emitted_only_on_request() {
+        let s = CkksShape::paper_default();
+        let count_switches = |opts: KeySwitchOpts| {
+            let mut g = KernelGraph::new();
+            keyswitch(&mut g, &s, 35, &[], opts);
+            g.kernels()
+                .iter()
+                .filter(|k| matches!(k.kind, KernelKind::LayoutSwitch { .. }))
+                .count()
+        };
+        assert_eq!(count_switches(KeySwitchOpts::default()), 0);
+        let on = KeySwitchOpts {
+            model_layout_switch: true,
+            ..KeySwitchOpts::default()
+        };
+        // One switch into slot-wise, one back to limb-wise.
+        assert_eq!(count_switches(on), 2);
+    }
+
+    #[test]
+    fn layout_switch_bytes_match_moved_data() {
+        let s = CkksShape::paper_default();
+        let mut g = KernelGraph::new();
+        let opts = KeySwitchOpts {
+            model_layout_switch: true,
+            ..KeySwitchOpts::default()
+        };
+        keyswitch(&mut g, &s, 35, &[], opts);
+        let switches: Vec<u64> = g
+            .kernels()
+            .iter()
+            .filter_map(|k| match k.kind {
+                KernelKind::LayoutSwitch { bytes } => Some(bytes),
+                _ => None,
+            })
+            .collect();
+        let beta = s.beta_at(35);
+        let ext = s.ext_limbs(35);
+        assert_eq!(switches[0], (beta * ext * s.n) as u64 * s.word_bytes as u64);
+        assert_eq!(switches[1], (2 * ext * s.n) as u64 * s.word_bytes as u64);
+    }
+
+    #[test]
+    fn rescale_level_guard() {
+        let s = CkksShape::paper_default();
+        let mut g = KernelGraph::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rescale(&mut g, &s, 0, &[]);
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Kernel DAG for the scheme-conversion benchmark (paper Table IX):
+//! repacking `nslot` LWE ciphertexts into one RLWE ciphertext via ring
+//! embedding, PackLWEs (Algorithm 4) and the field trace (Algorithm 5).
+
+use trinity_core::kernel::{KernelGraph, KernelId, KernelKind};
+
+use crate::ckks_ops::{hadd, keyswitch, CkksShape, KeySwitchOpts};
+
+/// One keyswitched automorphism (`HRotate` in the conversion
+/// algorithms): automorphism on both components + keyswitch + add.
+fn eval_auto(
+    g: &mut KernelGraph,
+    shape: &CkksShape,
+    l: usize,
+    deps: &[KernelId],
+    opts: KeySwitchOpts,
+) -> Vec<KernelId> {
+    let autos = g.add_many(
+        KernelKind::Automorphism { limbs: l + 1, n: shape.n },
+        2,
+        deps,
+    );
+    let ks = keyswitch(g, shape, l, &autos, opts);
+    hadd(g, shape, l, &ks)
+}
+
+/// Repacks `nslot` LWE ciphertexts (Algorithms 4 + 5) at level
+/// `shape.levels`. Returns sink ids.
+///
+/// # Panics
+///
+/// Panics if `nslot` is not a power of two.
+pub fn repack(g: &mut KernelGraph, shape: &CkksShape, nslot: usize) -> Vec<KernelId> {
+    assert!(nslot.is_power_of_two(), "nslot must be a power of two");
+    let l = shape.levels;
+    let n = shape.n;
+    let opts = KeySwitchOpts::default();
+
+    // Ring embedding: per LWE, scatter the mask (Rotator-style vector
+    // op), lift to RNS on the EWE, and NTT the two components.
+    let mut packed: Vec<Vec<KernelId>> = (0..nslot)
+        .map(|_| {
+            let embed = g.add(KernelKind::RotateVec { n }, &[]);
+            let lift = g.add(KernelKind::ModMul { limbs: l + 1, n }, &[embed]);
+            (0..2 * (l + 1))
+                .map(|_| g.add(KernelKind::Ntt { n }, &[lift]))
+                .collect()
+        })
+        .collect();
+
+    // PackLWEs: log2(nslot) merge rounds.
+    while packed.len() > 1 {
+        let mut next = Vec::with_capacity(packed.len() / 2);
+        for pair in packed.chunks(2) {
+            let even = &pair[0];
+            let odd = &pair[1];
+            // X^{N/m} * odd: monomial rotation of both components.
+            let rots = g.add_many(KernelKind::RotateVec { n }, 2, odd);
+            let mut sum_deps = even.clone();
+            sum_deps.extend_from_slice(&rots);
+            let sum = g.add(KernelKind::ModAdd { limbs: l + 1, n }, &sum_deps);
+            let diff = g.add(KernelKind::ModAdd { limbs: l + 1, n }, &sum_deps);
+            let auto = eval_auto(g, shape, l, &[diff], opts);
+            let mut merged_deps = auto;
+            merged_deps.push(sum);
+            let merged = g.add(KernelKind::ModAdd { limbs: l + 1, n }, &merged_deps);
+            next.push(vec![merged]);
+        }
+        packed = next;
+    }
+
+    // Field trace: log2(N / nslot) keyswitched automorphisms.
+    let steps = (n / nslot).trailing_zeros();
+    let mut cur = packed.pop().expect("one ciphertext");
+    for _ in 0..steps {
+        let auto = eval_auto(g, shape, l, &cur, opts);
+        let mut deps = auto;
+        deps.extend_from_slice(&cur);
+        cur = vec![g.add(KernelKind::ModAdd { limbs: l + 1, n }, &deps)];
+    }
+    cur
+}
+
+/// Number of keyswitched automorphisms the repack performs — the cost
+/// driver of Table IX.
+pub fn repack_keyswitch_count(n: usize, nslot: usize) -> usize {
+    (nslot - 1) + (n / nslot).trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyswitch_counts() {
+        // N = 2^14 (the Table IX setting).
+        assert_eq!(repack_keyswitch_count(1 << 14, 2), 1 + 13);
+        assert_eq!(repack_keyswitch_count(1 << 14, 8), 7 + 11);
+        assert_eq!(repack_keyswitch_count(1 << 14, 32), 31 + 9);
+    }
+
+    #[test]
+    fn repack_graph_has_expected_keyswitches() {
+        let shape = CkksShape::conversion_benchmark();
+        for nslot in [2usize, 8, 32] {
+            let mut g = KernelGraph::new();
+            repack(&mut g, &shape, nslot);
+            // One HBM key-load kernel per keyswitch.
+            let ks_count = g
+                .kernels()
+                .iter()
+                .filter(|k| matches!(k.kind, KernelKind::HbmLoad { .. }))
+                .count();
+            assert_eq!(
+                ks_count,
+                repack_keyswitch_count(shape.n, nslot),
+                "nslot={nslot}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_nslot_means_more_work() {
+        let shape = CkksShape::conversion_benchmark();
+        let work = |nslot| {
+            let mut g = KernelGraph::new();
+            repack(&mut g, &shape, nslot);
+            let b = g.modmul_breakdown();
+            b.ntt + b.mac
+        };
+        assert!(work(32) > work(8));
+        assert!(work(8) > work(2));
+    }
+}

@@ -1,0 +1,27 @@
+//! # trinity-workloads — kernel DAGs for every paper benchmark
+//!
+//! Builders that decompose the paper's benchmark suite (§V-B) into the
+//! kernel taxonomy of [`trinity_core`], exactly the way the functional
+//! crates execute them:
+//!
+//! * [`ckks_ops`] — Table II operations (HMult, HRotate, Rescale, ...)
+//!   and the hybrid keyswitch of Algorithm 1.
+//! * [`tfhe_ops`] — programmable bootstrapping (Algorithm 2), gates.
+//! * [`conversion`] — LWE repacking (Algorithms 4 and 5).
+//! * [`apps`] — Bootstrap / HELR / ResNet-20 / NN-x / HE3DB-x.
+//! * [`reference`](mod@reference) — cited constants for rows the simulator does not
+//!   regenerate, tagged by provenance.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod ckks_ops;
+pub mod conversion;
+pub mod reference;
+pub mod tfhe_ops;
+
+pub use apps::{bootstrap, helr, resnet20, He3dbRecipe, NnRecipe};
+pub use ckks_ops::{CkksShape, KeySwitchOpts};
+pub use conversion::{repack, repack_keyswitch_count};
+pub use reference::Source;
+pub use tfhe_ops::{pbs, pbs_batch, TfheShape};

@@ -1,0 +1,190 @@
+//! Kernel DAGs for TFHE operations — Algorithm 2 of the paper.
+
+use trinity_core::kernel::{KernelGraph, KernelId, KernelKind};
+
+/// Shape parameters of a TFHE instance (the paper's Table IV sets).
+#[derive(Debug, Clone, Copy)]
+pub struct TfheShape {
+    /// GLWE ring degree.
+    pub n: usize,
+    /// LWE dimension.
+    pub n_lwe: usize,
+    /// GLWE dimension.
+    pub k: usize,
+    /// Bootstrapping decomposition levels.
+    pub lb: usize,
+    /// Keyswitch decomposition levels.
+    pub lk: usize,
+    /// Word bytes (32-bit torus words).
+    pub word_bytes: f64,
+}
+
+impl TfheShape {
+    /// Paper Set-I.
+    pub fn set_i() -> Self {
+        Self { n: 1024, n_lwe: 500, k: 1, lb: 2, lk: 8, word_bytes: 4.0 }
+    }
+
+    /// Paper Set-II.
+    pub fn set_ii() -> Self {
+        Self { n: 1024, n_lwe: 630, k: 1, lb: 3, lk: 8, word_bytes: 4.0 }
+    }
+
+    /// Paper Set-III.
+    pub fn set_iii() -> Self {
+        Self { n: 2048, n_lwe: 592, k: 1, lb: 3, lk: 8, word_bytes: 4.0 }
+    }
+
+    /// All three sets with their paper names.
+    pub fn paper_sets() -> [(&'static str, Self); 3] {
+        [
+            ("Set-I", Self::set_i()),
+            ("Set-II", Self::set_ii()),
+            ("Set-III", Self::set_iii()),
+        ]
+    }
+
+    /// Bootstrapping key bytes (`n_lwe` GGSW ciphertexts).
+    pub fn bsk_bytes(&self) -> u64 {
+        (self.n_lwe * (self.k + 1) * self.lb * (self.k + 1) * self.n) as u64
+            * self.word_bytes as u64
+    }
+}
+
+/// One programmable bootstrap (Algorithm 2). Returns the sink ids.
+///
+/// `load_bsk` streams the bootstrapping key from HBM; pass `false` when
+/// the key is already scratchpad-resident (it is loaded once per batch
+/// by [`pbs_batch`]).
+pub fn pbs(
+    g: &mut KernelGraph,
+    shape: &TfheShape,
+    deps: &[KernelId],
+    load_bsk: bool,
+) -> Vec<KernelId> {
+    let n = shape.n;
+    let k = shape.k;
+    let rows = (k + 1) * shape.lb;
+    let bsk_dep = if load_bsk {
+        Some(g.add(KernelKind::HbmLoad { bytes: shape.bsk_bytes() }, &[]))
+    } else {
+        None
+    };
+    // ModSwitch (line 1).
+    let mut prev = g.add(KernelKind::ModSwitch { n: shape.n_lwe }, deps);
+    // Blind rotation: n_lwe sequential CMUX iterations (lines 4-12).
+    for _ in 0..shape.n_lwe {
+        let rot = g.add(KernelKind::RotateVec { n: (k + 1) * n }, &[prev]);
+        let dec = g.add(
+            KernelKind::Decompose { limbs: k + 1, levels: shape.lb, n },
+            &[rot],
+        );
+        let ntts = g.add_many(KernelKind::Ntt { n }, rows, &[dec]);
+        let mut mac_deps = ntts;
+        if let Some(b) = bsk_dep {
+            mac_deps.push(b);
+        }
+        let mac = g.add(
+            KernelKind::ExtProductMac { rows, outputs: k + 1, n },
+            &mac_deps,
+        );
+        let intts = g.add_many(KernelKind::Intt { n }, k + 1, &[mac]);
+        prev = *intts.last().expect("k+1 >= 1");
+    }
+    // SampleExtract (line 14) and TFHE KeySwitch (lines 16-17).
+    let se = g.add(KernelKind::SampleExtract { n }, &[prev]);
+    let ks = g.add(
+        KernelKind::LweKeySwitch {
+            n_in: k * n,
+            n_out: shape.n_lwe,
+            levels: shape.lk,
+        },
+        &[se],
+    );
+    vec![ks]
+}
+
+/// A batch of independent PBS operations (the Table VII throughput
+/// benchmark). The bootstrapping key is streamed once.
+pub fn pbs_batch(g: &mut KernelGraph, shape: &TfheShape, batch: usize) -> Vec<KernelId> {
+    let bsk = g.add(KernelKind::HbmLoad { bytes: shape.bsk_bytes() }, &[]);
+    let mut sinks = Vec::new();
+    for _ in 0..batch {
+        sinks.extend(pbs(g, shape, &[bsk], false));
+    }
+    sinks
+}
+
+/// A bootstrapped binary gate: linear offset (free) + one sign PBS.
+pub fn gate(g: &mut KernelGraph, shape: &TfheShape, deps: &[KernelId]) -> Vec<KernelId> {
+    pbs(g, shape, deps, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbs_kernel_counts() {
+        let s = TfheShape::set_i();
+        let mut g = KernelGraph::new();
+        pbs(&mut g, &s, &[], false);
+        let ntts = g
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::Ntt { .. }))
+            .count();
+        // (k+1)*lb = 4 forward NTTs per blind-rotate iteration.
+        assert_eq!(ntts, 500 * 4);
+        let intts = g
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::Intt { .. }))
+            .count();
+        assert_eq!(intts, 500 * 2);
+        let macs = g
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::ExtProductMac { .. }))
+            .count();
+        assert_eq!(macs, 500);
+    }
+
+    /// The paper's Fig. 2: PBS is roughly 3/4 NTT, 1/4 MAC.
+    #[test]
+    fn fig2_pbs_breakdown() {
+        for (name, s) in TfheShape::paper_sets() {
+            let mut g = KernelGraph::new();
+            pbs(&mut g, &s, &[], false);
+            let frac = g.modmul_breakdown().ntt_fraction();
+            assert!(
+                (0.68..=0.84).contains(&frac),
+                "{name}: NTT fraction {frac:.3} vs paper ~0.755"
+            );
+        }
+    }
+
+    #[test]
+    fn bsk_fits_trinity_scratchpad() {
+        // Key residency assumption behind pbs_batch: every paper set's
+        // bsk fits Trinity's 180 MB total scratchpad (Table III; 45 MB
+        // per cluster, bsk broadcast or striped across clusters).
+        for (name, s) in TfheShape::paper_sets() {
+            let mib = s.bsk_bytes() as f64 / (1 << 20) as f64;
+            assert!(mib < 180.0, "{name}: bsk {mib:.1} MiB");
+        }
+    }
+
+    #[test]
+    fn batch_loads_key_once() {
+        let s = TfheShape::set_i();
+        let mut g = KernelGraph::new();
+        pbs_batch(&mut g, &s, 4);
+        let loads = g
+            .kernels()
+            .iter()
+            .filter(|k| matches!(k.kind, KernelKind::HbmLoad { .. }))
+            .count();
+        assert_eq!(loads, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Drive the Trinity accelerator model directly: simulate CKKS
+//! bootstrapping and a TFHE PBS batch, print latency, throughput and
+//! per-component utilization, and compare against SHARP and Morphling.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use trinity::accel::arch::AcceleratorConfig;
+use trinity::accel::kernel::KernelGraph;
+use trinity::accel::mapping::{build_machine, MappingPolicy};
+use trinity::accel::sched::simulate;
+use trinity::accel::chip_budget;
+use trinity::workloads::{bootstrap, pbs_batch, CkksShape, TfheShape};
+
+fn main() {
+    // --- Machines ---
+    let trinity_ckks = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+    let trinity_tfhe = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::TfheAdaptive);
+    let sharp = build_machine(&AcceleratorConfig::sharp(), MappingPolicy::Baseline);
+    let morphling = build_machine(&AcceleratorConfig::morphling(), MappingPolicy::Baseline);
+
+    // --- CKKS bootstrapping at the paper's parameters. ---
+    let shape = CkksShape::paper_default();
+    println!(
+        "CKKS packed bootstrapping (N = 2^16, L = {}, dnum = {}):",
+        shape.levels, shape.dnum
+    );
+    let g = bootstrap(&shape);
+    println!("  kernel DAG: {} kernels", g.len());
+    let rt = simulate(&trinity_ckks, &g);
+    let rs = simulate(&sharp, &g);
+    println!(
+        "  Trinity: {:.2} ms   SHARP: {:.2} ms   speedup {:.2}x (paper: 1.63x)",
+        rt.time_ms,
+        rs.time_ms,
+        rs.time_ms / rt.time_ms
+    );
+    println!("  Trinity per-component utilization:");
+    for comp in ["NTTU", "CU-1", "CU-2", "CU-3", "EWE", "AutoU"] {
+        println!("    {comp:<6} {:>5.1}%", rt.mean_utilization(comp) * 100.0);
+    }
+
+    // A single keyswitch, small enough to read as a timeline.
+    let mut ks = KernelGraph::new();
+    trinity::workloads::ckks_ops::keyswitch(
+        &mut ks,
+        &shape,
+        shape.levels,
+        &[],
+        trinity::workloads::KeySwitchOpts::default(),
+    );
+    let rk = simulate(&trinity_ckks, &ks);
+    println!(
+        "\n  One hybrid keyswitch ({} kernels, {} cycles) on cluster 0:",
+        ks.len(),
+        rk.total_cycles
+    );
+    for line in rk.timeline(&trinity_ckks, 64).lines() {
+        if line.starts_with("c0.") || line.starts_with("HBM") {
+            println!("    {line}");
+        }
+    }
+
+    // --- TFHE PBS throughput. ---
+    println!("\nTFHE programmable bootstrapping (batch of 64):");
+    for (name, set) in TfheShape::paper_sets() {
+        let mut g = KernelGraph::new();
+        pbs_batch(&mut g, &set, 64);
+        let rt = simulate(&trinity_tfhe, &g);
+        let rm = simulate(&morphling, &g);
+        println!(
+            "  {name:<8} Trinity {:>8.0} OPS   Morphling {:>7.0} OPS   ratio {:.2}x (paper: ~4.2x)",
+            rt.ops_per_second(64),
+            rm.ops_per_second(64),
+            rt.ops_per_second(64) / rm.ops_per_second(64)
+        );
+    }
+
+    // --- Area/power roll-up (Table XI). ---
+    let budget = chip_budget(&AcceleratorConfig::trinity());
+    println!(
+        "\nChip budget: {:.2} mm^2, {:.1} W (paper Table XI: 157.26 mm^2, 229.36 W)",
+        budget.total.area_mm2, budget.total.power_w
+    );
+    println!(
+        "Area vs SHARP+Morphling (178.8 + ~4.0 mm^2 at 7 nm): {:.0}% (paper: 85%)",
+        budget.total.area_mm2 / (178.8 + 4.0) * 100.0
+    );
+}

@@ -1,0 +1,96 @@
+//! The Fig. 8 workload-allocation flow, end to end: an FHE program is
+//! decomposed into a kernel flow, bootstraps are inserted where level
+//! budgets run out, and the flow is scheduled on the Trinity machine
+//! model — including co-scheduling two applications at once (§IV-K).
+//!
+//! Run with: `cargo run --release --example compiler_flow`
+
+use trinity::accel::arch::AcceleratorConfig;
+use trinity::accel::mapping::{build_machine, MappingPolicy};
+use trinity::compiler::{compile, BootstrapPolicy, CompilerConfig, FheProgram};
+use trinity::workloads::CkksShape;
+
+fn main() {
+    let config = CompilerConfig::paper_default();
+    println!(
+        "target: CKKS N = 2^16, L = {}, TFHE Set-I; bootstrap restores to level {}",
+        config.ckks.levels, config.policy.restored_level
+    );
+
+    // --- A deep CKKS program that cannot fit its level budget ---------
+    let mut deep = FheProgram::new();
+    let x = deep.ckks_input(config.ckks.levels);
+    let mut cur = x;
+    for _ in 0..40 {
+        let m = deep.hmult(cur, cur);
+        cur = deep.rescale(m);
+    }
+    println!("\nprogram A: 40 chained HMult+Rescale from level {}", config.ckks.levels);
+    let compiled = compile(deep, &config);
+    println!(
+        "  compiler inserted {} bootstraps; {} FHE ops -> {} kernels",
+        compiled.inserted_bootstraps,
+        compiled.op_count,
+        compiled.graph.len()
+    );
+    let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+    let r = compiled.simulate(&machine);
+    println!(
+        "  scheduled on {}: {:.3} ms, NTTU utilization {:.1}%",
+        machine.name,
+        r.time_ms,
+        r.mean_utilization("NTTU") * 100.0
+    );
+
+    // --- A hybrid program: TFHE filter -> conversion -> CKKS aggregate
+    let mut hybrid = FheProgram::new();
+    let rows = hybrid.tfhe_input();
+    let flag = hybrid.pbs(rows);
+    let packed = hybrid.tfhe_to_ckks(flag, 32);
+    let weights = hybrid.ckks_input(20);
+    let weighted = hybrid.hmult(packed, weights);
+    let scaled = hybrid.rescale(weighted);
+    let rot = hybrid.hrotate(scaled);
+    let _sum = hybrid.hadd(scaled, rot);
+
+    println!("\nprogram B: TFHE PBS -> repack(32) -> CKKS weighted aggregate");
+    let compiled_b = compile(hybrid.clone(), &config);
+    let hybrid_machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
+    let rb = compiled_b.simulate(&hybrid_machine);
+    println!(
+        "  {} kernels, {:.3} ms on {}",
+        compiled_b.graph.len(),
+        rb.time_ms,
+        hybrid_machine.name
+    );
+
+    // --- Co-scheduling both programs on one machine (§IV-K) -----------
+    let small = CompilerConfig {
+        ckks: CkksShape {
+            levels: 23,
+            ..CkksShape::paper_default()
+        },
+        policy: BootstrapPolicy {
+            min_level: 1,
+            restored_level: 9,
+        },
+        ..config
+    };
+    let mut app_a = FheProgram::new();
+    let mut cur = app_a.tfhe_input();
+    for _ in 0..8 {
+        cur = app_a.pbs(cur);
+    }
+    let t_a = compile(app_a.clone(), &small).simulate(&hybrid_machine).time_ms;
+    let t_b = compile(hybrid.clone(), &small).simulate(&hybrid_machine).time_ms;
+    let mut merged = app_a;
+    merged.merge(&hybrid);
+    let t_m = compile(merged, &small).simulate(&hybrid_machine).time_ms;
+    println!("\nco-scheduling (SS IV-K): TFHE app {t_a:.3} ms, hybrid app {t_b:.3} ms");
+    println!(
+        "  serial {:.3} ms vs co-scheduled {:.3} ms ({:.1}% saved)",
+        t_a + t_b,
+        t_m,
+        (1.0 - t_m / (t_a + t_b)) * 100.0
+    );
+}

@@ -1,0 +1,85 @@
+//! Encrypted neural-network inference over TFHE — the paper's NN-x
+//! benchmark pattern (one programmable bootstrap per neuron), plus the
+//! radix-integer filter ops the HE3DB workload builds on.
+//!
+//! Run with: `cargo run --release --example nn_inference`
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use trinity::tfhe::{
+    ClientKey, DiscreteMlp, MulBackend, RadixParams, ServerKey, SignLayer, TfheContext,
+    TfheParams,
+};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+    let t0 = Instant::now();
+    let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+    println!(
+        "TFHE Set-I server key (bsk: {} GGSWs) in {:.1?}",
+        ck.ctx.params.n_lwe,
+        t0.elapsed()
+    );
+
+    // --- Part 1: sign-network inference -------------------------------
+    // A small pattern detector: odd fan-ins + zero biases keep every
+    // pre-activation off the sign boundary.
+    let net = DiscreteMlp::new(vec![
+        SignLayer::new(
+            vec![
+                vec![1, 1, 1, -1, -1],  // "starts high"
+                vec![-1, -1, 1, 1, 1],  // "ends high"
+                vec![1, -1, 1, -1, 1],  // "alternates"
+            ],
+            vec![0, 0, 0],
+        ),
+        SignLayer::new(vec![vec![1, 1, 1]], vec![0]),
+    ]);
+    println!(
+        "\nsign network: depth {}, {} bootstraps per inference",
+        net.depth(),
+        net.bootstraps_per_inference()
+    );
+
+    for inputs in [
+        vec![1i64, 1, 1, -1, -1],
+        vec![-1, -1, -1, 1, 1],
+        vec![1, -1, 1, -1, 1],
+    ] {
+        let cts = ck.encrypt_signs(&inputs, &net, &mut rng);
+        let t = Instant::now();
+        let out = sk.infer_mlp(&net, &cts);
+        let dt = t.elapsed();
+        let got = ck.decrypt_signs(&out);
+        let want = net.infer_plain(&inputs);
+        println!(
+            "inputs {inputs:?} -> encrypted {got:?} / plain {want:?}  ({dt:.1?}) {}",
+            if got == want { "ok" } else { "MISMATCH" }
+        );
+    }
+
+    // --- Part 2: radix integers (the encrypted-database filter ops) ---
+    let p = RadixParams::new(2, 3); // 6-bit integers
+    println!("\nradix integers: {} digits of {} bits (mod {})", p.num_digits, p.digit_bits, p.modulus());
+
+    let a = ck.encrypt_radix(23, p, &mut rng);
+    let b = ck.encrypt_radix(18, p, &mut rng);
+
+    let t = Instant::now();
+    let sum = sk.radix_add(&a, &b);
+    println!("23 + 18 = {}  ({:.1?})", ck.decrypt_radix(&sum), t.elapsed());
+
+    let t = Instant::now();
+    let doubled = sk.radix_scalar_mul(&a, 2);
+    println!("23 * 2  = {}  ({:.1?})", ck.decrypt_radix(&doubled), t.elapsed());
+
+    let t = Instant::now();
+    let lt = sk.radix_lt(&b, &a);
+    println!("18 < 23 = {}  ({:.1?})", ck.decrypt_bit(&lt), t.elapsed());
+
+    let t = Instant::now();
+    let hit = sk.radix_lt_scalar(&a, 32);
+    println!("23 < 32 = {}  ({:.1?})", ck.decrypt_bit(&hit), t.elapsed());
+}

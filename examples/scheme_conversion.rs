@@ -1,0 +1,96 @@
+//! Scheme conversion: CKKS -> LWE -> CKKS round trip.
+//!
+//! Demonstrates the paper's Algorithms 3-5: coefficients of a CKKS
+//! ciphertext are extracted into LWE ciphertexts (`SampleExtract`),
+//! then repacked into a single RLWE ciphertext via ring embedding,
+//! `PackLWEs` merges, and the field trace.
+//!
+//! Run with: `cargo run --release --example scheme_conversion`
+
+use rand::SeedableRng;
+use trinity::ckks::{CkksContext, CkksParams, Decryptor, Encryptor, KeyGenerator, Plaintext};
+use trinity::convert::{extract_lwes, extracted_key, RlwePacker};
+use trinity::math::{Representation, RnsPoly};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let n = ctx.n();
+    println!("Ring degree N = {n}, conversion level = 1");
+
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let encryptor = Encryptor::new(ctx.clone());
+    let decryptor = Decryptor::new(ctx.clone());
+
+    // Messages live in the first nslot coefficients, headroom-scaled
+    // (see fhe-convert docs: |m| * delta * N < q0 / 2).
+    let nslot = 8usize;
+    let q0 = ctx.level_basis(0).modulus(0).value();
+    let delta = (q0 / (64 * n as u64)) as i64;
+    let messages: Vec<i64> = (0..nslot as i64).map(|j| j - 4).collect();
+    println!("messages = {messages:?} (encoded at delta = {delta})");
+
+    let mut coeffs = vec![0i64; n];
+    for (j, &m) in messages.iter().enumerate() {
+        coeffs[j] = m * delta;
+    }
+    let mut poly = RnsPoly::from_signed_coeffs(ctx.level_basis(0).clone(), &coeffs);
+    poly.to_eval();
+    let pt = Plaintext { poly, scale: delta as f64, level: 0 };
+    let ct = encryptor.encrypt_sk(&pt, &sk, &mut rng);
+
+    // --- CKKS -> TFHE (Algorithm 3): one LWE per coefficient. ---
+    let start = std::time::Instant::now();
+    let lwes = extract_lwes(&ctx, &ct, nslot);
+    println!(
+        "\nExtracted {} LWE ciphertexts (dim {}) in {:.2?}",
+        lwes.len(),
+        lwes[0].dim(),
+        start.elapsed()
+    );
+    let lwe_key = extracted_key(&sk);
+    let q = ctx.level_basis(0).modulus(0);
+    for (j, lwe) in lwes.iter().enumerate() {
+        let got = (q.to_centered(lwe.phase(q, &lwe_key)) as f64 / delta as f64).round() as i64;
+        assert_eq!(got, messages[j], "LWE {j}");
+    }
+    println!("Each LWE decrypts to its coefficient: ok");
+
+    // --- TFHE -> CKKS (Algorithms 4+5): repack into one RLWE. ---
+    let packer = RlwePacker::new(ctx.clone(), &sk, 1, &mut rng);
+    let start = std::time::Instant::now();
+    let packed = packer.convert(&lwes, delta as f64);
+    println!(
+        "\nRepacked {nslot} LWEs into one RLWE at level {} in {:.2?}",
+        packed.level,
+        start.elapsed()
+    );
+    println!(
+        "  ({} keyswitched automorphisms: {} merges + {} trace steps)",
+        trinity::workloads::repack_keyswitch_count(n, nslot),
+        nslot - 1,
+        (n / nslot).trailing_zeros()
+    );
+
+    let out = decryptor.decrypt_poly(&packed, &sk);
+    let vals = out.to_centered_f64();
+    let stride = n / nslot;
+    println!("\ncoeff      packed value   expected");
+    for (j, &m) in messages.iter().enumerate() {
+        let got = vals[j * stride] / packed.scale;
+        println!("{:>5}  {got:>16.4}  {m:>9}", j * stride);
+        assert!((got - m as f64).abs() < 0.01);
+    }
+    // Non-aligned coefficients were annihilated by the field trace.
+    let junk = vals
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride != 0)
+        .map(|(_, v)| (v / packed.scale).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nLargest non-aligned coefficient: {junk:.2e} (field trace kills junk)");
+    assert!(junk < 0.01);
+    let _ = Representation::Coeff;
+    println!("Round trip CKKS -> LWE -> CKKS: ok");
+}

@@ -1,0 +1,75 @@
+//! Logic FHE: an encrypted 4-bit adder built from bootstrapped gates.
+//!
+//! Every gate is one programmable bootstrap (the paper's Algorithm 2)
+//! over the NTT backend — the "logic FHE" half of Trinity.
+//!
+//! Run with: `cargo run --release --example tfhe_gates`
+
+use rand::SeedableRng;
+use trinity::tfhe::{ClientKey, LweCiphertext, MulBackend, ServerKey, TfheContext, TfheParams};
+
+fn encrypt_nibble(ck: &ClientKey, v: u8, rng: &mut impl rand::Rng) -> Vec<LweCiphertext> {
+    (0..4).map(|i| ck.encrypt_bit((v >> i) & 1 == 1, rng)).collect()
+}
+
+fn decrypt_bits(ck: &ClientKey, bits: &[LweCiphertext]) -> u8 {
+    bits.iter()
+        .enumerate()
+        .map(|(i, b)| (ck.decrypt_bit(b) as u8) << i)
+        .sum()
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let params = TfheParams::set_i();
+    println!(
+        "TFHE {}: N = {}, n_lwe = {}, k = {}, lb = {} (paper Table IV)",
+        params.name, params.n, params.n_lwe, params.k, params.lb
+    );
+    println!("Polynomial multiplier: exact NTT over the prime nearest 2^32");
+
+    let ck = ClientKey::generate(TfheContext::new(params), &mut rng);
+    let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+
+    let (x, y) = (11u8, 6u8);
+    println!("\nComputing {x} + {y} on encrypted bits (ripple-carry adder)...");
+    let a = encrypt_nibble(&ck, x, &mut rng);
+    let b = encrypt_nibble(&ck, y, &mut rng);
+
+    let start = std::time::Instant::now();
+    let mut carry = ck.encrypt_bit(false, &mut rng);
+    let mut sum_bits = Vec::new();
+    let mut gates = 0usize;
+    for i in 0..4 {
+        // Full adder: s = a ^ b ^ cin; cout = (a&b) | ((a^b)&cin).
+        let ab = sk.xor(&a[i], &b[i]);
+        let s = sk.xor(&ab, &carry);
+        let c1 = sk.and(&a[i], &b[i]);
+        let c2 = sk.and(&ab, &carry);
+        carry = sk.or(&c1, &c2);
+        gates += 5;
+        sum_bits.push(s);
+    }
+    sum_bits.push(carry);
+    let elapsed = start.elapsed();
+
+    let result = decrypt_bits(&ck, &sum_bits);
+    println!("Encrypted result: {result} (expected {})", x + y);
+    assert_eq!(result, x + y);
+    println!(
+        "{gates} bootstrapped gates in {:.2?} ({:.1} ms/gate on this CPU; \
+         Trinity's modeled throughput is ~600k gates/s)",
+        elapsed,
+        elapsed.as_secs_f64() * 1e3 / gates as f64
+    );
+
+    // Bonus: an encrypted 2-bit comparator via MUX.
+    println!("\nEncrypted MUX: sel ? x : y for all sel values");
+    for sel in [false, true] {
+        let cs = ck.encrypt_bit(sel, &mut rng);
+        let out = sk.mux(&cs, &a[0], &b[0]);
+        let expect = if sel { x & 1 == 1 } else { y & 1 == 1 };
+        assert_eq!(ck.decrypt_bit(&out), expect);
+        println!("  sel={sel}: ok");
+    }
+}

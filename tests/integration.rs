@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: full pipelines spanning the
+//! functional layer (CKKS + TFHE + conversion) and consistency checks
+//! between the functional layer and the accelerator model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trinity::ckks::{
+    CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator,
+};
+use trinity::convert::{extract_lwes, extracted_key, RlwePacker};
+use trinity::math::Complex;
+use trinity::tfhe::{ClientKey, MulBackend, ServerKey, TfheContext, TfheParams};
+
+/// A deep CKKS pipeline: encode -> encrypt -> (mul, rotate, add) chain
+/// across several levels -> decrypt, checked against the plaintext
+/// computation.
+#[test]
+fn ckks_pipeline_multi_level() {
+    let mut rng = StdRng::seed_from_u64(201);
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let keys = KeyGenerator::new(ctx.clone()).key_set(&[1, 2], &mut rng);
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let eval = Evaluator::new(ctx.clone());
+    let dec = Decryptor::new(ctx.clone());
+
+    let l = ctx.params().max_level();
+    let x: Vec<f64> = (0..16).map(|i| 0.1 + (i as f64) * 0.05).collect();
+    let ct = encryptor.encrypt_sk(&enc.encode_real(&x, l), &keys.secret, &mut rng);
+
+    // y = (x * x) rotated by 1, plus x.
+    let sq = eval.rescale(&eval.mul(&ct, &ct, &keys.relin));
+    let g1 = trinity::math::galois::rotation_galois_element(1, ctx.n());
+    let rot = eval.rotate(&sq, 1, &keys.galois[&g1]);
+    let x_low = eval.mod_down_to(&ct, rot.level);
+    // Scales differ slightly (rescale by a non-power-of-two prime);
+    // re-encrypting at the rotated scale aligns them.
+    let x_aligned = encryptor.encrypt_sk(
+        &enc.encode_at_scale(
+            &x.iter().map(|&v| Complex::new(v, 0.0)).collect::<Vec<_>>(),
+            rot.level,
+            rot.scale,
+        ),
+        &keys.secret,
+        &mut rng,
+    );
+    let _ = x_low;
+    let out_ct = eval.add(&rot, &x_aligned);
+    let out = dec.decrypt(&out_ct, &keys.secret, &enc);
+
+    for i in 0..15 {
+        let expect = x[i + 1] * x[i + 1] + x[i];
+        assert!(
+            (out[i].re - expect).abs() < 2e-2,
+            "slot {i}: {} vs {expect}",
+            out[i].re
+        );
+    }
+}
+
+/// TFHE: a bootstrapped 2-bit multiplier circuit (AND + XOR network).
+#[test]
+fn tfhe_two_bit_multiplier() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+    let sk = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+
+    for a in 0u8..4 {
+        for b in 0u8..4 {
+            let a0 = ck.encrypt_bit(a & 1 == 1, &mut rng);
+            let a1 = ck.encrypt_bit(a & 2 == 2, &mut rng);
+            let b0 = ck.encrypt_bit(b & 1 == 1, &mut rng);
+            let b1 = ck.encrypt_bit(b & 2 == 2, &mut rng);
+            // p = a * b (2x2 -> 4 bits, schoolbook).
+            let p0 = sk.and(&a0, &b0);
+            let t1 = sk.and(&a1, &b0);
+            let t2 = sk.and(&a0, &b1);
+            let p1 = sk.xor(&t1, &t2);
+            let c1 = sk.and(&t1, &t2);
+            let t3 = sk.and(&a1, &b1);
+            let p2 = sk.xor(&t3, &c1);
+            let p3 = sk.and(&t3, &c1);
+            let got = (ck.decrypt_bit(&p0) as u8)
+                | ((ck.decrypt_bit(&p1) as u8) << 1)
+                | ((ck.decrypt_bit(&p2) as u8) << 2)
+                | ((ck.decrypt_bit(&p3) as u8) << 3);
+            assert_eq!(got, a * b, "{a} * {b}");
+        }
+    }
+}
+
+/// Full conversion round trip at the integration level: CKKS
+/// coefficients -> LWE extraction -> repack -> CKKS, with a homomorphic
+/// CKKS rescale applied to the repacked ciphertext.
+#[test]
+fn conversion_roundtrip_with_ckks_postprocessing() {
+    let mut rng = StdRng::seed_from_u64(203);
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let encryptor = Encryptor::new(ctx.clone());
+    let dec = Decryptor::new(ctx.clone());
+    let eval = Evaluator::new(ctx.clone());
+
+    let n = ctx.n();
+    let q0 = ctx.level_basis(0).modulus(0).value();
+    let delta = (q0 / (64 * n as u64)) as i64;
+    let nslot = 4usize;
+    let messages = [2i64, -1, 3, -4];
+    let mut coeffs = vec![0i64; n];
+    for (j, &m) in messages.iter().enumerate() {
+        coeffs[j] = m * delta;
+    }
+    let mut poly = trinity::math::RnsPoly::from_signed_coeffs(ctx.level_basis(0).clone(), &coeffs);
+    poly.to_eval();
+    let pt = trinity::ckks::Plaintext {
+        poly,
+        scale: delta as f64,
+        level: 0,
+    };
+    let ct = encryptor.encrypt_sk(&pt, &sk, &mut rng);
+
+    let lwes = extract_lwes(&ctx, &ct, nslot);
+    // Sanity: extracted LWEs decrypt correctly.
+    let lwe_key = extracted_key(&sk);
+    let q = ctx.level_basis(0).modulus(0);
+    for (j, lwe) in lwes.iter().enumerate() {
+        let got = (q.to_centered(lwe.phase(q, &lwe_key)) as f64 / delta as f64).round() as i64;
+        assert_eq!(got, messages[j]);
+    }
+
+    // Repack at level 2, then rescale down (a real CKKS op on converted
+    // data: divides the scale by q_2).
+    let packer = RlwePacker::new(ctx.clone(), &sk, 2, &mut rng);
+    let packed = packer.convert(&lwes, delta as f64);
+    assert_eq!(packed.level, 2);
+    let rescaled = eval.rescale(&packed);
+    assert_eq!(rescaled.level, 1);
+
+    let out = dec.decrypt_poly(&rescaled, &sk);
+    let vals = out.to_centered_f64();
+    let stride = n / nslot;
+    for (j, &m) in messages.iter().enumerate() {
+        let got = vals[j * stride] / rescaled.scale;
+        assert!(
+            (got - m as f64).abs() < 0.02,
+            "coeff {j}: {got} vs {m} after rescale"
+        );
+    }
+}
+
+/// The functional keyswitch and the workload model agree on kernel
+/// counts: the number of NTTs the DAG builder emits matches what the
+/// functional hybrid keyswitch actually performs.
+#[test]
+fn workload_model_matches_functional_keyswitch() {
+    // Functional side: tiny params, L = 3, dnum = 2 -> at level 3,
+    // beta = 2 digits, ext = 3 + 1 + 2 = 6 limbs.
+    let params = CkksParams::tiny_params();
+    let l = params.max_level();
+    let alpha = params.alpha();
+    let beta = params.beta_at_level(l);
+    let ext = l + 1 + alpha;
+
+    // Model side with the same shape.
+    let shape = trinity::workloads::CkksShape {
+        n: params.n,
+        levels: l,
+        dnum: params.dnum,
+        word_bytes: 4.5,
+    };
+    assert_eq!(shape.alpha(), alpha);
+    assert_eq!(shape.beta_at(l), beta);
+    assert_eq!(shape.ext_limbs(l), ext);
+
+    let mut g = trinity::accel::kernel::KernelGraph::new();
+    trinity::workloads::ckks_ops::keyswitch(
+        &mut g,
+        &shape,
+        l,
+        &[],
+        trinity::workloads::KeySwitchOpts::default(),
+    );
+    let fwd_ntts = g
+        .kernels()
+        .iter()
+        .filter(|k| matches!(k.kind, trinity::accel::kernel::KernelKind::Ntt { .. }))
+        .count();
+    let inv_ntts = g
+        .kernels()
+        .iter()
+        .filter(|k| matches!(k.kind, trinity::accel::kernel::KernelKind::Intt { .. }))
+        .count();
+    // The functional implementation NTTs beta x ext rows on ModUp, 2 x
+    // ext on the accumulators (inverse), and 2 x (l+1) on the ModDown
+    // outputs — the DAG must match exactly.
+    assert_eq!(fwd_ntts, beta * ext + 2 * (l + 1));
+    assert_eq!(inv_ntts, 2 * ext);
+}
+
+/// NTT-based and FFT-based TFHE agree on every gate (the paper's
+/// substitution is behaviour-preserving).
+#[test]
+fn ntt_and_fft_backends_agree() {
+    let mut rng = StdRng::seed_from_u64(204);
+    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+    let sk_ntt = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+    let sk_fft = ServerKey::generate(&ck, MulBackend::Fft, &mut rng);
+    for a in [false, true] {
+        for b in [false, true] {
+            let ca = ck.encrypt_bit(a, &mut rng);
+            let cb = ck.encrypt_bit(b, &mut rng);
+            assert_eq!(
+                ck.decrypt_bit(&sk_ntt.nand(&ca, &cb)),
+                ck.decrypt_bit(&sk_fft.nand(&ca, &cb)),
+                "NAND({a},{b})"
+            );
+        }
+    }
+}
