@@ -187,7 +187,9 @@ fn bench_ckks_bootstrap(c: &mut Criterion) {
     let eval = Evaluator::new(ctx.clone());
     let n = boot.params().sparse_slots;
     let slots = ctx.n() / 2;
-    let tiled: Vec<f64> = (0..slots).map(|j| (j % n) as f64 / n as f64 - 0.5).collect();
+    let tiled: Vec<f64> = (0..slots)
+        .map(|j| (j % n) as f64 / n as f64 - 0.5)
+        .collect();
     let ct = encryptor.encrypt_sk(&enc.encode_real(&tiled, 0), &keys.secret, &mut rng);
     let mut group = c.benchmark_group("ckks_bootstrap_n2048");
     group.sample_size(10);

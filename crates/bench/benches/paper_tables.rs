@@ -11,8 +11,14 @@ fn main() {
     println!("Trinity (MICRO 2024) — reproduction of all evaluation tables and figures");
     println!("========================================================================");
 
-    let n_cols = ["2^8", "2^9", "2^10", "2^11", "2^12", "2^13", "2^14", "2^15", "2^16"];
-    print_table("Fig. 1 — NTT engine utilization vs polynomial length", &n_cols, &fig1());
+    let n_cols = [
+        "2^8", "2^9", "2^10", "2^11", "2^12", "2^13", "2^14", "2^15", "2^16",
+    ];
+    print_table(
+        "Fig. 1 — NTT engine utilization vs polynomial length",
+        &n_cols,
+        &fig1(),
+    );
     print_table(
         "Fig. 2 — NTT share of compute [modeled %, paper %]",
         &["modeled", "paper"],

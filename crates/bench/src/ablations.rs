@@ -14,10 +14,10 @@ use trinity_core::arch::ComponentKind;
 use trinity_core::mapping::{build_machine, MappingPolicy};
 use trinity_core::memory::WorkingSet;
 use trinity_core::sched::simulate;
+use trinity_workloads::apps;
 use trinity_workloads::ckks_ops::{CkksShape, KeySwitchOpts};
 use trinity_workloads::reference::Source;
 use trinity_workloads::tfhe_ops::TfheShape;
-use trinity_workloads::apps;
 
 use crate::{pbs_throughput, Row};
 
@@ -97,7 +97,11 @@ pub fn ablation_cu_pool() -> Vec<Row> {
             cfg.name = format!("Trinity-{cu2}xCU2");
             let machine = build_machine(&cfg, MappingPolicy::CkksAdaptive);
             let ms = simulate(&machine, &boot_graph).time_ms;
-            Row::new(&format!("{cu2} x CU-2 per cluster"), Source::Modeled, vec![ms])
+            Row::new(
+                &format!("{cu2} x CU-2 per cluster"),
+                Source::Modeled,
+                vec![ms],
+            )
         })
         .collect()
 }
@@ -130,8 +134,7 @@ pub fn ablation_bootstrap_insertion() -> Vec<Row> {
                 cur = p.rescale(m);
             }
             let compiled = compile(p, &config);
-            let machine =
-                build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+            let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
             let ms = compiled.simulate(&machine).time_ms;
             Row::new(
                 &format!("L = {levels}"),
@@ -267,7 +270,10 @@ mod tests {
     fn scratchpad_capacity_reduces_key_traffic() {
         let rows = ablation_scratchpad_capacity();
         for w in rows.windows(2) {
-            assert!(w[1].values[0] <= w[0].values[0] + 1e-12, "fraction monotone");
+            assert!(
+                w[1].values[0] <= w[0].values[0] + 1e-12,
+                "fraction monotone"
+            );
             assert!(w[1].values[1] <= w[0].values[1] * 1.001, "latency monotone");
         }
         // Tiny scratchpad streams cold; big one reaches the reuse floor.

@@ -89,7 +89,10 @@ impl Machines {
         Self {
             trinity_ckks: build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive),
             trinity_tfhe: build_machine(&AcceleratorConfig::trinity(), MappingPolicy::TfheAdaptive),
-            trinity_ip_ewe: build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksIpUseEwe),
+            trinity_ip_ewe: build_machine(
+                &AcceleratorConfig::trinity(),
+                MappingPolicy::CkksIpUseEwe,
+            ),
             trinity_no_cu: build_machine(
                 &AcceleratorConfig::trinity_tfhe_without_cu(),
                 MappingPolicy::TfheFixed,
@@ -217,11 +220,7 @@ pub fn table6(apps: &CkksAppResults) -> Vec<Row> {
     rows.push(Row::new(
         "ARK",
         Source::Modeled,
-        vec![
-            apps.ark.0.time_ms,
-            apps.ark.1.time_ms,
-            apps.ark.2.time_ms,
-        ],
+        vec![apps.ark.0.time_ms, apps.ark.1.time_ms, apps.ark.2.time_ms],
     ));
     rows.push(Row::new(
         "SHARP (paper)",
@@ -280,7 +279,11 @@ pub fn table7(machines: &Machines, batch: usize) -> Vec<Row> {
         Source::Paper,
         vec![147_615.0, 78_692.0, 41_850.0],
     ));
-    rows.push(Row::new("Morphling", Source::Modeled, sweep(&machines.morphling)));
+    rows.push(Row::new(
+        "Morphling",
+        Source::Modeled,
+        sweep(&machines.morphling),
+    ));
     rows.push(Row::new(
         "Morphling-1GHz",
         Source::Modeled,
@@ -296,7 +299,11 @@ pub fn table7(machines: &Machines, batch: usize) -> Vec<Row> {
         Source::Paper,
         vec![600_060.0, 340_136.0, 180_987.0],
     ));
-    rows.push(Row::new("Trinity", Source::Modeled, sweep(&machines.trinity_tfhe)));
+    rows.push(Row::new(
+        "Trinity",
+        Source::Modeled,
+        sweep(&machines.trinity_tfhe),
+    ));
     rows
 }
 
@@ -378,8 +385,18 @@ pub fn table10(machines: &Machines) -> Vec<Row> {
         .collect();
     let shape = CkksShape::conversion_benchmark();
     for (label, pbs_machine, conv_machine, two_chip) in [
-        ("SHARP+Morphling", &machines.morphling, &machines.sharp, true),
-        ("Trinity", &machines.trinity_tfhe, &machines.trinity_ckks, false),
+        (
+            "SHARP+Morphling",
+            &machines.morphling,
+            &machines.sharp,
+            true,
+        ),
+        (
+            "Trinity",
+            &machines.trinity_tfhe,
+            &machines.trinity_ckks,
+            false,
+        ),
     ] {
         let vals: Vec<f64> = [4096usize, 16384]
             .iter()
@@ -422,7 +439,10 @@ pub fn table11() -> Vec<Row> {
     rows.push(Row::new(
         "4x cluster",
         Source::Modeled,
-        vec![budget.clusters_total.area_mm2, budget.clusters_total.power_w],
+        vec![
+            budget.clusters_total.area_mm2,
+            budget.clusters_total.power_w,
+        ],
     ));
     rows.push(Row::new(
         "inter-cluster NoC",
@@ -587,7 +607,10 @@ pub fn fig14(machines: &Machines, batch: usize) -> Vec<Row> {
             Row::new(
                 c,
                 Source::Modeled,
-                results.iter().map(|r| r.mean_utilization(c) * 100.0).collect(),
+                results
+                    .iter()
+                    .map(|r| r.mean_utilization(c) * 100.0)
+                    .collect(),
             )
         })
         .collect()
@@ -691,7 +714,12 @@ mod tests {
         let machines = Machines::build();
         let apps = ckks_apps(&machines);
         for (name, trinity, sharp, ark) in [
-            ("bootstrap", &apps.bootstrap.0, &apps.bootstrap.1, &apps.ark.0),
+            (
+                "bootstrap",
+                &apps.bootstrap.0,
+                &apps.bootstrap.1,
+                &apps.ark.0,
+            ),
             ("helr", &apps.helr.0, &apps.helr.1, &apps.ark.1),
             ("resnet", &apps.resnet.0, &apps.resnet.1, &apps.ark.2),
         ] {
@@ -774,7 +802,10 @@ mod tests {
             .unwrap();
         for (a, b) in sm.values.iter().zip(&t.values) {
             let ratio = a / b;
-            assert!(ratio > 3.0, "two-chip penalty only {ratio:.1}x (paper 13.4x)");
+            assert!(
+                ratio > 3.0,
+                "two-chip penalty only {ratio:.1}x (paper 13.4x)"
+            );
         }
     }
 

@@ -430,11 +430,7 @@ impl Bootstrapper {
         enc: &Encoder,
         keys: &KeySet,
     ) -> Ciphertext {
-        let q_last = self
-            .ctx
-            .level_basis(ct.level)
-            .modulus(ct.level)
-            .value() as f64;
+        let q_last = self.ctx.level_basis(ct.level).modulus(ct.level).value() as f64;
         let pt_scale = out_scale * q_last / ct.scale;
         let slots = self.ctx.n() / 2;
         let mut acc: Option<Ciphertext> = None;
@@ -471,11 +467,7 @@ impl Bootstrapper {
         enc: &Encoder,
         keys: &KeySet,
     ) -> Ciphertext {
-        let q_last = self
-            .ctx
-            .level_basis(ct.level)
-            .modulus(ct.level)
-            .value() as f64;
+        let q_last = self.ctx.level_basis(ct.level).modulus(ct.level).value() as f64;
         let pt_scale = out_scale * q_last / ct.scale;
         let slots = self.ctx.n() / 2;
         let mut acc: Option<Ciphertext> = None;

@@ -408,7 +408,9 @@ mod tests {
     #[test]
     fn divide_identity_holds() {
         // p(u) == q(u) * T_k(u) + r(u) numerically.
-        let coeffs: Vec<f64> = (0..24).map(|i| ((i * 7 + 3) % 11) as f64 / 11.0 - 0.4).collect();
+        let coeffs: Vec<f64> = (0..24)
+            .map(|i| ((i * 7 + 3) % 11) as f64 / 11.0 - 0.4)
+            .collect();
         let k = split_point(coeffs.len() - 1);
         assert_eq!(k, 16);
         let (q, r) = cheb_divide(&coeffs, k);

@@ -73,8 +73,7 @@ impl CkksContext {
             let beta = params.beta_at_level(l);
             let mut digits = Vec::with_capacity(beta);
             for j in 0..beta {
-                let digit_limbs: Vec<usize> =
-                    params.digit_limbs(j).filter(|&i| i <= l).collect();
+                let digit_limbs: Vec<usize> = params.digit_limbs(j).filter(|&i| i <= l).collect();
                 let other_limbs: Vec<usize> =
                     (0..=l).filter(|i| !digit_limbs.contains(i)).collect();
                 let digit_basis = level_bases[l].select(&digit_limbs);

@@ -98,11 +98,7 @@ impl Encoder {
             .collect();
         let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
         poly.to_eval();
-        Plaintext {
-            poly,
-            scale,
-            level,
-        }
+        Plaintext { poly, scale, level }
     }
 
     /// Encodes a vector of reals (imaginary parts zero).
@@ -260,7 +256,10 @@ mod tests {
         let vals: Vec<f64> = (0..8).map(|i| (i + 1) as f64 / 8.0).collect();
         let pt = enc.encode_real(&vals, 1);
         let mut poly = pt.poly.clone();
-        poly.automorphism(fhe_math::galois::rotation_galois_element(1, ctx.n()), ctx.galois());
+        poly.automorphism(
+            fhe_math::galois::rotation_galois_element(1, ctx.n()),
+            ctx.galois(),
+        );
         let rotated = Plaintext {
             poly,
             scale: pt.scale,

@@ -78,10 +78,8 @@ impl Encryptor {
             .map(|m| sampler::uniform_residues(rng, m, n))
             .collect();
         let c1 = RnsPoly::from_rows(basis.clone(), c1_rows, Representation::Eval);
-        let mut e = RnsPoly::from_signed_coeffs(
-            basis,
-            &sampler::gaussian(rng, n, self.ctx.params().sigma),
-        );
+        let mut e =
+            RnsPoly::from_signed_coeffs(basis, &sampler::gaussian(rng, n, self.ctx.params().sigma));
         e.to_eval();
         let s = sk.poly_at_level(&self.ctx, l);
         let mut c0 = c1.clone();
@@ -122,7 +120,12 @@ impl Decryptor {
     }
 
     /// Decrypts and decodes to complex slots.
-    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey, encoder: &Encoder) -> Vec<fhe_math::Complex> {
+    pub fn decrypt(
+        &self,
+        ct: &Ciphertext,
+        sk: &SecretKey,
+        encoder: &Encoder,
+    ) -> Vec<fhe_math::Complex> {
         let poly = self.decrypt_poly(ct, sk);
         encoder.decode_poly(&poly, ct.scale)
     }
@@ -174,7 +177,9 @@ mod tests {
     #[test]
     fn pk_encrypt_decrypt_roundtrip() {
         let (ctx, enc, encryptor, decryptor, keys, mut rng) = setup();
-        let vals: Vec<f64> = (0..enc.slots()).map(|i| ((i * 7 % 13) as f64) / 13.0).collect();
+        let vals: Vec<f64> = (0..enc.slots())
+            .map(|i| ((i * 7 % 13) as f64) / 13.0)
+            .collect();
         let pt = enc.encode_real(&vals, ctx.params().max_level());
         let ct = encryptor.encrypt_pk(&pt, &keys.public, &mut rng);
         let back = decryptor.decrypt(&ct, &keys.secret, &enc);

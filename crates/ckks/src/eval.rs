@@ -99,7 +99,11 @@ impl Evaluator {
     }
 
     fn assert_compatible(&self, a: &Ciphertext, b: &Ciphertext) {
-        assert_eq!(a.level, b.level, "level mismatch: {} vs {}", a.level, b.level);
+        assert_eq!(
+            a.level, b.level,
+            "level mismatch: {} vs {}",
+            a.level, b.level
+        );
         let rel = (a.scale - b.scale).abs() / a.scale;
         assert!(
             rel < SCALE_TOLERANCE,
@@ -267,7 +271,9 @@ impl Evaluator {
         let out_rows: Vec<Vec<u64>> = (0..level)
             .map(|i| {
                 let qi = basis.modulus(i);
-                let inv = qi.inv(qi.reduce(last_mod.value())).expect("distinct primes");
+                let inv = qi
+                    .inv(qi.reduce(last_mod.value()))
+                    .expect("distinct primes");
                 rows[i]
                     .iter()
                     .zip(last_row)
@@ -422,7 +428,12 @@ mod tests {
         let sum = f.eval.add(&ct_x, &ct_y);
         let back = f.decryptor.decrypt(&sum, &f.keys.secret, &f.enc);
         for i in 0..4 {
-            assert!(close(back[i].re, x[i] + y[i], 1e-3), "{} vs {}", back[i].re, x[i] + y[i]);
+            assert!(
+                close(back[i].re, x[i] + y[i], 1e-3),
+                "{} vs {}",
+                back[i].re,
+                x[i] + y[i]
+            );
         }
     }
 
@@ -591,9 +602,11 @@ mod tests {
         let ct1 = f
             .encryptor
             .encrypt_sk(&f.enc.encode_real(&[0.1], l), &f.keys.secret, &mut f.rng);
-        let ct2 = f
-            .encryptor
-            .encrypt_sk(&f.enc.encode_real(&[0.1], l - 1), &f.keys.secret, &mut f.rng);
+        let ct2 = f.encryptor.encrypt_sk(
+            &f.enc.encode_real(&[0.1], l - 1),
+            &f.keys.secret,
+            &mut f.rng,
+        );
         let _ = f.eval.add(&ct1, &ct2);
     }
 }

@@ -112,10 +112,8 @@ impl SwitchingKey {
                 .collect();
             let a = RnsPoly::from_rows(full.clone(), a_rows, Representation::Eval);
             // e_j small.
-            let mut e = RnsPoly::from_signed_coeffs(
-                full.clone(),
-                &sampler::gaussian(rng, n, params.sigma),
-            );
+            let mut e =
+                RnsPoly::from_signed_coeffs(full.clone(), &sampler::gaussian(rng, n, params.sigma));
             e.to_eval();
             // Gadget residues: P mod q_i on digit-j q-limbs, else 0.
             let digit: Vec<usize> = params.digit_limbs(j).collect();
@@ -204,10 +202,8 @@ impl KeyGenerator {
             .map(|m| sampler::uniform_residues(rng, m, n))
             .collect();
         let a = RnsPoly::from_rows(basis.clone(), a_rows, Representation::Eval);
-        let mut e = RnsPoly::from_signed_coeffs(
-            basis,
-            &sampler::gaussian(rng, n, self.ctx.params().sigma),
-        );
+        let mut e =
+            RnsPoly::from_signed_coeffs(basis, &sampler::gaussian(rng, n, self.ctx.params().sigma));
         e.to_eval();
         let s = sk.poly_at_level(&self.ctx, l);
         let mut b = a.clone();
@@ -227,12 +223,7 @@ impl KeyGenerator {
     }
 
     /// Galois key for automorphism `X -> X^g`: switches `sigma_g(s) -> s`.
-    pub fn galois_key<R: Rng + ?Sized>(
-        &self,
-        sk: &SecretKey,
-        g: u64,
-        rng: &mut R,
-    ) -> SwitchingKey {
+    pub fn galois_key<R: Rng + ?Sized>(&self, sk: &SecretKey, g: u64, rng: &mut R) -> SwitchingKey {
         let l = self.ctx.params().max_level();
         let s = sk.poly_extended(&self.ctx, l);
         let mut s_g = s.clone();

@@ -165,7 +165,10 @@ mod tests {
                 max_err < 2f64.powi(20),
                 "keyswitch noise too large at level {level}: {max_err}"
             );
-            assert!(max_err > 0.0, "suspiciously exact keyswitch at level {level}");
+            assert!(
+                max_err > 0.0,
+                "suspiciously exact keyswitch at level {level}"
+            );
         }
     }
 
@@ -216,10 +219,7 @@ mod tests {
         let kg = KeyGenerator::new(ctx.clone());
         let sk = kg.secret_key(&mut rng);
         let rlk = kg.relin_key(&sk, &mut rng);
-        let d = RnsPoly::zero(
-            ctx.level_basis(1).clone(),
-            Representation::Eval,
-        );
+        let d = RnsPoly::zero(ctx.level_basis(1).clone(), Representation::Eval);
         let _ = key_switch(&ctx, &d, &rlk, 2);
     }
 

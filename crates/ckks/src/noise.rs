@@ -91,9 +91,7 @@ impl NoiseModel {
         Self {
             n: p.n,
             sigma: p.sigma,
-            hamming_weight: p
-                .secret_hamming_weight
-                .unwrap_or(2 * p.n / 3),
+            hamming_weight: p.secret_hamming_weight.unwrap_or(2 * p.n / 3),
             scale_bits: p.scale_bits,
         }
     }

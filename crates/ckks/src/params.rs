@@ -61,7 +61,9 @@ impl CkksParams {
         dnum: usize,
     ) -> Result<Self, InvalidParamsError> {
         if !n.is_power_of_two() || n < 8 {
-            return Err(InvalidParamsError(format!("n={n} must be a power of two >= 8")));
+            return Err(InvalidParamsError(format!(
+                "n={n} must be a power of two >= 8"
+            )));
         }
         if dnum == 0 || dnum > levels + 1 {
             return Err(InvalidParamsError(format!(

@@ -82,10 +82,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn eval_poly_plain(coeffs: &[f64], x: f64) -> f64 {
-        coeffs
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * x + c)
+        coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
     }
 
     #[test]

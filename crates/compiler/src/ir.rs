@@ -93,9 +93,7 @@ impl FheOpKind {
             | FheOpKind::Rescale
             | FheOpKind::CkksBootstrap
             | FheOpKind::CkksToTfhe { .. } => Some(Scheme::Ckks),
-            FheOpKind::Pbs | FheOpKind::Gate | FheOpKind::TfheToCkks { .. } => {
-                Some(Scheme::Tfhe)
-            }
+            FheOpKind::Pbs | FheOpKind::Gate | FheOpKind::TfheToCkks { .. } => Some(Scheme::Tfhe),
         }
     }
 }
@@ -158,10 +156,7 @@ impl FheProgram {
     pub fn push(&mut self, kind: FheOpKind, inputs: &[ValueId]) -> ValueId {
         if let Some(want) = kind.input_scheme() {
             for &v in inputs {
-                assert!(
-                    v < self.schemes.len(),
-                    "input value {v} does not exist"
-                );
+                assert!(v < self.schemes.len(), "input value {v} does not exist");
                 assert_eq!(
                     self.schemes[v], want,
                     "op {kind:?} expects {want:?} inputs, value {v} is {:?}",
@@ -315,10 +310,9 @@ impl FheProgram {
                 .min();
             let out_level = match op.kind {
                 FheOpKind::CkksInput { level } => Some(level),
-                FheOpKind::HAdd
-                | FheOpKind::HMult
-                | FheOpKind::PMult
-                | FheOpKind::HRotate => Some(min_in.expect("ckks op has ckks input")),
+                FheOpKind::HAdd | FheOpKind::HMult | FheOpKind::PMult | FheOpKind::HRotate => {
+                    Some(min_in.expect("ckks op has ckks input"))
+                }
                 FheOpKind::Rescale => {
                     let l = min_in.expect("rescale input has a level");
                     if l <= min_level {

@@ -98,8 +98,7 @@ pub fn compile(mut program: FheProgram, config: &CompilerConfig) -> CompiledProg
                 // Fresh inputs arrive over HBM.
                 let bytes = match op.kind {
                     FheOpKind::CkksInput { level } => {
-                        (2 * (level + 1) * config.ckks.n) as u64
-                            * config.ckks.word_bytes as u64
+                        (2 * (level + 1) * config.ckks.n) as u64 * config.ckks.word_bytes as u64
                     }
                     _ => (config.tfhe.n_lwe as u64 + 1) * config.tfhe.word_bytes as u64,
                 };
@@ -139,9 +138,7 @@ pub fn compile(mut program: FheProgram, config: &CompilerConfig) -> CompiledProg
             FheOpKind::CkksToTfhe { nslot } => {
                 // Algorithm 3: nslot SampleExtracts off the RLWE.
                 (0..nslot)
-                    .map(|_| {
-                        graph.add(KernelKind::SampleExtract { n: config.ckks.n }, &deps)
-                    })
+                    .map(|_| graph.add(KernelKind::SampleExtract { n: config.ckks.n }, &deps))
                     .collect()
             }
             FheOpKind::TfheToCkks { nslot } => {

@@ -235,10 +235,8 @@ impl RlwePacker {
             "pad the LWE batch to a power of two"
         );
         let nslot = lwes.len();
-        let embedded: Vec<Ciphertext> = lwes
-            .iter()
-            .map(|lwe| self.ring_embed(lwe, scale))
-            .collect();
+        let embedded: Vec<Ciphertext> =
+            lwes.iter().map(|lwe| self.ring_embed(lwe, scale)).collect();
         let packed = self.pack_embedded(embedded);
         self.field_trace(&packed, nslot)
     }
@@ -308,7 +306,9 @@ mod tests {
             // Headroom: messages |m| <= 4 gain a factor N in the trace,
             // so encode at q0 / (64 * N).
             let delta = q0 / (64 * f.ctx.n() as u64);
-            let msgs: Vec<i64> = (0..nslot).map(|j| (j as i64) - (nslot as i64 / 2)).collect();
+            let msgs: Vec<i64> = (0..nslot)
+                .map(|j| (j as i64) - (nslot as i64 / 2))
+                .collect();
             let lwes: Vec<LweCiphertext> = msgs
                 .iter()
                 .map(|&m| encrypt_lwe(&mut f, m, delta))

@@ -119,15 +119,42 @@ impl AcceleratorConfig {
             name: format!("Trinity-{clusters}c"),
             clusters,
             components: vec![
-                ComponentSpec { kind: ComponentKind::Nttu, count: 2 },
-                ComponentSpec { kind: ComponentKind::Tp, count: 2 },
-                ComponentSpec { kind: ComponentKind::Cu { cols: 1 }, count: 1 },
-                ComponentSpec { kind: ComponentKind::Cu { cols: 2 }, count: 4 },
-                ComponentSpec { kind: ComponentKind::Cu { cols: 3 }, count: 1 },
-                ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
-                ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
-                ComponentSpec { kind: ComponentKind::Rotator, count: 1 },
-                ComponentSpec { kind: ComponentKind::Vpu, count: 1 },
+                ComponentSpec {
+                    kind: ComponentKind::Nttu,
+                    count: 2,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Tp,
+                    count: 2,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Cu { cols: 1 },
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Cu { cols: 2 },
+                    count: 4,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Cu { cols: 3 },
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::AutoU,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Ewe,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Rotator,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Vpu,
+                    count: 1,
+                },
             ],
             freq_ghz: 1.0,
             // 2 x HBM2 stacks, 1 TB/s total (§IV-A).
@@ -148,11 +175,26 @@ impl AcceleratorConfig {
             name: "SHARP".into(),
             clusters: 4,
             components: vec![
-                ComponentSpec { kind: ComponentKind::Nttu, count: 1 },
-                ComponentSpec { kind: ComponentKind::Tp, count: 1 },
-                ComponentSpec { kind: ComponentKind::BConvU { lanes: 2048 }, count: 1 },
-                ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
-                ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
+                ComponentSpec {
+                    kind: ComponentKind::Nttu,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Tp,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::BConvU { lanes: 2048 },
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::AutoU,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Ewe,
+                    count: 1,
+                },
             ],
             freq_ghz: 1.0,
             hbm_gbps: 1000.0,
@@ -189,10 +231,22 @@ impl AcceleratorConfig {
             clusters: 1,
             components: vec![
                 // 8 forward FFT + 16 inverse FFT pipelines, 16 elem/cycle.
-                ComponentSpec { kind: ComponentKind::Fftu { lanes: 16 }, count: 24 },
-                ComponentSpec { kind: ComponentKind::VectorMac { lanes: 64 }, count: 64 },
-                ComponentSpec { kind: ComponentKind::Rotator, count: 8 },
-                ComponentSpec { kind: ComponentKind::Vpu, count: 8 },
+                ComponentSpec {
+                    kind: ComponentKind::Fftu { lanes: 16 },
+                    count: 24,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::VectorMac { lanes: 64 },
+                    count: 64,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Rotator,
+                    count: 8,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Vpu,
+                    count: 8,
+                },
             ],
             freq_ghz,
             hbm_gbps: 310.0,
@@ -215,11 +269,26 @@ impl AcceleratorConfig {
             name: "ARK".into(),
             clusters: 4,
             components: vec![
-                ComponentSpec { kind: ComponentKind::Nttu, count: 1 },
-                ComponentSpec { kind: ComponentKind::Tp, count: 1 },
-                ComponentSpec { kind: ComponentKind::BConvU { lanes: 512 }, count: 1 },
-                ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
-                ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
+                ComponentSpec {
+                    kind: ComponentKind::Nttu,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Tp,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::BConvU { lanes: 512 },
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::AutoU,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Ewe,
+                    count: 1,
+                },
             ],
             freq_ghz: 1.0,
             hbm_gbps: 1000.0,
@@ -238,10 +307,22 @@ impl AcceleratorConfig {
             name: "Strix".into(),
             clusters: 8,
             components: vec![
-                ComponentSpec { kind: ComponentKind::Fftu { lanes: 8 }, count: 2 },
-                ComponentSpec { kind: ComponentKind::VectorMac { lanes: 64 }, count: 2 },
-                ComponentSpec { kind: ComponentKind::Rotator, count: 1 },
-                ComponentSpec { kind: ComponentKind::Vpu, count: 1 },
+                ComponentSpec {
+                    kind: ComponentKind::Fftu { lanes: 8 },
+                    count: 2,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::VectorMac { lanes: 64 },
+                    count: 2,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Rotator,
+                    count: 1,
+                },
+                ComponentSpec {
+                    kind: ComponentKind::Vpu,
+                    count: 1,
+                },
             ],
             freq_ghz: 1.0,
             hbm_gbps: 512.0,
@@ -258,13 +339,34 @@ impl AcceleratorConfig {
         let mut cfg = Self::trinity();
         cfg.name = "Trinity-TFHE-w/o-CU".into();
         cfg.components = vec![
-            ComponentSpec { kind: ComponentKind::Nttu, count: 2 },
-            ComponentSpec { kind: ComponentKind::Tp, count: 2 },
-            ComponentSpec { kind: ComponentKind::SystolicArray { depth: 12 }, count: 1 },
-            ComponentSpec { kind: ComponentKind::AutoU, count: 1 },
-            ComponentSpec { kind: ComponentKind::Ewe, count: 1 },
-            ComponentSpec { kind: ComponentKind::Rotator, count: 1 },
-            ComponentSpec { kind: ComponentKind::Vpu, count: 1 },
+            ComponentSpec {
+                kind: ComponentKind::Nttu,
+                count: 2,
+            },
+            ComponentSpec {
+                kind: ComponentKind::Tp,
+                count: 2,
+            },
+            ComponentSpec {
+                kind: ComponentKind::SystolicArray { depth: 12 },
+                count: 1,
+            },
+            ComponentSpec {
+                kind: ComponentKind::AutoU,
+                count: 1,
+            },
+            ComponentSpec {
+                kind: ComponentKind::Ewe,
+                count: 1,
+            },
+            ComponentSpec {
+                kind: ComponentKind::Rotator,
+                count: 1,
+            },
+            ComponentSpec {
+                kind: ComponentKind::Vpu,
+                count: 1,
+            },
         ];
         cfg
     }
@@ -305,10 +407,7 @@ mod tests {
         let t = AcceleratorConfig::trinity();
         assert_eq!(t.clusters, 4);
         assert_eq!(t.total_count(|k| matches!(k, ComponentKind::Nttu)), 8);
-        assert_eq!(
-            t.total_count(|k| matches!(k, ComponentKind::Cu { .. })),
-            24
-        );
+        assert_eq!(t.total_count(|k| matches!(k, ComponentKind::Cu { .. })), 24);
         assert_eq!(t.total_count(|k| matches!(k, ComponentKind::Ewe)), 4);
         assert!((t.hbm_bytes_per_cycle() - 1000.0).abs() < 1e-9);
     }

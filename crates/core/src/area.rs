@@ -44,15 +44,38 @@ impl AreaPower {
 /// components) are derived from the CU per-column cost (0.18 mm² /
 /// 0.31 W per 128-PE column) and the FFT literature, and marked below.
 pub fn component_cost(kind: &ComponentKind) -> AreaPower {
-    let per_column = AreaPower { area_mm2: 0.18, power_w: 0.31 };
+    let per_column = AreaPower {
+        area_mm2: 0.18,
+        power_w: 0.31,
+    };
     match kind {
-        ComponentKind::Nttu => AreaPower { area_mm2: 1.60, power_w: 2.12 },
-        ComponentKind::Tp => AreaPower { area_mm2: 0.0, power_w: 0.0 }, // folded into NTTU
-        ComponentKind::Cu { cols } => per_column.times(*cols as f64 * if *cols == 3 { 0.55 / 0.54 } else { 1.0 }),
-        ComponentKind::AutoU => AreaPower { area_mm2: 0.04, power_w: 0.22 },
-        ComponentKind::Ewe => AreaPower { area_mm2: 1.87, power_w: 4.47 },
-        ComponentKind::Rotator => AreaPower { area_mm2: 2.40, power_w: 8.57 },
-        ComponentKind::Vpu => AreaPower { area_mm2: 0.05, power_w: 0.07 },
+        ComponentKind::Nttu => AreaPower {
+            area_mm2: 1.60,
+            power_w: 2.12,
+        },
+        ComponentKind::Tp => AreaPower {
+            area_mm2: 0.0,
+            power_w: 0.0,
+        }, // folded into NTTU
+        ComponentKind::Cu { cols } => {
+            per_column.times(*cols as f64 * if *cols == 3 { 0.55 / 0.54 } else { 1.0 })
+        }
+        ComponentKind::AutoU => AreaPower {
+            area_mm2: 0.04,
+            power_w: 0.22,
+        },
+        ComponentKind::Ewe => AreaPower {
+            area_mm2: 1.87,
+            power_w: 4.47,
+        },
+        ComponentKind::Rotator => AreaPower {
+            area_mm2: 2.40,
+            power_w: 8.57,
+        },
+        ComponentKind::Vpu => AreaPower {
+            area_mm2: 0.05,
+            power_w: 0.07,
+        },
         // Derived: one 128-lane MAC column per 128 lanes.
         ComponentKind::BConvU { lanes } => per_column.times(*lanes as f64 / 128.0),
         ComponentKind::VectorMac { lanes } => per_column.times(*lanes as f64 / 128.0),
@@ -84,15 +107,33 @@ pub struct ChipBudget {
 }
 
 /// Fixed chip-level constants calibrated to Table XI (4-cluster chip).
-const LOCAL_BUFFER: AreaPower = AreaPower { area_mm2: 6.45, power_w: 1.41 };
-const INTRA_NOC: AreaPower = AreaPower { area_mm2: 0.10, power_w: 13.24 };
-const INTER_NOC_4C: AreaPower = AreaPower { area_mm2: 20.60, power_w: 27.00 };
-const SCRATCHPAD: AreaPower = AreaPower { area_mm2: 41.94, power_w: 26.80 };
-const HBM_PHY: AreaPower = AreaPower { area_mm2: 29.60, power_w: 31.80 };
+const LOCAL_BUFFER: AreaPower = AreaPower {
+    area_mm2: 6.45,
+    power_w: 1.41,
+};
+const INTRA_NOC: AreaPower = AreaPower {
+    area_mm2: 0.10,
+    power_w: 13.24,
+};
+const INTER_NOC_4C: AreaPower = AreaPower {
+    area_mm2: 20.60,
+    power_w: 27.00,
+};
+const SCRATCHPAD: AreaPower = AreaPower {
+    area_mm2: 41.94,
+    power_w: 26.80,
+};
+const HBM_PHY: AreaPower = AreaPower {
+    area_mm2: 29.60,
+    power_w: 31.80,
+};
 
 /// Computes the chip budget for a configuration.
 pub fn chip_budget(cfg: &AcceleratorConfig) -> ChipBudget {
-    let mut cluster = AreaPower { area_mm2: 0.0, power_w: 0.0 };
+    let mut cluster = AreaPower {
+        area_mm2: 0.0,
+        power_w: 0.0,
+    };
     let mut rows = Vec::new();
     for spec in &cfg.components {
         let unit = component_cost(&spec.kind);
@@ -194,7 +235,9 @@ mod tests {
     fn component_rows_cover_all_kinds() {
         let b = chip_budget(&AcceleratorConfig::trinity());
         let labels: Vec<&str> = b.rows.iter().map(|(l, _, _)| l.as_str()).collect();
-        for want in ["NTTU", "CU-1", "CU-2", "CU-3", "AutoU", "EWE", "Rotator", "VPU"] {
+        for want in [
+            "NTTU", "CU-1", "CU-2", "CU-3", "AutoU", "EWE", "Rotator", "VPU",
+        ] {
             assert!(labels.contains(&want), "missing {want}");
         }
     }

@@ -158,9 +158,7 @@ impl KernelKind {
             KernelKind::ModMul { .. } | KernelKind::ModAdd { .. } => KernelClass::Ewe,
             KernelKind::Automorphism { .. } => KernelClass::Auto,
             KernelKind::Transpose { .. } => KernelClass::Transpose,
-            KernelKind::RotateVec { .. } | KernelKind::SampleExtract { .. } => {
-                KernelClass::Rotator
-            }
+            KernelKind::RotateVec { .. } | KernelKind::SampleExtract { .. } => KernelClass::Rotator,
             // Gadget decomposition is element-wise shift/round logic and
             // runs on the element-wise engine in Trinity.
             KernelKind::Decompose { .. } => KernelClass::Ewe,
@@ -179,9 +177,11 @@ impl KernelKind {
                 // modular multiplication plus add/sub.
                 (n as u64 / 2) * (n.trailing_zeros() as u64)
             }
-            KernelKind::BConv { rows_in, rows_out, n } => {
-                (rows_in * rows_out * n) as u64
-            }
+            KernelKind::BConv {
+                rows_in,
+                rows_out,
+                n,
+            } => (rows_in * rows_out * n) as u64,
             KernelKind::InnerProduct {
                 digits,
                 limbs,
@@ -189,9 +189,7 @@ impl KernelKind {
                 n,
             } => (digits * limbs * outputs * n) as u64,
             KernelKind::ExtProductMac { rows, outputs, n } => (rows * outputs * n) as u64,
-            KernelKind::ModMul { limbs, n } | KernelKind::ModAdd { limbs, n } => {
-                (limbs * n) as u64
-            }
+            KernelKind::ModMul { limbs, n } | KernelKind::ModAdd { limbs, n } => (limbs * n) as u64,
             KernelKind::Automorphism { limbs, n } => (limbs * n) as u64,
             KernelKind::Transpose { n } => n as u64,
             KernelKind::RotateVec { n } | KernelKind::SampleExtract { n } => n as u64,
@@ -376,7 +374,10 @@ mod tests {
             .class(),
             KernelClass::Mac
         );
-        assert_eq!(KernelKind::ModMul { limbs: 1, n: 8 }.class(), KernelClass::Ewe);
+        assert_eq!(
+            KernelKind::ModMul { limbs: 1, n: 8 }.class(),
+            KernelClass::Ewe
+        );
         assert_eq!(KernelKind::HbmLoad { bytes: 64 }.class(), KernelClass::Hbm);
     }
 

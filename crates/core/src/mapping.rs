@@ -145,7 +145,10 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                         name: p(&format!("TPOSE{i}")),
                         class: KernelClass::Transpose,
                         filter: LaneFilter::Any,
-                        model: LaneModel::Throughput { elems: 256.0, fill: 4 },
+                        model: LaneModel::Throughput {
+                            elems: 256.0,
+                            fill: 4,
+                        },
                         members: vec![p(&format!("TP{i}"))],
                     });
                 }
@@ -182,7 +185,10 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                         name: p("IP"),
                         class: KernelClass::Mac,
                         filter: LaneFilter::IpOnly,
-                        model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                        model: LaneModel::Throughput {
+                            elems: 1024.0,
+                            fill: 2,
+                        },
                         members: vec![p("CU-2a"), p("CU-2b")],
                     });
                     // Dynamic scheduling (SS IV-F): the IP CU-2s absorb
@@ -193,7 +199,10 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                         name: p("BCONV2"),
                         class: KernelClass::Mac,
                         filter: LaneFilter::BConvOnly,
-                        model: LaneModel::Throughput { elems: 1024.0, fill: 4 },
+                        model: LaneModel::Throughput {
+                            elems: 1024.0,
+                            fill: 4,
+                        },
                         members: vec![p("CU-2a"), p("CU-2b")],
                     });
                 }
@@ -202,7 +211,10 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                     name: p("EWE"),
                     class: KernelClass::Ewe,
                     filter: LaneFilter::Any,
-                    model: LaneModel::Throughput { elems: 512.0, fill: 2 },
+                    model: LaneModel::Throughput {
+                        elems: 512.0,
+                        fill: 2,
+                    },
                     members: vec![p("EWE")],
                 });
                 if !ip_on_cu {
@@ -214,12 +226,27 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                         // ModMul pass plus a ModAdd pass, halving its
                         // effective inner-product rate (the cost the
                         // CU offload removes, Figs. 10-11).
-                        model: LaneModel::Throughput { elems: 256.0, fill: 2 },
+                        model: LaneModel::Throughput {
+                            elems: 256.0,
+                            fill: 2,
+                        },
                         members: vec![p("EWE")],
                     });
                 }
-                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
-                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(
+                    &mut lanes,
+                    &p("AUTO"),
+                    KernelClass::Auto,
+                    256.0,
+                    &[p("AutoU")],
+                );
+                push_simple(
+                    &mut lanes,
+                    &p("ROT"),
+                    KernelClass::Rotator,
+                    256.0,
+                    &[p("Rotator")],
+                );
                 push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
             }
             MappingPolicy::TfheAdaptive => {
@@ -244,12 +271,27 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                     name: p("EXTP"),
                     class: KernelClass::Mac,
                     filter: LaneFilter::Any,
-                    model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                    model: LaneModel::Throughput {
+                        elems: 1024.0,
+                        fill: 2,
+                    },
                     members: vec![p("CU-2c"), p("CU-2d")],
                 });
                 push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
-                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
-                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(
+                    &mut lanes,
+                    &p("AUTO"),
+                    KernelClass::Auto,
+                    256.0,
+                    &[p("AutoU")],
+                );
+                push_simple(
+                    &mut lanes,
+                    &p("ROT"),
+                    KernelClass::Rotator,
+                    256.0,
+                    &[p("Rotator")],
+                );
                 push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
             }
             MappingPolicy::Hybrid => {
@@ -266,7 +308,10 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                         name: p(&format!("TPOSE{i}")),
                         class: KernelClass::Transpose,
                         filter: LaneFilter::Any,
-                        model: LaneModel::Throughput { elems: 256.0, fill: 4 },
+                        model: LaneModel::Throughput {
+                            elems: 256.0,
+                            fill: 4,
+                        },
                         members: vec![p(&format!("TP{i}"))],
                     });
                 }
@@ -288,19 +333,37 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                     name: p("IP"),
                     class: KernelClass::Mac,
                     filter: LaneFilter::IpOnly,
-                    model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                    model: LaneModel::Throughput {
+                        elems: 1024.0,
+                        fill: 2,
+                    },
                     members: vec![p("CU-2a"), p("CU-2b")],
                 });
                 lanes.push(Lane {
                     name: p("EXTP"),
                     class: KernelClass::Mac,
                     filter: LaneFilter::ExtProdOnly,
-                    model: LaneModel::Throughput { elems: 1024.0, fill: 2 },
+                    model: LaneModel::Throughput {
+                        elems: 1024.0,
+                        fill: 2,
+                    },
                     members: vec![p("CU-2c"), p("CU-2d")],
                 });
                 push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
-                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
-                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(
+                    &mut lanes,
+                    &p("AUTO"),
+                    KernelClass::Auto,
+                    256.0,
+                    &[p("AutoU")],
+                );
+                push_simple(
+                    &mut lanes,
+                    &p("ROT"),
+                    KernelClass::Rotator,
+                    256.0,
+                    &[p("Rotator")],
+                );
                 push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
             }
             MappingPolicy::TfheFixed => {
@@ -337,8 +400,20 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                     members: vec![p("SA")],
                 });
                 push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
-                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
-                push_simple(&mut lanes, &p("ROT"), KernelClass::Rotator, 256.0, &[p("Rotator")]);
+                push_simple(
+                    &mut lanes,
+                    &p("AUTO"),
+                    KernelClass::Auto,
+                    256.0,
+                    &[p("AutoU")],
+                );
+                push_simple(
+                    &mut lanes,
+                    &p("ROT"),
+                    KernelClass::Rotator,
+                    256.0,
+                    &[p("Rotator")],
+                );
                 push_simple(&mut lanes, &p("VPU"), KernelClass::Vpu, 1024.0, &[p("VPU")]);
             }
             MappingPolicy::Baseline => {
@@ -404,19 +479,34 @@ pub fn build_machine(cfg: &AcceleratorConfig, policy: MappingPolicy) -> Machine 
                                 });
                             }
                             ComponentKind::Ewe => {
-                                push_simple(&mut lanes, &p("EWE"), KernelClass::Ewe, 512.0, &[p("EWE")]);
+                                push_simple(
+                                    &mut lanes,
+                                    &p("EWE"),
+                                    KernelClass::Ewe,
+                                    512.0,
+                                    &[p("EWE")],
+                                );
                                 // SHARP-style: inner products on the EWE,
                                 // at mul+add (non-fused) rate.
                                 lanes.push(Lane {
                                     name: p("EWE-IP"),
                                     class: KernelClass::Mac,
                                     filter: LaneFilter::IpOnly,
-                                    model: LaneModel::Throughput { elems: 256.0, fill: 2 },
+                                    model: LaneModel::Throughput {
+                                        elems: 256.0,
+                                        fill: 2,
+                                    },
                                     members: vec![p("EWE")],
                                 });
                             }
                             ComponentKind::AutoU => {
-                                push_simple(&mut lanes, &p("AUTO"), KernelClass::Auto, 256.0, &[p("AutoU")]);
+                                push_simple(
+                                    &mut lanes,
+                                    &p("AUTO"),
+                                    KernelClass::Auto,
+                                    256.0,
+                                    &[p("AutoU")],
+                                );
                                 // Baselines without a dedicated Rotator
                                 // run vector rotations / extractions on
                                 // their shuffle (automorphism) network.
@@ -523,7 +613,13 @@ fn count(cfg: &AcceleratorConfig, pred: impl Fn(&ComponentKind) -> bool) -> usiz
         .sum()
 }
 
-fn push_simple(lanes: &mut Vec<Lane>, name: &str, class: KernelClass, elems: f64, members: &[String]) {
+fn push_simple(
+    lanes: &mut Vec<Lane>,
+    name: &str,
+    class: KernelClass,
+    elems: f64,
+    members: &[String],
+) {
     lanes.push(Lane {
         name: name.to_string(),
         class,
@@ -541,7 +637,11 @@ mod tests {
     #[test]
     fn trinity_ckks_machine_shape() {
         let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
-        let ntt = m.lanes.iter().filter(|l| l.class == KernelClass::Ntt).count();
+        let ntt = m
+            .lanes
+            .iter()
+            .filter(|l| l.class == KernelClass::Ntt)
+            .count();
         assert_eq!(ntt, 8, "2 NTT lanes x 4 clusters");
         let ip = m
             .lanes
@@ -566,19 +666,34 @@ mod tests {
     #[test]
     fn lane_filters_work() {
         let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
-        let bconv = KernelKind::BConv { rows_in: 4, rows_out: 8, n: 1 << 16 };
-        let ip = KernelKind::InnerProduct { digits: 3, limbs: 10, outputs: 2, n: 1 << 16 };
+        let bconv = KernelKind::BConv {
+            rows_in: 4,
+            rows_out: 8,
+            n: 1 << 16,
+        };
+        let ip = KernelKind::InnerProduct {
+            digits: 3,
+            limbs: 10,
+            outputs: 2,
+            n: 1 << 16,
+        };
         let bconv_lanes: Vec<_> = m.lanes.iter().filter(|l| l.accepts(&bconv)).collect();
         let ip_lanes: Vec<_> = m.lanes.iter().filter(|l| l.accepts(&ip)).collect();
         assert!(!bconv_lanes.is_empty() && !ip_lanes.is_empty());
-        assert!(bconv_lanes.iter().all(|l| l.filter == LaneFilter::BConvOnly));
+        assert!(bconv_lanes
+            .iter()
+            .all(|l| l.filter == LaneFilter::BConvOnly));
         assert!(ip_lanes.iter().all(|l| l.filter == LaneFilter::IpOnly));
     }
 
     #[test]
     fn ntt_lane_cycle_costs() {
         let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
-        let lane = m.lanes.iter().find(|l| l.class == KernelClass::Ntt).unwrap();
+        let lane = m
+            .lanes
+            .iter()
+            .find(|l| l.class == KernelClass::Ntt)
+            .unwrap();
         let short = lane.cycles(&KernelKind::Ntt { n: 1 << 12 });
         let long = lane.cycles(&KernelKind::Ntt { n: 1 << 16 });
         assert!(long > short);
@@ -587,9 +702,22 @@ mod tests {
     #[test]
     fn hybrid_machine_accepts_both_schemes() {
         let m = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
-        let ip = KernelKind::InnerProduct { digits: 3, limbs: 1, outputs: 2, n: 1 << 16 };
-        let bconv = KernelKind::BConv { rows_in: 4, rows_out: 8, n: 1 << 16 };
-        let extp = KernelKind::ExtProductMac { rows: 4, outputs: 2, n: 1024 };
+        let ip = KernelKind::InnerProduct {
+            digits: 3,
+            limbs: 1,
+            outputs: 2,
+            n: 1 << 16,
+        };
+        let bconv = KernelKind::BConv {
+            rows_in: 4,
+            rows_out: 8,
+            n: 1 << 16,
+        };
+        let extp = KernelKind::ExtProductMac {
+            rows: 4,
+            outputs: 2,
+            n: 1024,
+        };
         for k in [ip, bconv, extp] {
             assert!(
                 m.lanes.iter().any(|l| l.accepts(&k)),

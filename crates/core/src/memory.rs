@@ -128,8 +128,7 @@ impl MemorySystem {
 
     /// Aggregate local-buffer bandwidth in TB/s.
     pub fn local_buffer_tb_per_s(&self, freq_ghz: f64) -> f64 {
-        (self.clusters * self.buffers_per_cluster) as f64
-            * self.local_buffer.tb_per_s(freq_ghz)
+        (self.clusters * self.buffers_per_cluster) as f64 * self.local_buffer.tb_per_s(freq_ghz)
     }
 }
 
@@ -228,16 +227,32 @@ mod tests {
         // §IV-J: "a total capacity of 2.81 MB and a total bandwidth of
         // 11.25 TB/s per local buffer".
         let lb = SramSpec::local_buffer();
-        assert!((lb.capacity_mib() - 2.8125).abs() < 1e-9, "{}", lb.capacity_mib());
-        assert!((lb.tb_per_s(1.0) - 11.52).abs() < 0.3, "{}", lb.tb_per_s(1.0));
+        assert!(
+            (lb.capacity_mib() - 2.8125).abs() < 1e-9,
+            "{}",
+            lb.capacity_mib()
+        );
+        assert!(
+            (lb.tb_per_s(1.0) - 11.52).abs() < 0.3,
+            "{}",
+            lb.tb_per_s(1.0)
+        );
     }
 
     #[test]
     fn scratchpad_matches_paper_geometry() {
         // §IV-J: "a total capacity of 45 MB and a bandwidth of 9 TB/s".
         let sp = SramSpec::scratchpad();
-        assert!((sp.capacity_mib() - 45.0).abs() < 1e-9, "{}", sp.capacity_mib());
-        assert!((sp.tb_per_s(1.0) - 9.216).abs() < 0.3, "{}", sp.tb_per_s(1.0));
+        assert!(
+            (sp.capacity_mib() - 45.0).abs() < 1e-9,
+            "{}",
+            sp.capacity_mib()
+        );
+        assert!(
+            (sp.tb_per_s(1.0) - 9.216).abs() < 0.3,
+            "{}",
+            sp.tb_per_s(1.0)
+        );
     }
 
     #[test]

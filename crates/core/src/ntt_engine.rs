@@ -229,7 +229,10 @@ mod tests {
             "Trinity/F1 utilization ratio {ratio} outside Fig. 9 shape"
         );
         // Trinity never loses to F1-like at any length.
-        for ((_, a), (_, b)) in utilization_sweep(&tr).iter().zip(utilization_sweep(&f1).iter()) {
+        for ((_, a), (_, b)) in utilization_sweep(&tr)
+            .iter()
+            .zip(utilization_sweep(&f1).iter())
+        {
             assert!(a >= b);
         }
     }

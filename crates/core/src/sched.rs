@@ -332,7 +332,13 @@ mod tests {
             for _ in 0..50 {
                 let deps: Vec<usize> = prev.into_iter().collect();
                 let a = g.add(KernelKind::Ntt { n: 1 << 16 }, &deps);
-                let b = g.add(KernelKind::ModMul { limbs: 36, n: 1 << 16 }, &[a]);
+                let b = g.add(
+                    KernelKind::ModMul {
+                        limbs: 36,
+                        n: 1 << 16,
+                    },
+                    &[a],
+                );
                 prev = Some(b);
             }
         };
@@ -413,7 +419,13 @@ mod tests {
         // Morphling has no AutoU: an Automorphism kernel must panic.
         let m = build_machine(&AcceleratorConfig::morphling(), MappingPolicy::Baseline);
         let mut g = KernelGraph::new();
-        g.add(KernelKind::Automorphism { limbs: 1, n: 1 << 10 }, &[]);
+        g.add(
+            KernelKind::Automorphism {
+                limbs: 1,
+                n: 1 << 10,
+            },
+            &[],
+        );
         let _ = simulate(&m, &g);
     }
 }

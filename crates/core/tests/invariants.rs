@@ -1,0 +1,340 @@
+//! Structural invariants of the accelerator model.
+//!
+//! Two families:
+//!
+//! * **mapping** — every machine a policy builds must stay inside its
+//!   configuration's physical inventory: lanes only reference clusters
+//!   that exist, and no cluster's lanes name more distinct instances of
+//!   a component than the cluster owns (capacity).
+//! * **scheduling** — every simulated kernel flow must be
+//!   cycle-consistent (per-lane reservations never overlap, durations
+//!   match the lane cost model, the makespan closes the schedule) and
+//!   dependency-ordered (no kernel starts before its inputs finish).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trinity_core::arch::AcceleratorConfig;
+use trinity_core::kernel::{KernelGraph, KernelKind};
+use trinity_core::mapping::{build_machine, LaneModel, Machine, MappingPolicy};
+use trinity_core::sched::simulate;
+
+const POLICIES: [MappingPolicy; 6] = [
+    MappingPolicy::CkksAdaptive,
+    MappingPolicy::CkksIpUseEwe,
+    MappingPolicy::TfheAdaptive,
+    MappingPolicy::TfheFixed,
+    MappingPolicy::Hybrid,
+    MappingPolicy::Baseline,
+];
+
+/// Chip-level lanes (shared HBM and NoC) carry no cluster prefix.
+fn is_chip_level(member: &str) -> bool {
+    member == "HBM" || member == "NoC"
+}
+
+/// Splits `c3.NTTU1` into (cluster 3, "NTTU1").
+fn split_member(member: &str) -> (usize, &str) {
+    let dot = member.find('.').unwrap_or_else(|| {
+        panic!("member {member} has no cluster prefix");
+    });
+    let cluster = member[1..dot]
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("member {member} has a malformed cluster prefix"));
+    (cluster, &member[dot + 1..])
+}
+
+/// Whether instance label `name` (e.g. `NTTU1`, `CU-2a`, `EWE`) is an
+/// instance of the component display label `base` (e.g. `NTTU`,
+/// `CU-2`, `EWE`): exact match, or base plus one alphanumeric
+/// instance suffix.
+fn is_instance_of(name: &str, base: &str) -> bool {
+    if name == base {
+        return true;
+    }
+    match name.strip_prefix(base) {
+        Some(rest) => rest.len() == 1 && rest.chars().all(|c| c.is_ascii_alphanumeric()),
+        None => false,
+    }
+}
+
+#[test]
+fn mapping_respects_cluster_capacity() {
+    let configs = [
+        AcceleratorConfig::trinity(),
+        AcceleratorConfig::trinity_with_clusters(1),
+        AcceleratorConfig::trinity_with_clusters(8),
+    ];
+    for cfg in &configs {
+        for policy in POLICIES {
+            let machine = build_machine(cfg, policy);
+            // Collect the distinct physical instances each cluster uses.
+            let mut per_cluster: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+            for lane in &machine.lanes {
+                assert!(
+                    !lane.members.is_empty(),
+                    "{}: lane {} has no physical members",
+                    machine.name,
+                    lane.name
+                );
+                for member in &lane.members {
+                    if is_chip_level(member) {
+                        continue;
+                    }
+                    let (cluster, name) = split_member(member);
+                    assert!(
+                        cluster < cfg.clusters,
+                        "{}: lane {} references cluster {cluster} of {}",
+                        machine.name,
+                        lane.name,
+                        cfg.clusters
+                    );
+                    let names = per_cluster.entry(cluster).or_default();
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+            // Capacity: distinct instances of each component label must
+            // not exceed the per-cluster inventory.
+            for (cluster, names) in &per_cluster {
+                for spec in &cfg.components {
+                    let base = spec.kind.label();
+                    let used = names.iter().filter(|n| is_instance_of(n, &base)).count();
+                    assert!(
+                        used <= spec.count,
+                        "{}: cluster {cluster} uses {used} x {base}, owns {}",
+                        machine.name,
+                        spec.count
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lanes_never_gang_components_across_clusters() {
+    for policy in POLICIES {
+        let machine = build_machine(&AcceleratorConfig::trinity(), policy);
+        for lane in &machine.lanes {
+            let clusters: Vec<usize> = lane
+                .members
+                .iter()
+                .filter(|m| !is_chip_level(m))
+                .map(|m| split_member(m).0)
+                .collect();
+            assert!(
+                clusters.windows(2).all(|w| w[0] == w[1]),
+                "{}: lane {} gangs components from clusters {clusters:?}",
+                machine.name,
+                lane.name
+            );
+        }
+    }
+}
+
+/// A workload exercising every lane class the Hybrid machine exposes:
+/// a keyswitch-shaped CKKS stretch, a TFHE external product, element
+/// ops, data movement, and conversion kernels.
+fn mixed_graph(seed: u64, rounds: usize) -> KernelGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = KernelGraph::new();
+    let n = 1usize << 14;
+    let mut frontier: Vec<usize> = Vec::new();
+    for _ in 0..rounds {
+        let load = g.add(KernelKind::HbmLoad { bytes: 1 << 20 }, &frontier);
+        let ntt = g.add(KernelKind::Ntt { n }, &[load]);
+        let bconv = g.add(
+            KernelKind::BConv {
+                rows_in: rng.gen_range(1..8),
+                rows_out: rng.gen_range(1..20),
+                n,
+            },
+            &[ntt],
+        );
+        let ip = g.add(
+            KernelKind::InnerProduct {
+                digits: rng.gen_range(1..4),
+                limbs: rng.gen_range(1..20),
+                outputs: 2,
+                n,
+            },
+            &[bconv],
+        );
+        let extp = g.add(
+            KernelKind::ExtProductMac {
+                rows: 4,
+                outputs: 2,
+                n: 1 << 11,
+            },
+            &[ip],
+        );
+        let auto = g.add(
+            KernelKind::Automorphism {
+                limbs: rng.gen_range(1..20),
+                n,
+            },
+            &[extp],
+        );
+        let mul = g.add(
+            KernelKind::ModMul {
+                limbs: rng.gen_range(1..20),
+                n,
+            },
+            &[auto],
+        );
+        let rot = g.add(KernelKind::RotateVec { n }, &[mul]);
+        let sw = g.add(KernelKind::LayoutSwitch { bytes: 1 << 18 }, &[rot]);
+        let intt = g.add(KernelKind::Intt { n }, &[sw]);
+        frontier = vec![intt];
+    }
+    g
+}
+
+/// Checks every cycle-consistency invariant of one simulation result.
+fn assert_cycle_consistent(machine: &Machine, graph: &KernelGraph) {
+    let r = simulate(machine, graph);
+    assert_eq!(r.kernel_count, graph.len());
+    assert_eq!(r.placements.len(), graph.len());
+
+    let mut lane_busy: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut per_lane: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut max_end = 0u64;
+    for (i, (p, k)) in r.placements.iter().zip(graph.kernels()).enumerate() {
+        assert_eq!(p.kernel, i, "placements must be in graph order");
+        assert!(p.start < p.end, "kernel {i} has an empty reservation");
+        max_end = max_end.max(p.end);
+
+        // Duration matches the lane's cost model exactly.
+        let lane = &machine.lanes[p.lane];
+        assert!(
+            lane.accepts(&k.kind),
+            "{}: kernel {:?} placed on incompatible lane {}",
+            machine.name,
+            k.kind,
+            lane.name
+        );
+        assert_eq!(
+            p.end - p.start,
+            lane.cycles(&k.kind).max(1),
+            "kernel {i} duration disagrees with the lane cost model"
+        );
+
+        // Dependencies strictly precede.
+        for &d in &k.deps {
+            assert!(
+                r.placements[d].end <= p.start,
+                "kernel {i} starts at {} before dep {d} ends at {}",
+                p.start,
+                r.placements[d].end
+            );
+        }
+
+        *lane_busy.entry(p.lane).or_insert(0) += p.end - p.start;
+        per_lane.entry(p.lane).or_default().push((p.start, p.end));
+    }
+
+    // The makespan closes the schedule.
+    assert_eq!(r.total_cycles, max_end);
+
+    // Per-lane reservations never overlap, and never exceed the makespan.
+    for (lane, mut ivs) in per_lane {
+        ivs.sort_unstable();
+        for w in ivs.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "{}: lane {} double-books [{}, {}) and [{}, {})",
+                machine.name,
+                machine.lanes[lane].name,
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+        assert!(lane_busy[&lane] <= r.total_cycles);
+    }
+}
+
+#[test]
+fn scheduler_is_cycle_consistent_and_dependency_ordered() {
+    let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::Hybrid);
+    for seed in 0..4u64 {
+        let g = mixed_graph(seed, 12);
+        assert_cycle_consistent(&machine, &g);
+    }
+}
+
+#[test]
+fn scheduler_invariants_hold_on_every_policy() {
+    // A graph restricted to kernels every policy has lanes for.
+    let mut g = KernelGraph::new();
+    let n = 1usize << 13;
+    let load = g.add(KernelKind::HbmLoad { bytes: 1 << 20 }, &[]);
+    let ntt = g.add(KernelKind::Ntt { n }, &[load]);
+    let bconv = g.add(
+        KernelKind::BConv {
+            rows_in: 4,
+            rows_out: 8,
+            n,
+        },
+        &[ntt],
+    );
+    let mul = g.add(KernelKind::ModMul { limbs: 8, n }, &[bconv]);
+    let auto = g.add(KernelKind::Automorphism { limbs: 8, n }, &[mul]);
+    g.add(KernelKind::Intt { n }, &[auto]);
+
+    for policy in POLICIES {
+        let machine = build_machine(&AcceleratorConfig::trinity(), policy);
+        assert_cycle_consistent(&machine, &g);
+    }
+}
+
+/// Serial chains must schedule strictly end-to-start: the makespan of a
+/// dependency chain equals the sum of its kernels' durations.
+#[test]
+fn dependency_chain_makespan_is_sum_of_durations() {
+    let machine = build_machine(&AcceleratorConfig::trinity(), MappingPolicy::CkksAdaptive);
+    let n = 1usize << 14;
+    let mut g = KernelGraph::new();
+    let mut prev = None;
+    for _ in 0..10 {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        let a = g.add(KernelKind::Ntt { n }, &deps);
+        let b = g.add(KernelKind::Intt { n }, &[a]);
+        prev = Some(b);
+    }
+    let r = simulate(&machine, &g);
+    let sum: u64 = r.placements.iter().map(|p| p.end - p.start).sum();
+    assert_eq!(r.total_cycles, sum);
+}
+
+/// NTT lanes must cost NTT kernels through the structural engine model,
+/// never the generic throughput fallback (a regression here silently
+/// flattens Fig. 1).
+#[test]
+fn ntt_lanes_use_the_structural_model() {
+    for policy in POLICIES {
+        let machine = build_machine(&AcceleratorConfig::trinity(), policy);
+        let ntt_lane_models: Vec<bool> = machine
+            .lanes
+            .iter()
+            .filter(|l| l.accepts(&KernelKind::Ntt { n: 1 << 14 }))
+            .map(|l| matches!(l.model, LaneModel::Ntt(_)))
+            .collect();
+        assert!(
+            !ntt_lane_models.is_empty(),
+            "{}: no lane accepts NTT kernels",
+            machine.name
+        );
+        if policy != MappingPolicy::Baseline {
+            assert!(
+                ntt_lane_models.iter().all(|&b| b),
+                "{}: an NTT lane fell back to the throughput model",
+                machine.name
+            );
+        }
+    }
+}

@@ -24,17 +24,32 @@ fn random_graph(seed: u64, size: usize) -> KernelGraph {
     let mut g = KernelGraph::new();
     for i in 0..size {
         let kind = match rng.gen_range(0..7) {
-            0 => KernelKind::Ntt { n: 1 << rng.gen_range(8..=16) },
-            1 => KernelKind::Intt { n: 1 << rng.gen_range(8..=16) },
+            0 => KernelKind::Ntt {
+                n: 1usize << rng.gen_range(8..=16),
+            },
+            1 => KernelKind::Intt {
+                n: 1usize << rng.gen_range(8..=16),
+            },
             2 => KernelKind::BConv {
                 rows_in: rng.gen_range(1..8),
                 rows_out: rng.gen_range(1..40),
                 n: 1 << 14,
             },
-            3 => KernelKind::ModMul { limbs: rng.gen_range(1..36), n: 1 << 14 },
-            4 => KernelKind::ModAdd { limbs: rng.gen_range(1..36), n: 1 << 14 },
-            5 => KernelKind::Automorphism { limbs: rng.gen_range(1..36), n: 1 << 14 },
-            _ => KernelKind::HbmLoad { bytes: rng.gen_range(1..4_000_000) },
+            3 => KernelKind::ModMul {
+                limbs: rng.gen_range(1..36),
+                n: 1 << 14,
+            },
+            4 => KernelKind::ModAdd {
+                limbs: rng.gen_range(1..36),
+                n: 1 << 14,
+            },
+            5 => KernelKind::Automorphism {
+                limbs: rng.gen_range(1..36),
+                n: 1 << 14,
+            },
+            _ => KernelKind::HbmLoad {
+                bytes: rng.gen_range(1..4_000_000),
+            },
         };
         let deps: Vec<usize> = (0..i)
             .filter(|_| rng.gen_bool((4.0 / i.max(1) as f64).min(1.0)))

@@ -102,7 +102,10 @@ impl FftPlan {
     ///
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
@@ -246,7 +249,8 @@ mod tests {
         for k in 0..n {
             let mut acc = Complex::default();
             for (j, &x) in a.iter().enumerate() {
-                acc = acc + x * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+                acc =
+                    acc + x * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
             }
             assert!((fast[k].re - acc.re).abs() < 1e-9, "k={k}");
             assert!((fast[k].im - acc.im).abs() < 1e-9, "k={k}");
@@ -285,8 +289,12 @@ mod tests {
         // incorrectly, while NTT stays exact at any magnitude.
         let mut rng = StdRng::seed_from_u64(6);
         let n = 1024;
-        let a: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1 << 26)..(1 << 26))).collect();
-        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1 << 26)..(1 << 26))).collect();
+        let a: Vec<i64> = (0..n)
+            .map(|_| rng.gen_range(-(1 << 26)..(1 << 26)))
+            .collect();
+        let b: Vec<i64> = (0..n)
+            .map(|_| rng.gen_range(-(1 << 26)..(1 << 26)))
+            .collect();
         let fast = negacyclic_mul_fft(&a, &b);
         let mut exact = vec![0i128; n];
         for i in 0..n {

@@ -58,7 +58,11 @@ impl GaloisPerms {
         // slot value works as the labelling root. Verify it is a
         // primitive 2n-th root.
         let cand = x[0];
-        debug_assert_eq!(m.pow(cand, n as u64), m.value() - 1, "slot value not a negacyclic root");
+        debug_assert_eq!(
+            m.pow(cand, n as u64),
+            m.value() - 1,
+            "slot value not a negacyclic root"
+        );
         let mut pw = 1u64;
         for e in 0..(2 * n as u64) {
             value_to_exp.insert(pw, e);

@@ -51,9 +51,9 @@ impl Modulus {
         }
         // Compute floor(2^128 / p) via long division of 2^128 by p.
         let high = u128::MAX / p as u128; // floor((2^128 - 1)/p)
-        // 2^128 = (2^128 - 1) + 1; floor(2^128/p) differs from high only
-        // when p divides 2^128 exactly, impossible for p > 1 odd; for even
-        // p a power of two it matters, handle generically:
+                                          // 2^128 = (2^128 - 1) + 1; floor(2^128/p) differs from high only
+                                          // when p divides 2^128 exactly, impossible for p > 1 odd; for even
+                                          // p a power of two it matters, handle generically:
         let rem = u128::MAX % p as u128;
         let ratio = if rem == p as u128 - 1 { high + 1 } else { high };
         Ok(Self {
@@ -318,7 +318,10 @@ mod tests {
         let ws = m.shoup(w);
         let mut a = 1u64;
         for _ in 0..1000 {
-            a = a.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) % p;
+            a = a
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
+                % p;
             assert_eq!(m.mul_shoup(a, w, ws), m.mul(a, w));
         }
     }

@@ -52,7 +52,10 @@ impl NttTable {
     /// satisfy `p ≡ 1 (mod 2n)` (no 2n-th root of unity exists).
     pub fn new(m: Modulus, n: usize) -> Self {
         let p = m.value();
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         assert_eq!(
             (p - 1) % (2 * n as u64),
             0,

@@ -444,10 +444,16 @@ mod tests {
         // Multiplying by X^{2n} is identity; X^n is negation.
         let mut q = RnsPoly::from_signed_coeffs(b.clone(), &[1, 2, 3, 4, 5, 6, 7, 8]);
         q.mul_monomial(16);
-        assert_eq!(q.to_centered_f64(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(
+            q.to_centered_f64(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        );
         let mut r = RnsPoly::from_signed_coeffs(b, &[1, 2, 3, 4, 5, 6, 7, 8]);
         r.mul_monomial(8);
-        assert_eq!(r.to_centered_f64(), vec![-1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0, -8.0]);
+        assert_eq!(
+            r.to_centered_f64(),
+            vec![-1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0, -8.0]
+        );
     }
 
     #[test]

@@ -204,7 +204,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 
@@ -243,7 +246,10 @@ mod tests {
             assert_eq!(p % (2 * n as u64), 1);
             // Must be within 0.1% of 2^32 for the approximation to be benign.
             let dist = p.abs_diff(1u64 << 32) as f64;
-            assert!(dist / ((1u64 << 32) as f64) < 1e-3, "p={p} too far from 2^32");
+            assert!(
+                dist / ((1u64 << 32) as f64) < 1e-3,
+                "p={p} too far from 2^32"
+            );
         }
     }
 

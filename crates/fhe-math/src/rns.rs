@@ -264,7 +264,11 @@ impl BasisConverter {
                 acc
             })
             .collect();
-        let a_inv_f64 = from.moduli().iter().map(|m| 1.0 / m.value() as f64).collect();
+        let a_inv_f64 = from
+            .moduli()
+            .iter()
+            .map(|m| 1.0 / m.value() as f64)
+            .collect();
         Self {
             from: from.clone(),
             to: to.clone(),
@@ -413,7 +417,9 @@ mod tests {
         let conv = BasisConverter::new(&a, &b);
         let mut rng = StdRng::seed_from_u64(12);
         // Random centered values well below A/2.
-        let vals: Vec<i64> = (0..32).map(|_| rng.gen_range(-(1i64 << 58)..(1 << 58))).collect();
+        let vals: Vec<i64> = (0..32)
+            .map(|_| rng.gen_range(-(1i64 << 58)..(1 << 58)))
+            .collect();
         let src: Vec<Vec<u64>> = a
             .moduli()
             .iter()

@@ -115,12 +115,7 @@ impl ClientKey {
     }
 
     /// Encrypts a message in `[0, t)` (half-torus encoding).
-    pub fn encrypt_message<R: Rng + ?Sized>(
-        &self,
-        m: u64,
-        t: u64,
-        rng: &mut R,
-    ) -> LweCiphertext {
+    pub fn encrypt_message<R: Rng + ?Sized>(&self, m: u64, t: u64, rng: &mut R) -> LweCiphertext {
         LweCiphertext::encrypt(
             self.ctx.q(),
             &self.lwe_sk,

@@ -137,10 +137,7 @@ impl ServerKey {
     /// Panics if the widths differ.
     pub fn mux_words(&self, sel: &LweCiphertext, a: &BitWord, b: &BitWord) -> BitWord {
         assert_eq!(a.len(), b.len(), "width mismatch");
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| self.mux(sel, x, y))
-            .collect()
+        a.iter().zip(b).map(|(x, y)| self.mux(sel, x, y)).collect()
     }
 
     /// Maximum of two unsigned words: one comparison + one mux.

@@ -71,12 +71,7 @@ impl ServerKey {
     }
 
     /// Homomorphic MUX: `sel ? a : b` (three bootstraps).
-    pub fn mux(
-        &self,
-        sel: &LweCiphertext,
-        a: &LweCiphertext,
-        b: &LweCiphertext,
-    ) -> LweCiphertext {
+    pub fn mux(&self, sel: &LweCiphertext, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
         let t1 = self.and(sel, a);
         let not_sel = self.not(sel);
         let t2 = self.and(&not_sel, b);
@@ -109,10 +104,18 @@ mod tests {
                 let cb = ck.encrypt_bit(b, &mut rng);
                 assert_eq!(ck.decrypt_bit(&sk.and(&ca, &cb)), a && b, "AND({a},{b})");
                 assert_eq!(ck.decrypt_bit(&sk.or(&ca, &cb)), a || b, "OR({a},{b})");
-                assert_eq!(ck.decrypt_bit(&sk.nand(&ca, &cb)), !(a && b), "NAND({a},{b})");
+                assert_eq!(
+                    ck.decrypt_bit(&sk.nand(&ca, &cb)),
+                    !(a && b),
+                    "NAND({a},{b})"
+                );
                 assert_eq!(ck.decrypt_bit(&sk.nor(&ca, &cb)), !(a || b), "NOR({a},{b})");
                 assert_eq!(ck.decrypt_bit(&sk.xor(&ca, &cb)), a ^ b, "XOR({a},{b})");
-                assert_eq!(ck.decrypt_bit(&sk.xnor(&ca, &cb)), !(a ^ b), "XNOR({a},{b})");
+                assert_eq!(
+                    ck.decrypt_bit(&sk.xnor(&ca, &cb)),
+                    !(a ^ b),
+                    "XNOR({a},{b})"
+                );
             }
         }
     }

@@ -111,7 +111,10 @@ impl Ggsw {
                     .map(|ct| {
                         let mut comps = ct.mask;
                         comps.push(ct.body);
-                        comps.into_iter().map(|poly| ring.to_centered(&poly)).collect()
+                        comps
+                            .into_iter()
+                            .map(|poly| ring.to_centered(&poly))
+                            .collect()
                     })
                     .collect(),
             ),
@@ -143,7 +146,11 @@ impl Ggsw {
         // Digit polynomials, row-aligned: index i*lb + (j-1).
         let mut digits: Vec<Vec<i64>> = vec![vec![0i64; n]; (k + 1) * self.lb];
         for comp in 0..=k {
-            let poly = if comp < k { &glwe.mask[comp] } else { &glwe.body };
+            let poly = if comp < k {
+                &glwe.mask[comp]
+            } else {
+                &glwe.body
+            };
             for (c, &x) in poly.iter().enumerate() {
                 let ds = gadget_decompose(q.value(), x, self.bg_log, self.lb);
                 for (j, &d) in ds.iter().enumerate() {
@@ -160,7 +167,8 @@ impl Ggsw {
                     let mut d = ring.poly_from_signed(digit);
                     ring.table().forward(&mut d);
                     for comp in 0..=k {
-                        ring.table().pointwise_mul_acc(&mut acc[comp], &d, &rows[r][comp]);
+                        ring.table()
+                            .pointwise_mul_acc(&mut acc[comp], &d, &rows[r][comp]);
                     }
                 }
                 let mut comps: Vec<Vec<u64>> = acc
@@ -243,8 +251,7 @@ mod tests {
         for backend in [MulBackend::Ntt, MulBackend::Fft] {
             let (ring, sk, mut rng) = setup();
             let q = ring.q();
-            let ggsw_one =
-                Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 3.73e-9, backend, &mut rng);
+            let ggsw_one = Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 3.73e-9, backend, &mut rng);
             let mut msg = ring.zero_poly();
             msg[0] = q / 8;
             msg[7] = q - q / 8;
@@ -261,8 +268,7 @@ mod tests {
         for backend in [MulBackend::Ntt, MulBackend::Fft] {
             let (ring, sk, mut rng) = setup();
             let q = ring.q();
-            let ggsw_zero =
-                Ggsw::encrypt_scalar(&ring, &sk, 0, 2, 10, 3.73e-9, backend, &mut rng);
+            let ggsw_zero = Ggsw::encrypt_scalar(&ring, &sk, 0, 2, 10, 3.73e-9, backend, &mut rng);
             let mut msg = ring.zero_poly();
             msg[0] = q / 4;
             let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
@@ -304,8 +310,7 @@ mod tests {
         for backend in [MulBackend::Ntt, MulBackend::Fft] {
             let (ring, sk, mut rng) = setup();
             let q = ring.q();
-            let ggsw_one =
-                Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 1e-9, backend, &mut rng);
+            let ggsw_one = Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 1e-9, backend, &mut rng);
             let mut msg = ring.zero_poly();
             msg[0] = q / 8;
             let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 1e-9, &mut rng);

@@ -33,9 +33,7 @@ impl GlweSecretKey {
     ///
     /// Panics if any coefficient is outside {0, 1} (binary GLWE keys).
     pub fn from_polys(polys: Vec<Vec<i64>>) -> Self {
-        assert!(polys
-            .iter()
-            .all(|p| p.iter().all(|&c| c == 0 || c == 1)));
+        assert!(polys.iter().all(|p| p.iter().all(|&c| c == 0 || c == 1)));
         Self { polys }
     }
 

@@ -250,13 +250,7 @@ impl ServerKey {
 
     /// Packs digit pair `(a_i, b_i)` as `t * a_i + b_i` — the bivariate
     /// LUT input. Both inputs must be clean digits (values `< t`).
-    fn pack_pair(
-        &self,
-        a: &LweCiphertext,
-        b: &LweCiphertext,
-        space: u64,
-        t: u64,
-    ) -> LweCiphertext {
+    fn pack_pair(&self, a: &LweCiphertext, b: &LweCiphertext, space: u64, t: u64) -> LweCiphertext {
         let scaled = self.digit_scale(a, t, space);
         self.digit_add(&scaled, b, space)
     }
@@ -440,11 +434,7 @@ mod tests {
         ] {
             let ca = ck.encrypt_radix(a, p, &mut rng);
             let cb = ck.encrypt_radix(b, p, &mut rng);
-            assert_eq!(
-                ck.decrypt_bit(&sk.radix_lt(&ca, &cb)),
-                want,
-                "{a} < {b}"
-            );
+            assert_eq!(ck.decrypt_bit(&sk.radix_lt(&ca, &cb)), want, "{a} < {b}");
         }
     }
 

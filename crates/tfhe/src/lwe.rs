@@ -316,7 +316,11 @@ mod tests {
                 for (j, &d) in digits.iter().enumerate() {
                     let g = gadget_element(q, base_log, j + 1);
                     let term = m.mul(m.reduce(d.unsigned_abs()), g);
-                    acc = if d >= 0 { m.add(acc, term) } else { m.sub(acc, term) };
+                    acc = if d >= 0 {
+                        m.add(acc, term)
+                    } else {
+                        m.sub(acc, term)
+                    };
                 }
                 let err = m.to_centered(m.sub(acc, x)).abs();
                 let bound = (tail / 2 + (levels as u64) * (1 << base_log)) as i64 + 2;

@@ -184,7 +184,10 @@ pub struct NnRecipe {
 impl NnRecipe {
     /// The paper's NN-x benchmark.
     pub fn new(layers: usize) -> Self {
-        Self { layers, neurons: 1024 }
+        Self {
+            layers,
+            neurons: 1024,
+        }
     }
 
     /// Total PBS count.
@@ -195,8 +198,7 @@ impl NnRecipe {
     /// End-to-end latency given a sustained PBS throughput (OPS) and the
     /// per-layer affine time.
     pub fn latency_ms(&self, pbs_ops_per_sec: f64, affine_ms_per_layer: f64) -> f64 {
-        self.total_pbs() as f64 / pbs_ops_per_sec * 1e3
-            + self.layers as f64 * affine_ms_per_layer
+        self.total_pbs() as f64 / pbs_ops_per_sec * 1e3 + self.layers as f64 * affine_ms_per_layer
     }
 }
 
@@ -218,7 +220,11 @@ pub struct He3dbRecipe {
 impl He3dbRecipe {
     /// The paper's HE3DB-x benchmark.
     pub fn new(entries: usize) -> Self {
-        Self { entries, pbs_per_row: 32, pack_batch: 32 }
+        Self {
+            entries,
+            pbs_per_row: 32,
+            pack_batch: 32,
+        }
     }
 
     /// Total PBS count for the filter phase.
@@ -232,12 +238,7 @@ impl He3dbRecipe {
     }
 
     /// End-to-end latency on a single multi-modal accelerator.
-    pub fn latency_ms(
-        &self,
-        pbs_ops_per_sec: f64,
-        repack_ms: f64,
-        ckks_aggregate_ms: f64,
-    ) -> f64 {
+    pub fn latency_ms(&self, pbs_ops_per_sec: f64, repack_ms: f64, ckks_aggregate_ms: f64) -> f64 {
         self.total_pbs() as f64 / pbs_ops_per_sec * 1e3
             + self.repacks() as f64 * repack_ms
             + ckks_aggregate_ms
@@ -289,10 +290,7 @@ impl He3dbRecipe {
 /// sharing one bootstrapping-key load. Table VIII extrapolates whole
 /// networks from sustained PBS throughput ([`NnRecipe`]); this builder
 /// validates the per-layer structure that extrapolation assumes.
-pub fn nn_layer_graph(
-    shape: &crate::tfhe_ops::TfheShape,
-    neurons: usize,
-) -> KernelGraph {
+pub fn nn_layer_graph(shape: &crate::tfhe_ops::TfheShape, neurons: usize) -> KernelGraph {
     let mut g = KernelGraph::new();
     let bsk = g.add(
         KernelKind::HbmLoad {
@@ -496,8 +494,7 @@ mod tests {
         assert_eq!(h.total_pbs(), 4096 * 32);
         assert_eq!(h.repacks(), 128);
         let one_chip = h.latency_ms(600_060.0, 0.142, 20.0);
-        let two_chip =
-            h.latency_two_chip_ms(147_615.0, 0.30, 40.0, 1.3e6, 128.0, 5.0);
+        let two_chip = h.latency_two_chip_ms(147_615.0, 0.30, 40.0, 1.3e6, 128.0, 5.0);
         assert!(two_chip > 2.0 * one_chip, "{two_chip} vs {one_chip}");
     }
 }

@@ -108,7 +108,12 @@ pub fn keyswitch(
     let n = shape.n;
     // Key streaming (overlapped with compute by the scheduler).
     let key_bytes = (shape.evk_bytes(l) as f64 * opts.hbm_key_fraction) as u64;
-    let hbm = g.add(KernelKind::HbmLoad { bytes: key_bytes.max(1) }, &[]);
+    let hbm = g.add(
+        KernelKind::HbmLoad {
+            bytes: key_bytes.max(1),
+        },
+        &[],
+    );
 
     // Per digit: ModUp BConv then NTTs over the extended basis.
     // ntt_ids[digit][limb] for limb-granular downstream dependencies.

@@ -16,7 +16,10 @@ fn eval_auto(
     opts: KeySwitchOpts,
 ) -> Vec<KernelId> {
     let autos = g.add_many(
-        KernelKind::Automorphism { limbs: l + 1, n: shape.n },
+        KernelKind::Automorphism {
+            limbs: l + 1,
+            n: shape.n,
+        },
         2,
         deps,
     );

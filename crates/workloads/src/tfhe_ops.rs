@@ -22,17 +22,38 @@ pub struct TfheShape {
 impl TfheShape {
     /// Paper Set-I.
     pub fn set_i() -> Self {
-        Self { n: 1024, n_lwe: 500, k: 1, lb: 2, lk: 8, word_bytes: 4.0 }
+        Self {
+            n: 1024,
+            n_lwe: 500,
+            k: 1,
+            lb: 2,
+            lk: 8,
+            word_bytes: 4.0,
+        }
     }
 
     /// Paper Set-II.
     pub fn set_ii() -> Self {
-        Self { n: 1024, n_lwe: 630, k: 1, lb: 3, lk: 8, word_bytes: 4.0 }
+        Self {
+            n: 1024,
+            n_lwe: 630,
+            k: 1,
+            lb: 3,
+            lk: 8,
+            word_bytes: 4.0,
+        }
     }
 
     /// Paper Set-III.
     pub fn set_iii() -> Self {
-        Self { n: 2048, n_lwe: 592, k: 1, lb: 3, lk: 8, word_bytes: 4.0 }
+        Self {
+            n: 2048,
+            n_lwe: 592,
+            k: 1,
+            lb: 3,
+            lk: 8,
+            word_bytes: 4.0,
+        }
     }
 
     /// All three sets with their paper names.
@@ -66,7 +87,12 @@ pub fn pbs(
     let k = shape.k;
     let rows = (k + 1) * shape.lb;
     let bsk_dep = if load_bsk {
-        Some(g.add(KernelKind::HbmLoad { bytes: shape.bsk_bytes() }, &[]))
+        Some(g.add(
+            KernelKind::HbmLoad {
+                bytes: shape.bsk_bytes(),
+            },
+            &[],
+        ))
     } else {
         None
     };
@@ -76,7 +102,11 @@ pub fn pbs(
     for _ in 0..shape.n_lwe {
         let rot = g.add(KernelKind::RotateVec { n: (k + 1) * n }, &[prev]);
         let dec = g.add(
-            KernelKind::Decompose { limbs: k + 1, levels: shape.lb, n },
+            KernelKind::Decompose {
+                limbs: k + 1,
+                levels: shape.lb,
+                n,
+            },
             &[rot],
         );
         let ntts = g.add_many(KernelKind::Ntt { n }, rows, &[dec]);
@@ -85,7 +115,11 @@ pub fn pbs(
             mac_deps.push(b);
         }
         let mac = g.add(
-            KernelKind::ExtProductMac { rows, outputs: k + 1, n },
+            KernelKind::ExtProductMac {
+                rows,
+                outputs: k + 1,
+                n,
+            },
             &mac_deps,
         );
         let intts = g.add_many(KernelKind::Intt { n }, k + 1, &[mac]);
@@ -107,7 +141,12 @@ pub fn pbs(
 /// A batch of independent PBS operations (the Table VII throughput
 /// benchmark). The bootstrapping key is streamed once.
 pub fn pbs_batch(g: &mut KernelGraph, shape: &TfheShape, batch: usize) -> Vec<KernelId> {
-    let bsk = g.add(KernelKind::HbmLoad { bytes: shape.bsk_bytes() }, &[]);
+    let bsk = g.add(
+        KernelKind::HbmLoad {
+            bytes: shape.bsk_bytes(),
+        },
+        &[],
+    );
     let mut sinks = Vec::new();
     for _ in 0..batch {
         sinks.extend(pbs(g, shape, &[bsk], false));

@@ -5,10 +5,10 @@
 //! Run with: `cargo run --release --example accelerator_sim`
 
 use trinity::accel::arch::AcceleratorConfig;
+use trinity::accel::chip_budget;
 use trinity::accel::kernel::KernelGraph;
 use trinity::accel::mapping::{build_machine, MappingPolicy};
 use trinity::accel::sched::simulate;
-use trinity::accel::chip_budget;
 use trinity::workloads::{bootstrap, pbs_batch, CkksShape, TfheShape};
 
 fn main() {

@@ -25,7 +25,10 @@ fn main() {
         let m = deep.hmult(cur, cur);
         cur = deep.rescale(m);
     }
-    println!("\nprogram A: 40 chained HMult+Rescale from level {}", config.ckks.levels);
+    println!(
+        "\nprogram A: 40 chained HMult+Rescale from level {}",
+        config.ckks.levels
+    );
     let compiled = compile(deep, &config);
     println!(
         "  compiler inserted {} bootstraps; {} FHE ops -> {} kernels",
@@ -81,8 +84,12 @@ fn main() {
     for _ in 0..8 {
         cur = app_a.pbs(cur);
     }
-    let t_a = compile(app_a.clone(), &small).simulate(&hybrid_machine).time_ms;
-    let t_b = compile(hybrid.clone(), &small).simulate(&hybrid_machine).time_ms;
+    let t_a = compile(app_a.clone(), &small)
+        .simulate(&hybrid_machine)
+        .time_ms;
+    let t_b = compile(hybrid.clone(), &small)
+        .simulate(&hybrid_machine)
+        .time_ms;
     let mut merged = app_a;
     merged.merge(&hybrid);
     let t_m = compile(merged, &small).simulate(&hybrid_machine).time_ms;

@@ -90,15 +90,8 @@ fn main() {
     // coefficient key, generated at the CKKS prime q0 with a fine
     // decomposition and low noise.
     let tfhe_extracted = ck.glwe_sk.extracted_lwe_key();
-    let cross_ksk = LweKeySwitchKey::generate(
-        &q0,
-        &tfhe_extracted,
-        &ckks_lwe_key,
-        2,
-        16,
-        1e-9,
-        &mut rng,
-    );
+    let cross_ksk =
+        LweKeySwitchKey::generate(&q0, &tfhe_extracted, &ckks_lwe_key, 2, 16, 1e-9, &mut rng);
     let packer = RlwePacker::new(ctx.clone(), &ckks_sk, 1, &mut rng);
 
     let start = std::time::Instant::now();

@@ -8,8 +8,7 @@ use std::time::Instant;
 
 use rand::SeedableRng;
 use trinity::tfhe::{
-    ClientKey, DiscreteMlp, MulBackend, RadixParams, ServerKey, SignLayer, TfheContext,
-    TfheParams,
+    ClientKey, DiscreteMlp, MulBackend, RadixParams, ServerKey, SignLayer, TfheContext, TfheParams,
 };
 
 fn main() {
@@ -29,9 +28,9 @@ fn main() {
     let net = DiscreteMlp::new(vec![
         SignLayer::new(
             vec![
-                vec![1, 1, 1, -1, -1],  // "starts high"
-                vec![-1, -1, 1, 1, 1],  // "ends high"
-                vec![1, -1, 1, -1, 1],  // "alternates"
+                vec![1, 1, 1, -1, -1], // "starts high"
+                vec![-1, -1, 1, 1, 1], // "ends high"
+                vec![1, -1, 1, -1, 1], // "alternates"
             ],
             vec![0, 0, 0],
         ),
@@ -62,18 +61,31 @@ fn main() {
 
     // --- Part 2: radix integers (the encrypted-database filter ops) ---
     let p = RadixParams::new(2, 3); // 6-bit integers
-    println!("\nradix integers: {} digits of {} bits (mod {})", p.num_digits, p.digit_bits, p.modulus());
+    println!(
+        "\nradix integers: {} digits of {} bits (mod {})",
+        p.num_digits,
+        p.digit_bits,
+        p.modulus()
+    );
 
     let a = ck.encrypt_radix(23, p, &mut rng);
     let b = ck.encrypt_radix(18, p, &mut rng);
 
     let t = Instant::now();
     let sum = sk.radix_add(&a, &b);
-    println!("23 + 18 = {}  ({:.1?})", ck.decrypt_radix(&sum), t.elapsed());
+    println!(
+        "23 + 18 = {}  ({:.1?})",
+        ck.decrypt_radix(&sum),
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let doubled = sk.radix_scalar_mul(&a, 2);
-    println!("23 * 2  = {}  ({:.1?})", ck.decrypt_radix(&doubled), t.elapsed());
+    println!(
+        "23 * 2  = {}  ({:.1?})",
+        ck.decrypt_radix(&doubled),
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let lt = sk.radix_lt(&b, &a);

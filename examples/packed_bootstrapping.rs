@@ -52,7 +52,9 @@ fn main() {
     // An n-periodic (sparsely packed) message, encrypted straight at
     // level 0 — no levels left to compute with.
     let n = boot.params().sparse_slots;
-    let vals: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 19) as f64 / 19.0 - 0.5).collect();
+    let vals: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 + 11) % 19) as f64 / 19.0 - 0.5)
+        .collect();
     let slots = ctx.n() / 2;
     let tiled: Vec<f64> = (0..slots).map(|j| vals[j % n]).collect();
     let exhausted = encryptor.encrypt_sk(&enc.encode_real(&tiled, 0), &keys.secret, &mut rng);

@@ -37,7 +37,11 @@ fn main() {
     }
     let mut poly = RnsPoly::from_signed_coeffs(ctx.level_basis(0).clone(), &coeffs);
     poly.to_eval();
-    let pt = Plaintext { poly, scale: delta as f64, level: 0 };
+    let pt = Plaintext {
+        poly,
+        scale: delta as f64,
+        level: 0,
+    };
     let ct = encryptor.encrypt_sk(&pt, &sk, &mut rng);
 
     // --- CKKS -> TFHE (Algorithm 3): one LWE per coefficient. ---

@@ -9,7 +9,9 @@ use rand::SeedableRng;
 use trinity::tfhe::{ClientKey, LweCiphertext, MulBackend, ServerKey, TfheContext, TfheParams};
 
 fn encrypt_nibble(ck: &ClientKey, v: u8, rng: &mut impl rand::Rng) -> Vec<LweCiphertext> {
-    (0..4).map(|i| ck.encrypt_bit((v >> i) & 1 == 1, rng)).collect()
+    (0..4)
+        .map(|i| ck.encrypt_bit((v >> i) & 1 == 1, rng))
+        .collect()
 }
 
 fn decrypt_bits(ck: &ClientKey, bits: &[LweCiphertext]) -> u8 {

@@ -191,7 +191,11 @@ fn ckks_to_tfhe_then_bootstrap() {
     }
     let mut poly = RnsPoly::from_signed_coeffs(ckks_ctx.level_basis(0).clone(), &coeffs);
     poly.to_eval();
-    let pt = Plaintext { poly, scale: (q0.value() / 8) as f64, level: 0 };
+    let pt = Plaintext {
+        poly,
+        scale: (q0.value() / 8) as f64,
+        level: 0,
+    };
     let ct = encryptor.encrypt_sk(&pt, &ckks_sk, &mut rng);
 
     // Conversion: extract, switch to the TFHE modulus, keyswitch down
