@@ -51,6 +51,66 @@ fn bench_ntt_variants(c: &mut Criterion) {
     group.finish();
 }
 
+/// Harvey lazy-reduction forward NTT against the fully-reduced strict
+/// reference — the tentpole's headline micro (acceptance: lazy >= 1.2x
+/// at n = 4096).
+fn bench_ntt_lazy_vs_strict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_lazy_vs_strict");
+    for (log_n, bits) in [(12usize, 50u32), (12, 59), (14, 50)] {
+        let n = 1 << log_n;
+        let p = fhe_math::prime::ntt_primes(bits, n, 1)[0];
+        let table = fhe_math::NttTable::new(fhe_math::Modulus::new(p).unwrap(), n);
+        let mut rng = StdRng::seed_from_u64(21);
+        let poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        // Reuse one buffer and refill by memcpy so the measured loop is
+        // the transform, not a per-iteration allocation.
+        let mut x = poly.clone();
+        group.bench_function(format!("lazy_n{n}_p{bits}"), |b| {
+            b.iter(|| {
+                x.copy_from_slice(&poly);
+                table.forward(&mut x);
+                x[0]
+            })
+        });
+        group.bench_function(format!("strict_n{n}_p{bits}"), |b| {
+            b.iter(|| {
+                x.copy_from_slice(&poly);
+                table.forward_strict(&mut x);
+                x[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full RNS polynomial multiplication on the flat-limb engine:
+/// to_eval + pointwise mul + to_coeff across a 3-limb basis.
+fn bench_poly_mul_flat(c: &mut Criterion) {
+    use fhe_math::{RnsBasis, RnsPoly};
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("poly_mul_flat");
+    for log_n in [12usize, 13] {
+        let n = 1 << log_n;
+        let basis = Arc::new(RnsBasis::new(&fhe_math::prime::ntt_primes(45, n, 3), n));
+        let mut rng = StdRng::seed_from_u64(22);
+        let av: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let bv: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let a = RnsPoly::from_signed_coeffs(basis.clone(), &av);
+        let mut b = RnsPoly::from_signed_coeffs(basis.clone(), &bv);
+        b.to_eval();
+        group.bench_function(format!("n{n}_l3"), |bench| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.to_eval();
+                x.mul_assign_pointwise(&b);
+                x.to_coeff();
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Hybrid keyswitch (the paper's Algorithm 1) at test scale.
 fn bench_keyswitch(c: &mut Criterion) {
     use fhe_ckks::*;
@@ -61,12 +121,11 @@ fn bench_keyswitch(c: &mut Criterion) {
     let rlk = kg.relin_key(&sk, &mut rng);
     let l = ctx.params().max_level();
     let basis = ctx.level_basis(l).clone();
-    let rows: Vec<Vec<u64>> = basis
-        .moduli()
-        .iter()
-        .map(|m| fhe_math::sampler::uniform_residues(&mut rng, m, ctx.n()))
-        .collect();
-    let d = fhe_math::RnsPoly::from_rows(basis, rows, fhe_math::Representation::Eval);
+    let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+    for m in basis.moduli() {
+        flat.extend(fhe_math::sampler::uniform_residues(&mut rng, m, ctx.n()));
+    }
+    let d = fhe_math::RnsPoly::from_flat(basis, flat, fhe_math::Representation::Eval);
     c.bench_function("ckks_hybrid_keyswitch_n1024_l3", |b| {
         b.iter(|| key_switch(&ctx, &d, &rlk, l))
     });
@@ -238,6 +297,8 @@ criterion_group!(
     benches,
     bench_ntt,
     bench_ntt_variants,
+    bench_ntt_lazy_vs_strict,
+    bench_poly_mul_flat,
     bench_keyswitch,
     bench_hmult,
     bench_external_product,

@@ -69,19 +69,19 @@ impl CkksContext {
         let galois = Arc::new(GaloisPerms::new(level_bases[0].table(0).clone()));
 
         let mut keyswitch = Vec::with_capacity(max_level + 1);
-        for l in 0..=max_level {
+        for (l, level_basis) in level_bases.iter().enumerate() {
             let beta = params.beta_at_level(l);
             let mut digits = Vec::with_capacity(beta);
             for j in 0..beta {
                 let digit_limbs: Vec<usize> = params.digit_limbs(j).filter(|&i| i <= l).collect();
                 let other_limbs: Vec<usize> =
                     (0..=l).filter(|i| !digit_limbs.contains(i)).collect();
-                let digit_basis = level_bases[l].select(&digit_limbs);
+                let digit_basis = level_basis.select(&digit_limbs);
                 // Target order is [others..., specials...].
                 let target = if other_limbs.is_empty() {
                     (*special).clone()
                 } else {
-                    level_bases[l].select(&other_limbs).concat(&special)
+                    level_basis.select(&other_limbs).concat(&special)
                 };
                 let mod_up = BasisConverter::new(&digit_basis, &target);
                 digits.push(DigitPrecomp {
@@ -90,8 +90,8 @@ impl CkksContext {
                     mod_up,
                 });
             }
-            let mod_down = BasisConverter::new(&special, &level_bases[l]);
-            let p_inv_mod_q = level_bases[l]
+            let mod_down = BasisConverter::new(&special, level_basis);
+            let p_inv_mod_q = level_basis
                 .moduli()
                 .iter()
                 .map(|qi| {

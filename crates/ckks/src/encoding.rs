@@ -133,7 +133,7 @@ impl Encoder {
         let mut s: Vec<Complex> = centered
             .iter()
             .map(|&c| Complex::new(c, 0.0))
-            .chain(std::iter::repeat(Complex::default()).take(n))
+            .chain(std::iter::repeat_n(Complex::default(), n))
             .collect();
         self.ctx.encode_fft().inverse(&mut s);
         let scale_up = 2.0 * n as f64 / scale;

@@ -41,11 +41,15 @@ impl Encryptor {
         let mut e1 = RnsPoly::from_signed_coeffs(basis.clone(), &sampler::gaussian(rng, n, sigma));
         e1.to_eval();
 
-        // Restrict pk (level L) to level l.
-        let b_rows = pk.b.rows()[..=l].to_vec();
-        let a_rows = pk.a.rows()[..=l].to_vec();
-        let b = RnsPoly::from_rows(basis.clone(), b_rows, Representation::Eval);
-        let a = RnsPoly::from_rows(basis, a_rows, Representation::Eval);
+        // Restrict pk (level L) to level l: with limb-major flat storage
+        // the first l+1 limbs are one contiguous prefix.
+        let take = (l + 1) * n;
+        let b = RnsPoly::from_flat(
+            basis.clone(),
+            pk.b.flat()[..take].to_vec(),
+            Representation::Eval,
+        );
+        let a = RnsPoly::from_flat(basis, pk.a.flat()[..take].to_vec(), Representation::Eval);
 
         let mut c0 = b;
         c0.mul_assign_pointwise(&u);
@@ -72,12 +76,11 @@ impl Encryptor {
         let l = pt.level;
         let basis = self.ctx.level_basis(l).clone();
         let n = self.ctx.n();
-        let c1_rows: Vec<Vec<u64>> = basis
-            .moduli()
-            .iter()
-            .map(|m| sampler::uniform_residues(rng, m, n))
-            .collect();
-        let c1 = RnsPoly::from_rows(basis.clone(), c1_rows, Representation::Eval);
+        let mut c1_flat = Vec::with_capacity(basis.len() * n);
+        for m in basis.moduli() {
+            c1_flat.extend(sampler::uniform_residues(rng, m, n));
+        }
+        let c1 = RnsPoly::from_flat(basis.clone(), c1_flat, Representation::Eval);
         let mut e =
             RnsPoly::from_signed_coeffs(basis, &sampler::gaussian(rng, n, self.ctx.params().sigma));
         e.to_eval();

@@ -263,18 +263,20 @@ impl Evaluator {
     fn rescale_poly(&self, p: &RnsPoly, level: usize) -> RnsPoly {
         let mut p = p.clone();
         p.to_coeff();
-        let rows = p.into_rows();
+        let n = p.n();
+        let flat = p.into_flat();
         let basis = self.ctx.level_basis(level);
         let last_mod = *basis.modulus(level);
-        let last_row = &rows[level];
+        let last_row = &flat[level * n..(level + 1) * n];
         let new_basis = self.ctx.level_basis(level - 1).clone();
-        let out_rows: Vec<Vec<u64>> = (0..level)
-            .map(|i| {
-                let qi = basis.modulus(i);
-                let inv = qi
-                    .inv(qi.reduce(last_mod.value()))
-                    .expect("distinct primes");
-                rows[i]
+        let mut out_flat = Vec::with_capacity(level * n);
+        for i in 0..level {
+            let qi = basis.modulus(i);
+            let inv = qi
+                .inv(qi.reduce(last_mod.value()))
+                .expect("distinct primes");
+            out_flat.extend(
+                flat[i * n..(i + 1) * n]
                     .iter()
                     .zip(last_row)
                     .map(|(&c, &r)| {
@@ -282,11 +284,10 @@ impl Evaluator {
                         let r_centered = last_mod.to_centered(r);
                         let r_in_qi = qi.from_i64(r_centered);
                         qi.mul(qi.sub(c, r_in_qi), inv)
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut out = RnsPoly::from_rows(new_basis, out_rows, Representation::Coeff);
+                    }),
+            );
+        }
+        let mut out = RnsPoly::from_flat(new_basis, out_flat, Representation::Coeff);
         out.to_eval();
         out
     }
@@ -304,9 +305,9 @@ impl Evaluator {
         }
         let basis = self.ctx.level_basis(target_level).clone();
         let take = |p: &RnsPoly| {
-            RnsPoly::from_rows(
+            RnsPoly::from_flat(
                 basis.clone(),
-                p.rows()[..=target_level].to_vec(),
+                p.flat()[..(target_level + 1) * p.n()].to_vec(),
                 Representation::Eval,
             )
         };

@@ -54,17 +54,19 @@ impl SecretKey {
 
     /// Evaluation-form secret over the level-`l` basis.
     pub fn poly_at_level(&self, ctx: &CkksContext, l: usize) -> RnsPoly {
-        let rows = self.full_eval.rows()[..=l].to_vec();
-        RnsPoly::from_rows(ctx.level_basis(l).clone(), rows, Representation::Eval)
+        let n = self.full_eval.n();
+        let data = self.full_eval.flat()[..(l + 1) * n].to_vec();
+        RnsPoly::from_flat(ctx.level_basis(l).clone(), data, Representation::Eval)
     }
 
     /// Evaluation-form secret over the extended level-`l` basis
     /// (`q_0..q_l ++ P`).
     pub fn poly_extended(&self, ctx: &CkksContext, l: usize) -> RnsPoly {
+        let n = self.full_eval.n();
         let max_l = ctx.params().max_level();
-        let mut rows = self.full_eval.rows()[..=l].to_vec();
-        rows.extend_from_slice(&self.full_eval.rows()[max_l + 1..]);
-        RnsPoly::from_rows(ctx.extended_basis(l).clone(), rows, Representation::Eval)
+        let mut data = self.full_eval.flat()[..(l + 1) * n].to_vec();
+        data.extend_from_slice(&self.full_eval.flat()[(max_l + 1) * n..]);
+        RnsPoly::from_flat(ctx.extended_basis(l).clone(), data, Representation::Eval)
     }
 }
 
@@ -105,12 +107,11 @@ impl SwitchingKey {
         let mut rows = Vec::with_capacity(dnum_digits);
         for j in 0..dnum_digits {
             // Uniform a_j over the extended basis.
-            let a_rows: Vec<Vec<u64>> = full
-                .moduli()
-                .iter()
-                .map(|m| sampler::uniform_residues(rng, m, n))
-                .collect();
-            let a = RnsPoly::from_rows(full.clone(), a_rows, Representation::Eval);
+            let mut a_flat = Vec::with_capacity(full.len() * n);
+            for m in full.moduli() {
+                a_flat.extend(sampler::uniform_residues(rng, m, n));
+            }
+            let a = RnsPoly::from_flat(full.clone(), a_flat, Representation::Eval);
             // e_j small.
             let mut e =
                 RnsPoly::from_signed_coeffs(full.clone(), &sampler::gaussian(rng, n, params.sigma));
@@ -152,9 +153,10 @@ impl SwitchingKey {
         let max_l = ctx.params().max_level();
         let target = ctx.extended_basis(l).clone();
         let select = |p: &RnsPoly| {
-            let mut rows = p.rows()[..=l].to_vec();
-            rows.extend_from_slice(&p.rows()[max_l + 1..]);
-            RnsPoly::from_rows(target.clone(), rows, Representation::Eval)
+            let n = p.n();
+            let mut data = p.flat()[..(l + 1) * n].to_vec();
+            data.extend_from_slice(&p.flat()[(max_l + 1) * n..]);
+            RnsPoly::from_flat(target.clone(), data, Representation::Eval)
         };
         let (b, a) = &self.rows[j];
         (select(b), select(a))
@@ -196,12 +198,11 @@ impl KeyGenerator {
         let l = self.ctx.params().max_level();
         let basis = self.ctx.level_basis(l).clone();
         let n = self.ctx.n();
-        let a_rows: Vec<Vec<u64>> = basis
-            .moduli()
-            .iter()
-            .map(|m| sampler::uniform_residues(rng, m, n))
-            .collect();
-        let a = RnsPoly::from_rows(basis.clone(), a_rows, Representation::Eval);
+        let mut a_flat = Vec::with_capacity(basis.len() * n);
+        for m in basis.moduli() {
+            a_flat.extend(sampler::uniform_residues(rng, m, n));
+        }
+        let a = RnsPoly::from_flat(basis.clone(), a_flat, Representation::Eval);
         let mut e =
             RnsPoly::from_signed_coeffs(basis, &sampler::gaussian(rng, n, self.ctx.params().sigma));
         e.to_eval();
@@ -341,7 +342,7 @@ mod tests {
             check.to_coeff();
             // Every limb should hold the same small error polynomial.
             let bound = 6.0 * ctx.params().sigma + 1.0;
-            for (row, m) in check.rows().iter().zip(full.moduli()) {
+            for (row, m) in check.flat().chunks_exact(ctx.n()).zip(full.moduli()) {
                 for &c in row {
                     let centered = m.to_centered(c);
                     assert!(

@@ -43,35 +43,31 @@ pub fn key_switch(
     let mut acc0 = RnsPoly::zero(ext_basis.clone(), Representation::Eval);
     let mut acc1 = RnsPoly::zero(ext_basis.clone(), Representation::Eval);
 
+    let n = ctx.n();
     for (j, digit) in precomp.digits.iter().enumerate() {
-        // Decompose: gather this digit's limbs.
-        let digit_rows: Vec<Vec<u64>> = digit
-            .digit_limbs
-            .iter()
-            .map(|&i| d_coeff.rows()[i].clone())
-            .collect();
-        // ModUp: BConv digit -> (others ∪ P).
-        let converted = digit.mod_up.convert_approx(&digit_rows);
-        // Reassemble rows in extended order [q_0..q_l, p_0..].
+        // Decompose: gather this digit's limbs into one flat buffer.
+        let mut digit_flat = Vec::with_capacity(digit.digit_limbs.len() * n);
+        for &i in &digit.digit_limbs {
+            digit_flat.extend_from_slice(d_coeff.limb(i));
+        }
+        // ModUp: BConv digit -> (others ∪ P), flat limb-major in and out.
+        let converted = digit.mod_up.convert_approx(&digit_flat);
+        // Reassemble limbs in extended order [q_0..q_l, p_0..].
         let n_q = level + 1;
         let n_p = ctx.params().p_special.len();
-        let mut rows: Vec<Vec<u64>> = Vec::with_capacity(n_q + n_p);
-        let mut digit_iter = digit.digit_limbs.iter().peekable();
+        let mut flat = Vec::with_capacity((n_q + n_p) * n);
         let mut other_pos = 0usize;
         for i in 0..n_q {
-            if digit_iter.peek() == Some(&&i) {
-                digit_iter.next();
-                let idx = digit.digit_limbs.iter().position(|&x| x == i).unwrap();
-                rows.push(digit_rows[idx].clone());
+            if let Some(idx) = digit.digit_limbs.iter().position(|&x| x == i) {
+                flat.extend_from_slice(&digit_flat[idx * n..(idx + 1) * n]);
             } else {
-                rows.push(converted[other_pos].clone());
+                flat.extend_from_slice(&converted[other_pos * n..(other_pos + 1) * n]);
                 other_pos += 1;
             }
         }
-        for k in 0..n_p {
-            rows.push(converted[digit.other_limbs.len() + k].clone());
-        }
-        let mut d_tilde = RnsPoly::from_rows(ext_basis.clone(), rows, Representation::Coeff);
+        let p_start = digit.other_limbs.len();
+        flat.extend_from_slice(&converted[p_start * n..(p_start + n_p) * n]);
+        let mut d_tilde = RnsPoly::from_flat(ext_basis.clone(), flat, Representation::Coeff);
         // NTT into evaluation form.
         d_tilde.to_eval();
         // Inner product with the key digit.
@@ -91,23 +87,26 @@ pub fn key_switch(
 fn mod_down(ctx: &CkksContext, mut acc: RnsPoly, level: usize) -> RnsPoly {
     let precomp = ctx.keyswitch_precomp(level);
     acc.to_coeff();
-    let rows = acc.into_rows();
+    let n = acc.n();
+    let flat = acc.into_flat();
     let n_q = level + 1;
-    let (q_rows, p_rows) = rows.split_at(n_q);
-    let p_in_q = precomp.mod_down.convert_exact(p_rows);
+    // Limb-major layout: the q-limbs and P-limbs are contiguous halves,
+    // so the P-part feeds BConv without any gather.
+    let (q_flat, p_flat) = flat.split_at(n_q * n);
+    let p_in_q = precomp.mod_down.convert_exact(p_flat);
     let level_basis = ctx.level_basis(level).clone();
-    let out_rows: Vec<Vec<u64>> = (0..n_q)
-        .map(|i| {
-            let qi = level_basis.modulus(i);
-            let inv = precomp.p_inv_mod_q[i];
-            q_rows[i]
+    let mut out_flat = Vec::with_capacity(n_q * n);
+    for i in 0..n_q {
+        let qi = level_basis.modulus(i);
+        let inv = precomp.p_inv_mod_q[i];
+        out_flat.extend(
+            q_flat[i * n..(i + 1) * n]
                 .iter()
-                .zip(&p_in_q[i])
-                .map(|(&c, &p)| qi.mul(qi.sub(c, p), inv))
-                .collect()
-        })
-        .collect();
-    let mut out = RnsPoly::from_rows(level_basis, out_rows, Representation::Coeff);
+                .zip(&p_in_q[i * n..(i + 1) * n])
+                .map(|(&c, &p)| qi.mul(qi.sub(c, p), inv)),
+        );
+    }
+    let mut out = RnsPoly::from_flat(level_basis, out_flat, Representation::Coeff);
     out.to_eval();
     out
 }
@@ -135,12 +134,11 @@ mod tests {
         for level in [ctx.params().max_level(), 1, 0] {
             let basis = ctx.level_basis(level).clone();
             // Random "ciphertext part" d, uniform over the basis.
-            let rows: Vec<Vec<u64>> = basis
-                .moduli()
-                .iter()
-                .map(|m| sampler::uniform_residues(&mut rng, m, ctx.n()))
-                .collect();
-            let d = RnsPoly::from_rows(basis.clone(), rows, Representation::Eval);
+            let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+            for m in basis.moduli() {
+                flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+            }
+            let d = RnsPoly::from_flat(basis.clone(), flat, Representation::Eval);
 
             let (ks0, ks1) = key_switch(&ctx, &d, &rlk, level);
 
@@ -185,12 +183,11 @@ mod tests {
 
         let level = 1;
         let basis = ctx.level_basis(level).clone();
-        let rows: Vec<Vec<u64>> = basis
-            .moduli()
-            .iter()
-            .map(|m| sampler::uniform_residues(&mut rng, m, ctx.n()))
-            .collect();
-        let d = RnsPoly::from_rows(basis, rows, Representation::Eval);
+        let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+        for m in basis.moduli() {
+            flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+        }
+        let d = RnsPoly::from_flat(basis, flat, Representation::Eval);
         let (ks0, ks1) = key_switch(&ctx, &d, &gk, level);
 
         let s = sk.poly_at_level(&ctx, level);

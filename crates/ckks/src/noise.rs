@@ -54,15 +54,19 @@ pub struct NoiseEstimate {
     pub bits: f64,
 }
 
-impl NoiseEstimate {
-    /// Combines two independent error terms (variances add).
-    pub fn add(self, other: NoiseEstimate) -> NoiseEstimate {
+/// `+` combines two independent error terms (variances add).
+impl std::ops::Add for NoiseEstimate {
+    type Output = NoiseEstimate;
+
+    fn add(self, other: NoiseEstimate) -> NoiseEstimate {
         let v = 4f64.powf(self.bits) + 4f64.powf(other.bits);
         NoiseEstimate {
             bits: v.log2() / 2.0,
         }
     }
+}
 
+impl NoiseEstimate {
     /// Scales the error by a constant factor `c` (in absolute value).
     pub fn scale(self, c: f64) -> NoiseEstimate {
         NoiseEstimate {
@@ -111,7 +115,7 @@ impl NoiseModel {
 
     /// Noise after adding two ciphertexts.
     pub fn hadd(&self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate {
-        a.add(b)
+        a + b
     }
 
     /// Noise after multiplying by a plaintext with slot magnitude
@@ -119,7 +123,7 @@ impl NoiseModel {
     /// plaintext (then divided back by the dropped prime, which the
     /// relative-bits view absorbs), plus the rescale rounding term.
     pub fn pmult_rescale(&self, a: NoiseEstimate, m_max: f64) -> NoiseEstimate {
-        a.scale(m_max).add(self.rescale_term())
+        a.scale(m_max) + self.rescale_term()
     }
 
     /// Noise after ciphertext multiplication (scales with the other
@@ -131,10 +135,7 @@ impl NoiseModel {
         ma_max: f64,
         mb_max: f64,
     ) -> NoiseEstimate {
-        a.scale(mb_max)
-            .add(b.scale(ma_max))
-            .add(self.keyswitch_term())
-            .add(self.rescale_term())
+        a.scale(mb_max) + b.scale(ma_max) + self.keyswitch_term() + self.rescale_term()
     }
 
     /// The additive rescale rounding: each coefficient rounds by at
@@ -158,7 +159,7 @@ impl NoiseModel {
     /// Noise after a homomorphic rotation (automorphism preserves the
     /// distribution; the keyswitch adds its term).
     pub fn hrotate(&self, a: NoiseEstimate) -> NoiseEstimate {
-        a.add(self.keyswitch_term())
+        a + self.keyswitch_term()
     }
 
     /// Bits of precision remaining for a message at unit scale: the
@@ -307,10 +308,10 @@ mod tests {
         let a = NoiseEstimate { bits: 10.0 };
         let b = NoiseEstimate { bits: 10.0 };
         // Equal variances: +0.5 bits.
-        assert!((a.add(b).bits - 10.5).abs() < 1e-9);
+        assert!(((a + b).bits - 10.5).abs() < 1e-9);
         // Dominant term wins.
         let big = NoiseEstimate { bits: 30.0 };
-        assert!((a.add(big).bits - 30.0).abs() < 1e-3);
+        assert!(((a + big).bits - 30.0).abs() < 1e-3);
         // Scaling by 2 adds one bit.
         assert!((a.scale(2.0).bits - 11.0).abs() < 1e-9);
     }

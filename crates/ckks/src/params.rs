@@ -71,7 +71,7 @@ impl CkksParams {
                 levels + 1
             )));
         }
-        if scale_bits < 20 || scale_bits > 50 {
+        if !(20..=50).contains(&scale_bits) {
             return Err(InvalidParamsError(format!(
                 "scale_bits={scale_bits} outside supported range [20, 50]"
             )));
@@ -108,7 +108,7 @@ impl CkksParams {
             q_chain.extend(found);
         }
         // alpha special primes, alpha = ceil((L+1)/dnum) (Table I).
-        let alpha = ((levels + 1) + dnum - 1) / dnum;
+        let alpha = (levels + 1).div_ceil(dnum);
         let mut p_special = Vec::new();
         let mut bits = big_bits;
         while p_special.len() < alpha {
@@ -157,12 +157,12 @@ impl CkksParams {
 
     /// Number of RNS moduli per digit, `alpha = ceil((L+1)/dnum)`.
     pub fn alpha(&self) -> usize {
-        (self.q_chain.len() + self.dnum - 1) / self.dnum
+        self.q_chain.len().div_ceil(self.dnum)
     }
 
     /// Number of digits at level `l`, `beta = ceil((l+1)/alpha)`.
     pub fn beta_at_level(&self, l: usize) -> usize {
-        (l + 1 + self.alpha() - 1) / self.alpha()
+        (l + 1).div_ceil(self.alpha())
     }
 
     /// Number of slots (N/2).

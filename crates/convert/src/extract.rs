@@ -25,8 +25,8 @@ pub fn sample_extract(ctx: &CkksContext, ct: &Ciphertext, idx: usize) -> LweCiph
     let mut c1 = ct.c1.clone();
     c0.to_coeff();
     c1.to_coeff();
-    let c0_row = &c0.rows()[0];
-    let c1_row = &c1.rows()[0];
+    let c0_row = c0.limb(0);
+    let c1_row = c1.limb(0);
     // Decryption is c0 + c1*s; LWE phase is b - <a, s>, so
     // a_j = -(coefficient of s_j in (c1*s)[idx]).
     let mut a = Vec::with_capacity(n);

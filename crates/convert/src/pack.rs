@@ -122,26 +122,26 @@ impl RlwePacker {
         assert_eq!(lwe.dim(), n, "LWE dimension must equal ring degree");
         let basis = self.ctx.level_basis(self.level).clone();
         let limbs = basis.len();
-        let mut c0_rows = vec![vec![0u64; n]; limbs];
-        let mut c1_rows = vec![vec![0u64; n]; limbs];
+        let mut c0_flat = vec![0u64; limbs * n];
+        let mut c1_flat = vec![0u64; limbs * n];
         // c0 = raise(b) * X^0.
         let b_raised = self.raise(lwe.b);
         for (l, &r) in b_raised.iter().enumerate() {
-            c0_rows[l][0] = r;
+            c0_flat[l * n] = r;
         }
         // c1[0] = -raise(a_0); c1[N-j] = +raise(a_j) for j >= 1.
         for (j, &aj) in lwe.a.iter().enumerate() {
             let raised = self.raise(aj);
             for (l, &r) in raised.iter().enumerate() {
                 if j == 0 {
-                    c1_rows[l][0] = basis.modulus(l).neg(r);
+                    c1_flat[l * n] = basis.modulus(l).neg(r);
                 } else {
-                    c1_rows[l][n - j] = r;
+                    c1_flat[l * n + n - j] = r;
                 }
             }
         }
-        let mut c0 = RnsPoly::from_rows(basis.clone(), c0_rows, Representation::Coeff);
-        let mut c1 = RnsPoly::from_rows(basis, c1_rows, Representation::Coeff);
+        let mut c0 = RnsPoly::from_flat(basis.clone(), c0_flat, Representation::Coeff);
+        let mut c1 = RnsPoly::from_flat(basis, c1_flat, Representation::Coeff);
         c0.to_eval();
         c1.to_eval();
         Ciphertext {

@@ -203,7 +203,7 @@ pub fn simulate(machine: &Machine, graph: &KernelGraph) -> SimResult {
             }
             let dur = lane.cycles(&k.kind).max(1);
             let start = states[li].earliest_start(ready, dur);
-            if best.map_or(true, |(_, bs, bd)| start + dur < bs + bd) {
+            if best.is_none_or(|(_, bs, bd)| start + dur < bs + bd) {
                 best = Some((li, start, dur));
             }
         }

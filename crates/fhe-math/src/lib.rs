@@ -7,17 +7,43 @@
 //! * [`prime`] — Miller–Rabin, NTT-friendly prime generation, and the
 //!   paper's "closest prime to `q`" selection for the FFT→NTT
 //!   substitution in TFHE (§II-B).
-//! * [`NttTable`] — negacyclic NTTs in three hardware-relevant flavours:
-//!   reference (Harvey), constant-geometry (Pease — Trinity's NTTU/CU
-//!   dataflow), and four-step (Bailey — Trinity's long-NTT strategy).
+//! * [`NttTable`] — negacyclic NTTs in hardware-relevant flavours: the
+//!   lazy-reduction hot path (Harvey), a fully-reduced strict reference,
+//!   constant-geometry (Pease — Trinity's NTTU/CU dataflow), and
+//!   four-step (Bailey — Trinity's long-NTT strategy).
 //! * [`FftPlan`] — the double-precision FFT that FFT-based TFHE
 //!   accelerators use, kept as a comparison baseline.
 //! * [`RnsBasis`] / [`BasisConverter`] — RNS bases and the `BConv`
-//!   kernel (fast base conversion).
+//!   kernel (fast base conversion), operating on flat limb-major
+//!   buffers.
 //! * [`RnsPoly`] — RNS polynomials with NTT, automorphism, and monomial
-//!   operations.
+//!   operations over a flat contiguous limb buffer.
 //! * [`sampler`] — uniform / ternary / binary / Gaussian samplers.
+//! * [`scratch`] — thread-local scratch buffers for the transform hot
+//!   paths.
 //! * [`UBig`] — minimal big integers for CRT reconstruction.
+//!
+//! # Data layout and reduction discipline
+//!
+//! **Flat limb-major storage.** An [`RnsPoly`] over `L` limbs and ring
+//! degree `N` is a single `Vec<u64>` of `L * N` words; limb `i` is the
+//! slice `data[i*N .. (i+1)*N]`, reachable via [`RnsPoly::limb`] /
+//! [`RnsPoly::limb_mut`] and wholesale via [`RnsPoly::flat`]. The
+//! [`BasisConverter`] kernels consume and produce the same layout, so
+//! keyswitching moves residues between bases without re-boxing rows.
+//!
+//! **Lazy-reduction window.** Inside [`NttTable::forward`] /
+//! [`NttTable::inverse`] butterfly operands roam in `[0, 4p)` (forward)
+//! and `[0, 2p)` (inverse) — Harvey's trick, sound because every modulus
+//! is below `2^62`. That window never escapes: a final correction pass
+//! canonicalises before the transform returns.
+//!
+//! **Canonical residues everywhere else.** Every public API in this
+//! crate accepts and returns canonical residues in `[0, p)` per limb:
+//! `RnsPoly` arithmetic, `BasisConverter::convert_*`, `Modulus::{add,
+//! sub, mul, mul_shoup, reduce*}`. The only deliberately non-canonical
+//! return is [`Modulus::mul_shoup_lazy`] (range `[0, 2p)`), which exists
+//! for butterfly inner loops and says so in its name.
 //!
 //! # Examples
 //!
@@ -46,6 +72,7 @@ pub mod poly;
 pub mod prime;
 pub mod rns;
 pub mod sampler;
+pub mod scratch;
 pub mod util;
 
 pub use bigint::UBig;

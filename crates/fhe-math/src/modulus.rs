@@ -46,7 +46,7 @@ impl Modulus {
     ///
     /// Returns [`InvalidModulusError`] if `p < 2` or `p >= 2^62`.
     pub fn new(p: u64) -> Result<Self, InvalidModulusError> {
-        if p < 2 || p >= Self::MAX {
+        if !(2..Self::MAX).contains(&p) {
             return Err(InvalidModulusError(p));
         }
         // Compute floor(2^128 / p) via long division of 2^128 by p.
@@ -172,13 +172,27 @@ impl Modulus {
     #[inline]
     pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
         debug_assert!(a < self.p);
-        let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
-        let r = a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(self.p));
+        let r = self.mul_shoup_lazy(a, w, w_shoup);
         if r >= self.p {
             r - self.p
         } else {
             r
         }
+    }
+
+    /// Lazy Shoup multiplication: returns `a * w mod p` as a representative
+    /// in `[0, 2p)`, skipping the final conditional subtraction.
+    ///
+    /// Correct for **any** `a: u64` (not just canonical residues): with
+    /// `w_shoup = floor(w * 2^64 / p)` and `q = floor(a * w_shoup / 2^64)`,
+    /// the remainder `a*w - q*p` equals `(c*p + a*b) / 2^64` for some
+    /// `c < 2^64` and `b < p`, hence is `< 2p`. This is the butterfly
+    /// multiplier of the Harvey lazy-reduction NTT, where operands stay in
+    /// `[0, 4p)` between stages.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(self.p))
     }
 
     /// Modular exponentiation by squaring.
@@ -323,6 +337,34 @@ mod tests {
                 .wrapping_add(1442695040888963407)
                 % p;
             assert_eq!(m.mul_shoup(a, w, ws), m.mul(a, w));
+        }
+    }
+
+    #[test]
+    fn mul_shoup_lazy_stays_below_2p() {
+        // The lazy product must be a [0, 2p) representative of a*w mod p
+        // for ANY u64 input a — including the [0, 4p) operands the lazy
+        // NTT butterflies feed it.
+        let p = (1u64 << 61) - 1;
+        let m = Modulus::new(p).unwrap();
+        let w = 0x0123_4567_89ab_cdefu64 % p;
+        let ws = m.shoup(w);
+        let samples = [
+            0u64,
+            1,
+            p - 1,
+            p,
+            2 * p - 1,
+            2 * p,
+            4 * p - 1,
+            u64::MAX,
+            0xdead_beef_dead_beef,
+        ];
+        for a in samples {
+            let r = m.mul_shoup_lazy(a, w, ws);
+            assert!(r < 2 * p, "lazy result {r} not below 2p for a={a}");
+            let expect = ((a as u128 % p as u128) * w as u128 % p as u128) as u64;
+            assert_eq!(r % p, expect, "wrong residue for a={a}");
         }
     }
 

@@ -1,28 +1,35 @@
 //! Negacyclic Number Theoretic Transforms over `Z_p[X]/(X^N + 1)`.
 //!
-//! Three interchangeable implementations are provided, mirroring the
+//! Four interchangeable implementations are provided, mirroring the
 //! hardware structures discussed in the Trinity paper:
 //!
-//! * [`NttTable::forward`] / [`NttTable::inverse`] — the reference
-//!   in-place Cooley–Tukey / Gentleman–Sande transform with merged
-//!   ψ-twisting (the standard software formulation, Harvey/SEAL style,
-//!   with Shoup multiplication on twiddles).
+//! * [`NttTable::forward`] / [`NttTable::inverse`] — the production hot
+//!   path: in-place Cooley–Tukey / Gentleman–Sande with merged ψ-twisting
+//!   **and Harvey lazy reduction**. Butterfly operands stay in `[0, 4p)`
+//!   through the stages (forward) / `[0, 2p)` (inverse) and a single
+//!   correction pass canonicalises the output, so each butterfly spends
+//!   one conditional subtraction instead of three. Inputs and outputs
+//!   are canonical residues in `[0, p)`.
+//! * [`NttTable::forward_strict`] / [`NttTable::inverse_strict`] — the
+//!   fully-reduced reference transform (every butterfly reduces to
+//!   `[0, p)`), kept as the oracle the lazy path is asserted against.
 //! * [`NttTable::forward_constant_geometry`] — the Pease constant-geometry
 //!   dataflow used by Trinity's NTTU and CU butterfly networks (§IV-B:
 //!   "constant-geometry NTT ... maintains a consistent access pattern for
-//!   the computation of BUs in each stage").
+//!   the computation of BUs in each stage"). Fully reduced.
 //! * [`NttTable::forward_four_step`] — Bailey's four-step decomposition
 //!   (§IV-E), splitting an N-point NTT into phase-1 column NTTs, an
 //!   on-the-fly twisting step (OF-Twist, Fig. 4), and phase-2 row NTTs
 //!   with a final transpose. This is exactly how Trinity computes NTTs
-//!   longer than its 256-point pipeline.
+//!   longer than its 256-point pipeline. Fully reduced.
 //!
-//! All three produce identical results (asserted by the test suite), so
-//! higher layers can use the fast reference transform while the simulator
-//! reasons about the hardware-shaped variants.
+//! All variants produce bit-identical results (asserted by the test
+//! suite), so higher layers can use the fast lazy transform while the
+//! simulator reasons about the hardware-shaped variants.
 
 use crate::modulus::Modulus;
 use crate::prime::primitive_root_of_unity;
+use crate::scratch::with_scratch2;
 use crate::util::{four_step_split, log2_exact, reverse_bits};
 
 /// Precomputed tables for the negacyclic NTT of a fixed size and modulus.
@@ -108,14 +115,114 @@ impl NttTable {
         &self.modulus
     }
 
-    /// In-place forward negacyclic NTT (coefficient → evaluation form).
+    /// In-place forward negacyclic NTT (coefficient → evaluation form),
+    /// using Harvey lazy reduction.
     ///
-    /// Input and output are both in natural order.
+    /// Input and output are both in natural order and canonical (`[0, p)`);
+    /// *between* butterfly stages values roam in `[0, 4p)` — each
+    /// butterfly does one conditional subtraction (on its upper operand)
+    /// instead of three, and a single correction pass at the end maps
+    /// everything back to `[0, p)`. Sound because `p < 2^62`, so `4p`
+    /// fits a `u64` with headroom.
+    ///
+    /// Bit-identical to [`Self::forward_strict`] (asserted by tests).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = &self.modulus;
+        let p = m.value();
+        let two_p = 2 * p;
+        let mut t = self.n;
+        let mut groups = 1usize;
+        while groups < self.n {
+            t >>= 1;
+            for i in 0..groups {
+                let (w, ws) = self.psi_rev[groups + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    // u in [0, 4p) -> [0, 2p); v in [0, 2p) from the lazy
+                    // multiply; outputs in [0, 4p).
+                    let mut u = a[j];
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    let v = m.mul_shoup_lazy(a[j + t], w, ws);
+                    a[j] = u + v;
+                    a[j + t] = u + two_p - v;
+                }
+            }
+            groups <<= 1;
+        }
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_p {
+                v -= two_p;
+            }
+            if v >= p {
+                v -= p;
+            }
+            *x = v;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient form),
+    /// using Harvey lazy reduction (values stay in `[0, 2p)` through the
+    /// Gentleman–Sande stages; the final `n^{-1}` scaling pass
+    /// canonicalises). Bit-identical to [`Self::inverse_strict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let m = &self.modulus;
+        let p = m.value();
+        let two_p = 2 * p;
+        let mut t = 1usize;
+        let mut groups = self.n;
+        while groups > 1 {
+            let h = groups >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let (w, ws) = self.psi_inv_rev[h + i];
+                for j in j1..j1 + t {
+                    // u, v in [0, 2p); sum folded back below 2p; the lazy
+                    // multiply accepts the [0, 4p) difference directly.
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut s = u + v;
+                    if s >= two_p {
+                        s -= two_p;
+                    }
+                    a[j] = s;
+                    a[j + t] = m.mul_shoup_lazy(u + two_p - v, w, ws);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            groups = h;
+        }
+        let (ni, nis) = self.n_inv;
+        for x in a.iter_mut() {
+            let mut v = m.mul_shoup_lazy(*x, ni, nis);
+            if v >= p {
+                v -= p;
+            }
+            *x = v;
+        }
+    }
+
+    /// Fully-reduced forward transform: every butterfly reduces to
+    /// `[0, p)`. Kept as the reference oracle for the lazy hot path (and
+    /// as the strict comparator in the `ntt_lazy_vs_strict` bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let m = &self.modulus;
         let mut t = self.n;
@@ -136,12 +243,13 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient form).
+    /// Fully-reduced inverse transform — the strict counterpart of
+    /// [`Self::inverse`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let m = &self.modulus;
         let mut t = 1usize;
@@ -191,29 +299,34 @@ impl NttTable {
             let (w, ws) = self.psi_pow[i];
             *x = m.mul_shoup(*x, w, ws);
         }
-        let mut src: Vec<u64> = (0..n).map(|i| a[reverse_bits(i, self.log_n)]).collect();
-        let mut dst = vec![0u64; n];
-        for s in 0..self.log_n {
-            let shift = self.log_n - 1 - s;
-            for j in 0..n / 2 {
-                // Twiddle exponent: top bits of j, aligned — identical
-                // schedule every stage, only the mask widens.
-                let e = (j >> shift) << shift;
-                let (w, ws) = self.omega_pow[e];
-                let u = src[2 * j];
-                let v = m.mul_shoup(src[2 * j + 1], w, ws);
-                dst[j] = m.add(u, v);
-                dst[j + n / 2] = m.sub(u, v);
+        with_scratch2(n, |src, dst| {
+            let mut src: &mut [u64] = src;
+            let mut dst: &mut [u64] = dst;
+            for (i, s) in src.iter_mut().enumerate() {
+                *s = a[reverse_bits(i, self.log_n)];
             }
-            std::mem::swap(&mut src, &mut dst);
-        }
-        // The constant-geometry pipeline produces the spectrum in natural
-        // exponent order (slot k holds f(psi^{2k+1})); the reference
-        // transform stores slot k = f(psi^{2 bitrev(k) + 1}). Reconcile so
-        // all implementations are drop-in interchangeable.
-        for k in 0..n {
-            a[k] = src[reverse_bits(k, self.log_n)];
-        }
+            for s in 0..self.log_n {
+                let shift = self.log_n - 1 - s;
+                for j in 0..n / 2 {
+                    // Twiddle exponent: top bits of j, aligned — identical
+                    // schedule every stage, only the mask widens.
+                    let e = (j >> shift) << shift;
+                    let (w, ws) = self.omega_pow[e];
+                    let u = src[2 * j];
+                    let v = m.mul_shoup(src[2 * j + 1], w, ws);
+                    dst[j] = m.add(u, v);
+                    dst[j + n / 2] = m.sub(u, v);
+                }
+                std::mem::swap(&mut src, &mut dst);
+            }
+            // The constant-geometry pipeline produces the spectrum in
+            // natural exponent order (slot k holds f(psi^{2k+1})); the
+            // reference transform stores slot k = f(psi^{2 bitrev(k) + 1}).
+            // Reconcile so all implementations are drop-in interchangeable.
+            for k in 0..n {
+                a[k] = src[reverse_bits(k, self.log_n)];
+            }
+        });
         self.log_n
     }
 
@@ -252,52 +365,52 @@ impl NttTable {
         // Column NTTs: for each j2, transform over j1 with root omega^{n2}.
         // We materialise small cyclic NTTs directly from omega powers.
         let omega_at = |e: usize| self.omega_pow[e % self.n].0;
-        let mut c = vec![0u64; self.n];
-        for j2 in 0..n2 {
-            for k1 in 0..n1 {
-                let mut acc = 0u64;
-                for j1 in 0..n1 {
-                    let w = omega_at(n2 * ((j1 * k1) % n1));
-                    acc = m.add(acc, m.mul(a[j1 * n2 + j2], w));
-                }
-                c[k1 * n2 + j2] = acc;
-            }
-        }
-        // Twist: row k1, column j2 multiplied by omega^{j2*k1} — a
-        // geometric sequence along each row with ratio omega^{k1}.
-        for k1 in 0..n1 {
-            let ratio = omega_at(k1);
-            let mut tw = 1u64;
+        with_scratch2(self.n, |c, r| {
             for j2 in 0..n2 {
-                c[k1 * n2 + j2] = m.mul(c[k1 * n2 + j2], tw);
-                tw = m.mul(tw, ratio);
-            }
-        }
-        // Row NTTs over j2 with root omega^{n1}; output index k2.
-        let mut r = vec![0u64; self.n];
-        for k1 in 0..n1 {
-            for k2 in 0..n2 {
-                let mut acc = 0u64;
-                for j2 in 0..n2 {
-                    let w = omega_at(n1 * ((j2 * k2) % n2));
-                    acc = m.add(acc, m.mul(c[k1 * n2 + j2], w));
+                for k1 in 0..n1 {
+                    let mut acc = 0u64;
+                    for j1 in 0..n1 {
+                        let w = omega_at(n2 * ((j1 * k1) % n1));
+                        acc = m.add(acc, m.mul(a[j1 * n2 + j2], w));
+                    }
+                    c[k1 * n2 + j2] = acc;
                 }
-                r[k1 * n2 + k2] = acc;
             }
-        }
-        // Transpose: X[k2 * n1 + k1] = r[k1][k2] gives the spectrum in
-        // natural exponent order (slot k holds f(psi^{2k+1})). The
-        // reference transform stores slot k = f(psi^{2 bitrev(k) + 1}),
-        // so fold the bit-reversal into the final write-out.
-        let mut x_nat = vec![0u64; self.n];
-        for k1 in 0..n1 {
-            for k2 in 0..n2 {
-                x_nat[k2 * n1 + k1] = r[k1 * n2 + k2];
+            // Twist: row k1, column j2 multiplied by omega^{j2*k1} — a
+            // geometric sequence along each row with ratio omega^{k1}.
+            for k1 in 0..n1 {
+                let ratio = omega_at(k1);
+                let mut tw = 1u64;
+                for j2 in 0..n2 {
+                    c[k1 * n2 + j2] = m.mul(c[k1 * n2 + j2], tw);
+                    tw = m.mul(tw, ratio);
+                }
             }
-        }
-        for k in 0..self.n {
-            a[k] = x_nat[reverse_bits(k, self.log_n)];
-        }
+            // Row NTTs over j2 with root omega^{n1}; output index k2.
+            for k1 in 0..n1 {
+                for k2 in 0..n2 {
+                    let mut acc = 0u64;
+                    for j2 in 0..n2 {
+                        let w = omega_at(n1 * ((j2 * k2) % n2));
+                        acc = m.add(acc, m.mul(c[k1 * n2 + j2], w));
+                    }
+                    r[k1 * n2 + k2] = acc;
+                }
+            }
+            // Transpose: X[k2 * n1 + k1] = r[k1][k2] gives the spectrum in
+            // natural exponent order (slot k holds f(psi^{2k+1})). The
+            // reference transform stores slot k = f(psi^{2 bitrev(k) + 1}),
+            // so fold the bit-reversal into the final write-out, reusing
+            // the column buffer for the transposed spectrum.
+            for k1 in 0..n1 {
+                for k2 in 0..n2 {
+                    c[k2 * n1 + k1] = r[k1 * n2 + k2];
+                }
+            }
+            for k in 0..self.n {
+                a[k] = c[reverse_bits(k, self.log_n)];
+            }
+        });
         (n1, n2)
     }
 
@@ -351,13 +464,13 @@ pub fn negacyclic_mul_schoolbook(m: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> 
     assert_eq!(a.len(), b.len());
     let n = a.len();
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
+        for (j, &bj) in b.iter().enumerate() {
             let k = i + j;
-            let prod = m.mul(a[i], b[j]);
+            let prod = m.mul(ai, bj);
             if k < n {
                 out[k] = m.add(out[k], prod);
             } else {
@@ -395,6 +508,26 @@ mod tests {
             assert_ne!(a, b, "transform should change data");
             t.inverse(&mut b);
             assert_eq!(a, b, "roundtrip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn lazy_forward_inverse_equal_strict() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [4usize, 16, 256, 2048] {
+            for bits in [30u32, 45, 61] {
+                let t = table(bits, n);
+                let a = rand_poly(&mut rng, t.modulus(), n);
+                let mut lazy = a.clone();
+                let mut strict = a.clone();
+                t.forward(&mut lazy);
+                t.forward_strict(&mut strict);
+                assert_eq!(lazy, strict, "forward mismatch n={n} bits={bits}");
+                t.inverse(&mut lazy);
+                t.inverse_strict(&mut strict);
+                assert_eq!(lazy, strict, "inverse mismatch n={n} bits={bits}");
+                assert_eq!(lazy, a, "roundtrip mismatch n={n} bits={bits}");
+            }
         }
     }
 

@@ -1,14 +1,25 @@
 //! RNS polynomials over `Z_Q[X]/(X^N + 1)`.
 //!
-//! An [`RnsPoly`] stores one residue row per RNS limb and tracks whether
-//! it is in coefficient or evaluation (NTT) representation — mirroring
-//! the paper's kernel taxonomy, where `NTT`/`iNTT` convert between the
-//! two and `ModMul`/`ModAdd` act pointwise in evaluation form.
+//! An [`RnsPoly`] stores its residues as one **flat, contiguous**
+//! `Vec<u64>` of `limbs * n` words in limb-major order — limb `i`
+//! occupies `data[i*n .. (i+1)*n]`, exposed through [`RnsPoly::limb`] /
+//! [`RnsPoly::limb_mut`] slice views. This mirrors how accelerator
+//! scratchpads bank RNS residues (one row per limb, §IV-B) and keeps the
+//! hot loops allocation-free and cache-linear, instead of chasing one
+//! heap allocation per limb.
+//!
+//! The poly tracks whether it is in coefficient or evaluation (NTT)
+//! representation — mirroring the paper's kernel taxonomy, where
+//! `NTT`/`iNTT` convert between the two and `ModMul`/`ModAdd` act
+//! pointwise in evaluation form. All residues stored here are canonical
+//! (`[0, p)` per limb); the `[0, 4p)` lazy-reduction window exists only
+//! *inside* [`crate::NttTable::forward`] / [`crate::NttTable::inverse`].
 
 use std::sync::Arc;
 
 use crate::galois::GaloisPerms;
 use crate::rns::RnsBasis;
+use crate::scratch::with_scratch;
 
 /// The representation a polynomial's residues are currently in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,19 +30,21 @@ pub enum Representation {
     Eval,
 }
 
-/// An RNS polynomial: `basis.len()` rows of `n` residues.
+/// An RNS polynomial: `basis.len()` limbs of `n` residues in one flat
+/// contiguous buffer.
 #[derive(Debug, Clone)]
 pub struct RnsPoly {
     basis: Arc<RnsBasis>,
-    rows: Vec<Vec<u64>>,
+    /// Limb-major flat residues: limb `i` at `data[i*n .. (i+1)*n]`.
+    data: Vec<u64>,
     repr: Representation,
 }
 
 impl RnsPoly {
     /// The zero polynomial in the given representation.
     pub fn zero(basis: Arc<RnsBasis>, repr: Representation) -> Self {
-        let rows = vec![vec![0u64; basis.n()]; basis.len()];
-        Self { basis, rows, repr }
+        let data = vec![0u64; basis.len() * basis.n()];
+        Self { basis, data, repr }
     }
 
     /// Lifts small signed coefficients into every limb (coefficient form).
@@ -41,31 +54,31 @@ impl RnsPoly {
     /// Panics if `coeffs.len() != basis.n()`.
     pub fn from_signed_coeffs(basis: Arc<RnsBasis>, coeffs: &[i64]) -> Self {
         assert_eq!(coeffs.len(), basis.n());
-        let rows = basis
-            .moduli()
-            .iter()
-            .map(|m| coeffs.iter().map(|&c| m.from_i64(c)).collect())
-            .collect();
+        let mut data = Vec::with_capacity(basis.len() * basis.n());
+        for m in basis.moduli() {
+            data.extend(coeffs.iter().map(|&c| m.from_i64(c)));
+        }
         Self {
             basis,
-            rows,
+            data,
             repr: Representation::Coeff,
         }
     }
 
-    /// Wraps precomputed residue rows.
+    /// Wraps a precomputed flat residue buffer (`limbs * n` words,
+    /// limb-major).
     ///
     /// # Panics
     ///
-    /// Panics if dimensions do not match the basis or any residue is out
-    /// of range.
-    pub fn from_rows(basis: Arc<RnsBasis>, rows: Vec<Vec<u64>>, repr: Representation) -> Self {
-        assert_eq!(rows.len(), basis.len());
-        for (row, m) in rows.iter().zip(basis.moduli()) {
-            assert_eq!(row.len(), basis.n());
-            debug_assert!(row.iter().all(|&x| x < m.value()));
-        }
-        Self { basis, rows, repr }
+    /// Panics if the length does not match the basis; debug-asserts that
+    /// every residue is canonical for its limb.
+    pub fn from_flat(basis: Arc<RnsBasis>, data: Vec<u64>, repr: Representation) -> Self {
+        assert_eq!(data.len(), basis.len() * basis.n());
+        debug_assert!(data
+            .chunks_exact(basis.n())
+            .zip(basis.moduli())
+            .all(|(row, m)| row.iter().all(|&x| x < m.value())));
+        Self { basis, data, repr }
     }
 
     /// The RNS basis.
@@ -83,7 +96,7 @@ impl RnsPoly {
     /// Number of RNS limbs.
     #[inline]
     pub fn limbs(&self) -> usize {
-        self.rows.len()
+        self.basis.len()
     }
 
     /// Current representation.
@@ -92,22 +105,38 @@ impl RnsPoly {
         self.repr
     }
 
-    /// Residue rows (one per limb).
+    /// Residues of limb `i` (a slice view into the flat buffer).
     #[inline]
-    pub fn rows(&self) -> &[Vec<u64>] {
-        &self.rows
+    pub fn limb(&self, i: usize) -> &[u64] {
+        let n = self.basis.n();
+        &self.data[i * n..(i + 1) * n]
     }
 
-    /// Mutable residue rows. Callers must preserve range invariants.
+    /// Mutable residues of limb `i`. Callers must preserve canonical
+    /// range invariants.
     #[inline]
-    pub fn rows_mut(&mut self) -> &mut [Vec<u64>] {
-        &mut self.rows
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        let n = self.basis.n();
+        &mut self.data[i * n..(i + 1) * n]
     }
 
-    /// Consumes the polynomial, returning its rows.
+    /// The whole flat residue buffer (`limbs * n` words, limb-major).
     #[inline]
-    pub fn into_rows(self) -> Vec<Vec<u64>> {
-        self.rows
+    pub fn flat(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable flat residue buffer. Callers must preserve canonical
+    /// range invariants.
+    #[inline]
+    pub fn flat_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Consumes the polynomial, returning its flat buffer.
+    #[inline]
+    pub fn into_flat(self) -> Vec<u64> {
+        self.data
     }
 
     fn assert_same_basis(&self, other: &RnsPoly) {
@@ -126,7 +155,8 @@ impl RnsPoly {
         if self.repr == Representation::Eval {
             return;
         }
-        for (row, t) in self.rows.iter_mut().zip(self.basis.tables()) {
+        let n = self.basis.n();
+        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
             t.forward(row);
         }
         self.repr = Representation::Eval;
@@ -137,7 +167,8 @@ impl RnsPoly {
         if self.repr == Representation::Coeff {
             return;
         }
-        for (row, t) in self.rows.iter_mut().zip(self.basis.tables()) {
+        let n = self.basis.n();
+        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
             t.inverse(row);
         }
         self.repr = Representation::Coeff;
@@ -151,10 +182,11 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        let n = self.basis.n();
         for ((row, orow), m) in self
-            .rows
-            .iter_mut()
-            .zip(other.rows.iter())
+            .data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
             for (x, &y) in row.iter_mut().zip(orow) {
@@ -171,10 +203,11 @@ impl RnsPoly {
     pub fn sub_assign(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        let n = self.basis.n();
         for ((row, orow), m) in self
-            .rows
-            .iter_mut()
-            .zip(other.rows.iter())
+            .data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
             for (x, &y) in row.iter_mut().zip(orow) {
@@ -185,7 +218,8 @@ impl RnsPoly {
 
     /// Negates in place.
     pub fn neg_assign(&mut self) {
-        for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
+        let n = self.basis.n();
+        for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
             for x in row.iter_mut() {
                 *x = m.neg(*x);
             }
@@ -202,10 +236,11 @@ impl RnsPoly {
         self.assert_same_basis(other);
         assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
         assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
+        let n = self.basis.n();
         for ((row, orow), m) in self
-            .rows
-            .iter_mut()
-            .zip(other.rows.iter())
+            .data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
             for (x, &y) in row.iter_mut().zip(orow) {
@@ -225,11 +260,12 @@ impl RnsPoly {
         assert_eq!(self.repr, Representation::Eval);
         assert_eq!(a.repr, Representation::Eval);
         assert_eq!(b.repr, Representation::Eval);
+        let n = self.basis.n();
         for (((row, arow), brow), m) in self
-            .rows
-            .iter_mut()
-            .zip(a.rows.iter())
-            .zip(b.rows.iter())
+            .data
+            .chunks_exact_mut(n)
+            .zip(a.data.chunks_exact(n))
+            .zip(b.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
             for ((x, &ya), &yb) in row.iter_mut().zip(arow).zip(brow) {
@@ -240,7 +276,8 @@ impl RnsPoly {
 
     /// Multiplies by a small signed scalar.
     pub fn mul_scalar_i64(&mut self, s: i64) {
-        for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
+        let n = self.basis.n();
+        for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
             let sv = m.from_i64(s);
             for x in row.iter_mut() {
                 *x = m.mul(*x, sv);
@@ -255,7 +292,13 @@ impl RnsPoly {
     /// Panics if `s.len() != self.limbs()`.
     pub fn mul_scalar_residues(&mut self, s: &[u64]) {
         assert_eq!(s.len(), self.limbs());
-        for ((row, m), &sv) in self.rows.iter_mut().zip(self.basis.moduli()).zip(s) {
+        let n = self.basis.n();
+        for ((row, m), &sv) in self
+            .data
+            .chunks_exact_mut(n)
+            .zip(self.basis.moduli())
+            .zip(s)
+        {
             let sv = m.reduce(sv);
             for x in row.iter_mut() {
                 *x = m.mul(*x, sv);
@@ -278,26 +321,27 @@ impl RnsPoly {
             Representation::Coeff,
             "monomial multiplication requires coefficient form"
         );
-        let n = self.n() as i64;
-        let k = k.rem_euclid(2 * n) as usize;
+        let n = self.n();
+        let k = k.rem_euclid(2 * n as i64) as usize;
         if k == 0 {
             return;
         }
-        for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
-            let mut out = vec![0u64; n as usize];
-            for (j, &c) in row.iter().enumerate() {
-                let idx = j + k;
-                let (pos, negate) = if idx < n as usize {
-                    (idx, false)
-                } else if idx < 2 * n as usize {
-                    (idx - n as usize, true)
-                } else {
-                    (idx - 2 * n as usize, false)
-                };
-                out[pos] = if negate { m.neg(c) } else { c };
+        with_scratch(n, |out| {
+            for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
+                for (j, &c) in row.iter().enumerate() {
+                    let idx = j + k;
+                    let (pos, negate) = if idx < n {
+                        (idx, false)
+                    } else if idx < 2 * n {
+                        (idx - n, true)
+                    } else {
+                        (idx - 2 * n, false)
+                    };
+                    out[pos] = if negate { m.neg(c) } else { c };
+                }
+                row.copy_from_slice(out);
             }
-            *row = out;
-        }
+        });
     }
 
     /// Applies the automorphism `X -> X^g` (`g` odd).
@@ -313,33 +357,37 @@ impl RnsPoly {
         let n = self.n();
         match self.repr {
             Representation::Coeff => {
-                for (row, m) in self.rows.iter_mut().zip(self.basis.moduli()) {
-                    let mut out = vec![0u64; n];
-                    for (j, &c) in row.iter().enumerate() {
-                        let e = (j as u64 * g) % (2 * n as u64);
-                        if e < n as u64 {
-                            out[e as usize] = c;
-                        } else {
-                            out[(e - n as u64) as usize] = m.neg(c);
+                with_scratch(n, |out| {
+                    for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
+                        for (j, &c) in row.iter().enumerate() {
+                            let e = (j as u64 * g) % (2 * n as u64);
+                            if e < n as u64 {
+                                out[e as usize] = c;
+                            } else {
+                                out[(e - n as u64) as usize] = m.neg(c);
+                            }
                         }
+                        row.copy_from_slice(out);
                     }
-                    *row = out;
-                }
+                });
             }
             Representation::Eval => {
                 let perm = perms.eval_permutation(g);
-                for row in self.rows.iter_mut() {
-                    let src = row.clone();
-                    for (i, &p) in perm.iter().enumerate() {
-                        row[i] = src[p];
+                with_scratch(n, |src| {
+                    for row in self.data.chunks_exact_mut(n) {
+                        src.copy_from_slice(row);
+                        for (x, &p) in row.iter_mut().zip(perm.iter()) {
+                            *x = src[p];
+                        }
                     }
-                }
+                });
             }
         }
     }
 
     /// Keeps only the first `k` limbs (dropping the rest), switching to
-    /// the prefix basis.
+    /// the prefix basis. With limb-major flat storage this is a single
+    /// truncation — no per-limb moves.
     ///
     /// # Panics
     ///
@@ -352,7 +400,7 @@ impl RnsPoly {
             .iter()
             .zip(self.basis.moduli())
             .all(|(a, b)| a.value() == b.value()));
-        self.rows.truncate(k);
+        self.data.truncate(k * self.basis.n());
         self.basis = prefix_basis;
     }
 
@@ -368,13 +416,16 @@ impl RnsPoly {
         let mut out = Vec::with_capacity(n);
         if self.limbs() == 1 {
             let m = self.basis.modulus(0);
-            for &c in &self.rows[0] {
+            for &c in self.limb(0) {
                 out.push(m.to_centered(c) as f64);
             }
             return out;
         }
+        let mut residues = vec![0u64; self.limbs()];
         for c in 0..n {
-            let residues: Vec<u64> = self.rows.iter().map(|r| r[c]).collect();
+            for (i, r) in residues.iter_mut().enumerate() {
+                *r = self.data[i * n + c];
+            }
             out.push(self.basis.crt_to_centered_f64(&residues));
         }
         out
@@ -399,7 +450,22 @@ mod tests {
         let orig = c.clone();
         c.add_assign(&a);
         c.sub_assign(&a);
-        assert_eq!(c.rows(), orig.rows());
+        assert_eq!(c.flat(), orig.flat());
+    }
+
+    #[test]
+    fn limb_views_partition_flat_buffer() {
+        let b = basis(16, 3);
+        let n = b.n();
+        let mut p =
+            RnsPoly::from_signed_coeffs(b, &(0..16).map(|i| i as i64 - 8).collect::<Vec<_>>());
+        assert_eq!(p.flat().len(), 3 * n);
+        for i in 0..3 {
+            assert_eq!(p.limb(i), &p.flat()[i * n..(i + 1) * n]);
+        }
+        // limb_mut writes land in the flat buffer.
+        p.limb_mut(1)[0] = 42;
+        assert_eq!(p.flat()[n], 42);
     }
 
     #[test]
@@ -470,7 +536,7 @@ mod tests {
             via_eval.automorphism(g, &perms);
             via_eval.to_coeff();
 
-            assert_eq!(via_coeff.rows(), via_eval.rows(), "g={g}");
+            assert_eq!(via_coeff.flat(), via_eval.flat(), "g={g}");
         }
     }
 
@@ -484,16 +550,17 @@ mod tests {
         p.automorphism(5, &perms);
         let mut q = RnsPoly::from_signed_coeffs(b, &coeffs);
         q.automorphism(25, &perms);
-        assert_eq!(p.rows(), q.rows());
+        assert_eq!(p.flat(), q.flat());
     }
 
     #[test]
-    fn keep_limbs_drops_rows() {
+    fn keep_limbs_truncates_flat_buffer() {
         let b = basis(16, 3);
         let prefix = Arc::new(b.prefix(2));
         let mut p = RnsPoly::from_signed_coeffs(b, &[7i64; 16]);
         p.keep_limbs(2, prefix);
         assert_eq!(p.limbs(), 2);
+        assert_eq!(p.flat().len(), 2 * 16);
         assert_eq!(p.to_centered_f64(), vec![7.0; 16]);
     }
 }

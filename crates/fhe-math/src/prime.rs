@@ -20,13 +20,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -171,9 +171,9 @@ pub fn primitive_root_of_unity(m: &Modulus, order: u64) -> u64 {
         let mut f = 2u64;
         let mut factors = Vec::new();
         while f * f <= o {
-            if o % f == 0 {
+            if o.is_multiple_of(f) {
                 factors.push(f);
-                while o % f == 0 {
+                while o.is_multiple_of(f) {
                     o /= f;
                 }
             }

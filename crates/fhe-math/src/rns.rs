@@ -222,6 +222,15 @@ impl BasisConverter {
     /// ill-defined) or differ in ring degree.
     pub fn new(from: &RnsBasis, to: &RnsBasis) -> Self {
         assert_eq!(from.n(), to.n(), "ring degree mismatch");
+        // The conversion kernels accumulate `alpha` products of two
+        // sub-2^62 residues in a u128: each term is < 2^124, so the sum
+        // stays below 2^128 only for alpha <= 16. Real digit bases are
+        // far smaller; enforce the bound at construction.
+        assert!(
+            from.len() <= 16,
+            "source basis too wide ({} limbs) for u128 BConv accumulation",
+            from.len()
+        );
         for a in from.moduli() {
             for b in to.moduli() {
                 assert_ne!(a.value(), b.value(), "bases must be disjoint");
@@ -291,44 +300,37 @@ impl BasisConverter {
 
     /// Approximate fast base conversion of a coefficient vector.
     ///
-    /// `src` holds `alpha` rows of `n` coefficients (one row per source
-    /// limb); returns `to.len()` rows. The result may exceed the true
-    /// value by a small multiple of `A` (bounded by `alpha`), which
-    /// RNS-CKKS tolerates as extra noise — this is the hardware `BConv`
-    /// kernel of the paper.
+    /// `src` is a **flat, limb-major** buffer of `alpha * n` residues
+    /// (limb `i` at `src[i*n .. (i+1)*n]`, matching
+    /// [`crate::RnsPoly::flat`]); returns a flat `to.len() * n` buffer in
+    /// the same layout. The result may exceed the true value by a small
+    /// multiple of `A` (bounded by `alpha`), which RNS-CKKS tolerates as
+    /// extra noise — this is the hardware `BConv` kernel of the paper.
     ///
     /// # Panics
     ///
-    /// Panics if `src` dimensions do not match the source basis.
-    pub fn convert_approx(&self, src: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    /// Panics if `src.len()` is not `from.len() * n`.
+    pub fn convert_approx(&self, src: &[u64]) -> Vec<u64> {
         let n = self.from.n();
-        assert_eq!(src.len(), self.from.len(), "wrong number of source limbs");
-        for row in src {
-            assert_eq!(row.len(), n);
-        }
         let alpha = self.from.len();
-        // y_i = [x_i * (A/a_i)^{-1}]_{a_i}
-        let mut y = vec![vec![0u64; n]; alpha];
-        for i in 0..alpha {
-            let ai = self.from.modulus(i);
-            let (w, ws) = self.a_hat_inv[i];
-            for c in 0..n {
-                y[i][c] = ai.mul_shoup(src[i][c], w, ws);
-            }
-        }
-        // out_j = sum_i y_i * |A/a_i|_{b_j}  — the systolic-array matmul.
-        let mut out = vec![vec![0u64; n]; self.to.len()];
-        for (j, bj) in self.to.moduli().iter().enumerate() {
-            for c in 0..n {
-                let mut acc: u128 = 0;
-                for i in 0..alpha {
-                    acc += bj.reduce(y[i][c]) as u128 * self.a_hat_mod_b[i][j] as u128;
-                    // alpha is small (< 64); u128 cannot overflow since each
-                    // term < 2^124.
+        assert_eq!(src.len(), alpha * n, "wrong flat source length");
+        let mut out = vec![0u64; self.to.len() * n];
+        crate::scratch::with_scratch(alpha * n, |y| {
+            self.premultiply(src, y);
+            // out_j = sum_i y_i * |A/a_i|_{b_j} — the systolic-array matmul.
+            for (j, bj) in self.to.moduli().iter().enumerate() {
+                let orow = &mut out[j * n..(j + 1) * n];
+                for (c, o) in orow.iter_mut().enumerate() {
+                    let mut acc: u128 = 0;
+                    for i in 0..alpha {
+                        acc += bj.reduce(y[i * n + c]) as u128 * self.a_hat_mod_b[i][j] as u128;
+                        // Each term < 2^124; alpha <= 16 (asserted in
+                        // `new`) keeps the u128 sum from overflowing.
+                    }
+                    *o = bj.reduce_u128(acc);
                 }
-                out[j][c] = bj.reduce_u128(acc);
             }
-        }
+        });
         out
     }
 
@@ -337,42 +339,53 @@ impl BasisConverter {
     /// subtracts that multiple of `A mod b_j`.
     ///
     /// Exact when the underlying value is not pathologically close to a
-    /// multiple of `A` (always true for FHE noise distributions).
+    /// multiple of `A` (always true for FHE noise distributions). Flat,
+    /// limb-major layout as in [`Self::convert_approx`].
     ///
     /// # Panics
     ///
-    /// Panics if `src` dimensions do not match the source basis.
-    pub fn convert_exact(&self, src: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    /// Panics if `src.len()` is not `from.len() * n`.
+    pub fn convert_exact(&self, src: &[u64]) -> Vec<u64> {
         let n = self.from.n();
-        assert_eq!(src.len(), self.from.len());
         let alpha = self.from.len();
-        let mut y = vec![vec![0u64; n]; alpha];
-        for i in 0..alpha {
+        assert_eq!(src.len(), alpha * n, "wrong flat source length");
+        let mut out = vec![0u64; self.to.len() * n];
+        crate::scratch::with_scratch(alpha * n, |y| {
+            self.premultiply(src, y);
+            for c in 0..n {
+                // Overshoot estimate v = round(sum_i y_i / a_i).
+                let mut est = 0.0f64;
+                for i in 0..alpha {
+                    est += y[i * n + c] as f64 * self.a_inv_f64[i];
+                }
+                let v = est.round() as u64;
+                for (j, bj) in self.to.moduli().iter().enumerate() {
+                    let mut acc: u128 = 0;
+                    for i in 0..alpha {
+                        acc += bj.reduce(y[i * n + c]) as u128 * self.a_hat_mod_b[i][j] as u128;
+                    }
+                    let raw = bj.reduce_u128(acc);
+                    let corr = bj.mul(bj.reduce(v), self.a_mod_b[j]);
+                    out[j * n + c] = bj.sub(raw, corr);
+                }
+            }
+        });
+        out
+    }
+
+    /// `y_i = [x_i * (A/a_i)^{-1}]_{a_i}` for every source limb (flat
+    /// layout), the shared first step of both conversions. Inputs must
+    /// be canonical residues (`mul_shoup` debug-asserts this), matching
+    /// the crate-wide invariant.
+    fn premultiply(&self, src: &[u64], y: &mut [u64]) {
+        let n = self.from.n();
+        for (i, (yrow, xrow)) in y.chunks_exact_mut(n).zip(src.chunks_exact(n)).enumerate() {
             let ai = self.from.modulus(i);
             let (w, ws) = self.a_hat_inv[i];
-            for c in 0..n {
-                y[i][c] = ai.mul_shoup(src[i][c], w, ws);
+            for (yc, &xc) in yrow.iter_mut().zip(xrow) {
+                *yc = ai.mul_shoup(xc, w, ws);
             }
         }
-        let mut out = vec![vec![0u64; n]; self.to.len()];
-        for c in 0..n {
-            // Overshoot estimate v = round(sum_i y_i / a_i).
-            let mut est = 0.0f64;
-            for i in 0..alpha {
-                est += y[i][c] as f64 * self.a_inv_f64[i];
-            }
-            let v = est.round() as u64;
-            for (j, bj) in self.to.moduli().iter().enumerate() {
-                let mut acc: u128 = 0;
-                for i in 0..alpha {
-                    acc += bj.reduce(y[i][c]) as u128 * self.a_hat_mod_b[i][j] as u128;
-                }
-                let raw = bj.reduce_u128(acc);
-                let corr = bj.mul(bj.reduce(v), self.a_mod_b[j]);
-                out[j][c] = bj.sub(raw, corr);
-            }
-        }
-        out
     }
 }
 
@@ -420,15 +433,16 @@ mod tests {
         let vals: Vec<i64> = (0..32)
             .map(|_| rng.gen_range(-(1i64 << 58)..(1 << 58)))
             .collect();
-        let src: Vec<Vec<u64>> = a
+        let n = 32usize;
+        let src: Vec<u64> = a
             .moduli()
             .iter()
-            .map(|m| vals.iter().map(|&v| m.from_i64(v)).collect())
+            .flat_map(|m| vals.iter().map(|&v| m.from_i64(v)).collect::<Vec<_>>())
             .collect();
         let out = conv.convert_exact(&src);
         for (j, bj) in b.moduli().iter().enumerate() {
             for (c, &v) in vals.iter().enumerate() {
-                assert_eq!(out[j][c], bj.from_i64(v), "limb {j} coeff {c}");
+                assert_eq!(out[j * n + c], bj.from_i64(v), "limb {j} coeff {c}");
             }
         }
     }
@@ -438,11 +452,12 @@ mod tests {
         let (a, b) = two_bases(8);
         let conv = BasisConverter::new(&a, &b);
         let mut rng = StdRng::seed_from_u64(13);
-        let vals: Vec<u64> = (0..8).map(|_| rng.gen::<u64>() >> 5).collect();
-        let src: Vec<Vec<u64>> = a
+        let n = 8usize;
+        let vals: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() >> 5).collect();
+        let src: Vec<u64> = a
             .moduli()
             .iter()
-            .map(|m| vals.iter().map(|&v| m.reduce(v)).collect())
+            .flat_map(|m| vals.iter().map(|&v| m.reduce(v)).collect::<Vec<_>>())
             .collect();
         let out = conv.convert_approx(&src);
         let a_prod = a.modulus_product();
@@ -454,7 +469,7 @@ mod tests {
                 for _k in 0..=a.len() {
                     let mut t = shift.clone();
                     t.add_assign(&UBig::from_u64(v));
-                    if out[j][c] == bj.reduce(t.rem_u64(bj.value())) {
+                    if out[j * n + c] == bj.reduce(t.rem_u64(bj.value())) {
                         found = true;
                         break;
                     }

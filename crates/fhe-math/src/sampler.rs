@@ -18,10 +18,11 @@ pub fn uniform_residues<R: Rng + ?Sized>(rng: &mut R, m: &Modulus, n: usize) -> 
 
 /// Samples a ternary vector with entries in `{-1, 0, 1}`.
 ///
-/// With `hamming_weight = Some(h)`, exactly `h` entries are nonzero
-/// (split evenly between +1 and -1, the sparse-secret convention CKKS
-/// bootstrapping relies on). Otherwise each entry is i.i.d. uniform over
-/// the three values.
+/// With `hamming_weight = Some(h)`, exactly `h` entries are nonzero,
+/// split evenly between +1 and -1 (the sparse-secret convention CKKS
+/// bootstrapping relies on); when `h` is odd, a fair coin decides which
+/// sign receives the extra entry, so the expected coefficient sum is
+/// zero. Otherwise each entry is i.i.d. uniform over the three values.
 ///
 /// # Panics
 ///
@@ -31,12 +32,21 @@ pub fn ternary<R: Rng + ?Sized>(rng: &mut R, n: usize, hamming_weight: Option<us
         None => (0..n).map(|_| rng.gen_range(-1i64..=1)).collect(),
         Some(h) => {
             assert!(h <= n, "hamming weight exceeds dimension");
+            // For odd h the former `placed % 2` alternation always handed
+            // the extra entry to +1, a deterministic DC bias of +1 per
+            // secret; randomise the tie-break instead.
+            let plus = h / 2
+                + if h % 2 == 1 && rng.gen_range(0..2) == 1 {
+                    1
+                } else {
+                    0
+                };
             let mut v = vec![0i64; n];
             let mut placed = 0usize;
             while placed < h {
                 let idx = rng.gen_range(0..n);
                 if v[idx] == 0 {
-                    v[idx] = if placed % 2 == 0 { 1 } else { -1 };
+                    v[idx] = if placed < plus { 1 } else { -1 };
                     placed += 1;
                 }
             }
@@ -52,20 +62,33 @@ pub fn binary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
 
 /// Samples `n` discrete-Gaussian values with standard deviation `sigma`,
 /// truncated at six sigma (rounding of a Box–Muller normal).
+///
+/// Rejection operates on whole Box–Muller pairs: if either member of a
+/// pair exceeds the 6σ bound, both are discarded and the pair is
+/// redrawn. The two halves of a pair are independent normals, so this
+/// matches the half-dropping it replaces distributionally; resampling
+/// wholesale keeps the output stream composed of aligned pairs (a fixed
+/// two-outputs-per-accepted-draw structure), and at 6σ the rejection
+/// probability (~2e-9) makes the discarded-partner cost nil.
 pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<i64> {
     let bound = (6.0 * sigma).ceil() as i64;
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         // Box–Muller: two normals per pair of uniforms.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let r = (-2.0 * u1.ln()).sqrt() * sigma;
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        for v in [r * theta.cos(), r * theta.sin()] {
-            let x = v.round() as i64;
-            if x.abs() <= bound && out.len() < n {
-                out.push(x);
+        let (x0, x1) = loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt() * sigma;
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            let x0 = (r * theta.cos()).round() as i64;
+            let x1 = (r * theta.sin()).round() as i64;
+            if x0.abs() <= bound && x1.abs() <= bound {
+                break (x0, x1);
             }
+        };
+        out.push(x0);
+        if out.len() < n {
+            out.push(x1);
         }
     }
     out
@@ -108,6 +131,55 @@ mod tests {
         assert_eq!(v.iter().filter(|&&x| x != 0).count(), 64);
         assert_eq!(v.iter().filter(|&&x| x == 1).count(), 32);
         assert_eq!(v.iter().filter(|&&x| x == -1).count(), 32);
+    }
+
+    #[test]
+    fn ternary_odd_hamming_weight_is_sign_balanced() {
+        // Regression: odd h used to deterministically place ceil(h/2) +1s
+        // and floor(h/2) -1s, a DC bias of +1 in every sampled secret.
+        // The extra entry must now land on a coin flip, so over many
+        // draws the per-draw sum (always ±1 for odd h) averages to ~0.
+        let mut rng = StdRng::seed_from_u64(77);
+        let h = 33usize;
+        let trials = 400usize;
+        let mut plus_heavy = 0usize;
+        let mut minus_heavy = 0usize;
+        for _ in 0..trials {
+            let v = ternary(&mut rng, 256, Some(h));
+            let pos = v.iter().filter(|&&x| x == 1).count();
+            let neg = v.iter().filter(|&&x| x == -1).count();
+            assert_eq!(pos + neg, h, "hamming weight must be exact");
+            assert_eq!(pos.abs_diff(neg), 1, "odd h must split h/2 against h/2+1");
+            if pos > neg {
+                plus_heavy += 1;
+            } else {
+                minus_heavy += 1;
+            }
+        }
+        // Binomial(400, 1/2): both tails beyond ~125/275 are < 1e-13.
+        assert!(
+            plus_heavy > trials / 4 && minus_heavy > trials / 4,
+            "sign of the extra entry is biased: +{plus_heavy} / -{minus_heavy}"
+        );
+    }
+
+    #[test]
+    fn gaussian_pair_rejection_moments() {
+        // Whole-pair resampling (vs the former half-dropping) must keep
+        // the first two moments on target across independent seeds.
+        for seed in [1001u64, 1002, 1003] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = gaussian(&mut rng, 60_000, DEFAULT_SIGMA);
+            let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+            let var: f64 =
+                v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+            assert!(mean.abs() < 0.05, "seed {seed}: mean {mean} too far from 0");
+            assert!(
+                (var - DEFAULT_SIGMA * DEFAULT_SIGMA).abs() < 0.5,
+                "seed {seed}: variance {var} too far from {}",
+                DEFAULT_SIGMA * DEFAULT_SIGMA
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Reusable thread-local scratch buffers for transform hot paths.
+//!
+//! The constant-geometry and four-step NTTs, monomial multiplication,
+//! automorphisms, and base conversion all need short-lived `Vec<u64>`
+//! temporaries. Allocating them per call dominates the runtime of small
+//! transforms, so this module leases buffers from a thread-local pool:
+//! a lease pops a buffer (or creates one the first time), resizes it,
+//! and returns it to the pool when the closure finishes. Nested leases
+//! are fine — each pops its own buffer.
+
+use std::cell::RefCell;
+
+/// Upper bound on pooled buffers per thread; leases beyond this are
+/// simply dropped (the pool never grows without bound).
+const MAX_POOLED: usize = 16;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a zero-filled scratch buffer of length `len` leased
+/// from the thread-local pool. After warm-up no allocation occurs as
+/// long as `len` does not grow past the pooled capacity.
+pub fn with_scratch<T>(len: usize, f: impl FnOnce(&mut [u64]) -> T) -> T {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0);
+    let out = f(&mut buf);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+/// Like [`with_scratch`] but leases two independent buffers at once
+/// (e.g. the ping-pong pair of the constant-geometry NTT).
+pub fn with_scratch2<T>(len: usize, f: impl FnOnce(&mut [u64], &mut [u64]) -> T) -> T {
+    with_scratch(len, |a| with_scratch(len, |b| f(a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_and_reused() {
+        with_scratch(64, |a| {
+            assert_eq!(a.len(), 64);
+            assert!(a.iter().all(|&x| x == 0));
+            a[0] = 7;
+        });
+        // The next lease must see zeros again despite reuse.
+        with_scratch(64, |a| {
+            assert!(a.iter().all(|&x| x == 0));
+        });
+    }
+
+    #[test]
+    fn nested_leases_are_independent() {
+        with_scratch2(8, |a, b| {
+            a[0] = 1;
+            b[0] = 2;
+            assert_ne!(a[0], b[0]);
+        });
+        with_scratch(16, |a| {
+            with_scratch(4, |b| {
+                a[15] = 3;
+                b[3] = 4;
+                assert_eq!(a.len(), 16);
+                assert_eq!(b.len(), 4);
+            });
+        });
+    }
+}

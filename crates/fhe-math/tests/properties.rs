@@ -119,7 +119,7 @@ proptest! {
         a2.mul_assign_pointwise(&b2);
         a2.to_coeff();
 
-        prop_assert_eq!(a.rows(), a2.rows());
+        prop_assert_eq!(a.flat(), a2.flat());
     }
 
     #[test]
@@ -135,7 +135,7 @@ proptest! {
         a.mul_monomial(k1);
         let mut b = RnsPoly::from_signed_coeffs(basis, &av);
         b.mul_monomial(k1 + k2);
-        prop_assert_eq!(a.rows(), b.rows());
+        prop_assert_eq!(a.flat(), b.flat());
     }
 
     #[test]
@@ -162,6 +162,6 @@ proptest! {
         prop_assert_eq!(a.representation(), Representation::Coeff);
         a.to_eval();
         a.to_coeff();
-        prop_assert_eq!(a.rows(), orig.rows());
+        prop_assert_eq!(a.flat(), orig.flat());
     }
 }

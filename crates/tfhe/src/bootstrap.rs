@@ -272,7 +272,7 @@ impl ServerKey {
     fn lut_test_vector(&self, lut: &[u64]) -> Vec<u64> {
         let n = self.ctx.params.n;
         let t = lut.len();
-        assert!(n % t == 0, "LUT size must divide N");
+        assert!(n.is_multiple_of(t), "LUT size must divide N");
         let window = n / t;
         let mut tv = vec![0u64; n];
         for (m, &v) in lut.iter().enumerate() {
@@ -288,34 +288,69 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn keys(params: TfheParams, backend: MulBackend, seed: u64) -> (ClientKey, ServerKey, StdRng) {
+    use std::sync::OnceLock;
+
+    fn keys(params: TfheParams, backend: MulBackend, seed: u64) -> (ClientKey, ServerKey) {
         let mut rng = StdRng::seed_from_u64(seed);
         let ck = ClientKey::generate(TfheContext::new(params), &mut rng);
         let sk = ServerKey::generate(&ck, backend, &mut rng);
-        (ck, sk, rng)
+        (ck, sk)
+    }
+
+    // Key generation dominates these tests, so each (param set, backend)
+    // pair is generated once per test binary and shared: the per-case
+    // #[test] fns below stay cheap (one or two bootstraps each) instead
+    // of one monolithic test paying every case back to back.
+    fn set_i_ntt() -> &'static (ClientKey, ServerKey) {
+        static K: OnceLock<(ClientKey, ServerKey)> = OnceLock::new();
+        K.get_or_init(|| keys(TfheParams::set_i(), MulBackend::Ntt, 111))
+    }
+
+    fn set_i_fft() -> &'static (ClientKey, ServerKey) {
+        static K: OnceLock<(ClientKey, ServerKey)> = OnceLock::new();
+        K.get_or_init(|| keys(TfheParams::set_i(), MulBackend::Fft, 114))
+    }
+
+    fn set_ii_ntt() -> &'static (ClientKey, ServerKey) {
+        static K: OnceLock<(ClientKey, ServerKey)> = OnceLock::new();
+        K.get_or_init(|| keys(TfheParams::set_ii(), MulBackend::Ntt, 115))
+    }
+
+    fn set_iii_ntt() -> &'static (ClientKey, ServerKey) {
+        static K: OnceLock<(ClientKey, ServerKey)> = OnceLock::new();
+        K.get_or_init(|| keys(TfheParams::set_iii(), MulBackend::Ntt, 116))
+    }
+
+    fn check_sign_bootstrap(bit: bool, seed: u64) {
+        let (ck, sk) = set_i_ntt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = ck.ctx.q().value();
+        let ct = ck.encrypt_bit(bit, &mut rng);
+        let boot = sk.bootstrap_sign(&ct);
+        let phase = boot.phase(ck.ctx.q(), &ck.lwe_sk);
+        let expect = ck.ctx.encode_bit(bit);
+        let err = ck.ctx.q().to_centered(ck.ctx.q().sub(phase, expect)).abs();
+        assert!(
+            err < (q / 16) as i64,
+            "bit {bit}: phase {phase} vs {expect}, err {err}"
+        );
     }
 
     #[test]
-    fn sign_bootstrap_refreshes_both_polarities() {
-        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Ntt, 111);
-        let q = ck.ctx.q().value();
-        for bit in [true, false] {
-            let ct = ck.encrypt_bit(bit, &mut rng);
-            let boot = sk.bootstrap_sign(&ct);
-            let phase = boot.phase(ck.ctx.q(), &ck.lwe_sk);
-            let expect = ck.ctx.encode_bit(bit);
-            let err = ck.ctx.q().to_centered(ck.ctx.q().sub(phase, expect)).abs();
-            assert!(
-                err < (q / 16) as i64,
-                "bit {bit}: phase {phase} vs {expect}, err {err}"
-            );
-        }
+    fn sign_bootstrap_refreshes_true() {
+        check_sign_bootstrap(true, 1111);
+    }
+
+    #[test]
+    fn sign_bootstrap_refreshes_false() {
+        check_sign_bootstrap(false, 1112);
     }
 
     #[test]
     fn bootstrap_reduces_noise() {
         // Inject heavy noise, bootstrap, verify the output noise is small.
-        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Ntt, 112);
+        let (ck, sk) = set_i_ntt();
+        let mut rng = StdRng::seed_from_u64(112);
         let q = ck.ctx.q();
         let qv = q.value();
         let mut ct = ck.encrypt_bit(true, &mut rng);
@@ -327,13 +362,13 @@ mod tests {
         assert!(err < (qv / 32) as i64, "post-bootstrap error {err}");
     }
 
-    #[test]
-    fn lut_bootstrap_computes_function() {
-        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Ntt, 113);
+    fn check_lut_bootstrap(ms: std::ops::Range<u64>) {
+        let (ck, sk) = set_i_ntt();
+        let mut rng = StdRng::seed_from_u64(113 + ms.start);
         let t = 4u64;
         // LUT: m -> (3 - m) encoded in the half-torus.
         let lut: Vec<u64> = (0..t).map(|m| ck.ctx.encode_message(3 - m, t)).collect();
-        for m in 0..t {
+        for m in ms {
             let ct = ck.encrypt_message(m, t, &mut rng);
             let out = sk.bootstrap_lut(&ct, &lut);
             let got = ck.decrypt_message(&out, t);
@@ -342,13 +377,23 @@ mod tests {
     }
 
     #[test]
-    fn predicate_bootstrap_evaluates_comparisons() {
-        let (ck, sk, mut rng) = keys(TfheParams::set_iii(), MulBackend::Ntt, 117);
+    fn lut_bootstrap_low_messages() {
+        check_lut_bootstrap(0..2);
+    }
+
+    #[test]
+    fn lut_bootstrap_high_messages() {
+        check_lut_bootstrap(2..4);
+    }
+
+    fn check_predicate_bootstrap(ms: &[u64], seed: u64) {
+        let (ck, sk) = set_iii_ntt();
+        let mut rng = StdRng::seed_from_u64(seed);
         let t = 16u64;
         let q = ck.ctx.q();
         let amplitude = q.value() / 32;
         let extracted = ck.glwe_sk.extracted_lwe_key();
-        for m in [0u64, 5, 8, 15] {
+        for &m in ms {
             let ct = ck.encrypt_message(m, t, &mut rng);
             let out = sk.bootstrap_predicate_unswitched(&ct, t, |x| x < 8, amplitude);
             let phase = q.to_centered(out.phase(q, &extracted));
@@ -363,30 +408,55 @@ mod tests {
     }
 
     #[test]
-    fn fft_backend_also_bootstraps() {
-        let (ck, sk, mut rng) = keys(TfheParams::set_i(), MulBackend::Fft, 114);
-        for bit in [true, false] {
-            let ct = ck.encrypt_bit(bit, &mut rng);
-            let boot = sk.bootstrap_sign(&ct);
-            assert_eq!(ck.decrypt_bit(&boot), bit);
-        }
+    fn predicate_bootstrap_below_threshold() {
+        check_predicate_bootstrap(&[0, 5], 117);
     }
 
     #[test]
-    fn set_ii_bootstraps() {
-        let (ck, sk, mut rng) = keys(TfheParams::set_ii(), MulBackend::Ntt, 115);
-        for bit in [true, false] {
-            let ct = ck.encrypt_bit(bit, &mut rng);
-            assert_eq!(ck.decrypt_bit(&sk.bootstrap_sign(&ct)), bit);
-        }
+    fn predicate_bootstrap_at_and_above_threshold() {
+        check_predicate_bootstrap(&[8, 15], 118);
     }
 
     #[test]
-    fn set_iii_bootstraps() {
-        let (ck, sk, mut rng) = keys(TfheParams::set_iii(), MulBackend::Ntt, 116);
-        for bit in [true, false] {
-            let ct = ck.encrypt_bit(bit, &mut rng);
-            assert_eq!(ck.decrypt_bit(&sk.bootstrap_sign(&ct)), bit);
-        }
+    fn fft_backend_bootstraps_true() {
+        let (ck, sk) = set_i_fft();
+        let mut rng = StdRng::seed_from_u64(1141);
+        let ct = ck.encrypt_bit(true, &mut rng);
+        assert!(ck.decrypt_bit(&sk.bootstrap_sign(&ct)));
+    }
+
+    #[test]
+    fn fft_backend_bootstraps_false() {
+        let (ck, sk) = set_i_fft();
+        let mut rng = StdRng::seed_from_u64(1142);
+        let ct = ck.encrypt_bit(false, &mut rng);
+        assert!(!ck.decrypt_bit(&sk.bootstrap_sign(&ct)));
+    }
+
+    fn check_set_bootstraps(fixture: &(ClientKey, ServerKey), bit: bool, seed: u64) {
+        let (ck, sk) = fixture;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = ck.encrypt_bit(bit, &mut rng);
+        assert_eq!(ck.decrypt_bit(&sk.bootstrap_sign(&ct)), bit);
+    }
+
+    #[test]
+    fn set_ii_bootstraps_true() {
+        check_set_bootstraps(set_ii_ntt(), true, 1151);
+    }
+
+    #[test]
+    fn set_ii_bootstraps_false() {
+        check_set_bootstraps(set_ii_ntt(), false, 1152);
+    }
+
+    #[test]
+    fn set_iii_bootstraps_true() {
+        check_set_bootstraps(set_iii_ntt(), true, 1161);
+    }
+
+    #[test]
+    fn set_iii_bootstraps_false() {
+        check_set_bootstraps(set_iii_ntt(), false, 1162);
     }
 }

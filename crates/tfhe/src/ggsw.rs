@@ -50,6 +50,10 @@ enum GgswRepr {
 impl Ggsw {
     /// Encrypts a small scalar `m` (0 or 1 for bootstrap keys) as a GGSW
     /// ciphertext, prepared for the chosen backend.
+    ///
+    /// The argument list mirrors the gadget parameters one-to-one; a
+    /// params struct would only restate `TfheParams`.
+    #[allow(clippy::too_many_arguments)]
     pub fn encrypt_scalar<R: Rng + ?Sized>(
         ring: &TfheRing,
         sk: &GlweSecretKey,

@@ -36,7 +36,7 @@ impl RadixParams {
     /// packed bivariate space `2^(2*digit_bits)` would not fit a
     /// reasonable test vector (`digit_bits > 4`).
     pub fn new(digit_bits: u32, num_digits: usize) -> Self {
-        assert!(digit_bits >= 1 && digit_bits <= 4, "digit_bits in [1,4]");
+        assert!((1..=4).contains(&digit_bits), "digit_bits in [1,4]");
         assert!(num_digits >= 1, "need at least one digit");
         Self {
             digit_bits,
@@ -203,9 +203,9 @@ impl ServerKey {
         let scalar_digits = p.to_digits(scalar);
         let mut digits = Vec::with_capacity(p.num_digits);
         let mut carry: Option<LweCiphertext> = None;
-        for i in 0..p.num_digits {
-            let sd = self.trivial_digit(scalar_digits[i], space, dim);
-            let mut sum = self.digit_add(&a.digits[i], &sd, space);
+        for (i, (&sdigit, a_digit)) in scalar_digits.iter().zip(&a.digits).enumerate() {
+            let sd = self.trivial_digit(sdigit, space, dim);
+            let mut sum = self.digit_add(a_digit, &sd, space);
             if let Some(c) = carry {
                 sum = self.digit_add(&sum, &c, space);
             }

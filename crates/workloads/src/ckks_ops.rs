@@ -45,12 +45,12 @@ impl CkksShape {
 
     /// RNS limbs per digit.
     pub fn alpha(&self) -> usize {
-        (self.levels + 1 + self.dnum - 1) / self.dnum
+        (self.levels + 1).div_ceil(self.dnum)
     }
 
     /// Digits at level `l`.
     pub fn beta_at(&self, l: usize) -> usize {
-        (l + 1 + self.alpha() - 1) / self.alpha()
+        (l + 1).div_ceil(self.alpha())
     }
 
     /// Limbs of the extended basis at level `l` (`q` limbs + special).
@@ -202,10 +202,10 @@ pub fn hmult(
     let tensor = g.add_many(KernelKind::ModMul { limbs, n }, 4, deps);
     let d1_add = g.add(KernelKind::ModAdd { limbs, n }, &tensor);
     let ks = keyswitch(g, shape, l, &[d1_add], opts);
-    let mut out = Vec::new();
-    out.push(g.add(KernelKind::ModAdd { limbs, n }, &ks));
-    out.push(g.add(KernelKind::ModAdd { limbs, n }, &ks));
-    out
+    vec![
+        g.add(KernelKind::ModAdd { limbs, n }, &ks),
+        g.add(KernelKind::ModAdd { limbs, n }, &ks),
+    ]
 }
 
 /// HRotate (Table II): automorphism on both components + keyswitch.
