@@ -131,6 +131,49 @@ fn bench_keyswitch(c: &mut Criterion) {
     });
 }
 
+/// The cross-kernel lazy residue chain against its baselines, over the
+/// whole keyswitch pipeline (digit NTTs → inner products → iNTT →
+/// ModDown) — the tentpole's headline micro (acceptance: lazy >= 1.2x
+/// over `canonical`). Three reduction tiers per shape:
+/// * `lazy` — cross-kernel `[0, 2p)` chain, one fold per limb at the
+///   ModDown boundary (`key_switch`);
+/// * `harvey` — per-kernel canonicalisation with internally-lazy
+///   Harvey transforms, the PR 2 pipeline (`key_switch_per_kernel`);
+/// * `canonical` — the fully-reduced strict oracle, every butterfly
+///   canonicalises (`key_switch_strict`).
+fn bench_keyswitch_lazy_vs_canonical(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let mut group = c.benchmark_group("keyswitch_lazy_vs_canonical");
+    group.sample_size(20);
+    for (params, tag) in [
+        (CkksParams::tiny_params(), "n1024_l3"),
+        (CkksParams::test_params(), "n4096_l4"),
+    ] {
+        let ctx = CkksContext::new(params);
+        let mut rng = StdRng::seed_from_u64(31);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key(&sk, &mut rng);
+        let l = ctx.params().max_level();
+        let basis = ctx.level_basis(l).clone();
+        let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+        for m in basis.moduli() {
+            flat.extend(fhe_math::sampler::uniform_residues(&mut rng, m, ctx.n()));
+        }
+        let d = fhe_math::RnsPoly::from_flat(basis, flat, fhe_math::Representation::Eval);
+        group.bench_function(format!("lazy_{tag}"), |b| {
+            b.iter(|| key_switch(&ctx, &d, &rlk, l))
+        });
+        group.bench_function(format!("harvey_{tag}"), |b| {
+            b.iter(|| key_switch_per_kernel(&ctx, &d, &rlk, l))
+        });
+        group.bench_function(format!("canonical_{tag}"), |b| {
+            b.iter(|| key_switch_strict(&ctx, &d, &rlk, l))
+        });
+    }
+    group.finish();
+}
+
 /// Homomorphic multiplication end to end.
 fn bench_hmult(c: &mut Criterion) {
     use fhe_ckks::*;
@@ -300,6 +343,7 @@ criterion_group!(
     bench_ntt_lazy_vs_strict,
     bench_poly_mul_flat,
     bench_keyswitch,
+    bench_keyswitch_lazy_vs_canonical,
     bench_hmult,
     bench_external_product,
     bench_pbs,

@@ -18,7 +18,7 @@ use crate::ciphertext::{Ciphertext, Ciphertext3};
 use crate::context::CkksContext;
 use crate::encoding::Plaintext;
 use crate::keys::SwitchingKey;
-use crate::keyswitch::key_switch;
+use crate::keyswitch::{key_switch, key_switch_strict};
 
 /// Relative scale mismatch tolerated by additive operations.
 const SCALE_TOLERANCE: f64 = 1e-6;
@@ -193,10 +193,46 @@ impl Evaluator {
     /// Tensor product without relinearisation: returns the degree-2
     /// ciphertext `(d0, d1, d2)`.
     ///
+    /// The tensor runs as a lazy residue chain: all pointwise products
+    /// and the `d1` cross-term addition stay in the `[0, 2p)` window, so
+    /// the returned components are in [`fhe_math::ReductionState::Lazy2p`]. The
+    /// deferred fold happens inside [`Self::relinearize`] (or call
+    /// [`Ciphertext3::canonicalize`] when consuming the tensor
+    /// directly). Bit-identical after canonicalisation to
+    /// [`Self::mul_no_relin_strict`].
+    ///
     /// # Panics
     ///
     /// Panics on level mismatch.
     pub fn mul_no_relin(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext3 {
+        assert_eq!(a.level, b.level, "level mismatch");
+        OpCounters::bump(&self.counters.ct_mults);
+        let mut d0 = a.c0.clone();
+        d0.mul_assign_pointwise_lazy(&b.c0);
+        let mut d1 = a.c0.clone();
+        d1.mul_assign_pointwise_lazy(&b.c1);
+        let mut d1b = a.c1.clone();
+        d1b.mul_assign_pointwise_lazy(&b.c0);
+        d1.add_assign_lazy(&d1b);
+        let mut d2 = a.c1.clone();
+        d2.mul_assign_pointwise_lazy(&b.c1);
+        Ciphertext3 {
+            d0,
+            d1,
+            d2,
+            level: a.level,
+            scale: a.scale * b.scale,
+        }
+    }
+
+    /// Strict-oracle tensor product: every kernel canonicalises, all
+    /// components return [`fhe_math::ReductionState::Canonical`]. The reference
+    /// the lazy tensor is asserted against in `tests/lazy_chains.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch.
+    pub fn mul_no_relin_strict(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext3 {
         assert_eq!(a.level, b.level, "level mismatch");
         OpCounters::bump(&self.counters.ct_mults);
         let mut d0 = a.c0.clone();
@@ -219,9 +255,36 @@ impl Evaluator {
 
     /// Relinearises a degree-2 ciphertext with the relin key (the
     /// KeySwitch inside HMult).
+    ///
+    /// Accepts tensors in either reduction state ([`Self::mul_no_relin`]
+    /// hands over lazy components): the keyswitch input iNTT
+    /// canonicalises `d2` for the digit decompose, and `d0`/`d1` are
+    /// folded exactly once when the keyswitch output is added — the
+    /// ciphertext-boundary canonicalisation of the HMult chain. The
+    /// returned ciphertext is always canonical.
     pub fn relinearize(&self, ct: &Ciphertext3, rlk: &SwitchingKey) -> Ciphertext {
         OpCounters::bump(&self.counters.keyswitches);
         let (ks0, ks1) = key_switch(&self.ctx, &ct.d2, rlk, ct.level);
+        let mut c0 = ct.d0.clone();
+        c0.add_assign_lazy(&ks0);
+        c0.canonicalize();
+        let mut c1 = ct.d1.clone();
+        c1.add_assign_lazy(&ks1);
+        c1.canonicalize();
+        Ciphertext {
+            c0,
+            c1,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Strict-oracle relinearisation over [`key_switch_strict`] and
+    /// canonical additions; expects a canonical tensor (from
+    /// [`Self::mul_no_relin_strict`]).
+    pub fn relinearize_strict(&self, ct: &Ciphertext3, rlk: &SwitchingKey) -> Ciphertext {
+        OpCounters::bump(&self.counters.keyswitches);
+        let (ks0, ks1) = key_switch_strict(&self.ctx, &ct.d2, rlk, ct.level);
         let mut c0 = ct.d0.clone();
         c0.add_assign(&ks0);
         let mut c1 = ct.d1.clone();
@@ -238,6 +301,13 @@ impl Evaluator {
     /// The result has scale `scale_a * scale_b`; rescale afterwards.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, rlk: &SwitchingKey) -> Ciphertext {
         self.relinearize(&self.mul_no_relin(a, b), rlk)
+    }
+
+    /// Strict-oracle HMult: the fully-canonical pipeline
+    /// ([`Self::mul_no_relin_strict`] + [`Self::relinearize_strict`]),
+    /// bit-identical to [`Self::mul`].
+    pub fn mul_strict(&self, a: &Ciphertext, b: &Ciphertext, rlk: &SwitchingKey) -> Ciphertext {
+        self.relinearize_strict(&self.mul_no_relin_strict(a, b), rlk)
     }
 
     /// Rescale: divides by the top prime `q_l`, dropping one level.

@@ -12,8 +12,24 @@
 //! 4. **Inner product** with the switching key digits (`IP` kernel).
 //! 5. **iNTT**, then **ModDown**: subtract the `P`-part's base conversion
 //!    and multiply by `P^{-1}`.
+//!
+//! # Lazy residue chain
+//!
+//! [`key_switch`] keeps steps 3–5 in the redundant `[0, 2p)` window:
+//! every raised digit is transformed with the lazy-exit NTT, the `IP`
+//! accumulators stay lazy across all `beta` digits, the iNTT exits
+//! lazily, and a *single* canonicalisation per accumulator limb happens
+//! at the ModDown boundary (BConv needs true `[0, p)` representatives —
+//! base conversion depends on the representative, not just the residue
+//! class). That replaces `beta * ext_limbs` NTT exit passes plus
+//! `2 * ext_limbs` MAC/iNTT exit passes with `2 * ext_limbs` folds —
+//! mirroring how Trinity/FAB pipelines keep operands in redundant form
+//! between butterfly and MAC stages and only fully reduce at memory
+//! writeback. [`key_switch_strict`] preserves the fully-canonical
+//! pipeline as the oracle; `tests/lazy_chains.rs` asserts the two are
+//! bit-identical across every workspace modulus shape.
 
-use fhe_math::{Representation, RnsPoly};
+use fhe_math::{ReductionState, Representation, RnsPoly};
 
 use crate::context::CkksContext;
 use crate::keys::SwitchingKey;
@@ -21,6 +37,12 @@ use crate::keys::SwitchingKey;
 /// Applies hybrid keyswitching to a polynomial `d` (evaluation form, at
 /// `level`), producing the pair `(ks0, ks1)` such that
 /// `ks0 + ks1 * s_to ≈ d * s_from` — both in evaluation form at `level`.
+///
+/// This is the lazy-chain pipeline: digit NTTs, inner products and the
+/// accumulator iNTTs all stay in the `[0, 2p)` window, with one
+/// canonicalisation per accumulator at the ModDown boundary.
+/// Bit-identical to [`key_switch_strict`] (asserted by
+/// `tests/lazy_chains.rs`).
 ///
 /// # Panics
 ///
@@ -32,11 +54,72 @@ pub fn key_switch(
     key: &SwitchingKey,
     level: usize,
 ) -> (RnsPoly, RnsPoly) {
+    key_switch_impl(ctx, d, key, level, KsReduction::LazyChain)
+}
+
+/// The per-kernel-canonicalising keyswitch pipeline (the PR 2
+/// baseline): internally-lazy Harvey transforms whose exit passes
+/// canonicalise, canonical inner products — every kernel hands `[0, p)`
+/// residues to the next. The middle tier between [`key_switch`] (no
+/// per-kernel folds) and [`key_switch_strict`] (every butterfly folds);
+/// the `harvey` row of the `keyswitch_lazy_vs_canonical` micro.
+///
+/// # Panics
+///
+/// As [`key_switch`].
+pub fn key_switch_per_kernel(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    key: &SwitchingKey,
+    level: usize,
+) -> (RnsPoly, RnsPoly) {
+    key_switch_impl(ctx, d, key, level, KsReduction::PerKernel)
+}
+
+/// The fully-canonical keyswitch pipeline: fully-reduced transforms
+/// (`forward_strict`/`inverse_strict`, every butterfly canonicalises)
+/// and canonical inner products, `[0, p)` between all steps. Kept as
+/// the strict oracle the lazy chain is asserted against, and as the
+/// `canonical` side of the `keyswitch_lazy_vs_canonical` micro.
+///
+/// # Panics
+///
+/// As [`key_switch`].
+pub fn key_switch_strict(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    key: &SwitchingKey,
+    level: usize,
+) -> (RnsPoly, RnsPoly) {
+    key_switch_impl(ctx, d, key, level, KsReduction::Strict)
+}
+
+/// The reduction discipline a keyswitch pipeline runs under — the
+/// three tiers the `keyswitch_lazy_vs_canonical` micro splits apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KsReduction {
+    /// Cross-kernel `[0, 2p)` chain, one fold per limb at ModDown.
+    LazyChain,
+    /// Harvey transforms with canonicalising exits (PR 2 pipeline).
+    PerKernel,
+    /// Fully-reduced butterflies (`*_strict` transforms).
+    Strict,
+}
+
+fn key_switch_impl(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    key: &SwitchingKey,
+    level: usize,
+    mode: KsReduction,
+) -> (RnsPoly, RnsPoly) {
     assert_eq!(d.representation(), Representation::Eval);
     assert_eq!(d.limbs(), level + 1, "polynomial level mismatch");
     let precomp = ctx.keyswitch_precomp(level);
     let ext_basis = ctx.extended_basis(level).clone();
 
+    // Decompose needs true [0, p) representatives, so the input iNTT
+    // canonicalises (its exit pass does that for free).
     let mut d_coeff = d.clone();
     d_coeff.to_coeff();
 
@@ -68,25 +151,52 @@ pub fn key_switch(
         let p_start = digit.other_limbs.len();
         flat.extend_from_slice(&converted[p_start * n..(p_start + n_p) * n]);
         let mut d_tilde = RnsPoly::from_flat(ext_basis.clone(), flat, Representation::Coeff);
-        // NTT into evaluation form.
-        d_tilde.to_eval();
-        // Inner product with the key digit.
         let (b_j, a_j) = key.row_at_level(ctx, j, level);
-        acc0.mul_acc_pointwise(&d_tilde, &b_j);
-        acc1.mul_acc_pointwise(&d_tilde, &a_j);
+        match mode {
+            KsReduction::LazyChain => {
+                // NTT with a lazy exit; the inner product accepts the
+                // [0, 2p) digit directly and keeps the accumulator lazy.
+                d_tilde.to_eval_lazy();
+                acc0.mul_acc_pointwise_lazy(&d_tilde, &b_j);
+                acc1.mul_acc_pointwise_lazy(&d_tilde, &a_j);
+            }
+            KsReduction::PerKernel => {
+                d_tilde.to_eval();
+                acc0.mul_acc_pointwise(&d_tilde, &b_j);
+                acc1.mul_acc_pointwise(&d_tilde, &a_j);
+            }
+            KsReduction::Strict => {
+                d_tilde.to_eval_strict();
+                acc0.mul_acc_pointwise(&d_tilde, &b_j);
+                acc1.mul_acc_pointwise(&d_tilde, &a_j);
+            }
+        }
     }
 
     // iNTT + ModDown both accumulators.
-    let ks0 = mod_down(ctx, acc0, level);
-    let ks1 = mod_down(ctx, acc1, level);
+    let ks0 = mod_down(ctx, acc0, level, mode);
+    let ks1 = mod_down(ctx, acc1, level, mode);
     (ks0, ks1)
 }
 
 /// ModDown: maps a polynomial over `C_l ∪ P` to `C_l`, dividing by `P`
 /// with rounding (the tail step of Algorithm 1, line 12).
-fn mod_down(ctx: &CkksContext, mut acc: RnsPoly, level: usize) -> RnsPoly {
+///
+/// In the lazy pipeline the accumulator arrives in `[0, 2p)`; the iNTT
+/// exits lazily and the deferred fold happens here, once per limb —
+/// the ciphertext-boundary canonicalisation of the chain.
+fn mod_down(ctx: &CkksContext, mut acc: RnsPoly, level: usize, mode: KsReduction) -> RnsPoly {
     let precomp = ctx.keyswitch_precomp(level);
-    acc.to_coeff();
+    match mode {
+        KsReduction::LazyChain => {
+            acc.to_coeff_lazy();
+            debug_assert_eq!(acc.reduction_state(), ReductionState::Lazy2p);
+            acc.canonicalize();
+        }
+        KsReduction::PerKernel => acc.to_coeff(),
+        KsReduction::Strict => acc.to_coeff_strict(),
+    }
+    debug_assert_eq!(acc.reduction_state(), ReductionState::Canonical);
     let n = acc.n();
     let flat = acc.into_flat();
     let n_q = level + 1;

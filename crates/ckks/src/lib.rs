@@ -8,6 +8,30 @@
 //! automorphism + keyswitch), and `Rescale` — plus the BSGS linear
 //! transforms CKKS applications are built from.
 //!
+//! # Lazy-domain invariants
+//!
+//! The chained hot paths keep residues in the redundant `[0, 2p)`
+//! window *across* kernels ([`fhe_math::ReductionState::Lazy2p`]),
+//! canonicalising once at ciphertext boundaries — the way hardware
+//! pipelines keep operands in redundant form between butterfly/MAC
+//! stages and only fully reduce at memory writeback:
+//!
+//! * [`Ciphertext`] components are **always canonical**; laziness lives
+//!   inside op implementations and the short-lived [`Ciphertext3`]
+//!   tensor (folded by [`Evaluator::relinearize`] or
+//!   [`Ciphertext3::canonicalize`]).
+//! * [`key_switch`] keeps digit NTTs, inner-product accumulators and
+//!   the exit iNTT lazy, folding once per accumulator limb at the
+//!   ModDown boundary.
+//! * Every lazy chain has a strict oracle ([`key_switch_strict`],
+//!   [`Evaluator::mul_strict`], ...) built on the fully-reduced
+//!   transforms; the workspace suite `tests/lazy_chains.rs` asserts
+//!   bit-identity across all modulus shapes, and strict kernels
+//!   debug-assert their inputs are canonical so a lazy residue can
+//!   never leak in unnoticed.
+//!
+//! See `README.md` for the accelerator model this mirrors.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,7 +79,7 @@ pub use encoding::{Encoder, Plaintext};
 pub use encryption::{Decryptor, Encryptor};
 pub use eval::Evaluator;
 pub use keys::{KeyGenerator, KeySet, PublicKey, SecretKey, SwitchingKey};
-pub use keyswitch::key_switch;
+pub use keyswitch::{key_switch, key_switch_per_kernel, key_switch_strict};
 pub use linalg::LinearTransform;
 pub use noise::{measure_noise_bits, NoiseEstimate, NoiseModel};
 pub use params::{CkksParams, InvalidParamsError};

@@ -109,7 +109,7 @@ proptest! {
                 prop_assert!(d < k.id, "kernel {} depends forward on {d}", k.id);
             }
         }
-        prop_assert!(compiled.graph.len() > 0);
+        prop_assert!(!compiled.graph.is_empty());
     }
 
     /// Every compiled program schedules on the hybrid machine, and the

@@ -17,6 +17,18 @@
 //!   per-component utilizations (Tables VI–X, Figs. 10–14).
 //! * [`area`] — the Table XI area/power model and Fig. 16 scaling.
 //!
+//! # Reduction discipline
+//!
+//! The cycle model charges no standalone canonicalisation kernels:
+//! operands are assumed to move between butterfly and MAC stages in
+//! redundant `[0, 2p)` form and to be fully reduced only at memory
+//! writeback (hence the Fig. 2 NTT/MAC split has no reduction slice).
+//! The functional crates implement the same discipline — lazy residue
+//! chains in `fhe_ckks::key_switch`, the HMult tensor, and the TFHE
+//! external product, verified bit-identical against strict oracles by
+//! `tests/lazy_chains.rs` — so `measured` and `modeled` rows account
+//! reduction work identically. See `README.md`.
+//!
 //! # Examples
 //!
 //! ```

@@ -237,6 +237,9 @@ mod tests {
     }
 
     #[test]
+    // Schoolbook oracles index with i/j so the negacyclic wrap k = i + j
+    // stays visible; iterator rewrites would obscure the index math.
+    #[allow(clippy::needless_range_loop)]
     fn fft_matches_naive_dft() {
         let n = 32;
         let plan = FftPlan::new(n);
@@ -258,6 +261,9 @@ mod tests {
     }
 
     #[test]
+    // Schoolbook oracles index with i/j so the negacyclic wrap k = i + j
+    // stays visible; iterator rewrites would obscure the index math.
+    #[allow(clippy::needless_range_loop)]
     fn negacyclic_fft_matches_exact_small_coeffs() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 256;
@@ -283,6 +289,9 @@ mod tests {
     }
 
     #[test]
+    // Schoolbook oracles index with i/j so the negacyclic wrap k = i + j
+    // stays visible; iterator rewrites would obscure the index math.
+    #[allow(clippy::needless_range_loop)]
     fn negacyclic_fft_error_grows_with_magnitude() {
         // Demonstrates the approximation error the paper's NTT substitution
         // eliminates: with ~40-bit operands the f64 FFT starts to round

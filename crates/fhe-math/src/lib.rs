@@ -32,18 +32,36 @@
 //! [`BasisConverter`] kernels consume and produce the same layout, so
 //! keyswitching moves residues between bases without re-boxing rows.
 //!
-//! **Lazy-reduction window.** Inside [`NttTable::forward`] /
+//! **Lazy-reduction windows.** Inside [`NttTable::forward`] /
 //! [`NttTable::inverse`] butterfly operands roam in `[0, 4p)` (forward)
 //! and `[0, 2p)` (inverse) — Harvey's trick, sound because every modulus
-//! is below `2^62`. That window never escapes: a final correction pass
-//! canonicalises before the transform returns.
+//! is below `2^62`. That `[0, 4p)` window never escapes a transform.
+//! The narrower `[0, 2p)` window, however, *may* cross kernel
+//! boundaries: the `*_lazy` kernel family ([`NttTable::forward_lazy`],
+//! [`NttTable::inverse_lazy`], [`NttTable::pointwise_mul_acc_lazy`],
+//! the `RnsPoly::*_lazy` ops and the scalar `Modulus::*_lazy`
+//! primitives) consumes and produces `[0, 2p)` representatives so whole
+//! kernel chains — keyswitch digit NTTs feeding inner products, tensor
+//! products, external-product accumulators — skip per-kernel
+//! canonicalisation and fold exactly once at the ciphertext boundary
+//! ([`RnsPoly::canonicalize`] / [`NttTable::canonicalize_2p`]).
 //!
-//! **Canonical residues everywhere else.** Every public API in this
-//! crate accepts and returns canonical residues in `[0, p)` per limb:
-//! `RnsPoly` arithmetic, `BasisConverter::convert_*`, `Modulus::{add,
-//! sub, mul, mul_shoup, reduce*}`. The only deliberately non-canonical
-//! return is [`Modulus::mul_shoup_lazy`] (range `[0, 2p)`), which exists
-//! for butterfly inner loops and says so in its name.
+//! **Explicit reduction state.** An [`RnsPoly`] tracks which window it
+//! is in via [`ReductionState`] (`Canonical` vs `Lazy2p`), orthogonal
+//! to [`Representation`]. Strict kernels debug-assert `Canonical` on
+//! entry, so a lazy residue can never leak into a strict-only kernel
+//! unnoticed; the lazy chains are asserted bit-identical (after
+//! canonicalisation) to the strict oracle by `tests/lazy_chains.rs` at
+//! the workspace root.
+//!
+//! **Canonical residues at rest.** Ciphertexts and keys store canonical
+//! residues in `[0, p)` per limb; `BasisConverter::convert_*` requires
+//! canonical input (base conversion depends on the actual
+//! representative, not just its residue class — a `[0, 2p)` lift would
+//! change the overshoot estimate). The scalar lazy primitives say so in
+//! their names: `Modulus::mul_shoup_lazy`, `add_lazy`, `mul_lazy`,
+//! `reduce_u128_lazy` return `[0, 2p)`; `Modulus::reduce_2p` folds
+//! back.
 //!
 //! # Examples
 //!
@@ -80,5 +98,5 @@ pub use fft::{Complex, FftPlan};
 pub use galois::GaloisPerms;
 pub use modulus::{InvalidModulusError, Modulus};
 pub use ntt::NttTable;
-pub use poly::{Representation, RnsPoly};
+pub use poly::{ReductionState, Representation, RnsPoly};
 pub use rns::{BasisConverter, RnsBasis};

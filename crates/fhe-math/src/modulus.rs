@@ -5,6 +5,15 @@
 //! uses 128-bit Barrett reduction with a precomputed `floor(2^128 / p)`
 //! ratio (the same approach as SEAL), plus Shoup multiplication for
 //! hot-path multiplications by precomputed constants such as NTT twiddles.
+//!
+//! Alongside the canonical operations (`add`/`sub`/`mul`/... over
+//! `[0, p)`) there is a `*_lazy` family working on the redundant window
+//! `[0, 2p)`: `add_lazy`, `sub_lazy`, `mul_lazy`, `mul_add_lazy`,
+//! `reduce_u128_lazy` and the folding pass `reduce_2p`. These are the
+//! scalar primitives of cross-kernel lazy residue chains, where
+//! canonicalisation is deferred to ciphertext boundaries the way
+//! hardware pipelines keep operands in redundant form until memory
+//! writeback.
 
 /// A word-sized modulus with Barrett reduction precomputation.
 ///
@@ -86,29 +95,58 @@ impl Modulus {
     }
 
     /// Reduces a u128 into `[0, p)` using Barrett reduction.
+    ///
+    /// Delegates to [`Self::reduce_u128_lazy`] plus the canonicalising
+    /// subtraction, the same split as [`Self::mul_shoup`] /
+    /// [`Self::mul_shoup_lazy`].
     #[inline]
     pub fn reduce_u128(&self, a: u128) -> u64 {
-        // Barrett: q = floor(a * ratio / 2^128), r = a - q*p, then at most
-        // two conditional subtractions.
-        let a_lo = a as u64;
-        let a_hi = (a >> 64) as u64;
+        let r = self.reduce_u128_lazy(a);
+        if r >= self.p {
+            r - self.p
+        } else {
+            r
+        }
+    }
+
+    /// Reduces a u128 into the lazy window `[0, 2p)`: Barrett reduction
+    /// with the final conditional subtraction skipped.
+    ///
+    /// This is the accumulator primitive of lazy kernel chains — inner
+    /// products and pointwise multiplies that keep their running values
+    /// in `[0, 2p)` and canonicalise once at a ciphertext boundary.
+    #[inline]
+    pub fn reduce_u128_lazy(&self, a: u128) -> u64 {
+        // Barrett: q = floor(a * ratio / 2^128), r = a - q*p.
         // q = floor((a_hi*2^64 + a_lo) * (r_hi*2^64 + r_lo) / 2^128)
         //   = a_hi*r_hi + floor((a_hi*r_lo + a_lo*r_hi + carry_stuff)/2^64)
+        let a_lo = a as u64;
+        let a_hi = (a >> 64) as u64;
         let lo_hi = ((a_lo as u128 * self.ratio_lo as u128) >> 64) as u64;
         let mid1 = a_lo as u128 * self.ratio_hi as u128;
         let mid2 = a_hi as u128 * self.ratio_lo as u128;
         let mid = mid1.wrapping_add(mid2).wrapping_add(lo_hi as u128);
         let q = (a_hi as u128 * self.ratio_hi as u128).wrapping_add(mid >> 64);
-        let r = (a as u64).wrapping_sub((q as u64).wrapping_mul(self.p));
-        // r in [0, 2p) after one correction in the worst case.
-        let mut r = r;
+        let mut r = (a as u64).wrapping_sub((q as u64).wrapping_mul(self.p));
+        // Raw r < 3p (quotient estimate short by at most 2): one
+        // correction lands in the lazy window.
         if r >= self.p {
             r = r.wrapping_sub(self.p);
         }
-        if r >= self.p {
-            r -= self.p;
-        }
+        debug_assert!(r < 2 * self.p);
         r
+    }
+
+    /// Folds a lazy representative in `[0, 2p)` back to canonical
+    /// `[0, p)` — the deferred canonicalisation pass of lazy chains.
+    #[inline]
+    pub fn reduce_2p(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.p);
+        if a >= self.p {
+            a - self.p
+        } else {
+            a
+        }
     }
 
     /// Modular addition. Inputs must already be in `[0, p)`.
@@ -145,11 +183,72 @@ impl Modulus {
         }
     }
 
+    /// Lazy addition: operands and result are `[0, 2p)` representatives.
+    ///
+    /// One conditional subtraction at `2p` instead of a full reduction;
+    /// canonical inputs are accepted (the canonical range is a subset of
+    /// the lazy window).
+    #[inline]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        let s = a + b;
+        let two_p = 2 * self.p;
+        if s >= two_p {
+            s - two_p
+        } else {
+            s
+        }
+    }
+
+    /// Lazy subtraction: operands and result are `[0, 2p)`
+    /// representatives (`a - b ≡ a + 2p - b`).
+    #[inline]
+    pub fn sub_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        let two_p = 2 * self.p;
+        let s = a + two_p - b;
+        if s >= two_p {
+            s - two_p
+        } else {
+            s
+        }
+    }
+
+    /// Lazy negation of a `[0, 2p)` representative.
+    #[inline]
+    pub fn neg_lazy(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.p);
+        if a == 0 {
+            0
+        } else {
+            2 * self.p - a
+        }
+    }
+
     /// Modular multiplication via Barrett reduction.
     #[inline]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.p && b < self.p);
         self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Lazy multiplication: operands in `[0, 2p)`, result in `[0, 2p)`.
+    ///
+    /// The product of two lazy representatives is below `4p^2 < 2^126`,
+    /// so the Barrett reduction is exact; only the final canonicalising
+    /// subtraction is skipped.
+    #[inline]
+    pub fn mul_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        self.reduce_u128_lazy(a as u128 * b as u128)
+    }
+
+    /// Lazy fused multiply-add: `a*b + c` with all operands in
+    /// `[0, 2p)`, result in `[0, 2p)` (`4p^2 + 2p` still fits u128).
+    #[inline]
+    pub fn mul_add_lazy(&self, a: u64, b: u64, c: u64) -> u64 {
+        debug_assert!(a < 2 * self.p && b < 2 * self.p && c < 2 * self.p);
+        self.reduce_u128_lazy(a as u128 * b as u128 + c as u128)
     }
 
     /// Fused multiply-add: `a*b + c mod p`.
@@ -395,6 +494,48 @@ mod tests {
         for a in -40i64..40 {
             let r = m.from_i64(a);
             assert_eq!((a.rem_euclid(17)) as u64, r);
+        }
+    }
+
+    #[test]
+    fn lazy_helpers_stay_in_window_and_agree_mod_p() {
+        // Every lazy primitive must return a [0, 2p) representative of
+        // the canonical result, for all [0, 2p) operand combinations.
+        let p = (1u64 << 61) - 1;
+        let m = Modulus::new(p).unwrap();
+        let samples = [0u64, 1, p / 2, p - 1, p, p + 1, 2 * p - 1];
+        for &a in &samples {
+            for &b in &samples {
+                let (ca, cb) = (a % p, b % p);
+                let s = m.add_lazy(a, b);
+                assert!(s < 2 * p);
+                assert_eq!(s % p, m.add(ca, cb));
+                let d = m.sub_lazy(a, b);
+                assert!(d < 2 * p);
+                assert_eq!(d % p, m.sub(ca, cb));
+                let prod = m.mul_lazy(a, b);
+                assert!(prod < 2 * p);
+                assert_eq!(prod % p, m.mul(ca, cb));
+                let fma = m.mul_add_lazy(a, b, a);
+                assert!(fma < 2 * p);
+                assert_eq!(fma % p, m.mul_add(ca, cb, ca));
+            }
+            let n = m.neg_lazy(a);
+            assert!(n < 2 * p);
+            assert_eq!(n % p, m.neg(a % p));
+            assert_eq!(m.reduce_2p(a), a % p);
+        }
+    }
+
+    #[test]
+    fn reduce_u128_lazy_extremes() {
+        for p in [4611686018427387847u64, (1 << 61) - 1, 65537, 2] {
+            let m = Modulus::new(p).unwrap();
+            for a in [0u128, 1, p as u128, u128::MAX, (p as u128) << 64] {
+                let r = m.reduce_u128_lazy(a);
+                assert!(r < 2 * p, "p={p} a={a}: {r} not below 2p");
+                assert_eq!(r % p, m.reduce_u128(a), "p={p} a={a}");
+            }
         }
     }
 

@@ -118,12 +118,14 @@ impl NttTable {
     /// In-place forward negacyclic NTT (coefficient → evaluation form),
     /// using Harvey lazy reduction.
     ///
-    /// Input and output are both in natural order and canonical (`[0, p)`);
-    /// *between* butterfly stages values roam in `[0, 4p)` — each
-    /// butterfly does one conditional subtraction (on its upper operand)
-    /// instead of three, and a single correction pass at the end maps
-    /// everything back to `[0, p)`. Sound because `p < 2^62`, so `4p`
-    /// fits a `u64` with headroom.
+    /// Input and output are in natural order; the output is canonical
+    /// (`[0, p)`) and the input may be canonical or a lazy `[0, 2p)`
+    /// representative (see [`Self::forward_lazy`] for the lazy-out
+    /// variant). *Between* butterfly stages values roam in `[0, 4p)` —
+    /// each butterfly does one conditional subtraction (on its upper
+    /// operand) instead of three, and a single correction pass at the
+    /// end maps everything back to `[0, p)`. Sound because `p < 2^62`,
+    /// so `4p` fits a `u64` with headroom.
     ///
     /// Bit-identical to [`Self::forward_strict`] (asserted by tests).
     ///
@@ -131,10 +133,62 @@ impl NttTable {
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
+        debug_assert!(
+            a.iter().all(|&x| x < 2 * self.modulus.value()),
+            "forward input outside the [0, 2p) window"
+        );
+        self.forward_stages(a);
+        let p = self.modulus.value();
+        let two_p = 2 * p;
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_p {
+                v -= two_p;
+            }
+            if v >= p {
+                v -= p;
+            }
+            *x = v;
+        }
+    }
+
+    /// Lazy-in/lazy-out forward NTT: accepts `[0, 2p)` residues and
+    /// returns `[0, 2p)` residues, skipping the canonicalising half of
+    /// the exit correction pass.
+    ///
+    /// This is the kernel-chain entry point: a keyswitch digit raised by
+    /// BConv is transformed here, multiply-accumulated lazily against
+    /// the key, and only canonicalised once at the ciphertext boundary —
+    /// the paper's pipelines keep operands in redundant form between
+    /// butterfly and MAC stages the same way. Congruent mod `p` to
+    /// [`Self::forward_strict`] (bit-identical after folding with
+    /// [`crate::Modulus::reduce_2p`]; asserted by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`; debug-asserts every input is in
+    /// `[0, 2p)`.
+    pub fn forward_lazy(&self, a: &mut [u64]) {
+        debug_assert!(
+            a.iter().all(|&x| x < 2 * self.modulus.value()),
+            "forward_lazy input outside the [0, 2p) window"
+        );
+        self.forward_stages(a);
+        let two_p = 2 * self.modulus.value();
+        for x in a.iter_mut() {
+            if *x >= two_p {
+                *x -= two_p;
+            }
+        }
+    }
+
+    /// The shared Cooley–Tukey stages: inputs in `[0, 4p)`, outputs in
+    /// `[0, 4p)`; callers fold into their target window.
+    #[inline]
+    fn forward_stages(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let m = &self.modulus;
-        let p = m.value();
-        let two_p = 2 * p;
+        let two_p = 2 * m.value();
         let mut t = self.n;
         let mut groups = 1usize;
         while groups < self.n {
@@ -156,11 +210,29 @@ impl NttTable {
             }
             groups <<= 1;
         }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient form),
+    /// using Harvey lazy reduction (values stay in `[0, 2p)` through the
+    /// Gentleman–Sande stages; the final `n^{-1}` scaling pass
+    /// canonicalises). Accepts canonical or lazy `[0, 2p)` input and
+    /// returns canonical output. Bit-identical to
+    /// [`Self::inverse_strict`] on canonical input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert!(
+            a.iter().all(|&x| x < 2 * self.modulus.value()),
+            "inverse input outside the [0, 2p) window"
+        );
+        self.inverse_stages(a);
+        let m = &self.modulus;
+        let p = m.value();
+        let (ni, nis) = self.n_inv;
         for x in a.iter_mut() {
-            let mut v = *x;
-            if v >= two_p {
-                v -= two_p;
-            }
+            let mut v = m.mul_shoup_lazy(*x, ni, nis);
             if v >= p {
                 v -= p;
             }
@@ -168,19 +240,38 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient form),
-    /// using Harvey lazy reduction (values stay in `[0, 2p)` through the
-    /// Gentleman–Sande stages; the final `n^{-1}` scaling pass
-    /// canonicalises). Bit-identical to [`Self::inverse_strict`].
+    /// Lazy-in/lazy-out inverse NTT: accepts `[0, 2p)` residues and
+    /// returns `[0, 2p)` residues, skipping the canonicalising
+    /// subtraction in the final `n^{-1}` scaling pass.
+    ///
+    /// Congruent mod `p` to [`Self::inverse_strict`] (bit-identical
+    /// after folding with [`crate::Modulus::reduce_2p`]); the chain
+    /// tail of lazy keyswitch and external-product accumulators.
     ///
     /// # Panics
     ///
-    /// Panics if `a.len() != self.n()`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    /// Panics if `a.len() != self.n()`; debug-asserts every input is in
+    /// `[0, 2p)`.
+    pub fn inverse_lazy(&self, a: &mut [u64]) {
+        debug_assert!(
+            a.iter().all(|&x| x < 2 * self.modulus.value()),
+            "inverse_lazy input outside the [0, 2p) window"
+        );
+        self.inverse_stages(a);
+        let m = &self.modulus;
+        let (ni, nis) = self.n_inv;
+        for x in a.iter_mut() {
+            *x = m.mul_shoup_lazy(*x, ni, nis);
+        }
+    }
+
+    /// The shared Gentleman–Sande stages: inputs in `[0, 2p)`, outputs
+    /// in `[0, 2p)` (pre-`n^{-1}`); callers apply the scaling pass.
+    #[inline]
+    fn inverse_stages(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let m = &self.modulus;
-        let p = m.value();
-        let two_p = 2 * p;
+        let two_p = 2 * m.value();
         let mut t = 1usize;
         let mut groups = self.n;
         while groups > 1 {
@@ -205,14 +296,6 @@ impl NttTable {
             t <<= 1;
             groups = h;
         }
-        let (ni, nis) = self.n_inv;
-        for x in a.iter_mut() {
-            let mut v = m.mul_shoup_lazy(*x, ni, nis);
-            if v >= p {
-                v -= p;
-            }
-            *x = v;
-        }
     }
 
     /// Fully-reduced forward transform: every butterfly reduces to
@@ -224,6 +307,10 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        debug_assert!(
+            a.iter().all(|&x| x < self.modulus.value()),
+            "forward_strict requires canonical input — a lazy [0, 2p) residue leaked in"
+        );
         let m = &self.modulus;
         let mut t = self.n;
         let mut groups = 1usize;
@@ -251,6 +338,10 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        debug_assert!(
+            a.iter().all(|&x| x < self.modulus.value()),
+            "inverse_strict requires canonical input — a lazy [0, 2p) residue leaked in"
+        );
         let m = &self.modulus;
         let mut t = 1usize;
         let mut groups = self.n;
@@ -425,8 +516,48 @@ impl NttTable {
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);
         let m = &self.modulus;
+        debug_assert!(
+            acc.iter().chain(a).chain(b).all(|&x| x < m.value()),
+            "pointwise_mul_acc requires canonical operands — a lazy [0, 2p) residue leaked in"
+        );
         for i in 0..self.n {
             acc[i] = m.reduce_u128(a[i] as u128 * b[i] as u128 + acc[i] as u128);
+        }
+    }
+
+    /// Lazy pointwise multiply-accumulate: `acc[i] += a[i] * b[i]` with
+    /// all operands in `[0, 2p)` and the accumulator kept in `[0, 2p)`.
+    ///
+    /// `4p^2 + 2p < 2^127` for `p < 2^62`, so the u128 term never
+    /// overflows. This is the `IP` kernel of lazy keyswitch chains: the
+    /// accumulator is folded to canonical once per ciphertext limb
+    /// instead of once per product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`; debug-asserts all
+    /// operands are in `[0, 2p)`.
+    pub fn pointwise_mul_acc_lazy(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        assert_eq!(acc.len(), self.n);
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        let m = &self.modulus;
+        debug_assert!(
+            acc.iter().chain(a).chain(b).all(|&x| x < 2 * m.value()),
+            "pointwise_mul_acc_lazy operand outside the [0, 2p) window"
+        );
+        for i in 0..self.n {
+            acc[i] = m.reduce_u128_lazy(a[i] as u128 * b[i] as u128 + acc[i] as u128);
+        }
+    }
+
+    /// Folds a slice of lazy `[0, 2p)` residues to canonical `[0, p)` —
+    /// the single deferred canonicalisation pass at a ciphertext
+    /// boundary.
+    pub fn canonicalize_2p(&self, a: &mut [u64]) {
+        let m = &self.modulus;
+        for x in a.iter_mut() {
+            *x = m.reduce_2p(*x);
         }
     }
 
@@ -529,6 +660,82 @@ mod tests {
                 assert_eq!(lazy, a, "roundtrip mismatch n={n} bits={bits}");
             }
         }
+    }
+
+    #[test]
+    fn lazy_in_lazy_out_matches_strict_after_fold() {
+        // forward_lazy/inverse_lazy chains on [0, 2p) inputs must be
+        // congruent to the strict oracle, and bit-identical once folded.
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [4usize, 64, 1024] {
+            for bits in [30u32, 45, 61] {
+                let t = table(bits, n);
+                let m = t.modulus();
+                let p = m.value();
+                let a = rand_poly(&mut rng, m, n);
+                // Lift to random [0, 2p) representatives of the same values.
+                let lifted: Vec<u64> = a
+                    .iter()
+                    .map(|&x| if rng.gen::<bool>() { x + p } else { x })
+                    .collect();
+
+                let mut strict = a.clone();
+                t.forward_strict(&mut strict);
+
+                let mut lazy = lifted.clone();
+                t.forward_lazy(&mut lazy);
+                assert!(lazy.iter().all(|&x| x < 2 * p), "n={n} bits={bits}");
+                let mut folded = lazy.clone();
+                t.canonicalize_2p(&mut folded);
+                assert_eq!(folded, strict, "forward n={n} bits={bits}");
+
+                // Chain: inverse_lazy directly on the lazy spectrum.
+                t.inverse_lazy(&mut lazy);
+                assert!(lazy.iter().all(|&x| x < 2 * p));
+                t.canonicalize_2p(&mut lazy);
+                t.inverse_strict(&mut strict);
+                assert_eq!(lazy, strict, "roundtrip n={n} bits={bits}");
+                assert_eq!(lazy, a, "roundtrip value n={n} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_mul_acc_matches_strict_after_fold() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let t = table(50, 256);
+        let m = t.modulus();
+        let p = m.value();
+        let a = rand_poly(&mut rng, m, 256);
+        let b = rand_poly(&mut rng, m, 256);
+        let mut acc_strict = rand_poly(&mut rng, m, 256);
+        // Lazy accumulator starts from [0, 2p) representatives.
+        let mut acc_lazy: Vec<u64> = acc_strict
+            .iter()
+            .map(|&x| if rng.gen::<bool>() { x + p } else { x })
+            .collect();
+        let a_lazy: Vec<u64> = a
+            .iter()
+            .map(|&x| if rng.gen::<bool>() { x + p } else { x })
+            .collect();
+        for _ in 0..3 {
+            t.pointwise_mul_acc(&mut acc_strict, &a, &b);
+            t.pointwise_mul_acc_lazy(&mut acc_lazy, &a_lazy, &b);
+        }
+        assert!(acc_lazy.iter().all(|&x| x < 2 * p));
+        t.canonicalize_2p(&mut acc_lazy);
+        assert_eq!(acc_lazy, acc_strict);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaked")]
+    #[cfg(debug_assertions)]
+    fn strict_kernel_rejects_lazy_residue() {
+        let t = table(36, 16);
+        let p = t.modulus().value();
+        let mut a = vec![0u64; 16];
+        a[3] = p + 1; // a [0, 2p) representative, not canonical
+        t.forward_strict(&mut a);
     }
 
     #[test]

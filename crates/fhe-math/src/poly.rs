@@ -11,9 +11,31 @@
 //! The poly tracks whether it is in coefficient or evaluation (NTT)
 //! representation — mirroring the paper's kernel taxonomy, where
 //! `NTT`/`iNTT` convert between the two and `ModMul`/`ModAdd` act
-//! pointwise in evaluation form. All residues stored here are canonical
-//! (`[0, p)` per limb); the `[0, 4p)` lazy-reduction window exists only
-//! *inside* [`crate::NttTable::forward`] / [`crate::NttTable::inverse`].
+//! pointwise in evaluation form — and, orthogonally, which *reduction
+//! state* its residues are in ([`ReductionState`]):
+//!
+//! * [`ReductionState::Canonical`] — every residue in `[0, p)` per
+//!   limb. All strict kernels require and preserve this.
+//! * [`ReductionState::Lazy2p`] — residues are `[0, 2p)`
+//!   representatives. Produced by the `*_lazy` kernels, which skip the
+//!   per-kernel canonicalisation pass; a single [`RnsPoly::canonicalize`]
+//!   folds back at the ciphertext boundary, the way hardware pipelines
+//!   keep operands in redundant form between butterfly/MAC stages and
+//!   only fully reduce at memory writeback.
+//!
+//! The legal transitions (asserted by `tests/lazy_chains.rs`):
+//!
+//! ```text
+//! Canonical --to_eval/to_coeff/strict ops----------------> Canonical
+//! Canonical --to_eval_lazy/to_coeff_lazy/*_lazy ops------> Lazy2p
+//! Lazy2p    --to_eval_lazy/to_coeff_lazy/*_lazy ops------> Lazy2p
+//! Lazy2p    --canonicalize / to_eval / to_coeff----------> Canonical
+//! Lazy2p    --strict kernels (add_assign, mul_*, ...)----> debug panic
+//! ```
+//!
+//! The `[0, 4p)` inter-stage window of the Harvey butterflies never
+//! escapes [`crate::NttTable`]; only the `[0, 2p)` window crosses
+//! kernel boundaries, and only under the `Lazy2p` marker.
 
 use std::sync::Arc;
 
@@ -30,6 +52,21 @@ pub enum Representation {
     Eval,
 }
 
+/// The reduction state a polynomial's residues are currently in.
+///
+/// Tracked alongside [`Representation`]: representation says which
+/// *domain* (coefficient vs evaluation) the residues live in, reduction
+/// state says which *window* (`[0, p)` vs `[0, 2p)`) they are reduced
+/// into. See the module docs for the legal transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionState {
+    /// Every residue is canonical: `[0, p)` for its limb.
+    Canonical,
+    /// Residues are lazy `[0, 2p)` representatives awaiting a deferred
+    /// [`RnsPoly::canonicalize`] at the ciphertext boundary.
+    Lazy2p,
+}
+
 /// An RNS polynomial: `basis.len()` limbs of `n` residues in one flat
 /// contiguous buffer.
 #[derive(Debug, Clone)]
@@ -38,13 +75,19 @@ pub struct RnsPoly {
     /// Limb-major flat residues: limb `i` at `data[i*n .. (i+1)*n]`.
     data: Vec<u64>,
     repr: Representation,
+    red: ReductionState,
 }
 
 impl RnsPoly {
     /// The zero polynomial in the given representation.
     pub fn zero(basis: Arc<RnsBasis>, repr: Representation) -> Self {
         let data = vec![0u64; basis.len() * basis.n()];
-        Self { basis, data, repr }
+        Self {
+            basis,
+            data,
+            repr,
+            red: ReductionState::Canonical,
+        }
     }
 
     /// Lifts small signed coefficients into every limb (coefficient form).
@@ -62,6 +105,7 @@ impl RnsPoly {
             basis,
             data,
             repr: Representation::Coeff,
+            red: ReductionState::Canonical,
         }
     }
 
@@ -78,7 +122,12 @@ impl RnsPoly {
             .chunks_exact(basis.n())
             .zip(basis.moduli())
             .all(|(row, m)| row.iter().all(|&x| x < m.value())));
-        Self { basis, data, repr }
+        Self {
+            basis,
+            data,
+            repr,
+            red: ReductionState::Canonical,
+        }
     }
 
     /// The RNS basis.
@@ -103,6 +152,43 @@ impl RnsPoly {
     #[inline]
     pub fn representation(&self) -> Representation {
         self.repr
+    }
+
+    /// Current reduction state.
+    #[inline]
+    pub fn reduction_state(&self) -> ReductionState {
+        self.red
+    }
+
+    /// Debug-assert guard at strict-kernel entry: a lazy `[0, 2p)`
+    /// polynomial must never reach a kernel that assumes canonical
+    /// residues unnoticed.
+    #[inline]
+    fn debug_assert_canonical(&self, kernel: &str) {
+        debug_assert!(
+            self.red == ReductionState::Canonical,
+            "{kernel} requires canonical residues — a Lazy2p polynomial leaked in; \
+             call canonicalize() at the ciphertext boundary first"
+        );
+    }
+
+    /// Folds every residue back into the canonical `[0, p)` window.
+    ///
+    /// The single deferred reduction pass of a lazy kernel chain —
+    /// higher layers call this once per ciphertext limb at ciphertext
+    /// boundaries instead of letting every kernel canonicalise its
+    /// output. No-op when already canonical.
+    pub fn canonicalize(&mut self) {
+        if self.red == ReductionState::Canonical {
+            return;
+        }
+        let n = self.basis.n();
+        for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
+            for x in row.iter_mut() {
+                *x = m.reduce_2p(*x);
+            }
+        }
+        self.red = ReductionState::Canonical;
     }
 
     /// Residues of limb `i` (a slice view into the flat buffer).
@@ -150,9 +236,14 @@ impl RnsPoly {
             .all(|(a, b)| a.value() == b.value()));
     }
 
-    /// Converts to evaluation form (no-op if already there).
+    /// Converts to evaluation form (no-op on the representation if
+    /// already there, but always canonicalises).
+    ///
+    /// Accepts either reduction state — the transform's exit correction
+    /// folds lazy input for free — and returns a canonical polynomial.
     pub fn to_eval(&mut self) {
         if self.repr == Representation::Eval {
+            self.canonicalize();
             return;
         }
         let n = self.basis.n();
@@ -160,11 +251,17 @@ impl RnsPoly {
             t.forward(row);
         }
         self.repr = Representation::Eval;
+        self.red = ReductionState::Canonical;
     }
 
-    /// Converts to coefficient form (no-op if already there).
+    /// Converts to coefficient form (no-op on the representation if
+    /// already there, but always canonicalises).
+    ///
+    /// Accepts either reduction state and returns a canonical
+    /// polynomial, like [`Self::to_eval`].
     pub fn to_coeff(&mut self) {
         if self.repr == Representation::Coeff {
+            self.canonicalize();
             return;
         }
         let n = self.basis.n();
@@ -172,6 +269,80 @@ impl RnsPoly {
             t.inverse(row);
         }
         self.repr = Representation::Coeff;
+        self.red = ReductionState::Canonical;
+    }
+
+    /// Converts to evaluation form with the fully-reduced
+    /// [`crate::NttTable::forward_strict`] (every butterfly
+    /// canonicalises) — the strict-oracle transform. Requires and
+    /// produces canonical residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in evaluation form; debug-panics on lazy
+    /// input.
+    pub fn to_eval_strict(&mut self) {
+        assert_eq!(self.repr, Representation::Coeff, "already in eval form");
+        self.debug_assert_canonical("to_eval_strict");
+        let n = self.basis.n();
+        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
+            t.forward_strict(row);
+        }
+        self.repr = Representation::Eval;
+    }
+
+    /// Converts to coefficient form with the fully-reduced
+    /// [`crate::NttTable::inverse_strict`] — the strict-oracle
+    /// transform. Requires and produces canonical residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in coefficient form; debug-panics on lazy
+    /// input.
+    pub fn to_coeff_strict(&mut self) {
+        assert_eq!(self.repr, Representation::Eval, "already in coeff form");
+        self.debug_assert_canonical("to_coeff_strict");
+        let n = self.basis.n();
+        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
+            t.inverse_strict(row);
+        }
+        self.repr = Representation::Coeff;
+    }
+
+    /// Converts to evaluation form *lazily*: the per-limb
+    /// [`crate::NttTable::forward_lazy`] skips the canonicalising half
+    /// of its exit pass, leaving the polynomial in
+    /// [`ReductionState::Lazy2p`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in evaluation form (a lazy chain always knows
+    /// its dataflow; an accidental double transform is a bug).
+    pub fn to_eval_lazy(&mut self) {
+        assert_eq!(self.repr, Representation::Coeff, "already in eval form");
+        let n = self.basis.n();
+        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
+            t.forward_lazy(row);
+        }
+        self.repr = Representation::Eval;
+        self.red = ReductionState::Lazy2p;
+    }
+
+    /// Converts to coefficient form *lazily* via
+    /// [`crate::NttTable::inverse_lazy`], leaving the polynomial in
+    /// [`ReductionState::Lazy2p`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in coefficient form.
+    pub fn to_coeff_lazy(&mut self) {
+        assert_eq!(self.repr, Representation::Eval, "already in coeff form");
+        let n = self.basis.n();
+        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
+            t.inverse_lazy(row);
+        }
+        self.repr = Representation::Coeff;
+        self.red = ReductionState::Lazy2p;
     }
 
     /// `self += other` (element-wise per limb; representations must match).
@@ -182,6 +353,8 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        self.debug_assert_canonical("add_assign");
+        other.debug_assert_canonical("add_assign (rhs)");
         let n = self.basis.n();
         for ((row, orow), m) in self
             .data
@@ -203,6 +376,8 @@ impl RnsPoly {
     pub fn sub_assign(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        self.debug_assert_canonical("sub_assign");
+        other.debug_assert_canonical("sub_assign (rhs)");
         let n = self.basis.n();
         for ((row, orow), m) in self
             .data
@@ -218,6 +393,7 @@ impl RnsPoly {
 
     /// Negates in place.
     pub fn neg_assign(&mut self) {
+        self.debug_assert_canonical("neg_assign");
         let n = self.basis.n();
         for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
             for x in row.iter_mut() {
@@ -236,6 +412,8 @@ impl RnsPoly {
         self.assert_same_basis(other);
         assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
         assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
+        self.debug_assert_canonical("mul_assign_pointwise");
+        other.debug_assert_canonical("mul_assign_pointwise (rhs)");
         let n = self.basis.n();
         for ((row, orow), m) in self
             .data
@@ -260,6 +438,9 @@ impl RnsPoly {
         assert_eq!(self.repr, Representation::Eval);
         assert_eq!(a.repr, Representation::Eval);
         assert_eq!(b.repr, Representation::Eval);
+        self.debug_assert_canonical("mul_acc_pointwise");
+        a.debug_assert_canonical("mul_acc_pointwise (a)");
+        b.debug_assert_canonical("mul_acc_pointwise (b)");
         let n = self.basis.n();
         for (((row, arow), brow), m) in self
             .data
@@ -274,8 +455,110 @@ impl RnsPoly {
         }
     }
 
+    /// Lazy `self += other`: operands may be in either reduction state;
+    /// the result is a [`ReductionState::Lazy2p`] polynomial (one
+    /// conditional subtraction at `2p` per residue, no canonicalising
+    /// pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or representation mismatch.
+    pub fn add_assign_lazy(&mut self, other: &RnsPoly) {
+        self.assert_same_basis(other);
+        assert_eq!(self.repr, other.repr, "representation mismatch");
+        let n = self.basis.n();
+        for ((row, orow), m) in self
+            .data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
+            .zip(self.basis.moduli())
+        {
+            for (x, &y) in row.iter_mut().zip(orow) {
+                *x = m.add_lazy(*x, y);
+            }
+        }
+        self.red = ReductionState::Lazy2p;
+    }
+
+    /// Lazy `self -= other` (see [`Self::add_assign_lazy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or representation mismatch.
+    pub fn sub_assign_lazy(&mut self, other: &RnsPoly) {
+        self.assert_same_basis(other);
+        assert_eq!(self.repr, other.repr, "representation mismatch");
+        let n = self.basis.n();
+        for ((row, orow), m) in self
+            .data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
+            .zip(self.basis.moduli())
+        {
+            for (x, &y) in row.iter_mut().zip(orow) {
+                *x = m.sub_lazy(*x, y);
+            }
+        }
+        self.red = ReductionState::Lazy2p;
+    }
+
+    /// Lazy pointwise multiply: operands in either reduction state
+    /// (their `[0, 2p)` windows multiply exactly under Barrett), result
+    /// [`ReductionState::Lazy2p`]. Both must be in evaluation form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis mismatch or if either operand is in coefficient
+    /// form.
+    pub fn mul_assign_pointwise_lazy(&mut self, other: &RnsPoly) {
+        self.assert_same_basis(other);
+        assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
+        assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
+        let n = self.basis.n();
+        for ((row, orow), m) in self
+            .data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
+            .zip(self.basis.moduli())
+        {
+            for (x, &y) in row.iter_mut().zip(orow) {
+                *x = m.mul_lazy(*x, y);
+            }
+        }
+        self.red = ReductionState::Lazy2p;
+    }
+
+    /// Lazy `self += a * b` pointwise — the `IP` kernel of lazy
+    /// keyswitch chains. All three in evaluation form, any reduction
+    /// state; the accumulator stays in `[0, 2p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or representation mismatch.
+    pub fn mul_acc_pointwise_lazy(&mut self, a: &RnsPoly, b: &RnsPoly) {
+        self.assert_same_basis(a);
+        self.assert_same_basis(b);
+        assert_eq!(self.repr, Representation::Eval);
+        assert_eq!(a.repr, Representation::Eval);
+        assert_eq!(b.repr, Representation::Eval);
+        let n = self.basis.n();
+        for (((row, arow), brow), m) in self
+            .data
+            .chunks_exact_mut(n)
+            .zip(a.data.chunks_exact(n))
+            .zip(b.data.chunks_exact(n))
+            .zip(self.basis.moduli())
+        {
+            for ((x, &ya), &yb) in row.iter_mut().zip(arow).zip(brow) {
+                *x = m.reduce_u128_lazy(ya as u128 * yb as u128 + *x as u128);
+            }
+        }
+        self.red = ReductionState::Lazy2p;
+    }
+
     /// Multiplies by a small signed scalar.
     pub fn mul_scalar_i64(&mut self, s: i64) {
+        self.debug_assert_canonical("mul_scalar_i64");
         let n = self.basis.n();
         for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
             let sv = m.from_i64(s);
@@ -292,6 +575,7 @@ impl RnsPoly {
     /// Panics if `s.len() != self.limbs()`.
     pub fn mul_scalar_residues(&mut self, s: &[u64]) {
         assert_eq!(s.len(), self.limbs());
+        self.debug_assert_canonical("mul_scalar_residues");
         let n = self.basis.n();
         for ((row, m), &sv) in self
             .data
@@ -321,6 +605,7 @@ impl RnsPoly {
             Representation::Coeff,
             "monomial multiplication requires coefficient form"
         );
+        self.debug_assert_canonical("mul_monomial");
         let n = self.n();
         let k = k.rem_euclid(2 * n as i64) as usize;
         if k == 0 {
@@ -354,6 +639,7 @@ impl RnsPoly {
     /// Panics if `g` is even.
     pub fn automorphism(&mut self, g: u64, perms: &GaloisPerms) {
         assert_eq!(g % 2, 1, "galois element must be odd");
+        self.debug_assert_canonical("automorphism");
         let n = self.n();
         match self.repr {
             Representation::Coeff => {
@@ -412,6 +698,7 @@ impl RnsPoly {
     /// Panics if in evaluation form.
     pub fn to_centered_f64(&self) -> Vec<f64> {
         assert_eq!(self.repr, Representation::Coeff);
+        self.debug_assert_canonical("to_centered_f64");
         let n = self.n();
         let mut out = Vec::with_capacity(n);
         if self.limbs() == 1 {
@@ -469,6 +756,9 @@ mod tests {
     }
 
     #[test]
+    // Schoolbook oracle: indexed so the negacyclic wrap k = i + j stays
+    // visible.
+    #[allow(clippy::needless_range_loop)]
     fn pointwise_mul_is_negacyclic_convolution() {
         let b = basis(32, 2);
         let x: Vec<i64> = (0..32).map(|i| (i as i64) - 16).collect();
@@ -551,6 +841,126 @@ mod tests {
         let mut q = RnsPoly::from_signed_coeffs(b, &coeffs);
         q.automorphism(25, &perms);
         assert_eq!(p.flat(), q.flat());
+    }
+
+    #[test]
+    fn reduction_state_transitions() {
+        let b = basis(16, 2);
+        let coeffs: Vec<i64> = (0..16).map(|i| i as i64 - 8).collect();
+        let mut p = RnsPoly::from_signed_coeffs(b.clone(), &coeffs);
+        assert_eq!(p.reduction_state(), ReductionState::Canonical);
+
+        // Canonical --to_eval_lazy--> Lazy2p.
+        p.to_eval_lazy();
+        assert_eq!(p.reduction_state(), ReductionState::Lazy2p);
+
+        // Lazy2p --lazy op--> Lazy2p.
+        let mut q = RnsPoly::from_signed_coeffs(b.clone(), &coeffs);
+        q.to_eval();
+        assert_eq!(q.reduction_state(), ReductionState::Canonical);
+        p.mul_assign_pointwise_lazy(&q);
+        assert_eq!(p.reduction_state(), ReductionState::Lazy2p);
+
+        // Lazy2p --to_coeff_lazy--> Lazy2p, then canonicalize.
+        p.to_coeff_lazy();
+        assert_eq!(p.reduction_state(), ReductionState::Lazy2p);
+        p.canonicalize();
+        assert_eq!(p.reduction_state(), ReductionState::Canonical);
+
+        // Canonical ops keep the canonical state.
+        let r = RnsPoly::from_signed_coeffs(b, &coeffs);
+        p.add_assign(&r);
+        assert_eq!(p.reduction_state(), ReductionState::Canonical);
+    }
+
+    #[test]
+    fn lazy_poly_chain_matches_strict_after_canonicalize() {
+        // to_eval_lazy -> lazy mul -> lazy acc -> lazy add/sub ->
+        // to_coeff_lazy -> canonicalize must be bit-identical to the
+        // strict chain.
+        let b = basis(64, 3);
+        let xs: Vec<i64> = (0..64).map(|i| (i * 7 % 37) as i64 - 18).collect();
+        let ys: Vec<i64> = (0..64).map(|i| (i * 11 % 29) as i64 - 14).collect();
+
+        let mut strict_x = RnsPoly::from_signed_coeffs(b.clone(), &xs);
+        let mut strict_y = RnsPoly::from_signed_coeffs(b.clone(), &ys);
+        strict_x.to_eval();
+        strict_y.to_eval();
+        let mut strict_acc = RnsPoly::zero(b.clone(), Representation::Eval);
+        strict_acc.mul_acc_pointwise(&strict_x, &strict_y);
+        strict_acc.mul_acc_pointwise(&strict_y, &strict_y);
+        strict_acc.add_assign(&strict_x);
+        strict_acc.sub_assign(&strict_y);
+        strict_acc.to_coeff();
+
+        let mut lazy_x = RnsPoly::from_signed_coeffs(b.clone(), &xs);
+        let mut lazy_y = RnsPoly::from_signed_coeffs(b.clone(), &ys);
+        lazy_x.to_eval_lazy();
+        lazy_y.to_eval_lazy();
+        let mut lazy_acc = RnsPoly::zero(b, Representation::Eval);
+        lazy_acc.mul_acc_pointwise_lazy(&lazy_x, &lazy_y);
+        lazy_acc.mul_acc_pointwise_lazy(&lazy_y, &lazy_y);
+        lazy_acc.add_assign_lazy(&lazy_x);
+        lazy_acc.sub_assign_lazy(&lazy_y);
+        lazy_acc.to_coeff_lazy();
+        lazy_acc.canonicalize();
+
+        assert_eq!(lazy_acc.flat(), strict_acc.flat());
+    }
+
+    #[test]
+    fn lazy_add_sub_stay_in_window_and_agree_with_strict() {
+        // sub_assign_lazy / add_assign_lazy with both operands already
+        // lifted to [0, 2p) — including the 2p-1 extremes — must agree
+        // with the canonical ops after folding.
+        let b = basis(16, 2);
+        let xs: Vec<i64> = (0..16).map(|i| i as i64 - 8).collect();
+        let ys: Vec<i64> = (0..16).map(|i| 7 - (i as i64 % 5)).collect();
+        let mut lx = RnsPoly::from_signed_coeffs(b.clone(), &xs);
+        let mut ly = RnsPoly::from_signed_coeffs(b.clone(), &ys);
+        // Lift every residue to its high [p, 2p) representative where
+        // possible (x + p), stressing the fold boundary.
+        for i in 0..lx.limbs() {
+            let p = b.modulus(i).value();
+            for x in lx.limb_mut(i) {
+                *x += p;
+            }
+            for y in ly.limb_mut(i) {
+                *y += p;
+            }
+        }
+        let mut sum = lx.clone();
+        sum.add_assign_lazy(&ly);
+        let mut diff = lx.clone();
+        diff.sub_assign_lazy(&ly);
+        for i in 0..sum.limbs() {
+            let p = b.modulus(i).value();
+            assert!(sum.limb(i).iter().all(|&v| v < 2 * p), "sum escaped 2p");
+            assert!(diff.limb(i).iter().all(|&v| v < 2 * p), "diff escaped 2p");
+        }
+        sum.canonicalize();
+        diff.canonicalize();
+
+        let sx = RnsPoly::from_signed_coeffs(b.clone(), &xs);
+        let sy = RnsPoly::from_signed_coeffs(b, &ys);
+        let mut ssum = sx.clone();
+        ssum.add_assign(&sy);
+        let mut sdiff = sx.clone();
+        sdiff.sub_assign(&sy);
+        assert_eq!(sum.flat(), ssum.flat());
+        assert_eq!(diff.flat(), sdiff.flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "Lazy2p polynomial leaked")]
+    #[cfg(debug_assertions)]
+    fn strict_kernel_rejects_lazy_poly() {
+        let b = basis(16, 1);
+        let mut p = RnsPoly::from_signed_coeffs(b.clone(), &[3i64; 16]);
+        p.to_eval_lazy();
+        let mut q = RnsPoly::from_signed_coeffs(b, &[1i64; 16]);
+        q.to_eval();
+        q.add_assign(&p); // rhs is Lazy2p -> debug assert fires
     }
 
     #[test]

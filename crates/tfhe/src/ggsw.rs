@@ -143,41 +143,39 @@ impl Ggsw {
     ///
     /// Decomposes every GLWE component into `lb` digit polynomials and
     /// accumulates digit-by-row products (Algorithm 2 lines 6–10).
+    ///
+    /// The NTT backend runs as a lazy residue chain: digit NTTs exit in
+    /// the `[0, 2p)` window, all `(k+1) * lb` multiply-accumulates stay
+    /// lazy, and the per-component iNTT's exit pass performs the single
+    /// deferred canonicalisation — once per output limb instead of once
+    /// per kernel, exactly the blind-rotation accumulator discipline of
+    /// NTT hardware pipelines. Bit-identical to
+    /// [`Self::external_product_strict`] (asserted by
+    /// `tests/lazy_chains.rs`).
     pub fn external_product(&self, ring: &TfheRing, glwe: &GlweCiphertext) -> GlweCiphertext {
         let n = ring.n();
-        let q = ring.modulus();
         let k = self.k;
-        // Digit polynomials, row-aligned: index i*lb + (j-1).
-        let mut digits: Vec<Vec<i64>> = vec![vec![0i64; n]; (k + 1) * self.lb];
-        for comp in 0..=k {
-            let poly = if comp < k {
-                &glwe.mask[comp]
-            } else {
-                &glwe.body
-            };
-            for (c, &x) in poly.iter().enumerate() {
-                let ds = gadget_decompose(q.value(), x, self.bg_log, self.lb);
-                for (j, &d) in ds.iter().enumerate() {
-                    digits[comp * self.lb + j][c] = d;
-                }
-            }
-        }
+        let digits = self.decompose_digits(ring, glwe);
         match &self.repr {
             GgswRepr::Ntt(rows) => {
-                // Forward-transform each digit poly once, accumulate in
-                // the evaluation domain, inverse-transform per component.
+                // Forward-transform each digit poly once (lazy exit),
+                // accumulate in the evaluation domain in [0, 2p), and
+                // let the per-component iNTT exit canonicalise.
                 let mut acc = vec![vec![0u64; n]; k + 1];
                 for (r, digit) in digits.iter().enumerate() {
                     let mut d = ring.poly_from_signed(digit);
-                    ring.table().forward(&mut d);
+                    ring.table().forward_lazy(&mut d);
                     for comp in 0..=k {
                         ring.table()
-                            .pointwise_mul_acc(&mut acc[comp], &d, &rows[r][comp]);
+                            .pointwise_mul_acc_lazy(&mut acc[comp], &d, &rows[r][comp]);
                     }
                 }
                 let mut comps: Vec<Vec<u64>> = acc
                     .into_iter()
                     .map(|mut poly| {
+                        // `inverse` accepts the lazy accumulator and its
+                        // n^{-1} exit pass folds to canonical for free —
+                        // the chain's ciphertext-boundary reduction.
                         ring.table().inverse(&mut poly);
                         poly
                     })
@@ -188,6 +186,7 @@ impl Ggsw {
             GgswRepr::Fft(rows) => {
                 // Accumulate per-row FFT products in wide integers, then
                 // reduce — rounding error mirrors real FFT accelerators.
+                let q = ring.modulus();
                 let mut acc = vec![vec![0i128; n]; k + 1];
                 for (r, digit) in digits.iter().enumerate() {
                     for comp in 0..=k {
@@ -210,6 +209,72 @@ impl Ggsw {
                 GlweCiphertext { mask: comps, body }
             }
         }
+    }
+
+    /// Strict-oracle external product for the NTT backend: fully-reduced
+    /// transforms (`forward_strict`/`inverse_strict`) and canonical
+    /// multiply-accumulates, every kernel canonicalising its output.
+    /// The reference [`Self::external_product`] is asserted against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this GGSW was prepared for the FFT backend (the strict
+    /// oracle only distinguishes reduction discipline, which is an
+    /// NTT-path concept).
+    pub fn external_product_strict(
+        &self,
+        ring: &TfheRing,
+        glwe: &GlweCiphertext,
+    ) -> GlweCiphertext {
+        let n = ring.n();
+        let k = self.k;
+        let digits = self.decompose_digits(ring, glwe);
+        let GgswRepr::Ntt(rows) = &self.repr else {
+            panic!("external_product_strict requires the NTT backend");
+        };
+        let mut acc = vec![vec![0u64; n]; k + 1];
+        for (r, digit) in digits.iter().enumerate() {
+            let mut d = ring.poly_from_signed(digit);
+            ring.table().forward_strict(&mut d);
+            for comp in 0..=k {
+                ring.table()
+                    .pointwise_mul_acc(&mut acc[comp], &d, &rows[r][comp]);
+            }
+        }
+        let mut comps: Vec<Vec<u64>> = acc
+            .into_iter()
+            .map(|mut poly| {
+                ring.table().inverse_strict(&mut poly);
+                poly
+            })
+            .collect();
+        let body = comps.pop().expect("k+1 components");
+        GlweCiphertext { mask: comps, body }
+    }
+
+    /// Gadget-decomposes every GLWE component into `lb` digit
+    /// polynomials, row-aligned with the GGSW rows (index
+    /// `i*lb + (j-1)`) — Algorithm 2 lines 6–8, shared by both reduction
+    /// disciplines.
+    fn decompose_digits(&self, ring: &TfheRing, glwe: &GlweCiphertext) -> Vec<Vec<i64>> {
+        let n = ring.n();
+        let q = ring.modulus();
+        let k = self.k;
+        let mut digits: Vec<Vec<i64>> = vec![vec![0i64; n]; (k + 1) * self.lb];
+        for comp in 0..=k {
+            let poly = if comp < k {
+                &glwe.mask[comp]
+            } else {
+                &glwe.body
+            };
+            for (c, &x) in poly.iter().enumerate() {
+                let ds = gadget_decompose(q.value(), x, self.bg_log, self.lb);
+                for (j, &d) in ds.iter().enumerate() {
+                    digits[comp * self.lb + j][c] = d;
+                }
+            }
+        }
+        digits
     }
 
     /// CMUX: returns `ct0 + self ⊡ (ct1 - ct0)` — selects `ct1` when the
@@ -324,7 +389,7 @@ mod tests {
             }
             let phase = cur.phase(&ring, &sk);
             let err = phase_error(&ring, &phase, &msg);
-            max_err.insert(backend.clone(), err);
+            max_err.insert(backend, err);
         }
         assert!(
             max_err[&MulBackend::Ntt] <= max_err[&MulBackend::Fft],

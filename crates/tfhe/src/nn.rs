@@ -392,7 +392,7 @@ mod tests {
         // the reference path scales and stays ±1.
         let mut rng = StdRng::seed_from_u64(613);
         let widths: Vec<usize> = std::iter::once(8)
-            .chain(std::iter::repeat(8).take(20))
+            .chain(std::iter::repeat_n(8, 20))
             .collect();
         let net = DiscreteMlp::random(&widths, &mut rng);
         assert_eq!(net.depth(), 20);

@@ -5,6 +5,15 @@
 //! limb-wise data layout, §IV-I), one kernel per digit for `BConv`
 //! matrix products — so the scheduler sees the same parallelism the
 //! real machine would.
+//!
+//! The kernel counts assume the hardware's deferred-reduction
+//! discipline: operands flow between NTT and MAC stages in redundant
+//! `[0, 2p)` form and are fully reduced only at memory writeback, so no
+//! standalone "canonicalise" kernels appear in the DAGs. The functional
+//! crates now implement the same discipline (`fhe_ckks::key_switch`,
+//! the lazy tensor in `Evaluator::mul_no_relin`, the TFHE external
+//! product), so the measured CPU rows and these modeled graphs agree on
+//! where reduction work happens.
 
 use trinity_core::kernel::{KernelGraph, KernelId, KernelKind};
 

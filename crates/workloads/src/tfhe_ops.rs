@@ -1,4 +1,10 @@
 //! Kernel DAGs for TFHE operations — Algorithm 2 of the paper.
+//!
+//! As in [`crate::ckks_ops`], the graphs carry no standalone reduction
+//! kernels: the blind-rotation accumulator is assumed to stay in
+//! redundant `[0, 2p)` form across the `(k+1)*lb` NTT/MAC rows of each
+//! CMUX and fold only at the iNTT writeback — the discipline
+//! `fhe_tfhe::Ggsw::external_product` now implements on the host.
 
 use trinity_core::kernel::{KernelGraph, KernelId, KernelKind};
 

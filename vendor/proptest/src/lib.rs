@@ -7,8 +7,12 @@
 //! `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from upstream, deliberately accepted:
-//! * no shrinking — a failing case reports its inputs (via the panic
-//!   message) but is not minimised;
+//! * shrinking is simpler than upstream's: integers binary-search
+//!   toward the smallest in-range value (0 for signed/`any` values),
+//!   vectors shrink their length toward the minimum and their elements
+//!   recursively, and floats do not shrink. A failing case is minimised
+//!   by re-running the body on [`Strategy::shrink`] candidates until no
+//!   candidate still fails, then reported with its shrink count;
 //! * generation is deterministic per (test name, case index), so runs
 //!   are reproducible without a `proptest-regressions` directory.
 
@@ -84,6 +88,15 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner re-checks candidates and recurses on the first
+    /// that still fails, so returning midpoints here yields a binary
+    /// search. The default (no candidates) disables shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -92,12 +105,80 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Binary-search shrink candidates for an integer `v` with shrink
+/// target `t` (same range): the target itself, then a geometric ladder
+/// `v ∓ d/2, v ∓ d/4, ..., v ∓ 1` (d = |v - t|) ascending toward `v`.
+/// The runner greedily takes the first candidate that still fails, so
+/// re-shrinking from that candidate performs a true binary search on
+/// the failure boundary instead of degenerating into unit steps.
+///
+/// `$ut` is the same-width unsigned type: the distance is computed via
+/// `wrapping_sub` + cast, which is exact for any in-range pair
+/// (including `v = iN::MIN`, `t = 0`, whose distance `2^(N-1)` only
+/// fits unsigned).
+macro_rules! int_shrink_ladder {
+    ($t:ty, $ut:ty, $v:expr, $target:expr) => {{
+        let (v, target): ($t, $t) = ($v, $target);
+        if v == target {
+            Vec::new()
+        } else {
+            let dist: $ut = if v >= target {
+                v.wrapping_sub(target) as $ut
+            } else {
+                target.wrapping_sub(v) as $ut
+            };
+            let mut out = vec![target];
+            let mut g = dist / 2;
+            while g > 0 {
+                // g <= dist/2 < 2^(N-1) fits $t, and the step stays
+                // strictly between target and v.
+                let cand = if v >= target {
+                    v.wrapping_sub(g as $t)
+                } else {
+                    v.wrapping_add(g as $t)
+                };
+                out.push(cand);
+                g /= 2;
+            }
+            out
+        }
+    }};
+}
+
+/// The in-range value closest to zero — the shrink target of a range
+/// strategy.
+macro_rules! int_shrink_target {
+    ($t:ty, $lo:expr, $hi:expr) => {{
+        let (lo, hi): ($t, $t) = ($lo, $hi);
+        #[allow(unused_comparisons)]
+        if lo <= 0 && hi >= 0 {
+            0
+        } else if lo > 0 {
+            lo
+        } else {
+            hi
+        }
+    }};
 }
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of a failing value (see
+    /// [`Strategy::shrink`]); integers halve toward zero, `bool` falls
+    /// to `false`, everything else does not shrink.
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_via_gen {
@@ -109,9 +190,49 @@ macro_rules! impl_arbitrary_via_gen {
         }
     )*};
 }
-impl_arbitrary_via_gen!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+impl_arbitrary_via_gen!(f32, f64);
+
+macro_rules! impl_arbitrary_int {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                int_shrink_ladder!($t, $ut, *value, 0)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (u128, u128),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (i128, u128),
+    (isize, usize)
 );
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
 
 /// Strategy returned by [`any`].
 pub struct Any<T>(PhantomData<T>);
@@ -121,6 +242,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
     }
 }
 
@@ -140,7 +265,50 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! impl_strategy_for_ranges {
+macro_rules! impl_strategy_for_int_ranges {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let target = int_shrink_target!($t, self.start, self.end - 1);
+                int_shrink_ladder!($t, $ut, *value, target)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let target = int_shrink_target!($t, *self.start(), *self.end());
+                int_shrink_ladder!($t, $ut, *value, target)
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_ranges!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (u128, u128),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (i128, u128),
+    (isize, usize)
+);
+
+macro_rules! impl_strategy_for_float_ranges {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -158,7 +326,7 @@ macro_rules! impl_strategy_for_ranges {
         }
     )*};
 }
-impl_strategy_for_ranges!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+impl_strategy_for_float_ranges!(f32, f64);
 
 /// Collection strategies (`vec`).
 pub mod collection {
@@ -208,12 +376,44 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.lo..self.size.hi_excl);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let mut out = Vec::new();
+            // Length shrinking, binary-searching toward the minimum:
+            // halve toward `lo` (keeping either end), then drop one.
+            if len > self.size.lo {
+                let half = (len + self.size.lo) / 2;
+                if half < len {
+                    out.push(value[..half].to_vec());
+                    out.push(value[len - half..].to_vec());
+                }
+                out.push(value[..len - 1].to_vec());
+                out.push(value[1..].to_vec());
+                // Equal candidates (e.g. when all elements coincide)
+                // just cost a redundant re-run; no dedup without
+                // requiring PartialEq on element values.
+            }
+            // Element shrinking: every candidate of every slot, so the
+            // runner's greedy pass binary-searches each element too.
+            for (i, x) in value.iter().enumerate() {
+                for cand in self.element.shrink(x) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 
@@ -222,6 +422,129 @@ pub mod collection {
         VecStrategy {
             element,
             size: size.into(),
+        }
+    }
+}
+
+/// Tuples of strategies are strategies over tuples of values — the
+/// [`proptest!`] runner bundles a test's arguments this way so the
+/// whole case can be generated, cloned, and shrunk as one value.
+/// Shrinking simplifies one component at a time, holding the others
+/// fixed.
+macro_rules! impl_strategy_for_tuples {
+    ($(($($S:ident | $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut w = value.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples!((S0 | 0)(S0 | 0, S1 | 1)(S0 | 0, S1 | 1, S2 | 2)(
+    S0 | 0,
+    S1 | 1,
+    S2 | 2,
+    S3 | 3
+)(S0 | 0, S1 | 1, S2 | 2, S3 | 3, S4 | 4)(
+    S0 | 0,
+    S1 | 1,
+    S2 | 2,
+    S3 | 3,
+    S4 | 4,
+    S5 | 5
+)(S0 | 0, S1 | 1, S2 | 2, S3 | 3, S4 | 4, S5 | 5, S6 | 6)(
+    S0 | 0,
+    S1 | 1,
+    S2 | 2,
+    S3 | 3,
+    S4 | 4,
+    S5 | 5,
+    S6 | 6,
+    S7 | 7
+));
+
+/// The [`proptest!`] runner: generates `config.cases` values from
+/// `strategy`, re-generating on `prop_assume!` rejections, and on the
+/// first failure greedily minimises the case through
+/// [`Strategy::shrink`] (first still-failing candidate wins, up to 1024
+/// shrink steps) before panicking with the minimised inputs' message.
+///
+/// Public so the macro expansion can call it; not part of the upstream
+/// API surface.
+pub fn run_property<S, F>(config: &ProptestConfig, test_path: &str, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    // `prop_assume!` rejections regenerate with a fresh case index
+    // instead of consuming the budget, so the configured number of
+    // cases actually run. As upstream does, a pathological reject rate
+    // fails the test rather than passing it vacuously.
+    let max_rejects = (config.cases as u64).saturating_mul(10).max(256);
+    let mut passed: u64 = 0;
+    let mut rejects: u64 = 0;
+    let mut case: u64 = 0;
+    while passed < config.cases as u64 {
+        let mut rng = TestRng::for_case(test_path, case);
+        case += 1;
+        let value = strategy.generate(&mut rng);
+        match body(value.clone()) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest {test_path}: too many prop_assume! rejections \
+                         ({rejects} rejects for {passed} accepted cases)"
+                    )
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                // Minimise: greedily accept the first shrink candidate
+                // that still fails, until none do (rejected/passing
+                // candidates are skipped).
+                let mut best = value;
+                let mut best_msg = msg;
+                let mut shrinks: u32 = 0;
+                'minimise: while shrinks < 1024 {
+                    for cand in strategy.shrink(&best) {
+                        if let Err(TestCaseError::Fail(m)) = body(cand.clone()) {
+                            best = cand;
+                            best_msg = m;
+                            shrinks += 1;
+                            continue 'minimise;
+                        }
+                    }
+                    break;
+                }
+                let how = if shrinks == 0 {
+                    String::from("not shrinkable")
+                } else {
+                    format!("minimised after {shrinks} shrinks")
+                };
+                panic!(
+                    "proptest case {} of {test_path} ({how}): {best_msg}",
+                    case - 1
+                )
+            }
         }
     }
 }
@@ -323,51 +646,18 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                // `prop_assume!` rejections regenerate with a fresh
-                // case index instead of consuming the budget, so the
-                // configured number of cases actually run. As
-                // upstream does, a pathological reject rate fails the
-                // test rather than passing it vacuously.
-                let __max_rejects = (__config.cases as u64).saturating_mul(10).max(256);
-                let mut __passed: u64 = 0;
-                let mut __rejects: u64 = 0;
-                let mut __case: u64 = 0;
-                while __passed < __config.cases as u64 {
-                    let mut __rng = $crate::TestRng::for_case(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        __case,
-                    );
-                    __case += 1;
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (move || {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    match __outcome {
-                        ::std::result::Result::Ok(()) => __passed += 1,
-                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
-                            __rejects += 1;
-                            if __rejects > __max_rejects {
-                                panic!(
-                                    "proptest {}: too many prop_assume! rejections \
-                                     ({} rejects for {} accepted cases)",
-                                    stringify!($name),
-                                    __rejects,
-                                    __passed
-                                )
-                            }
-                        }
-                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!(
-                                "proptest case {} of {}: {}",
-                                __case - 1,
-                                stringify!($name),
-                                msg
-                            )
-                        }
-                    }
-                }
+                // All of a case's strategies bundled as one tuple
+                // strategy, so the runner can generate, clone and
+                // shrink the whole case as a unit.
+                $crate::run_property(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    ($(($strat),)+),
+                    |($($arg,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
@@ -405,5 +695,117 @@ mod tests {
         let mut b = super::TestRng::for_case("t", 0);
         use rand::RngCore;
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Repeatedly taking the first still-failing candidate (the
+    /// runner's policy) against a threshold predicate must converge to
+    /// the boundary — the binary search the shrink candidates encode.
+    fn minimise<S: Strategy>(
+        strat: &S,
+        mut v: S::Value,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> S::Value
+    where
+        S::Value: Clone,
+    {
+        assert!(fails(&v));
+        'outer: for _ in 0..1024 {
+            for cand in strat.shrink(&v) {
+                if fails(&cand) {
+                    v = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        v
+    }
+
+    #[test]
+    fn integer_shrinking_binary_searches_to_boundary() {
+        let strat = 0u64..1_000_000;
+        let min = minimise(&strat, 987_654, |&v| v >= 333_333);
+        assert_eq!(min, 333_333);
+        let strat = -500_000i64..=500_000;
+        let min = minimise(&strat, -400_000, |&v| v <= -123_456);
+        assert_eq!(min, -123_456);
+        // `any` values shrink toward zero.
+        let min = minimise(&super::any::<u64>(), u64::MAX, |&v| v > 77);
+        assert_eq!(min, 78);
+    }
+
+    #[test]
+    fn vec_shrinking_minimises_length_and_elements() {
+        let strat = collection::vec(0u32..1000, 1..64);
+        let v: Vec<u32> = (0..40).map(|i| 500 + i).collect();
+        // Failure needs any element >= 100: minimal is one element of 100.
+        let min = minimise(&strat, v, |v| v.iter().any(|&x| x >= 100));
+        assert_eq!(min, vec![100]);
+    }
+
+    #[test]
+    fn tuple_shrinking_minimises_components_independently() {
+        let strat = (0u64..1000, 0u64..1000);
+        let min = minimise(&strat, (900, 800), |&(a, b)| a + b >= 150);
+        assert_eq!(min.0 + min.1, 150);
+    }
+
+    #[test]
+    fn shrunk_candidates_stay_in_range() {
+        let strat = 10u64..20;
+        for v in 10u64..20 {
+            for c in strat.shrink(&v) {
+                assert!((10..20).contains(&c), "candidate {c} escaped range");
+                assert_ne!(c, v);
+            }
+        }
+        let strat = -5i64..=5;
+        for v in -5i64..=5 {
+            for c in strat.shrink(&v) {
+                assert!((-5..=5).contains(&c));
+                assert_ne!(c, v);
+            }
+        }
+        // The boundary values themselves are fixpoints.
+        assert!(Strategy::shrink(&(10u64..20), &10).is_empty());
+        assert!(Strategy::shrink(&(-5i64..=5), &0).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn runner_handles_tuple_values(v in collection::vec(any::<u8>(), 0..4), x in 1u64..9) {
+            prop_assert!(v.len() < 4);
+            prop_assert!((1..9).contains(&x));
+        }
+    }
+
+    // Expanded without #[test] so the runner can be driven manually:
+    // the property fails for every x >= 10, so the panic must report
+    // the minimised boundary case, not whatever was drawn first.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        fn always_fails_above_ten(x in 0u64..1_000_000) {
+            prop_assert!(x < 10, "x too big: {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_case_is_minimised_in_panic_message() {
+        let err = std::panic::catch_unwind(always_fails_above_ten).expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string")
+            .clone();
+        assert!(
+            msg.contains("minimised after"),
+            "panic message lacks shrink count: {msg}"
+        );
+        assert!(
+            msg.contains("x too big: 10"),
+            "panic message not minimised to the boundary: {msg}"
+        );
     }
 }
