@@ -174,6 +174,57 @@ fn bench_keyswitch_lazy_vs_canonical(c: &mut Criterion) {
     group.finish();
 }
 
+/// The lazy Galois/rotation chain against its baselines, over the full
+/// HRotate pipeline (automorphism on `c0` + hoisted Galois keyswitch of
+/// `c1` + recombination) — the rotation counterpart of
+/// `keyswitch_lazy_vs_canonical` (acceptance: lazy >= 1.2x over
+/// `canonical`). Three reduction tiers per shape:
+/// * `lazy` — hoisted `[0, 2p)` chain, automorphism as a lazy slot
+///   permutation inside the keyswitch, one fold per limb at ModDown
+///   (`Evaluator::apply_galois` / `key_switch_galois`);
+/// * `harvey` — per-kernel canonicalisation with internally-lazy
+///   Harvey transforms (`key_switch_galois_per_kernel`);
+/// * `canonical` — the fully-reduced strict oracle
+///   (`Evaluator::apply_galois_strict` / `key_switch_galois_strict`).
+fn bench_rotate_lazy_vs_canonical(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let mut group = c.benchmark_group("rotate_lazy_vs_canonical");
+    group.sample_size(20);
+    for (params, tag) in [
+        (CkksParams::tiny_params(), "n1024_l3"),
+        (CkksParams::test_params(), "n4096_l4"),
+    ] {
+        let ctx = CkksContext::new(params);
+        let mut rng = StdRng::seed_from_u64(32);
+        let keys = KeyGenerator::new(ctx.clone()).key_set(&[1], &mut rng);
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let eval = Evaluator::new(ctx.clone());
+        let l = ctx.params().max_level();
+        let ct = encryptor.encrypt_sk(&enc.encode_real(&[0.5; 8], l), &keys.secret, &mut rng);
+        let g = fhe_math::galois::rotation_galois_element(1, ctx.n());
+        let gk = &keys.galois[&g];
+        group.bench_function(format!("lazy_{tag}"), |b| {
+            b.iter(|| eval.apply_galois(&ct, g, gk))
+        });
+        group.bench_function(format!("harvey_{tag}"), |b| {
+            b.iter(|| {
+                // The per-kernel middle tier, assembled like
+                // apply_galois but over key_switch_galois_per_kernel.
+                let mut c0 = ct.c0.clone();
+                c0.automorphism(g, ctx.galois());
+                let (ks0, ks1) = key_switch_galois_per_kernel(&ctx, &ct.c1, g, gk, ct.level);
+                c0.add_assign(&ks0);
+                (c0, ks1)
+            })
+        });
+        group.bench_function(format!("canonical_{tag}"), |b| {
+            b.iter(|| eval.apply_galois_strict(&ct, g, gk))
+        });
+    }
+    group.finish();
+}
+
 /// Homomorphic multiplication end to end.
 fn bench_hmult(c: &mut Criterion) {
     use fhe_ckks::*;
@@ -344,6 +395,7 @@ criterion_group!(
     bench_poly_mul_flat,
     bench_keyswitch,
     bench_keyswitch_lazy_vs_canonical,
+    bench_rotate_lazy_vs_canonical,
     bench_hmult,
     bench_external_product,
     bench_pbs,

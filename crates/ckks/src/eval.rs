@@ -18,7 +18,9 @@ use crate::ciphertext::{Ciphertext, Ciphertext3};
 use crate::context::CkksContext;
 use crate::encoding::Plaintext;
 use crate::keys::SwitchingKey;
-use crate::keyswitch::{key_switch, key_switch_strict};
+use crate::keyswitch::{
+    key_switch, key_switch_galois, key_switch_galois_strict, key_switch_strict,
+};
 
 /// Relative scale mismatch tolerated by additive operations.
 const SCALE_TOLERANCE: f64 = 1e-6;
@@ -389,8 +391,9 @@ impl Evaluator {
         }
     }
 
-    /// HRotate: homomorphic slot rotation by `r` (Galois automorphism on
-    /// both components, then KeySwitch of the rotated `c1`).
+    /// HRotate: homomorphic slot rotation by `r` — the slot permutation
+    /// on `c0` plus the hoisted Galois keyswitch of `c1`, via
+    /// [`Self::apply_galois`] (see there for the lazy-chain dataflow).
     ///
     /// # Panics
     ///
@@ -407,14 +410,49 @@ impl Evaluator {
     }
 
     /// Applies an arbitrary Galois automorphism with its switching key.
+    ///
+    /// Runs the *hoisted lazy rotation chain*: `c1` goes through the
+    /// keyswitch pipeline un-rotated and the automorphism is applied to
+    /// the raised digits in evaluation form — a pure slot permutation
+    /// that preserves the `[0, 2p)` window — so the whole HRotate
+    /// kernel chain (digit NTT → `Auto` → `IP` → iNTT) stays
+    /// [`fhe_math::ReductionState::Lazy2p`] and folds exactly once per
+    /// limb at the ModDown boundary ([`key_switch_galois`]). `c0` only
+    /// needs the slot permutation itself. Bit-identical to
+    /// [`Self::apply_galois_strict`] (asserted by
+    /// `tests/lazy_chains.rs`).
+    ///
+    /// Counter contract (pinned by `tests::op_counter_contract`): one
+    /// `galois_ops` bump and one `keyswitches` bump per application —
+    /// the keyswitch layer itself never counts, so there is no double
+    /// count with [`Self::relinearize`]'s bump, and
+    /// [`crate::bootstrap::Bootstrapper::expected_ops`]'s
+    /// "every Galois op keyswitches once" model matches exactly.
     pub fn apply_galois(&self, a: &Ciphertext, g: u64, gk: &SwitchingKey) -> Ciphertext {
         OpCounters::bump(&self.counters.galois_ops);
         OpCounters::bump(&self.counters.keyswitches);
         let mut c0 = a.c0.clone();
-        let mut c1 = a.c1.clone();
+        c0.automorphism_lazy(g, self.ctx.galois());
+        let (ks0, ks1) = key_switch_galois(&self.ctx, &a.c1, g, gk, a.level);
+        c0.add_assign(&ks0);
+        Ciphertext {
+            c0,
+            c1: ks1,
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Strict-oracle Galois application: the same hoisted dataflow as
+    /// [`Self::apply_galois`] over [`key_switch_galois_strict`] —
+    /// fully-reduced transforms, canonical automorphism and inner
+    /// products. Counts identically to the lazy path.
+    pub fn apply_galois_strict(&self, a: &Ciphertext, g: u64, gk: &SwitchingKey) -> Ciphertext {
+        OpCounters::bump(&self.counters.galois_ops);
+        OpCounters::bump(&self.counters.keyswitches);
+        let mut c0 = a.c0.clone();
         c0.automorphism(g, self.ctx.galois());
-        c1.automorphism(g, self.ctx.galois());
-        let (ks0, ks1) = key_switch(&self.ctx, &c1, gk, a.level);
+        let (ks0, ks1) = key_switch_galois_strict(&self.ctx, &a.c1, g, gk, a.level);
         c0.add_assign(&ks0);
         Ciphertext {
             c0,
@@ -663,6 +701,139 @@ mod tests {
         assert_eq!(low.level, 1);
         let back = f.decryptor.decrypt(&low, &f.keys.secret, &f.enc);
         assert!(close(back[0].re, 0.75, 1e-3));
+    }
+
+    /// The OpCounters contract, reconciled with
+    /// `bootstrap::expected_ops`: a Galois application (rotate or
+    /// conjugate) bumps `galois_ops` and `keyswitches` exactly once —
+    /// the keyswitch layer itself never counts, so there is no double
+    /// count from `apply_galois` "bumping keyswitches itself and also
+    /// calling key_switch" — and a relinearisation bumps `keyswitches`
+    /// once while the tensor bumps `ct_mults` once. This is precisely
+    /// the `keyswitches = galois + ct_mults` model `expected_ops`
+    /// assumes (and `op_counters_match_prediction` pins end to end).
+    #[test]
+    fn op_counter_contract() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let ct = f.encryptor.encrypt_sk(
+            &f.enc.encode_real(&[0.5, -0.25], l),
+            &f.keys.secret,
+            &mut f.rng,
+        );
+        let g_rot = fhe_math::galois::rotation_galois_element(1, f.ctx.n());
+        let g_conj = fhe_math::galois::conjugation_galois_element(f.ctx.n());
+
+        f.eval.counters().reset();
+        let _ = f.eval.rotate(&ct, 1, &f.keys.galois[&g_rot]);
+        assert_eq!(f.eval.counters().snapshot(), (0, 0, 0, 1, 1, 0), "rotate");
+
+        let _ = f.eval.conjugate(&ct, &f.keys.galois[&g_conj]);
+        assert_eq!(
+            f.eval.counters().snapshot(),
+            (0, 0, 0, 2, 2, 0),
+            "conjugate"
+        );
+
+        // The strict oracle counts identically to the lazy chain.
+        let _ = f
+            .eval
+            .apply_galois_strict(&ct, g_rot, &f.keys.galois[&g_rot]);
+        assert_eq!(
+            f.eval.counters().snapshot(),
+            (0, 0, 0, 3, 3, 0),
+            "apply_galois_strict"
+        );
+
+        // Tensor counts a ct-mult but NOT a keyswitch...
+        let tensor = f.eval.mul_no_relin(&ct, &ct);
+        assert_eq!(
+            f.eval.counters().snapshot(),
+            (1, 0, 0, 3, 3, 0),
+            "mul_no_relin"
+        );
+        // ...the relinearisation owns that keyswitch bump.
+        let _ = f.eval.relinearize(&tensor, &f.keys.relin);
+        assert_eq!(
+            f.eval.counters().snapshot(),
+            (1, 0, 0, 4, 3, 0),
+            "relinearize"
+        );
+
+        // Full HMult = tensor + relin: one ct-mult, one keyswitch.
+        let _ = f.eval.mul(&ct, &ct, &f.keys.relin);
+        assert_eq!(f.eval.counters().snapshot(), (2, 0, 0, 5, 3, 0), "mul");
+    }
+
+    /// Hoisted lazy rotation is bit-identical to the strict oracle and
+    /// decrypts to the rotated slots (spot check at the eval layer; the
+    /// cross-shape sweep lives in `tests/lazy_chains.rs`).
+    #[test]
+    fn apply_galois_lazy_matches_strict_and_rotates() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let slots = f.enc.slots();
+        let x: Vec<f64> = (0..slots).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+        let g = fhe_math::galois::rotation_galois_element(2, f.ctx.n());
+        let lazy = f.eval.apply_galois(&ct, g, &f.keys.galois[&g]);
+        let strict = f.eval.apply_galois_strict(&ct, g, &f.keys.galois[&g]);
+        assert_eq!(lazy.c0.flat(), strict.c0.flat());
+        assert_eq!(lazy.c1.flat(), strict.c1.flat());
+        let back = f.decryptor.decrypt(&lazy, &f.keys.secret, &f.enc);
+        for j in 0..slots {
+            assert!(
+                close(back[j].re, x[(j + 2) % slots], 1e-3),
+                "slot {j}: {} vs {}",
+                back[j].re,
+                x[(j + 2) % slots]
+            );
+        }
+    }
+
+    /// Exhaustive plaintext-slot oracle for
+    /// `fhe_math::galois::rotation_galois_element`: for every rotation
+    /// amount spanning `r = 0`, negative `r`, and several `|r| >= n/2`
+    /// wraparounds, applying the automorphism `sigma_{g(r)}` to an
+    /// *unencrypted* plaintext polynomial must cyclically rotate the
+    /// decoded slot vector by exactly `r` (no keys, no noise — a pure
+    /// slot-permutation oracle).
+    #[test]
+    fn rotation_galois_element_matches_plaintext_slot_oracle() {
+        let f = fixture();
+        let slots = f.enc.slots() as i64;
+        let x: Vec<f64> = (0..slots).map(|i| ((i * 5) % 17) as f64 / 17.0).collect();
+        let l = f.ctx.params().max_level();
+        let mut r_cases: Vec<i64> = vec![
+            0,
+            1,
+            2,
+            -1,
+            -2,
+            slots - 1,
+            slots,
+            slots + 1,
+            -slots,
+            -slots - 3,
+            2 * slots + 5,
+        ];
+        r_cases.dedup();
+        for r in r_cases {
+            let g = fhe_math::galois::rotation_galois_element(r, f.ctx.n());
+            let mut pt = f.enc.encode_real(&x, l);
+            pt.poly.automorphism(g, f.ctx.galois());
+            let back = f.enc.decode(&pt);
+            for j in 0..slots {
+                let want = x[(j + r).rem_euclid(slots) as usize];
+                assert!(
+                    close(back[j as usize].re, want, 1e-6),
+                    "r={r} slot {j}: {} vs {want}",
+                    back[j as usize].re
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! writeback. [`key_switch_strict`] preserves the fully-canonical
 //! pipeline as the oracle; `tests/lazy_chains.rs` asserts the two are
 //! bit-identical across every workspace modulus shape.
+//!
+//! The Galois variants ([`key_switch_galois`] and its per-kernel /
+//! strict tiers) extend the same chain through HRotate: the automorphism
+//! is *hoisted* into the pipeline — applied to the raised digits in
+//! evaluation form, where it is a pure, reduction-agnostic slot
+//! permutation — so a rotation stays `[0, 2p)` from the digit NTT
+//! through the automorphism and inner product to the ModDown fold,
+//! instead of canonicalising the input at the automorphism first.
 
 use fhe_math::{ReductionState, Representation, RnsPoly};
 
@@ -54,7 +62,78 @@ pub fn key_switch(
     key: &SwitchingKey,
     level: usize,
 ) -> (RnsPoly, RnsPoly) {
-    key_switch_impl(ctx, d, key, level, KsReduction::LazyChain)
+    key_switch_impl(ctx, d, key, level, KsReduction::LazyChain, None)
+}
+
+/// Hoisted Galois keyswitch: applies the automorphism `sigma_g` *inside*
+/// the keyswitch pipeline, to the raised digits in evaluation form —
+/// digit NTT → automorphism → inner product → iNTT, entirely in the
+/// `[0, 2p)` window, with one fold per limb at ModDown.
+///
+/// In evaluation form `sigma_g` is a pure slot permutation
+/// ([`RnsPoly::automorphism_lazy`]), so it rides the lazy chain for
+/// free where the pre-rotation formulation (`sigma_g(d)` then
+/// [`key_switch`]) had to canonicalise `d` at the automorphism. The two
+/// orderings are interchangeable because `sigma_g` commutes exactly
+/// with the limb-group digit decompose (it acts per limb) and commutes
+/// with ModUp up to the usual approximate-BConv overshoot — a small
+/// polynomial times the digit modulus `Q_j`, which the gadget residues
+/// (`P` on digit-`j` limbs, `0` elsewhere, so `Q_j ≡ 0` wherever the
+/// gadget is nonzero) annihilate except for a `Q_j e_j / P` noise term
+/// attenuated at ModDown, exactly like the overshoot the non-hoisted
+/// pipeline already absorbs.
+///
+/// Returns `(ks0, ks1)` with `ks0 + ks1 * s ≈ sigma_g(d) * s_from`
+/// (for a Galois key, `s_from = sigma_g(s)`). Bit-identical to
+/// [`key_switch_galois_strict`] (asserted by `tests/lazy_chains.rs`).
+///
+/// # Panics
+///
+/// As [`key_switch`]; additionally panics if `g` is even.
+pub fn key_switch_galois(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    g: u64,
+    key: &SwitchingKey,
+    level: usize,
+) -> (RnsPoly, RnsPoly) {
+    key_switch_impl(ctx, d, key, level, KsReduction::LazyChain, Some(g))
+}
+
+/// The per-kernel-canonicalising tier of [`key_switch_galois`]
+/// (internally-lazy Harvey transforms, canonical automorphism and inner
+/// products) — the `harvey` row of the `rotate_lazy_vs_canonical`
+/// micro.
+///
+/// # Panics
+///
+/// As [`key_switch_galois`].
+pub fn key_switch_galois_per_kernel(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    g: u64,
+    key: &SwitchingKey,
+    level: usize,
+) -> (RnsPoly, RnsPoly) {
+    key_switch_impl(ctx, d, key, level, KsReduction::PerKernel, Some(g))
+}
+
+/// The fully-canonical strict oracle of [`key_switch_galois`]: same
+/// hoisted dataflow, fully-reduced transforms and canonical kernels
+/// throughout. The `canonical` row of the `rotate_lazy_vs_canonical`
+/// micro and the bit-identity reference for the lazy rotation chain.
+///
+/// # Panics
+///
+/// As [`key_switch_galois`].
+pub fn key_switch_galois_strict(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    g: u64,
+    key: &SwitchingKey,
+    level: usize,
+) -> (RnsPoly, RnsPoly) {
+    key_switch_impl(ctx, d, key, level, KsReduction::Strict, Some(g))
 }
 
 /// The per-kernel-canonicalising keyswitch pipeline (the PR 2
@@ -73,7 +152,7 @@ pub fn key_switch_per_kernel(
     key: &SwitchingKey,
     level: usize,
 ) -> (RnsPoly, RnsPoly) {
-    key_switch_impl(ctx, d, key, level, KsReduction::PerKernel)
+    key_switch_impl(ctx, d, key, level, KsReduction::PerKernel, None)
 }
 
 /// The fully-canonical keyswitch pipeline: fully-reduced transforms
@@ -91,7 +170,7 @@ pub fn key_switch_strict(
     key: &SwitchingKey,
     level: usize,
 ) -> (RnsPoly, RnsPoly) {
-    key_switch_impl(ctx, d, key, level, KsReduction::Strict)
+    key_switch_impl(ctx, d, key, level, KsReduction::Strict, None)
 }
 
 /// The reduction discipline a keyswitch pipeline runs under — the
@@ -112,6 +191,7 @@ fn key_switch_impl(
     key: &SwitchingKey,
     level: usize,
     mode: KsReduction,
+    galois: Option<u64>,
 ) -> (RnsPoly, RnsPoly) {
     assert_eq!(d.representation(), Representation::Eval);
     assert_eq!(d.limbs(), level + 1, "polynomial level mismatch");
@@ -154,19 +234,30 @@ fn key_switch_impl(
         let (b_j, a_j) = key.row_at_level(ctx, j, level);
         match mode {
             KsReduction::LazyChain => {
-                // NTT with a lazy exit; the inner product accepts the
-                // [0, 2p) digit directly and keeps the accumulator lazy.
+                // NTT with a lazy exit; the hoisted automorphism is a
+                // pure slot permutation that preserves the [0, 2p)
+                // window; the inner product accepts the lazy digit
+                // directly and keeps the accumulator lazy.
                 d_tilde.to_eval_lazy();
+                if let Some(g) = galois {
+                    d_tilde.automorphism_lazy(g, ctx.galois());
+                }
                 acc0.mul_acc_pointwise_lazy(&d_tilde, &b_j);
                 acc1.mul_acc_pointwise_lazy(&d_tilde, &a_j);
             }
             KsReduction::PerKernel => {
                 d_tilde.to_eval();
+                if let Some(g) = galois {
+                    d_tilde.automorphism(g, ctx.galois());
+                }
                 acc0.mul_acc_pointwise(&d_tilde, &b_j);
                 acc1.mul_acc_pointwise(&d_tilde, &a_j);
             }
             KsReduction::Strict => {
                 d_tilde.to_eval_strict();
+                if let Some(g) = galois {
+                    d_tilde.automorphism(g, ctx.galois());
+                }
                 acc0.mul_acc_pointwise(&d_tilde, &b_j);
                 acc1.mul_acc_pointwise(&d_tilde, &a_j);
             }
@@ -316,6 +407,83 @@ mod tests {
             .iter()
             .fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(max_err < 2f64.powi(20), "galois keyswitch noise: {max_err}");
+    }
+
+    /// The hoisted Galois keyswitch must satisfy the same defining
+    /// property as rotating first: `ks0 + ks1*s ≈ sigma_g(d) * sigma_g(s)`
+    /// — the automorphism hoisted past decompose/ModUp changes only the
+    /// BConv-overshoot noise realisation, not the phase.
+    #[test]
+    fn hoisted_galois_keyswitch_property() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(54);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        for r in [1i64, -1, 3] {
+            let g = fhe_math::galois::rotation_galois_element(r, ctx.n());
+            let gk = kg.galois_key(&sk, g, &mut rng);
+
+            let level = ctx.params().max_level();
+            let basis = ctx.level_basis(level).clone();
+            let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+            for m in basis.moduli() {
+                flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+            }
+            let d = RnsPoly::from_flat(basis, flat, Representation::Eval);
+            let (ks0, ks1) = key_switch_galois(&ctx, &d, g, &gk, level);
+
+            let s = sk.poly_at_level(&ctx, level);
+            let mut s_g = s.clone();
+            s_g.automorphism(g, ctx.galois());
+            let mut d_g = d.clone();
+            d_g.automorphism(g, ctx.galois());
+
+            let mut lhs = ks1.clone();
+            lhs.mul_assign_pointwise(&s);
+            lhs.add_assign(&ks0);
+            let mut rhs = d_g;
+            rhs.mul_assign_pointwise(&s_g);
+            lhs.sub_assign(&rhs);
+            lhs.to_coeff();
+            let max_err = lhs
+                .to_centered_f64()
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b.abs()));
+            assert!(
+                max_err < 2f64.powi(20),
+                "hoisted galois keyswitch noise for r={r}: {max_err}"
+            );
+        }
+    }
+
+    /// All three reduction tiers of the hoisted Galois pipeline are
+    /// bit-identical — the rotation-chain counterpart of the plain
+    /// keyswitch tier assertions in `tests/lazy_chains.rs`.
+    #[test]
+    fn galois_keyswitch_tiers_bit_identical() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(55);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let g = fhe_math::galois::rotation_galois_element(1, ctx.n());
+        let gk = kg.galois_key(&sk, g, &mut rng);
+        for level in [ctx.params().max_level(), 0] {
+            let basis = ctx.level_basis(level).clone();
+            let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+            for m in basis.moduli() {
+                flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+            }
+            let d = RnsPoly::from_flat(basis, flat, Representation::Eval);
+            let (l0, l1) = key_switch_galois(&ctx, &d, g, &gk, level);
+            let (h0, h1) = key_switch_galois_per_kernel(&ctx, &d, g, &gk, level);
+            let (s0, s1) = key_switch_galois_strict(&ctx, &d, g, &gk, level);
+            assert_eq!(l0.flat(), s0.flat(), "lazy vs strict ks0, level {level}");
+            assert_eq!(l1.flat(), s1.flat(), "lazy vs strict ks1, level {level}");
+            assert_eq!(h0.flat(), s0.flat(), "harvey vs strict ks0, level {level}");
+            assert_eq!(h1.flat(), s1.flat(), "harvey vs strict ks1, level {level}");
+            assert_eq!(l0.reduction_state(), ReductionState::Canonical);
+            assert_eq!(l1.reduction_state(), ReductionState::Canonical);
+        }
     }
 
     #[test]

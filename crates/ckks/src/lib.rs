@@ -23,6 +23,11 @@
 //! * [`key_switch`] keeps digit NTTs, inner-product accumulators and
 //!   the exit iNTT lazy, folding once per accumulator limb at the
 //!   ModDown boundary.
+//! * [`Evaluator::apply_galois`] hoists the automorphism into the
+//!   keyswitch ([`key_switch_galois`]): in evaluation form it is a
+//!   pure, reduction-agnostic slot permutation, so the whole HRotate
+//!   chain (digit NTT → `Auto` → `IP` → iNTT) stays `[0, 2p)` and
+//!   folds once at ModDown.
 //! * Every lazy chain has a strict oracle ([`key_switch_strict`],
 //!   [`Evaluator::mul_strict`], ...) built on the fully-reduced
 //!   transforms; the workspace suite `tests/lazy_chains.rs` asserts
@@ -79,7 +84,10 @@ pub use encoding::{Encoder, Plaintext};
 pub use encryption::{Decryptor, Encryptor};
 pub use eval::Evaluator;
 pub use keys::{KeyGenerator, KeySet, PublicKey, SecretKey, SwitchingKey};
-pub use keyswitch::{key_switch, key_switch_per_kernel, key_switch_strict};
+pub use keyswitch::{
+    key_switch, key_switch_galois, key_switch_galois_per_kernel, key_switch_galois_strict,
+    key_switch_per_kernel, key_switch_strict,
+};
 pub use linalg::LinearTransform;
 pub use noise::{measure_noise_bits, NoiseEstimate, NoiseModel};
 pub use params::{CkksParams, InvalidParamsError};

@@ -14,6 +14,19 @@
 //! the LWE key, matching the paper's single-accelerator premise: the
 //! conversion reuses CKKS and TFHE kernels (`SampleExtract` on the
 //! Rotator, `HRotate` on AutoU + NTTU + CU + EWE, §IV-G).
+//!
+//! # Lazy-domain invariants
+//!
+//! The keyed rotations inside `PackLWEs` and the field trace are
+//! `fhe_ckks::Evaluator::apply_galois` calls, so they ride the lazy
+//! Galois chain: the automorphism is hoisted into the keyswitch as an
+//! evaluation-form slot permutation and the digit-NTT → `Auto` → `IP`
+//! → iNTT pipeline stays in the `[0, 2p)` window, folding once per
+//! limb at ModDown (strict oracle and bit-identity assertions live in
+//! `tests/lazy_chains.rs`). This crate only ever sees canonical
+//! ciphertexts at rest, and its results are independent of the
+//! runtime-selected `fhe_math::kernel::KernelBackend` bit for bit.
+//! See `README.md` for the kernel mapping.
 
 #![warn(missing_docs)]
 

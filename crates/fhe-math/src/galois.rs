@@ -14,11 +14,22 @@
 //! and taking discrete logs against a precomputed table of psi powers.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::ntt::NttTable;
 
 /// Per-ring cache of evaluation-domain automorphism permutations.
+///
+/// The permutation cache is a readers–writer lock: steady-state lookups
+/// (every rotation of every ciphertext) take the shared read path and
+/// proceed concurrently; only a cache miss takes the write lock, with a
+/// double-checked re-probe so concurrent first uses of the same element
+/// compute the permutation at most... once each but insert exactly one
+/// (first writer wins; later computes are dropped, never duplicated in
+/// the map). Lock poisoning is explicitly recovered — the cached values
+/// are immutable `Arc`s that are never left half-written, so a panic in
+/// an unrelated holder must not take every future rotation down with
+/// `PoisonError`.
 #[derive(Debug)]
 pub struct GaloisPerms {
     table: Arc<NttTable>,
@@ -26,7 +37,23 @@ pub struct GaloisPerms {
     slot_exponent: Vec<u64>,
     /// Inverse map: exponent (odd, < 2n) -> slot index.
     slot_of_exponent: Vec<u32>,
-    cache: Mutex<HashMap<u64, Arc<Vec<usize>>>>,
+    cache: RwLock<HashMap<u64, Arc<Vec<usize>>>>,
+}
+
+/// Recovers a read guard from a poisoned [`RwLock`]: the map only ever
+/// holds fully-constructed immutable entries, so the poison flag carries
+/// no integrity information here.
+fn read_cache(
+    lock: &RwLock<HashMap<u64, Arc<Vec<usize>>>>,
+) -> RwLockReadGuard<'_, HashMap<u64, Arc<Vec<usize>>>> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-guard counterpart of [`read_cache`].
+fn write_cache(
+    lock: &RwLock<HashMap<u64, Arc<Vec<usize>>>>,
+) -> RwLockWriteGuard<'_, HashMap<u64, Arc<Vec<usize>>>> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl GaloisPerms {
@@ -81,7 +108,7 @@ impl GaloisPerms {
             table,
             slot_exponent,
             slot_of_exponent,
-            cache: Mutex::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -100,9 +127,12 @@ impl GaloisPerms {
         assert_eq!(g % 2, 1, "galois element must be odd");
         let two_n = 2 * self.n() as u64;
         let g = g % two_n;
-        if let Some(p) = self.cache.lock().unwrap().get(&g) {
+        if let Some(p) = read_cache(&self.cache).get(&g) {
             return p.clone();
         }
+        // Miss: compute outside any lock (the permutation build is the
+        // expensive part), then double-check under the write lock so a
+        // concurrent first use inserts exactly one entry.
         // (sigma_g f)(psi^e) = f(psi^{e*g}), so the slot holding exponent
         // e must read from the slot holding exponent e*g.
         let perm: Vec<usize> = (0..self.n())
@@ -112,23 +142,30 @@ impl GaloisPerms {
                 self.slot_of_exponent[src_e as usize] as usize
             })
             .collect();
-        let arc = Arc::new(perm);
-        self.cache.lock().unwrap().insert(g, arc.clone());
-        arc
+        write_cache(&self.cache)
+            .entry(g)
+            .or_insert_with(|| Arc::new(perm))
+            .clone()
     }
 }
 
-/// Galois element for a CKKS rotation by `r` slots: `5^r mod 2N`
-/// (negative `r` uses the inverse of 5).
+/// Galois element for a CKKS rotation by `r` slots: `5^r mod 2N`.
+///
+/// `5` has multiplicative order exactly `N/2` modulo `2N` (the slot
+/// count), so any `r` — zero, negative, or `|r| >= N/2` — reduces to
+/// the canonical exponent `r mod N/2` taken Euclidean-style. Negative
+/// rotations thus come out as `5^{N/2 - |r| mod N/2}`, the same element
+/// `inv(5)^{|r|}` denotes, without ever negating `r`: the previous
+/// formulation computed `(-r)` first, which overflows (and panics under
+/// the workspace's always-on overflow checks) for `r = i64::MIN`.
+/// Pinned, together with the wraparound identities, by the exhaustive
+/// small-`n` oracle tests below and the plaintext-slot oracle in
+/// `fhe-ckks`.
 pub fn rotation_galois_element(r: i64, n: usize) -> u64 {
     let two_n = 2 * n as u64;
     let m = crate::modulus::Modulus::new(two_n).expect("2n in range");
-    if r >= 0 {
-        m.pow(5, r as u64 % (n as u64 / 2))
-    } else {
-        let inv5 = m.inv(5).expect("5 invertible mod 2^k");
-        m.pow(inv5, (-r) as u64 % (n as u64 / 2))
-    }
+    let slots = (n as i64) / 2;
+    m.pow(5, r.rem_euclid(slots.max(1)) as u64)
 }
 
 /// Galois element for complex conjugation: `2N - 1`.
@@ -175,6 +212,114 @@ mod tests {
             for &s in perm.iter() {
                 assert!(!seen[s], "duplicate source slot {s} for g={g}");
                 seen[s] = true;
+            }
+        }
+    }
+
+    /// Exhaustive small-`n` audit of the rotation-element edge cases:
+    /// `r = 0`, negative `r`, and `|r| >= n/2` wraparound, checked
+    /// against the group-theoretic oracle (5 has order `n/2` mod `2n`,
+    /// so `g(r)` must equal `5^{r mod n/2}` with Euclidean reduction,
+    /// compose additively, and invert to the modular inverse).
+    #[test]
+    fn rotation_element_edge_cases_exhaustive() {
+        for n in [4usize, 8, 16, 32, 64] {
+            let slots = (n / 2) as i64;
+            let two_n = 2 * n as u64;
+            let m = Modulus::new(two_n).unwrap();
+            // r = 0 is the identity automorphism.
+            assert_eq!(rotation_galois_element(0, n), 1, "n={n}");
+            // Exhaustive wraparound: every r in a window spanning
+            // several orbits reduces to its canonical representative.
+            for r in -(3 * slots)..=(3 * slots) {
+                let g = rotation_galois_element(r, n);
+                let canonical = rotation_galois_element(r.rem_euclid(slots), n);
+                assert_eq!(g, canonical, "n={n} r={r}: wraparound mismatch");
+                // Composition: g(r1) * g(r2) = g(r1 + r2) for all pairs
+                // with r2 exhausting one full orbit.
+                for r2 in 0..slots {
+                    let lhs = m.mul(g, rotation_galois_element(r2, n));
+                    assert_eq!(
+                        lhs,
+                        rotation_galois_element(r + r2, n),
+                        "n={n}: composition {r} + {r2}"
+                    );
+                }
+                // Inverse rotations cancel.
+                assert_eq!(
+                    m.mul(g, rotation_galois_element(-r, n)),
+                    1,
+                    "n={n} r={r}: inverse rotation does not cancel"
+                );
+            }
+            // A full orbit (or its negative) is the identity rotation.
+            assert_eq!(rotation_galois_element(slots, n), 1, "n={n}");
+            assert_eq!(rotation_galois_element(-slots, n), 1, "n={n}");
+        }
+    }
+
+    /// Regression: `r = i64::MIN` used to negate `r` before reducing,
+    /// which overflows (a panic under the workspace's always-on
+    /// overflow checks). The Euclidean reduction must handle the full
+    /// `i64` domain.
+    #[test]
+    fn rotation_element_extreme_inputs() {
+        for n in [8usize, 1024] {
+            let slots = (n / 2) as i64;
+            let g_min = rotation_galois_element(i64::MIN, n);
+            assert_eq!(
+                g_min,
+                rotation_galois_element(i64::MIN.rem_euclid(slots), n)
+            );
+            let g_max = rotation_galois_element(i64::MAX, n);
+            assert_eq!(
+                g_max,
+                rotation_galois_element(i64::MAX.rem_euclid(slots), n)
+            );
+        }
+    }
+
+    /// Concurrent first use of the permutation cache: all threads must
+    /// observe the same permutation for the same element, with no
+    /// poisoning and no torn entries (satellite regression for the
+    /// `RwLock` + double-checked-insert cache).
+    #[test]
+    fn eval_permutation_cache_is_thread_safe_on_first_use() {
+        let n = 256;
+        let p = ntt_primes(40, n, 1)[0];
+        let t = Arc::new(NttTable::new(Modulus::new(p).unwrap(), n));
+        let perms = Arc::new(GaloisPerms::new(t));
+        let elements: Vec<u64> = (0..8)
+            .map(|r| rotation_galois_element(r, n))
+            .chain([conjugation_galois_element(n)])
+            .collect();
+        let mut handles = Vec::new();
+        for tid in 0..8 {
+            let perms = perms.clone();
+            let elements = elements.clone();
+            handles.push(std::thread::spawn(move || {
+                // Stagger the access order so different threads race on
+                // different elements' first insert.
+                let mut got = Vec::new();
+                for k in 0..elements.len() {
+                    let g = elements[(k + tid) % elements.len()];
+                    got.push((g, perms.eval_permutation(g)));
+                }
+                got
+            }));
+        }
+        let mut reference: HashMap<u64, Arc<Vec<usize>>> = HashMap::new();
+        for h in handles {
+            for (g, perm) in h.join().expect("no thread panics") {
+                // Bijectivity of every returned permutation.
+                let mut seen = vec![false; n];
+                for &s in perm.iter() {
+                    assert!(!seen[s], "torn permutation for g={g}");
+                    seen[s] = true;
+                }
+                // All threads agree per element.
+                let entry = reference.entry(g).or_insert_with(|| perm.clone());
+                assert_eq!(entry.as_slice(), perm.as_slice(), "divergent perm g={g}");
             }
         }
     }

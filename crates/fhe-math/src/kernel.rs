@@ -1,0 +1,707 @@
+//! Pluggable batched kernel backends for the flat-limb hot paths.
+//!
+//! The paper's pipelines win by running butterflies, MACs and slot
+//! permutations as *wide, batched* passes over scratchpad rows, keeping
+//! operands in redundant form between stages (the `[0, 4p)` butterfly
+//! window and the `[0, 2p)` cross-kernel window) and folding only at
+//! memory writeback. [`KernelBackend`] captures exactly that contract in
+//! software: every method is a whole-row pass over a flat limb-major
+//! buffer with a documented input/output window, so an implementation is
+//! free to batch, unroll, or vectorise however it likes as long as the
+//! per-element results are **bit-identical** to the scalar reference.
+//!
+//! Two implementations ship:
+//!
+//! * [`ScalarBackend`] — the straightforward one-element-at-a-time
+//!   loops (the PR 2/3 code paths, kept as the readable reference).
+//! * [`LaneBackend`] — chunked and unrolled into fixed-width lanes with
+//!   branchless window folds (`min`-select conditional subtractions),
+//!   the shape autovectorisers and SIMD ports want. Same results, bit
+//!   for bit (asserted against the NTT golden vectors).
+//!
+//! The active backend is process-wide: [`active`] resolves it once from
+//! `TRINITY_KERNEL_BACKEND` (`scalar` or `lanes`; default `lanes`), or
+//! [`select`] pins it programmatically before first use. Tests and
+//! benches can also bypass the global and call a backend directly.
+//!
+//! # Window contracts
+//!
+//! | method                   | input window | output window |
+//! |--------------------------|--------------|---------------|
+//! | [`KernelBackend::forward_stages`]  | `[0, 2p)` | `[0, 4p)` |
+//! | [`KernelBackend::inverse_stages`]  | `[0, 2p)` | `[0, 2p)` (pre-scaling) |
+//! | [`KernelBackend::fold_4p_to_2p`]   | `[0, 4p)` | `[0, 2p)` |
+//! | [`KernelBackend::fold_4p_to_canonical`] | `[0, 4p)` | `[0, p)` |
+//! | [`KernelBackend::fold_2p_to_canonical`] | `[0, 2p)` | `[0, p)` |
+//! | [`KernelBackend::scale_shoup`]      | any `u64`   | `[0, p)`  |
+//! | [`KernelBackend::scale_shoup_lazy`] | any `u64`   | `[0, 2p)` |
+//! | [`KernelBackend::mul_acc_lazy`]     | `[0, 2p)`   | `[0, 2p)` |
+//! | [`KernelBackend::mul_lazy`]         | `[0, 2p)`   | `[0, 2p)` |
+//! | [`KernelBackend::add_lazy`] / [`KernelBackend::sub_lazy`] | `[0, 2p)` | `[0, 2p)` |
+//! | [`KernelBackend::permute`]          | any         | unchanged |
+//!
+//! Callers (the [`crate::NttTable`] and [`crate::RnsPoly`] entry points)
+//! own the debug-assert window checks; backends may assume their
+//! contracts hold.
+
+use std::sync::OnceLock;
+
+use crate::modulus::Modulus;
+use crate::ntt::NttTable;
+
+/// Unroll width of the [`LaneBackend`] passes. Eight `u64` words span
+/// one cache line, and the branchless bodies below compile to straight
+/// select chains LLVM can keep in flight (or vectorise where the ISA
+/// allows).
+const LANES: usize = 8;
+
+/// A batched kernel implementation over flat limb-major rows.
+///
+/// See the module docs for the window contract of every method. All
+/// implementations must be element-wise **bit-identical** to
+/// [`ScalarBackend`]; the NTT golden-vector suite asserts this.
+pub trait KernelBackend: Send + Sync + std::fmt::Debug {
+    /// Human-readable backend name (`"scalar"`, `"lanes"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// The shared Cooley–Tukey butterfly stages of the forward
+    /// negacyclic NTT: inputs in `[0, 2p)`, outputs in `[0, 4p)`.
+    /// Callers fold into their target window afterwards.
+    fn forward_stages(&self, t: &NttTable, a: &mut [u64]);
+
+    /// The shared Gentleman–Sande stages of the inverse negacyclic NTT:
+    /// inputs and outputs in `[0, 2p)` (before the `n^{-1}` scaling
+    /// pass).
+    fn inverse_stages(&self, t: &NttTable, a: &mut [u64]);
+
+    /// One conditional subtraction at `2p`: folds `[0, 4p)` residues
+    /// into the `[0, 2p)` lazy window.
+    fn fold_4p_to_2p(&self, m: &Modulus, a: &mut [u64]);
+
+    /// Two conditional subtractions in a single pass: folds `[0, 4p)`
+    /// residues all the way to canonical `[0, p)`.
+    fn fold_4p_to_canonical(&self, m: &Modulus, a: &mut [u64]);
+
+    /// The deferred canonicalisation pass of a lazy chain: folds
+    /// `[0, 2p)` residues to canonical `[0, p)`.
+    fn fold_2p_to_canonical(&self, m: &Modulus, a: &mut [u64]);
+
+    /// Multiplies every residue by the Shoup pair `(w, w_shoup)`,
+    /// canonicalising (`[0, p)` out) — the strict exit of the inverse
+    /// transform's `n^{-1}` pass. Accepts any `u64` input (the Shoup
+    /// lazy product is correct for the full butterfly window).
+    fn scale_shoup(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]);
+
+    /// As [`Self::scale_shoup`] but skipping the canonicalising
+    /// subtraction (`[0, 2p)` out) — the lazy chain-tail exit.
+    fn scale_shoup_lazy(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]);
+
+    /// Batched lazy `IP` kernel: `acc[i] += a[i] * b[i]` with all
+    /// operands in `[0, 2p)` and the accumulator kept in `[0, 2p)`.
+    fn mul_acc_lazy(&self, m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]);
+
+    /// Batched lazy pointwise multiply: `a[i] *= b[i]`, operands and
+    /// result in `[0, 2p)`.
+    fn mul_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]);
+
+    /// Batched lazy addition: `a[i] += b[i]` with one conditional
+    /// subtraction at `2p`.
+    fn add_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]);
+
+    /// Batched lazy subtraction: `a[i] = a[i] - b[i] (+ 2p)`.
+    fn sub_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]);
+
+    /// Slot permutation (the eval-form `Auto` kernel): `dst[i] =
+    /// src[perm[i]]`. A pure gather — reduction-agnostic, values pass
+    /// through whatever window they are in.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume `perm.len() == src.len() ==
+    /// dst.len()` and every index is in range (callers assert).
+    fn permute(&self, perm: &[usize], src: &[u64], dst: &mut [u64]);
+}
+
+/// Branchless conditional subtraction: `x - bound` if `x >= bound`,
+/// else `x`. Requires `bound <= 2^63` (all our windows satisfy this:
+/// `4p < 2^64`, `2p <= 2^63`, `p < 2^62`), so the wrapped difference of
+/// a not-yet-reducible value always exceeds `x` and `min` selects
+/// correctly.
+#[inline(always)]
+fn csub(x: u64, bound: u64) -> u64 {
+    x.min(x.wrapping_sub(bound))
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference backend.
+// ---------------------------------------------------------------------
+
+/// The one-element-at-a-time reference implementation — the exact loops
+/// the flat-limb engine ran before the backend split, kept as the
+/// readable baseline every other backend is asserted against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn forward_stages(&self, t: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), t.n());
+        let m = t.modulus();
+        let two_p = 2 * m.value();
+        let psi_rev = t.psi_rev();
+        let n = t.n();
+        let mut len = n;
+        let mut groups = 1usize;
+        while groups < n {
+            len >>= 1;
+            for i in 0..groups {
+                let (w, ws) = psi_rev[groups + i];
+                let j1 = 2 * i * len;
+                for j in j1..j1 + len {
+                    // u in [0, 4p) -> [0, 2p); v in [0, 2p) from the
+                    // lazy multiply; outputs in [0, 4p).
+                    let mut u = a[j];
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    let v = m.mul_shoup_lazy(a[j + len], w, ws);
+                    a[j] = u + v;
+                    a[j + len] = u + two_p - v;
+                }
+            }
+            groups <<= 1;
+        }
+    }
+
+    fn inverse_stages(&self, t: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), t.n());
+        let m = t.modulus();
+        let two_p = 2 * m.value();
+        let psi_inv_rev = t.psi_inv_rev();
+        let mut len = 1usize;
+        let mut groups = t.n();
+        while groups > 1 {
+            let h = groups >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let (w, ws) = psi_inv_rev[h + i];
+                for j in j1..j1 + len {
+                    // u, v in [0, 2p); sum folded back below 2p; the
+                    // lazy multiply accepts the [0, 4p) difference.
+                    let u = a[j];
+                    let v = a[j + len];
+                    let mut s = u + v;
+                    if s >= two_p {
+                        s -= two_p;
+                    }
+                    a[j] = s;
+                    a[j + len] = m.mul_shoup_lazy(u + two_p - v, w, ws);
+                }
+                j1 += 2 * len;
+            }
+            len <<= 1;
+            groups = h;
+        }
+    }
+
+    fn fold_4p_to_2p(&self, m: &Modulus, a: &mut [u64]) {
+        let two_p = 2 * m.value();
+        for x in a.iter_mut() {
+            if *x >= two_p {
+                *x -= two_p;
+            }
+        }
+    }
+
+    fn fold_4p_to_canonical(&self, m: &Modulus, a: &mut [u64]) {
+        let p = m.value();
+        let two_p = 2 * p;
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_p {
+                v -= two_p;
+            }
+            if v >= p {
+                v -= p;
+            }
+            *x = v;
+        }
+    }
+
+    fn fold_2p_to_canonical(&self, m: &Modulus, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = m.reduce_2p(*x);
+        }
+    }
+
+    fn scale_shoup(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]) {
+        let p = m.value();
+        for x in a.iter_mut() {
+            let mut v = m.mul_shoup_lazy(*x, w, w_shoup);
+            if v >= p {
+                v -= p;
+            }
+            *x = v;
+        }
+    }
+
+    fn scale_shoup_lazy(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = m.mul_shoup_lazy(*x, w, w_shoup);
+        }
+    }
+
+    fn mul_acc_lazy(&self, m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        for ((x, &ya), &yb) in acc.iter_mut().zip(a).zip(b) {
+            *x = m.reduce_u128_lazy(ya as u128 * yb as u128 + *x as u128);
+        }
+    }
+
+    fn mul_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = m.mul_lazy(*x, y);
+        }
+    }
+
+    fn add_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = m.add_lazy(*x, y);
+        }
+    }
+
+    fn sub_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = m.sub_lazy(*x, y);
+        }
+    }
+
+    fn permute(&self, perm: &[usize], src: &[u64], dst: &mut [u64]) {
+        for (x, &s) in dst.iter_mut().zip(perm) {
+            *x = src[s];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunked/unrolled lane backend.
+// ---------------------------------------------------------------------
+
+/// Fixed-width-lane implementation: every pass is split into
+/// [`LANES`]-wide chunks with branchless window folds, the layout that
+/// lets the compiler batch independent butterflies/MACs the way a
+/// hardware BU/MAC array consumes a scratchpad row. Bit-identical to
+/// [`ScalarBackend`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneBackend;
+
+impl LaneBackend {
+    /// One forward-butterfly row: `lo/hi` are the two half-rows sharing
+    /// the twiddle `(w, ws)`.
+    #[inline]
+    fn forward_row(m: &Modulus, two_p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64]) {
+        let mut lc = lo.chunks_exact_mut(LANES);
+        let mut hc = hi.chunks_exact_mut(LANES);
+        for (lch, hch) in lc.by_ref().zip(hc.by_ref()) {
+            for k in 0..LANES {
+                let u = csub(lch[k], two_p);
+                let v = m.mul_shoup_lazy(hch[k], w, ws);
+                lch[k] = u + v;
+                hch[k] = u + two_p - v;
+            }
+        }
+        for (x, y) in lc
+            .into_remainder()
+            .iter_mut()
+            .zip(hc.into_remainder().iter_mut())
+        {
+            let u = csub(*x, two_p);
+            let v = m.mul_shoup_lazy(*y, w, ws);
+            *x = u + v;
+            *y = u + two_p - v;
+        }
+    }
+
+    /// One inverse-butterfly row (Gentleman–Sande).
+    #[inline]
+    fn inverse_row(m: &Modulus, two_p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64]) {
+        let mut lc = lo.chunks_exact_mut(LANES);
+        let mut hc = hi.chunks_exact_mut(LANES);
+        for (lch, hch) in lc.by_ref().zip(hc.by_ref()) {
+            for k in 0..LANES {
+                let u = lch[k];
+                let v = hch[k];
+                lch[k] = csub(u + v, two_p);
+                hch[k] = m.mul_shoup_lazy(u + two_p - v, w, ws);
+            }
+        }
+        for (x, y) in lc
+            .into_remainder()
+            .iter_mut()
+            .zip(hc.into_remainder().iter_mut())
+        {
+            let u = *x;
+            let v = *y;
+            *x = csub(u + v, two_p);
+            *y = m.mul_shoup_lazy(u + two_p - v, w, ws);
+        }
+    }
+}
+
+impl KernelBackend for LaneBackend {
+    fn name(&self) -> &'static str {
+        "lanes"
+    }
+
+    fn forward_stages(&self, t: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), t.n());
+        let m = t.modulus();
+        let two_p = 2 * m.value();
+        let psi_rev = t.psi_rev();
+        let n = t.n();
+        let mut len = n;
+        let mut groups = 1usize;
+        while groups < n {
+            len >>= 1;
+            for i in 0..groups {
+                let (w, ws) = psi_rev[groups + i];
+                let base = 2 * i * len;
+                let (lo, hi) = a[base..base + 2 * len].split_at_mut(len);
+                Self::forward_row(m, two_p, w, ws, lo, hi);
+            }
+            groups <<= 1;
+        }
+    }
+
+    fn inverse_stages(&self, t: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), t.n());
+        let m = t.modulus();
+        let two_p = 2 * m.value();
+        let psi_inv_rev = t.psi_inv_rev();
+        let mut len = 1usize;
+        let mut groups = t.n();
+        while groups > 1 {
+            let h = groups >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let (w, ws) = psi_inv_rev[h + i];
+                let (lo, hi) = a[j1..j1 + 2 * len].split_at_mut(len);
+                Self::inverse_row(m, two_p, w, ws, lo, hi);
+                j1 += 2 * len;
+            }
+            len <<= 1;
+            groups = h;
+        }
+    }
+
+    fn fold_4p_to_2p(&self, m: &Modulus, a: &mut [u64]) {
+        let two_p = 2 * m.value();
+        let mut chunks = a.chunks_exact_mut(LANES);
+        for ch in chunks.by_ref() {
+            for x in ch.iter_mut() {
+                *x = csub(*x, two_p);
+            }
+        }
+        for x in chunks.into_remainder() {
+            *x = csub(*x, two_p);
+        }
+    }
+
+    fn fold_4p_to_canonical(&self, m: &Modulus, a: &mut [u64]) {
+        let p = m.value();
+        let two_p = 2 * p;
+        let mut chunks = a.chunks_exact_mut(LANES);
+        for ch in chunks.by_ref() {
+            for x in ch.iter_mut() {
+                *x = csub(csub(*x, two_p), p);
+            }
+        }
+        for x in chunks.into_remainder() {
+            *x = csub(csub(*x, two_p), p);
+        }
+    }
+
+    fn fold_2p_to_canonical(&self, m: &Modulus, a: &mut [u64]) {
+        let p = m.value();
+        let mut chunks = a.chunks_exact_mut(LANES);
+        for ch in chunks.by_ref() {
+            for x in ch.iter_mut() {
+                *x = csub(*x, p);
+            }
+        }
+        for x in chunks.into_remainder() {
+            *x = csub(*x, p);
+        }
+    }
+
+    fn scale_shoup(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]) {
+        let p = m.value();
+        let mut chunks = a.chunks_exact_mut(LANES);
+        for ch in chunks.by_ref() {
+            for x in ch.iter_mut() {
+                *x = csub(m.mul_shoup_lazy(*x, w, w_shoup), p);
+            }
+        }
+        for x in chunks.into_remainder() {
+            *x = csub(m.mul_shoup_lazy(*x, w, w_shoup), p);
+        }
+    }
+
+    fn scale_shoup_lazy(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]) {
+        let mut chunks = a.chunks_exact_mut(LANES);
+        for ch in chunks.by_ref() {
+            for x in ch.iter_mut() {
+                *x = m.mul_shoup_lazy(*x, w, w_shoup);
+            }
+        }
+        for x in chunks.into_remainder() {
+            *x = m.mul_shoup_lazy(*x, w, w_shoup);
+        }
+    }
+
+    fn mul_acc_lazy(&self, m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        assert_eq!(acc.len(), a.len());
+        assert_eq!(acc.len(), b.len());
+        let mut xc = acc.chunks_exact_mut(LANES);
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for ((xch, ach), bch) in xc.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+            for k in 0..LANES {
+                xch[k] = m.reduce_u128_lazy(ach[k] as u128 * bch[k] as u128 + xch[k] as u128);
+            }
+        }
+        for ((x, &ya), &yb) in xc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *x = m.reduce_u128_lazy(ya as u128 * yb as u128 + *x as u128);
+        }
+    }
+
+    fn mul_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        let mut ac = a.chunks_exact_mut(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (ach, bch) in ac.by_ref().zip(bc.by_ref()) {
+            for k in 0..LANES {
+                ach[k] = m.reduce_u128_lazy(ach[k] as u128 * bch[k] as u128);
+            }
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *x = m.reduce_u128_lazy(*x as u128 * y as u128);
+        }
+    }
+
+    fn add_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        let two_p = 2 * m.value();
+        let mut ac = a.chunks_exact_mut(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (ach, bch) in ac.by_ref().zip(bc.by_ref()) {
+            for k in 0..LANES {
+                ach[k] = csub(ach[k] + bch[k], two_p);
+            }
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *x = csub(*x + y, two_p);
+        }
+    }
+
+    fn sub_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        let two_p = 2 * m.value();
+        let mut ac = a.chunks_exact_mut(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (ach, bch) in ac.by_ref().zip(bc.by_ref()) {
+            for k in 0..LANES {
+                ach[k] = csub(ach[k] + two_p - bch[k], two_p);
+            }
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *x = csub(*x + two_p - y, two_p);
+        }
+    }
+
+    fn permute(&self, perm: &[usize], src: &[u64], dst: &mut [u64]) {
+        assert_eq!(perm.len(), dst.len());
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut pc = perm.chunks_exact(LANES);
+        for (dch, pch) in dc.by_ref().zip(pc.by_ref()) {
+            for k in 0..LANES {
+                dch[k] = src[pch[k]];
+            }
+        }
+        for (x, &s) in dc.into_remainder().iter_mut().zip(pc.remainder()) {
+            *x = src[s];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime selection.
+// ---------------------------------------------------------------------
+
+/// The scalar reference backend instance.
+pub static SCALAR: ScalarBackend = ScalarBackend;
+/// The chunked/unrolled lane backend instance.
+pub static LANES_BACKEND: LaneBackend = LaneBackend;
+
+static ACTIVE: OnceLock<&'static dyn KernelBackend> = OnceLock::new();
+
+/// Looks a shipped backend up by name (`"scalar"` or `"lanes"`).
+pub fn by_name(name: &str) -> Option<&'static dyn KernelBackend> {
+    match name {
+        "scalar" => Some(&SCALAR),
+        "lanes" => Some(&LANES_BACKEND),
+        _ => None,
+    }
+}
+
+/// The process-wide active backend, resolved once on first use: the
+/// `TRINITY_KERNEL_BACKEND` environment variable if set to a known name
+/// (`scalar` / `lanes`), otherwise [`LaneBackend`]. All
+/// [`crate::NttTable`] and [`crate::RnsPoly`] production entry points
+/// dispatch through this (the strict `*_strict` oracles never do — the
+/// reference stays fixed while backends evolve).
+pub fn active() -> &'static dyn KernelBackend {
+    *ACTIVE.get_or_init(|| {
+        std::env::var("TRINITY_KERNEL_BACKEND")
+            .ok()
+            .as_deref()
+            .and_then(by_name)
+            .unwrap_or(&LANES_BACKEND)
+    })
+}
+
+/// Pins the process-wide backend before first use.
+///
+/// # Errors
+///
+/// Returns the rejected backend's name if a backend was already
+/// resolved (by a previous [`select`] or any dispatched kernel call).
+pub fn select(backend: &'static dyn KernelBackend) -> Result<(), &'static str> {
+    ACTIVE.set(backend).map_err(|b| b.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn table(bits: u32, n: usize) -> NttTable {
+        let p = ntt_primes(bits, n, 1)[0];
+        NttTable::new(Modulus::new(p).unwrap(), n)
+    }
+
+    #[test]
+    fn csub_matches_branchy_reference() {
+        let p = (1u64 << 61) - 1;
+        for bound in [p, 2 * p] {
+            for x in [0u64, 1, p - 1, p, p + 1, 2 * p - 1, 2 * p, 4 * p - 1] {
+                let want = if x >= bound { x - bound } else { x };
+                assert_eq!(csub(x, bound), want, "x={x} bound={bound}");
+            }
+        }
+    }
+
+    /// Every trait method must agree bit-for-bit between the scalar and
+    /// lane backends on random data across sizes exercising both the
+    /// chunked body and the remainders.
+    #[test]
+    fn lane_backend_is_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(0x1A7E5);
+        for n in [4usize, 64, 256, 1024] {
+            for bits in [30u32, 50, 61] {
+                let t = table(bits, n);
+                let m = *t.modulus();
+                let p = m.value();
+                let lift = |rng: &mut StdRng, x: u64| if rng.gen() { x + p } else { x };
+                let poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+                let lifted: Vec<u64> = poly.iter().map(|&x| lift(&mut rng, x)).collect();
+                let other: Vec<u64> = (0..n)
+                    .map(|_| {
+                        let x = rng.gen_range(0..p);
+                        lift(&mut rng, x)
+                    })
+                    .collect();
+
+                // Stage loops.
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.forward_stages(&t, &mut s);
+                LANES_BACKEND.forward_stages(&t, &mut l);
+                assert_eq!(s, l, "forward_stages n={n} bits={bits}");
+                SCALAR.fold_4p_to_2p(&m, &mut s);
+                LANES_BACKEND.fold_4p_to_2p(&m, &mut l);
+                assert_eq!(s, l, "fold_4p_to_2p n={n} bits={bits}");
+                SCALAR.inverse_stages(&t, &mut s);
+                LANES_BACKEND.inverse_stages(&t, &mut l);
+                assert_eq!(s, l, "inverse_stages n={n} bits={bits}");
+
+                // Folds and scales from a fresh [0, 4p) buffer.
+                let wide: Vec<u64> = poly
+                    .iter()
+                    .map(|&x| x + rng.gen_range(0..4u64) * p)
+                    .collect();
+                let (mut s, mut l) = (wide.clone(), wide.clone());
+                SCALAR.fold_4p_to_canonical(&m, &mut s);
+                LANES_BACKEND.fold_4p_to_canonical(&m, &mut l);
+                assert_eq!(s, l, "fold_4p_to_canonical");
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.fold_2p_to_canonical(&m, &mut s);
+                LANES_BACKEND.fold_2p_to_canonical(&m, &mut l);
+                assert_eq!(s, l, "fold_2p_to_canonical");
+                let w = rng.gen_range(1..p);
+                let ws = m.shoup(w);
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.scale_shoup(&m, w, ws, &mut s);
+                LANES_BACKEND.scale_shoup(&m, w, ws, &mut l);
+                assert_eq!(s, l, "scale_shoup");
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.scale_shoup_lazy(&m, w, ws, &mut s);
+                LANES_BACKEND.scale_shoup_lazy(&m, w, ws, &mut l);
+                assert_eq!(s, l, "scale_shoup_lazy");
+
+                // Pointwise families.
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.mul_acc_lazy(&m, &mut s, &other, &lifted);
+                LANES_BACKEND.mul_acc_lazy(&m, &mut l, &other, &lifted);
+                assert_eq!(s, l, "mul_acc_lazy");
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.mul_lazy(&m, &mut s, &other);
+                LANES_BACKEND.mul_lazy(&m, &mut l, &other);
+                assert_eq!(s, l, "mul_lazy");
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.add_lazy(&m, &mut s, &other);
+                LANES_BACKEND.add_lazy(&m, &mut l, &other);
+                assert_eq!(s, l, "add_lazy");
+                let (mut s, mut l) = (lifted.clone(), lifted.clone());
+                SCALAR.sub_lazy(&m, &mut s, &other);
+                LANES_BACKEND.sub_lazy(&m, &mut l, &other);
+                assert_eq!(s, l, "sub_lazy");
+
+                // Permute (random bijection).
+                let mut perm: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    perm.swap(i, rng.gen_range(0..=i));
+                }
+                let (mut s, mut l) = (vec![0u64; n], vec![0u64; n]);
+                SCALAR.permute(&perm, &lifted, &mut s);
+                LANES_BACKEND.permute(&perm, &lifted, &mut l);
+                assert_eq!(s, l, "permute");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_lookup_by_name() {
+        assert_eq!(by_name("scalar").unwrap().name(), "scalar");
+        assert_eq!(by_name("lanes").unwrap().name(), "lanes");
+        assert!(by_name("gpu").is_none());
+    }
+}

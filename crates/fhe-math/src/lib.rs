@@ -18,6 +18,10 @@
 //!   buffers.
 //! * [`RnsPoly`] — RNS polynomials with NTT, automorphism, and monomial
 //!   operations over a flat contiguous limb buffer.
+//! * [`kernel`] — pluggable batched kernel backends ([`KernelBackend`]):
+//!   the scalar reference and a chunked/unrolled lane implementation,
+//!   runtime-selected, executing the butterfly / MAC / permutation
+//!   passes over flat limb rows in their documented lazy windows.
 //! * [`sampler`] — uniform / ternary / binary / Gaussian samplers.
 //! * [`scratch`] — thread-local scratch buffers for the transform hot
 //!   paths.
@@ -84,6 +88,7 @@
 pub mod bigint;
 pub mod fft;
 pub mod galois;
+pub mod kernel;
 pub mod modulus;
 pub mod ntt;
 pub mod poly;
@@ -96,6 +101,7 @@ pub mod util;
 pub use bigint::UBig;
 pub use fft::{Complex, FftPlan};
 pub use galois::GaloisPerms;
+pub use kernel::{KernelBackend, LaneBackend, ScalarBackend};
 pub use modulus::{InvalidModulusError, Modulus};
 pub use ntt::NttTable;
 pub use poly::{ReductionState, Representation, RnsPoly};

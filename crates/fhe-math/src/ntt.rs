@@ -26,7 +26,15 @@
 //! All variants produce bit-identical results (asserted by the test
 //! suite), so higher layers can use the fast lazy transform while the
 //! simulator reasons about the hardware-shaped variants.
+//!
+//! The production entry points (`forward`, `forward_lazy`, `inverse`,
+//! `inverse_lazy`, `pointwise_mul_acc_lazy`, `canonicalize_2p`)
+//! dispatch their batched stage/fold passes through the process-wide
+//! [`crate::kernel::KernelBackend`]; the `*_strict` oracles and the
+//! hardware-dataflow variants never do, so the reference the backends
+//! are asserted against stays fixed.
 
+use crate::kernel;
 use crate::modulus::Modulus;
 use crate::prime::primitive_root_of_unity;
 use crate::scratch::with_scratch2;
@@ -115,6 +123,27 @@ impl NttTable {
         &self.modulus
     }
 
+    /// Backend SPI: Shoup pairs `psi^bitrev(i)` for the forward
+    /// butterfly stages (see [`crate::kernel::KernelBackend`]).
+    #[inline]
+    pub fn psi_rev(&self) -> &[(u64, u64)] {
+        &self.psi_rev
+    }
+
+    /// Backend SPI: Shoup pairs `psi^{-bitrev(i)}` for the inverse
+    /// butterfly stages.
+    #[inline]
+    pub fn psi_inv_rev(&self) -> &[(u64, u64)] {
+        &self.psi_inv_rev
+    }
+
+    /// Backend SPI: `n^{-1} mod p` as a Shoup pair (the inverse
+    /// transform's exit scaling constant).
+    #[inline]
+    pub fn n_inv(&self) -> (u64, u64) {
+        self.n_inv
+    }
+
     /// In-place forward negacyclic NTT (coefficient → evaluation form),
     /// using Harvey lazy reduction.
     ///
@@ -137,19 +166,9 @@ impl NttTable {
             a.iter().all(|&x| x < 2 * self.modulus.value()),
             "forward input outside the [0, 2p) window"
         );
-        self.forward_stages(a);
-        let p = self.modulus.value();
-        let two_p = 2 * p;
-        for x in a.iter_mut() {
-            let mut v = *x;
-            if v >= two_p {
-                v -= two_p;
-            }
-            if v >= p {
-                v -= p;
-            }
-            *x = v;
-        }
+        let k = kernel::active();
+        k.forward_stages(self, a);
+        k.fold_4p_to_canonical(&self.modulus, a);
     }
 
     /// Lazy-in/lazy-out forward NTT: accepts `[0, 2p)` residues and
@@ -173,43 +192,9 @@ impl NttTable {
             a.iter().all(|&x| x < 2 * self.modulus.value()),
             "forward_lazy input outside the [0, 2p) window"
         );
-        self.forward_stages(a);
-        let two_p = 2 * self.modulus.value();
-        for x in a.iter_mut() {
-            if *x >= two_p {
-                *x -= two_p;
-            }
-        }
-    }
-
-    /// The shared Cooley–Tukey stages: inputs in `[0, 4p)`, outputs in
-    /// `[0, 4p)`; callers fold into their target window.
-    #[inline]
-    fn forward_stages(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n);
-        let m = &self.modulus;
-        let two_p = 2 * m.value();
-        let mut t = self.n;
-        let mut groups = 1usize;
-        while groups < self.n {
-            t >>= 1;
-            for i in 0..groups {
-                let (w, ws) = self.psi_rev[groups + i];
-                let j1 = 2 * i * t;
-                for j in j1..j1 + t {
-                    // u in [0, 4p) -> [0, 2p); v in [0, 2p) from the lazy
-                    // multiply; outputs in [0, 4p).
-                    let mut u = a[j];
-                    if u >= two_p {
-                        u -= two_p;
-                    }
-                    let v = m.mul_shoup_lazy(a[j + t], w, ws);
-                    a[j] = u + v;
-                    a[j + t] = u + two_p - v;
-                }
-            }
-            groups <<= 1;
-        }
+        let k = kernel::active();
+        k.forward_stages(self, a);
+        k.fold_4p_to_2p(&self.modulus, a);
     }
 
     /// In-place inverse negacyclic NTT (evaluation → coefficient form),
@@ -227,17 +212,10 @@ impl NttTable {
             a.iter().all(|&x| x < 2 * self.modulus.value()),
             "inverse input outside the [0, 2p) window"
         );
-        self.inverse_stages(a);
-        let m = &self.modulus;
-        let p = m.value();
+        let k = kernel::active();
+        k.inverse_stages(self, a);
         let (ni, nis) = self.n_inv;
-        for x in a.iter_mut() {
-            let mut v = m.mul_shoup_lazy(*x, ni, nis);
-            if v >= p {
-                v -= p;
-            }
-            *x = v;
-        }
+        k.scale_shoup(&self.modulus, ni, nis, a);
     }
 
     /// Lazy-in/lazy-out inverse NTT: accepts `[0, 2p)` residues and
@@ -257,45 +235,10 @@ impl NttTable {
             a.iter().all(|&x| x < 2 * self.modulus.value()),
             "inverse_lazy input outside the [0, 2p) window"
         );
-        self.inverse_stages(a);
-        let m = &self.modulus;
+        let k = kernel::active();
+        k.inverse_stages(self, a);
         let (ni, nis) = self.n_inv;
-        for x in a.iter_mut() {
-            *x = m.mul_shoup_lazy(*x, ni, nis);
-        }
-    }
-
-    /// The shared Gentleman–Sande stages: inputs in `[0, 2p)`, outputs
-    /// in `[0, 2p)` (pre-`n^{-1}`); callers apply the scaling pass.
-    #[inline]
-    fn inverse_stages(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n);
-        let m = &self.modulus;
-        let two_p = 2 * m.value();
-        let mut t = 1usize;
-        let mut groups = self.n;
-        while groups > 1 {
-            let h = groups >> 1;
-            let mut j1 = 0usize;
-            for i in 0..h {
-                let (w, ws) = self.psi_inv_rev[h + i];
-                for j in j1..j1 + t {
-                    // u, v in [0, 2p); sum folded back below 2p; the lazy
-                    // multiply accepts the [0, 4p) difference directly.
-                    let u = a[j];
-                    let v = a[j + t];
-                    let mut s = u + v;
-                    if s >= two_p {
-                        s -= two_p;
-                    }
-                    a[j] = s;
-                    a[j + t] = m.mul_shoup_lazy(u + two_p - v, w, ws);
-                }
-                j1 += 2 * t;
-            }
-            t <<= 1;
-            groups = h;
-        }
+        k.scale_shoup_lazy(&self.modulus, ni, nis, a);
     }
 
     /// Fully-reduced forward transform: every butterfly reduces to
@@ -546,19 +489,14 @@ impl NttTable {
             acc.iter().chain(a).chain(b).all(|&x| x < 2 * m.value()),
             "pointwise_mul_acc_lazy operand outside the [0, 2p) window"
         );
-        for i in 0..self.n {
-            acc[i] = m.reduce_u128_lazy(a[i] as u128 * b[i] as u128 + acc[i] as u128);
-        }
+        kernel::active().mul_acc_lazy(m, acc, a, b);
     }
 
     /// Folds a slice of lazy `[0, 2p)` residues to canonical `[0, p)` —
     /// the single deferred canonicalisation pass at a ciphertext
     /// boundary.
     pub fn canonicalize_2p(&self, a: &mut [u64]) {
-        let m = &self.modulus;
-        for x in a.iter_mut() {
-            *x = m.reduce_2p(*x);
-        }
+        kernel::active().fold_2p_to_canonical(&self.modulus, a);
     }
 
     /// Negacyclic polynomial multiplication through the NTT.

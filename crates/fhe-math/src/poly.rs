@@ -29,6 +29,7 @@
 //! Canonical --to_eval/to_coeff/strict ops----------------> Canonical
 //! Canonical --to_eval_lazy/to_coeff_lazy/*_lazy ops------> Lazy2p
 //! Lazy2p    --to_eval_lazy/to_coeff_lazy/*_lazy ops------> Lazy2p
+//! any state --automorphism_lazy (eval-form slot perm)----> same state
 //! Lazy2p    --canonicalize / to_eval / to_coeff----------> Canonical
 //! Lazy2p    --strict kernels (add_assign, mul_*, ...)----> debug panic
 //! ```
@@ -40,6 +41,7 @@
 use std::sync::Arc;
 
 use crate::galois::GaloisPerms;
+use crate::kernel;
 use crate::rns::RnsBasis;
 use crate::scratch::with_scratch;
 
@@ -183,10 +185,9 @@ impl RnsPoly {
             return;
         }
         let n = self.basis.n();
+        let k = kernel::active();
         for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
-            for x in row.iter_mut() {
-                *x = m.reduce_2p(*x);
-            }
+            k.fold_2p_to_canonical(m, row);
         }
         self.red = ReductionState::Canonical;
     }
@@ -467,15 +468,14 @@ impl RnsPoly {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
         let n = self.basis.n();
+        let k = kernel::active();
         for ((row, orow), m) in self
             .data
             .chunks_exact_mut(n)
             .zip(other.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
-            for (x, &y) in row.iter_mut().zip(orow) {
-                *x = m.add_lazy(*x, y);
-            }
+            k.add_lazy(m, row, orow);
         }
         self.red = ReductionState::Lazy2p;
     }
@@ -489,15 +489,14 @@ impl RnsPoly {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
         let n = self.basis.n();
+        let k = kernel::active();
         for ((row, orow), m) in self
             .data
             .chunks_exact_mut(n)
             .zip(other.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
-            for (x, &y) in row.iter_mut().zip(orow) {
-                *x = m.sub_lazy(*x, y);
-            }
+            k.sub_lazy(m, row, orow);
         }
         self.red = ReductionState::Lazy2p;
     }
@@ -515,15 +514,14 @@ impl RnsPoly {
         assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
         assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
         let n = self.basis.n();
+        let k = kernel::active();
         for ((row, orow), m) in self
             .data
             .chunks_exact_mut(n)
             .zip(other.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
-            for (x, &y) in row.iter_mut().zip(orow) {
-                *x = m.mul_lazy(*x, y);
-            }
+            k.mul_lazy(m, row, orow);
         }
         self.red = ReductionState::Lazy2p;
     }
@@ -542,6 +540,7 @@ impl RnsPoly {
         assert_eq!(a.repr, Representation::Eval);
         assert_eq!(b.repr, Representation::Eval);
         let n = self.basis.n();
+        let k = kernel::active();
         for (((row, arow), brow), m) in self
             .data
             .chunks_exact_mut(n)
@@ -549,9 +548,7 @@ impl RnsPoly {
             .zip(b.data.chunks_exact(n))
             .zip(self.basis.moduli())
         {
-            for ((x, &ya), &yb) in row.iter_mut().zip(arow).zip(brow) {
-                *x = m.reduce_u128_lazy(ya as u128 * yb as u128 + *x as u128);
-            }
+            k.mul_acc_lazy(m, row, arow, brow);
         }
         self.red = ReductionState::Lazy2p;
     }
@@ -657,18 +654,56 @@ impl RnsPoly {
                     }
                 });
             }
-            Representation::Eval => {
-                let perm = perms.eval_permutation(g);
-                with_scratch(n, |src| {
-                    for row in self.data.chunks_exact_mut(n) {
-                        src.copy_from_slice(row);
-                        for (x, &p) in row.iter_mut().zip(perm.iter()) {
-                            *x = src[p];
-                        }
-                    }
-                });
-            }
+            Representation::Eval => self.permute_slots(g, perms),
         }
+    }
+
+    /// The evaluation-domain slot permutation shared by
+    /// [`Self::automorphism`] and [`Self::automorphism_lazy`]: a pure
+    /// per-limb gather through the active kernel backend, touching no
+    /// arithmetic (and therefore no reduction window).
+    fn permute_slots(&mut self, g: u64, perms: &GaloisPerms) {
+        let n = self.n();
+        let perm = perms.eval_permutation(g);
+        let k = kernel::active();
+        with_scratch(n, |src| {
+            for row in self.data.chunks_exact_mut(n) {
+                src.copy_from_slice(row);
+                k.permute(&perm, src, row);
+            }
+        });
+    }
+
+    /// Applies the automorphism `X -> X^g` to an **evaluation-form**
+    /// polynomial in whatever reduction state it is in.
+    ///
+    /// In evaluation form `sigma_g` is a pure slot permutation — slot
+    /// `psi^e` reads slot `psi^{e*g}`, no arithmetic at all — so it is
+    /// *reduction-agnostic*: `[0, 2p)` representatives permute exactly
+    /// like canonical ones and the [`ReductionState`] is preserved.
+    /// This is what lets a rotation chain stay [`ReductionState::Lazy2p`]
+    /// from the digit NTT through the automorphism to the keyswitch
+    /// inner product, folding once at ModDown (the paper's `Auto`
+    /// kernel riding the same redundant-form pipeline as `NTT`/`IP`).
+    ///
+    /// Bit-identical, after canonicalisation, to
+    /// [`Self::automorphism`] on the folded input (asserted by
+    /// `tests/lazy_chains.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even or the polynomial is in coefficient form
+    /// (the coefficient-domain automorphism negates wrapped indices,
+    /// which is not reduction-agnostic — canonicalise and use
+    /// [`Self::automorphism`] there).
+    pub fn automorphism_lazy(&mut self, g: u64, perms: &GaloisPerms) {
+        assert_eq!(g % 2, 1, "galois element must be odd");
+        assert_eq!(
+            self.repr,
+            Representation::Eval,
+            "automorphism_lazy requires evaluation form"
+        );
+        self.permute_slots(g, perms);
     }
 
     /// Keeps only the first `k` limbs (dropping the rest), switching to

@@ -11,6 +11,23 @@
 //! design), [`MulBackend::Fft`] uses double-precision FFT with rounding
 //! (the conventional accelerator approach the paper replaces).
 //!
+//! # Lazy-domain invariants
+//!
+//! The NTT-backend external product — and through it the
+//! blind-rotation accumulator of every bootstrap — is a cross-kernel
+//! lazy residue chain: digit NTTs exit in the `[0, 2p)` window, all
+//! `(k+1) * lb` multiply-accumulates stay lazy, and the per-component
+//! iNTT exit performs the single deferred canonicalisation (once per
+//! output limb, the way NTT hardware pipelines fold at memory
+//! writeback). [`Ggsw::external_product_strict`] is the fully-reduced
+//! oracle; the workspace suite `tests/lazy_chains.rs` asserts
+//! bit-identity across the paper's Sets I–III.
+//!
+//! The row passes underneath dispatch through the runtime-selected
+//! [`fhe_math::kernel::KernelBackend`] (scalar reference or chunked
+//! lane implementation); backends are bit-identical by contract, so
+//! the selection never changes a ciphertext. See `README.md`.
+//!
 //! # Examples
 //!
 //! ```no_run

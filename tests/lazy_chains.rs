@@ -206,6 +206,189 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Galois/rotation chain: the hoisted lazy automorphism pipeline
+// (digit NTT -> Auto -> IP -> iNTT, all Lazy2p, one fold at ModDown)
+// must be bit-identical to the strict oracle across every shape.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn lazy_rotation_is_bit_identical_to_strict_oracle(seed in any::<u64>()) {
+        for (name, f) in all_ckks_shapes() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let enc = Encoder::new(f.ctx.clone());
+            let encryptor = Encryptor::new(f.ctx.clone());
+            let eval = Evaluator::new(f.ctx.clone());
+            let l = f.ctx.params().max_level();
+            let ct = encryptor.encrypt_sk(
+                &enc.encode_real(&[0.5, -0.25, 0.75, 0.1], l), &f.keys.secret, &mut rng);
+            let g_rot = trinity::math::galois::rotation_galois_element(1, f.ctx.n());
+            let g_conj = trinity::math::galois::conjugation_galois_element(f.ctx.n());
+            for (what, g) in [("rotate(1)", g_rot), ("conjugate", g_conj)] {
+                let gk = &f.keys.galois[&g];
+                let lazy = eval.apply_galois(&ct, g, gk);
+                let strict = eval.apply_galois_strict(&ct, g, gk);
+                prop_assert_eq!(
+                    lazy.c0.flat(), strict.c0.flat(),
+                    "c0 mismatch: shape={} op={} seed={}", name, what, seed
+                );
+                prop_assert_eq!(
+                    lazy.c1.flat(), strict.c1.flat(),
+                    "c1 mismatch: shape={} op={} seed={}", name, what, seed
+                );
+                // The chain folds at ModDown: outputs are canonical.
+                prop_assert_eq!(lazy.c0.reduction_state(), ReductionState::Canonical);
+                prop_assert_eq!(lazy.c1.reduction_state(), ReductionState::Canonical);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rotation-group properties at the ciphertext level (tiny shape, its
+// own key set so the heavy shared fixtures stay lean).
+// ---------------------------------------------------------------------
+
+struct RotationFixture {
+    ctx: Arc<CkksContext>,
+    keys: KeySet,
+}
+
+fn rotation_fixture() -> &'static RotationFixture {
+    static F: OnceLock<RotationFixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(0x207A7E);
+        let keys = KeyGenerator::new(ctx.clone()).key_set(&[1, 2, 3, -1], &mut rng);
+        RotationFixture { ctx, keys }
+    })
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() < tol
+}
+
+/// `rotate(r1) ∘ rotate(r2) == rotate(r1 + r2)` modulo the slot count,
+/// including the wraparound through zero (`(slots-1) + 1 ≡ 0`).
+#[test]
+fn rotation_composition_matches_single_rotation() {
+    let f = rotation_fixture();
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    let enc = Encoder::new(f.ctx.clone());
+    let encryptor = Encryptor::new(f.ctx.clone());
+    let dec = Decryptor::new(f.ctx.clone());
+    let eval = Evaluator::new(f.ctx.clone());
+    let l = f.ctx.params().max_level();
+    let slots = enc.slots() as i64;
+    let x: Vec<f64> = (0..slots).map(|i| ((i * 3) % 19) as f64 / 19.0).collect();
+    let ct = encryptor.encrypt_sk(&enc.encode_real(&x, l), &f.keys.secret, &mut rng);
+    let gk = |r: i64| {
+        let g = trinity::math::galois::rotation_galois_element(r, f.ctx.n());
+        &f.keys.galois[&g]
+    };
+
+    // rotate(1) then rotate(2) == rotate(3).
+    let composed = eval.rotate(&eval.rotate(&ct, 1, gk(1)), 2, gk(2));
+    let direct = eval.rotate(&ct, 3, gk(3));
+    let got_c = dec.decrypt(&composed, &f.keys.secret, &enc);
+    let got_d = dec.decrypt(&direct, &f.keys.secret, &enc);
+    for j in 0..slots as usize {
+        let want = x[(j + 3) % slots as usize];
+        assert!(close(got_c[j].re, want, 1e-3), "composed slot {j}");
+        assert!(close(got_d[j].re, want, 1e-3), "direct slot {j}");
+    }
+
+    // Wrap through zero: rotate(slots - 1) == rotate(-1), and a further
+    // rotate(1) returns to the original slots.
+    let back_one = eval.rotate(&ct, slots - 1, gk(-1));
+    let round_trip = eval.rotate(&back_one, 1, gk(1));
+    let got_b = dec.decrypt(&back_one, &f.keys.secret, &enc);
+    let got_r = dec.decrypt(&round_trip, &f.keys.secret, &enc);
+    for j in 0..slots as usize {
+        let want_b = x[(j + slots as usize - 1) % slots as usize];
+        assert!(close(got_b[j].re, want_b, 1e-3), "wraparound slot {j}");
+        assert!(close(got_r[j].re, x[j], 1e-3), "round trip slot {j}");
+    }
+}
+
+/// `conjugate ∘ conjugate == id` on every shape (the conjugation key is
+/// always in a key set).
+#[test]
+fn double_conjugation_is_identity() {
+    for (name, f) in all_ckks_shapes() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+        let enc = Encoder::new(f.ctx.clone());
+        let encryptor = Encryptor::new(f.ctx.clone());
+        let dec = Decryptor::new(f.ctx.clone());
+        let eval = Evaluator::new(f.ctx.clone());
+        let l = f.ctx.params().max_level();
+        let slots: Vec<trinity::math::Complex> = vec![
+            trinity::math::Complex::new(0.5, 0.25),
+            trinity::math::Complex::new(-0.25, -0.75),
+            trinity::math::Complex::new(0.1, 0.9),
+        ];
+        let ct = encryptor.encrypt_sk(&enc.encode(&slots, l), &f.keys.secret, &mut rng);
+        let g = trinity::math::galois::conjugation_galois_element(f.ctx.n());
+        let once = eval.conjugate(&ct, &f.keys.galois[&g]);
+        let twice = eval.conjugate(&once, &f.keys.galois[&g]);
+        let got = dec.decrypt(&twice, &f.keys.secret, &enc);
+        for (i, z) in slots.iter().enumerate() {
+            assert!(close(got[i].re, z.re, 1e-3), "{name}: slot {i} re");
+            assert!(close(got[i].im, z.im, 1e-3), "{name}: slot {i} im");
+        }
+    }
+}
+
+/// The eval-form automorphism is reduction-agnostic: applied lazily to a
+/// `[0, 2p)` polynomial it preserves the window and commutes with the
+/// deferred fold, bit for bit.
+#[test]
+fn automorphism_lazy_preserves_window_and_commutes_with_fold() {
+    let f = tiny();
+    let mut rng = StdRng::seed_from_u64(0x5EED_0005);
+    let perms = f.ctx.galois();
+    for g in [
+        trinity::math::galois::rotation_galois_element(1, f.ctx.n()),
+        trinity::math::galois::rotation_galois_element(-3, f.ctx.n()),
+        trinity::math::galois::conjugation_galois_element(f.ctx.n()),
+    ] {
+        let level = f.ctx.params().max_level();
+        let canonical = random_eval_poly(&f.ctx, level, &mut rng);
+
+        // Lazy chain: lift to [0, 2p) via a lazy square, permute
+        // lazily, then fold once.
+        let mut lazy = canonical.clone();
+        lazy.mul_assign_pointwise_lazy(&canonical);
+        assert_eq!(lazy.reduction_state(), ReductionState::Lazy2p);
+        lazy.automorphism_lazy(g, perms);
+        assert_eq!(
+            lazy.reduction_state(),
+            ReductionState::Lazy2p,
+            "slot permutation must preserve the lazy window"
+        );
+        lazy.canonicalize();
+
+        // Strict chain: canonical square, canonical permute.
+        let mut strict = canonical.clone();
+        strict.mul_assign_pointwise(&canonical);
+        strict.automorphism(g, perms);
+
+        assert_eq!(lazy.flat(), strict.flat(), "g={g}");
+
+        // And on canonical input the lazy permutation IS the canonical
+        // permutation (state preserved either way).
+        let mut a = canonical.clone();
+        a.automorphism_lazy(g, perms);
+        assert_eq!(a.reduction_state(), ReductionState::Canonical);
+        let mut b = canonical.clone();
+        b.automorphism(g, perms);
+        assert_eq!(a.flat(), b.flat(), "g={g}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // ReductionState transitions through the public chain APIs.
 // ---------------------------------------------------------------------
 
