@@ -6,6 +6,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Runs `f` with the process-wide kernel backend forced to `backend`,
+/// restoring the previously active one afterwards — how one criterion
+/// run measures several backends on the *same* pipeline functions.
+fn with_backend<R>(backend: &'static dyn fhe_math::KernelBackend, f: impl FnOnce() -> R) -> R {
+    let previous = fhe_math::kernel::active();
+    fhe_math::kernel::force(backend);
+    let out = f();
+    fhe_math::kernel::force(previous);
+    out
+}
+
 /// NTT across polynomial lengths (the Fig. 1 x-axis, on the host CPU).
 fn bench_ntt(c: &mut Criterion) {
     let mut group = c.benchmark_group("ntt_forward");
@@ -164,11 +175,62 @@ fn bench_keyswitch_lazy_vs_canonical(c: &mut Criterion) {
         group.bench_function(format!("lazy_{tag}"), |b| {
             b.iter(|| key_switch(&ctx, &d, &rlk, l))
         });
+        // The same lazy chain under the other kernel backends: the
+        // scalar reference and the limb-parallel threaded pool (4
+        // lanes). Bit-identical outputs (tests/backend_identity.rs);
+        // only the row scheduling differs.
+        with_backend(fhe_math::kernel::by_name("scalar").unwrap(), || {
+            group.bench_function(format!("lazy_scalar_{tag}"), |b| {
+                b.iter(|| key_switch(&ctx, &d, &rlk, l))
+            });
+        });
+        with_backend(fhe_math::kernel::threaded(Some(4)), || {
+            group.bench_function(format!("lazy_threaded4_{tag}"), |b| {
+                b.iter(|| key_switch(&ctx, &d, &rlk, l))
+            });
+        });
         group.bench_function(format!("harvey_{tag}"), |b| {
             b.iter(|| key_switch_per_kernel(&ctx, &d, &rlk, l))
         });
         group.bench_function(format!("canonical_{tag}"), |b| {
             b.iter(|| key_switch_strict(&ctx, &d, &rlk, l))
+        });
+    }
+    group.finish();
+}
+
+/// Worker-count scaling of the threaded limb-parallel backend on the
+/// full lazy keyswitch chain at n=4096/L=4 (the acceptance shape):
+/// the `lane` tier is the single-threaded baseline the `threaded:N`
+/// tiers are judged against (acceptance: threaded >= 1.3x over lane
+/// with >= 4 workers on a multi-core host; on a 1-CPU host the tiers
+/// collapse onto the baseline minus dispatch overhead).
+fn bench_threaded_scaling(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let mut group = c.benchmark_group("threaded_scaling");
+    group.sample_size(20);
+    let ctx = CkksContext::new(CkksParams::test_params());
+    let mut rng = StdRng::seed_from_u64(33);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let rlk = kg.relin_key(&sk, &mut rng);
+    let l = ctx.params().max_level();
+    let basis = ctx.level_basis(l).clone();
+    let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+    for m in basis.moduli() {
+        flat.extend(fhe_math::sampler::uniform_residues(&mut rng, m, ctx.n()));
+    }
+    let d = fhe_math::RnsPoly::from_flat(basis, flat, fhe_math::Representation::Eval);
+    with_backend(fhe_math::kernel::by_name("lanes").unwrap(), || {
+        group.bench_function("lane_n4096_l4", |b| {
+            b.iter(|| key_switch(&ctx, &d, &rlk, l))
+        });
+    });
+    for workers in [1usize, 2, 4, 8] {
+        with_backend(fhe_math::kernel::threaded(Some(workers)), || {
+            group.bench_function(format!("threaded{workers}_n4096_l4"), |b| {
+                b.iter(|| key_switch(&ctx, &d, &rlk, l))
+            });
         });
     }
     group.finish();
@@ -206,6 +268,13 @@ fn bench_rotate_lazy_vs_canonical(c: &mut Criterion) {
         let gk = &keys.galois[&g];
         group.bench_function(format!("lazy_{tag}"), |b| {
             b.iter(|| eval.apply_galois(&ct, g, gk))
+        });
+        // The hoisted rotation chain under the threaded limb-parallel
+        // backend (4 lanes) — same pipeline, row-parallel dispatch.
+        with_backend(fhe_math::kernel::threaded(Some(4)), || {
+            group.bench_function(format!("lazy_threaded4_{tag}"), |b| {
+                b.iter(|| eval.apply_galois(&ct, g, gk))
+            });
         });
         group.bench_function(format!("harvey_{tag}"), |b| {
             b.iter(|| {
@@ -395,6 +464,7 @@ criterion_group!(
     bench_poly_mul_flat,
     bench_keyswitch,
     bench_keyswitch_lazy_vs_canonical,
+    bench_threaded_scaling,
     bench_rotate_lazy_vs_canonical,
     bench_hmult,
     bench_external_product,

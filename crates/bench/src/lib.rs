@@ -1,9 +1,34 @@
 //! # trinity-bench — regenerates every table and figure of the paper
 //!
-//! One function per experiment. Each returns structured rows which the
-//! `paper_tables` bench target renders; the test suite asserts the
-//! reproduced *shapes* (who wins, by roughly what factor) against the
-//! published numbers in [`trinity_workloads::reference`].
+//! One function per experiment (`fig1` .. `fig16`, `table6` ..
+//! `table12`). Each returns structured [`Row`]s — name,
+//! [`Source`](trinity_workloads::reference::Source) provenance
+//! (`Paper` transcribed / `Modeled` simulated / `Measured` host
+//! wall-clock), values — which the `paper_tables` bench target
+//! renders; the test suite asserts the reproduced *shapes* (who wins,
+//! by roughly what factor) against the published numbers in
+//! [`trinity_workloads::reference`], so a model regression that flips
+//! a paper conclusion fails `cargo test`.
+//!
+//! Three bench targets (see this crate's README for the group map):
+//!
+//! ```sh
+//! cargo bench -p trinity-bench --bench paper_tables  # Tables VI-XII, Figs. 1-16
+//! cargo bench -p trinity-bench --bench ablations     # sensitivity sweeps
+//! cargo bench -p trinity-bench --bench micro         # CPU kernel micros
+//! cargo bench -p trinity-bench --bench micro -- keyswitch   # substring filter
+//! ```
+//!
+//! The `micro` target's backend tiers (`lazy_scalar_*`,
+//! `lazy_threaded4_*`, `threaded_scaling/*`) swap the process-wide
+//! kernel backend with `fhe_math::kernel::force` between measurements;
+//! the workspace `tests/backend_identity.rs` asserts the swapped
+//! backends are bit-identical, so those tiers measure row scheduling,
+//! never different arithmetic. Simulated (`Modeled`) rows are
+//! deterministic; `Measured` rows are host wall-clock under
+//! `[profile.bench]` and inherit the functional crates' lazy-domain
+//! discipline (one fold per limb at chain boundaries — see
+//! `ARCHITECTURE.md`).
 
 #![warn(missing_docs)]
 

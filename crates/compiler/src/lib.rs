@@ -38,6 +38,21 @@
 //! let result = compiled.simulate(&machine);
 //! assert!(result.total_cycles > 0);
 //! ```
+//!
+//! Level soundness is a fixpoint, exactly Fig. 8's "Insert Bootstrap"
+//! box: [`FheProgram::insert_bootstraps`] re-runs [`LevelAnalysis`]
+//! and patches the first level-underflowing rescale with a
+//! [`FheOpKind::CkksBootstrap`] until the program analyses clean
+//! (each inserted bootstrap restores
+//! [`BootstrapPolicy::restored_level`]).
+//!
+//! Lowering emits kernel flows at the same lazy-chain granularity as
+//! the `trinity-workloads` builders — no per-kernel canonicalisation
+//! kernels; reduction is one fold per limb at chain boundaries (see
+//! `ARCHITECTURE.md` at the workspace root). Run
+//! `cargo run --release --example compiler_flow` for the pipeline end
+//! to end, or `cargo run --release --example encrypted_db` for the
+//! hybrid HE3DB query compiled and scheduled the same way.
 
 #![warn(missing_docs)]
 

@@ -10,7 +10,7 @@
 //! free to batch, unroll, or vectorise however it likes as long as the
 //! per-element results are **bit-identical** to the scalar reference.
 //!
-//! Two implementations ship:
+//! Three implementations ship:
 //!
 //! * [`ScalarBackend`] — the straightforward one-element-at-a-time
 //!   loops (the PR 2/3 code paths, kept as the readable reference).
@@ -18,11 +18,29 @@
 //!   branchless window folds (`min`-select conditional subtractions),
 //!   the shape autovectorisers and SIMD ports want. Same results, bit
 //!   for bit (asserted against the NTT golden vectors).
+//! * [`ThreadedBackend`] — the limb-parallel backend: batched passes
+//!   slice their whole-limb rows across a persistent
+//!   [`crate::pool::WorkerPool`] (each job runs the [`LaneBackend`]
+//!   loops on its rows), with a sequential fallback below a row-size
+//!   threshold. This is the software shape of the one parallelism axis
+//!   every FHE accelerator exploits — independent residue rows (FAB's
+//!   parallel NTT lanes, TREBUCHET's per-tower RNS parallelism).
+//!
+//! Besides the per-row passes, the trait has **batched entry points**
+//! (`*_batch`) taking the whole flat limb-major buffer of an
+//! [`crate::RnsPoly`] at once. Their default implementations loop rows
+//! sequentially — per-element identical to the per-row methods — and
+//! [`ThreadedBackend`] overrides them with row-parallel dispatch.
+//! Because each limb row is still computed by the sequential row pass,
+//! results are bit-identical to [`ScalarBackend`] no matter how rows
+//! are scheduled.
 //!
 //! The active backend is process-wide: [`active`] resolves it once from
-//! `TRINITY_KERNEL_BACKEND` (`scalar` or `lanes`; default `lanes`), or
-//! [`select`] pins it programmatically before first use. Tests and
-//! benches can also bypass the global and call a backend directly.
+//! `TRINITY_KERNEL_BACKEND` (`scalar`, `lanes`, or `threaded[:N]`;
+//! default `lanes`; unknown values warn once on stderr and fall back),
+//! or [`select`] pins it programmatically before first use. Tests and
+//! benches can also bypass the global and call a backend directly, or
+//! swap it explicitly with [`force`].
 //!
 //! # Window contracts
 //!
@@ -44,10 +62,11 @@
 //! own the debug-assert window checks; backends may assume their
 //! contracts hold.
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, Once, PoisonError, RwLock};
 
 use crate::modulus::Modulus;
 use crate::ntt::NttTable;
+use crate::pool::{Task, WorkerPool};
 
 /// Unroll width of the [`LaneBackend`] passes. Eight `u64` words span
 /// one cache line, and the branchless bodies below compile to straight
@@ -55,11 +74,64 @@ use crate::ntt::NttTable;
 /// allows).
 const LANES: usize = 8;
 
+/// Which window a batched transform leaves its rows in.
+///
+/// The forward stages exit in `[0, 4p)` and the inverse stages need an
+/// `n^{-1}` scaling pass; the exit fold picks whether that last pass
+/// canonicalises (`[0, p)` out — the chain boundary) or stays in the
+/// lazy `[0, 2p)` cross-kernel window (the chain interior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitFold {
+    /// Fold all the way to canonical `[0, p)` residues.
+    Canonical,
+    /// Stay in the `[0, 2p)` lazy window (one fewer conditional
+    /// subtraction per residue; fold later at the ciphertext boundary).
+    Lazy2p,
+}
+
 /// A batched kernel implementation over flat limb-major rows.
 ///
 /// See the module docs for the window contract of every method. All
 /// implementations must be element-wise **bit-identical** to
 /// [`ScalarBackend`]; the NTT golden-vector suite asserts this.
+///
+/// # Examples
+///
+/// Backends are plain objects — tests and benches can drive one
+/// directly instead of going through the process-wide [`active`]
+/// dispatch. A full lazy round-trip over one limb row:
+///
+/// ```
+/// use fhe_math::kernel::{ExitFold, KernelBackend, SCALAR};
+/// use fhe_math::{prime, Modulus, NttTable};
+///
+/// let n = 64;
+/// let p = prime::ntt_primes(40, n, 1)[0];
+/// let table = NttTable::new(Modulus::new(p)?, n);
+/// let modulus = *table.modulus();
+///
+/// let mut row: Vec<u64> = (0..n as u64).collect();
+/// let expect = row.clone();
+///
+/// // Forward stages leave [0, 4p); fold into the lazy [0, 2p) window.
+/// SCALAR.forward_stages(&table, &mut row);
+/// SCALAR.fold_4p_to_2p(&modulus, &mut row);
+/// assert!(row.iter().all(|&x| x < 2 * modulus.value()));
+///
+/// // Inverse stages + the n^{-1} Shoup scaling pass canonicalise.
+/// SCALAR.inverse_stages(&table, &mut row);
+/// let (ni, nis) = table.n_inv();
+/// SCALAR.scale_shoup(&modulus, ni, nis, &mut row);
+/// assert_eq!(row, expect);
+///
+/// // The batched entry point runs the same chain over a whole flat
+/// // buffer (here: one row, canonical exit).
+/// let mut flat = expect.clone();
+/// SCALAR.forward_batch(&[&table], &mut flat, ExitFold::Canonical);
+/// SCALAR.inverse_batch(&[&table], &mut flat, ExitFold::Canonical);
+/// assert_eq!(flat, expect);
+/// # Ok::<(), fhe_math::InvalidModulusError>(())
+/// ```
 pub trait KernelBackend: Send + Sync + std::fmt::Debug {
     /// Human-readable backend name (`"scalar"`, `"lanes"`, ...).
     fn name(&self) -> &'static str;
@@ -120,6 +192,156 @@ pub trait KernelBackend: Send + Sync + std::fmt::Debug {
     /// Implementations may assume `perm.len() == src.len() ==
     /// dst.len()` and every index is in range (callers assert).
     fn permute(&self, perm: &[usize], src: &[u64], dst: &mut [u64]);
+
+    // -----------------------------------------------------------------
+    // Batched (whole-poly) entry points. One limb row per table/modulus;
+    // `flat` is the limb-major buffer of an `RnsPoly` (`rows * n`
+    // words). Defaults loop rows sequentially through the per-row
+    // passes; `ThreadedBackend` overrides them with limb-parallel
+    // dispatch. Window contracts are per row, identical to the per-row
+    // methods.
+    // -----------------------------------------------------------------
+
+    /// Batched forward negacyclic NTT over all limb rows of `flat`
+    /// (row `i` under `tables[i]`): butterfly stages plus the chosen
+    /// exit fold (`[0, p)` or `[0, 2p)` out; `[0, 2p)` in).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume `flat.len() == tables.len() * n` with
+    /// every table sharing the ring degree `n` (callers assert).
+    fn forward_batch(&self, tables: &[&NttTable], flat: &mut [u64], exit: ExitFold) {
+        let Some(n) = batch_rows(tables.len(), flat.len()) else {
+            return;
+        };
+        for (row, t) in flat.chunks_exact_mut(n).zip(tables) {
+            self.forward_stages(t, row);
+            match exit {
+                ExitFold::Canonical => self.fold_4p_to_canonical(t.modulus(), row),
+                ExitFold::Lazy2p => self.fold_4p_to_2p(t.modulus(), row),
+            }
+        }
+    }
+
+    /// Batched inverse negacyclic NTT over all limb rows of `flat`:
+    /// Gentleman–Sande stages plus the `n^{-1}` Shoup scaling pass,
+    /// canonicalising ([`ExitFold::Canonical`]) or staying lazy
+    /// ([`ExitFold::Lazy2p`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::forward_batch`].
+    fn inverse_batch(&self, tables: &[&NttTable], flat: &mut [u64], exit: ExitFold) {
+        let Some(n) = batch_rows(tables.len(), flat.len()) else {
+            return;
+        };
+        for (row, t) in flat.chunks_exact_mut(n).zip(tables) {
+            self.inverse_stages(t, row);
+            let (ni, nis) = t.n_inv();
+            match exit {
+                ExitFold::Canonical => self.scale_shoup(t.modulus(), ni, nis, row),
+                ExitFold::Lazy2p => self.scale_shoup_lazy(t.modulus(), ni, nis, row),
+            }
+        }
+    }
+
+    /// Batched deferred canonicalisation: folds every `[0, 2p_i)` row
+    /// of `flat` to canonical `[0, p_i)`.
+    fn fold_2p_to_canonical_batch(&self, moduli: &[Modulus], flat: &mut [u64]) {
+        let Some(n) = batch_rows(moduli.len(), flat.len()) else {
+            return;
+        };
+        for (row, m) in flat.chunks_exact_mut(n).zip(moduli) {
+            self.fold_2p_to_canonical(m, row);
+        }
+    }
+
+    /// Batched lazy addition over all limb rows: `a[i] += b[i]` per row
+    /// under its modulus, staying in `[0, 2p)`.
+    fn add_lazy_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+        let Some(n) = batch_rows(moduli.len(), a.len()) else {
+            return;
+        };
+        for ((row, orow), m) in a.chunks_exact_mut(n).zip(b.chunks_exact(n)).zip(moduli) {
+            self.add_lazy(m, row, orow);
+        }
+    }
+
+    /// Batched lazy subtraction over all limb rows (see
+    /// [`Self::add_lazy_batch`]).
+    fn sub_lazy_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+        let Some(n) = batch_rows(moduli.len(), a.len()) else {
+            return;
+        };
+        for ((row, orow), m) in a.chunks_exact_mut(n).zip(b.chunks_exact(n)).zip(moduli) {
+            self.sub_lazy(m, row, orow);
+        }
+    }
+
+    /// Batched lazy pointwise multiply over all limb rows (see
+    /// [`Self::mul_lazy`]).
+    fn mul_lazy_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+        let Some(n) = batch_rows(moduli.len(), a.len()) else {
+            return;
+        };
+        for ((row, orow), m) in a.chunks_exact_mut(n).zip(b.chunks_exact(n)).zip(moduli) {
+            self.mul_lazy(m, row, orow);
+        }
+    }
+
+    /// Batched lazy `IP` accumulation over all limb rows:
+    /// `acc[i] += a[i] * b[i]` per row, accumulator kept in `[0, 2p)`.
+    fn mul_acc_lazy_batch(&self, moduli: &[Modulus], acc: &mut [u64], a: &[u64], b: &[u64]) {
+        let Some(n) = batch_rows(moduli.len(), acc.len()) else {
+            return;
+        };
+        for (((row, arow), brow), m) in acc
+            .chunks_exact_mut(n)
+            .zip(a.chunks_exact(n))
+            .zip(b.chunks_exact(n))
+            .zip(moduli)
+        {
+            self.mul_acc_lazy(m, row, arow, brow);
+        }
+    }
+
+    /// Batched slot permutation: applies the same `perm` (length `n`)
+    /// to every `n`-word row of `src` into `dst`. Reduction-agnostic,
+    /// like [`Self::permute`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume `src.len() == dst.len()` is an exact
+    /// multiple of `perm.len()` (callers assert; debug-asserted here).
+    fn permute_batch(&self, perm: &[usize], src: &[u64], dst: &mut [u64]) {
+        if perm.is_empty() || src.is_empty() {
+            return;
+        }
+        debug_assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        debug_assert_eq!(
+            src.len() % perm.len(),
+            0,
+            "flat buffer not a multiple of the permutation length"
+        );
+        for (srow, drow) in src
+            .chunks_exact(perm.len())
+            .zip(dst.chunks_exact_mut(perm.len()))
+        {
+            self.permute(perm, srow, drow);
+        }
+    }
+}
+
+/// Row geometry of a batched call: `Some(n)` when there is work,
+/// `None` for the empty batch.
+#[inline]
+fn batch_rows(rows: usize, flat_len: usize) -> Option<usize> {
+    if rows == 0 || flat_len == 0 {
+        None
+    } else {
+        debug_assert_eq!(flat_len % rows, 0, "flat buffer not a multiple of rows");
+        Some(flat_len / rows)
+    }
 }
 
 /// Branchless conditional subtraction: `x - bound` if `x >= bound`,
@@ -290,7 +512,7 @@ impl KernelBackend for ScalarBackend {
 // ---------------------------------------------------------------------
 
 /// Fixed-width-lane implementation: every pass is split into
-/// [`LANES`]-wide chunks with branchless window folds, the layout that
+/// `LANES`-wide (8-word) chunks with branchless window folds, the layout that
 /// lets the compiler batch independent butterflies/MACs the way a
 /// hardware BU/MAC array consumes a scratchpad row. Bit-identical to
 /// [`ScalarBackend`].
@@ -542,6 +764,336 @@ impl KernelBackend for LaneBackend {
 }
 
 // ---------------------------------------------------------------------
+// Threaded limb-parallel backend.
+// ---------------------------------------------------------------------
+
+/// Default minimum number of elements a dispatched job must cover
+/// before a batched pass fans out. Below this the channel round-trip
+/// costs more than the row work, so the pass runs sequentially — the
+/// row-size threshold of the sequential fallback.
+const DEFAULT_MIN_JOB_ELEMS: usize = 4096;
+
+/// Hard ceiling on configurable worker counts (a typo like
+/// `threaded:100000` must not fork-bomb the process).
+const MAX_THREADS: usize = 256;
+
+/// The limb-parallel backend: batched passes slice their whole-limb
+/// rows across a persistent [`WorkerPool`], each job running the
+/// [`LaneBackend`] row loops on a contiguous row group.
+///
+/// * **Per-row methods** (`forward_stages`, `mul_acc_lazy`, ...) run
+///   the lane loops inline: a lone row is below the batch threshold by
+///   construction, and intra-row butterfly slicing would need a
+///   barrier per NTT stage, which channel dispatch cannot amortise at
+///   FHE ring degrees. The profitable axis is *across* limb rows —
+///   exactly what the `*_batch` overrides exploit (the paper's
+///   per-tower RNS parallelism in software).
+/// * **Batch methods** partition the rows into at most `threads`
+///   contiguous groups of at least `min_job` elements and run each
+///   group as one pool job. Every row is still computed by the
+///   sequential lane pass, so results are **bit-identical** to
+///   [`ScalarBackend`] regardless of scheduling.
+///
+/// Determinism: per-limb results do not depend on which worker ran the
+/// row, and rows never share output words, so the whole lazy-chain
+/// oracle suite passes unchanged under this backend.
+///
+/// # Examples
+///
+/// ```
+/// use fhe_math::kernel::{ExitFold, KernelBackend, ThreadedBackend, SCALAR};
+/// use fhe_math::{prime, Modulus, NttTable, RnsBasis};
+///
+/// let n = 256;
+/// let basis = RnsBasis::new(&prime::ntt_primes(40, n, 3), n);
+/// let tables: Vec<&NttTable> = basis.tables().iter().map(|t| t.as_ref()).collect();
+/// let mut flat: Vec<u64> = (0..(3 * n) as u64).collect();
+/// let mut oracle = flat.clone();
+///
+/// // Two compute lanes, and a tiny job threshold so this small batch
+/// // actually fans out; results are bit-identical to the scalar
+/// // reference either way.
+/// let threaded = ThreadedBackend::with_config(2, 64);
+/// threaded.forward_batch(&tables, &mut flat, ExitFold::Lazy2p);
+/// SCALAR.forward_batch(&tables, &mut oracle, ExitFold::Lazy2p);
+/// assert_eq!(flat, oracle);
+/// ```
+#[derive(Debug)]
+pub struct ThreadedBackend {
+    pool: WorkerPool,
+    min_job: usize,
+}
+
+impl ThreadedBackend {
+    /// A backend with `threads` total compute lanes (the dispatching
+    /// thread counts as one; see [`WorkerPool::new`]) and the default
+    /// job-size threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::with_config(threads, DEFAULT_MIN_JOB_ELEMS)
+    }
+
+    /// As [`Self::with_threads`] with an explicit minimum number of
+    /// elements per dispatched job (tuning/test knob; batches whose
+    /// rows cannot fill two such jobs run sequentially).
+    pub fn with_config(threads: usize, min_job: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(threads.min(MAX_THREADS)),
+            min_job: min_job.max(1),
+        }
+    }
+
+    /// Total compute lanes of the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Partitions `rows` rows of `n` words into contiguous job groups,
+    /// or `None` when the batch is below the parallel threshold (the
+    /// sequential fallback).
+    fn row_groups(&self, rows: usize, n: usize) -> Option<Vec<std::ops::Range<usize>>> {
+        let threads = self.pool.threads();
+        if threads < 2 || rows < 2 || n == 0 {
+            return None;
+        }
+        let k = (rows * n / self.min_job).clamp(1, threads.min(rows));
+        if k < 2 {
+            return None;
+        }
+        let (base, extra) = (rows / k, rows % k);
+        let mut groups = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            groups.push(start..start + len);
+            start += len;
+        }
+        Some(groups)
+    }
+}
+
+impl KernelBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn forward_stages(&self, t: &NttTable, a: &mut [u64]) {
+        LANES_BACKEND.forward_stages(t, a);
+    }
+
+    fn inverse_stages(&self, t: &NttTable, a: &mut [u64]) {
+        LANES_BACKEND.inverse_stages(t, a);
+    }
+
+    fn fold_4p_to_2p(&self, m: &Modulus, a: &mut [u64]) {
+        LANES_BACKEND.fold_4p_to_2p(m, a);
+    }
+
+    fn fold_4p_to_canonical(&self, m: &Modulus, a: &mut [u64]) {
+        LANES_BACKEND.fold_4p_to_canonical(m, a);
+    }
+
+    fn fold_2p_to_canonical(&self, m: &Modulus, a: &mut [u64]) {
+        LANES_BACKEND.fold_2p_to_canonical(m, a);
+    }
+
+    fn scale_shoup(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]) {
+        LANES_BACKEND.scale_shoup(m, w, w_shoup, a);
+    }
+
+    fn scale_shoup_lazy(&self, m: &Modulus, w: u64, w_shoup: u64, a: &mut [u64]) {
+        LANES_BACKEND.scale_shoup_lazy(m, w, w_shoup, a);
+    }
+
+    fn mul_acc_lazy(&self, m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        LANES_BACKEND.mul_acc_lazy(m, acc, a, b);
+    }
+
+    fn mul_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        LANES_BACKEND.mul_lazy(m, a, b);
+    }
+
+    fn add_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        LANES_BACKEND.add_lazy(m, a, b);
+    }
+
+    fn sub_lazy(&self, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        LANES_BACKEND.sub_lazy(m, a, b);
+    }
+
+    fn permute(&self, perm: &[usize], src: &[u64], dst: &mut [u64]) {
+        LANES_BACKEND.permute(perm, src, dst);
+    }
+
+    fn forward_batch(&self, tables: &[&NttTable], flat: &mut [u64], exit: ExitFold) {
+        let Some(n) = batch_rows(tables.len(), flat.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(tables.len(), n) else {
+            return LANES_BACKEND.forward_batch(tables, flat, exit);
+        };
+        let mut rest: &mut [u64] = flat;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (chunk, tail) = rest.split_at_mut(g.len() * n);
+            rest = tail;
+            let tbl = &tables[g];
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.forward_batch(tbl, chunk, exit)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn inverse_batch(&self, tables: &[&NttTable], flat: &mut [u64], exit: ExitFold) {
+        let Some(n) = batch_rows(tables.len(), flat.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(tables.len(), n) else {
+            return LANES_BACKEND.inverse_batch(tables, flat, exit);
+        };
+        let mut rest: &mut [u64] = flat;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (chunk, tail) = rest.split_at_mut(g.len() * n);
+            rest = tail;
+            let tbl = &tables[g];
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.inverse_batch(tbl, chunk, exit)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn fold_2p_to_canonical_batch(&self, moduli: &[Modulus], flat: &mut [u64]) {
+        let Some(n) = batch_rows(moduli.len(), flat.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(moduli.len(), n) else {
+            return LANES_BACKEND.fold_2p_to_canonical_batch(moduli, flat);
+        };
+        let mut rest: &mut [u64] = flat;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (chunk, tail) = rest.split_at_mut(g.len() * n);
+            rest = tail;
+            let ms = &moduli[g];
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.fold_2p_to_canonical_batch(ms, chunk)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn add_lazy_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+        self.binary_batch(moduli, a, b, BinaryLazyOp::Add);
+    }
+
+    fn sub_lazy_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+        self.binary_batch(moduli, a, b, BinaryLazyOp::Sub);
+    }
+
+    fn mul_lazy_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+        self.binary_batch(moduli, a, b, BinaryLazyOp::Mul);
+    }
+
+    fn mul_acc_lazy_batch(&self, moduli: &[Modulus], acc: &mut [u64], a: &[u64], b: &[u64]) {
+        let Some(n) = batch_rows(moduli.len(), acc.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(moduli.len(), n) else {
+            return LANES_BACKEND.mul_acc_lazy_batch(moduli, acc, a, b);
+        };
+        let (mut racc, mut ra, mut rb): (&mut [u64], &[u64], &[u64]) = (acc, a, b);
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let words = g.len() * n;
+            let (cacc, tacc) = racc.split_at_mut(words);
+            racc = tacc;
+            let (ca, ta) = ra.split_at(words);
+            ra = ta;
+            let (cb, tb) = rb.split_at(words);
+            rb = tb;
+            let ms = &moduli[g];
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.mul_acc_lazy_batch(ms, cacc, ca, cb)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn permute_batch(&self, perm: &[usize], src: &[u64], dst: &mut [u64]) {
+        let n = perm.len();
+        if n == 0 || src.is_empty() {
+            return;
+        }
+        debug_assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        debug_assert_eq!(
+            src.len() % n,
+            0,
+            "flat buffer not a multiple of the permutation length"
+        );
+        let rows = src.len() / n;
+        let Some(groups) = self.row_groups(rows, n) else {
+            return LANES_BACKEND.permute_batch(perm, src, dst);
+        };
+        let (mut rsrc, mut rdst): (&[u64], &mut [u64]) = (src, dst);
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let words = g.len() * n;
+            let (csrc, tsrc) = rsrc.split_at(words);
+            rsrc = tsrc;
+            let (cdst, tdst) = rdst.split_at_mut(words);
+            rdst = tdst;
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.permute_batch(perm, csrc, cdst)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+}
+
+/// Which lazy two-operand row pass a shared batch dispatcher runs.
+#[derive(Debug, Clone, Copy)]
+enum BinaryLazyOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+impl ThreadedBackend {
+    /// Shared row-parallel dispatcher for the three lazy `a op= b`
+    /// batches (identical slicing, different row pass).
+    fn binary_batch(&self, moduli: &[Modulus], a: &mut [u64], b: &[u64], op: BinaryLazyOp) {
+        let Some(n) = batch_rows(moduli.len(), a.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(moduli.len(), n) else {
+            return match op {
+                BinaryLazyOp::Add => LANES_BACKEND.add_lazy_batch(moduli, a, b),
+                BinaryLazyOp::Sub => LANES_BACKEND.sub_lazy_batch(moduli, a, b),
+                BinaryLazyOp::Mul => LANES_BACKEND.mul_lazy_batch(moduli, a, b),
+            };
+        };
+        let (mut ra, mut rb): (&mut [u64], &[u64]) = (a, b);
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let words = g.len() * n;
+            let (ca, ta) = ra.split_at_mut(words);
+            ra = ta;
+            let (cb, tb) = rb.split_at(words);
+            rb = tb;
+            let ms = &moduli[g];
+            tasks.push(Box::new(move || match op {
+                BinaryLazyOp::Add => LANES_BACKEND.add_lazy_batch(ms, ca, cb),
+                BinaryLazyOp::Sub => LANES_BACKEND.sub_lazy_batch(ms, ca, cb),
+                BinaryLazyOp::Mul => LANES_BACKEND.mul_lazy_batch(ms, ca, cb),
+            }));
+        }
+        self.pool.run(tasks);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Runtime selection.
 // ---------------------------------------------------------------------
 
@@ -550,31 +1102,130 @@ pub static SCALAR: ScalarBackend = ScalarBackend;
 /// The chunked/unrolled lane backend instance.
 pub static LANES_BACKEND: LaneBackend = LaneBackend;
 
-static ACTIVE: OnceLock<&'static dyn KernelBackend> = OnceLock::new();
+/// The process-wide active backend; `None` until first resolution.
+/// A `RwLock` (not a `OnceLock`) so benches and tests can swap it with
+/// [`force`] — the uncontended read on the kernel dispatch path costs
+/// nanoseconds against row passes of microseconds.
+static ACTIVE: RwLock<Option<&'static dyn KernelBackend>> = RwLock::new(None);
 
-/// Looks a shipped backend up by name (`"scalar"` or `"lanes"`).
-pub fn by_name(name: &str) -> Option<&'static dyn KernelBackend> {
-    match name {
-        "scalar" => Some(&SCALAR),
-        "lanes" => Some(&LANES_BACKEND),
-        _ => None,
+/// Leaked-for-the-process [`ThreadedBackend`]s, memoised per thread
+/// count so repeated lookups (env resolution, benches sweeping worker
+/// counts) share one persistent worker pool each.
+static THREADED: Mutex<Vec<(usize, &'static ThreadedBackend)>> = Mutex::new(Vec::new());
+
+/// The process-lived threaded backend with the given thread count
+/// (`None` = one lane per [`std::thread::available_parallelism`]).
+/// Workers live for the process; calling this twice with the same
+/// count returns the same instance and pool.
+pub fn threaded(threads: Option<usize>) -> &'static ThreadedBackend {
+    let n = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        })
+        .clamp(1, MAX_THREADS);
+    let mut registry = THREADED.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(&(_, backend)) = registry.iter().find(|(count, _)| *count == n) {
+        return backend;
+    }
+    let backend: &'static ThreadedBackend = Box::leak(Box::new(ThreadedBackend::with_threads(n)));
+    registry.push((n, backend));
+    backend
+}
+
+/// Why a `TRINITY_KERNEL_BACKEND` value failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpecError(String);
+
+impl std::fmt::Display for BackendSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
     }
 }
 
-/// The process-wide active backend, resolved once on first use: the
-/// `TRINITY_KERNEL_BACKEND` environment variable if set to a known name
-/// (`scalar` / `lanes`), otherwise [`LaneBackend`]. All
-/// [`crate::NttTable`] and [`crate::RnsPoly`] production entry points
-/// dispatch through this (the strict `*_strict` oracles never do — the
-/// reference stays fixed while backends evolve).
+impl std::error::Error for BackendSpecError {}
+
+/// Parses a backend spec: `scalar`, `lanes`, `threaded` (one lane per
+/// available CPU), or `threaded:N` (`1 <= N <= 256`).
+///
+/// # Errors
+///
+/// Returns a [`BackendSpecError`] describing the problem for anything
+/// else — including `threaded:0`, which would have no compute thread.
+pub fn parse_spec(spec: &str) -> Result<&'static dyn KernelBackend, BackendSpecError> {
+    match spec {
+        "scalar" => Ok(&SCALAR),
+        "lanes" => Ok(&LANES_BACKEND),
+        "threaded" => Ok(threaded(None)),
+        _ => {
+            if let Some(count) = spec.strip_prefix("threaded:") {
+                let n: usize = count.parse().map_err(|_| {
+                    BackendSpecError(format!("thread count {count:?} is not an integer"))
+                })?;
+                if n == 0 {
+                    return Err(BackendSpecError(
+                        "thread count must be >= 1 (the dispatching thread is a lane; \
+                         threaded:0 would have no compute thread)"
+                            .into(),
+                    ));
+                }
+                if n > MAX_THREADS {
+                    return Err(BackendSpecError(format!(
+                        "thread count {n} exceeds the {MAX_THREADS}-thread ceiling"
+                    )));
+                }
+                Ok(threaded(Some(n)))
+            } else {
+                Err(BackendSpecError(format!(
+                    "unknown backend {spec:?} (expected scalar, lanes, or threaded[:N])"
+                )))
+            }
+        }
+    }
+}
+
+/// Resolves an environment spec to a backend, warning **once** on
+/// stderr and falling back to the default [`LaneBackend`] when the
+/// value does not parse (a silent fallback hid typos like
+/// `TRINITY_KERNEL_BACKEND=lane` for a whole bench run).
+fn resolve(spec: Option<&str>) -> &'static dyn KernelBackend {
+    match spec {
+        None => &LANES_BACKEND,
+        Some(s) => parse_spec(s).unwrap_or_else(|err| {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring TRINITY_KERNEL_BACKEND={s:?}: {err}; \
+                     using the default `lanes` backend"
+                );
+            });
+            &LANES_BACKEND
+        }),
+    }
+}
+
+/// Looks a shipped backend up by spec — same grammar as [`parse_spec`]
+/// (`"scalar"`, `"lanes"`, `"threaded"`, `"threaded:N"`), `None` on
+/// anything else.
+pub fn by_name(name: &str) -> Option<&'static dyn KernelBackend> {
+    parse_spec(name).ok()
+}
+
+/// The process-wide active backend, resolved on first use: the
+/// `TRINITY_KERNEL_BACKEND` environment variable if it parses
+/// ([`parse_spec`]; invalid values warn once and fall back), otherwise
+/// [`LaneBackend`]. All [`crate::NttTable`] and [`crate::RnsPoly`]
+/// production entry points dispatch through this (the strict
+/// `*_strict` oracles never do — the reference stays fixed while
+/// backends evolve).
 pub fn active() -> &'static dyn KernelBackend {
-    *ACTIVE.get_or_init(|| {
-        std::env::var("TRINITY_KERNEL_BACKEND")
-            .ok()
-            .as_deref()
-            .and_then(by_name)
-            .unwrap_or(&LANES_BACKEND)
-    })
+    if let Some(backend) = *ACTIVE.read().unwrap_or_else(PoisonError::into_inner) {
+        return backend;
+    }
+    let resolved = resolve(std::env::var("TRINITY_KERNEL_BACKEND").ok().as_deref());
+    let mut slot = ACTIVE.write().unwrap_or_else(PoisonError::into_inner);
+    *slot.get_or_insert(resolved)
 }
 
 /// Pins the process-wide backend before first use.
@@ -582,9 +1233,29 @@ pub fn active() -> &'static dyn KernelBackend {
 /// # Errors
 ///
 /// Returns the rejected backend's name if a backend was already
-/// resolved (by a previous [`select`] or any dispatched kernel call).
+/// resolved (by a previous [`select`], a [`force`], or any dispatched
+/// kernel call).
 pub fn select(backend: &'static dyn KernelBackend) -> Result<(), &'static str> {
-    ACTIVE.set(backend).map_err(|b| b.name())
+    let mut slot = ACTIVE.write().unwrap_or_else(PoisonError::into_inner);
+    match *slot {
+        Some(current) => Err(current.name()),
+        None => {
+            *slot = Some(backend);
+            Ok(())
+        }
+    }
+}
+
+/// Swaps the process-wide backend unconditionally, returning the
+/// previous one (if any was resolved). For benches and tests that
+/// measure several backends in one process — production code should
+/// rely on [`active`]'s one-time resolution instead, and callers here
+/// must serialise against concurrent kernel work themselves.
+pub fn force(backend: &'static dyn KernelBackend) -> Option<&'static dyn KernelBackend> {
+    ACTIVE
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .replace(backend)
 }
 
 #[cfg(test)]
@@ -702,6 +1373,167 @@ mod tests {
     fn backend_lookup_by_name() {
         assert_eq!(by_name("scalar").unwrap().name(), "scalar");
         assert_eq!(by_name("lanes").unwrap().name(), "lanes");
+        assert_eq!(by_name("threaded:2").unwrap().name(), "threaded");
         assert!(by_name("gpu").is_none());
+    }
+
+    #[test]
+    fn parse_spec_accepts_threaded_with_and_without_count() {
+        assert_eq!(parse_spec("threaded").unwrap().name(), "threaded");
+        let b = parse_spec("threaded:3").unwrap();
+        assert_eq!(b.name(), "threaded");
+        // Memoised per count: same instance, same pool.
+        assert!(std::ptr::eq(
+            parse_spec("threaded:3").unwrap(),
+            parse_spec("threaded:3").unwrap()
+        ));
+        assert_eq!(threaded(Some(3)).threads(), 3);
+    }
+
+    #[test]
+    fn parse_spec_rejects_garbage_empty_and_zero_threads() {
+        for bad in ["", "gpu", "lane", "threaded:", "threaded:x", "threaded:-1"] {
+            let err = parse_spec(bad).expect_err(bad);
+            assert!(!err.to_string().is_empty(), "{bad}: empty message");
+        }
+        let zero = parse_spec("threaded:0").expect_err("threaded:0");
+        assert!(zero.to_string().contains(">= 1"), "{zero}");
+        let huge = parse_spec("threaded:100000").expect_err("threaded:100000");
+        assert!(huge.to_string().contains("ceiling"), "{huge}");
+    }
+
+    #[test]
+    fn resolve_falls_back_to_lanes_on_invalid_spec() {
+        // The warn-once fallback path: invalid values resolve to the
+        // default backend instead of silently picking something else.
+        assert_eq!(resolve(None).name(), "lanes");
+        assert_eq!(resolve(Some("garbage")).name(), "lanes");
+        assert_eq!(resolve(Some("threaded:0")).name(), "lanes");
+        assert_eq!(resolve(Some("scalar")).name(), "scalar");
+        assert_eq!(resolve(Some("threaded:2")).name(), "threaded");
+    }
+
+    /// All batched entry points must be bit-identical between the
+    /// sequential default (scalar), the lane override, and the
+    /// threaded row-parallel dispatch — across geometries that
+    /// exercise both the fan-out and the sequential-fallback paths.
+    #[test]
+    fn batch_entry_points_are_bit_identical_across_backends() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C4);
+        // Tiny min_job so small batches genuinely fan out.
+        let threaded2 = ThreadedBackend::with_config(2, 64);
+        let threaded4 = ThreadedBackend::with_config(4, 64);
+        for (n, limbs) in [(64usize, 1usize), (64, 3), (256, 5), (128, 8)] {
+            let primes = crate::prime::ntt_primes(45, n, limbs);
+            let basis = crate::rns::RnsBasis::new(&primes, n);
+            let tables: Vec<&NttTable> = basis.tables().iter().map(|t| t.as_ref()).collect();
+            let moduli = basis.moduli().to_vec();
+            let flat: Vec<u64> = moduli
+                .iter()
+                .flat_map(|m| {
+                    let p = m.value();
+                    (0..n)
+                        .map(|_| {
+                            let x = rng.gen_range(0..p);
+                            if rng.gen() {
+                                x + p
+                            } else {
+                                x
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let other: Vec<u64> = moduli
+                .iter()
+                .flat_map(|m| {
+                    let p = m.value();
+                    (0..n).map(|_| rng.gen_range(0..2 * p)).collect::<Vec<_>>()
+                })
+                .collect();
+            let backends: [&dyn KernelBackend; 4] =
+                [&SCALAR, &LANES_BACKEND, &threaded2, &threaded4];
+
+            let apply = |f: &dyn Fn(&dyn KernelBackend, &mut Vec<u64>)| -> Vec<Vec<u64>> {
+                backends
+                    .iter()
+                    .map(|b| {
+                        let mut buf = flat.clone();
+                        f(*b, &mut buf);
+                        buf
+                    })
+                    .collect()
+            };
+            let assert_all_eq = |got: Vec<Vec<u64>>, what: &str| {
+                for (b, g) in backends.iter().zip(&got) {
+                    assert_eq!(g, &got[0], "{what} n={n} limbs={limbs} ({})", b.name());
+                }
+            };
+
+            for exit in [ExitFold::Canonical, ExitFold::Lazy2p] {
+                assert_all_eq(
+                    apply(&|b, buf| b.forward_batch(&tables, buf, exit)),
+                    "forward_batch",
+                );
+                assert_all_eq(
+                    apply(&|b, buf| b.inverse_batch(&tables, buf, exit)),
+                    "inverse_batch",
+                );
+            }
+            assert_all_eq(
+                apply(&|b, buf| b.fold_2p_to_canonical_batch(&moduli, buf)),
+                "fold_2p_to_canonical_batch",
+            );
+            assert_all_eq(
+                apply(&|b, buf| b.add_lazy_batch(&moduli, buf, &other)),
+                "add_lazy_batch",
+            );
+            assert_all_eq(
+                apply(&|b, buf| b.sub_lazy_batch(&moduli, buf, &other)),
+                "sub_lazy_batch",
+            );
+            assert_all_eq(
+                apply(&|b, buf| b.mul_lazy_batch(&moduli, buf, &other)),
+                "mul_lazy_batch",
+            );
+            assert_all_eq(
+                apply(&|b, buf| b.mul_acc_lazy_batch(&moduli, buf, &other, &flat)),
+                "mul_acc_lazy_batch",
+            );
+
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            assert_all_eq(
+                apply(&|b, buf| {
+                    let src = buf.clone();
+                    b.permute_batch(&perm, &src, buf);
+                }),
+                "permute_batch",
+            );
+        }
+    }
+
+    /// The threaded per-row methods delegate to the lane loops, so a
+    /// single-row call is bit-identical too (the sequential fallback).
+    #[test]
+    fn threaded_per_row_methods_match_scalar() {
+        let mut rng = StdRng::seed_from_u64(0x7412);
+        let threaded = ThreadedBackend::with_config(3, 64);
+        let t = table(50, 128);
+        let m = *t.modulus();
+        let p = m.value();
+        let row: Vec<u64> = (0..128).map(|_| rng.gen_range(0..2 * p)).collect();
+        let (mut s, mut l) = (row.clone(), row.clone());
+        SCALAR.forward_stages(&t, &mut s);
+        threaded.forward_stages(&t, &mut l);
+        assert_eq!(s, l);
+        SCALAR.fold_4p_to_2p(&m, &mut s);
+        threaded.fold_4p_to_2p(&m, &mut l);
+        assert_eq!(s, l);
+        SCALAR.inverse_stages(&t, &mut s);
+        threaded.inverse_stages(&t, &mut l);
+        assert_eq!(s, l);
     }
 }

@@ -19,9 +19,14 @@
 //! * [`RnsPoly`] — RNS polynomials with NTT, automorphism, and monomial
 //!   operations over a flat contiguous limb buffer.
 //! * [`kernel`] — pluggable batched kernel backends ([`KernelBackend`]):
-//!   the scalar reference and a chunked/unrolled lane implementation,
-//!   runtime-selected, executing the butterfly / MAC / permutation
-//!   passes over flat limb rows in their documented lazy windows.
+//!   the scalar reference, a chunked/unrolled lane implementation, and
+//!   the limb-parallel [`ThreadedBackend`], runtime-selected, executing
+//!   the butterfly / MAC / permutation passes over flat limb rows in
+//!   their documented lazy windows — with batched (whole-poly) entry
+//!   points that slice independent limb rows across worker threads.
+//! * [`pool`] — the persistent home-grown worker pool behind the
+//!   threaded backend (`std::thread` + channels; the build is offline,
+//!   so no `rayon`).
 //! * [`sampler`] — uniform / ternary / binary / Gaussian samplers.
 //! * [`scratch`] — thread-local scratch buffers for the transform hot
 //!   paths.
@@ -92,6 +97,7 @@ pub mod kernel;
 pub mod modulus;
 pub mod ntt;
 pub mod poly;
+pub mod pool;
 pub mod prime;
 pub mod rns;
 pub mod sampler;
@@ -101,7 +107,7 @@ pub mod util;
 pub use bigint::UBig;
 pub use fft::{Complex, FftPlan};
 pub use galois::GaloisPerms;
-pub use kernel::{KernelBackend, LaneBackend, ScalarBackend};
+pub use kernel::{KernelBackend, LaneBackend, ScalarBackend, ThreadedBackend};
 pub use modulus::{InvalidModulusError, Modulus};
 pub use ntt::NttTable;
 pub use poly::{ReductionState, Representation, RnsPoly};

@@ -41,7 +41,8 @@
 use std::sync::Arc;
 
 use crate::galois::GaloisPerms;
-use crate::kernel;
+use crate::kernel::{self, ExitFold};
+use crate::ntt::NttTable;
 use crate::rns::RnsBasis;
 use crate::scratch::with_scratch;
 
@@ -67,6 +68,15 @@ pub enum ReductionState {
     /// Residues are lazy `[0, 2p)` representatives awaiting a deferred
     /// [`RnsPoly::canonicalize`] at the ciphertext boundary.
     Lazy2p,
+}
+
+/// Borrowed per-limb NTT tables in backend-SPI form (the batched kernel
+/// entry points take plain references). A free function — not a method
+/// — so the returned borrows pin only the basis, leaving the flat data
+/// buffer free for the `&mut` side of the batched call.
+#[inline]
+fn table_refs(basis: &RnsBasis) -> Vec<&NttTable> {
+    basis.tables().iter().map(|t| t.as_ref()).collect()
 }
 
 /// An RNS polynomial: `basis.len()` limbs of `n` residues in one flat
@@ -174,6 +184,21 @@ impl RnsPoly {
         );
     }
 
+    /// Debug-assert guard at batched-kernel entry: every residue must
+    /// be inside the `[0, 2p)` window its limb's kernels assume
+    /// (backends are entitled to that contract; the caller owns the
+    /// check).
+    #[inline]
+    fn debug_assert_rows_within_2p(&self, kernel: &str) {
+        debug_assert!(
+            self.data
+                .chunks_exact(self.basis.n())
+                .zip(self.basis.moduli())
+                .all(|(row, m)| row.iter().all(|&x| x < 2 * m.value())),
+            "{kernel}: input outside the [0, 2p) window"
+        );
+    }
+
     /// Folds every residue back into the canonical `[0, p)` window.
     ///
     /// The single deferred reduction pass of a lazy kernel chain —
@@ -184,11 +209,8 @@ impl RnsPoly {
         if self.red == ReductionState::Canonical {
             return;
         }
-        let n = self.basis.n();
-        let k = kernel::active();
-        for (row, m) in self.data.chunks_exact_mut(n).zip(self.basis.moduli()) {
-            k.fold_2p_to_canonical(m, row);
-        }
+        self.debug_assert_rows_within_2p("canonicalize");
+        kernel::active().fold_2p_to_canonical_batch(self.basis.moduli(), &mut self.data);
         self.red = ReductionState::Canonical;
     }
 
@@ -247,10 +269,12 @@ impl RnsPoly {
             self.canonicalize();
             return;
         }
-        let n = self.basis.n();
-        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
-            t.forward(row);
-        }
+        self.debug_assert_rows_within_2p("to_eval");
+        kernel::active().forward_batch(
+            &table_refs(&self.basis),
+            &mut self.data,
+            ExitFold::Canonical,
+        );
         self.repr = Representation::Eval;
         self.red = ReductionState::Canonical;
     }
@@ -265,10 +289,12 @@ impl RnsPoly {
             self.canonicalize();
             return;
         }
-        let n = self.basis.n();
-        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
-            t.inverse(row);
-        }
+        self.debug_assert_rows_within_2p("to_coeff");
+        kernel::active().inverse_batch(
+            &table_refs(&self.basis),
+            &mut self.data,
+            ExitFold::Canonical,
+        );
         self.repr = Representation::Coeff;
         self.red = ReductionState::Canonical;
     }
@@ -310,10 +336,42 @@ impl RnsPoly {
         self.repr = Representation::Coeff;
     }
 
-    /// Converts to evaluation form *lazily*: the per-limb
-    /// [`crate::NttTable::forward_lazy`] skips the canonicalising half
-    /// of its exit pass, leaving the polynomial in
-    /// [`ReductionState::Lazy2p`].
+    /// Converts to evaluation form *lazily*: the batched forward
+    /// transform exits into the `[0, 2p)` window (skipping the
+    /// canonicalising half of the fold, as
+    /// [`crate::NttTable::forward_lazy`] does per row), leaving the
+    /// polynomial in [`ReductionState::Lazy2p`].
+    ///
+    /// This is the entry of every lazy kernel chain. A keyswitch digit,
+    /// for instance, is raised, transformed here, multiply-accumulated
+    /// with [`Self::mul_acc_pointwise_lazy`], and only folded once at
+    /// the ModDown boundary:
+    ///
+    /// ```
+    /// use fhe_math::{prime, ReductionState, Representation, RnsBasis, RnsPoly};
+    /// use std::sync::Arc;
+    ///
+    /// let n = 64;
+    /// let basis = Arc::new(RnsBasis::new(&prime::ntt_primes(45, n, 3), n));
+    /// let coeffs: Vec<i64> = (0..n as i64).map(|i| i - 32).collect();
+    ///
+    /// // Lazy chain: NTT -> IP accumulate -> iNTT, one fold at the end.
+    /// let mut digit = RnsPoly::from_signed_coeffs(basis.clone(), &coeffs);
+    /// digit.to_eval_lazy();
+    /// assert_eq!(digit.reduction_state(), ReductionState::Lazy2p);
+    /// let mut acc = RnsPoly::zero(basis.clone(), Representation::Eval);
+    /// acc.mul_acc_pointwise_lazy(&digit, &digit);
+    /// acc.to_coeff_lazy();
+    /// acc.canonicalize(); // the single deferred fold
+    ///
+    /// // Bit-identical to the strict chain on the same inputs.
+    /// let mut strict = RnsPoly::from_signed_coeffs(basis.clone(), &coeffs);
+    /// strict.to_eval();
+    /// let mut strict_acc = RnsPoly::zero(basis, Representation::Eval);
+    /// strict_acc.mul_acc_pointwise(&strict, &strict);
+    /// strict_acc.to_coeff();
+    /// assert_eq!(acc.flat(), strict_acc.flat());
+    /// ```
     ///
     /// # Panics
     ///
@@ -321,27 +379,23 @@ impl RnsPoly {
     /// its dataflow; an accidental double transform is a bug).
     pub fn to_eval_lazy(&mut self) {
         assert_eq!(self.repr, Representation::Coeff, "already in eval form");
-        let n = self.basis.n();
-        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
-            t.forward_lazy(row);
-        }
+        self.debug_assert_rows_within_2p("to_eval_lazy");
+        kernel::active().forward_batch(&table_refs(&self.basis), &mut self.data, ExitFold::Lazy2p);
         self.repr = Representation::Eval;
         self.red = ReductionState::Lazy2p;
     }
 
-    /// Converts to coefficient form *lazily* via
-    /// [`crate::NttTable::inverse_lazy`], leaving the polynomial in
-    /// [`ReductionState::Lazy2p`].
+    /// Converts to coefficient form *lazily* (the batched counterpart
+    /// of per-row [`crate::NttTable::inverse_lazy`]), leaving the
+    /// polynomial in [`ReductionState::Lazy2p`].
     ///
     /// # Panics
     ///
     /// Panics if already in coefficient form.
     pub fn to_coeff_lazy(&mut self) {
         assert_eq!(self.repr, Representation::Eval, "already in coeff form");
-        let n = self.basis.n();
-        for (row, t) in self.data.chunks_exact_mut(n).zip(self.basis.tables()) {
-            t.inverse_lazy(row);
-        }
+        self.debug_assert_rows_within_2p("to_coeff_lazy");
+        kernel::active().inverse_batch(&table_refs(&self.basis), &mut self.data, ExitFold::Lazy2p);
         self.repr = Representation::Coeff;
         self.red = ReductionState::Lazy2p;
     }
@@ -467,16 +521,7 @@ impl RnsPoly {
     pub fn add_assign_lazy(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
-        let n = self.basis.n();
-        let k = kernel::active();
-        for ((row, orow), m) in self
-            .data
-            .chunks_exact_mut(n)
-            .zip(other.data.chunks_exact(n))
-            .zip(self.basis.moduli())
-        {
-            k.add_lazy(m, row, orow);
-        }
+        kernel::active().add_lazy_batch(self.basis.moduli(), &mut self.data, &other.data);
         self.red = ReductionState::Lazy2p;
     }
 
@@ -488,16 +533,7 @@ impl RnsPoly {
     pub fn sub_assign_lazy(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
-        let n = self.basis.n();
-        let k = kernel::active();
-        for ((row, orow), m) in self
-            .data
-            .chunks_exact_mut(n)
-            .zip(other.data.chunks_exact(n))
-            .zip(self.basis.moduli())
-        {
-            k.sub_lazy(m, row, orow);
-        }
+        kernel::active().sub_lazy_batch(self.basis.moduli(), &mut self.data, &other.data);
         self.red = ReductionState::Lazy2p;
     }
 
@@ -513,16 +549,7 @@ impl RnsPoly {
         self.assert_same_basis(other);
         assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
         assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
-        let n = self.basis.n();
-        let k = kernel::active();
-        for ((row, orow), m) in self
-            .data
-            .chunks_exact_mut(n)
-            .zip(other.data.chunks_exact(n))
-            .zip(self.basis.moduli())
-        {
-            k.mul_lazy(m, row, orow);
-        }
+        kernel::active().mul_lazy_batch(self.basis.moduli(), &mut self.data, &other.data);
         self.red = ReductionState::Lazy2p;
     }
 
@@ -539,17 +566,7 @@ impl RnsPoly {
         assert_eq!(self.repr, Representation::Eval);
         assert_eq!(a.repr, Representation::Eval);
         assert_eq!(b.repr, Representation::Eval);
-        let n = self.basis.n();
-        let k = kernel::active();
-        for (((row, arow), brow), m) in self
-            .data
-            .chunks_exact_mut(n)
-            .zip(a.data.chunks_exact(n))
-            .zip(b.data.chunks_exact(n))
-            .zip(self.basis.moduli())
-        {
-            k.mul_acc_lazy(m, row, arow, brow);
-        }
+        kernel::active().mul_acc_lazy_batch(self.basis.moduli(), &mut self.data, &a.data, &b.data);
         self.red = ReductionState::Lazy2p;
     }
 
@@ -663,14 +680,9 @@ impl RnsPoly {
     /// per-limb gather through the active kernel backend, touching no
     /// arithmetic (and therefore no reduction window).
     fn permute_slots(&mut self, g: u64, perms: &GaloisPerms) {
-        let n = self.n();
         let perm = perms.eval_permutation(g);
-        let k = kernel::active();
-        with_scratch(n, |src| {
-            for row in self.data.chunks_exact_mut(n) {
-                src.copy_from_slice(row);
-                k.permute(&perm, src, row);
-            }
+        crate::scratch::with_scratch_copy(&mut self.data, |src, dst| {
+            kernel::active().permute_batch(&perm, src, dst);
         });
     }
 

@@ -41,6 +41,24 @@ pub fn with_scratch2<T>(len: usize, f: impl FnOnce(&mut [u64], &mut [u64]) -> T)
     with_scratch(len, |a| with_scratch(len, |b| f(a, b)))
 }
 
+/// Leases a buffer initialised to a **copy of `data`** (skipping the
+/// zero-fill of [`with_scratch`], which a copy would overwrite anyway)
+/// and runs `f(copy, data)` — the gather pattern of in-place
+/// permutations: read the snapshot, write the original.
+pub fn with_scratch_copy<T>(data: &mut [u64], f: impl FnOnce(&[u64], &mut [u64]) -> T) -> T {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.extend_from_slice(data);
+    let out = f(&buf, data);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +74,22 @@ mod tests {
         with_scratch(64, |a| {
             assert!(a.iter().all(|&x| x == 0));
         });
+    }
+
+    #[test]
+    fn scratch_copy_snapshots_and_allows_inplace_writes() {
+        let mut data = [1u64, 2, 3, 4];
+        with_scratch_copy(&mut data, |snapshot, out| {
+            assert_eq!(snapshot, &[1, 2, 3, 4]);
+            // Reverse through the snapshot — the gather pattern.
+            for (i, x) in out.iter_mut().enumerate() {
+                *x = snapshot[3 - i];
+            }
+        });
+        assert_eq!(data, [4, 3, 2, 1]);
+        // The pooled buffer must not leak the copy into a zero-fill
+        // lease.
+        with_scratch(4, |a| assert!(a.iter().all(|&x| x == 0)));
     }
 
     #[test]

@@ -10,11 +10,32 @@
 //! timed batches, reporting min/mean — because this repository's
 //! authoritative numbers come from the cycle simulator, not wall-clock
 //! microbenchmarks.
+//!
+//! Like upstream, the first non-flag CLI argument is a **substring
+//! filter**: `cargo bench -p trinity-bench --bench micro --
+//! threaded_scaling` runs only the benchmarks whose `group/label`
+//! contains `threaded_scaling` and skips the rest (their setup code
+//! still runs; keep fixtures cheap).
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// The process-wide substring filter: the first CLI argument that is
+/// not a flag (cargo passes `--bench` and friends as flags).
+fn filter_arg() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+/// Whether `label` survives `filter` (no filter = run everything).
+fn label_matches(label: &str, filter: Option<&str>) -> bool {
+    filter.is_none_or(|f| label.contains(f))
+}
 
 /// Prevents the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -104,6 +125,9 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    /// Group header line, deferred until a benchmark survives the CLI
+    /// filter so filtered-out groups stay silent.
+    header_printed: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -127,6 +151,12 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.id);
+        if !label_matches(&label, filter_arg()) {
+            return self;
+        }
+        if !std::mem::replace(&mut self.header_printed, true) {
+            println!("{}", self.name);
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_count: self.sample_size,
@@ -172,16 +202,19 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         let sample_size = self.sample_size;
-        println!("{name}");
         BenchmarkGroup {
             _criterion: self,
             name,
             sample_size,
+            header_printed: false,
         }
     }
 
     /// Benchmarks `body` under a flat name.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        if !label_matches(name, filter_arg()) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_count: self.sample_size,
@@ -234,6 +267,15 @@ mod tests {
             })
         });
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn label_filter_is_substring_match() {
+        assert!(label_matches("group/bench", None));
+        assert!(label_matches("group/bench", Some("bench")));
+        assert!(label_matches("group/bench", Some("oup/be")));
+        assert!(!label_matches("group/bench", Some("other")));
+        assert!(!label_matches("group/bench", Some("benchx")));
     }
 
     #[test]

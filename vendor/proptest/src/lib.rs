@@ -334,7 +334,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive-exclusive length bounds for [`vec`].
+    /// Inclusive-exclusive length bounds for [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
