@@ -91,6 +91,7 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod domain;
 pub mod fft;
 pub mod galois;
 pub mod kernel;

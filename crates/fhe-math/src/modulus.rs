@@ -86,6 +86,7 @@ impl Modulus {
 
     /// Reduces an arbitrary u64 into `[0, p)`.
     #[inline]
+    #[must_use]
     pub fn reduce(&self, a: u64) -> u64 {
         if a < self.p {
             a
@@ -100,6 +101,7 @@ impl Modulus {
     /// subtraction, the same split as [`Self::mul_shoup`] /
     /// [`Self::mul_shoup_lazy`].
     #[inline]
+    #[must_use]
     pub fn reduce_u128(&self, a: u128) -> u64 {
         let r = self.reduce_u128_lazy(a);
         if r >= self.p {
@@ -116,6 +118,7 @@ impl Modulus {
     /// products and pointwise multiplies that keep their running values
     /// in `[0, 2p)` and canonicalise once at a ciphertext boundary.
     #[inline]
+    #[must_use]
     pub fn reduce_u128_lazy(&self, a: u128) -> u64 {
         // Barrett: q = floor(a * ratio / 2^128), r = a - q*p.
         // q = floor((a_hi*2^64 + a_lo) * (r_hi*2^64 + r_lo) / 2^128)
@@ -133,15 +136,16 @@ impl Modulus {
         if r >= self.p {
             r = r.wrapping_sub(self.p);
         }
-        debug_assert!(r < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "reduce_u128_lazy (result)", r);
         r
     }
 
     /// Folds a lazy representative in `[0, 2p)` back to canonical
     /// `[0, p)` — the deferred canonicalisation pass of lazy chains.
     #[inline]
+    #[must_use]
     pub fn reduce_2p(&self, a: u64) -> u64 {
-        debug_assert!(a < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "reduce_2p", a);
         if a >= self.p {
             a - self.p
         } else {
@@ -151,8 +155,9 @@ impl Modulus {
 
     /// Modular addition. Inputs must already be in `[0, p)`.
     #[inline]
+    #[must_use]
     pub fn add(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.p && b < self.p);
+        crate::debug_assert_domain!(scalar_canonical: self, "add", a, b);
         let s = a + b;
         if s >= self.p {
             s - self.p
@@ -163,8 +168,9 @@ impl Modulus {
 
     /// Modular subtraction. Inputs must already be in `[0, p)`.
     #[inline]
+    #[must_use]
     pub fn sub(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.p && b < self.p);
+        crate::debug_assert_domain!(scalar_canonical: self, "sub", a, b);
         if a >= b {
             a - b
         } else {
@@ -174,8 +180,9 @@ impl Modulus {
 
     /// Modular negation. Input must be in `[0, p)`.
     #[inline]
+    #[must_use]
     pub fn neg(&self, a: u64) -> u64 {
-        debug_assert!(a < self.p);
+        crate::debug_assert_domain!(scalar_canonical: self, "neg", a);
         if a == 0 {
             0
         } else {
@@ -189,8 +196,9 @@ impl Modulus {
     /// canonical inputs are accepted (the canonical range is a subset of
     /// the lazy window).
     #[inline]
+    #[must_use]
     pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "add_lazy", a, b);
         let s = a + b;
         let two_p = 2 * self.p;
         if s >= two_p {
@@ -203,8 +211,9 @@ impl Modulus {
     /// Lazy subtraction: operands and result are `[0, 2p)`
     /// representatives (`a - b ≡ a + 2p - b`).
     #[inline]
+    #[must_use]
     pub fn sub_lazy(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "sub_lazy", a, b);
         let two_p = 2 * self.p;
         let s = a + two_p - b;
         if s >= two_p {
@@ -216,8 +225,9 @@ impl Modulus {
 
     /// Lazy negation of a `[0, 2p)` representative.
     #[inline]
+    #[must_use]
     pub fn neg_lazy(&self, a: u64) -> u64 {
-        debug_assert!(a < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "neg_lazy", a);
         if a == 0 {
             0
         } else {
@@ -227,8 +237,9 @@ impl Modulus {
 
     /// Modular multiplication via Barrett reduction.
     #[inline]
+    #[must_use]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.p && b < self.p);
+        crate::debug_assert_domain!(scalar_canonical: self, "mul", a, b);
         self.reduce_u128(a as u128 * b as u128)
     }
 
@@ -238,21 +249,24 @@ impl Modulus {
     /// so the Barrett reduction is exact; only the final canonicalising
     /// subtraction is skipped.
     #[inline]
+    #[must_use]
     pub fn mul_lazy(&self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "mul_lazy", a, b);
         self.reduce_u128_lazy(a as u128 * b as u128)
     }
 
     /// Lazy fused multiply-add: `a*b + c` with all operands in
     /// `[0, 2p)`, result in `[0, 2p)` (`4p^2 + 2p` still fits u128).
     #[inline]
+    #[must_use]
     pub fn mul_add_lazy(&self, a: u64, b: u64, c: u64) -> u64 {
-        debug_assert!(a < 2 * self.p && b < 2 * self.p && c < 2 * self.p);
+        crate::debug_assert_domain!(scalar_within_2p: self, "mul_add_lazy", a, b, c);
         self.reduce_u128_lazy(a as u128 * b as u128 + c as u128)
     }
 
     /// Fused multiply-add: `a*b + c mod p`.
     #[inline]
+    #[must_use]
     pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
         self.reduce_u128(a as u128 * b as u128 + c as u128)
     }
@@ -260,8 +274,9 @@ impl Modulus {
     /// Precomputes the Shoup representation of a constant multiplier `w`:
     /// `floor(w * 2^64 / p)`.
     #[inline]
+    #[must_use]
     pub fn shoup(&self, w: u64) -> u64 {
-        debug_assert!(w < self.p);
+        crate::debug_assert_domain!(scalar_canonical: self, "shoup", w);
         (((w as u128) << 64) / self.p as u128) as u64
     }
 
@@ -269,8 +284,9 @@ impl Modulus {
     /// `w_shoup = self.shoup(w)`. Roughly twice as fast as Barrett since it
     /// needs a single high multiply.
     #[inline]
+    #[must_use]
     pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
-        debug_assert!(a < self.p);
+        crate::debug_assert_domain!(scalar_canonical: self, "mul_shoup", a);
         let r = self.mul_shoup_lazy(a, w, w_shoup);
         if r >= self.p {
             r - self.p
@@ -288,7 +304,11 @@ impl Modulus {
     /// `c < 2^64` and `b < p`, hence is `< 2p`. This is the butterfly
     /// multiplier of the Harvey lazy-reduction NTT, where operands stay in
     /// `[0, 4p)` between stages.
+    // trinity-lint: allow(missing-domain-assert): correct for ANY u64 input
+    // (see the doc proof) — the [0, 4p) NTT butterflies feed it operands
+    // outside the [0, 2p) window on purpose.
     #[inline]
+    #[must_use]
     pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
         let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
         a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(self.p))

@@ -162,10 +162,7 @@ impl NttTable {
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
-        debug_assert!(
-            a.iter().all(|&x| x < 2 * self.modulus.value()),
-            "forward input outside the [0, 2p) window"
-        );
+        crate::debug_assert_domain!(slice_within_2p: self.modulus, a, "forward");
         let k = kernel::active();
         k.forward_stages(self, a);
         k.fold_4p_to_canonical(&self.modulus, a);
@@ -188,10 +185,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`; debug-asserts every input is in
     /// `[0, 2p)`.
     pub fn forward_lazy(&self, a: &mut [u64]) {
-        debug_assert!(
-            a.iter().all(|&x| x < 2 * self.modulus.value()),
-            "forward_lazy input outside the [0, 2p) window"
-        );
+        crate::debug_assert_domain!(slice_within_2p: self.modulus, a, "forward_lazy");
         let k = kernel::active();
         k.forward_stages(self, a);
         k.fold_4p_to_2p(&self.modulus, a);
@@ -208,10 +202,7 @@ impl NttTable {
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn inverse(&self, a: &mut [u64]) {
-        debug_assert!(
-            a.iter().all(|&x| x < 2 * self.modulus.value()),
-            "inverse input outside the [0, 2p) window"
-        );
+        crate::debug_assert_domain!(slice_within_2p: self.modulus, a, "inverse");
         let k = kernel::active();
         k.inverse_stages(self, a);
         let (ni, nis) = self.n_inv;
@@ -231,10 +222,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`; debug-asserts every input is in
     /// `[0, 2p)`.
     pub fn inverse_lazy(&self, a: &mut [u64]) {
-        debug_assert!(
-            a.iter().all(|&x| x < 2 * self.modulus.value()),
-            "inverse_lazy input outside the [0, 2p) window"
-        );
+        crate::debug_assert_domain!(slice_within_2p: self.modulus, a, "inverse_lazy");
         let k = kernel::active();
         k.inverse_stages(self, a);
         let (ni, nis) = self.n_inv;
@@ -250,10 +238,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        debug_assert!(
-            a.iter().all(|&x| x < self.modulus.value()),
-            "forward_strict requires canonical input — a lazy [0, 2p) residue leaked in"
-        );
+        crate::debug_assert_domain!(slice_canonical: self.modulus, a, "forward_strict");
         let m = &self.modulus;
         let mut t = self.n;
         let mut groups = 1usize;
@@ -281,10 +266,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        debug_assert!(
-            a.iter().all(|&x| x < self.modulus.value()),
-            "inverse_strict requires canonical input — a lazy [0, 2p) residue leaked in"
-        );
+        crate::debug_assert_domain!(slice_canonical: self.modulus, a, "inverse_strict");
         let m = &self.modulus;
         let mut t = 1usize;
         let mut groups = self.n;
@@ -459,10 +441,9 @@ impl NttTable {
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);
         let m = &self.modulus;
-        debug_assert!(
-            acc.iter().chain(a).chain(b).all(|&x| x < m.value()),
-            "pointwise_mul_acc requires canonical operands — a lazy [0, 2p) residue leaked in"
-        );
+        crate::debug_assert_domain!(slice_canonical: m, acc, "pointwise_mul_acc (acc)");
+        crate::debug_assert_domain!(slice_canonical: m, a, "pointwise_mul_acc (a)");
+        crate::debug_assert_domain!(slice_canonical: m, b, "pointwise_mul_acc (b)");
         for i in 0..self.n {
             acc[i] = m.reduce_u128(a[i] as u128 * b[i] as u128 + acc[i] as u128);
         }
@@ -485,10 +466,9 @@ impl NttTable {
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);
         let m = &self.modulus;
-        debug_assert!(
-            acc.iter().chain(a).chain(b).all(|&x| x < 2 * m.value()),
-            "pointwise_mul_acc_lazy operand outside the [0, 2p) window"
-        );
+        crate::debug_assert_domain!(slice_within_2p: m, acc, "pointwise_mul_acc_lazy (acc)");
+        crate::debug_assert_domain!(slice_within_2p: m, a, "pointwise_mul_acc_lazy (a)");
+        crate::debug_assert_domain!(slice_within_2p: m, b, "pointwise_mul_acc_lazy (b)");
         kernel::active().mul_acc_lazy(m, acc, a, b);
     }
 
@@ -506,6 +486,7 @@ impl NttTable {
     /// # Panics
     ///
     /// Panics if slice lengths differ from `self.n()`.
+    #[must_use]
     pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);

@@ -168,35 +168,27 @@ impl RnsPoly {
 
     /// Current reduction state.
     #[inline]
+    #[must_use]
     pub fn reduction_state(&self) -> ReductionState {
         self.red
     }
 
     /// Debug-assert guard at strict-kernel entry: a lazy `[0, 2p)`
     /// polynomial must never reach a kernel that assumes canonical
-    /// residues unnoticed.
+    /// residues unnoticed. A thin wrapper over the workspace-wide
+    /// [`crate::debug_assert_domain!`] form.
     #[inline]
     fn debug_assert_canonical(&self, kernel: &str) {
-        debug_assert!(
-            self.red == ReductionState::Canonical,
-            "{kernel} requires canonical residues — a Lazy2p polynomial leaked in; \
-             call canonicalize() at the ciphertext boundary first"
-        );
+        crate::debug_assert_domain!(canonical: self, kernel);
     }
 
     /// Debug-assert guard at batched-kernel entry: every residue must
     /// be inside the `[0, 2p)` window its limb's kernels assume
     /// (backends are entitled to that contract; the caller owns the
-    /// check).
+    /// check). Wraps [`crate::debug_assert_domain!`].
     #[inline]
     fn debug_assert_rows_within_2p(&self, kernel: &str) {
-        debug_assert!(
-            self.data
-                .chunks_exact(self.basis.n())
-                .zip(self.basis.moduli())
-                .all(|(row, m)| row.iter().all(|&x| x < 2 * m.value())),
-            "{kernel}: input outside the [0, 2p) window"
-        );
+        crate::debug_assert_domain!(within_2p: self, kernel);
     }
 
     /// Folds every residue back into the canonical `[0, p)` window.
@@ -244,6 +236,7 @@ impl RnsPoly {
 
     /// Consumes the polynomial, returning its flat buffer.
     #[inline]
+    #[must_use]
     pub fn into_flat(self) -> Vec<u64> {
         self.data
     }
@@ -379,7 +372,7 @@ impl RnsPoly {
     /// its dataflow; an accidental double transform is a bug).
     pub fn to_eval_lazy(&mut self) {
         assert_eq!(self.repr, Representation::Coeff, "already in eval form");
-        self.debug_assert_rows_within_2p("to_eval_lazy");
+        crate::debug_assert_domain!(within_2p: self, "to_eval_lazy");
         kernel::active().forward_batch(&table_refs(&self.basis), &mut self.data, ExitFold::Lazy2p);
         self.repr = Representation::Eval;
         self.red = ReductionState::Lazy2p;
@@ -394,7 +387,7 @@ impl RnsPoly {
     /// Panics if already in coefficient form.
     pub fn to_coeff_lazy(&mut self) {
         assert_eq!(self.repr, Representation::Eval, "already in coeff form");
-        self.debug_assert_rows_within_2p("to_coeff_lazy");
+        crate::debug_assert_domain!(within_2p: self, "to_coeff_lazy");
         kernel::active().inverse_batch(&table_refs(&self.basis), &mut self.data, ExitFold::Lazy2p);
         self.repr = Representation::Coeff;
         self.red = ReductionState::Lazy2p;
@@ -521,6 +514,8 @@ impl RnsPoly {
     pub fn add_assign_lazy(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        crate::debug_assert_domain!(within_2p: self, "add_assign_lazy");
+        crate::debug_assert_domain!(within_2p: other, "add_assign_lazy (rhs)");
         kernel::active().add_lazy_batch(self.basis.moduli(), &mut self.data, &other.data);
         self.red = ReductionState::Lazy2p;
     }
@@ -533,6 +528,8 @@ impl RnsPoly {
     pub fn sub_assign_lazy(&mut self, other: &RnsPoly) {
         self.assert_same_basis(other);
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        crate::debug_assert_domain!(within_2p: self, "sub_assign_lazy");
+        crate::debug_assert_domain!(within_2p: other, "sub_assign_lazy (rhs)");
         kernel::active().sub_lazy_batch(self.basis.moduli(), &mut self.data, &other.data);
         self.red = ReductionState::Lazy2p;
     }
@@ -549,6 +546,8 @@ impl RnsPoly {
         self.assert_same_basis(other);
         assert_eq!(self.repr, Representation::Eval, "lhs must be in eval form");
         assert_eq!(other.repr, Representation::Eval, "rhs must be in eval form");
+        crate::debug_assert_domain!(within_2p: self, "mul_assign_pointwise_lazy");
+        crate::debug_assert_domain!(within_2p: other, "mul_assign_pointwise_lazy (rhs)");
         kernel::active().mul_lazy_batch(self.basis.moduli(), &mut self.data, &other.data);
         self.red = ReductionState::Lazy2p;
     }
@@ -566,6 +565,9 @@ impl RnsPoly {
         assert_eq!(self.repr, Representation::Eval);
         assert_eq!(a.repr, Representation::Eval);
         assert_eq!(b.repr, Representation::Eval);
+        crate::debug_assert_domain!(within_2p: self, "mul_acc_pointwise_lazy");
+        crate::debug_assert_domain!(within_2p: a, "mul_acc_pointwise_lazy (a)");
+        crate::debug_assert_domain!(within_2p: b, "mul_acc_pointwise_lazy (b)");
         kernel::active().mul_acc_lazy_batch(self.basis.moduli(), &mut self.data, &a.data, &b.data);
         self.red = ReductionState::Lazy2p;
     }
@@ -708,6 +710,9 @@ impl RnsPoly {
     /// (the coefficient-domain automorphism negates wrapped indices,
     /// which is not reduction-agnostic — canonicalise and use
     /// [`Self::automorphism`] there).
+    // trinity-lint: allow(missing-domain-assert): pure slot permutation —
+    // no arithmetic touches the residues, so the kernel is
+    // reduction-agnostic and legitimately accepts either window.
     pub fn automorphism_lazy(&mut self, g: u64, perms: &GaloisPerms) {
         assert_eq!(g % 2, 1, "galois element must be odd");
         assert_eq!(
@@ -743,6 +748,7 @@ impl RnsPoly {
     /// # Panics
     ///
     /// Panics if in evaluation form.
+    #[must_use]
     pub fn to_centered_f64(&self) -> Vec<f64> {
         assert_eq!(self.repr, Representation::Coeff);
         self.debug_assert_canonical("to_centered_f64");

@@ -163,6 +163,11 @@ impl WorkerPool {
         let (done_tx, done_rx) = mpsc::channel::<thread::Result<()>>();
         let mut outstanding = 0usize;
         {
+            // trinity-lint: allow(guard-across-dispatch): the injector lock
+            // IS the dispatch serialisation point — workers only receive
+            // from the queue and never take this lock, so holding it
+            // across the sends cannot deadlock; dropping it per-send
+            // would interleave concurrent dispatches instead.
             let inject = self.inject.lock().unwrap_or_else(PoisonError::into_inner);
             for t in tasks {
                 // SAFETY: the borrows captured by `t` outlive this call

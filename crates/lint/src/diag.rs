@@ -1,0 +1,116 @@
+//! Findings and their text / JSON rendering.
+//!
+//! JSON output is hand-rolled (zero-dependency crate): the schema is a
+//! flat array of objects with string/number fields, so a tiny escaper
+//! is all that is needed.
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, e.g. `lazy-domain`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to suppress with a reasoned allow).
+    pub help: String,
+}
+
+impl Finding {
+    /// rustc-style one-line header plus an indented help line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "error[{rule}]: {msg}\n  --> {file}:{line}:{col}\n  help: {help}\n",
+            rule = self.rule,
+            msg = self.message,
+            file = self.file,
+            line = self.line,
+            col = self.col,
+            help = self.help,
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full findings list as a stable JSON document:
+/// `{"findings": [...], "count": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\", \"help\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            json_escape(&f.help),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "lazy-domain",
+            file: "crates/ckks/src/keyswitch.rs".into(),
+            line: 42,
+            col: 9,
+            message: "strict kernel `add_assign` called on lazy receiver `acc`".into(),
+            help: "canonicalize first".into(),
+        }
+    }
+
+    #[test]
+    fn text_render_is_rustc_shaped() {
+        let t = sample().render_text();
+        assert!(t.starts_with("error[lazy-domain]: "));
+        assert!(t.contains("--> crates/ckks/src/keyswitch.rs:42:9"));
+        assert!(t.contains("help: canonicalize first"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut f = sample();
+        f.message = "quote \" backslash \\ newline \n".into();
+        let j = render_json(&[f]);
+        assert!(j.contains("\\\" backslash \\\\ newline \\n"));
+        assert!(j.contains("\"count\": 1"));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"findings\": []"));
+        assert!(empty.contains("\"count\": 0"));
+    }
+}

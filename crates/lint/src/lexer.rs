@@ -1,0 +1,444 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build is offline, so `trinity-lint` cannot lean on `syn` or
+//! `proc-macro2`; this module tokenizes Rust source directly. It gets
+//! the hard cases right for analysis purposes:
+//!
+//! * strings (plain, raw `r#"..."#` with any hash count, byte, raw
+//!   byte) and their escapes,
+//! * char literals vs lifetimes (`'a'` vs `'a`, `'\u{1F600}'`, `'_`),
+//! * nested block comments (`/* /* */ */`) and line comments
+//!   (comments are kept on a side channel — the allow-comment and
+//!   `// SAFETY:` rules need them),
+//! * raw identifiers (`r#fn`),
+//! * numeric literals including type suffixes and float dots
+//!   (`1_000u64`, `2.5e-3`) without eating range operators (`0..n`).
+//!
+//! Multi-character operators are emitted as consecutive single-char
+//! [`TokKind::Punct`] tokens (`::` is two `:`); the extraction layer
+//! pattern-matches sequences, which keeps the lexer trivial. Nested
+//! generics therefore need no special casing here — `<` and `>` are
+//! ordinary puncts and never confused with string or char state.
+
+/// The kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text carried on the token).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// String literal of any flavour (text not retained).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its source position (1-based line/column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Identifier text (empty for non-identifier tokens).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment captured on the side channel (line or block, with doc
+/// comments included — `///` and `//!` are comments to the lexer).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the leading `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line_start: u32,
+    /// 1-based line the comment ends on.
+    pub line_end: u32,
+}
+
+/// The output of [`lex`]: code tokens plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.b[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.b.len()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Tokenizes `src`, returning tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while !cur.done() {
+        let c = cur.peek(0);
+        let (line, col) = (cur.line, cur.col);
+
+        if c.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && cur.peek(1) == b'/' {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while !cur.done() && cur.peek(0) != b'\n' {
+                text.push(cur.bump() as char);
+            }
+            out.comments.push(Comment {
+                text,
+                line_start: line,
+                line_end: line,
+            });
+            continue;
+        }
+        if c == b'/' && cur.peek(1) == b'*' {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while !cur.done() && depth > 0 {
+                if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+                    depth -= 1;
+                    cur.bump();
+                    cur.bump();
+                } else {
+                    text.push(cur.bump() as char);
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line_start: line,
+                line_end: cur.line,
+            });
+            continue;
+        }
+
+        // Strings (plain / byte / raw / raw-byte) and raw identifiers.
+        if c == b'"' {
+            lex_plain_string(&mut cur);
+            out.tokens.push(tok(TokKind::Str, line, col));
+            continue;
+        }
+        if (c == b'r' || c == b'b') && maybe_string_prefix(&cur) {
+            lex_prefixed_string(&mut cur);
+            out.tokens.push(tok(TokKind::Str, line, col));
+            continue;
+        }
+        if c == b'r' && cur.peek(1) == b'#' && is_ident_start(cur.peek(2)) {
+            // Raw identifier r#type — strip the sigil, keep the name.
+            cur.bump();
+            cur.bump();
+            let text = lex_ident_text(&mut cur);
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == b'b' && cur.peek(1) == b'\'' {
+            cur.bump(); // 'b', then fall through to char handling below.
+            lex_char(&mut cur);
+            out.tokens.push(tok(TokKind::Char, line, col));
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == b'\'' {
+            if is_ident_start(cur.peek(1)) && cur.peek(2) != b'\'' {
+                cur.bump();
+                let text = lex_ident_text(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                lex_char(&mut cur);
+                out.tokens.push(tok(TokKind::Char, line, col));
+            }
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.tokens.push(tok(TokKind::Num, line, col));
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let text = lex_ident_text(&mut cur);
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        cur.bump();
+        out.tokens.push(tok(TokKind::Punct(c as char), line, col));
+    }
+
+    out
+}
+
+fn tok(kind: TokKind, line: u32, col: u32) -> Token {
+    Token {
+        kind,
+        text: String::new(),
+        line,
+        col,
+    }
+}
+
+fn lex_ident_text(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while !cur.done() && is_ident_cont(cur.peek(0)) {
+        s.push(cur.bump() as char);
+    }
+    s
+}
+
+/// Consumes a `"..."` string body including the quotes; backslash
+/// escapes the next byte (sufficient for `\"` and `\\`).
+fn lex_plain_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while !cur.done() {
+        let c = cur.bump();
+        if c == b'\\' && !cur.done() {
+            cur.bump();
+        } else if c == b'"' {
+            break;
+        }
+    }
+}
+
+/// Whether the cursor (on `r` or `b`) starts a string literal rather
+/// than an identifier: `r"`, `r#…#"`, `b"`, `br"`, `br#…#"`.
+fn maybe_string_prefix(cur: &Cursor) -> bool {
+    let mut j = 1usize;
+    if cur.peek(0) == b'b' && cur.peek(1) == b'r' {
+        j = 2;
+    }
+    let raw = cur.peek(j - 1) == b'r';
+    if raw {
+        while cur.peek(j) == b'#' {
+            j += 1;
+        }
+    }
+    cur.peek(j) == b'"'
+}
+
+/// Consumes a prefixed string: `b"…"` (escapes) or `r#"…"#` / `br"…"`
+/// (no escapes, hash-delimited).
+fn lex_prefixed_string(cur: &mut Cursor) {
+    let mut raw = false;
+    if cur.peek(0) == b'b' {
+        cur.bump();
+    }
+    if cur.peek(0) == b'r' {
+        raw = true;
+        cur.bump();
+    }
+    if !raw {
+        lex_plain_string(cur);
+        return;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == b'#' {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    'scan: while !cur.done() {
+        if cur.bump() == b'"' {
+            for k in 0..hashes {
+                if cur.peek(k) != b'#' {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Consumes a char literal `'x'`, `'\n'`, `'\u{…}'` including quotes.
+fn lex_char(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    if cur.peek(0) == b'\\' {
+        cur.bump();
+        cur.bump(); // the escaped char (or 'u' of \u{…})
+        if cur.peek(0) == b'{' {
+            while !cur.done() && cur.bump() != b'}' {}
+        }
+    } else {
+        cur.bump(); // the char itself (multibyte tails swallowed below)
+    }
+    while !cur.done() && cur.peek(0) != b'\'' && !cur.peek(0).is_ascii_whitespace() {
+        cur.bump(); // UTF-8 continuation bytes of a multibyte char
+    }
+    if cur.peek(0) == b'\'' {
+        cur.bump(); // closing quote
+    }
+}
+
+/// Consumes a numeric literal: digits, `_`, suffixes, hex/oct/bin, and
+/// a float dot only when followed by a digit (so `0..n` stays a range).
+fn lex_number(cur: &mut Cursor) {
+    while !cur.done() && is_ident_cont(cur.peek(0)) {
+        cur.bump();
+    }
+    if cur.peek(0) == b'.' && cur.peek(1).is_ascii_digit() {
+        cur.bump();
+        while !cur.done() && is_ident_cont(cur.peek(0)) {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let src = r##"let s = "fn fake() { }"; let r = r#"also "fn" here"#; call();"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "call"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        // Escaped and unicode chars still close correctly.
+        let l2 = lex(r"let c = '\n'; let u = '\u{1F600}'; done();");
+        assert!(l2.tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn nested_block_comments_and_side_channel() {
+        let l = lex("a(); /* outer /* inner */ still comment */ b(); // SAFETY: tail");
+        let ids = idents("a(); /* outer /* inner */ still comment */ b();");
+        assert_eq!(ids, vec!["a", "b"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("inner"));
+        assert!(l.comments[1].text.contains("SAFETY"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..n { let x = 1.5e3; let y = 0xffu64; }");
+        let dots = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2, "both dots of `0..n` survive");
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_sigil() {
+        assert_eq!(idents("r#fn(r#type)"), vec!["fn", "type"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines() {
+        let l = lex("a\n  b");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: correctly reasoned allow comments — the whole file must
+// lint clean. Two attachment shapes are exercised: an allow directly
+// above the offending statement, and an allow above a function with
+// attribute lines in between (the attachment scan skips them).
+
+pub fn shim() -> u64 {
+    // trinity-lint: allow(unsafe-missing-safety): FFI shim for the
+    // test harness only; the callee is a leaf libc call with no
+    // invariants to state.
+    unsafe { libc_monotonic_ns() }
+}
+
+// trinity-lint: allow(missing-domain-assert): window-agnostic by
+// construction — the kernel only permutes slots and never touches the
+// residue values.
+#[inline]
+pub fn rotate_lazy(x: &mut RnsPoly) {
+    x.permute_slots();
+}
+
+pub fn rotate(x: &mut RnsPoly) {
+    crate::debug_assert_domain!(canonical: x, "rotate");
+    x.permute_slots();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rotate_matches_lazy() {
+        let mut a = sample();
+        rotate_lazy(&mut a);
+    }
+}

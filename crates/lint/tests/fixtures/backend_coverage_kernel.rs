@@ -1,0 +1,25 @@
+// Fixture: rule `backend-coverage`. Linted under the path
+// `crates/fhe-math/src/kernel.rs` so the rule engages (it only runs on
+// the backend-selector module).
+//
+// `forward` is swept by the test module below; the `forward_batch`
+// default is not referenced by any test — the classic way a batched
+// entry silently diverges from its per-row loop.
+
+pub trait KernelBackend {
+    fn forward(&self, t: &NttTable, a: &mut [u64]);
+    fn forward_batch(&self, t: &NttTable, rows: &mut [&mut [u64]]) {
+        for row in rows {
+            self.forward(t, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_forward() {
+        let b = backend();
+        b.forward(&table(), &mut row());
+    }
+}

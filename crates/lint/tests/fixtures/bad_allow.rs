@@ -1,0 +1,10 @@
+// Fixture: rule `bad-allow`.
+
+// trinity-lint: allow(no-such-rule): suppressing a rule that does not exist
+pub fn unknown_rule() {}
+
+// trinity-lint: allow(lock-unwrap)
+pub fn missing_reason(&self) -> usize {
+    let guard = self.registry.lock().unwrap();
+    guard.len()
+}

@@ -1,0 +1,12 @@
+// Fixture: rule `env-read-outside-selector`.
+//
+// Only the backend selector module (fhe-math/src/kernel.rs) may read
+// process environment; configuration everywhere else must arrive as
+// explicit parameters.
+
+pub fn thread_count() -> usize {
+    std::env::var("TRINITY_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

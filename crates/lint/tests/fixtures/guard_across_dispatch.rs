@@ -1,0 +1,28 @@
+// Fixture: rule `guard-across-dispatch`.
+//
+// `broken_dispatch` holds the injector guard across the job sends;
+// `scoped_recv` shows the sanctioned shape (guard dies with its block
+// before anything is dispatched) and must stay clean.
+
+pub fn broken_dispatch(&self, jobs: Vec<Job>) {
+    let inject = self.inject.lock().unwrap_or_else(PoisonError::into_inner);
+    for job in jobs {
+        inject.send(job);
+    }
+}
+
+pub fn scoped_recv(queue: &Mutex<Receiver<Job>>, done: &Sender<Out>) {
+    let job = {
+        let guard = queue.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.recv()
+    };
+    let out = process(job);
+    let _ = done.send(out);
+}
+
+pub fn dropped_guard_is_clean(&self, job: Job) {
+    let slot = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+    record(&slot);
+    drop(slot);
+    self.pool.send(job);
+}

@@ -1,0 +1,19 @@
+// Fixture: rule `lazy-chain-coverage`.
+//
+// `mul_no_relin` is a declared lazy-chain root, but this version only
+// ever calls canonical kernels — the lazy path silently fell out of
+// the pipeline, which is exactly the regression the rule exists for.
+
+pub fn mul_no_relin(a: &Ciphertext, b: &Ciphertext) -> Ciphertext3 {
+    let mut d0 = a.c0.clone();
+    plain_tensor(&mut d0, b);
+    finishing_touches(d0)
+}
+
+fn plain_tensor(d0: &mut RnsPoly, b: &Ciphertext) {
+    d0.mul_assign_pointwise(&b.c0);
+}
+
+fn finishing_touches(d0: RnsPoly) -> Ciphertext3 {
+    package(d0)
+}

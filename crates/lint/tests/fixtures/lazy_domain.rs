@@ -1,0 +1,27 @@
+// Fixture: rule `lazy-domain`.
+//
+// Part 1: strict kernel on a receiver that provably holds lazy
+// [0, 2p) residues — a guaranteed debug_assert failure at runtime.
+// Part 2: a declared lazy-chain root reaching for the strict oracle
+// directly.
+
+pub fn tensor(a: &mut RnsPoly, b: &RnsPoly) {
+    a.to_eval_lazy();
+    a.add_assign(b); // <- finding: add_assign requires canonical input
+}
+
+pub fn scoped_fold_is_clean(a: &mut RnsPoly, b: &RnsPoly) {
+    {
+        a.to_eval_lazy();
+        a.canonicalize();
+    }
+    a.add_assign(b); // clean: the fold cleared the window
+}
+
+pub fn relinearize(ct: &Ciphertext3, rlk: &SwitchingKey) -> Ciphertext {
+    let (ks0, ks1) = key_switch_strict(ct, rlk); // <- finding: strict oracle in a lazy chain
+    let mut c0 = ct.d0.clone();
+    c0.add_assign_lazy(&ks0);
+    c0.canonicalize();
+    assemble(c0, ks1)
+}

@@ -1,0 +1,20 @@
+// Fixture: rule `lock-unwrap`.
+//
+// Direct unwrap/expect on lock results panics the caller on a
+// poisoned-but-consistent lock; the poison-recovery helpers are the
+// sanctioned pattern and stay clean.
+
+pub fn counts(&self) -> usize {
+    let guard = self.registry.lock().unwrap();
+    guard.len()
+}
+
+pub fn names(&self) -> Vec<String> {
+    self.index.read().expect("index poisoned").keys().collect()
+}
+
+fn read_cache(
+    lock: &RwLock<HashMap<u64, Entry>>,
+) -> RwLockReadGuard<'_, HashMap<u64, Entry>> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}

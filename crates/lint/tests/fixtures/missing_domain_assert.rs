@@ -1,0 +1,25 @@
+// Fixture: rule `missing-domain-assert`.
+//
+// `widen_lazy` is a public lazy kernel entry but never invokes the
+// shared `debug_assert_domain!` macro, so its input window is
+// unchecked even in debug builds. (The strict counterpart and the test
+// reference below keep the sibling rules quiet.)
+
+pub fn widen_lazy(x: &mut RnsPoly) {
+    x.double_residues();
+}
+
+pub fn widen(x: &mut RnsPoly) {
+    crate::debug_assert_domain!(canonical: x, "widen");
+    x.double_residues();
+    x.canonicalize();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn widen_matches_lazy() {
+        let mut a = sample();
+        widen_lazy(&mut a);
+    }
+}

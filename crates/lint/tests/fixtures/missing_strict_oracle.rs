@@ -1,0 +1,19 @@
+// Fixture: rule `missing-strict-oracle`.
+//
+// `fold_lazy` asserts its window and is test-covered, but there is no
+// `fold` / `fold_strict` in the file for the identity suites to pin it
+// against — an unfalsifiable lazy kernel.
+
+pub fn fold_lazy(x: &mut RnsPoly) {
+    crate::debug_assert_domain!(within_2p: x, "fold_lazy");
+    x.halve_residues();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fold_does_something() {
+        let mut a = sample();
+        fold_lazy(&mut a);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: rule `unsafe-missing-safety`.
+
+pub fn undocumented(&self, t: Task<'_>) {
+    let erased = unsafe { std::mem::transmute::<Task<'_>, ErasedTask>(t) };
+    self.queue.push(erased);
+}
+
+pub fn documented(&self, t: Task<'_>) {
+    // SAFETY: the erased task cannot outlive this call — dispatch
+    // blocks until every worker acknowledges completion, so the
+    // 'static lie never escapes the stack frame that owns `t`.
+    let erased = unsafe { std::mem::transmute::<Task<'_>, ErasedTask>(t) };
+    self.queue.push(erased);
+}

@@ -1,0 +1,16 @@
+// Fixture: rule `untested-lazy-entry`.
+//
+// `scale_lazy` has the assert and the strict counterpart, but nothing
+// in the test corpus (no `tests/` file, no `#[cfg(test)]` module)
+// ever names it.
+
+pub fn scale_lazy(x: &mut RnsPoly, k: u64) {
+    crate::debug_assert_domain!(within_2p: x, "scale_lazy");
+    x.scale_residues(k);
+}
+
+pub fn scale(x: &mut RnsPoly, k: u64) {
+    crate::debug_assert_domain!(canonical: x, "scale");
+    x.scale_residues(k);
+    x.canonicalize();
+}

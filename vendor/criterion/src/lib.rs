@@ -16,11 +16,17 @@
 //! threaded_scaling` runs only the benchmarks whose `group/label`
 //! contains `threaded_scaling` and skips the rest (their setup code
 //! still runs; keep fixtures cheap).
+//!
+//! Setting `TRINITY_BENCH_JSON=<path>` additionally writes every
+//! reported benchmark to `<path>` as a JSON document
+//! (`{"benchmarks": [{"name", "min_ns", "mean_ns", "samples"}, ..]}`);
+//! the committed `BENCH_micro.json` at the workspace root is such a
+//! snapshot.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The process-wide substring filter: the first CLI argument that is
@@ -35,6 +41,64 @@ fn filter_arg() -> Option<&'static str> {
 /// Whether `label` survives `filter` (no filter = run everything).
 fn label_matches(label: &str, filter: Option<&str>) -> bool {
     filter.is_none_or(|f| label.contains(f))
+}
+
+/// Machine-readable snapshot sink: when `TRINITY_BENCH_JSON` names a
+/// file, every reported benchmark is appended to it as JSON. The whole
+/// document is rewritten after each report so an interrupted run still
+/// leaves valid JSON behind.
+fn json_sink() -> Option<&'static str> {
+    static SINK: OnceLock<Option<String>> = OnceLock::new();
+    SINK.get_or_init(|| std::env::var("TRINITY_BENCH_JSON").ok())
+        .as_deref()
+}
+
+struct JsonRecord {
+    label: String,
+    min_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+}
+
+static JSON_RECORDS: Mutex<Vec<JsonRecord>> = Mutex::new(Vec::new());
+
+fn record_json(label: &str, min: Duration, mean: Duration, samples: usize) {
+    let Some(path) = json_sink() else { return };
+    let mut records = JSON_RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    records.push(JsonRecord {
+        label: label.to_owned(),
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        samples,
+    });
+    if let Err(e) = std::fs::write(path, render_records(&records)) {
+        eprintln!("criterion: cannot write TRINITY_BENCH_JSON ({path}): {e}");
+    }
+}
+
+fn render_records(records: &[JsonRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        // Labels are bench identifiers (no quotes/backslashes), but
+        // escape them anyway so the document can never go invalid.
+        let label: String = r
+            .label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            label, r.min_ns, r.mean_ns, r.samples, sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Prevents the optimiser from deleting a benchmarked computation.
@@ -80,6 +144,7 @@ impl Bencher {
             .sum::<Duration>()
             .div_f64(self.samples.len() as f64);
         println!("  {label:<40} min {min:>12.3?}   mean {mean:>12.3?}");
+        record_json(label, *min, mean, self.samples.len());
     }
 }
 
@@ -276,6 +341,30 @@ mod tests {
         assert!(label_matches("group/bench", Some("oup/be")));
         assert!(!label_matches("group/bench", Some("other")));
         assert!(!label_matches("group/bench", Some("benchx")));
+    }
+
+    #[test]
+    fn json_snapshot_rendering() {
+        let records = vec![
+            JsonRecord {
+                label: "ntt/forward/4096".into(),
+                min_ns: 1234,
+                mean_ns: 1300,
+                samples: 20,
+            },
+            JsonRecord {
+                label: "odd\"label\\".into(),
+                min_ns: 1,
+                mean_ns: 2,
+                samples: 3,
+            },
+        ];
+        let out = render_records(&records);
+        assert!(out.contains("\"name\": \"ntt/forward/4096\", \"min_ns\": 1234"));
+        assert!(out.contains("\"name\": \"odd\\\"label\\\\\""));
+        assert!(out.ends_with("  ]\n}\n"));
+        // Exactly one separator for two records.
+        assert_eq!(out.matches("},\n").count(), 1);
     }
 
     #[test]
