@@ -2,7 +2,7 @@
 //!
 //! One function per experiment (`fig1` .. `fig16`, `table6` ..
 //! `table12`). Each returns structured [`Row`]s — name,
-//! [`Source`](trinity_workloads::reference::Source) provenance
+//! [`Source`] provenance
 //! (`Paper` transcribed / `Modeled` simulated / `Measured` host
 //! wall-clock), values — which the `paper_tables` bench target
 //! renders; the test suite asserts the reproduced *shapes* (who wins,

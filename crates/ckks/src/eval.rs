@@ -19,7 +19,8 @@ use crate::context::CkksContext;
 use crate::encoding::Plaintext;
 use crate::keys::SwitchingKey;
 use crate::keyswitch::{
-    key_switch, key_switch_galois, key_switch_galois_strict, key_switch_strict,
+    hoist_rotations, key_switch, key_switch_galois, key_switch_galois_hoisted,
+    key_switch_galois_strict, key_switch_strict, HoistedRotations,
 };
 
 /// Relative scale mismatch tolerated by additive operations.
@@ -443,6 +444,72 @@ impl Evaluator {
         }
     }
 
+    /// Computes the shared ModUp state of `a.c1` for a batch of
+    /// rotations: Decompose + ModUp + the digit NTTs run once here,
+    /// and every subsequent [`Self::apply_galois_hoisted`] /
+    /// [`Self::rotate_hoisted`] on `a` replays only the per-rotation
+    /// tail. Use when one ciphertext feeds many rotations (a
+    /// [`crate::LinearTransform`] diagonal layer); each hoisted
+    /// application is bit-identical to the sequential
+    /// [`Self::apply_galois`].
+    pub fn hoist_rotations(&self, a: &Ciphertext) -> HoistedRotations {
+        hoist_rotations(&self.ctx, &a.c1, a.level)
+    }
+
+    /// [`Self::apply_galois`] over a pre-hoisted ModUp state: the slot
+    /// permutation on `c0` plus the per-rotation keyswitch tail on the
+    /// shared raised digits ([`key_switch_galois_hoisted`]).
+    /// Bit-identical to `apply_galois(a, g, gk)` when `h` was hoisted
+    /// from `a` (asserted by `tests::hoisted_galois_matches_sequential`
+    /// and `tests/backend_identity.rs`).
+    ///
+    /// Counter contract: identical to [`Self::apply_galois`] — one
+    /// `galois_ops` and one `keyswitches` bump per application (the
+    /// hoist itself does not count; it performs no complete keyswitch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` was hoisted at a different level than `a`.
+    pub fn apply_galois_hoisted(
+        &self,
+        a: &Ciphertext,
+        h: &HoistedRotations,
+        g: u64,
+        gk: &SwitchingKey,
+    ) -> Ciphertext {
+        assert_eq!(h.level(), a.level, "hoisted state level mismatch");
+        OpCounters::bump(&self.counters.galois_ops);
+        OpCounters::bump(&self.counters.keyswitches);
+        let mut c0 = a.c0.clone();
+        c0.automorphism_lazy(g, self.ctx.galois());
+        let (ks0, ks1) = key_switch_galois_hoisted(&self.ctx, h, g, gk);
+        c0.add_assign(&ks0);
+        Ciphertext {
+            c0,
+            c1: ks1,
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// [`Self::rotate`] over a pre-hoisted ModUp state — slot rotation
+    /// by `r` reusing the shared raised digits of `a.c1`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::apply_galois_hoisted`]; additionally panics if `gk`
+    /// was generated for a different Galois element.
+    pub fn rotate_hoisted(
+        &self,
+        a: &Ciphertext,
+        h: &HoistedRotations,
+        r: i64,
+        gk: &SwitchingKey,
+    ) -> Ciphertext {
+        let g = fhe_math::galois::rotation_galois_element(r, self.ctx.n());
+        self.apply_galois_hoisted(a, h, g, gk)
+    }
+
     /// Strict-oracle Galois application: the same hoisted dataflow as
     /// [`Self::apply_galois`] over [`key_switch_galois_strict`] —
     /// fully-reduced transforms, canonical automorphism and inner
@@ -791,6 +858,43 @@ mod tests {
                 x[(j + 2) % slots]
             );
         }
+    }
+
+    /// One `hoist_rotations` call serves a whole batch of rotations,
+    /// each bitwise identical to its sequential `apply_galois` /
+    /// `rotate` counterpart, and the hoisted path obeys the same
+    /// counter contract (one `galois_ops` + one `keyswitches` bump per
+    /// application; the hoist itself counts nothing).
+    #[test]
+    fn hoisted_galois_matches_sequential() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let slots = f.enc.slots();
+        let x: Vec<f64> = (0..slots).map(|i| ((i * 5) % 19) as f64 / 19.0).collect();
+        let ct = f
+            .encryptor
+            .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng);
+
+        f.eval.counters().reset();
+        let hoisted = f.eval.hoist_rotations(&ct);
+        assert_eq!(
+            f.eval.counters().snapshot(),
+            (0, 0, 0, 0, 0, 0),
+            "hoisting alone must not count"
+        );
+
+        for r in [1i64, 2, -1] {
+            let g = fhe_math::galois::rotation_galois_element(r, f.ctx.n());
+            let gk = &f.keys.galois[&g];
+            let h = f.eval.rotate_hoisted(&ct, &hoisted, r, gk);
+            let s = f.eval.rotate(&ct, r, gk);
+            assert_eq!(h.c0.flat(), s.c0.flat(), "c0 r={r}");
+            assert_eq!(h.c1.flat(), s.c1.flat(), "c1 r={r}");
+            assert_eq!(h.scale, s.scale);
+            assert_eq!(h.level, s.level);
+        }
+        // 3 hoisted + 3 sequential applications, one bump each.
+        assert_eq!(f.eval.counters().snapshot(), (0, 0, 0, 6, 6, 0));
     }
 
     /// Exhaustive plaintext-slot oracle for

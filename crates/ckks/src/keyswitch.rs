@@ -36,6 +36,13 @@
 //! permutation — so a rotation stays `[0, 2p)` from the digit NTT
 //! through the automorphism and inner product to the ModDown fold,
 //! instead of canonicalising the input at the automorphism first.
+//!
+//! [`hoist_rotations`] + [`key_switch_galois_hoisted`] extend the same
+//! commutation *across* rotations: a linear layer applying `k`
+//! rotations to one ciphertext computes Decompose + ModUp + the digit
+//! NTTs once and replays only the automorphism → inner product →
+//! ModDown tail per rotation, bit-identical to `k` sequential
+//! [`key_switch_galois`] calls.
 
 use fhe_math::{ReductionState, Representation, RnsPoly};
 
@@ -185,6 +192,45 @@ enum KsReduction {
     Strict,
 }
 
+/// The digit-raising front half of the pipeline, shared by
+/// [`key_switch_impl`] and [`hoist_rotations`]: gather digit `j`'s
+/// limbs from the canonical coefficient-form input, ModUp (approximate
+/// BConv) into the complement limbs and `P`, and reassemble the
+/// extended-basis limb order `[q_0..q_l, p_0..]` — returning the raised
+/// digit in coefficient form.
+fn raise_digit(ctx: &CkksContext, d_coeff: &RnsPoly, level: usize, j: usize) -> RnsPoly {
+    let precomp = ctx.keyswitch_precomp(level);
+    let digit = &precomp.digits[j];
+    let n = ctx.n();
+    // Decompose: gather this digit's limbs into one flat buffer.
+    let mut digit_flat = Vec::with_capacity(digit.digit_limbs.len() * n);
+    for &i in &digit.digit_limbs {
+        digit_flat.extend_from_slice(d_coeff.limb(i));
+    }
+    // ModUp: BConv digit -> (others ∪ P), flat limb-major in and out.
+    let converted = digit.mod_up.convert_approx(&digit_flat);
+    // Reassemble limbs in extended order [q_0..q_l, p_0..].
+    let n_q = level + 1;
+    let n_p = ctx.params().p_special.len();
+    let mut flat = Vec::with_capacity((n_q + n_p) * n);
+    let mut other_pos = 0usize;
+    for i in 0..n_q {
+        if let Some(idx) = digit.digit_limbs.iter().position(|&x| x == i) {
+            flat.extend_from_slice(&digit_flat[idx * n..(idx + 1) * n]);
+        } else {
+            flat.extend_from_slice(&converted[other_pos * n..(other_pos + 1) * n]);
+            other_pos += 1;
+        }
+    }
+    let p_start = digit.other_limbs.len();
+    flat.extend_from_slice(&converted[p_start * n..(p_start + n_p) * n]);
+    RnsPoly::from_flat(
+        ctx.extended_basis(level).clone(),
+        flat,
+        Representation::Coeff,
+    )
+}
+
 fn key_switch_impl(
     ctx: &CkksContext,
     d: &RnsPoly,
@@ -206,31 +252,8 @@ fn key_switch_impl(
     let mut acc0 = RnsPoly::zero(ext_basis.clone(), Representation::Eval);
     let mut acc1 = RnsPoly::zero(ext_basis.clone(), Representation::Eval);
 
-    let n = ctx.n();
-    for (j, digit) in precomp.digits.iter().enumerate() {
-        // Decompose: gather this digit's limbs into one flat buffer.
-        let mut digit_flat = Vec::with_capacity(digit.digit_limbs.len() * n);
-        for &i in &digit.digit_limbs {
-            digit_flat.extend_from_slice(d_coeff.limb(i));
-        }
-        // ModUp: BConv digit -> (others ∪ P), flat limb-major in and out.
-        let converted = digit.mod_up.convert_approx(&digit_flat);
-        // Reassemble limbs in extended order [q_0..q_l, p_0..].
-        let n_q = level + 1;
-        let n_p = ctx.params().p_special.len();
-        let mut flat = Vec::with_capacity((n_q + n_p) * n);
-        let mut other_pos = 0usize;
-        for i in 0..n_q {
-            if let Some(idx) = digit.digit_limbs.iter().position(|&x| x == i) {
-                flat.extend_from_slice(&digit_flat[idx * n..(idx + 1) * n]);
-            } else {
-                flat.extend_from_slice(&converted[other_pos * n..(other_pos + 1) * n]);
-                other_pos += 1;
-            }
-        }
-        let p_start = digit.other_limbs.len();
-        flat.extend_from_slice(&converted[p_start * n..(p_start + n_p) * n]);
-        let mut d_tilde = RnsPoly::from_flat(ext_basis.clone(), flat, Representation::Coeff);
+    for j in 0..precomp.digits.len() {
+        let mut d_tilde = raise_digit(ctx, &d_coeff, level, j);
         let (b_j, a_j) = key.row_at_level(ctx, j, level);
         match mode {
             KsReduction::LazyChain => {
@@ -267,6 +290,101 @@ fn key_switch_impl(
     // iNTT + ModDown both accumulators.
     let ks0 = mod_down(ctx, acc0, level, mode);
     let ks1 = mod_down(ctx, acc1, level, mode);
+    (ks0, ks1)
+}
+
+/// The shared ModUp state of a rotation batch: the input's digit
+/// decomposition raised to the extended basis and NTT'd once, held in
+/// the lazy `[0, 2p)` evaluation window — exactly the state
+/// `key_switch_impl` reaches after the digit NTT, *before* the
+/// per-rotation automorphism.
+///
+/// A linear layer that applies `k` rotations to one ciphertext pays
+/// for Decompose + ModUp + the `beta * ext_limbs` digit NTTs once via
+/// [`hoist_rotations`], then runs only the per-rotation tail
+/// (automorphism → inner product → iNTT → ModDown) `k` times via
+/// [`key_switch_galois_hoisted`]. This works because the eval-form
+/// automorphism is a pure slot permutation that commutes with the
+/// shared raise — the same commutation [`key_switch_galois`] already
+/// exploits per rotation.
+#[derive(Debug, Clone)]
+pub struct HoistedRotations {
+    level: usize,
+    digits: Vec<RnsPoly>,
+}
+
+impl HoistedRotations {
+    /// The ciphertext level the digits were raised at.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of raised digits (`beta`).
+    pub fn digit_count(&self) -> usize {
+        self.digits.len()
+    }
+}
+
+/// Computes the hoisted ModUp state of `d` (evaluation form, at
+/// `level`): decompose into digits, raise each to the extended basis,
+/// and NTT each with a lazy exit. The result feeds any number of
+/// [`key_switch_galois_hoisted`] calls.
+///
+/// # Panics
+///
+/// As [`key_switch`].
+pub fn hoist_rotations(ctx: &CkksContext, d: &RnsPoly, level: usize) -> HoistedRotations {
+    assert_eq!(d.representation(), Representation::Eval);
+    assert_eq!(d.limbs(), level + 1, "polynomial level mismatch");
+    // Decompose needs true [0, p) representatives, so the input iNTT
+    // canonicalises (its exit pass does that for free).
+    let mut d_coeff = d.clone();
+    d_coeff.to_coeff();
+    let beta = ctx.keyswitch_precomp(level).digits.len();
+    let digits = (0..beta)
+        .map(|j| {
+            let mut raised = raise_digit(ctx, &d_coeff, level, j);
+            raised.to_eval_lazy();
+            raised
+        })
+        .collect();
+    HoistedRotations { level, digits }
+}
+
+/// The per-rotation tail of the hoisted pipeline: applies the
+/// eval-form automorphism `sigma_g` to each shared raised digit (a
+/// pure slot permutation preserving the `[0, 2p)` window), runs the
+/// inner product against the Galois key rows, and ModDowns with the
+/// lazy-chain single fold per limb.
+///
+/// Bit-identical to [`key_switch_galois`] on the same `(d, g, key)`
+/// because the per-digit kernel sequence — lazy NTT, lazy
+/// automorphism, lazy MAC, lazy iNTT, one fold — is unchanged; the
+/// digits are merely not recomputed per rotation. Asserted by the
+/// suite below and `tests/backend_identity.rs`.
+///
+/// # Panics
+///
+/// Panics if `g` is even or `key` does not cover `hoisted.level()`.
+pub fn key_switch_galois_hoisted(
+    ctx: &CkksContext,
+    hoisted: &HoistedRotations,
+    g: u64,
+    key: &SwitchingKey,
+) -> (RnsPoly, RnsPoly) {
+    let level = hoisted.level;
+    let ext_basis = ctx.extended_basis(level).clone();
+    let mut acc0 = RnsPoly::zero(ext_basis.clone(), Representation::Eval);
+    let mut acc1 = RnsPoly::zero(ext_basis, Representation::Eval);
+    for (j, raised) in hoisted.digits.iter().enumerate() {
+        let mut d_tilde = raised.clone();
+        d_tilde.automorphism_lazy(g, ctx.galois());
+        let (b_j, a_j) = key.row_at_level(ctx, j, level);
+        acc0.mul_acc_pointwise_lazy(&d_tilde, &b_j);
+        acc1.mul_acc_pointwise_lazy(&d_tilde, &a_j);
+    }
+    let ks0 = mod_down(ctx, acc0, level, KsReduction::LazyChain);
+    let ks1 = mod_down(ctx, acc1, level, KsReduction::LazyChain);
     (ks0, ks1)
 }
 
@@ -483,6 +601,39 @@ mod tests {
             assert_eq!(h1.flat(), s1.flat(), "harvey vs strict ks1, level {level}");
             assert_eq!(l0.reduction_state(), ReductionState::Canonical);
             assert_eq!(l1.reduction_state(), ReductionState::Canonical);
+        }
+    }
+
+    /// One [`hoist_rotations`] call must serve every rotation in a
+    /// batch, each output bitwise identical to the corresponding
+    /// sequential [`key_switch_galois`] — the digits are shared, not
+    /// recomputed, and sharing must not change a single bit.
+    #[test]
+    fn hoisted_rotations_bit_identical_to_sequential() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(56);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        for level in [ctx.params().max_level(), 0] {
+            let basis = ctx.level_basis(level).clone();
+            let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+            for m in basis.moduli() {
+                flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+            }
+            let d = RnsPoly::from_flat(basis, flat, Representation::Eval);
+
+            let hoisted = hoist_rotations(&ctx, &d, level);
+            assert_eq!(hoisted.level(), level);
+            assert!(hoisted.digit_count() >= 1);
+
+            for r in [1i64, -1, 2, 3] {
+                let g = fhe_math::galois::rotation_galois_element(r, ctx.n());
+                let gk = kg.galois_key(&sk, g, &mut rng);
+                let (h0, h1) = key_switch_galois_hoisted(&ctx, &hoisted, g, &gk);
+                let (s0, s1) = key_switch_galois(&ctx, &d, g, &gk, level);
+                assert_eq!(h0.flat(), s0.flat(), "ks0 r={r} level={level}");
+                assert_eq!(h1.flat(), s1.flat(), "ks1 r={r} level={level}");
+            }
         }
     }
 

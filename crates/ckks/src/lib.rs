@@ -85,8 +85,9 @@ pub use encryption::{Decryptor, Encryptor};
 pub use eval::Evaluator;
 pub use keys::{KeyGenerator, KeySet, PublicKey, SecretKey, SwitchingKey};
 pub use keyswitch::{
-    key_switch, key_switch_galois, key_switch_galois_per_kernel, key_switch_galois_strict,
-    key_switch_per_kernel, key_switch_strict,
+    hoist_rotations, key_switch, key_switch_galois, key_switch_galois_hoisted,
+    key_switch_galois_per_kernel, key_switch_galois_strict, key_switch_per_kernel,
+    key_switch_strict, HoistedRotations,
 };
 pub use linalg::LinearTransform;
 pub use noise::{measure_noise_bits, NoiseEstimate, NoiseModel};

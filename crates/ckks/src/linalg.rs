@@ -113,6 +113,54 @@ impl LinearTransform {
         eval.rescale(&acc)
     }
 
+    /// Evaluates the transform with *hoisted* rotations: one
+    /// [`Evaluator::hoist_rotations`] of the input shares Decompose +
+    /// ModUp + the digit NTTs across every diagonal's rotation
+    /// ([`Evaluator::rotate_hoisted`]), instead of paying the keyswitch
+    /// front half once per diagonal as [`Self::apply`] does.
+    ///
+    /// Diagonals are processed in sorted order. Each rotated term is
+    /// bit-identical to its sequential counterpart and the ciphertext
+    /// accumulation is exact modular arithmetic (commutative), so the
+    /// result is bit-identical to [`Self::apply`] — asserted by
+    /// `tests::hoisted_apply_bit_identical_to_naive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required Galois key is missing.
+    pub fn apply_hoisted(
+        &self,
+        eval: &Evaluator,
+        enc: &Encoder,
+        ct: &Ciphertext,
+        galois_keys: &HashMap<u64, SwitchingKey>,
+    ) -> Ciphertext {
+        let ctx = eval.context().clone();
+        let hoisted = eval.hoist_rotations(ct);
+        let mut acc: Option<Ciphertext> = None;
+        for d in self.required_rotations() {
+            let diag = &self.diagonals[&d];
+            let rotated = if d == 0 {
+                ct.clone()
+            } else {
+                let g = fhe_math::galois::rotation_galois_element(d, ctx.n());
+                let gk = galois_keys
+                    .get(&g)
+                    .unwrap_or_else(|| panic!("missing galois key for rotation {d}"));
+                eval.rotate_hoisted(ct, &hoisted, d, gk)
+            };
+            let diag_slots = self.tile_diagonal(diag, enc.slots());
+            let pt = enc.encode(&diag_slots, ct.level);
+            let term = eval.mul_plain(&rotated, &pt);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => eval.add(&a, &term),
+            });
+        }
+        let acc = acc.expect("transform has at least one diagonal");
+        eval.rescale(&acc)
+    }
+
     /// Evaluates with baby-step/giant-step: rotations grouped so that
     /// only `O(sqrt(D))` distinct rotations are applied.
     ///
@@ -278,6 +326,39 @@ mod tests {
                 db[r].re
             );
         }
+    }
+
+    /// The hoisted matvec must equal the naive one bit for bit: every
+    /// rotated term is bitwise identical and ciphertext accumulation is
+    /// exact modular arithmetic, so even the HashMap-vs-sorted
+    /// iteration orders cannot diverge.
+    #[test]
+    fn hoisted_apply_bit_identical_to_naive() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(73);
+        let dim = 8usize;
+        let matrix = real_matrix(dim, &mut rng);
+        let lt = LinearTransform::from_matrix(&matrix, dim);
+
+        let kg = KeyGenerator::new(ctx.clone());
+        let keys = kg.key_set(&lt.required_rotations(), &mut rng);
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let eval = Evaluator::new(ctx.clone());
+
+        let v: Vec<f64> = (0..enc.slots()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ct = encryptor.encrypt_sk(
+            &enc.encode_real(&v, ctx.params().max_level()),
+            &keys.secret,
+            &mut rng,
+        );
+
+        let naive = lt.apply(&eval, &enc, &ct, &keys.galois);
+        let hoisted = lt.apply_hoisted(&eval, &enc, &ct, &keys.galois);
+        assert_eq!(hoisted.c0.flat(), naive.c0.flat());
+        assert_eq!(hoisted.c1.flat(), naive.c1.flat());
+        assert_eq!(hoisted.level, naive.level);
+        assert_eq!(hoisted.scale, naive.scale);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The shared residue-domain assertion: [`debug_assert_domain!`].
+//! The shared residue-domain assertion: `debug_assert_domain!`.
 //!
 //! Every kernel entry point in this workspace sits on one side of the
 //! lazy-reduction contract: strict kernels require canonical `[0, p)`

@@ -28,12 +28,18 @@
 //!
 //! Besides the per-row passes, the trait has **batched entry points**
 //! (`*_batch`) taking the whole flat limb-major buffer of an
-//! [`crate::RnsPoly`] at once. Their default implementations loop rows
+//! [`crate::RnsPoly`] at once — including the `BConv` base-conversion
+//! matmul ([`KernelBackend::convert_approx_batch`] /
+//! [`KernelBackend::convert_exact_batch`], which slice over *output*
+//! limb rows) and the TFHE gadget decomposition
+//! ([`KernelBackend::decompose_batch`], which slices over input
+//! component rows; the per-coefficient digit carry chain forbids
+//! slicing across levels). Their default implementations loop rows
 //! sequentially — per-element identical to the per-row methods — and
 //! [`ThreadedBackend`] overrides them with row-parallel dispatch.
-//! Because each limb row is still computed by the sequential row pass,
-//! results are bit-identical to [`ScalarBackend`] no matter how rows
-//! are scheduled.
+//! Because each row is still computed by the sequential row pass (and
+//! the BConv `u128` row accumulation is order-independent), results are
+//! bit-identical to [`ScalarBackend`] no matter how rows are scheduled.
 //!
 //! The active backend is process-wide: [`active`] resolves it once from
 //! `TRINITY_KERNEL_BACKEND` (`scalar`, `lanes`, or `threaded[:N]`;
@@ -57,6 +63,9 @@
 //! | [`KernelBackend::mul_lazy`]         | `[0, 2p)`   | `[0, 2p)` |
 //! | [`KernelBackend::add_lazy`] / [`KernelBackend::sub_lazy`] | `[0, 2p)` | `[0, 2p)` |
 //! | [`KernelBackend::permute`]          | any         | unchanged |
+//! | [`KernelBackend::convert_approx_batch`] | canonical `[0, a_i)` digits | canonical `[0, b_j)` |
+//! | [`KernelBackend::convert_exact_batch`]  | canonical `[0, a_i)` digits | canonical `[0, b_j)` |
+//! | [`KernelBackend::decompose_batch`]  | `[0, q)`    | digits in `[-B/2, B/2)` |
 //!
 //! Callers (the [`crate::NttTable`] and [`crate::RnsPoly`] entry points)
 //! own the debug-assert window checks; backends may assume their
@@ -330,6 +339,100 @@ pub trait KernelBackend: Send + Sync + std::fmt::Debug {
             self.permute(perm, srow, drow);
         }
     }
+
+    /// Batched approximate fast base conversion (the HPS `BConv`
+    /// matmul): for each output limb `j`,
+    /// `out_j[c] = sum_i y_i[c] * weights[j*alpha + i] mod b_j`, where
+    /// `y` is the premultiplied source digit buffer (`alpha` rows of
+    /// `n` canonical residues) and `weights` is the row-major
+    /// `to_moduli.len() x alpha` matrix of `|A/a_i| mod b_j` constants
+    /// (`alpha` inferred as `weights.len() / to_moduli.len()`). Output
+    /// rows are canonical. The `u128` row accumulation is
+    /// order-independent and overflow-free for `alpha <= 16`
+    /// (`BasisConverter::new` enforces the bound), so any row
+    /// scheduling is bit-identical.
+    fn convert_approx_batch(
+        &self,
+        to_moduli: &[Modulus],
+        weights: &[u64],
+        y: &[u64],
+        out: &mut [u64],
+    ) {
+        let Some(n) = batch_rows(to_moduli.len(), out.len()) else {
+            return;
+        };
+        let Some(alpha) = batch_rows(to_moduli.len(), weights.len()) else {
+            return;
+        };
+        debug_assert_eq!(y.len(), alpha * n, "digit buffer size mismatch");
+        for ((orow, wrow), bj) in out
+            .chunks_exact_mut(n)
+            .zip(weights.chunks_exact(alpha))
+            .zip(to_moduli)
+        {
+            bconv_row(bj, wrow, y, n, orow);
+        }
+    }
+
+    /// Batched exact fast base conversion: the [`Self::convert_approx_batch`]
+    /// matmul followed by the per-coefficient overshoot correction
+    /// `out_j[c] -= v[c] * a_mod_b[j] mod b_j`. The overshoot multiples
+    /// `v` (one per coefficient, `round(sum_i y_i/a_i)`) are computed
+    /// **once by the caller** (`BasisConverter::convert_exact`) so every
+    /// backend subtracts the identical correction regardless of how
+    /// output rows are scheduled.
+    fn convert_exact_batch(
+        &self,
+        to_moduli: &[Modulus],
+        weights: &[u64],
+        a_mod_b: &[u64],
+        v: &[u64],
+        y: &[u64],
+        out: &mut [u64],
+    ) {
+        let Some(n) = batch_rows(to_moduli.len(), out.len()) else {
+            return;
+        };
+        let Some(alpha) = batch_rows(to_moduli.len(), weights.len()) else {
+            return;
+        };
+        debug_assert_eq!(y.len(), alpha * n, "digit buffer size mismatch");
+        debug_assert_eq!(v.len(), n, "one overshoot multiple per coefficient");
+        debug_assert_eq!(a_mod_b.len(), to_moduli.len(), "one A mod b_j per limb");
+        for (((orow, wrow), bj), &am) in out
+            .chunks_exact_mut(n)
+            .zip(weights.chunks_exact(alpha))
+            .zip(to_moduli)
+            .zip(a_mod_b)
+        {
+            bconv_row(bj, wrow, y, n, orow);
+            for (o, &vc) in orow.iter_mut().zip(v) {
+                *o = bj.sub(*o, bj.mul(bj.reduce(vc), am));
+            }
+        }
+    }
+
+    /// Batched balanced gadget decomposition (the TFHE `Decomp`
+    /// kernel): every coefficient of each `n`-word row of `src` is
+    /// decomposed into `levels` balanced base-`2^base_log` digits,
+    /// digit `j` of row `r` landing in `out[(r*levels + j)*n ..][..n]`
+    /// — the exact row layout GGSW external products consume. See
+    /// [`gadget_decompose_rows`] for the digit convention. The
+    /// per-coefficient carry chain runs across levels, so parallel
+    /// implementations slice across input rows, never across levels;
+    /// results are bit-identical to the sequential reference either
+    /// way.
+    fn decompose_batch(
+        &self,
+        q: u64,
+        base_log: u32,
+        levels: usize,
+        n: usize,
+        src: &[u64],
+        out: &mut [i64],
+    ) {
+        gadget_decompose_rows(q, base_log, levels, n, src, out);
+    }
 }
 
 /// Row geometry of a batched call: `Some(n)` when there is work,
@@ -352,6 +455,77 @@ fn batch_rows(rows: usize, flat_len: usize) -> Option<usize> {
 #[inline(always)]
 fn csub(x: u64, bound: u64) -> u64 {
     x.min(x.wrapping_sub(bound))
+}
+
+/// One output-limb row of the HPS fast-base-conversion matmul:
+/// `orow[c] = sum_i reduce_bj(y[i*n + c]) * wrow[i] mod b_j`. Each term
+/// is below `2^124` and the source width is capped at 16 limbs
+/// (`BasisConverter::new` asserts), so the `u128` sum cannot overflow;
+/// integer accumulation is order-independent, so every backend computes
+/// identical bits however the rows are scheduled.
+#[inline]
+fn bconv_row(bj: &Modulus, wrow: &[u64], y: &[u64], n: usize, orow: &mut [u64]) {
+    for (c, o) in orow.iter_mut().enumerate() {
+        let mut acc: u128 = 0;
+        for (i, &w) in wrow.iter().enumerate() {
+            acc += bj.reduce(y[i * n + c]) as u128 * w as u128;
+        }
+        *o = bj.reduce_u128(acc);
+    }
+}
+
+/// Balanced base-`2^base_log` gadget decomposition of every coefficient
+/// of `src`, viewed as rows of `n` words: `y = round(x * B^levels / q)`
+/// is re-expressed as `y = sum_j d_j * B^(levels-1-j)` with every digit
+/// `d_j` in `[-B/2, B/2)` (a final carry, if any, wraps mod `q` — the
+/// approximate decomposition of the TFHE line of work, valid for any
+/// `q`). Digit `j` of row `r` lands in `out[(r*levels + j)*n ..][..n]`.
+///
+/// This is the single scalar reference for the `Decomp` kernel:
+/// `fhe-tfhe`'s `gadget_decompose` delegates here, and every
+/// [`KernelBackend::decompose_batch`] implementation must match it
+/// bit-for-bit. The digit carry propagates from the least-significant
+/// level upward, so the only safe parallel axis is across rows.
+///
+/// # Panics
+///
+/// Panics when `src.len()` is not a multiple of `n`, or `out.len()`
+/// differs from `src.len() * levels` (zero-work geometries return
+/// early instead).
+pub fn gadget_decompose_rows(
+    q: u64,
+    base_log: u32,
+    levels: usize,
+    n: usize,
+    src: &[u64],
+    out: &mut [i64],
+) {
+    if n == 0 || levels == 0 || src.is_empty() {
+        return;
+    }
+    assert_eq!(src.len() % n, 0, "src not a multiple of the row length");
+    assert_eq!(out.len(), src.len() * levels, "digit buffer size mismatch");
+    let b = 1u64 << base_log;
+    let half_b = (b / 2) as i64;
+    // y = round(x * B^levels / q), an integer in [0, B^levels].
+    let bl = 1u128 << (base_log as usize * levels);
+    for (srow, orows) in src.chunks_exact(n).zip(out.chunks_exact_mut(levels * n)) {
+        for (c, &x) in srow.iter().enumerate() {
+            let mut rest = ((x as u128 * bl + q as u128 / 2) / q as u128) as u64;
+            // Balanced base-B digits, most significant first:
+            // peel least-significant digits, folding each into
+            // [-B/2, B/2) with a carry into the next level.
+            for j in (0..levels).rev() {
+                let mut d = (rest % b) as i64;
+                rest /= b;
+                if d >= half_b {
+                    d -= b as i64;
+                    rest += 1;
+                }
+                orows[j * n + c] = d;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -847,6 +1021,15 @@ impl ThreadedBackend {
         self.pool.threads()
     }
 
+    /// Cumulative count of jobs this backend's pool ran through its
+    /// parallel path (see [`WorkerPool::parallel_jobs_dispatched`]).
+    /// Lets tests assert that a batched dispatch genuinely fanned out
+    /// into the expected number of jobs — observable parallelism even
+    /// on a single-CPU host.
+    pub fn parallel_jobs_dispatched(&self) -> u64 {
+        self.pool.parallel_jobs_dispatched()
+    }
+
     /// Partitions `rows` rows of `n` words into contiguous job groups,
     /// or `None` when the batch is below the parallel threshold (the
     /// sequential fallback).
@@ -1046,6 +1229,102 @@ impl KernelBackend for ThreadedBackend {
             rdst = tdst;
             tasks.push(Box::new(move || {
                 LANES_BACKEND.permute_batch(perm, csrc, cdst)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn convert_approx_batch(
+        &self,
+        to_moduli: &[Modulus],
+        weights: &[u64],
+        y: &[u64],
+        out: &mut [u64],
+    ) {
+        let Some(n) = batch_rows(to_moduli.len(), out.len()) else {
+            return;
+        };
+        let Some(alpha) = batch_rows(to_moduli.len(), weights.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(to_moduli.len(), n) else {
+            return LANES_BACKEND.convert_approx_batch(to_moduli, weights, y, out);
+        };
+        let mut rest: &mut [u64] = out;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (chunk, tail) = rest.split_at_mut(g.len() * n);
+            rest = tail;
+            let ms = &to_moduli[g.clone()];
+            let ws = &weights[g.start * alpha..g.end * alpha];
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.convert_approx_batch(ms, ws, y, chunk)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn convert_exact_batch(
+        &self,
+        to_moduli: &[Modulus],
+        weights: &[u64],
+        a_mod_b: &[u64],
+        v: &[u64],
+        y: &[u64],
+        out: &mut [u64],
+    ) {
+        let Some(n) = batch_rows(to_moduli.len(), out.len()) else {
+            return;
+        };
+        let Some(alpha) = batch_rows(to_moduli.len(), weights.len()) else {
+            return;
+        };
+        let Some(groups) = self.row_groups(to_moduli.len(), n) else {
+            return LANES_BACKEND.convert_exact_batch(to_moduli, weights, a_mod_b, v, y, out);
+        };
+        let mut rest: &mut [u64] = out;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (chunk, tail) = rest.split_at_mut(g.len() * n);
+            rest = tail;
+            let ms = &to_moduli[g.clone()];
+            let am = &a_mod_b[g.clone()];
+            let ws = &weights[g.start * alpha..g.end * alpha];
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.convert_exact_batch(ms, ws, am, v, y, chunk)
+            }));
+        }
+        self.pool.run(tasks);
+    }
+
+    fn decompose_batch(
+        &self,
+        q: u64,
+        base_log: u32,
+        levels: usize,
+        n: usize,
+        src: &[u64],
+        out: &mut [i64],
+    ) {
+        if n == 0 || levels == 0 || src.is_empty() {
+            return;
+        }
+        debug_assert_eq!(src.len() % n, 0, "src not a multiple of the row length");
+        let rows = src.len() / n;
+        // Each input row expands into `levels * n` digit words — that
+        // is the job size the threshold must weigh, not `n`.
+        let Some(groups) = self.row_groups(rows, levels * n) else {
+            return LANES_BACKEND.decompose_batch(q, base_log, levels, n, src, out);
+        };
+        let (mut rsrc, mut rout): (&[u64], &mut [i64]) = (src, out);
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (cs, ts) = rsrc.split_at(g.len() * n);
+            rsrc = ts;
+            let (co, to) = rout.split_at_mut(g.len() * levels * n);
+            rout = to;
+            tasks.push(Box::new(move || {
+                LANES_BACKEND.decompose_batch(q, base_log, levels, n, cs, co)
             }));
         }
         self.pool.run(tasks);
@@ -1512,7 +1791,104 @@ mod tests {
                 }),
                 "permute_batch",
             );
+
+            // BConv batches: random weight/digit buffers with the basis
+            // moduli as output limbs — the HPS semantics live in
+            // rns.rs; here only batch-vs-sequential bit-identity of
+            // convert_approx_batch / convert_exact_batch matters.
+            let alpha = 4usize;
+            let weights: Vec<u64> = moduli
+                .iter()
+                .flat_map(|m| {
+                    let p = m.value();
+                    (0..alpha).map(|_| rng.gen_range(0..p)).collect::<Vec<_>>()
+                })
+                .collect();
+            let digits: Vec<u64> = (0..alpha * n).map(|_| rng.gen()).collect();
+            let a_mod: Vec<u64> = moduli.iter().map(|m| rng.gen_range(0..m.value())).collect();
+            let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=alpha as u64)).collect();
+            assert_all_eq(
+                apply(&|b, buf| b.convert_approx_batch(&moduli, &weights, &digits, buf)),
+                "convert_approx_batch",
+            );
+            assert_all_eq(
+                apply(&|b, buf| b.convert_exact_batch(&moduli, &weights, &a_mod, &v, &digits, buf)),
+                "convert_exact_batch",
+            );
+
+            // Gadget decomposition: signed digit rows, own buffers.
+            let q = moduli[0].value();
+            let src: Vec<u64> = (0..limbs * n).map(|_| rng.gen_range(0..q)).collect();
+            let levels = 3usize;
+            let digit_rows: Vec<Vec<i64>> = backends
+                .iter()
+                .map(|b| {
+                    let mut o = vec![0i64; limbs * levels * n];
+                    b.decompose_batch(q, 7, levels, n, &src, &mut o);
+                    o
+                })
+                .collect();
+            for (b, g) in backends.iter().zip(&digit_rows) {
+                assert_eq!(
+                    g,
+                    &digit_rows[0],
+                    "decompose_batch n={n} limbs={limbs} ({})",
+                    b.name()
+                );
+            }
         }
+    }
+
+    /// The pool's parallel-jobs counter makes fan-out observable even
+    /// on a single-CPU host: each batched BConv / gadget-decomposition
+    /// dispatch must split into the expected number of jobs, and
+    /// below-threshold batches must not fan out at all.
+    #[test]
+    fn bconv_and_decompose_dispatch_expected_job_counts() {
+        let mut rng = StdRng::seed_from_u64(0xD15C);
+        let threaded = ThreadedBackend::with_config(4, 64);
+        let (n, limbs, alpha, levels) = (256usize, 8usize, 4usize, 3usize);
+        let moduli: Vec<Modulus> = ntt_primes(45, n, limbs)
+            .iter()
+            .map(|&p| Modulus::new(p).unwrap())
+            .collect();
+        let weights: Vec<u64> = moduli
+            .iter()
+            .flat_map(|m| {
+                let p = m.value();
+                (0..alpha).map(|_| rng.gen_range(0..p)).collect::<Vec<_>>()
+            })
+            .collect();
+        let digits: Vec<u64> = (0..alpha * n).map(|_| rng.gen()).collect();
+        let a_mod: Vec<u64> = moduli.iter().map(|m| rng.gen_range(0..m.value())).collect();
+        let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=alpha as u64)).collect();
+        let mut out = vec![0u64; limbs * n];
+
+        // row_groups(8 rows, 256 words, min_job 64) on 4 lanes:
+        // k = (8*256/64).clamp(1, min(4, 8)) = 4 jobs per dispatch.
+        let before = threaded.parallel_jobs_dispatched();
+        threaded.convert_approx_batch(&moduli, &weights, &digits, &mut out);
+        assert_eq!(threaded.parallel_jobs_dispatched() - before, 4);
+
+        let before = threaded.parallel_jobs_dispatched();
+        threaded.convert_exact_batch(&moduli, &weights, &a_mod, &v, &digits, &mut out);
+        assert_eq!(threaded.parallel_jobs_dispatched() - before, 4);
+
+        let src: Vec<u64> = (0..limbs * n)
+            .map(|_| rng.gen_range(0..moduli[0].value()))
+            .collect();
+        let mut dig = vec![0i64; limbs * levels * n];
+        let before = threaded.parallel_jobs_dispatched();
+        threaded.decompose_batch(moduli[0].value(), 7, levels, n, &src, &mut dig);
+        assert_eq!(threaded.parallel_jobs_dispatched() - before, 4);
+
+        // Below the job-size threshold the passes fall back to the
+        // sequential lane loops: no parallel jobs recorded.
+        let seq = ThreadedBackend::with_config(4, 1 << 20);
+        seq.convert_approx_batch(&moduli, &weights, &digits, &mut out);
+        seq.convert_exact_batch(&moduli, &weights, &a_mod, &v, &digits, &mut out);
+        seq.decompose_batch(moduli[0].value(), 7, levels, n, &src, &mut dig);
+        assert_eq!(seq.parallel_jobs_dispatched(), 0);
     }
 
     /// The threaded per-row methods delegate to the lane loops, so a

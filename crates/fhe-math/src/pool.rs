@@ -36,6 +36,7 @@
 //! bit-identical to the sequential schedule regardless of interleaving.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread;
@@ -66,6 +67,12 @@ pub struct WorkerPool {
     queue: Arc<Mutex<Receiver<Job>>>,
     /// Total compute lanes: spawned workers + the calling thread.
     threads: usize,
+    /// Cumulative count of jobs that went through the *parallel* path
+    /// of [`Self::run`] (the inline first task plus every queued
+    /// sibling). Sequential fallbacks do not count, so tests can assert
+    /// a dispatch genuinely fanned out — observable parallelism even on
+    /// a single-CPU host.
+    parallel_jobs: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -127,6 +134,7 @@ impl WorkerPool {
             inject: Mutex::new(tx),
             queue,
             threads: spawned + 1,
+            parallel_jobs: AtomicU64::new(0),
         }
     }
 
@@ -134,6 +142,15 @@ impl WorkerPool {
     #[inline]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Cumulative number of jobs dispatched through the parallel path
+    /// of [`Self::run`] over this pool's lifetime (inline share
+    /// included; sequential fallbacks excluded). Diff before/after a
+    /// call to assert that a batched pass actually fanned out.
+    #[inline]
+    pub fn parallel_jobs_dispatched(&self) -> u64 {
+        self.parallel_jobs.load(Ordering::Relaxed)
     }
 
     /// Runs all `tasks` to completion, distributing them over the pool.
@@ -193,6 +210,10 @@ impl WorkerPool {
             }
         }
         drop(done_tx);
+        // The inline first task plus every queued sibling went through
+        // the parallel path.
+        self.parallel_jobs
+            .fetch_add(outstanding as u64 + 1, Ordering::Relaxed);
 
         // Run our own share, deferring any panic until the dispatch has
         // fully drained (the borrows above must stay alive until then).
@@ -393,6 +414,25 @@ mod tests {
             .collect();
         pool.run(tasks);
         assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn parallel_jobs_counter_tracks_fanout_only() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.parallel_jobs_dispatched(), 0);
+        // A lone task runs sequentially: not counted.
+        pool.run(vec![Box::new(|| {}) as Task<'_>]);
+        assert_eq!(pool.parallel_jobs_dispatched(), 0);
+        // A 5-task dispatch fans out: all 5 jobs counted (inline share
+        // included).
+        let tasks: Vec<Task<'_>> = (0..5).map(|_| Box::new(|| {}) as Task<'_>).collect();
+        pool.run(tasks);
+        assert_eq!(pool.parallel_jobs_dispatched(), 5);
+        // A 1-thread pool never fans out.
+        let seq = WorkerPool::new(1);
+        let tasks: Vec<Task<'_>> = (0..4).map(|_| Box::new(|| {}) as Task<'_>).collect();
+        seq.run(tasks);
+        assert_eq!(seq.parallel_jobs_dispatched(), 0);
     }
 
     #[test]

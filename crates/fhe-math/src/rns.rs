@@ -205,8 +205,11 @@ pub struct BasisConverter {
     to: RnsBasis,
     /// `(A/a_i)^{-1} mod a_i`, Shoup pairs per source limb.
     a_hat_inv: Vec<(u64, u64)>,
-    /// `|A/a_i| mod b_j`, indexed `[i][j]`.
-    a_hat_mod_b: Vec<Vec<u64>>,
+    /// `|A/a_i| mod b_j`, flat row-major per **output** limb
+    /// (`[j*alpha + i]`) — the weight layout
+    /// [`crate::kernel::KernelBackend::convert_approx_batch`] consumes,
+    /// so the threaded backend can slice contiguous output-limb rows.
+    a_hat_mod_b: Vec<u64>,
     /// `A mod b_j` for the exact correction.
     a_mod_b: Vec<u64>,
     /// `1/a_i` as f64, for the overshoot estimate.
@@ -238,7 +241,7 @@ impl BasisConverter {
         }
         let alpha = from.len();
         let mut a_hat_inv = Vec::with_capacity(alpha);
-        let mut a_hat_mod_b = Vec::with_capacity(alpha);
+        let mut a_hat_mod_b = vec![0u64; to.len() * alpha];
         for i in 0..alpha {
             let ai = from.modulus(i);
             let mut hat_mod_ai = 1u64;
@@ -250,17 +253,15 @@ impl BasisConverter {
             let inv = ai.inv(hat_mod_ai).expect("coprime moduli");
             a_hat_inv.push((inv, ai.shoup(inv)));
 
-            let mut row = Vec::with_capacity(to.len());
-            for bj in to.moduli() {
+            for (j, bj) in to.moduli().iter().enumerate() {
                 let mut hat_mod_bj = 1u64;
                 for (j2, aj) in from.moduli().iter().enumerate() {
                     if j2 != i {
                         hat_mod_bj = bj.mul(hat_mod_bj, bj.reduce(aj.value()));
                     }
                 }
-                row.push(hat_mod_bj);
+                a_hat_mod_b[j * alpha + i] = hat_mod_bj;
             }
-            a_hat_mod_b.push(row);
         }
         let a_mod_b = to
             .moduli()
@@ -317,19 +318,16 @@ impl BasisConverter {
         let mut out = vec![0u64; self.to.len() * n];
         crate::scratch::with_scratch(alpha * n, |y| {
             self.premultiply(src, y);
-            // out_j = sum_i y_i * |A/a_i|_{b_j} — the systolic-array matmul.
-            for (j, bj) in self.to.moduli().iter().enumerate() {
-                let orow = &mut out[j * n..(j + 1) * n];
-                for (c, o) in orow.iter_mut().enumerate() {
-                    let mut acc: u128 = 0;
-                    for i in 0..alpha {
-                        acc += bj.reduce(y[i * n + c]) as u128 * self.a_hat_mod_b[i][j] as u128;
-                        // Each term < 2^124; alpha <= 16 (asserted in
-                        // `new`) keeps the u128 sum from overflowing.
-                    }
-                    *o = bj.reduce_u128(acc);
-                }
-            }
+            // out_j = sum_i y_i * |A/a_i|_{b_j} — the systolic-array
+            // matmul, dispatched through the active kernel backend,
+            // which may slice the output-limb rows across worker
+            // threads (bit-identical by the backend contract).
+            crate::kernel::active().convert_approx_batch(
+                self.to.moduli(),
+                &self.a_hat_mod_b,
+                y,
+                &mut out,
+            );
         });
         out
     }
@@ -352,25 +350,57 @@ impl BasisConverter {
         let mut out = vec![0u64; self.to.len() * n];
         crate::scratch::with_scratch(alpha * n, |y| {
             self.premultiply(src, y);
-            for c in 0..n {
-                // Overshoot estimate v = round(sum_i y_i / a_i).
-                let mut est = 0.0f64;
-                for i in 0..alpha {
-                    est += y[i * n + c] as f64 * self.a_inv_f64[i];
-                }
-                let v = est.round() as u64;
-                for (j, bj) in self.to.moduli().iter().enumerate() {
-                    let mut acc: u128 = 0;
-                    for i in 0..alpha {
-                        acc += bj.reduce(y[i * n + c]) as u128 * self.a_hat_mod_b[i][j] as u128;
-                    }
-                    let raw = bj.reduce_u128(acc);
-                    let corr = bj.mul(bj.reduce(v), self.a_mod_b[j]);
-                    out[j * n + c] = bj.sub(raw, corr);
-                }
-            }
+            crate::scratch::with_scratch(n, |v| {
+                // The overshoot multiples are computed once, here, so
+                // every backend applies the identical correction no
+                // matter how it schedules the output-limb rows.
+                self.overshoot_estimates(y, v);
+                crate::kernel::active().convert_exact_batch(
+                    self.to.moduli(),
+                    &self.a_hat_mod_b,
+                    &self.a_mod_b,
+                    v,
+                    y,
+                    &mut out,
+                );
+            });
         });
         out
+    }
+
+    /// `v[c] = round(sum_i y_i[c] / a_i)` — the HPS overshoot multiple
+    /// per coefficient, via Neumaier-compensated summation so the
+    /// estimate stays correctly rounded even at `alpha = 16` with
+    /// 59-bit limbs, where naive accumulation can drift across a `.5`
+    /// rounding boundary.
+    fn overshoot_estimates(&self, y: &[u64], v: &mut [u64]) {
+        let n = self.from.n();
+        let alpha = self.from.len();
+        for (c, vc) in v.iter_mut().enumerate() {
+            let mut sum = 0.0f64;
+            let mut comp = 0.0f64;
+            for (i, &a_inv) in self.a_inv_f64.iter().enumerate() {
+                let term = y[i * n + c] as f64 * a_inv;
+                let t = sum + term;
+                // Neumaier: recover the low-order bits the add dropped.
+                comp += if sum.abs() >= term.abs() {
+                    (sum - t) + term
+                } else {
+                    (term - t) + sum
+                };
+                sum = t;
+            }
+            let est = (sum + comp).round();
+            // Every term is in [0, 1), so the true sum lies in
+            // [0, alpha]. An estimate outside that range means the
+            // summation itself broke — fail loudly instead of letting
+            // `as u64` saturate to 0 or clamp silently.
+            debug_assert!(
+                (0.0..=alpha as f64).contains(&est),
+                "BConv overshoot estimate {est} outside [0, {alpha}] at coefficient {c}"
+            );
+            *vc = est as u64;
+        }
     }
 
     /// `y_i = [x_i * (A/a_i)^{-1}]_{a_i}` for every source limb (flat
@@ -393,6 +423,7 @@ impl BasisConverter {
 mod tests {
     use super::*;
     use crate::prime::ntt_primes;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -476,6 +507,129 @@ mod tests {
                     shift.add_assign(&a_prod);
                 }
                 assert!(found, "limb {j} coeff {c}: overshoot not in range");
+            }
+        }
+    }
+
+    /// CRT-reconstructs the full value of one residue vector as a wide
+    /// integer in `[0, A)` — the oracle the exact conversion is checked
+    /// against.
+    fn crt_value(basis: &RnsBasis, x: &[u64]) -> UBig {
+        let q = basis.modulus_product();
+        let mut v = UBig::zero();
+        for (i, m) in basis.moduli().iter().enumerate() {
+            let mut q_hat_mod = 1u64;
+            for (j, mj) in basis.moduli().iter().enumerate() {
+                if j != i {
+                    q_hat_mod = m.mul(q_hat_mod, m.reduce(mj.value()));
+                }
+            }
+            let q_hat_inv = m.inv(q_hat_mod).expect("coprime moduli");
+            let c = m.mul(m.reduce(x[i]), q_hat_inv);
+            let mut q_over = UBig::from_u64(1);
+            for (j, mj) in basis.moduli().iter().enumerate() {
+                if j != i {
+                    q_over = q_over.mul_u64(mj.value());
+                }
+            }
+            v.add_assign(&q_over.mul_u64(c));
+        }
+        v.reduce_by(&q);
+        v
+    }
+
+    /// The widest supported conversion geometry: 16 source limbs of 59
+    /// bits feeding 2 destination limbs.
+    fn widest_bases(n: usize) -> (RnsBasis, RnsBasis) {
+        let primes = ntt_primes(59, n, 18);
+        (
+            RnsBasis::new(&primes[..16], n),
+            RnsBasis::new(&primes[16..], n),
+        )
+    }
+
+    /// Regression net for the overshoot mis-rounding bug-class at the
+    /// alpha = 16 / 59-bit boundary: values within `~A * 2^-30` of the
+    /// `A/2` rounding boundary must still convert to their exact
+    /// centered representative on both sides. The compensated summation
+    /// keeps the f64 estimate correctly rounded here; the old naive
+    /// accumulation had no such guarantee.
+    #[test]
+    fn exact_conversion_boundary_alpha16_59bit() {
+        let n = 8usize;
+        let (a, b) = widest_bases(n);
+        let conv = BasisConverter::new(&a, &b);
+        let big_a = a.modulus_product();
+        let delta = big_a.div_u64(1 << 30);
+
+        // x_lo = (A-1)/2 - delta, just below the boundary: the centered
+        // representative is x_lo itself.
+        let mut x_lo = big_a.half();
+        x_lo.sub_assign(&delta);
+        // x_hi = (A-1)/2 + delta + 1, just above: the centered
+        // representative is x_hi - A = -x_lo (A - x_hi == x_lo).
+        let mut x_hi = big_a.half();
+        x_hi.add_assign(&delta);
+        x_hi.add_assign(&UBig::from_u64(1));
+
+        for (x, below) in [(&x_lo, true), (&x_hi, false)] {
+            let src: Vec<u64> = a
+                .moduli()
+                .iter()
+                .flat_map(|m| vec![x.rem_u64(m.value()); n])
+                .collect();
+            let out = conv.convert_exact(&src);
+            for (j, bj) in b.moduli().iter().enumerate() {
+                let expect = if below {
+                    bj.reduce(x.rem_u64(bj.value()))
+                } else {
+                    bj.neg(bj.reduce(x_lo.rem_u64(bj.value())))
+                };
+                for c in 0..n {
+                    assert_eq!(out[j * n + c], expect, "below={below} limb {j} coeff {c}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// `convert_exact` must agree with the wide-integer CRT oracle
+        /// on uniformly random residue vectors at the widest geometry:
+        /// every output limb carries the centered representative of the
+        /// source value.
+        #[test]
+        fn exact_conversion_matches_wide_integer_oracle(seed in proptest::prelude::any::<u64>()) {
+            let n = 4usize;
+            let (a, b) = widest_bases(n);
+            let conv = BasisConverter::new(&a, &b);
+            let big_a = a.modulus_product();
+            let half = big_a.half();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let src: Vec<u64> = a
+                .moduli()
+                .iter()
+                .flat_map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect::<Vec<_>>())
+                .collect();
+            let out = conv.convert_exact(&src);
+            for c in 0..n {
+                let residues: Vec<u64> = (0..a.len()).map(|i| src[i * n + c]).collect();
+                let x = crt_value(&a, &residues);
+                // Exactness is only contracted away from the A/2
+                // rounding boundary; uniform values land in that
+                // sliver with probability ~2^-19 per coefficient.
+                prop_assume!((x.to_f64() / big_a.to_f64() - 0.5).abs() > 1e-6);
+                for (j, bj) in b.moduli().iter().enumerate() {
+                    let expect = if x > half {
+                        let mut neg = big_a.clone();
+                        neg.sub_assign(&x);
+                        bj.neg(bj.reduce(neg.rem_u64(bj.value())))
+                    } else {
+                        bj.reduce(x.rem_u64(bj.value()))
+                    };
+                    prop_assert_eq!(out[j * n + c], expect, "coeff {} limb {}", c, j);
+                }
             }
         }
     }

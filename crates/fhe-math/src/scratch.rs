@@ -14,8 +14,37 @@ use std::cell::RefCell;
 /// simply dropped (the pool never grows without bound).
 const MAX_POOLED: usize = 16;
 
+/// Upper bound on the **total capacity** (in words) the pool may retain
+/// per thread — 16 MiB. The buffer count cap alone is not enough: one
+/// era of huge leases (say, BConv digit buffers of `alpha * n` words on
+/// every worker thread) would otherwise pin `MAX_POOLED` buffers of the
+/// largest-ever size forever. A returned buffer that would push the
+/// retained capacity past this cap is dropped instead, so oversized
+/// buffers shed gradually as they come back.
+const MAX_POOLED_WORDS: usize = 1 << 21;
+
 thread_local! {
     static POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns `buf` to this thread's pool unless doing so would exceed the
+/// buffer-count or retained-capacity caps (the shrink policy: excess
+/// capacity is released to the allocator rather than pinned).
+fn give_back(buf: Vec<u64>) {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let retained: usize = pool.iter().map(|b| b.capacity()).sum();
+        if pool.len() < MAX_POOLED && retained + buf.capacity() <= MAX_POOLED_WORDS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Total capacity, in words, currently retained by this thread's pool.
+/// Never exceeds `MAX_POOLED` buffers totalling 2^21 words —
+/// introspection for the retention-cap tests.
+pub fn retained_words() -> usize {
+    POOL.with(|p| p.borrow().iter().map(|b| b.capacity()).sum())
 }
 
 /// Runs `f` with a zero-filled scratch buffer of length `len` leased
@@ -26,12 +55,7 @@ pub fn with_scratch<T>(len: usize, f: impl FnOnce(&mut [u64]) -> T) -> T {
     buf.clear();
     buf.resize(len, 0);
     let out = f(&mut buf);
-    POOL.with(|p| {
-        let mut pool = p.borrow_mut();
-        if pool.len() < MAX_POOLED {
-            pool.push(buf);
-        }
-    });
+    give_back(buf);
     out
 }
 
@@ -50,12 +74,7 @@ pub fn with_scratch_copy<T>(data: &mut [u64], f: impl FnOnce(&[u64], &mut [u64])
     buf.clear();
     buf.extend_from_slice(data);
     let out = f(&buf, data);
-    POOL.with(|p| {
-        let mut pool = p.borrow_mut();
-        if pool.len() < MAX_POOLED {
-            pool.push(buf);
-        }
-    });
+    give_back(buf);
     out
 }
 
@@ -90,6 +109,31 @@ mod tests {
         // The pooled buffer must not leak the copy into a zero-fill
         // lease.
         with_scratch(4, |a| assert!(a.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn retained_capacity_is_capped() {
+        // A fresh thread gets a fresh thread-local pool, so the
+        // assertions below see exactly what this test retained.
+        std::thread::spawn(|| {
+            // A lease beyond the capacity cap must not stay pinned:
+            // returning it would blow the retention budget, so it is
+            // dropped on return.
+            with_scratch(MAX_POOLED_WORDS + 1, |a| a[0] = 1);
+            assert_eq!(retained_words(), 0);
+            // Ordinary leases still pool and reuse.
+            with_scratch(1024, |a| a[0] = 1);
+            let r = retained_words();
+            assert!((1024..=MAX_POOLED_WORDS).contains(&r), "retained {r}");
+            // A burst of leases respects both the count and the
+            // capacity cap.
+            for _ in 0..MAX_POOLED + 4 {
+                with_scratch2(1024, |_, _| {});
+            }
+            assert!(retained_words() <= MAX_POOLED_WORDS);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! items (name, visibility, body extent, whether they live in a
 //! `#[cfg(test)]` module or a trait), call-graph edges by callee name,
 //! and a few token-pattern scans. All of that falls out of a single
-//! walk over the [`lexer`](crate::lexer) token stream with a brace
+//! walk over the [`lexer`] token stream with a brace
 //! matcher — no AST, no type information.
 
 use crate::lexer::{self, Lexed, TokKind, Token};

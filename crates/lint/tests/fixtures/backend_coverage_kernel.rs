@@ -2,9 +2,12 @@
 // `crates/fhe-math/src/kernel.rs` so the rule engages (it only runs on
 // the backend-selector module).
 //
-// `forward` is swept by the test module below; the `forward_batch`
-// default is not referenced by any test — the classic way a batched
-// entry silently diverges from its per-row loop.
+// `forward` and `convert_exact_batch` are swept by the test module
+// below; the `forward_batch` and `convert_approx_batch` defaults are
+// not referenced by any test — the classic way a batched entry
+// silently diverges from its per-row loop. The BConv batch entries are
+// trait methods like any other, so the rule picks them up with no
+// special-casing.
 
 pub trait KernelBackend {
     fn forward(&self, t: &NttTable, a: &mut [u64]);
@@ -12,6 +15,12 @@ pub trait KernelBackend {
         for row in rows {
             self.forward(t, row);
         }
+    }
+    fn convert_approx_batch(&self, to: &[Modulus], w: &[u64], y: &[u64], out: &mut [u64]) {
+        let _ = (to, w, y, out);
+    }
+    fn convert_exact_batch(&self, to: &[Modulus], w: &[u64], y: &[u64], out: &mut [u64]) {
+        let _ = (to, w, y, out);
     }
 }
 
@@ -21,5 +30,6 @@ mod tests {
     fn sweep_forward() {
         let b = backend();
         b.forward(&table(), &mut row());
+        b.convert_exact_batch(&moduli(), &weights(), &digits(), &mut out());
     }
 }

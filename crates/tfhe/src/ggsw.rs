@@ -13,7 +13,7 @@
 use rand::Rng;
 
 use crate::glwe::{GlweCiphertext, GlweSecretKey};
-use crate::lwe::{gadget_decompose, gadget_element};
+use crate::lwe::gadget_element;
 use crate::ring::TfheRing;
 
 /// Which polynomial multiplier the external product uses.
@@ -260,21 +260,27 @@ impl Ggsw {
         let n = ring.n();
         let q = ring.modulus();
         let k = self.k;
-        let mut digits: Vec<Vec<i64>> = vec![vec![0i64; n]; (k + 1) * self.lb];
-        for comp in 0..=k {
-            let poly = if comp < k {
-                &glwe.mask[comp]
-            } else {
-                &glwe.body
-            };
-            for (c, &x) in poly.iter().enumerate() {
-                let ds = gadget_decompose(q.value(), x, self.bg_log, self.lb);
-                for (j, &d) in ds.iter().enumerate() {
-                    digits[comp * self.lb + j][c] = d;
-                }
-            }
+        // Flatten the k+1 components into contiguous rows and dispatch
+        // through the active kernel backend, which may slice component
+        // rows across worker threads (the digit carry chain forbids
+        // slicing across levels). The batch layout puts digit j of
+        // component i at row `i*lb + j` — exactly the GGSW row
+        // alignment this function must return.
+        let mut src = Vec::with_capacity((k + 1) * n);
+        for mask in &glwe.mask {
+            src.extend_from_slice(mask);
         }
-        digits
+        src.extend_from_slice(&glwe.body);
+        let mut flat = vec![0i64; (k + 1) * self.lb * n];
+        fhe_math::kernel::active().decompose_batch(
+            q.value(),
+            self.bg_log,
+            self.lb,
+            n,
+            &src,
+            &mut flat,
+        );
+        flat.chunks_exact(n).map(|row| row.to_vec()).collect()
     }
 
     /// CMUX: returns `ct0 + self ⊡ (ct1 - ct0)` — selects `ct1` when the

@@ -163,23 +163,11 @@ pub fn sample_noise<R: Rng + ?Sized>(q: &Modulus, noise_std: f64, rng: &mut R) -
 /// of the TFHE line of work, valid for any `q` — the enabling detail of
 /// the paper's FFT→NTT substitution).
 pub fn gadget_decompose(q: u64, x: u64, base_log: u32, levels: usize) -> Vec<i64> {
-    let b = 1u64 << base_log;
-    // y = round(x * B^levels / q), an integer in [0, B^levels].
-    let bl = 1u128 << (base_log as usize * levels);
-    let y = ((x as u128 * bl + q as u128 / 2) / q as u128) as u64;
-    // Balanced base-B digits of y, most significant first:
-    // y = sum_{j=1..levels} d_j B^{levels-j}; a final carry wraps mod q.
+    // One-coefficient delegation to the shared scalar reference in
+    // fhe-math — there is exactly one decomposition kernel in the tree,
+    // and the batched backends are asserted bit-identical to it.
     let mut digits = vec![0i64; levels];
-    let mut rest = y;
-    for j in (0..levels).rev() {
-        let mut d = (rest % b) as i64;
-        rest /= b;
-        if d >= (b / 2) as i64 {
-            d -= b as i64;
-            rest += 1;
-        }
-        digits[j] = d;
-    }
+    fhe_math::kernel::gadget_decompose_rows(q, base_log, levels, 1, &[x], &mut digits);
     digits
 }
 

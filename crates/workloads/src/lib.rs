@@ -9,6 +9,9 @@
 //! * [`tfhe_ops`] — programmable bootstrapping (Algorithm 2), gates.
 //! * [`conversion`] — LWE repacking (Algorithms 4 and 5).
 //! * [`apps`] — Bootstrap / HELR / ResNet-20 / NN-x / HE3DB-x.
+//! * [`linear`] — a *functional* encrypted linear layer run with
+//!   `fhe-ckks` (not modeled): the hoisted-rotation matvec and its
+//!   sequential bit-identity oracle.
 //! * [`reference`](mod@reference) — cited constants for rows the simulator does not
 //!   regenerate, tagged by provenance.
 //!
@@ -53,11 +56,13 @@
 pub mod apps;
 pub mod ckks_ops;
 pub mod conversion;
+pub mod linear;
 pub mod reference;
 pub mod tfhe_ops;
 
 pub use apps::{bootstrap, helr, resnet20, He3dbRecipe, NnRecipe};
 pub use ckks_ops::{CkksShape, KeySwitchOpts};
 pub use conversion::{repack, repack_keyswitch_count};
+pub use linear::LinearLayer;
 pub use reference::Source;
 pub use tfhe_ops::{pbs, pbs_batch, TfheShape};

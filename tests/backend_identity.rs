@@ -129,6 +129,42 @@ fn hmult_rescale_and_rotation_are_bit_identical_across_backends() {
     assert_all_identical(results, "ckks hmult+rescale+rotation");
 }
 
+/// The hoisted rotation batch: one shared ModUp feeding several
+/// rotations must (a) match the sequential `apply_galois` bit for bit
+/// *within* each backend, and (b) be bit-identical *across* backends —
+/// the pooled BConv/digit-NTT front half dispatches through the worker
+/// pool on `threaded`, and that must be unobservable.
+#[test]
+fn hoisted_rotations_are_bit_identical_across_backends() {
+    let f = test_shape();
+    let enc = Encoder::new(f.ctx.clone());
+    let encryptor = Encryptor::new(f.ctx.clone());
+    let eval = Evaluator::new(f.ctx.clone());
+    let l = f.ctx.params().max_level();
+    let mut rng = StdRng::seed_from_u64(0x5EED3);
+    let rotations = [1i64, 2, -1];
+    let keys = KeyGenerator::new(f.ctx.clone()).key_set(&rotations, &mut rng);
+    let vals: Vec<f64> = (0..8).map(|i| 0.05 * i as f64 - 0.2).collect();
+    let x = encryptor.encrypt_sk(&enc.encode_real(&vals, l), &keys.secret, &mut rng);
+
+    let results = under_each_backend(|| {
+        let hoisted = eval.hoist_rotations(&x);
+        let mut out = Vec::new();
+        for r in rotations {
+            let g = galois::rotation_galois_element(r, f.ctx.n());
+            let gk = &keys.galois[&g];
+            let h = eval.rotate_hoisted(&x, &hoisted, r, gk);
+            let s = eval.rotate(&x, r, gk);
+            assert_eq!(h.c0.flat(), s.c0.flat(), "hoisted != sequential c0, r={r}");
+            assert_eq!(h.c1.flat(), s.c1.flat(), "hoisted != sequential c1, r={r}");
+            out.extend_from_slice(h.c0.flat());
+            out.extend_from_slice(h.c1.flat());
+        }
+        out
+    });
+    assert_all_identical(results, "ckks hoisted rotation batch");
+}
+
 #[test]
 fn tfhe_external_product_is_bit_identical_across_backends() {
     let params = TfheParams::set_i();

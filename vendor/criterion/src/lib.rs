@@ -19,9 +19,13 @@
 //!
 //! Setting `TRINITY_BENCH_JSON=<path>` additionally writes every
 //! reported benchmark to `<path>` as a JSON document
-//! (`{"benchmarks": [{"name", "min_ns", "mean_ns", "samples"}, ..]}`);
-//! the committed `BENCH_micro.json` at the workspace root is such a
-//! snapshot.
+//! (`{"meta": {"nproc", "commit", "backend"}, "benchmarks": [{"name",
+//! "min_ns", "mean_ns", "samples"}, ..]}`); the committed
+//! `BENCH_micro.json` at the workspace root is such a snapshot. The
+//! `meta` header records the host CPU count, the source commit
+//! (`TRINITY_BENCH_COMMIT` overrides the `git rev-parse` fallback) and
+//! the `TRINITY_KERNEL_BACKEND` selection, so snapshots from different
+//! hosts are never compared as like for like by accident.
 
 #![warn(missing_docs)]
 
@@ -78,20 +82,57 @@ fn record_json(label: &str, min: Duration, mean: Duration, samples: usize) {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Host metadata stamped into every snapshot so `BENCH_*.json` files
+/// are comparable across machines: CPU count, source commit and the
+/// kernel-backend selection in force. The commit honours
+/// `TRINITY_BENCH_COMMIT` (CI sets it) and falls back to `git
+/// rev-parse`; the backend mirrors `TRINITY_KERNEL_BACKEND` (empty =
+/// the default resolution order).
+fn host_meta() -> &'static str {
+    static META: OnceLock<String> = OnceLock::new();
+    META.get_or_init(|| {
+        let nproc = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0);
+        let commit = std::env::var("TRINITY_BENCH_COMMIT").ok().or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        });
+        let backend = std::env::var("TRINITY_KERNEL_BACKEND").unwrap_or_default();
+        format!(
+            "{{\"nproc\": {}, \"commit\": \"{}\", \"backend\": \"{}\"}}",
+            nproc,
+            json_escape(commit.as_deref().unwrap_or("unknown")),
+            json_escape(if backend.is_empty() {
+                "default"
+            } else {
+                &backend
+            }),
+        )
+    })
+}
+
 fn render_records(records: &[JsonRecord]) -> String {
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let mut out = format!("{{\n  \"meta\": {},\n  \"benchmarks\": [\n", host_meta());
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         // Labels are bench identifiers (no quotes/backslashes), but
         // escape them anyway so the document can never go invalid.
-        let label: String = r
-            .label
-            .chars()
-            .flat_map(|c| match c {
-                '"' | '\\' => vec!['\\', c],
-                c => vec![c],
-            })
-            .collect();
+        let label = json_escape(&r.label);
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
             label, r.min_ns, r.mean_ns, r.samples, sep
@@ -363,8 +404,16 @@ mod tests {
         assert!(out.contains("\"name\": \"ntt/forward/4096\", \"min_ns\": 1234"));
         assert!(out.contains("\"name\": \"odd\\\"label\\\\\""));
         assert!(out.ends_with("  ]\n}\n"));
-        // Exactly one separator for two records.
-        assert_eq!(out.matches("},\n").count(), 1);
+        // Host metadata header: nproc, commit and backend stamped once.
+        assert!(out.starts_with("{\n  \"meta\": {\"nproc\": "));
+        for key in ["\"commit\": \"", "\"backend\": \""] {
+            assert!(out.contains(key), "meta missing {key}");
+        }
+        // Exactly one record separator for two records, plus the one
+        // after the meta object.
+        assert_eq!(out.matches("},\n").count(), 2);
+        // The last record carries no trailing comma.
+        assert!(out.contains("\"samples\": 3}\n"));
     }
 
     #[test]
