@@ -326,6 +326,70 @@ fn bench_rotations_hoisted_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-request keyswitch coalescing (the `trinity-service` batching
+/// path): four independent ciphertexts rotating by the same step under
+/// four *different* tenants' switching keys, evaluated as four
+/// sequential `apply_galois` calls vs one `apply_galois_coalesced`
+/// dispatch that concatenates the batch into single wide kernel calls.
+/// On the 1-CPU CI container the gate is the bit-identity assertion
+/// below plus the per-dispatch job-count assertions in the service
+/// end-to-end suite, not a wall-clock ratio.
+fn bench_coalesced_vs_sequential_keyswitch(c: &mut Criterion) {
+    use fhe_ckks::*;
+    let mut group = c.benchmark_group("coalesced_vs_sequential_keyswitch");
+    group.sample_size(10);
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let mut rng = StdRng::seed_from_u64(33);
+    let g = fhe_math::galois::rotation_galois_element(1, ctx.n());
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let eval = Evaluator::new(ctx.clone());
+    let l = ctx.params().max_level();
+    let tenants: Vec<(Ciphertext, SwitchingKey)> = (0..4)
+        .map(|t| {
+            let kg = KeyGenerator::new(ctx.clone());
+            let sk = kg.secret_key(&mut rng);
+            let ct = encryptor.encrypt_sk(&enc.encode_real(&[t as f64, 0.25], l), &sk, &mut rng);
+            (ct, kg.galois_key(&sk, g, &mut rng))
+        })
+        .collect();
+    let jobs: Vec<(&Ciphertext, &SwitchingKey)> = tenants.iter().map(|(ct, gk)| (ct, gk)).collect();
+    // Coalescing must be unobservable in the output bits.
+    let coalesced = eval.apply_galois_coalesced(&jobs, g);
+    for ((ct, gk), wide) in tenants.iter().zip(&coalesced) {
+        let alone = eval.apply_galois(ct, g, gk);
+        assert_eq!(wide.c0.flat(), alone.c0.flat());
+        assert_eq!(wide.c1.flat(), alone.c1.flat());
+    }
+    group.bench_function("sequential_4x", |b| {
+        b.iter(|| {
+            tenants
+                .iter()
+                .map(|(ct, gk)| eval.apply_galois(ct, g, gk))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("coalesced_4x", |b| {
+        b.iter(|| eval.apply_galois_coalesced(&jobs, g))
+    });
+    // Under the threaded limb-parallel backend the coalesced batch is
+    // where the row counts come from: 4x the rows per dispatch.
+    with_backend(fhe_math::kernel::threaded(Some(4)), || {
+        group.bench_function("sequential_threaded4_4x", |b| {
+            b.iter(|| {
+                tenants
+                    .iter()
+                    .map(|(ct, gk)| eval.apply_galois(ct, g, gk))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function("coalesced_threaded4_4x", |b| {
+            b.iter(|| eval.apply_galois_coalesced(&jobs, g))
+        });
+    });
+    group.finish();
+}
+
 /// Homomorphic multiplication end to end.
 fn bench_hmult(c: &mut Criterion) {
     use fhe_ckks::*;
@@ -499,6 +563,7 @@ criterion_group!(
     bench_threaded_scaling,
     bench_rotate_lazy_vs_canonical,
     bench_rotations_hoisted_vs_sequential,
+    bench_coalesced_vs_sequential_keyswitch,
     bench_hmult,
     bench_external_product,
     bench_pbs,

@@ -19,8 +19,9 @@ use crate::context::CkksContext;
 use crate::encoding::Plaintext;
 use crate::keys::SwitchingKey;
 use crate::keyswitch::{
-    hoist_rotations, key_switch, key_switch_galois, key_switch_galois_hoisted,
-    key_switch_galois_strict, key_switch_strict, HoistedRotations,
+    hoist_rotations, key_switch, key_switch_galois, key_switch_galois_coalesced,
+    key_switch_galois_hoisted, key_switch_galois_strict, key_switch_strict, HoistedRotations,
+    KsJob,
 };
 
 /// Relative scale mismatch tolerated by additive operations.
@@ -442,6 +443,70 @@ impl Evaluator {
             level: a.level,
             scale: a.scale,
         }
+    }
+
+    /// Applies the *same* Galois automorphism to many independent
+    /// ciphertexts — typically coalesced from different requests (even
+    /// different tenants, hence per-job keys) that happen to share
+    /// geometry — through **one** keyswitch pipeline whose kernel
+    /// dispatches carry every job's limb rows at once
+    /// ([`key_switch_galois_coalesced`]). Output `i` is bit-identical
+    /// to `apply_galois(jobs[i].0, g, jobs[i].1)`; the win is batch
+    /// width, which is what the threaded backend scales with.
+    ///
+    /// Counter contract: exactly as `k` sequential
+    /// [`Self::apply_galois`] calls — one `galois_ops` and one
+    /// `keyswitches` bump **per job** (coalescing is an execution
+    /// detail, not an operation-count change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the jobs' levels disagree, or per job as
+    /// [`Self::apply_galois`].
+    pub fn apply_galois_coalesced(
+        &self,
+        jobs: &[(&Ciphertext, &SwitchingKey)],
+        g: u64,
+    ) -> Vec<Ciphertext> {
+        let Some(level) = jobs.first().map(|(a, _)| a.level) else {
+            return Vec::new();
+        };
+        for (a, _) in jobs {
+            assert_eq!(a.level, level, "coalesced jobs must share a level");
+            OpCounters::bump(&self.counters.galois_ops);
+            OpCounters::bump(&self.counters.keyswitches);
+        }
+        let ks_jobs: Vec<KsJob<'_>> = jobs
+            .iter()
+            .map(|(a, key)| KsJob { d: &a.c1, key })
+            .collect();
+        let switched = key_switch_galois_coalesced(&self.ctx, &ks_jobs, g, level);
+        jobs.iter()
+            .zip(switched)
+            .map(|((a, _), (ks0, ks1))| {
+                let mut c0 = a.c0.clone();
+                c0.automorphism_lazy(g, self.ctx.galois());
+                c0.add_assign(&ks0);
+                Ciphertext {
+                    c0,
+                    c1: ks1,
+                    level,
+                    scale: a.scale,
+                }
+            })
+            .collect()
+    }
+
+    /// [`Self::apply_galois_coalesced`] for slot rotations: rotates
+    /// every ciphertext by the same amount `r` under its own key, in
+    /// one coalesced dispatch.
+    pub fn rotate_coalesced(
+        &self,
+        jobs: &[(&Ciphertext, &SwitchingKey)],
+        r: i64,
+    ) -> Vec<Ciphertext> {
+        let g = fhe_math::galois::rotation_galois_element(r, self.ctx.n());
+        self.apply_galois_coalesced(jobs, g)
     }
 
     /// Computes the shared ModUp state of `a.c1` for a batch of
@@ -895,6 +960,45 @@ mod tests {
         }
         // 3 hoisted + 3 sequential applications, one bump each.
         assert_eq!(f.eval.counters().snapshot(), (0, 0, 0, 6, 6, 0));
+    }
+
+    /// Coalescing k independent rotations into one dispatch must be
+    /// bit-identical to k sequential `rotate` calls and count exactly
+    /// like them — per job, not per dispatch.
+    #[test]
+    fn coalesced_galois_matches_sequential_and_counts_per_job() {
+        let mut f = fixture();
+        let l = f.ctx.params().max_level();
+        let slots = f.enc.slots();
+        let cts: Vec<Ciphertext> = (0..3)
+            .map(|t| {
+                let x: Vec<f64> = (0..slots)
+                    .map(|i| ((i * 7 + t) % 23) as f64 / 23.0)
+                    .collect();
+                f.encryptor
+                    .encrypt_sk(&f.enc.encode_real(&x, l), &f.keys.secret, &mut f.rng)
+            })
+            .collect();
+        let r = 1i64;
+        let g = fhe_math::galois::rotation_galois_element(r, f.ctx.n());
+        let gk = &f.keys.galois[&g];
+
+        f.eval.counters().reset();
+        let jobs: Vec<(&Ciphertext, &SwitchingKey)> = cts.iter().map(|ct| (ct, gk)).collect();
+        let coalesced = f.eval.rotate_coalesced(&jobs, r);
+        assert_eq!(
+            f.eval.counters().snapshot(),
+            (0, 0, 0, 3, 3, 0),
+            "one keyswitch + galois bump per job"
+        );
+        for (i, (ct, c)) in cts.iter().zip(&coalesced).enumerate() {
+            let s = f.eval.rotate(ct, r, gk);
+            assert_eq!(c.c0.flat(), s.c0.flat(), "c0 job {i}");
+            assert_eq!(c.c1.flat(), s.c1.flat(), "c1 job {i}");
+            assert_eq!(c.scale, s.scale);
+            assert_eq!(c.level, s.level);
+        }
+        assert!(f.eval.apply_galois_coalesced(&[], g).is_empty());
     }
 
     /// Exhaustive plaintext-slot oracle for

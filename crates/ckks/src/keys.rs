@@ -80,6 +80,15 @@ pub struct PublicKey {
     pub a: RnsPoly,
 }
 
+impl PublicKey {
+    /// Measured heap bytes of this key's residue buffers (allocated
+    /// `Vec` capacities) — the unit a byte-budgeted key cache accounts
+    /// in.
+    pub fn key_bytes(&self) -> usize {
+        self.b.heap_bytes() + self.a.heap_bytes()
+    }
+}
+
 /// A switching key: one RLWE sample per digit over `Q * P`.
 #[derive(Debug, Clone)]
 pub struct SwitchingKey {
@@ -160,6 +169,20 @@ impl SwitchingKey {
         };
         let (b, a) = &self.rows[j];
         (select(b), select(a))
+    }
+
+    /// Measured heap bytes of this key: the allocated capacity of every
+    /// per-digit residue buffer plus the row `Vec`'s own backing
+    /// storage. Switching keys (relinearisation and one per Galois
+    /// element) are the dominant per-tenant state a serving layer
+    /// holds, so its key cache evicts by this number.
+    pub fn key_bytes(&self) -> usize {
+        let rows = self.rows.capacity() * std::mem::size_of::<(RnsPoly, RnsPoly)>();
+        rows + self
+            .rows
+            .iter()
+            .map(|(b, a)| b.heap_bytes() + a.heap_bytes())
+            .sum::<usize>()
     }
 }
 
@@ -298,6 +321,46 @@ mod tests {
         for v in vals {
             assert!(v.abs() <= bound, "error coefficient {v} too large");
         }
+    }
+
+    /// `key_bytes` must equal the manual sum of the underlying `Vec`
+    /// capacities — the cache's eviction arithmetic is only as honest
+    /// as this accounting.
+    #[test]
+    fn key_bytes_pins_to_manual_capacity_sums() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(34);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+
+        let pk = kg.public_key(&sk, &mut rng);
+        let word = std::mem::size_of::<u64>();
+        let poly_bytes = |p: &fhe_math::RnsPoly| std::mem::size_of_val(p.flat());
+        // These buffers are built exactly-sized (with_capacity +
+        // extend), so capacity == len and the manual sum is exact.
+        assert_eq!(pk.key_bytes(), poly_bytes(&pk.b) + poly_bytes(&pk.a));
+        // Sanity: full q-chain, both halves, nonzero.
+        let expect_rows = ctx.params().max_level() + 1;
+        assert_eq!(pk.key_bytes(), 2 * expect_rows * ctx.n() * word);
+
+        let rlk = kg.relin_key(&sk, &mut rng);
+        let manual: usize = rlk.rows.capacity() * std::mem::size_of::<(RnsPoly, RnsPoly)>()
+            + rlk
+                .rows
+                .iter()
+                .map(|(b, a)| poly_bytes(b) + poly_bytes(a))
+                .sum::<usize>();
+        assert_eq!(rlk.key_bytes(), manual);
+        // Each digit row spans the full extended basis.
+        let full_rows = ctx.full_basis().len();
+        assert!(rlk.key_bytes() >= rlk.rows.len() * 2 * full_rows * ctx.n() * word);
+
+        // Galois keys share the construction, and distinct keys of one
+        // context measure identically — what lets a cache predict the
+        // cost of admitting a tenant before generating anything.
+        let g = fhe_math::galois::rotation_galois_element(1, ctx.n());
+        let gk = kg.galois_key(&sk, g, &mut rng);
+        assert_eq!(gk.key_bytes(), rlk.key_bytes());
     }
 
     #[test]

@@ -43,8 +43,27 @@
 //! NTTs once and replays only the automorphism → inner product →
 //! ModDown tail per rotation, bit-identical to `k` sequential
 //! [`key_switch_galois`] calls.
+//!
+//! # Cross-request coalescing
+//!
+//! The lazy chain itself is **batch-first**: [`key_switch_coalesced`]
+//! and [`key_switch_galois_coalesced`] run `k` independent keyswitch
+//! jobs that share geometry (ring degree, level, Galois element — keys
+//! may differ per job, e.g. per tenant) through *one* pipeline whose
+//! kernel dispatches carry all `k` jobs' limb rows at once:
+//! `k · (l+1)` rows per input iNTT, `k · ext_limbs` rows per digit NTT
+//! / automorphism / inner product, `2k · ext_limbs` rows per
+//! accumulator iNTT + fold. [`crate::keyswitch::key_switch`] is the
+//! `k = 1` instance of the same engine, so a service layer coalescing
+//! requests widens every `KernelBackend` batch entry point it already
+//! goes through — [`fhe_math::ThreadedBackend`] sees `k`-fold wider
+//! batches even at small `L` — without changing a single per-row
+//! kernel, which is why coalesced results are bit-identical to
+//! sequential per-request execution (asserted by the suite below and
+//! `tests/backend_identity.rs`).
 
-use fhe_math::{ReductionState, Representation, RnsPoly};
+use fhe_math::kernel::{self, ExitFold};
+use fhe_math::{Modulus, NttTable, ReductionState, Representation, RnsPoly};
 
 use crate::context::CkksContext;
 use crate::keys::SwitchingKey;
@@ -69,7 +88,8 @@ pub fn key_switch(
     key: &SwitchingKey,
     level: usize,
 ) -> (RnsPoly, RnsPoly) {
-    key_switch_impl(ctx, d, key, level, KsReduction::LazyChain, None)
+    let mut out = key_switch_coalesced_impl(ctx, &[KsJob { d, key }], level, None);
+    out.pop().expect("one job in, one result out")
 }
 
 /// Hoisted Galois keyswitch: applies the automorphism `sigma_g` *inside*
@@ -104,7 +124,58 @@ pub fn key_switch_galois(
     key: &SwitchingKey,
     level: usize,
 ) -> (RnsPoly, RnsPoly) {
-    key_switch_impl(ctx, d, key, level, KsReduction::LazyChain, Some(g))
+    let mut out = key_switch_coalesced_impl(ctx, &[KsJob { d, key }], level, Some(g));
+    out.pop().expect("one job in, one result out")
+}
+
+/// One request of a coalesced keyswitch batch: the evaluation-form
+/// polynomial to switch and the switching key to apply. Keys may
+/// differ per job (different tenants); the geometry — ring degree,
+/// level, and for the Galois variant the Galois element — must be
+/// shared across the batch, because that is what lets all `k` jobs ride
+/// one kernel dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct KsJob<'a> {
+    /// The polynomial to keyswitch (evaluation form, `level + 1` limbs).
+    pub d: &'a RnsPoly,
+    /// The switching key (relinearisation or Galois) for this job.
+    pub key: &'a SwitchingKey,
+}
+
+/// Runs `k` independent [`key_switch`] jobs through one coalesced
+/// pipeline: every kernel dispatch (input iNTT, digit NTTs, inner
+/// products, accumulator iNTT, fold, output NTT) carries all `k` jobs'
+/// limb rows at once. Output `i` is bit-identical to
+/// `key_switch(ctx, jobs[i].d, jobs[i].key, level)` — the per-row
+/// kernels are unchanged, only the batch width grows.
+///
+/// # Panics
+///
+/// As [`key_switch`], per job.
+pub fn key_switch_coalesced(
+    ctx: &CkksContext,
+    jobs: &[KsJob<'_>],
+    level: usize,
+) -> Vec<(RnsPoly, RnsPoly)> {
+    key_switch_coalesced_impl(ctx, jobs, level, None)
+}
+
+/// The Galois form of [`key_switch_coalesced`]: `k` independent
+/// rotations by the *same* Galois element `g` (per-job keys, e.g. one
+/// per tenant), coalesced into one pipeline. Output `i` is
+/// bit-identical to `key_switch_galois(ctx, jobs[i].d, g, jobs[i].key,
+/// level)`.
+///
+/// # Panics
+///
+/// As [`key_switch_galois`], per job.
+pub fn key_switch_galois_coalesced(
+    ctx: &CkksContext,
+    jobs: &[KsJob<'_>],
+    g: u64,
+    level: usize,
+) -> Vec<(RnsPoly, RnsPoly)> {
+    key_switch_coalesced_impl(ctx, jobs, level, Some(g))
 }
 
 /// The per-kernel-canonicalising tier of [`key_switch_galois`]
@@ -199,36 +270,47 @@ enum KsReduction {
 /// extended-basis limb order `[q_0..q_l, p_0..]` — returning the raised
 /// digit in coefficient form.
 fn raise_digit(ctx: &CkksContext, d_coeff: &RnsPoly, level: usize, j: usize) -> RnsPoly {
+    let n_ext = ctx.extended_basis(level).len();
+    let mut flat = Vec::with_capacity(n_ext * ctx.n());
+    raise_digit_into(ctx, d_coeff.flat(), level, j, &mut flat);
+    RnsPoly::from_flat(
+        ctx.extended_basis(level).clone(),
+        flat,
+        Representation::Coeff,
+    )
+}
+
+/// Flat-buffer core of [`raise_digit`]: reads the canonical
+/// coefficient-form limb rows of one input (`(level + 1) * n` words)
+/// and appends the raised digit's `ext_limbs * n` words to `out` — the
+/// append-only form the coalesced engine uses to build one combined
+/// buffer for all jobs of a batch.
+fn raise_digit_into(ctx: &CkksContext, d_flat: &[u64], level: usize, j: usize, out: &mut Vec<u64>) {
     let precomp = ctx.keyswitch_precomp(level);
     let digit = &precomp.digits[j];
     let n = ctx.n();
+    debug_assert_eq!(d_flat.len(), (level + 1) * n);
     // Decompose: gather this digit's limbs into one flat buffer.
     let mut digit_flat = Vec::with_capacity(digit.digit_limbs.len() * n);
     for &i in &digit.digit_limbs {
-        digit_flat.extend_from_slice(d_coeff.limb(i));
+        digit_flat.extend_from_slice(&d_flat[i * n..(i + 1) * n]);
     }
     // ModUp: BConv digit -> (others ∪ P), flat limb-major in and out.
     let converted = digit.mod_up.convert_approx(&digit_flat);
     // Reassemble limbs in extended order [q_0..q_l, p_0..].
     let n_q = level + 1;
     let n_p = ctx.params().p_special.len();
-    let mut flat = Vec::with_capacity((n_q + n_p) * n);
     let mut other_pos = 0usize;
     for i in 0..n_q {
         if let Some(idx) = digit.digit_limbs.iter().position(|&x| x == i) {
-            flat.extend_from_slice(&digit_flat[idx * n..(idx + 1) * n]);
+            out.extend_from_slice(&digit_flat[idx * n..(idx + 1) * n]);
         } else {
-            flat.extend_from_slice(&converted[other_pos * n..(other_pos + 1) * n]);
+            out.extend_from_slice(&converted[other_pos * n..(other_pos + 1) * n]);
             other_pos += 1;
         }
     }
     let p_start = digit.other_limbs.len();
-    flat.extend_from_slice(&converted[p_start * n..(p_start + n_p) * n]);
-    RnsPoly::from_flat(
-        ctx.extended_basis(level).clone(),
-        flat,
-        Representation::Coeff,
-    )
+    out.extend_from_slice(&converted[p_start * n..(p_start + n_p) * n]);
 }
 
 fn key_switch_impl(
@@ -256,17 +338,11 @@ fn key_switch_impl(
         let mut d_tilde = raise_digit(ctx, &d_coeff, level, j);
         let (b_j, a_j) = key.row_at_level(ctx, j, level);
         match mode {
+            // The lazy-chain tier runs through the coalesced engine
+            // (`key_switch_coalesced_impl`) — this oracle pipeline only
+            // serves the canonicalising tiers.
             KsReduction::LazyChain => {
-                // NTT with a lazy exit; the hoisted automorphism is a
-                // pure slot permutation that preserves the [0, 2p)
-                // window; the inner product accepts the lazy digit
-                // directly and keeps the accumulator lazy.
-                d_tilde.to_eval_lazy();
-                if let Some(g) = galois {
-                    d_tilde.automorphism_lazy(g, ctx.galois());
-                }
-                acc0.mul_acc_pointwise_lazy(&d_tilde, &b_j);
-                acc1.mul_acc_pointwise_lazy(&d_tilde, &a_j);
+                unreachable!("lazy-chain keyswitch runs through the coalesced engine")
             }
             KsReduction::PerKernel => {
                 d_tilde.to_eval();
@@ -291,6 +367,168 @@ fn key_switch_impl(
     let ks0 = mod_down(ctx, acc0, level, mode);
     let ks1 = mod_down(ctx, acc1, level, mode);
     (ks0, ks1)
+}
+
+/// Repeats the per-limb slice `once` back to back `k` times — the
+/// row-metadata side of widening a kernel dispatch from one job's limb
+/// rows to a whole batch's.
+fn repeat_rows<T: Copy>(once: &[T], k: usize) -> Vec<T> {
+    let mut out = Vec::with_capacity(once.len() * k);
+    for _ in 0..k {
+        out.extend_from_slice(once);
+    }
+    out
+}
+
+/// The coalesced lazy-chain keyswitch engine (see the module docs):
+/// runs all `jobs` — same `ctx`/`level`/`galois` geometry, per-job
+/// inputs and keys — through one pipeline whose kernel dispatches
+/// carry every job's limb rows at once.
+///
+/// Per row this is exactly the `k = 1` lazy chain: input iNTT with a
+/// canonical exit, per digit a lazy-exit NTT + (optional) slot
+/// permutation + lazy multiply-accumulate against the key rows, one
+/// lazy-exit iNTT over both accumulators, a single `[0, 2p) → [0, p)`
+/// fold per limb, ModDown's exact BConv + combine, and a canonical
+/// output NTT. Batching concatenates rows; it never changes a per-row
+/// kernel, which is the bit-identity argument (asserted against the
+/// strict oracle by `tests/lazy_chains.rs` and per-backend by
+/// `tests/backend_identity.rs`).
+fn key_switch_coalesced_impl(
+    ctx: &CkksContext,
+    jobs: &[KsJob<'_>],
+    level: usize,
+    galois: Option<u64>,
+) -> Vec<(RnsPoly, RnsPoly)> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let k = jobs.len();
+    let n = ctx.n();
+    let n_q = level + 1;
+    let precomp = ctx.keyswitch_precomp(level);
+    let level_basis = ctx.level_basis(level).clone();
+    let ext_basis = ctx.extended_basis(level).clone();
+    let n_ext = ext_basis.len();
+
+    let level_tables: Vec<&NttTable> = level_basis.tables().iter().map(|t| t.as_ref()).collect();
+    let ext_tables: Vec<&NttTable> = ext_basis.tables().iter().map(|t| t.as_ref()).collect();
+    let ext_tables_k = repeat_rows(&ext_tables, k);
+    let ext_moduli_k: Vec<Modulus> = repeat_rows(ext_basis.moduli(), k);
+
+    // Decompose needs true [0, p) representatives, so the batched input
+    // iNTT exits canonically — one dispatch over all k * (l+1) rows.
+    let mut d_coeff = Vec::with_capacity(k * n_q * n);
+    for job in jobs {
+        assert_eq!(job.d.representation(), Representation::Eval);
+        assert_eq!(job.d.limbs(), n_q, "polynomial level mismatch");
+        d_coeff.extend_from_slice(job.d.flat());
+    }
+    kernel::active().inverse_batch(
+        &repeat_rows(&level_tables, k),
+        &mut d_coeff,
+        ExitFold::Canonical,
+    );
+
+    // Both accumulators live in one buffer (acc0 rows for all jobs,
+    // then acc1 rows for all jobs) so the tail iNTT + fold are single
+    // dispatches over 2k * ext_limbs rows.
+    let mut acc_all = vec![0u64; 2 * k * n_ext * n];
+    let perm = galois.map(|g| {
+        assert_eq!(g % 2, 1, "galois element must be odd");
+        ctx.galois().eval_permutation(g)
+    });
+
+    let mut digit_buf: Vec<u64> = Vec::with_capacity(k * n_ext * n);
+    let mut perm_buf = vec![0u64; if perm.is_some() { k * n_ext * n } else { 0 }];
+    let mut b_buf: Vec<u64> = Vec::with_capacity(k * n_ext * n);
+    let mut a_buf: Vec<u64> = Vec::with_capacity(k * n_ext * n);
+    for j in 0..precomp.digits.len() {
+        // Raise digit j of every job into one combined buffer, then NTT
+        // all k * ext_limbs rows with one lazy-exit dispatch.
+        digit_buf.clear();
+        for i in 0..k {
+            raise_digit_into(
+                ctx,
+                &d_coeff[i * n_q * n..(i + 1) * n_q * n],
+                level,
+                j,
+                &mut digit_buf,
+            );
+        }
+        kernel::active().forward_batch(&ext_tables_k, &mut digit_buf, ExitFold::Lazy2p);
+        // The hoisted automorphism is a pure slot permutation that
+        // preserves the [0, 2p) window — one gather over the batch.
+        if let Some(perm) = &perm {
+            kernel::active().permute_batch(perm.as_slice(), &digit_buf, &mut perm_buf);
+            std::mem::swap(&mut digit_buf, &mut perm_buf);
+        }
+        // Inner product: every job's key row for this digit, one lazy
+        // MAC dispatch per accumulator over all k * ext_limbs rows.
+        b_buf.clear();
+        a_buf.clear();
+        for job in jobs {
+            let (b_j, a_j) = job.key.row_at_level(ctx, j, level);
+            b_buf.extend_from_slice(b_j.flat());
+            a_buf.extend_from_slice(a_j.flat());
+        }
+        let (acc0, acc1) = acc_all.split_at_mut(k * n_ext * n);
+        kernel::active().mul_acc_lazy_batch(&ext_moduli_k, acc0, &digit_buf, &b_buf);
+        kernel::active().mul_acc_lazy_batch(&ext_moduli_k, acc1, &digit_buf, &a_buf);
+    }
+
+    // Tail: lazy-exit iNTT over both accumulators of every job, then
+    // the chain's single deferred fold per limb — each one dispatch.
+    kernel::active().inverse_batch(
+        &repeat_rows(&ext_tables, 2 * k),
+        &mut acc_all,
+        ExitFold::Lazy2p,
+    );
+    kernel::active()
+        .fold_2p_to_canonical_batch(&repeat_rows(ext_basis.moduli(), 2 * k), &mut acc_all);
+
+    // ModDown per accumulator (exact BConv of the P-part + combine),
+    // collecting every output's coefficient rows for one final
+    // canonical-exit NTT over all 2k * (l+1) rows.
+    let mut out_all = Vec::with_capacity(2 * k * n_q * n);
+    for acc in acc_all.chunks_exact(n_ext * n) {
+        let (q_flat, p_flat) = acc.split_at(n_q * n);
+        let p_in_q = precomp.mod_down.convert_exact(p_flat);
+        for i in 0..n_q {
+            let qi = level_basis.modulus(i);
+            let inv = precomp.p_inv_mod_q[i];
+            out_all.extend(
+                q_flat[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(&p_in_q[i * n..(i + 1) * n])
+                    .map(|(&c, &p)| qi.mul(qi.sub(c, p), inv)),
+            );
+        }
+    }
+    kernel::active().forward_batch(
+        &repeat_rows(&level_tables, 2 * k),
+        &mut out_all,
+        ExitFold::Canonical,
+    );
+
+    // Split back into per-job (ks0, ks1) pairs: job i's ks0 rows sit at
+    // chunk i, its ks1 rows at chunk k + i.
+    let stride = n_q * n;
+    (0..k)
+        .map(|i| {
+            let ks0 = RnsPoly::from_flat(
+                level_basis.clone(),
+                out_all[i * stride..(i + 1) * stride].to_vec(),
+                Representation::Eval,
+            );
+            let ks1 = RnsPoly::from_flat(
+                level_basis.clone(),
+                out_all[(k + i) * stride..(k + i + 1) * stride].to_vec(),
+                Representation::Eval,
+            );
+            (ks0, ks1)
+        })
+        .collect()
 }
 
 /// The shared ModUp state of a rotation batch: the input's digit
@@ -635,6 +873,92 @@ mod tests {
                 assert_eq!(h1.flat(), s1.flat(), "ks1 r={r} level={level}");
             }
         }
+    }
+
+    /// Coalescing k independent keyswitch jobs (distinct inputs AND
+    /// distinct keys, as cross-tenant coalescing produces) must leave
+    /// every output bitwise identical to its own sequential call —
+    /// batching widens kernel dispatches, it never changes a per-row
+    /// kernel.
+    #[test]
+    fn coalesced_keyswitch_bit_identical_to_sequential() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(57);
+        let kg = KeyGenerator::new(ctx.clone());
+        for level in [ctx.params().max_level(), 0] {
+            let basis = ctx.level_basis(level).clone();
+            let mut ds = Vec::new();
+            let mut keys = Vec::new();
+            for _ in 0..3 {
+                let sk = kg.secret_key(&mut rng);
+                keys.push(kg.relin_key(&sk, &mut rng));
+                let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+                for m in basis.moduli() {
+                    flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+                }
+                ds.push(RnsPoly::from_flat(
+                    basis.clone(),
+                    flat,
+                    Representation::Eval,
+                ));
+            }
+            let jobs: Vec<KsJob<'_>> = ds
+                .iter()
+                .zip(&keys)
+                .map(|(d, key)| KsJob { d, key })
+                .collect();
+            let coalesced = key_switch_coalesced(&ctx, &jobs, level);
+            assert_eq!(coalesced.len(), jobs.len());
+            for (i, (job, (c0, c1))) in jobs.iter().zip(&coalesced).enumerate() {
+                let (s0, s1) = key_switch(&ctx, job.d, job.key, level);
+                assert_eq!(c0.flat(), s0.flat(), "ks0 job {i} level {level}");
+                assert_eq!(c1.flat(), s1.flat(), "ks1 job {i} level {level}");
+                assert_eq!(c0.reduction_state(), ReductionState::Canonical);
+                assert_eq!(c0.representation(), Representation::Eval);
+            }
+        }
+    }
+
+    /// The Galois form of the same guarantee: k rotations by one
+    /// element under per-job keys, coalesced, each output bit-identical
+    /// to its sequential `key_switch_galois` (and hence to the strict
+    /// oracle, by `galois_keyswitch_tiers_bit_identical`).
+    #[test]
+    fn coalesced_galois_keyswitch_bit_identical_to_sequential() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut rng = StdRng::seed_from_u64(58);
+        let kg = KeyGenerator::new(ctx.clone());
+        let g = fhe_math::galois::rotation_galois_element(1, ctx.n());
+        let level = ctx.params().max_level();
+        let basis = ctx.level_basis(level).clone();
+        let mut ds = Vec::new();
+        let mut keys = Vec::new();
+        for _ in 0..4 {
+            let sk = kg.secret_key(&mut rng);
+            keys.push(kg.galois_key(&sk, g, &mut rng));
+            let mut flat = Vec::with_capacity(basis.len() * ctx.n());
+            for m in basis.moduli() {
+                flat.extend(sampler::uniform_residues(&mut rng, m, ctx.n()));
+            }
+            ds.push(RnsPoly::from_flat(
+                basis.clone(),
+                flat,
+                Representation::Eval,
+            ));
+        }
+        let jobs: Vec<KsJob<'_>> = ds
+            .iter()
+            .zip(&keys)
+            .map(|(d, key)| KsJob { d, key })
+            .collect();
+        let coalesced = key_switch_galois_coalesced(&ctx, &jobs, g, level);
+        for (i, (job, (c0, c1))) in jobs.iter().zip(&coalesced).enumerate() {
+            let (s0, s1) = key_switch_galois(&ctx, job.d, g, job.key, level);
+            assert_eq!(c0.flat(), s0.flat(), "ks0 job {i}");
+            assert_eq!(c1.flat(), s1.flat(), "ks1 job {i}");
+        }
+        // An empty batch is a no-op, not a panic.
+        assert!(key_switch_galois_coalesced(&ctx, &[], g, level).is_empty());
     }
 
     #[test]

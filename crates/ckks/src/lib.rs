@@ -85,9 +85,9 @@ pub use encryption::{Decryptor, Encryptor};
 pub use eval::Evaluator;
 pub use keys::{KeyGenerator, KeySet, PublicKey, SecretKey, SwitchingKey};
 pub use keyswitch::{
-    hoist_rotations, key_switch, key_switch_galois, key_switch_galois_hoisted,
-    key_switch_galois_per_kernel, key_switch_galois_strict, key_switch_per_kernel,
-    key_switch_strict, HoistedRotations,
+    hoist_rotations, key_switch, key_switch_coalesced, key_switch_galois,
+    key_switch_galois_coalesced, key_switch_galois_hoisted, key_switch_galois_per_kernel,
+    key_switch_galois_strict, key_switch_per_kernel, key_switch_strict, HoistedRotations, KsJob,
 };
 pub use linalg::LinearTransform;
 pub use noise::{measure_noise_bits, NoiseEstimate, NoiseModel};

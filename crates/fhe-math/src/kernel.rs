@@ -1030,6 +1030,21 @@ impl ThreadedBackend {
         self.pool.parallel_jobs_dispatched()
     }
 
+    /// [`Self::parallel_jobs_dispatched`] restricted to fan-outs whose
+    /// dispatching thread carried `tag` (see
+    /// [`crate::pool::tag_dispatches`]) — the per-lane attribution a
+    /// service scheduler's audit log reads.
+    pub fn parallel_jobs_dispatched_by_tag(&self, tag: usize) -> u64 {
+        self.pool.parallel_jobs_dispatched_by_tag(tag)
+    }
+
+    /// Jobs currently queued in the underlying pool's injector (see
+    /// [`WorkerPool::queue_depth`]) — the saturation gauge admission
+    /// control reads.
+    pub fn queue_depth(&self) -> u64 {
+        self.pool.queue_depth()
+    }
+
     /// Partitions `rows` rows of `n` words into contiguous job groups,
     /// or `None` when the batch is below the parallel threshold (the
     /// sequential fallback).

@@ -241,6 +241,16 @@ impl RnsPoly {
         self.data
     }
 
+    /// Heap bytes owned by this polynomial's residue buffer (allocated
+    /// capacity, not just the live length). The unit of account for
+    /// key-cache eviction in the service layer: evaluation/galois keys
+    /// are stacks of `RnsPoly` rows, and their measured size is the sum
+    /// of these.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u64>()
+    }
+
     fn assert_same_basis(&self, other: &RnsPoly) {
         assert_eq!(self.basis.n(), other.basis.n(), "ring degree mismatch");
         assert_eq!(self.limbs(), other.limbs(), "limb count mismatch");

@@ -24,6 +24,7 @@ pub const RULES: &[&str] = &[
     "guard-across-dispatch",
     "lock-unwrap",
     "env-read-outside-selector",
+    "kernel-force-outside-test",
     "unsafe-missing-safety",
     "bad-allow",
 ];
@@ -57,7 +58,12 @@ const PRESERVERS: &[&str] = &["automorphism_lazy", "permute"];
 
 /// Kernels that *mark their `&mut` argument* lazy (slice-level APIs
 /// where the mutated buffer is the first argument).
-const ARG_LAZY_MARKERS: &[&str] = &["forward_lazy", "inverse_lazy", "pointwise_mul_acc_lazy"];
+const ARG_LAZY_MARKERS: &[&str] = &[
+    "forward_lazy",
+    "inverse_lazy",
+    "pointwise_mul_acc_lazy",
+    "mul_acc_lazy_batch",
+];
 
 /// Strict kernels: debug-panic on a lazy receiver at runtime, so a
 /// statically-proven lazy receiver here is a guaranteed debug failure.
@@ -124,6 +130,7 @@ pub fn run(files: &[FileModel]) -> Vec<Finding> {
         guard_across_dispatch(m, &mut out);
         lock_unwrap(m, &mut out);
         env_read(m, &mut out);
+        kernel_force(m, &mut out);
         unsafe_missing_safety(m, &mut out);
     }
     lazy_chain_coverage(files, workspace_mode, &mut out);
@@ -749,6 +756,39 @@ fn env_read(m: &FileModel, out: &mut Vec<Finding>) {
                 "thread configuration through explicit parameters; only \
                  fhe-math/src/kernel.rs may consult the environment \
                  (TRINITY_KERNEL_BACKEND)",
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------- kernel-force-outside-test
+
+/// `kernel::force` swaps the process-global backend and is a test /
+/// bench affordance only. Production code — the service layer above
+/// all — must rely on `kernel::active`'s one-time resolution: a force
+/// under live multi-tenant traffic races every in-flight dispatch.
+fn kernel_force(m: &FileModel, out: &mut Vec<Finding>) {
+    if !is_prod(m) || m.path.ends_with(SELECTOR_PATH_SUFFIX) {
+        return;
+    }
+    let toks = m.toks();
+    for i in 0..toks.len().saturating_sub(3) {
+        if m.in_test_span(i) {
+            continue;
+        }
+        if toks[i].is_ident("kernel")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("force")
+        {
+            out.push(finding(
+                "kernel-force-outside-test",
+                m,
+                &toks[i + 3],
+                "`kernel::force` referenced in production code".into(),
+                "the global backend swap is test/bench-only; production (and the \
+                 service layer in particular) must use `kernel::active()`'s \
+                 one-time resolution",
             ));
         }
     }

@@ -122,6 +122,15 @@ fn env_read_outside_selector() {
 }
 
 #[test]
+fn kernel_force_outside_test() {
+    let f = lint_fixture(
+        "crates/service/src/kernel_force.rs",
+        include_str!("fixtures/kernel_force.rs"),
+    );
+    assert_golden(&f, &[("kernel-force-outside-test", 8)]);
+}
+
+#[test]
 fn unsafe_missing_safety() {
     let f = lint_fixture(
         "crates/x/src/unsafe_missing_safety.rs",

@@ -1,0 +1,240 @@
+//! JSONL audit log of scheduler decisions.
+//!
+//! Every admission, rejection, dispatch, completion and starvation
+//! event is appended as one self-describing JSON object per line, so a
+//! deployment (or a test) can replay exactly what the scheduler did
+//! and why — which lane was served, under which cause, how many jobs
+//! one kernel dispatch carried, and what the lane backlogs looked like
+//! at the moment of decision. The encoder is hand-rolled: events are
+//! flat maps of identifiers and small integers, which keeps the
+//! serialisation trivially reviewable and the crate dependency-free.
+
+use std::collections::VecDeque;
+
+use crate::lane::Lane;
+
+/// Audit schema version, bumped when event shapes change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Why the scheduler served a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickCause {
+    /// The lane exceeded the starvation threshold.
+    Starvation,
+    /// The lane was below its minimum budget share.
+    BudgetDeficit,
+    /// No lane was starved or in deficit; priority order decided.
+    Priority,
+}
+
+impl PickCause {
+    /// Audit-log spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PickCause::Starvation => "starvation",
+            PickCause::BudgetDeficit => "budget_deficit",
+            PickCause::Priority => "priority",
+        }
+    }
+}
+
+/// One structured audit event. Rendered to JSONL by [`AuditLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// A request passed admission control and was enqueued.
+    Admit {
+        /// Scheduler tick at admission.
+        tick: u64,
+        /// Tenant the request belongs to.
+        tenant: usize,
+        /// Request id.
+        request: u64,
+        /// Lane the request was routed to.
+        lane: Lane,
+    },
+    /// A request was refused at admission.
+    Reject {
+        /// Scheduler tick at rejection.
+        tick: u64,
+        /// Tenant the request belonged to.
+        tenant: usize,
+        /// Machine-readable refusal reason.
+        reason: &'static str,
+    },
+    /// One kernel dispatch was issued for a lane.
+    Dispatch {
+        /// Scheduler tick of the dispatch.
+        tick: u64,
+        /// Lane served.
+        lane: Lane,
+        /// Why this lane was chosen.
+        cause: PickCause,
+        /// Number of requests coalesced into this dispatch.
+        jobs: usize,
+        /// Per-lane backlog (`[interactive, timed, bulk]`) *before*
+        /// the dispatch — what the scheduler saw when deciding.
+        pending: [usize; 3],
+    },
+    /// A request finished and its result became collectable.
+    Complete {
+        /// Scheduler tick of completion.
+        tick: u64,
+        /// Request id.
+        request: u64,
+    },
+    /// A lane crossed the starvation threshold and was force-served.
+    Starvation {
+        /// Scheduler tick of detection.
+        tick: u64,
+        /// The starved lane.
+        lane: Lane,
+        /// Ticks the lane's head job had waited.
+        waited: u64,
+    },
+}
+
+impl AuditEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            AuditEvent::Admit {
+                tick,
+                tenant,
+                request,
+                lane,
+            } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"admit\",\"tick\":{tick},\
+                 \"tenant\":{tenant},\"request\":{request},\"lane\":\"{}\"}}",
+                lane.name()
+            ),
+            AuditEvent::Reject {
+                tick,
+                tenant,
+                reason,
+            } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"reject\",\"tick\":{tick},\
+                 \"tenant\":{tenant},\"reason\":\"{reason}\"}}"
+            ),
+            AuditEvent::Dispatch {
+                tick,
+                lane,
+                cause,
+                jobs,
+                pending,
+            } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"dispatch\",\"tick\":{tick},\
+                 \"lane\":\"{}\",\"cause\":\"{}\",\"jobs\":{jobs},\
+                 \"pending\":[{},{},{}]}}",
+                lane.name(),
+                cause.name(),
+                pending[0],
+                pending[1],
+                pending[2]
+            ),
+            AuditEvent::Complete { tick, request } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"complete\",\"tick\":{tick},\
+                 \"request\":{request}}}"
+            ),
+            AuditEvent::Starvation { tick, lane, waited } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"starvation\",\"tick\":{tick},\
+                 \"lane\":\"{}\",\"waited\":{waited}}}",
+                lane.name()
+            ),
+        }
+    }
+}
+
+/// An append-only audit log: structured events plus their JSONL
+/// rendering, in admission order.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    events: VecDeque<AuditEvent>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, ev: AuditEvent) {
+        self.events.push_back(ev);
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events logged.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The full log as JSONL (one JSON object per line, trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL rendering to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_one_object_each_and_versioned() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::Admit {
+            tick: 0,
+            tenant: 2,
+            request: 7,
+            lane: Lane::Bulk,
+        });
+        log.push(AuditEvent::Dispatch {
+            tick: 1,
+            lane: Lane::Bulk,
+            cause: PickCause::BudgetDeficit,
+            jobs: 3,
+            pending: [1, 0, 4],
+        });
+        log.push(AuditEvent::Starvation {
+            tick: 2,
+            lane: Lane::Timed,
+            waited: 26,
+        });
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with("{\"schema_version\":1,"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            // Flat objects: every key and string value is quoted, no
+            // nested braces beyond the object itself.
+            assert_eq!(line.matches('{').count(), 1, "{line}");
+        }
+        assert!(lines[0].contains("\"event\":\"admit\"") && lines[0].contains("\"request\":7"));
+        assert!(
+            lines[1].contains("\"jobs\":3")
+                && lines[1].contains("\"cause\":\"budget_deficit\"")
+                && lines[1].contains("\"pending\":[1,0,4]")
+        );
+        assert!(lines[2].contains("\"waited\":26"));
+    }
+}

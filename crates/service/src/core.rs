@@ -1,0 +1,512 @@
+//! The service core: admission, queueing, dispatch, results.
+//!
+//! [`ServiceCore`] is a deliberately *single-threaded* event loop: one
+//! logical thread admits requests, picks lanes, and issues kernel
+//! dispatches. Parallelism lives below, in the kernel backend's worker
+//! pool (where the paper puts it — wide batch kernels, not concurrent
+//! control flow), so the scheduler needs no locks at all and every
+//! decision is deterministic and auditable. Each dispatch runs under
+//! the lane's `fhe_math::pool` dispatch tag, so the pool's per-tag
+//! counters attribute threaded fan-out to QoS lanes for free.
+//!
+//! Time is measured in *ticks* — one tick per dispatch opportunity —
+//! which keeps budget enforcement and starvation detection exact and
+//! reproducible under test (no wall clock anywhere).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use fhe_ckks::{Ciphertext, CkksContext, Evaluator, SwitchingKey};
+use fhe_math::galois::rotation_galois_element;
+use fhe_math::pool::tag_dispatches;
+use fhe_tfhe::{GateOp, LweCiphertext, ServerKey};
+
+use crate::audit::{AuditEvent, AuditLog, PickCause};
+use crate::coalesce::{mates, Geometry};
+use crate::lane::{BudgetError, Lane, LaneBudgets, StarvationPolicy};
+use crate::queue::Scheduler;
+use crate::session::{AdmissionError, KeyCache, TenantKeys};
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Per-lane minimum dispatch shares.
+    pub budgets: LaneBudgets,
+    /// Starvation threshold.
+    pub starvation: StarvationPolicy,
+    /// Budget-enforcement window (picks).
+    pub window: usize,
+    /// Maximum queued requests across all lanes; admission rejects
+    /// beyond this.
+    pub queue_capacity: usize,
+    /// Key-cache byte budget.
+    pub key_cache_bytes: usize,
+    /// Maximum requests coalesced into one kernel dispatch.
+    pub max_batch: usize,
+}
+
+impl ServiceConfig {
+    /// Defaults sized for the CI-scale contexts the test suites run:
+    /// the 20/30/50 lane split over a 20-pick window, a 256-request
+    /// queue, a 64 MiB key cache, and up to 8 requests per dispatch.
+    pub fn default_config() -> Self {
+        ServiceConfig {
+            budgets: LaneBudgets::default_split(),
+            starvation: StarvationPolicy::default_policy(),
+            window: 20,
+            queue_capacity: 256,
+            key_cache_bytes: 64 << 20,
+            max_batch: 8,
+        }
+    }
+}
+
+/// Handle for a submitted request; redeem with
+/// [`ServiceCore::take_result`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// The id as it appears in the audit log.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// What a tenant asks the service to compute.
+pub enum Workload {
+    /// A TFHE boolean gate over two encrypted bits
+    /// ([`Lane::Interactive`]).
+    Gate {
+        /// The gate.
+        op: GateOp,
+        /// Encrypted left input.
+        a: LweCiphertext,
+        /// Encrypted right input.
+        b: LweCiphertext,
+    },
+    /// One CKKS rotation that must complete within `deadline` ticks of
+    /// admission ([`Lane::Timed`]).
+    Rotation {
+        /// The ciphertext to rotate.
+        ct: Ciphertext,
+        /// Rotation step.
+        step: i64,
+        /// Completion deadline, in ticks after admission.
+        deadline: u64,
+    },
+    /// A CKKS analytics scan applying `steps` in order
+    /// ([`Lane::Bulk`]).
+    Analytics {
+        /// The ciphertext to scan.
+        ct: Ciphertext,
+        /// Rotation steps, applied sequentially.
+        steps: Vec<i64>,
+    },
+}
+
+/// A finished request's payload.
+pub enum Response {
+    /// Result of a [`Workload::Gate`].
+    Bit(LweCiphertext),
+    /// Result of a [`Workload::Rotation`] or [`Workload::Analytics`].
+    Vector(Ciphertext),
+}
+
+enum JobWork {
+    Gate {
+        op: GateOp,
+        a: LweCiphertext,
+        b: LweCiphertext,
+    },
+    /// A rotation chain; `next` indexes the step the job still owes.
+    /// [`Workload::Rotation`] is the one-step instance.
+    Rotations {
+        ct: Ciphertext,
+        steps: Vec<i64>,
+        next: usize,
+    },
+}
+
+struct Job {
+    request: u64,
+    tenant: usize,
+    lane: Lane,
+    admitted: u64,
+    /// Tick the job was last served (or admitted); starvation wait is
+    /// measured from here, so multi-step chains re-arm between steps.
+    last_service: u64,
+    deadline: Option<u64>,
+    work: JobWork,
+}
+
+/// The multi-tenant serving core. See the module docs for the design.
+pub struct ServiceCore {
+    cfg: ServiceConfig,
+    sched: Scheduler,
+    audit: AuditLog,
+    cache: KeyCache,
+    /// One evaluator per distinct shared context, so coalesced
+    /// dispatches have a single op-counter home.
+    contexts: Vec<(Arc<CkksContext>, Evaluator)>,
+    lanes: [VecDeque<Job>; 3],
+    /// Tick each lane last received a dispatch; lane wait (the
+    /// scheduler's starvation observation) is measured from here.
+    last_served: [u64; 3],
+    results: HashMap<u64, Response>,
+    tick: u64,
+    next_request: u64,
+}
+
+impl ServiceCore {
+    /// Builds a service, validating the lane budgets.
+    pub fn new(cfg: ServiceConfig) -> Result<Self, BudgetError> {
+        let sched = Scheduler::new(cfg.budgets, cfg.starvation, cfg.window)?;
+        Ok(ServiceCore {
+            sched,
+            audit: AuditLog::new(),
+            cache: KeyCache::new(cfg.key_cache_bytes),
+            contexts: Vec::new(),
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            last_served: [0; 3],
+            results: HashMap::new(),
+            tick: 0,
+            next_request: 0,
+            cfg,
+        })
+    }
+
+    /// Registers a CKKS tenant: a (possibly shared) context plus
+    /// Galois keys by rotation step. Tenants registered over the same
+    /// `Arc`'d context become coalescing candidates for one another.
+    /// Returns the key bytes charged to the cache.
+    pub fn register_ckks_tenant(
+        &mut self,
+        tenant: usize,
+        ctx: Arc<CkksContext>,
+        galois: HashMap<i64, SwitchingKey>,
+    ) -> Result<usize, AdmissionError> {
+        if !self.contexts.iter().any(|(c, _)| Arc::ptr_eq(c, &ctx)) {
+            self.contexts
+                .push((ctx.clone(), Evaluator::new(ctx.clone())));
+        }
+        self.cache.insert(tenant, TenantKeys::Ckks { ctx, galois })
+    }
+
+    /// Registers a TFHE tenant with its server key. Returns the key
+    /// bytes charged to the cache.
+    pub fn register_tfhe_tenant(
+        &mut self,
+        tenant: usize,
+        server: ServerKey,
+    ) -> Result<usize, AdmissionError> {
+        self.cache.insert(tenant, TenantKeys::Tfhe { server })
+    }
+
+    /// Admits a request or rejects it (queue saturated, keys not
+    /// resident / wrong scheme, uncovered rotation step). Every
+    /// outcome is audited.
+    pub fn submit(&mut self, tenant: usize, work: Workload) -> Result<RequestId, AdmissionError> {
+        if let Err(e) = self.admissible(tenant, &work) {
+            self.audit.push(AuditEvent::Reject {
+                tick: self.tick,
+                tenant,
+                reason: e.audit_reason(),
+            });
+            return Err(e);
+        }
+        let (lane, job_work, deadline) = match work {
+            Workload::Gate { op, a, b } => (Lane::Interactive, JobWork::Gate { op, a, b }, None),
+            Workload::Rotation { ct, step, deadline } => (
+                Lane::Timed,
+                JobWork::Rotations {
+                    ct,
+                    steps: vec![step],
+                    next: 0,
+                },
+                Some(deadline),
+            ),
+            Workload::Analytics { ct, steps } => {
+                (Lane::Bulk, JobWork::Rotations { ct, steps, next: 0 }, None)
+            }
+        };
+        let request = self.next_request;
+        self.next_request += 1;
+        self.cache.touch(tenant);
+        self.cache.pin(tenant);
+        self.audit.push(AuditEvent::Admit {
+            tick: self.tick,
+            tenant,
+            request,
+            lane,
+        });
+        self.lanes[lane.index()].push_back(Job {
+            request,
+            tenant,
+            lane,
+            admitted: self.tick,
+            last_service: self.tick,
+            deadline,
+            work: job_work,
+        });
+        Ok(RequestId(request))
+    }
+
+    fn admissible(&self, tenant: usize, work: &Workload) -> Result<(), AdmissionError> {
+        if self.pending_total() >= self.cfg.queue_capacity {
+            return Err(AdmissionError::QueueSaturated);
+        }
+        match (self.cache.get(tenant), work) {
+            (Some(TenantKeys::Tfhe { .. }), Workload::Gate { .. }) => Ok(()),
+            (Some(TenantKeys::Ckks { galois, .. }), Workload::Rotation { step, .. }) => {
+                if galois.contains_key(step) {
+                    Ok(())
+                } else {
+                    Err(AdmissionError::MissingGaloisKey { step: *step })
+                }
+            }
+            (Some(TenantKeys::Ckks { galois, .. }), Workload::Analytics { steps, .. }) => steps
+                .iter()
+                .find(|s| !galois.contains_key(s))
+                .map_or(Ok(()), |s| {
+                    Err(AdmissionError::MissingGaloisKey { step: *s })
+                }),
+            // No session, or a session for the other scheme.
+            _ => Err(AdmissionError::UnknownTenant),
+        }
+    }
+
+    /// Runs dispatches until every lane drains.
+    pub fn run_until_idle(&mut self) {
+        while self.dispatch_next().is_some() {}
+    }
+
+    /// Performs one dispatch (serving one lane), returning the lane
+    /// served, or `None` when all lanes are empty.
+    pub fn dispatch_next(&mut self) -> Option<Lane> {
+        let waits = self.waits();
+        let (lane, cause) = self.sched.pick(waits)?;
+        if cause == PickCause::Starvation {
+            self.audit.push(AuditEvent::Starvation {
+                tick: self.tick,
+                lane,
+                waited: waits[lane.index()].unwrap_or(0),
+            });
+        }
+        let pending = [
+            self.lanes[0].len(),
+            self.lanes[1].len(),
+            self.lanes[2].len(),
+        ];
+        match lane {
+            Lane::Interactive => self.dispatch_gate(cause, pending),
+            Lane::Timed | Lane::Bulk => self.dispatch_rotations(lane, cause, pending),
+        }
+        self.last_served[lane.index()] = self.tick;
+        self.tick += 1;
+        Some(lane)
+    }
+
+    /// Per-lane waits for the scheduler: ticks since the lane was last
+    /// dispatched (or since its head job became runnable, whichever is
+    /// later), matching the lane-wait model the scheduler's starvation
+    /// property is verified against. Measuring from the *lane's* last
+    /// service — not the head job's admission — keeps a deep old
+    /// backlog from reading as permanently starved and overriding the
+    /// budget mechanism. A timed job past its deadline reports a wait
+    /// past the starvation threshold, so deadline misses surface
+    /// through the same force-serve path.
+    fn waits(&self) -> [Option<u64>; 3] {
+        let mut w = [None; 3];
+        for lane in Lane::ALL {
+            if let Some(job) = self.lanes[lane.index()].front() {
+                let since = job.last_service.max(self.last_served[lane.index()]);
+                let mut waited = self.tick - since;
+                if let Some(d) = job.deadline {
+                    if self.tick > job.admitted + d {
+                        waited = waited.max(self.sched.policy().max_wait_ticks + 1);
+                    }
+                }
+                w[lane.index()] = Some(waited);
+            }
+        }
+        w
+    }
+
+    fn dispatch_gate(&mut self, cause: PickCause, pending: [usize; 3]) {
+        let job = self.lanes[Lane::Interactive.index()]
+            .pop_front()
+            .expect("scheduler picked a non-empty lane");
+        let JobWork::Gate { op, a, b } = &job.work else {
+            unreachable!("interactive lane carries gate jobs only");
+        };
+        let Some(TenantKeys::Tfhe { server }) = self.cache.get(job.tenant) else {
+            unreachable!("admission pinned the tenant's TFHE session");
+        };
+        let out = {
+            let _tag = tag_dispatches(Lane::Interactive.dispatch_tag());
+            server.apply_gate(*op, a, b)
+        };
+        self.audit.push(AuditEvent::Dispatch {
+            tick: self.tick,
+            lane: Lane::Interactive,
+            cause,
+            jobs: 1,
+            pending,
+        });
+        self.complete(job.request, job.tenant, Response::Bit(out));
+    }
+
+    /// Serves `lane`'s head rotation job, coalescing every queued
+    /// Timed/Bulk job that shares its geometry (same shared context,
+    /// level, Galois element) into the same kernel dispatch — each job
+    /// under its own tenant's switching key.
+    fn dispatch_rotations(&mut self, lane: Lane, cause: PickCause, pending: [usize; 3]) {
+        let head = self.lanes[lane.index()]
+            .pop_front()
+            .expect("scheduler picked a non-empty lane");
+        let head_ctx = self.job_ctx(&head);
+        let head_geom = self.job_geometry(&head, &head_ctx);
+        let g = head_geom.galois();
+
+        // Collect geometry-matching mates from both rotation lanes,
+        // FIFO within each lane, Timed before Bulk.
+        let mut batch = vec![head];
+        let mut candidates = Vec::new();
+        let mut locs = Vec::new();
+        for l in [Lane::Timed, Lane::Bulk] {
+            for (qi, job) in self.lanes[l.index()].iter().enumerate() {
+                let ctx = self.job_ctx(job);
+                candidates.push((locs.len(), self.job_geometry(job, &ctx)));
+                locs.push((l, qi));
+            }
+        }
+        let picked = mates(head_geom, &candidates, self.cfg.max_batch);
+        // Remove back-to-front so queue indices stay valid.
+        for &p in picked.iter().rev() {
+            let (l, qi) = locs[p];
+            let job = self.lanes[l.index()]
+                .remove(qi)
+                .expect("mate index is live");
+            batch.push(job);
+        }
+        // Queue order scanned Timed first; restore FIFO-by-admission
+        // inside the batch for deterministic result ordering.
+        batch[1..].sort_by_key(|j| j.request);
+
+        // One coalesced keyswitch dispatch for the whole batch.
+        let outs = {
+            let eval = &self
+                .contexts
+                .iter()
+                .find(|(c, _)| Arc::ptr_eq(c, &head_ctx))
+                .expect("registration recorded the context")
+                .1;
+            let jobs: Vec<(&Ciphertext, &SwitchingKey)> = batch
+                .iter()
+                .map(|job| {
+                    let JobWork::Rotations { ct, steps, next } = &job.work else {
+                        unreachable!("rotation lanes carry rotation jobs only");
+                    };
+                    let Some(TenantKeys::Ckks { galois, .. }) = self.cache.get(job.tenant) else {
+                        unreachable!("admission pinned the tenant's CKKS session");
+                    };
+                    let key = galois
+                        .get(&steps[*next])
+                        .expect("admission validated every step");
+                    (ct, key)
+                })
+                .collect();
+            let _tag = tag_dispatches(lane.dispatch_tag());
+            eval.apply_galois_coalesced(&jobs, g)
+        };
+
+        self.audit.push(AuditEvent::Dispatch {
+            tick: self.tick,
+            lane,
+            cause,
+            jobs: batch.len(),
+            pending,
+        });
+        for (mut job, out) in batch.into_iter().zip(outs) {
+            let JobWork::Rotations { ct, steps, next } = &mut job.work else {
+                unreachable!("rotation lanes carry rotation jobs only");
+            };
+            *next += 1;
+            if *next == steps.len() {
+                self.complete(job.request, job.tenant, Response::Vector(out));
+            } else {
+                *ct = out;
+                job.last_service = self.tick;
+                self.lanes[job.lane.index()].push_back(job);
+            }
+        }
+    }
+
+    fn job_ctx(&self, job: &Job) -> Arc<CkksContext> {
+        let Some(TenantKeys::Ckks { ctx, .. }) = self.cache.get(job.tenant) else {
+            unreachable!("rotation jobs belong to CKKS tenants");
+        };
+        ctx.clone()
+    }
+
+    fn job_geometry(&self, job: &Job, ctx: &Arc<CkksContext>) -> Geometry {
+        let JobWork::Rotations { ct, steps, next } = &job.work else {
+            unreachable!("rotation lanes carry rotation jobs only");
+        };
+        let g = rotation_galois_element(steps[*next], ctx.n());
+        Geometry::new(ctx, ct.level, g)
+    }
+
+    fn complete(&mut self, request: u64, tenant: usize, response: Response) {
+        self.results.insert(request, response);
+        self.cache.unpin(tenant);
+        self.audit.push(AuditEvent::Complete {
+            tick: self.tick,
+            request,
+        });
+    }
+
+    /// Collects a finished request's result.
+    pub fn take_result(&mut self, id: RequestId) -> Option<Response> {
+        self.results.remove(&id.0)
+    }
+
+    /// Requests queued across all lanes.
+    pub fn pending_total(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Per-lane queue depths (`[interactive, timed, bulk]`).
+    pub fn queue_depths(&self) -> [usize; 3] {
+        [
+            self.lanes[0].len(),
+            self.lanes[1].len(),
+            self.lanes[2].len(),
+        ]
+    }
+
+    /// The audit log so far.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The key cache (capacity, usage, evictions).
+    pub fn key_cache(&self) -> &KeyCache {
+        &self.cache
+    }
+
+    /// The current scheduler tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The shared evaluator for `ctx`, if any tenant registered over
+    /// it — its op counters aggregate the context's service traffic.
+    pub fn evaluator_for(&self, ctx: &Arc<CkksContext>) -> Option<&Evaluator> {
+        self.contexts
+            .iter()
+            .find(|(c, _)| Arc::ptr_eq(c, ctx))
+            .map(|(_, e)| e)
+    }
+}

@@ -1,0 +1,162 @@
+//! Property suites for the lane scheduler: budget enforcement and
+//! starvation bounds over randomized traffic shapes.
+//!
+//! The scheduler is pure decision logic, so these suites drive it
+//! directly with synthetic backlog observations — thousands of
+//! randomized streams per second, no ciphertexts anywhere. The
+//! end-to-end suite (`service_e2e.rs`) separately checks that the
+//! real service loop feeds the scheduler the same observations these
+//! models do.
+
+use proptest::prelude::*;
+use trinity_service::{Lane, LaneBudgets, PickCause, Scheduler, StarvationPolicy};
+
+/// Ceiling share of one window slot, percent.
+fn quantum(window: usize) -> u32 {
+    100u32.div_ceil(window as u32)
+}
+
+/// Drives `picks` scheduler rounds with every lane permanently
+/// backlogged, modelling head-of-line wait as ticks-since-last-service.
+fn run_full_backlog(s: &mut Scheduler, picks: usize, check_from: usize, slack: u32) {
+    let mut wait = [0u64; 3];
+    for round in 0..picks {
+        let (lane, _) = s
+            .pick([Some(wait[0]), Some(wait[1]), Some(wait[2])])
+            .expect("backlogged lanes always yield a pick");
+        for l in Lane::ALL {
+            wait[l.index()] += 1;
+        }
+        wait[lane.index()] = 0;
+        if round >= check_from {
+            for l in Lane::ALL {
+                let share = s.share_percent(l);
+                let min = s.budgets().min_for(l);
+                assert!(
+                    share + slack >= min,
+                    "{l:?} share {share}% below min {min}% (slack {slack}) at round {round}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Budget enforcement: under full backlog, every lane holds its
+    /// minimum share (up to window quantisation) for *any*
+    /// satisfiable budget split and window size.
+    #[test]
+    fn minimum_shares_hold_for_any_satisfiable_split(
+        i in 0u32..=60,
+        t in 0u32..=60,
+        b in 0u32..=60,
+        window in 10usize..=40,
+    ) {
+        prop_assume!(i + t + b <= 100);
+        let mut s = Scheduler::new(
+            LaneBudgets { interactive_min: i, timed_min: t, bulk_min: b },
+            // Starvation disabled: this property isolates the budget
+            // mechanism (the starvation property has its own suite).
+            StarvationPolicy { max_wait_ticks: u64::MAX },
+            window,
+        ).unwrap();
+        let warmup = 3 * window;
+        run_full_backlog(&mut s, warmup + 100, warmup, 2 * quantum(window) + 1);
+    }
+
+    /// Budget enforcement under churn: the backlogged lanes keep
+    /// their minimums even while another lane flaps between empty
+    /// and flooding.
+    #[test]
+    fn backlogged_lanes_keep_minimums_while_interactive_flaps(
+        flaps in proptest::collection::vec(any::<bool>(), 150..250),
+    ) {
+        let budgets = LaneBudgets { interactive_min: 20, timed_min: 30, bulk_min: 50 };
+        let window = 20;
+        let mut s = Scheduler::new(
+            budgets,
+            StarvationPolicy { max_wait_ticks: u64::MAX },
+            window,
+        ).unwrap();
+        let mut wait = [0u64; 3];
+        for (round, &interactive_up) in flaps.iter().enumerate() {
+            let waits = [
+                interactive_up.then_some(wait[0]),
+                Some(wait[1]),
+                Some(wait[2]),
+            ];
+            let (lane, _) = s.pick(waits).expect("timed and bulk stay backlogged");
+            prop_assert!(interactive_up || lane != Lane::Interactive,
+                "picked an empty lane at round {round}");
+            for l in Lane::ALL {
+                wait[l.index()] += 1;
+            }
+            wait[lane.index()] = 0;
+            if !interactive_up {
+                wait[Lane::Interactive.index()] = 0;
+            }
+            if round >= 3 * window {
+                for l in [Lane::Timed, Lane::Bulk] {
+                    let share = s.share_percent(l);
+                    let min = budgets.min_for(l);
+                    let slack = 3 * quantum(window);
+                    prop_assert!(share + slack >= min,
+                        "{l:?} share {share}% below min {min}% at round {round}");
+                }
+            }
+        }
+    }
+
+    /// Starvation detection: no backlogged lane ever waits more than
+    /// `threshold + 2` ticks past its last service (the +2 covers the
+    /// other two lanes crossing the threshold in the same tick), and
+    /// every starvation-caused pick really was over threshold.
+    #[test]
+    fn starvation_fires_within_threshold(
+        threshold in 5u64..40,
+        up in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 200..400),
+        i in 0u32..=50,
+        t in 0u32..=50,
+    ) {
+        prop_assume!(i + t <= 100);
+        let mut s = Scheduler::new(
+            LaneBudgets { interactive_min: i, timed_min: t, bulk_min: 0 },
+            StarvationPolicy { max_wait_ticks: threshold },
+            20,
+        ).unwrap();
+        let mut wait = [0u64; 3];
+        for (round, &(a, b, c)) in up.iter().enumerate() {
+            let backlog = [a, b, c];
+            let waits: Vec<Option<u64>> = Lane::ALL
+                .iter()
+                .map(|l| backlog[l.index()].then_some(wait[l.index()]))
+                .collect();
+            let picked = s.pick([waits[0], waits[1], waits[2]]);
+            for l in Lane::ALL {
+                let li = l.index();
+                if backlog[li] {
+                    prop_assert!(wait[li] <= threshold + 2,
+                        "{l:?} starved for {} > {} ticks at round {round}",
+                        wait[li], threshold + 2);
+                    wait[li] += 1;
+                } else {
+                    // An empty lane has no head job; when one arrives
+                    // its wait starts from zero.
+                    wait[li] = 0;
+                }
+            }
+            if let Some((lane, cause)) = picked {
+                prop_assert!(backlog[lane.index()], "picked an empty lane");
+                if cause == PickCause::Starvation {
+                    prop_assert!(wait[lane.index()] - 1 > threshold,
+                        "starvation pick below threshold at round {round}");
+                }
+                wait[lane.index()] = 0;
+            } else {
+                prop_assert!(backlog.iter().all(|&x| !x));
+            }
+        }
+    }
+}

@@ -185,6 +185,17 @@ impl ServerKey {
         }
     }
 
+    /// Measured heap bytes of the server-side key material (allocated
+    /// `Vec` capacities of the bootstrap key's GGSW rows and the
+    /// keyswitch key) — the per-tenant number a byte-budgeted key cache
+    /// evicts by, pinned against manual capacity sums by
+    /// `tests::key_bytes_pins_to_manual_capacity_sums`.
+    pub fn key_bytes(&self) -> usize {
+        self.bsk.capacity() * std::mem::size_of::<Ggsw>()
+            + self.bsk.iter().map(Ggsw::heap_bytes).sum::<usize>()
+            + self.ksk.heap_bytes()
+    }
+
     /// Blind rotation (Algorithm 2 lines 2–12): rotates the test vector
     /// by the encrypted phase through `n_lwe` CMUXes.
     pub fn blind_rotate(&self, a_tilde: &[u64], b_tilde: u64, tv: &[u64]) -> GlweCiphertext {
@@ -319,6 +330,38 @@ mod tests {
     fn set_iii_ntt() -> &'static (ClientKey, ServerKey) {
         static K: OnceLock<(ClientKey, ServerKey)> = OnceLock::new();
         K.get_or_init(|| keys(TfheParams::set_iii(), MulBackend::Ntt, 116))
+    }
+
+    /// `key_bytes` must equal the manual sum of the underlying `Vec`
+    /// capacities at every nesting level — the service key cache's
+    /// eviction arithmetic depends on this accounting being honest.
+    #[test]
+    fn key_bytes_pins_to_manual_capacity_sums() {
+        let (_, sk) = set_i_ntt();
+        let manual_bsk: usize = sk.bsk.capacity() * std::mem::size_of::<Ggsw>()
+            + sk.bsk.iter().map(Ggsw::heap_bytes).sum::<usize>();
+        let manual_ksk = sk.ksk.rows.capacity()
+            * std::mem::size_of::<Vec<crate::lwe::LweCiphertext>>()
+            + sk.ksk
+                .rows
+                .iter()
+                .map(|row| {
+                    row.capacity() * std::mem::size_of::<crate::lwe::LweCiphertext>()
+                        + row
+                            .iter()
+                            .map(|ct| ct.a.capacity() * std::mem::size_of::<u64>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>();
+        assert_eq!(sk.key_bytes(), manual_bsk + manual_ksk);
+        // A gate-bootstrapping key is megabytes of state — the reason
+        // per-tenant admission is byte-budgeted, not count-budgeted.
+        let p = &sk.ctx.params;
+        let lwe_masks = p.n * p.k * p.lk * p.n_lwe * std::mem::size_of::<u64>();
+        assert!(
+            sk.key_bytes() > lwe_masks,
+            "ksk masks alone are {lwe_masks} bytes"
+        );
     }
 
     fn check_sign_bootstrap(bit: bool, seed: u64) {

@@ -7,7 +7,63 @@
 use crate::bootstrap::ServerKey;
 use crate::lwe::LweCiphertext;
 
+/// A binary homomorphic gate as *data* — the job payload a serving
+/// layer queues on its Interactive lane (each application is one linear
+/// combination plus one sign PBS, the latency unit of the paper's
+/// Table VII), dispatched through [`ServerKey::apply_gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Homomorphic AND.
+    And,
+    /// Homomorphic OR.
+    Or,
+    /// Homomorphic NAND.
+    Nand,
+    /// Homomorphic NOR.
+    Nor,
+    /// Homomorphic XOR.
+    Xor,
+    /// Homomorphic XNOR.
+    Xnor,
+}
+
+impl GateOp {
+    /// All binary gates, for exhaustive tests and traffic generators.
+    pub const ALL: [GateOp; 6] = [
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Xor,
+        GateOp::Xnor,
+    ];
+
+    /// The plaintext truth table this gate computes.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateOp::And => a && b,
+            GateOp::Or => a || b,
+            GateOp::Nand => !(a && b),
+            GateOp::Nor => !(a || b),
+            GateOp::Xor => a ^ b,
+            GateOp::Xnor => !(a ^ b),
+        }
+    }
+}
+
 impl ServerKey {
+    /// Applies a binary gate selected at runtime — the dispatch point
+    /// for queued [`GateOp`] jobs.
+    pub fn apply_gate(&self, op: GateOp, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        match op {
+            GateOp::And => self.and(a, b),
+            GateOp::Or => self.or(a, b),
+            GateOp::Nand => self.nand(a, b),
+            GateOp::Nor => self.nor(a, b),
+            GateOp::Xor => self.xor(a, b),
+            GateOp::Xnor => self.xnor(a, b),
+        }
+    }
     /// Homomorphic NOT — purely linear, no bootstrap.
     pub fn not(&self, a: &LweCiphertext) -> LweCiphertext {
         let mut out = a.clone();
@@ -116,6 +172,24 @@ mod tests {
                     !(a ^ b),
                     "XNOR({a},{b})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_gate_matches_plaintext_truth_tables() {
+        let (ck, sk, mut rng) = setup();
+        for op in GateOp::ALL {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let ca = ck.encrypt_bit(a, &mut rng);
+                    let cb = ck.encrypt_bit(b, &mut rng);
+                    assert_eq!(
+                        ck.decrypt_bit(&sk.apply_gate(op, &ca, &cb)),
+                        op.eval(a, b),
+                        "{op:?}({a},{b})"
+                    );
+                }
             }
         }
     }

@@ -139,6 +139,30 @@ impl Ggsw {
         }
     }
 
+    /// Measured heap bytes of this ciphertext's row storage (allocated
+    /// `Vec` capacities at every nesting level) — one summand of
+    /// [`crate::ServerKey::key_bytes`], the number a byte-budgeted key
+    /// cache evicts by.
+    pub fn heap_bytes(&self) -> usize {
+        fn nested<T>(rows: &[Vec<Vec<T>>], cap: usize) -> usize {
+            cap * std::mem::size_of::<Vec<Vec<T>>>()
+                + rows
+                    .iter()
+                    .map(|row| {
+                        row.capacity() * std::mem::size_of::<Vec<T>>()
+                            + row
+                                .iter()
+                                .map(|c| c.capacity() * std::mem::size_of::<T>())
+                                .sum::<usize>()
+                    })
+                    .sum::<usize>()
+        }
+        match &self.repr {
+            GgswRepr::Ntt(rows) => nested(rows, rows.capacity()),
+            GgswRepr::Fft(rows) => nested(rows, rows.capacity()),
+        }
+    }
+
     /// External product `self ⊡ glwe`.
     ///
     /// Decomposes every GLWE component into `lb` digit polynomials and

@@ -63,6 +63,11 @@ impl LweCiphertext {
         self.a.len()
     }
 
+    /// Measured heap bytes of the mask buffer (allocated capacity).
+    pub fn heap_bytes(&self) -> usize {
+        self.a.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Encrypts `message` (already encoded as a torus point in `[0, q)`).
     pub fn encrypt<R: Rng + ?Sized>(
         q: &Modulus,
@@ -218,6 +223,21 @@ impl LweKeySwitchKey {
             base_log,
             levels,
         }
+    }
+
+    /// Measured heap bytes of the key: allocated capacities of the row
+    /// table and every ciphertext mask — one summand of
+    /// [`crate::ServerKey::key_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<Vec<LweCiphertext>>()
+            + self
+                .rows
+                .iter()
+                .map(|row| {
+                    row.capacity() * std::mem::size_of::<LweCiphertext>()
+                        + row.iter().map(LweCiphertext::heap_bytes).sum::<usize>()
+                })
+                .sum::<usize>()
     }
 
     /// Switches `ct` to the output key:

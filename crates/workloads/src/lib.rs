@@ -14,6 +14,8 @@
 //!   sequential bit-identity oracle.
 //! * [`reference`](mod@reference) — cited constants for rows the simulator does not
 //!   regenerate, tagged by provenance.
+//! * [`traffic`] — deterministic multi-tenant request streams feeding
+//!   the `trinity-service` QoS scheduler and its property tests.
 //!
 //! Every builder appends kernels to a
 //! [`trinity_core::kernel::KernelGraph`] and returns the frontier
@@ -59,6 +61,7 @@ pub mod conversion;
 pub mod linear;
 pub mod reference;
 pub mod tfhe_ops;
+pub mod traffic;
 
 pub use apps::{bootstrap, helr, resnet20, He3dbRecipe, NnRecipe};
 pub use ckks_ops::{CkksShape, KeySwitchOpts};
@@ -66,3 +69,4 @@ pub use conversion::{repack, repack_keyswitch_count};
 pub use linear::LinearLayer;
 pub use reference::Source;
 pub use tfhe_ops::{pbs, pbs_batch, TfheShape};
+pub use traffic::{stream, RequestKind, TrafficEvent, TrafficMix};

@@ -19,6 +19,9 @@
 //! * [`compiler`] (`trinity-compiler`) — the Fig. 8 workload-allocation
 //!   pipeline: FHE-op IR, automatic bootstrap insertion, lowering to
 //!   scheduled kernel flows.
+//! * [`service`] (`trinity-service`) — the multi-tenant serving core:
+//!   QoS-laned job queue, byte-budgeted session key cache, and
+//!   cross-request keyswitch coalescing with a JSONL audit trail.
 //!
 //! # Quickstart
 //!
@@ -50,4 +53,5 @@ pub use fhe_math as math;
 pub use fhe_tfhe as tfhe;
 pub use trinity_compiler as compiler;
 pub use trinity_core as accel;
+pub use trinity_service as service;
 pub use trinity_workloads as workloads;
