@@ -186,11 +186,20 @@ impl ServiceCore {
         ctx: Arc<CkksContext>,
         galois: HashMap<i64, SwitchingKey>,
     ) -> Result<usize, AdmissionError> {
+        // Insert first: a refused registration must not leave the
+        // context (and a fresh Evaluator) resident forever.
+        let bytes = self.cache.insert(
+            tenant,
+            TenantKeys::Ckks {
+                ctx: ctx.clone(),
+                galois,
+            },
+        )?;
         if !self.contexts.iter().any(|(c, _)| Arc::ptr_eq(c, &ctx)) {
             self.contexts
                 .push((ctx.clone(), Evaluator::new(ctx.clone())));
         }
-        self.cache.insert(tenant, TenantKeys::Ckks { ctx, galois })
+        Ok(bytes)
     }
 
     /// Registers a TFHE tenant with its server key. Returns the key
@@ -265,12 +274,19 @@ impl ServiceCore {
                     Err(AdmissionError::MissingGaloisKey { step: *step })
                 }
             }
-            (Some(TenantKeys::Ckks { galois, .. }), Workload::Analytics { steps, .. }) => steps
-                .iter()
-                .find(|s| !galois.contains_key(s))
-                .map_or(Ok(()), |s| {
-                    Err(AdmissionError::MissingGaloisKey { step: *s })
-                }),
+            (Some(TenantKeys::Ckks { galois, .. }), Workload::Analytics { steps, .. }) => {
+                // An empty scan would pass the key check vacuously but
+                // has no step for the dispatcher to serve.
+                if steps.is_empty() {
+                    return Err(AdmissionError::EmptyWorkload);
+                }
+                steps
+                    .iter()
+                    .find(|s| !galois.contains_key(s))
+                    .map_or(Ok(()), |s| {
+                        Err(AdmissionError::MissingGaloisKey { step: *s })
+                    })
+            }
             // No session, or a session for the other scheme.
             _ => Err(AdmissionError::UnknownTenant),
         }
@@ -322,8 +338,10 @@ impl ServiceCore {
             if let Some(job) = self.lanes[lane.index()].front() {
                 let since = job.last_service.max(self.last_served[lane.index()]);
                 let mut waited = self.tick - since;
-                if let Some(d) = job.deadline {
-                    if self.tick > job.admitted + d {
+                // checked_add: a deadline near u64::MAX means "never",
+                // not an overflow panic.
+                if let Some(due) = job.deadline.and_then(|d| job.admitted.checked_add(d)) {
+                    if self.tick > due {
                         waited = waited.max(self.sched.policy().max_wait_ticks + 1);
                     }
                 }

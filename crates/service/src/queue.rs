@@ -90,9 +90,12 @@ impl Scheduler {
         }
 
         // Starvation pre-empts budget arithmetic: serve the longest
-        // waiter past the threshold.
+        // waiter past the threshold. `max_by_key` keeps the LAST
+        // maximum, so iterate in reverse priority order to make wait
+        // ties break toward the higher-priority lane.
         let starved = candidates
             .iter()
+            .rev()
             .copied()
             .filter(|l| waits[l.index()].unwrap_or(0) > self.policy.max_wait_ticks)
             .max_by_key(|l| waits[l.index()].unwrap_or(0));
@@ -102,10 +105,11 @@ impl Scheduler {
         }
 
         // Budget deficits: most-deficient backlogged lane first.
-        // Candidate order is priority order, so ties break toward the
-        // higher-priority lane.
+        // Reversed for the same reason as above: deficit ties break
+        // toward the higher-priority lane.
         let deficit = candidates
             .iter()
+            .rev()
             .copied()
             .filter_map(|l| {
                 let min = self.budgets.min_for(l);
@@ -194,6 +198,25 @@ mod tests {
         waits[Lane::Bulk.index()] = Some(s.policy().max_wait_ticks + 1);
         let (lane, cause) = s.pick(waits).unwrap();
         assert_eq!(lane, Lane::Bulk);
+        assert_eq!(cause, PickCause::Starvation);
+    }
+
+    #[test]
+    fn deficit_ties_break_toward_the_higher_priority_lane() {
+        // Fresh window: every lane's share is 0, so all three carry
+        // the same 30% deficit. The tie must go to Interactive.
+        let mut s = sched(30, 30, 30, 20);
+        let (lane, cause) = s.pick(ALL_WAITING).unwrap();
+        assert_eq!(lane, Lane::Interactive);
+        assert_eq!(cause, PickCause::BudgetDeficit);
+    }
+
+    #[test]
+    fn starvation_wait_ties_break_toward_the_higher_priority_lane() {
+        let mut s = sched(20, 30, 50, 20);
+        let over = s.policy().max_wait_ticks + 5;
+        let (lane, cause) = s.pick([None, Some(over), Some(over)]).unwrap();
+        assert_eq!(lane, Lane::Timed);
         assert_eq!(cause, PickCause::Starvation);
     }
 

@@ -33,6 +33,13 @@ pub enum AdmissionError {
     /// The tenant has no resident session (never registered, or
     /// evicted while idle — re-register to restore it).
     UnknownTenant,
+    /// Re-registration was refused because the tenant has queued or
+    /// in-flight jobs; swapping keys under them would invalidate work
+    /// admission already validated. Retry once the jobs drain.
+    SessionBusy,
+    /// The request carries no work (an analytics scan with zero
+    /// steps).
+    EmptyWorkload,
     /// A rotation request names a step the tenant holds no Galois key
     /// for.
     MissingGaloisKey {
@@ -47,6 +54,10 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::KeyCacheSaturated => write!(f, "key cache saturated"),
             AdmissionError::QueueSaturated => write!(f, "job queue saturated"),
             AdmissionError::UnknownTenant => write!(f, "tenant has no resident session"),
+            AdmissionError::SessionBusy => {
+                write!(f, "tenant session has queued or in-flight jobs")
+            }
+            AdmissionError::EmptyWorkload => write!(f, "workload carries no steps"),
             AdmissionError::MissingGaloisKey { step } => {
                 write!(f, "no galois key covers rotation step {step}")
             }
@@ -63,6 +74,8 @@ impl AdmissionError {
             AdmissionError::KeyCacheSaturated => "key_cache_saturated",
             AdmissionError::QueueSaturated => "queue_saturated",
             AdmissionError::UnknownTenant => "unknown_tenant",
+            AdmissionError::SessionBusy => "session_busy",
+            AdmissionError::EmptyWorkload => "empty_workload",
             AdmissionError::MissingGaloisKey { .. } => "missing_galois_key",
         }
     }
@@ -131,8 +144,15 @@ impl KeyCache {
 
     /// Registers (or replaces) `tenant`'s session, evicting idle LRU
     /// sessions as needed. Returns the measured key bytes charged.
+    /// Replacement is refused with [`AdmissionError::SessionBusy`]
+    /// while the tenant has queued or in-flight jobs — those jobs were
+    /// admitted against the resident keys, and swapping the set under
+    /// them (or making it evictable) would fail them after admission.
     pub fn insert(&mut self, tenant: usize, keys: TenantKeys) -> Result<usize, AdmissionError> {
         let bytes = keys.key_bytes();
+        if self.sessions.get(&tenant).is_some_and(|s| s.pinned > 0) {
+            return Err(AdmissionError::SessionBusy);
+        }
         if let Some(old) = self.sessions.remove(&tenant) {
             self.used -= old.bytes;
         }
@@ -267,6 +287,24 @@ mod tests {
         cache.unpin(1);
         cache.insert(3, ckks_keys(&ctx, 4, &[1])).unwrap();
         assert!(!cache.contains(1) && cache.contains(3));
+    }
+
+    #[test]
+    fn pinned_session_is_not_replaceable() {
+        let ctx = CkksContext::new(CkksParams::tiny_params());
+        let mut cache = KeyCache::new(usize::MAX);
+        let before = cache.insert(0, ckks_keys(&ctx, 1, &[1])).unwrap();
+        cache.pin(0);
+        assert_eq!(
+            cache.insert(0, ckks_keys(&ctx, 2, &[1, 2])).unwrap_err(),
+            AdmissionError::SessionBusy
+        );
+        // The resident session (and its charge) survived the refusal.
+        assert!(cache.contains(0));
+        assert_eq!(cache.used_bytes(), before);
+        // Draining the jobs re-enables replacement.
+        cache.unpin(0);
+        cache.insert(0, ckks_keys(&ctx, 2, &[1, 2])).unwrap();
     }
 
     #[test]

@@ -500,10 +500,24 @@ fn admission_control_rejects_and_audits_saturation() {
         .unwrap_err(),
         AdmissionError::UnknownTenant
     );
+    // A zero-step scan has nothing to dispatch: refused at the door
+    // rather than crashing the dispatcher.
+    assert_eq!(
+        svc.submit(
+            1,
+            Workload::Analytics {
+                ct: tenant.input.clone(),
+                steps: vec![],
+            },
+        )
+        .unwrap_err(),
+        AdmissionError::EmptyWorkload
+    );
     let jsonl = svc.audit().to_jsonl();
     assert!(jsonl.contains("\"reason\":\"queue_saturated\""));
     assert!(jsonl.contains("\"reason\":\"missing_galois_key\""));
     assert!(jsonl.contains("\"reason\":\"unknown_tenant\""));
+    assert!(jsonl.contains("\"reason\":\"empty_workload\""));
 
     // Key-cache saturation: a budget fitting one tenant refuses a
     // second while the first is pinned by queued work.
@@ -520,6 +534,13 @@ fn admission_control_rejects_and_audits_saturation() {
     svc.register_ckks_tenant(1, ctx.clone(), tenant.galois.clone())
         .unwrap();
     rot(&mut svc, 1).unwrap();
+    // The queued job pins tenant 1's session: re-registering now would
+    // swap the keys the admitted job was validated against.
+    assert_eq!(
+        svc.register_ckks_tenant(1, ctx.clone(), tenant.galois.clone())
+            .unwrap_err(),
+        AdmissionError::SessionBusy
+    );
     let other = ckks_tenant(&ctx, 941, &[1]);
     assert_eq!(
         svc.register_ckks_tenant(2, ctx.clone(), other.galois.clone())
@@ -532,4 +553,48 @@ fn admission_control_rejects_and_audits_saturation() {
     svc.register_ckks_tenant(2, ctx, other.galois.clone())
         .unwrap();
     assert_eq!(svc.key_cache().evictions(), 1);
+}
+
+#[test]
+fn huge_deadlines_and_failed_registrations_are_harmless() {
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let tenant = ckks_tenant(&ctx, 950, &[1]);
+
+    // A deadline near u64::MAX on a job admitted at a non-zero tick
+    // must read as "no deadline", not overflow the due-tick math.
+    let mut svc = ServiceCore::new(ServiceConfig::default_config()).unwrap();
+    svc.register_ckks_tenant(1, ctx.clone(), tenant.galois.clone())
+        .unwrap();
+    let rot = |svc: &mut ServiceCore, deadline: u64| {
+        svc.submit(
+            1,
+            Workload::Rotation {
+                ct: tenant.input.clone(),
+                step: 1,
+                deadline,
+            },
+        )
+        .unwrap()
+    };
+    rot(&mut svc, 10);
+    svc.run_until_idle(); // advance past tick 0
+    let id = rot(&mut svc, u64::MAX);
+    svc.run_until_idle();
+    assert!(svc.take_result(id).is_some());
+
+    // A registration the cache refuses must not leave the context
+    // (and a fresh evaluator) resident in the service forever.
+    let cfg = ServiceConfig {
+        key_cache_bytes: 0,
+        ..ServiceConfig::default_config()
+    };
+    let mut svc = ServiceCore::new(cfg).unwrap();
+    let fresh = CkksContext::new(CkksParams::tiny_params());
+    let t2 = ckks_tenant(&fresh, 951, &[1]);
+    assert_eq!(
+        svc.register_ckks_tenant(1, fresh.clone(), t2.galois.clone())
+            .unwrap_err(),
+        AdmissionError::KeyCacheSaturated
+    );
+    assert!(svc.evaluator_for(&fresh).is_none());
 }
