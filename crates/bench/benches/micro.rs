@@ -390,6 +390,68 @@ fn bench_coalesced_vs_sequential_keyswitch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-request TFHE gate batching (the `trinity-service` Interactive
+/// lane path): four independent gates from one tenant, evaluated as
+/// four sequential `apply_gate` calls vs one `apply_gates_batched`
+/// dispatch that runs the four blind rotations as a single batched
+/// external-product sweep. On the 1-CPU CI container the gate is the
+/// bit-identity assertion below plus the batch-width assertions in the
+/// service suites, not a wall-clock ratio.
+fn bench_gates_batched_vs_sequential(c: &mut Criterion) {
+    use fhe_tfhe::*;
+    let mut group = c.benchmark_group("gates_batched_vs_sequential");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(34);
+    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut rng);
+    let server = ServerKey::generate(&ck, MulBackend::Ntt, &mut rng);
+    let cases = [
+        (GateOp::Nand, true, true),
+        (GateOp::Xor, true, false),
+        (GateOp::And, false, true),
+        (GateOp::Or, false, false),
+    ];
+    let inputs: Vec<(GateOp, LweCiphertext, LweCiphertext)> = cases
+        .iter()
+        .map(|&(op, a, b)| (op, ck.encrypt_bit(a, &mut rng), ck.encrypt_bit(b, &mut rng)))
+        .collect();
+    let jobs: Vec<BatchedGateJob<'_>> = inputs
+        .iter()
+        .map(|(op, a, b)| (&server, *op, a, b))
+        .collect();
+    // Batching must be unobservable in the output bits.
+    let batched = apply_gates_batched(&jobs);
+    for ((op, a, b), wide) in inputs.iter().zip(&batched) {
+        let alone = server.apply_gate(*op, a, b);
+        assert_eq!(wide.a, alone.a);
+        assert_eq!(wide.b, alone.b);
+    }
+    group.bench_function("sequential_4x", |b| {
+        b.iter(|| {
+            inputs
+                .iter()
+                .map(|(op, x, y)| server.apply_gate(*op, x, y))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("batched_4x", |b| b.iter(|| apply_gates_batched(&jobs)));
+    // Under the threaded backend the batched blind rotation is where
+    // the fan-out comes from: 4x the external-product rows per sweep.
+    with_backend(fhe_math::kernel::threaded(Some(4)), || {
+        group.bench_function("sequential_threaded4_4x", |b| {
+            b.iter(|| {
+                inputs
+                    .iter()
+                    .map(|(op, x, y)| server.apply_gate(*op, x, y))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function("batched_threaded4_4x", |b| {
+            b.iter(|| apply_gates_batched(&jobs))
+        });
+    });
+    group.finish();
+}
+
 /// Homomorphic multiplication end to end.
 fn bench_hmult(c: &mut Criterion) {
     use fhe_ckks::*;
@@ -564,6 +626,7 @@ criterion_group!(
     bench_rotate_lazy_vs_canonical,
     bench_rotations_hoisted_vs_sequential,
     bench_coalesced_vs_sequential_keyswitch,
+    bench_gates_batched_vs_sequential,
     bench_hmult,
     bench_external_product,
     bench_pbs,

@@ -1038,6 +1038,22 @@ impl ThreadedBackend {
         self.pool.parallel_jobs_dispatched_by_tag(tag)
     }
 
+    /// Pool dispatches currently inside the parallel path under `tag`
+    /// (see [`WorkerPool::parallel_in_flight_by_tag`]) — the
+    /// instantaneous overlap gauge.
+    pub fn parallel_in_flight_by_tag(&self, tag: usize) -> u64 {
+        self.pool.parallel_in_flight_by_tag(tag)
+    }
+
+    /// Lifetime high-water mark of concurrently in-flight `tag`-tagged
+    /// pool dispatches (see
+    /// [`WorkerPool::parallel_in_flight_peak_by_tag`]) — reads ≥ 2 when
+    /// a multi-dispatch service genuinely overlapped dispatches on this
+    /// backend.
+    pub fn parallel_in_flight_peak_by_tag(&self, tag: usize) -> u64 {
+        self.pool.parallel_in_flight_peak_by_tag(tag)
+    }
+
     /// Jobs currently queued in the underlying pool's injector (see
     /// [`WorkerPool::queue_depth`]) — the saturation gauge admission
     /// control reads.

@@ -124,6 +124,13 @@ pub struct WorkerPool {
     /// `parallel_jobs` split by the dispatching thread's tag (see
     /// [`tag_dispatches`]); index 0 collects untagged dispatches.
     parallel_jobs_by_tag: [AtomicU64; DISPATCH_TAGS],
+    /// Dispatches (not jobs) currently inside the parallel path of
+    /// [`Self::run`], per dispatching tag — the instantaneous
+    /// in-flight gauge a multi-dispatch service reads to see which
+    /// lanes genuinely overlap on the pool.
+    in_flight_by_tag: [AtomicU64; DISPATCH_TAGS],
+    /// High-water mark of `in_flight_by_tag` over the pool's lifetime.
+    in_flight_peak_by_tag: [AtomicU64; DISPATCH_TAGS],
     /// Jobs currently sitting in the injector queue (sent but not yet
     /// received by a worker or stolen by a caller). A saturation
     /// signal for admission control; inline shares never queue and are
@@ -195,6 +202,8 @@ impl WorkerPool {
             threads: spawned + 1,
             parallel_jobs: AtomicU64::new(0),
             parallel_jobs_by_tag: std::array::from_fn(|_| AtomicU64::new(0)),
+            in_flight_by_tag: std::array::from_fn(|_| AtomicU64::new(0)),
+            in_flight_peak_by_tag: std::array::from_fn(|_| AtomicU64::new(0)),
             depth,
         }
     }
@@ -225,6 +234,33 @@ impl WorkerPool {
     #[inline]
     pub fn parallel_jobs_dispatched_by_tag(&self, tag: usize) -> u64 {
         self.parallel_jobs_by_tag[tag].load(Ordering::Relaxed)
+    }
+
+    /// Dispatches currently inside the parallel path of [`Self::run`]
+    /// whose dispatching thread carried `tag` — an instantaneous gauge
+    /// (0 whenever the pool is idle). Sequential fallbacks are not
+    /// counted, matching [`Self::parallel_jobs_dispatched`].
+    ///
+    /// # Panics
+    ///
+    /// If `tag >= DISPATCH_TAGS`.
+    #[inline]
+    pub fn parallel_in_flight_by_tag(&self, tag: usize) -> u64 {
+        self.in_flight_by_tag[tag].load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Self::parallel_in_flight_by_tag`] over the
+    /// pool's lifetime: how many `tag`-tagged dispatches were ever
+    /// inside the parallel path at once. A service with several
+    /// in-flight groups on one lane reads ≥ 2 here when its dispatches
+    /// genuinely overlapped on the pool.
+    ///
+    /// # Panics
+    ///
+    /// If `tag >= DISPATCH_TAGS`.
+    #[inline]
+    pub fn parallel_in_flight_peak_by_tag(&self, tag: usize) -> u64 {
+        self.in_flight_peak_by_tag[tag].load(Ordering::Relaxed)
     }
 
     /// Jobs currently queued in the injector (sent to workers but not
@@ -258,6 +294,10 @@ impl WorkerPool {
             }
             return;
         }
+
+        let tag = current_dispatch_tag();
+        let now = self.in_flight_by_tag[tag].fetch_add(1, Ordering::Relaxed) + 1;
+        self.in_flight_peak_by_tag[tag].fetch_max(now, Ordering::Relaxed);
 
         let (done_tx, done_rx) = mpsc::channel::<thread::Result<()>>();
         let mut outstanding = 0usize;
@@ -300,13 +340,13 @@ impl WorkerPool {
         // thread's tag as well.
         self.parallel_jobs
             .fetch_add(outstanding as u64 + 1, Ordering::Relaxed);
-        self.parallel_jobs_by_tag[current_dispatch_tag()]
-            .fetch_add(outstanding as u64 + 1, Ordering::Relaxed);
+        self.parallel_jobs_by_tag[tag].fetch_add(outstanding as u64 + 1, Ordering::Relaxed);
 
         // Run our own share, deferring any panic until the dispatch has
         // fully drained (the borrows above must stay alive until then).
         let mine = catch_unwind(AssertUnwindSafe(first));
         let worker_panic = self.finish_dispatch(&done_rx, outstanding);
+        self.in_flight_by_tag[tag].fetch_sub(1, Ordering::Relaxed);
         if let Err(payload) = mine {
             resume_unwind(payload);
         }
@@ -564,6 +604,58 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn dispatch_tag_out_of_range_panics() {
         let _ = tag_dispatches(DISPATCH_TAGS);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_overlapping_dispatches() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.parallel_in_flight_by_tag(0), 0);
+        assert_eq!(pool.parallel_in_flight_peak_by_tag(2), 0);
+        // A dispatch observes itself in flight from inside its own
+        // tasks, and the gauge returns to zero once it drains.
+        let seen = AtomicUsize::new(0);
+        {
+            let _lane = tag_dispatches(2);
+            let tasks: Vec<Task<'_>> = (0..4)
+                .map(|_| {
+                    let seen = &seen;
+                    let pool = &pool;
+                    Box::new(move || {
+                        seen.fetch_max(
+                            pool.parallel_in_flight_by_tag(2) as usize,
+                            Ordering::SeqCst,
+                        );
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.parallel_in_flight_by_tag(2), 0);
+        assert_eq!(pool.parallel_in_flight_peak_by_tag(2), 1);
+        // Two dispatchers racing on different tags: each peak records
+        // at least its own dispatch, and both gauges return to zero.
+        thread::scope(|s| {
+            for tag in [3usize, 4] {
+                let pool = &pool;
+                s.spawn(move || {
+                    let _lane = tag_dispatches(tag);
+                    for _ in 0..8 {
+                        let tasks: Vec<Task<'_>> =
+                            (0..4).map(|_| Box::new(|| {}) as Task<'_>).collect();
+                        pool.run(tasks);
+                    }
+                });
+            }
+        });
+        for tag in [3usize, 4] {
+            assert_eq!(pool.parallel_in_flight_by_tag(tag), 0, "tag {tag}");
+            assert_eq!(pool.parallel_in_flight_peak_by_tag(tag), 1, "tag {tag}");
+        }
+        // Sequential fallbacks never touch the gauge.
+        let seq = WorkerPool::new(1);
+        seq.run((0..4).map(|_| Box::new(|| {}) as Task<'_>).collect());
+        assert_eq!(seq.parallel_in_flight_peak_by_tag(0), 0);
     }
 
     #[test]

@@ -14,7 +14,13 @@ use std::collections::VecDeque;
 use crate::lane::Lane;
 
 /// Audit schema version, bumped when event shapes change.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2: dispatch and completion events carry a `group` id tying
+/// each completion to the kernel dispatch that produced it (coalesced
+/// and batched dispatches retire several requests per group, which v1
+/// could not correlate post-hoc), and the log opens with a `meta` line
+/// stamping the service configuration the run used.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Why the scheduler served a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +47,18 @@ impl PickCause {
 /// One structured audit event. Rendered to JSONL by [`AuditLog`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuditEvent {
+    /// The first line of every log: the service configuration this run
+    /// executed under. The determinism suites compare audit logs across
+    /// `max_in_flight` settings by ignoring exactly this line — every
+    /// other byte must match.
+    Meta {
+        /// Configured concurrent in-flight dispatch bound.
+        max_in_flight: usize,
+        /// Configured coalescing/batching width.
+        max_batch: usize,
+        /// Scheduler fairness window (picks).
+        window: usize,
+    },
     /// A request passed admission control and was enqueued.
     Admit {
         /// Scheduler tick at admission.
@@ -65,6 +83,9 @@ pub enum AuditEvent {
     Dispatch {
         /// Scheduler tick of the dispatch.
         tick: u64,
+        /// Dispatch-group id (monotonic per dispatch); completion
+        /// events carry the id of the group that retired them.
+        group: u64,
         /// Lane served.
         lane: Lane,
         /// Why this lane was chosen.
@@ -79,6 +100,8 @@ pub enum AuditEvent {
     Complete {
         /// Scheduler tick of completion.
         tick: u64,
+        /// The dispatch group that produced this result.
+        group: u64,
         /// Request id.
         request: u64,
     },
@@ -97,6 +120,15 @@ impl AuditEvent {
     /// Renders the event as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         match self {
+            AuditEvent::Meta {
+                max_in_flight,
+                max_batch,
+                window,
+            } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"meta\",\
+                 \"max_in_flight\":{max_in_flight},\"max_batch\":{max_batch},\
+                 \"window\":{window}}}"
+            ),
             AuditEvent::Admit {
                 tick,
                 tenant,
@@ -117,13 +149,14 @@ impl AuditEvent {
             ),
             AuditEvent::Dispatch {
                 tick,
+                group,
                 lane,
                 cause,
                 jobs,
                 pending,
             } => format!(
                 "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"dispatch\",\"tick\":{tick},\
-                 \"lane\":\"{}\",\"cause\":\"{}\",\"jobs\":{jobs},\
+                 \"group\":{group},\"lane\":\"{}\",\"cause\":\"{}\",\"jobs\":{jobs},\
                  \"pending\":[{},{},{}]}}",
                 lane.name(),
                 cause.name(),
@@ -131,9 +164,13 @@ impl AuditEvent {
                 pending[1],
                 pending[2]
             ),
-            AuditEvent::Complete { tick, request } => format!(
+            AuditEvent::Complete {
+                tick,
+                group,
+                request,
+            } => format!(
                 "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"complete\",\"tick\":{tick},\
-                 \"request\":{request}}}"
+                 \"group\":{group},\"request\":{request}}}"
             ),
             AuditEvent::Starvation { tick, lane, waited } => format!(
                 "{{\"schema_version\":{SCHEMA_VERSION},\"event\":\"starvation\",\"tick\":{tick},\
@@ -201,6 +238,11 @@ mod tests {
     #[test]
     fn jsonl_lines_are_one_object_each_and_versioned() {
         let mut log = AuditLog::new();
+        log.push(AuditEvent::Meta {
+            max_in_flight: 4,
+            max_batch: 8,
+            window: 20,
+        });
         log.push(AuditEvent::Admit {
             tick: 0,
             tenant: 2,
@@ -209,6 +251,7 @@ mod tests {
         });
         log.push(AuditEvent::Dispatch {
             tick: 1,
+            group: 0,
             lane: Lane::Bulk,
             cause: PickCause::BudgetDeficit,
             jobs: 3,
@@ -221,20 +264,102 @@ mod tests {
         });
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         for line in &lines {
-            assert!(line.starts_with("{\"schema_version\":1,"), "{line}");
+            assert!(line.starts_with("{\"schema_version\":2,"), "{line}");
             assert!(line.ends_with('}'), "{line}");
             // Flat objects: every key and string value is quoted, no
             // nested braces beyond the object itself.
             assert_eq!(line.matches('{').count(), 1, "{line}");
         }
-        assert!(lines[0].contains("\"event\":\"admit\"") && lines[0].contains("\"request\":7"));
         assert!(
-            lines[1].contains("\"jobs\":3")
-                && lines[1].contains("\"cause\":\"budget_deficit\"")
-                && lines[1].contains("\"pending\":[1,0,4]")
+            lines[0].contains("\"event\":\"meta\"") && lines[0].contains("\"max_in_flight\":4")
         );
-        assert!(lines[2].contains("\"waited\":26"));
+        assert!(lines[1].contains("\"event\":\"admit\"") && lines[1].contains("\"request\":7"));
+        assert!(
+            lines[2].contains("\"jobs\":3")
+                && lines[2].contains("\"group\":0")
+                && lines[2].contains("\"cause\":\"budget_deficit\"")
+                && lines[2].contains("\"pending\":[1,0,4]")
+        );
+        assert!(lines[3].contains("\"waited\":26"));
+    }
+
+    /// Pulls `"key":<u64>` out of one rendered JSONL line.
+    fn field(line: &str, key: &str) -> Option<u64> {
+        let at = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let digits: String = line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+
+    /// The schema-v2 additions must survive a round trip through the
+    /// JSONL rendering: every dispatch's `group` is recoverable, and
+    /// each completion names the dispatch group that produced it —
+    /// the post-hoc correlation coalesced batches previously lost.
+    #[test]
+    fn group_ids_parse_back_and_correlate_dispatch_to_completion() {
+        let mut log = AuditLog::new();
+        // Group 0 coalesces requests 3 and 5; group 1 serves request 4.
+        log.push(AuditEvent::Dispatch {
+            tick: 2,
+            group: 0,
+            lane: Lane::Bulk,
+            cause: PickCause::Priority,
+            jobs: 2,
+            pending: [0, 0, 2],
+        });
+        log.push(AuditEvent::Complete {
+            tick: 2,
+            group: 0,
+            request: 3,
+        });
+        log.push(AuditEvent::Complete {
+            tick: 2,
+            group: 0,
+            request: 5,
+        });
+        log.push(AuditEvent::Dispatch {
+            tick: 3,
+            group: 1,
+            lane: Lane::Interactive,
+            cause: PickCause::Priority,
+            jobs: 1,
+            pending: [1, 0, 0],
+        });
+        log.push(AuditEvent::Complete {
+            tick: 3,
+            group: 1,
+            request: 4,
+        });
+
+        let jsonl = log.to_jsonl();
+        let mut jobs_by_group = std::collections::HashMap::new();
+        let mut completions_by_group = std::collections::HashMap::<u64, Vec<u64>>::new();
+        for line in jsonl.lines() {
+            assert_eq!(
+                field(line, "schema_version"),
+                Some(u64::from(SCHEMA_VERSION))
+            );
+            let group = field(line, "group").expect("v2 events carry a group id");
+            if line.contains("\"event\":\"dispatch\"") {
+                jobs_by_group.insert(group, field(line, "jobs").unwrap());
+            } else {
+                completions_by_group
+                    .entry(group)
+                    .or_default()
+                    .push(field(line, "request").unwrap());
+            }
+        }
+        // Every completion correlates to a dispatched group, and the
+        // advertised job count matches the retired requests.
+        assert_eq!(jobs_by_group.len(), 2);
+        assert_eq!(completions_by_group[&0], vec![3, 5]);
+        assert_eq!(completions_by_group[&1], vec![4]);
+        for (group, jobs) in jobs_by_group {
+            assert_eq!(completions_by_group[&group].len() as u64, jobs);
+        }
     }
 }

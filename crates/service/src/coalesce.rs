@@ -20,6 +20,7 @@
 use std::sync::Arc;
 
 use fhe_ckks::CkksContext;
+use fhe_tfhe::{MulBackend, ServerKey};
 
 /// The dispatch-compatibility key for a rotation/keyswitch job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +71,21 @@ pub fn mates(head: Geometry, candidates: &[(usize, Geometry)], max_batch: usize)
         .collect()
 }
 
+/// Whether two TFHE gate jobs may share one batched blind-rotate
+/// dispatch ([`fhe_tfhe::apply_gates_batched`]): both server keys must
+/// use the exact NTT backend and agree on the parameter set and ring
+/// modulus. Equal `(modulus, degree)` implies identical deterministic
+/// NTT tables, so — unlike CKKS [`Geometry`] — *pointer* identity of
+/// the ring is not required: TFHE tenants never share key material, and
+/// per-job bootstrap/keyswitch keys are what keep cross-tenant batching
+/// safe.
+pub fn gates_compatible(a: &ServerKey, b: &ServerKey) -> bool {
+    a.backend == MulBackend::Ntt
+        && b.backend == MulBackend::Ntt
+        && a.ctx.params == b.ctx.params
+        && a.ctx.ring.q() == b.ctx.ring.q()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +108,31 @@ mod tests {
         );
         assert_ne!(base, Geometry::new(&a, 0, 3));
         assert_ne!(base, Geometry::new(&a, 1, 5));
+    }
+
+    #[test]
+    fn gate_compatibility_requires_ntt_and_matching_params() {
+        use fhe_tfhe::{LweKeySwitchKey, TfheContext, TfheParams};
+
+        // `gates_compatible` reads only backend/params/modulus, so the
+        // fixtures can carry empty key material.
+        let key = |params: TfheParams, backend: MulBackend| ServerKey {
+            ctx: TfheContext::new(params),
+            bsk: Vec::new(),
+            ksk: LweKeySwitchKey {
+                rows: Vec::new(),
+                base_log: 2,
+                levels: 8,
+            },
+            backend,
+        };
+        let a = key(TfheParams::set_i(), MulBackend::Ntt);
+        let b = key(TfheParams::set_i(), MulBackend::Ntt);
+        assert!(gates_compatible(&a, &b), "distinct rings, same tables");
+        let fft = key(TfheParams::set_i(), MulBackend::Fft);
+        assert!(!gates_compatible(&a, &fft) && !gates_compatible(&fft, &a));
+        let other = key(TfheParams::set_ii(), MulBackend::Ntt);
+        assert!(!gates_compatible(&a, &other));
     }
 
     #[test]

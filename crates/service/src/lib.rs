@@ -17,22 +17,33 @@
 //!   deadline work, Bulk analytics) and their minimum-share budgets.
 //! * [`queue`] — the windowed lane scheduler: budget deficits first,
 //!   priority slack second, starvation pre-empting both. Pure
-//!   decision logic, property-tested over randomized traffic.
+//!   decision logic, property-tested over randomized traffic. The
+//!   Timed lane orders its own queue earliest-deadline-first
+//!   ([`edf_pick`], equally pure).
 //! * [`session`] — per-tenant key material in a byte-budgeted LRU
 //!   cache charging *measured* `key_bytes()`, with pinning and
 //!   admission control.
-//! * [`coalesce`] — the dispatch-compatibility key (shared context,
-//!   level, Galois element) and mate selection.
+//! * [`coalesce`] — the dispatch-compatibility keys: [`Geometry`]
+//!   (shared context, level, Galois element) for CKKS keyswitches and
+//!   [`gates_compatible`] for batched TFHE gates, plus mate selection.
 //! * [`audit`] — a JSONL log of every admission, rejection, dispatch
-//!   (with its coalesced job count), completion and starvation event.
-//! * [`core`](mod@core) — [`ServiceCore`], the single-threaded event
-//!   loop tying it together; kernel parallelism stays below, in the
-//!   worker pool, attributed per lane via dispatch tags.
+//!   (with its coalesced job count and group id), completion and
+//!   starvation event, opened by a configuration-stamping meta line.
+//! * [`core`](mod@core) — [`ServiceCore`]: a single-threaded
+//!   *decision* loop (admission, lane picks, group formation, audit)
+//!   over a deferred-execution window of up to
+//!   [`ServiceConfig::max_in_flight`] dispatch groups; independent
+//!   groups execute concurrently on scoped threads without changing a
+//!   decision, an audit byte or a ciphertext bit. Kernel parallelism
+//!   stays below, in the worker pool, attributed per lane via
+//!   dispatch tags.
 //!
 //! Scheduling is measured in dispatch *ticks*, not wall-clock time,
 //! so every guarantee in this crate is exactly reproducible in tests:
 //! lane shares, starvation bounds, batch sizes and results are all
-//! deterministic functions of the submitted stream.
+//! deterministic functions of the submitted stream — for any
+//! `max_in_flight` and any kernel backend, which
+//! `tests/service_determinism.rs` enforces metamorphically.
 //!
 //! # Example
 //!
@@ -51,8 +62,8 @@ pub mod queue;
 pub mod session;
 
 pub use audit::{AuditEvent, AuditLog, PickCause, SCHEMA_VERSION};
-pub use coalesce::Geometry;
+pub use coalesce::{gates_compatible, Geometry};
 pub use core::{RequestId, Response, ServiceConfig, ServiceCore, Workload};
 pub use lane::{BudgetError, Lane, LaneBudgets, StarvationPolicy};
-pub use queue::Scheduler;
+pub use queue::{edf_pick, Scheduler};
 pub use session::{AdmissionError, KeyCache, TenantKeys};

@@ -141,6 +141,24 @@ impl Scheduler {
     }
 }
 
+/// Earliest-deadline-first selection over a lane's queued jobs: the
+/// index of the job with the smallest due tick, ties broken toward the
+/// smallest request id (admission order). `None` on an empty queue.
+///
+/// Like [`Scheduler::pick`] this is a pure decision procedure — the
+/// core hands it `(due_tick, request_id)` pairs in queue order and
+/// removes whatever index comes back — so EDF ordering can be
+/// property-tested without ciphertexts (see `tests/scheduler_props.rs`).
+/// Jobs without a finite deadline pass `u64::MAX` as their due tick and
+/// thus sort behind every dated job, falling back to admission order
+/// among themselves.
+pub fn edf_pick(dues: &[(u64, u64)]) -> Option<usize> {
+    dues.iter()
+        .enumerate()
+        .min_by_key(|&(_, &(due, request))| (due, request))
+        .map(|(i, _)| i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +246,19 @@ mod tests {
             assert_eq!(lane, Lane::Timed);
         }
         assert_eq!(s.pick([None, None, None]), None);
+    }
+
+    #[test]
+    fn edf_pick_prefers_earliest_due_then_admission_order() {
+        assert_eq!(edf_pick(&[]), None);
+        // Arrival order is not deadline order: the earliest due wins.
+        assert_eq!(edf_pick(&[(9, 0), (4, 1), (7, 2)]), Some(1));
+        // Due ties break toward the smaller request id.
+        assert_eq!(edf_pick(&[(5, 8), (5, 3), (6, 1)]), Some(1));
+        // Undated jobs (due = u64::MAX) lose to any dated job and fall
+        // back to admission order among themselves.
+        assert_eq!(edf_pick(&[(u64::MAX, 0), (10, 5)]), Some(1));
+        assert_eq!(edf_pick(&[(u64::MAX, 7), (u64::MAX, 2)]), Some(1));
     }
 
     #[test]

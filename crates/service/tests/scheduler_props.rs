@@ -8,8 +8,18 @@
 //! real service loop feeds the scheduler the same observations these
 //! models do.
 
+mod common;
+
+use std::collections::HashMap;
+
+use common::{ckks_tenant, ct_flat, json_u64, parse_dispatches, strip_meta};
+use fhe_ckks::{CkksContext, CkksParams};
 use proptest::prelude::*;
-use trinity_service::{Lane, LaneBudgets, PickCause, Scheduler, StarvationPolicy};
+use trinity_service::{
+    edf_pick, AuditEvent, Lane, LaneBudgets, PickCause, Response, Scheduler, ServiceConfig,
+    ServiceCore, StarvationPolicy, Workload,
+};
+use trinity_workloads::traffic::{self, RequestKind, TrafficMix};
 
 /// Ceiling share of one window slot, percent.
 fn quantum(window: usize) -> u32 {
@@ -109,6 +119,58 @@ proptest! {
         }
     }
 
+    /// EDF selection: `edf_pick` always returns the queued job with
+    /// the lexicographically smallest `(due, request)` — so dispatch
+    /// order is non-decreasing in due tick, and no job is ever served
+    /// while another queued job is due strictly earlier.
+    #[test]
+    fn edf_pick_is_the_min_due_over_any_queue(
+        dues in proptest::collection::vec((0u64..100, 0u64..1000), 1..40),
+    ) {
+        let i = edf_pick(&dues).expect("non-empty queue yields a pick");
+        let best = dues[i];
+        for (j, &cand) in dues.iter().enumerate() {
+            prop_assert!(
+                j == i || cand >= best,
+                "picked {best:?} but {cand:?} sorts earlier"
+            );
+        }
+    }
+
+    /// EDF under churn: serving a queue to exhaustion with arbitrary
+    /// interleaved admissions yields a service order in which every
+    /// pick was the earliest-due job *available at that moment* —
+    /// i.e., a job is only ever served "out of deadline order" when
+    /// the earlier-deadline job had not arrived yet.
+    #[test]
+    fn edf_drain_order_is_deadline_feasible(
+        arrivals in proptest::collection::vec((0u64..60, 1u64..50), 1..60),
+    ) {
+        // Admit in rounds: each round admits one arrival, then serves
+        // one job. (admit_round + deadline, request) is the due key.
+        let mut queue: Vec<(u64, u64)> = Vec::new();
+        let mut served: Vec<(u64, u64)> = Vec::new();
+        for (round, &(jitter, deadline)) in arrivals.iter().enumerate() {
+            let request = round as u64;
+            queue.push((round as u64 + jitter + deadline, request));
+            let i = edf_pick(&queue).expect("just pushed");
+            let pick = queue.remove(i);
+            for &waiting in &queue {
+                prop_assert!(waiting >= pick,
+                    "served {pick:?} while {waiting:?} was due earlier");
+            }
+            served.push(pick);
+        }
+        while let Some(i) = edf_pick(&queue) {
+            let pick = queue.remove(i);
+            prop_assert!(queue.iter().all(|&w| w >= pick));
+            served.push(pick);
+        }
+        // Once admissions stop, the tail drains in due order.
+        let tail = &served[arrivals.len()..];
+        prop_assert!(tail.windows(2).all(|w| w[0] <= w[1]));
+    }
+
     /// Starvation detection: no backlogged lane ever waits more than
     /// `threshold + 2` ticks past its last service (the +2 covers the
     /// other two lanes crossing the threshold in the same tick), and
@@ -159,4 +221,255 @@ proptest! {
             }
         }
     }
+}
+
+/// Timed-only traffic for the real-core EDF tests: `len` deadline-
+/// skewed rotations across 3 CKKS tenants sharing one context, paced
+/// against the service's own tick (so admission ticks — and therefore
+/// due ticks — vary with the schedule itself). Returns each result's
+/// flat words (submit order) and the audit JSONL, after asserting the
+/// EDF service-order property against a replay of the audit.
+fn run_timed_edf(max_in_flight: usize, len: usize) -> (Vec<Vec<u64>>, String) {
+    // max_batch = 1 isolates EDF: every Timed dispatch serves exactly
+    // the job `edf_pick` chose, with no coalescing mates riding along.
+    let cfg = ServiceConfig {
+        max_batch: 1,
+        max_in_flight,
+        key_cache_bytes: 1 << 30,
+        ..ServiceConfig::default_config()
+    };
+    let mut svc = ServiceCore::new(cfg).unwrap();
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let steps: Vec<i64> = (1..=4).flat_map(|s| [s, -s]).collect();
+    let tenants: Vec<_> = (0..3).map(|t| ckks_tenant(&ctx, 960 + t, &steps)).collect();
+    for (t, tenant) in tenants.iter().enumerate() {
+        svc.register_ckks_tenant(t, ctx.clone(), tenant.galois.clone())
+            .unwrap();
+    }
+
+    let mix = TrafficMix {
+        gate_permille: 0,
+        timed_permille: 1000,
+        bulk_permille: 0,
+    };
+    // 3..=60: wide enough that admission order and deadline order
+    // decorrelate hard (the whole point of EDF).
+    let events = traffic::stream_with_deadlines(97, 3, len, mix, 3..=60);
+    let mut ids = Vec::new();
+    let mut deadline_of: HashMap<u64, u64> = HashMap::new();
+    for ev in &events {
+        while svc.tick() < ev.arrival && svc.dispatch_next().is_some() {}
+        let RequestKind::TimedRotation { step, deadline } = &ev.kind else {
+            unreachable!("timed-only mix");
+        };
+        let id = svc
+            .submit(
+                ev.tenant,
+                Workload::Rotation {
+                    ct: tenants[ev.tenant].input.clone(),
+                    step: *step,
+                    deadline: *deadline,
+                },
+            )
+            .unwrap();
+        deadline_of.insert(id.raw(), *deadline);
+        ids.push(id);
+    }
+    svc.run_until_idle();
+
+    // Replay the audit against the EDF model: at every completion,
+    // the served job must be the queue's `(due, request)` minimum —
+    // equivalently, dispatch order is non-decreasing in due tick
+    // among simultaneously queued jobs, and a job past its deadline
+    // is only ever "missed" when everything still queued is due no
+    // earlier (no feasible-deadline job waits while a later-deadline
+    // job is served).
+    let jsonl = svc.audit().to_jsonl();
+    let mut queue: Vec<(u64, u64)> = Vec::new();
+    let mut completions = 0;
+    for line in jsonl.lines() {
+        if line.contains("\"event\":\"admit\"") {
+            let r = json_u64(line, "request").unwrap();
+            let t = json_u64(line, "tick").unwrap();
+            queue.push((t + deadline_of[&r], r));
+        } else if line.contains("\"event\":\"dispatch\"") {
+            assert_eq!(json_u64(line, "jobs"), Some(1), "max_batch = 1");
+        } else if line.contains("\"event\":\"complete\"") {
+            let r = json_u64(line, "request").unwrap();
+            let min = *queue.iter().min().expect("completion implies a queued job");
+            assert_eq!(
+                min.1, r,
+                "served request {r} while request {} was due at tick {}",
+                min.1, min.0
+            );
+            queue.retain(|&(_, q)| q != r);
+            completions += 1;
+        }
+    }
+    assert_eq!(completions, len, "every timed job completed");
+
+    let flats: Vec<Vec<u64>> = ids
+        .iter()
+        .map(
+            |&id| match svc.take_result(id).expect("request completed") {
+                Response::Vector(ct) => ct_flat(&ct),
+                Response::Bit(_) => unreachable!("timed-only traffic"),
+            },
+        )
+        .collect();
+    (flats, jsonl)
+}
+
+/// The Timed lane is EDF — proven by audit replay — and the whole
+/// schedule (audit bytes, ciphertext bits) is invariant across
+/// `max_in_flight` ∈ {1, 2, 4}.
+#[test]
+fn timed_lane_is_edf_at_any_in_flight() {
+    let (base_flats, base_jsonl) = run_timed_edf(1, 24);
+    let base_audit = strip_meta(&base_jsonl);
+    for n in [2usize, 4] {
+        let (flats, jsonl) = run_timed_edf(n, 24);
+        assert_eq!(flats, base_flats, "max_in_flight={n} ciphertexts diverged");
+        assert_eq!(
+            strip_meta(&jsonl),
+            base_audit,
+            "max_in_flight={n} audit diverged"
+        );
+    }
+}
+
+/// The PR 9 fairness invariants survive concurrent in-flight
+/// dispatch: under a two-lane backlog, budget minimums hold over the
+/// backlogged prefix, and a starved lane is still force-served within
+/// its threshold — identically for `max_in_flight` ∈ {1, 2, 4}.
+#[test]
+fn budget_and_starvation_invariants_hold_at_any_in_flight() {
+    let ctx = CkksContext::new(CkksParams::tiny_params());
+    let t0 = ckks_tenant(&ctx, 970, &[1, 2]);
+    let t1 = ckks_tenant(&ctx, 971, &[1, 2]);
+
+    let mut budget_audits = Vec::new();
+    let mut starve_audits = Vec::new();
+    for n in [1usize, 2, 4] {
+        // Budgets: timed 30 / bulk 50 over a 16 timed + 24 bulk
+        // backlog (no interactive traffic; its floor is 0).
+        let cfg = ServiceConfig {
+            budgets: LaneBudgets {
+                interactive_min: 0,
+                timed_min: 30,
+                bulk_min: 50,
+            },
+            max_batch: 1,
+            max_in_flight: n,
+            key_cache_bytes: 1 << 30,
+            ..ServiceConfig::default_config()
+        };
+        let mut svc = ServiceCore::new(cfg).unwrap();
+        svc.register_ckks_tenant(0, ctx.clone(), t0.galois.clone())
+            .unwrap();
+        svc.register_ckks_tenant(1, ctx.clone(), t1.galois.clone())
+            .unwrap();
+        for i in 0..16i64 {
+            svc.submit(
+                (i % 2) as usize,
+                Workload::Rotation {
+                    ct: [&t0, &t1][(i % 2) as usize].input.clone(),
+                    step: 1 + (i % 2),
+                    deadline: 100,
+                },
+            )
+            .unwrap();
+        }
+        for i in 0..24i64 {
+            svc.submit(
+                (i % 2) as usize,
+                Workload::Analytics {
+                    ct: [&t0, &t1][(i % 2) as usize].input.clone(),
+                    steps: vec![1 + (i % 2)],
+                },
+            )
+            .unwrap();
+        }
+        svc.run_until_idle();
+        let jsonl = svc.audit().to_jsonl();
+        let prefix: Vec<_> = parse_dispatches(&jsonl)
+            .into_iter()
+            .take_while(|d| d.pending[1] > 0 && d.pending[2] > 0)
+            .collect();
+        assert!(prefix.len() >= 20, "short prefix: {}", prefix.len());
+        for (lane, min) in [(Lane::Timed, 30usize), (Lane::Bulk, 50)] {
+            let count = prefix.iter().filter(|d| d.lane == lane.name()).count();
+            let share = count * 100 / prefix.len();
+            assert!(
+                share + 10 >= min,
+                "max_in_flight={n}: {} got {share}% < {min}%",
+                lane.name()
+            );
+        }
+        budget_audits.push(strip_meta(&jsonl));
+
+        // Starvation: all-slack budgets, threshold 3 — priority alone
+        // would serve Timed forever, so Bulk must be force-served.
+        let cfg = ServiceConfig {
+            budgets: LaneBudgets {
+                interactive_min: 0,
+                timed_min: 0,
+                bulk_min: 0,
+            },
+            starvation: StarvationPolicy { max_wait_ticks: 3 },
+            max_batch: 1,
+            max_in_flight: n,
+            key_cache_bytes: 1 << 30,
+            ..ServiceConfig::default_config()
+        };
+        let mut svc = ServiceCore::new(cfg).unwrap();
+        svc.register_ckks_tenant(0, ctx.clone(), t0.galois.clone())
+            .unwrap();
+        svc.register_ckks_tenant(1, ctx.clone(), t1.galois.clone())
+            .unwrap();
+        for i in 0..6i64 {
+            svc.submit(
+                0,
+                Workload::Rotation {
+                    ct: t0.input.clone(),
+                    step: 1 + (i % 2),
+                    deadline: 100,
+                },
+            )
+            .unwrap();
+        }
+        let bulk = svc
+            .submit(
+                1,
+                Workload::Analytics {
+                    ct: t1.input.clone(),
+                    steps: vec![1],
+                },
+            )
+            .unwrap();
+        svc.run_until_idle();
+        assert!(svc.take_result(bulk).is_some());
+        let starved: Vec<_> = svc
+            .audit()
+            .events()
+            .filter_map(|e| match e {
+                AuditEvent::Starvation { lane, waited, .. } => Some((*lane, *waited)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            starved,
+            vec![(Lane::Bulk, 4)],
+            "max_in_flight={n}: bulk not force-served one past threshold"
+        );
+        starve_audits.push(strip_meta(&svc.audit().to_jsonl()));
+    }
+    assert!(
+        budget_audits.windows(2).all(|w| w[0] == w[1]),
+        "budget schedule varies with max_in_flight"
+    );
+    assert!(
+        starve_audits.windows(2).all(|w| w[0] == w[1]),
+        "starvation schedule varies with max_in_flight"
+    );
 }

@@ -3,12 +3,14 @@
 //! The acceptance contract for the serving layer, in four parts:
 //!
 //! 1. **Bit-identity.** A mixed TFHE + CKKS tenant stream scheduled,
-//!    coalesced and executed by [`ServiceCore`] produces ciphertexts
-//!    bit-identical to evaluating each tenant's requests in isolation,
-//!    sequentially — under `scalar`, `lanes` *and* `threaded` kernel
-//!    backends (swapped in-process with `kernel::force`, which is
-//!    test-only by lint rule). Coalescing and QoS must be invisible in
-//!    the bits.
+//!    coalesced, batched and executed by [`ServiceCore`] produces
+//!    ciphertexts bit-identical to evaluating each tenant's requests
+//!    in isolation, sequentially — under `scalar`, `lanes` *and*
+//!    `threaded` kernel backends (swapped in-process with
+//!    `kernel::force`, which is test-only by lint rule). Coalescing
+//!    and QoS must be invisible in the bits. The whole binary honors
+//!    `TRINITY_SERVICE_IN_FLIGHT` (CI sweeps it), so the same
+//!    contract is enforced under concurrent in-flight dispatch.
 //! 2. **Coalescing.** The JSONL audit shows keyswitch dispatches that
 //!    carried at least two independent requests each.
 //! 3. **Budgets.** Over the audited prefix where every lane was
@@ -17,272 +19,65 @@
 //! 4. **Starvation + admission.** A starved lane is force-served and
 //!    audited within the threshold; saturated queues/caches and
 //!    uncovered keys are rejected at the door with audited reasons.
+//!
+//! Cross-`max_in_flight` determinism has its own metamorphic suite
+//! (`service_determinism.rs`); EDF ordering has `scheduler_props.rs`.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+mod common;
 
-use fhe_ckks::{
-    Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SwitchingKey,
+use common::{
+    ckks_tenant, configured_in_flight, mixed_cfg, parse_dispatches, run_mixed_scenario,
+    under_each_backend,
 };
-use fhe_math::kernel::{self, KernelBackend};
-use fhe_math::Complex;
+use fhe_ckks::{CkksContext, CkksParams, SwitchingKey};
 use fhe_tfhe::{ClientKey, GateOp, MulBackend, ServerKey, TfheContext, TfheParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trinity_service::{
-    AdmissionError, AuditEvent, Lane, LaneBudgets, PickCause, Response, ServiceConfig, ServiceCore,
+    AdmissionError, AuditEvent, Lane, LaneBudgets, PickCause, ServiceConfig, ServiceCore,
     StarvationPolicy, Workload,
 };
 
-/// Serialises `kernel::force` swaps across the tests of this binary.
-static FORCE_LOCK: Mutex<()> = Mutex::new(());
-
-fn backends() -> [&'static dyn KernelBackend; 3] {
-    [
-        kernel::by_name("scalar").unwrap(),
-        kernel::by_name("lanes").unwrap(),
-        kernel::threaded(Some(3)),
-    ]
-}
-
-fn under_each_backend<T>(mut work: impl FnMut() -> T) -> Vec<(&'static str, T)> {
-    let _guard = FORCE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
-    let previous = kernel::active();
-    let out = backends()
-        .iter()
-        .map(|b| {
-            kernel::force(*b);
-            (b.name(), work())
-        })
-        .collect();
-    kernel::force(previous);
-    out
-}
-
-/// A CKKS tenant's keys (as the service will hold them) plus an
-/// encrypted input. The secret key is dropped: CKKS results are
-/// checked by bit-identity against isolated evaluation, not by
-/// decryption.
-struct CkksTenant {
-    galois: HashMap<i64, SwitchingKey>,
-    input: Ciphertext,
-}
-
-fn ckks_tenant(ctx: &Arc<CkksContext>, seed: u64, steps: &[i64]) -> CkksTenant {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let kg = KeyGenerator::new(ctx.clone());
-    let sk = kg.secret_key(&mut rng);
-    let galois = steps
-        .iter()
-        .map(|&r| {
-            let g = fhe_math::galois::rotation_galois_element(r, ctx.n());
-            (r, kg.galois_key(&sk, g, &mut rng))
-        })
-        .collect();
-    let encoder = Encoder::new(ctx.clone());
-    let values: Vec<Complex> = (0..encoder.slots())
-        .map(|i| Complex::new(seed as f64 + i as f64, i as f64 / 3.0))
-        .collect();
-    let pt = encoder.encode(&values, ctx.params().max_level());
-    let input = Encryptor::new(ctx.clone()).encrypt_sk(&pt, &sk, &mut rng);
-    CkksTenant { galois, input }
-}
-
-fn ct_flat(ct: &Ciphertext) -> Vec<u64> {
-    let mut v = ct.c0.flat().to_vec();
-    v.extend_from_slice(ct.c1.flat());
-    v
-}
-
-/// Runs the mixed-tenant scenario once under the active backend,
-/// returning every result's flat words (submit order) and the audit
-/// JSONL.
-fn run_mixed_scenario() -> (Vec<Vec<u64>>, String) {
-    // TFHE tenant 0.
-    let mut trng = StdRng::seed_from_u64(901);
-    let ck = ClientKey::generate(TfheContext::new(TfheParams::set_i()), &mut trng);
-    let server = ServerKey::generate(&ck, MulBackend::Ntt, &mut trng);
-    let gate_cases = [
-        (GateOp::Nand, true, true),
-        (GateOp::Xor, true, false),
-        (GateOp::And, false, true),
-        (GateOp::Or, false, false),
-    ];
-    let gate_inputs: Vec<_> = gate_cases
-        .iter()
-        .map(|&(op, a, b)| {
-            (
-                op,
-                ck.encrypt_bit(a, &mut trng),
-                ck.encrypt_bit(b, &mut trng),
-                op.eval(a, b),
-            )
-        })
-        .collect();
-    // Isolated sequential oracle, before the server key moves in.
-    let gate_expected: Vec<_> = gate_inputs
-        .iter()
-        .map(|(op, a, b, _)| server.apply_gate(*op, a, b))
-        .collect();
-
-    // CKKS tenants 1..=3 over ONE shared context: coalescing
-    // candidates for one another.
-    let ctx = CkksContext::new(CkksParams::tiny_params());
-    let tenants: Vec<CkksTenant> = (1..=3)
-        .map(|t| ckks_tenant(&ctx, 910 + t, &[1, 2]))
-        .collect();
-    // (tenant, steps, deadline) in submit order after the gates.
-    let rotation_reqs: [(usize, &[i64], Option<u64>); 6] = [
-        (1, &[1], Some(8)),
-        (2, &[1], Some(8)),
-        (3, &[2], Some(8)),
-        (1, &[1, 2], None),
-        (2, &[1, 1], None),
-        (3, &[2, 1], None),
-    ];
-    // Isolated sequential oracle: each request evaluated alone.
-    let oracle = Evaluator::new(ctx.clone());
-    let rotation_expected: Vec<Ciphertext> = rotation_reqs
-        .iter()
-        .map(|&(t, steps, _)| {
-            let tenant = &tenants[t - 1];
-            let mut ct = tenant.input.clone();
-            for &r in steps {
-                ct = oracle.rotate(&ct, r, &tenant.galois[&r]);
-            }
-            ct
-        })
-        .collect();
-
-    // The service run. The four tenants' real key material outgrows
-    // the CI-sized default cache, so give this scenario room: cache
-    // pressure has its own test below.
-    let cfg = ServiceConfig {
-        key_cache_bytes: 1 << 30,
-        ..ServiceConfig::default_config()
-    };
-    let mut svc = ServiceCore::new(cfg).unwrap();
-    svc.register_tfhe_tenant(0, server).unwrap();
-    for (i, tenant) in tenants.iter().enumerate() {
-        svc.register_ckks_tenant(i + 1, ctx.clone(), tenant.galois.clone())
-            .unwrap();
-    }
-    let mut ids = Vec::new();
-    for (op, a, b, _) in &gate_inputs {
-        ids.push(
-            svc.submit(
-                0,
-                Workload::Gate {
-                    op: *op,
-                    a: a.clone(),
-                    b: b.clone(),
-                },
-            )
-            .unwrap(),
-        );
-    }
-    for &(t, steps, deadline) in &rotation_reqs {
-        let ct = tenants[t - 1].input.clone();
-        let work = match deadline {
-            Some(d) => Workload::Rotation {
-                ct,
-                step: steps[0],
-                deadline: d,
-            },
-            None => Workload::Analytics {
-                ct,
-                steps: steps.to_vec(),
-            },
-        };
-        ids.push(svc.submit(t, work).unwrap());
-    }
-    svc.run_until_idle();
-
-    // Collect + verify against the oracles.
-    let mut flats = Vec::new();
-    for (i, id) in ids.iter().enumerate() {
-        match svc.take_result(*id).expect("request completed") {
-            Response::Bit(out) => {
-                let (_, _, _, plain) = gate_inputs[i];
-                assert_eq!(ck.decrypt_bit(&out), plain, "gate {i} decrypts wrong");
-                let exp = &gate_expected[i];
-                assert!(
-                    out.a == exp.a && out.b == exp.b,
-                    "gate {i} not bit-identical to isolated evaluation"
-                );
-                let mut v = out.a.clone();
-                v.push(out.b);
-                flats.push(v);
-            }
-            Response::Vector(out) => {
-                let r = i - gate_inputs.len();
-                let exp = &rotation_expected[r];
-                assert_eq!(
-                    ct_flat(&out),
-                    ct_flat(exp),
-                    "rotation request {r} not bit-identical to isolated evaluation"
-                );
-                flats.push(ct_flat(&out));
-            }
-        }
-    }
-    (flats, svc.audit().to_jsonl())
-}
-
-/// Dispatch `(lane, cause, jobs, pending)` rows pulled from JSONL.
-fn parse_dispatches(jsonl: &str) -> Vec<(String, String, usize, [usize; 3])> {
-    jsonl
-        .lines()
-        .filter(|l| l.contains("\"event\":\"dispatch\""))
-        .map(|l| {
-            let field = |k: &str| {
-                let at = l.find(k).unwrap() + k.len();
-                l[at..]
-                    .chars()
-                    .take_while(|c| *c != ',' && *c != '}' && *c != ']')
-                    .collect::<String>()
-            };
-            let lane = field("\"lane\":\"").trim_matches('"').to_string();
-            let cause = field("\"cause\":\"").trim_matches('"').to_string();
-            let jobs: usize = field("\"jobs\":").parse().unwrap();
-            let at = l.find("\"pending\":[").unwrap() + "\"pending\":[".len();
-            let nums: Vec<usize> = l[at..l.len() - 2]
-                .split(',')
-                .map(|n| n.parse().unwrap())
-                .collect();
-            (lane, cause, jobs, [nums[0], nums[1], nums[2]])
-        })
-        .collect()
-}
-
 #[test]
 fn mixed_tenants_bit_identical_across_backends_and_coalesced() {
-    let runs = under_each_backend(run_mixed_scenario);
+    let runs = under_each_backend(|| run_mixed_scenario(mixed_cfg(configured_in_flight())));
 
     // The audit must show real cross-request coalescing: at least one
-    // keyswitch dispatch carrying >= 2 requests.
-    let (_, (base_flats, base_jsonl)) = &runs[0];
-    let dispatches = parse_dispatches(base_jsonl);
+    // keyswitch dispatch carrying >= 2 requests — and, since PR 10,
+    // at least one *gate* dispatch batching >= 2 blind rotations.
+    let (_, base) = &runs[0];
+    let dispatches = parse_dispatches(&base.jsonl);
     let widest = dispatches
         .iter()
-        .filter(|(lane, ..)| lane != "interactive")
-        .map(|&(_, _, jobs, _)| jobs)
+        .filter(|d| d.lane != "interactive")
+        .map(|d| d.jobs)
         .max()
         .unwrap();
     assert!(
         widest >= 2,
         "no coalesced dispatch carried >= 2 requests: {dispatches:?}"
     );
+    let widest_gates = dispatches
+        .iter()
+        .filter(|d| d.lane == "interactive")
+        .map(|d| d.jobs)
+        .max()
+        .unwrap();
+    assert!(
+        widest_gates >= 2,
+        "no batched gate dispatch carried >= 2 requests: {dispatches:?}"
+    );
     // Every line is schema-versioned JSONL.
-    assert!(base_jsonl
+    assert!(base
+        .jsonl
         .lines()
-        .all(|l| l.starts_with("{\"schema_version\":1,") && l.ends_with('}')));
+        .all(|l| l.starts_with("{\"schema_version\":2,") && l.ends_with('}')));
 
     // Backend choice must be unobservable: identical ciphertext bits
     // AND identical scheduling decisions.
-    for (name, (flats, jsonl)) in &runs[1..] {
-        assert_eq!(flats, base_flats, "{name} diverged from {}", runs[0].0);
-        assert_eq!(jsonl, base_jsonl, "{name} scheduled differently");
+    for (name, run) in &runs[1..] {
+        assert_eq!(run.flats, base.flats, "{name} diverged from {}", runs[0].0);
+        assert_eq!(run.jsonl, base.jsonl, "{name} scheduled differently");
     }
 }
 
@@ -292,6 +87,7 @@ fn lane_budgets_hold_over_the_backlogged_prefix() {
     // exactly one request, so audited shares are pick shares.
     let cfg = ServiceConfig {
         max_batch: 1,
+        max_in_flight: configured_in_flight(),
         ..ServiceConfig::default_config()
     };
     let mut svc = ServiceCore::new(cfg).unwrap();
@@ -350,11 +146,11 @@ fn lane_budgets_hold_over_the_backlogged_prefix() {
     assert_eq!(std::fs::read_to_string(&path).unwrap(), jsonl);
     let _ = std::fs::remove_file(&path);
     let dispatches = parse_dispatches(&jsonl);
-    assert!(dispatches.iter().all(|&(_, _, jobs, _)| jobs == 1));
+    assert!(dispatches.iter().all(|d| d.jobs == 1));
     // The enforcement claim applies while every lane is backlogged.
     let prefix: Vec<_> = dispatches
         .iter()
-        .take_while(|&&(_, _, _, pending)| pending.iter().all(|&p| p > 0))
+        .take_while(|d| d.pending.iter().all(|&p| p > 0))
         .collect();
     assert!(
         prefix.len() >= 20,
@@ -363,7 +159,7 @@ fn lane_budgets_hold_over_the_backlogged_prefix() {
     );
     let budgets = LaneBudgets::default_split();
     for lane in Lane::ALL {
-        let count = prefix.iter().filter(|&&(l, ..)| l == lane.name()).count();
+        let count = prefix.iter().filter(|d| d.lane == lane.name()).count();
         let share = count * 100 / prefix.len();
         let min = budgets.min_for(lane) as usize;
         // One window slot (100/20 = 5%) of quantisation slack, plus
@@ -387,6 +183,7 @@ fn starved_lane_is_force_served_and_audited() {
         },
         starvation: StarvationPolicy { max_wait_ticks: 3 },
         max_batch: 1,
+        max_in_flight: configured_in_flight(),
         ..ServiceConfig::default_config()
     };
     let mut svc = ServiceCore::new(cfg).unwrap();

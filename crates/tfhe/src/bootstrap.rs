@@ -213,6 +213,80 @@ impl ServerKey {
         acc
     }
 
+    /// Batched blind rotation: each job rotates its own test vector by
+    /// its own mod-switched phase under its own bootstrapping key, but
+    /// the `n_lwe` CMUX steps run in lockstep so every step's external
+    /// products coalesce into one wide [`Ggsw::external_product_batch`]
+    /// call — the MATCHA batching shape: k independent gate bootstraps
+    /// through one kernel dispatch per step.
+    ///
+    /// Per job the arithmetic is exactly [`Self::blind_rotate`]'s
+    /// (`acc <- acc + bsk[i] ⊡ (rotate(acc, a_i) - acc)` for the same
+    /// non-zero `a_i` in the same order), so each output is
+    /// bit-identical to the sequential call.
+    ///
+    /// All jobs must share the parameter set and ring modulus (their
+    /// rings then hold identical NTT tables; the first job's ring drives
+    /// the batch) and use the NTT backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs disagree on parameters or modulus, or any key was
+    /// prepared for the FFT backend.
+    pub fn blind_rotate_batch(
+        jobs: &[(&ServerKey, &[u64], u64)],
+        tv: &[u64],
+    ) -> Vec<GlweCiphertext> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let head = jobs[0].0;
+        assert!(
+            jobs.iter().all(|(sk, ..)| sk.backend == MulBackend::Ntt
+                && sk.ctx.params == head.ctx.params
+                && sk.ctx.ring.q() == head.ctx.ring.q()),
+            "blind_rotate_batch requires NTT keys sharing one parameter set and modulus"
+        );
+        let ring = &head.ctx.ring;
+        let k = head.ctx.params.k;
+        let mut accs: Vec<GlweCiphertext> = jobs
+            .iter()
+            .map(|&(_, _, b_tilde)| {
+                GlweCiphertext::trivial(ring, k, ring.mul_monomial(tv, -(b_tilde as i64)))
+            })
+            .collect();
+        for i in 0..head.ctx.params.n_lwe {
+            // Jobs whose i-th switched mask coefficient is zero skip
+            // this CMUX, exactly as in the sequential rotation.
+            let mut active = Vec::with_capacity(jobs.len());
+            let mut diffs = Vec::with_capacity(jobs.len());
+            for (j, &(_, a_tilde, _)) in jobs.iter().enumerate() {
+                let ai = a_tilde[i];
+                if ai == 0 {
+                    continue;
+                }
+                let mut diff = accs[j].rotate(ring, ai as i64);
+                diff.sub_assign(ring, &accs[j]);
+                active.push(j);
+                diffs.push(diff);
+            }
+            if active.is_empty() {
+                continue;
+            }
+            let ep_jobs: Vec<(&Ggsw, &GlweCiphertext)> = active
+                .iter()
+                .zip(&diffs)
+                .map(|(&j, diff)| (&jobs[j].0.bsk[i], diff))
+                .collect();
+            let outs = Ggsw::external_product_batch(ring, &ep_jobs);
+            for (&j, mut out) in active.iter().zip(outs) {
+                out.add_assign(ring, &accs[j]);
+                accs[j] = out;
+            }
+        }
+        accs
+    }
+
     /// Programmable bootstrap *without* the final TFHE keyswitch: the
     /// result stays under the extracted GLWE key (dimension `k * N`)
     /// and carries only the blind-rotation noise.
@@ -458,6 +532,30 @@ mod tests {
     #[test]
     fn predicate_bootstrap_at_and_above_threshold() {
         check_predicate_bootstrap(&[8, 15], 118);
+    }
+
+    #[test]
+    fn batched_blind_rotate_is_bit_identical_to_sequential() {
+        let (ck, sk) = set_i_ntt();
+        let mut rng = StdRng::seed_from_u64(119);
+        let q = ck.ctx.q().value();
+        let two_n = 2 * ck.ctx.params.n as u64;
+        let tv = vec![q / 8; ck.ctx.params.n];
+        let switched: Vec<(Vec<u64>, u64)> = [true, false, true]
+            .iter()
+            .map(|&bit| ck.encrypt_bit(bit, &mut rng).mod_switch(ck.ctx.q(), two_n))
+            .collect();
+        let jobs: Vec<(&ServerKey, &[u64], u64)> = switched
+            .iter()
+            .map(|(a, b)| (sk, a.as_slice(), *b))
+            .collect();
+        let batched = ServerKey::blind_rotate_batch(&jobs, &tv);
+        for ((a, b), got) in switched.iter().zip(&batched) {
+            let want = sk.blind_rotate(a, *b, &tv);
+            assert_eq!(got.mask, want.mask);
+            assert_eq!(got.body, want.body);
+        }
+        assert!(ServerKey::blind_rotate_batch(&[], &tv).is_empty());
     }
 
     #[test]

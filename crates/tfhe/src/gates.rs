@@ -55,15 +55,52 @@ impl ServerKey {
     /// Applies a binary gate selected at runtime — the dispatch point
     /// for queued [`GateOp`] jobs.
     pub fn apply_gate(&self, op: GateOp, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        match op {
-            GateOp::And => self.and(a, b),
-            GateOp::Or => self.or(a, b),
-            GateOp::Nand => self.nand(a, b),
-            GateOp::Nor => self.nor(a, b),
-            GateOp::Xor => self.xor(a, b),
-            GateOp::Xnor => self.xnor(a, b),
+        let (lin, negate) = self.gate_linear(op, a, b);
+        let mut out = self.bootstrap_sign(&lin);
+        if negate {
+            out.neg_assign(self.ctx.q());
         }
+        out
     }
+
+    /// The linear combination feeding a gate's sign bootstrap, plus
+    /// whether the bootstrapped output must be negated (the N-gates).
+    /// Shared by [`Self::apply_gate`] and [`apply_gates_batched`] so the
+    /// two paths are bit-identical by construction.
+    fn gate_linear(
+        &self,
+        op: GateOp,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+    ) -> (LweCiphertext, bool) {
+        let q = self.ctx.q();
+        let qv = q.value();
+        // (bias, double inputs, negate output): AND/NAND share
+        // `a + b - q/8`, OR/NOR share `a + b + q/8`, XOR/XNOR share the
+        // doubling trick `2a + 2b + q/4`.
+        let (bias, double, negate) = match op {
+            GateOp::And => (q.neg(qv / 8), false, false),
+            GateOp::Nand => (q.neg(qv / 8), false, true),
+            GateOp::Or => (qv / 8, false, false),
+            GateOp::Nor => (qv / 8, false, true),
+            GateOp::Xor => (qv / 4, true, false),
+            GateOp::Xnor => (qv / 4, true, true),
+        };
+        let mut lin = LweCiphertext::trivial(a.dim(), bias);
+        if double {
+            let mut two_a = a.clone();
+            two_a.mul_small(q, 2);
+            let mut two_b = b.clone();
+            two_b.mul_small(q, 2);
+            lin.add_assign(q, &two_a);
+            lin.add_assign(q, &two_b);
+        } else {
+            lin.add_assign(q, a);
+            lin.add_assign(q, b);
+        }
+        (lin, negate)
+    }
+
     /// Homomorphic NOT — purely linear, no bootstrap.
     pub fn not(&self, a: &LweCiphertext) -> LweCiphertext {
         let mut out = a.clone();
@@ -73,57 +110,33 @@ impl ServerKey {
 
     /// Homomorphic AND.
     pub fn and(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let q = self.ctx.q();
-        let qv = q.value();
-        // phase = a + b - q/8
-        let mut lin = LweCiphertext::trivial(a.dim(), q.neg(qv / 8));
-        lin.add_assign(q, a);
-        lin.add_assign(q, b);
-        self.bootstrap_sign(&lin)
+        self.apply_gate(GateOp::And, a, b)
     }
 
     /// Homomorphic OR.
     pub fn or(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let q = self.ctx.q();
-        let mut lin = LweCiphertext::trivial(a.dim(), q.value() / 8);
-        lin.add_assign(q, a);
-        lin.add_assign(q, b);
-        self.bootstrap_sign(&lin)
+        self.apply_gate(GateOp::Or, a, b)
     }
 
     /// Homomorphic NAND — the universal gate the TFHE literature
     /// benchmarks.
     pub fn nand(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let mut out = self.and(a, b);
-        out.neg_assign(self.ctx.q());
-        out
+        self.apply_gate(GateOp::Nand, a, b)
     }
 
     /// Homomorphic NOR.
     pub fn nor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let mut out = self.or(a, b);
-        out.neg_assign(self.ctx.q());
-        out
+        self.apply_gate(GateOp::Nor, a, b)
     }
 
     /// Homomorphic XOR (single bootstrap via the doubling trick).
     pub fn xor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let q = self.ctx.q();
-        let mut lin = LweCiphertext::trivial(a.dim(), q.value() / 4);
-        let mut two_a = a.clone();
-        two_a.mul_small(q, 2);
-        let mut two_b = b.clone();
-        two_b.mul_small(q, 2);
-        lin.add_assign(q, &two_a);
-        lin.add_assign(q, &two_b);
-        self.bootstrap_sign(&lin)
+        self.apply_gate(GateOp::Xor, a, b)
     }
 
     /// Homomorphic XNOR.
     pub fn xnor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
-        let mut out = self.xor(a, b);
-        out.neg_assign(self.ctx.q());
-        out
+        self.apply_gate(GateOp::Xnor, a, b)
     }
 
     /// Homomorphic MUX: `sel ? a : b` (three bootstraps).
@@ -133,6 +146,77 @@ impl ServerKey {
         let t2 = self.and(&not_sel, b);
         self.or(&t1, &t2)
     }
+}
+
+/// One gate application of a batched dispatch: the tenant's server key,
+/// the gate, and its two encrypted inputs.
+pub type BatchedGateJob<'a> = (&'a ServerKey, GateOp, &'a LweCiphertext, &'a LweCiphertext);
+
+/// Applies `k` independent binary gates as one batched dispatch — the
+/// Interactive-lane analogue of the CKKS `apply_galois_coalesced`: per
+/// job the usual linear combination, then the `k` sign bootstraps run
+/// through the lockstep [`ServerKey::blind_rotate_batch`] so every CMUX
+/// step issues one wide kernel batch call instead of `k` narrow ones
+/// (the MATCHA batching shape).
+///
+/// Outputs are bit-identical to calling [`ServerKey::apply_gate`] per
+/// job in order: the linear part is shared code, the batched rotation
+/// is bit-identical by construction, and SampleExtract/keyswitch/negate
+/// run per job. When the jobs cannot share a rotation — mixed parameter
+/// sets or moduli, an FFT-backend key, or a singleton batch — the jobs
+/// fall back to sequential `apply_gate` calls, which is the same
+/// arithmetic.
+pub fn apply_gates_batched(jobs: &[BatchedGateJob<'_>]) -> Vec<LweCiphertext> {
+    use crate::ggsw::MulBackend;
+
+    let Some(&(head, ..)) = jobs.first() else {
+        return Vec::new();
+    };
+    let batchable = jobs.len() > 1
+        && jobs.iter().all(|&(sk, ..)| {
+            sk.backend == MulBackend::Ntt
+                && sk.ctx.params == head.ctx.params
+                && sk.ctx.ring.q() == head.ctx.ring.q()
+        });
+    if !batchable {
+        return jobs
+            .iter()
+            .map(|&(sk, op, a, b)| sk.apply_gate(op, a, b))
+            .collect();
+    }
+
+    // Equal (modulus, degree) means equal deterministic NTT tables, so
+    // the head's ring can drive every job's rotation and extraction.
+    let ring = &head.ctx.ring;
+    let q = head.ctx.q();
+    let two_n = 2 * head.ctx.params.n as u64;
+    let lins: Vec<(LweCiphertext, bool)> = jobs
+        .iter()
+        .map(|&(sk, op, a, b)| sk.gate_linear(op, a, b))
+        .collect();
+    let switched: Vec<(Vec<u64>, u64)> = lins
+        .iter()
+        .map(|(lin, _)| lin.mod_switch(q, two_n))
+        .collect();
+    let rotate_jobs: Vec<(&ServerKey, &[u64], u64)> = jobs
+        .iter()
+        .zip(&switched)
+        .map(|(&(sk, ..), (a, b))| (sk, a.as_slice(), *b))
+        .collect();
+    let tv = vec![q.value() / 8; head.ctx.params.n];
+    let accs = ServerKey::blind_rotate_batch(&rotate_jobs, &tv);
+    jobs.iter()
+        .zip(accs)
+        .zip(&lins)
+        .map(|((&(sk, ..), acc), &(_, negate))| {
+            let extracted = acc.sample_extract(ring, 0);
+            let mut out = sk.ksk.switch(q, &extracted);
+            if negate {
+                out.neg_assign(q);
+            }
+            out
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -192,6 +276,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_gates_are_bit_identical_to_sequential() {
+        let (ck, sk, mut rng) = setup();
+        // One job per gate so every (bias, double, negate) shape is
+        // covered by a single batched dispatch.
+        let inputs: Vec<(GateOp, LweCiphertext, LweCiphertext, bool, bool)> = GateOp::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| {
+                let a = i % 2 == 0;
+                let b = i % 3 == 0;
+                (
+                    op,
+                    ck.encrypt_bit(a, &mut rng),
+                    ck.encrypt_bit(b, &mut rng),
+                    a,
+                    b,
+                )
+            })
+            .collect();
+        let jobs: Vec<BatchedGateJob<'_>> = inputs
+            .iter()
+            .map(|(op, ca, cb, ..)| (&sk, *op, ca, cb))
+            .collect();
+        let batched = apply_gates_batched(&jobs);
+        for ((op, ca, cb, a, b), got) in inputs.iter().zip(&batched) {
+            let want = sk.apply_gate(*op, ca, cb);
+            assert_eq!(got.a, want.a, "{op:?} mask");
+            assert_eq!(got.b, want.b, "{op:?} body");
+            assert_eq!(ck.decrypt_bit(got), op.eval(*a, *b), "{op:?}({a},{b})");
+        }
+        // Singleton batches take the sequential path and stay identical.
+        let solo = apply_gates_batched(&jobs[..1]);
+        let (op, ca, cb, ..) = &inputs[0];
+        let want = sk.apply_gate(*op, ca, cb);
+        assert_eq!(solo[0].a, want.a);
+        assert_eq!(solo[0].b, want.b);
+        assert!(apply_gates_batched(&[]).is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! double-precision path kept here as [`MulBackend::Fft`] for the
 //! ablation.
 
+use fhe_math::kernel::{self, ExitFold};
+use fhe_math::NttTable;
 use rand::Rng;
 
 use crate::glwe::{GlweCiphertext, GlweSecretKey};
@@ -307,6 +309,111 @@ impl Ggsw {
         flat.chunks_exact(n).map(|row| row.to_vec()).collect()
     }
 
+    /// Batched external product: `jobs[i].0 ⊡ jobs[i].1` for every job
+    /// in one pass of wide kernel batch calls.
+    ///
+    /// Where [`Self::external_product`] feeds the kernel one digit row
+    /// at a time, this entry concatenates every job's rows so each
+    /// batch call sees `jobs * (k+1)` rows at once — the MATCHA-style
+    /// "k independent bootstraps through one kernel dispatch" shape the
+    /// worker pool can slice across threads. Per job the arithmetic is
+    /// the *same* lazy residue chain in the same order (one gadget
+    /// decomposition, digit NTTs exiting in `[0, 2p)`, lazy
+    /// multiply-accumulates per gadget row in increasing row order, one
+    /// canonicalising iNTT per output limb), so each output is
+    /// bit-identical to the sequential call — the batched-gate tests
+    /// and the service determinism suite pin this.
+    ///
+    /// All jobs must share the gadget geometry (`k`, `lb`, `bg_log`)
+    /// and live on `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any GGSW was prepared for the FFT backend (rounding
+    /// there is per-product; batching would not be value-preserving) or
+    /// if the jobs disagree on gadget geometry.
+    pub fn external_product_batch(
+        ring: &TfheRing,
+        jobs: &[(&Ggsw, &GlweCiphertext)],
+    ) -> Vec<GlweCiphertext> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let n = ring.n();
+        let q = ring.modulus();
+        let (head, _) = jobs[0];
+        let (k, lb, bg_log) = (head.k, head.lb, head.bg_log);
+        assert!(
+            jobs.iter().all(|(g, _)| g.k == k
+                && g.lb == lb
+                && g.bg_log == bg_log
+                && g.backend() == MulBackend::Ntt),
+            "external_product_batch requires NTT-backend jobs with one gadget geometry"
+        );
+        let rows_per = (k + 1) * lb;
+
+        // One gadget decomposition over every job's components; row
+        // `job*rows_per + i*lb + j` holds digit j of job's component i,
+        // matching the per-job GGSW row alignment.
+        let mut src = Vec::with_capacity(jobs.len() * (k + 1) * n);
+        for (_, glwe) in jobs {
+            for mask in &glwe.mask {
+                src.extend_from_slice(mask);
+            }
+            src.extend_from_slice(&glwe.body);
+        }
+        let mut digits = vec![0i64; jobs.len() * rows_per * n];
+        kernel::active().decompose_batch(q.value(), bg_log, lb, n, &src, &mut digits);
+
+        // One forward pass over every digit row, exiting lazy in
+        // [0, 2p) exactly like the sequential `forward_lazy`.
+        let mut fwd = Vec::with_capacity(digits.len());
+        for row in digits.chunks_exact(n) {
+            fwd.extend(ring.poly_from_signed(row));
+        }
+        let tables: Vec<&NttTable> = vec![ring.table().as_ref(); jobs.len() * rows_per];
+        kernel::active().forward_batch(&tables, &mut fwd, ExitFold::Lazy2p);
+
+        // Accumulator row `job*(k+1) + comp`; gadget rows accumulate in
+        // the same increasing order as the sequential loop, so the lazy
+        // sums agree word-for-word.
+        let acc_rows = jobs.len() * (k + 1);
+        let moduli = vec![*q; acc_rows];
+        let mut acc = vec![0u64; acc_rows * n];
+        let mut a_flat = vec![0u64; acc_rows * n];
+        let mut b_flat = vec![0u64; acc_rows * n];
+        for r in 0..rows_per {
+            for (j, (ggsw, _)) in jobs.iter().enumerate() {
+                let GgswRepr::Ntt(rows) = &ggsw.repr else {
+                    unreachable!("asserted above");
+                };
+                let digit = &fwd[(j * rows_per + r) * n..][..n];
+                for (comp, row) in rows[r].iter().enumerate() {
+                    let at = (j * (k + 1) + comp) * n;
+                    a_flat[at..at + n].copy_from_slice(digit);
+                    b_flat[at..at + n].copy_from_slice(row);
+                }
+            }
+            kernel::active().mul_acc_lazy_batch(&moduli, &mut acc, &a_flat, &b_flat);
+        }
+
+        // One canonicalising inverse pass over every output limb — the
+        // chain's single ciphertext-boundary reduction, batched.
+        let acc_tables: Vec<&NttTable> = vec![ring.table().as_ref(); acc_rows];
+        kernel::active().inverse_batch(&acc_tables, &mut acc, ExitFold::Canonical);
+
+        let mut out = Vec::with_capacity(jobs.len());
+        let mut limbs = acc.chunks_exact(n);
+        for _ in jobs {
+            let mut comps: Vec<Vec<u64>> = (0..=k)
+                .map(|_| limbs.next().expect("acc_rows limbs").to_vec())
+                .collect();
+            let body = comps.pop().expect("k+1 components");
+            out.push(GlweCiphertext { mask: comps, body });
+        }
+        out
+    }
+
     /// CMUX: returns `ct0 + self ⊡ (ct1 - ct0)` — selects `ct1` when the
     /// encrypted bit is 1, `ct0` when it is 0.
     pub fn cmux(
@@ -398,6 +505,49 @@ mod tests {
                 assert!(err < (q / 64) as i64, "{backend:?} bit {bit}: err {err}");
             }
         }
+    }
+
+    #[test]
+    fn batched_external_product_is_bit_identical_to_sequential() {
+        let (ring, sk, mut rng) = setup();
+        let q = ring.q();
+        // Distinct GGSWs and GLWEs per job so the batch cannot get away
+        // with evaluating only one and fanning it out.
+        let jobs: Vec<(Ggsw, GlweCiphertext)> = (0..4)
+            .map(|i| {
+                let ggsw = Ggsw::encrypt_scalar(
+                    &ring,
+                    &sk,
+                    (i % 2) as u64,
+                    2,
+                    10,
+                    3.73e-9,
+                    MulBackend::Ntt,
+                    &mut rng,
+                );
+                let mut msg = ring.zero_poly();
+                msg[i] = q / 8;
+                let glwe = GlweCiphertext::encrypt(&ring, &sk, &msg, 3.73e-9, &mut rng);
+                (ggsw, glwe)
+            })
+            .collect();
+        let refs: Vec<(&Ggsw, &GlweCiphertext)> = jobs.iter().map(|(g, c)| (g, c)).collect();
+        let batched = Ggsw::external_product_batch(&ring, &refs);
+        for ((ggsw, glwe), got) in jobs.iter().zip(&batched) {
+            let want = ggsw.external_product(&ring, glwe);
+            assert_eq!(got.mask, want.mask);
+            assert_eq!(got.body, want.body);
+        }
+        assert!(Ggsw::external_product_batch(&ring, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NTT-backend jobs")]
+    fn batched_external_product_rejects_fft_jobs() {
+        let (ring, sk, mut rng) = setup();
+        let ggsw = Ggsw::encrypt_scalar(&ring, &sk, 1, 2, 10, 3.73e-9, MulBackend::Fft, &mut rng);
+        let glwe = GlweCiphertext::encrypt(&ring, &sk, &ring.zero_poly(), 3.73e-9, &mut rng);
+        Ggsw::external_product_batch(&ring, &[(&ggsw, &glwe)]);
     }
 
     #[test]

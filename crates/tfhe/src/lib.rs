@@ -58,7 +58,7 @@ pub mod ring;
 
 pub use bootstrap::{ClientKey, ServerKey, TfheContext};
 pub use circuits::BitWord;
-pub use gates::GateOp;
+pub use gates::{apply_gates_batched, BatchedGateJob, GateOp};
 pub use ggsw::{Ggsw, MulBackend};
 pub use glwe::{GlweCiphertext, GlweSecretKey};
 pub use integer::{RadixCiphertext, RadixParams};

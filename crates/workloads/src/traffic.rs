@@ -104,7 +104,28 @@ impl TrafficMix {
 ///
 /// Panics if `tenants == 0` or the mix weights do not sum to 1000.
 pub fn stream(seed: u64, tenants: usize, len: usize, mix: TrafficMix) -> Vec<TrafficEvent> {
+    stream_with_deadlines(seed, tenants, len, mix, 4..=16)
+}
+
+/// [`stream`] with an explicit timed-rotation deadline range. Wide,
+/// skewed ranges (say `3..=60`) make admission order diverge hard from
+/// deadline order, which is what the service's EDF Timed lane is
+/// tested against; `stream` itself fixes `4..=16`, so existing seeded
+/// streams are byte-for-byte unchanged.
+///
+/// # Panics
+///
+/// Panics if `tenants == 0`, the mix weights do not sum to 1000, or
+/// `deadlines` is empty.
+pub fn stream_with_deadlines(
+    seed: u64,
+    tenants: usize,
+    len: usize,
+    mix: TrafficMix,
+    deadlines: std::ops::RangeInclusive<u64>,
+) -> Vec<TrafficEvent> {
     assert!(tenants > 0, "need at least one tenant");
+    assert!(!deadlines.is_empty(), "deadline range must be non-empty");
     assert_eq!(
         mix.gate_permille + mix.timed_permille + mix.bulk_permille,
         1000,
@@ -126,7 +147,7 @@ pub fn stream(seed: u64, tenants: usize, len: usize, mix: TrafficMix) -> Vec<Tra
         } else if roll < mix.gate_permille + mix.timed_permille {
             RequestKind::TimedRotation {
                 step: nonzero_step(&mut rng),
-                deadline: rng.gen_range(4..=16),
+                deadline: rng.gen_range(deadlines.clone()),
             }
         } else {
             let n = rng.gen_range(2..=4);
@@ -202,6 +223,43 @@ mod tests {
             .count();
         // 50% nominal; a 1000-draw sample stays well inside ±10 points.
         assert!((400..=600).contains(&gates), "gate share drifted: {gates}");
+    }
+
+    #[test]
+    fn deadline_ranges_are_honored_and_default_stream_is_stable() {
+        // `stream` is exactly `stream_with_deadlines(.., 4..=16)`:
+        // seeded streams predating the knob must not shift by a byte.
+        let mix = TrafficMix::default_mix();
+        assert_eq!(
+            stream(7, 3, 200, mix),
+            stream_with_deadlines(7, 3, 200, mix, 4..=16)
+        );
+        // A skewed range really lands skewed deadlines: admission
+        // order and deadline order decorrelate (the EDF test bed).
+        let skewed = stream_with_deadlines(7, 3, 400, mix, 3..=60);
+        let deadlines: Vec<u64> = skewed
+            .iter()
+            .filter_map(|e| match e.kind {
+                RequestKind::TimedRotation { deadline, .. } => Some(deadline),
+                _ => None,
+            })
+            .collect();
+        assert!(deadlines.iter().all(|d| (3..=60).contains(d)));
+        assert!(
+            deadlines.iter().any(|&d| d < 4) && deadlines.iter().any(|&d| d > 16),
+            "skewed range never left the default band: {deadlines:?}"
+        );
+        assert!(
+            deadlines.windows(2).any(|w| w[0] > w[1]),
+            "deadlines arrived already sorted; no EDF pressure"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_deadline_range_panics() {
+        #[allow(clippy::reversed_empty_ranges)]
+        stream_with_deadlines(0, 1, 1, TrafficMix::default_mix(), 9..=3);
     }
 
     #[test]

@@ -63,19 +63,26 @@ fn main() {
     }
 
     // --- Service ---------------------------------------------------
+    // max_in_flight = 2: the decision loop stays sequential and
+    // deterministic, but independent dispatch groups execute
+    // concurrently on scoped threads. The audit and every result are
+    // bit-identical to a max_in_flight = 1 run by construction.
     let cfg = ServiceConfig {
         key_cache_bytes: 1 << 30,
+        max_in_flight: 2,
         ..ServiceConfig::default_config()
     };
     println!(
         "service: lanes interactive/timed/bulk >= {}/{}/{}% of dispatches, \
-         window {}, starvation threshold {} ticks, max batch {}",
+         window {}, starvation threshold {} ticks, max batch {}, \
+         max in-flight {}",
         cfg.budgets.interactive_min,
         cfg.budgets.timed_min,
         cfg.budgets.bulk_min,
         cfg.window,
         cfg.starvation.max_wait_ticks,
-        cfg.max_batch
+        cfg.max_batch,
+        cfg.max_in_flight
     );
     let mut svc = ServiceCore::new(cfg).expect("valid budgets");
     svc.register_tfhe_tenant(0, server).expect("cache fits");
@@ -199,11 +206,32 @@ fn main() {
     println!(
         "  {coalesced} dispatches carried >= 2 coalesced requests (cross-tenant keyswitch batching)"
     );
+    // The oversubscribed pacing must actually build an Interactive
+    // backlog: at least one dispatch batches >= 2 gates through a
+    // single wide blind rotation. An assert, not a print — CI runs
+    // this example, so a regression that silently stops batching fails
+    // the build instead of cosmetically shrinking a stat line.
+    let widest_gates = dispatches
+        .iter()
+        .filter(|(l, _)| *l == "interactive")
+        .map(|&(_, jobs)| jobs)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        widest_gates >= 2,
+        "no Interactive dispatch batched >= 2 gates (widest {widest_gates})"
+    );
     println!(
         "  worker-pool jobs by lane tag: interactive {}, timed {}, bulk {}",
         threaded.parallel_jobs_dispatched_by_tag(Lane::Interactive.dispatch_tag()),
         threaded.parallel_jobs_dispatched_by_tag(Lane::Timed.dispatch_tag()),
         threaded.parallel_jobs_dispatched_by_tag(Lane::Bulk.dispatch_tag()),
+    );
+    println!(
+        "  worker-pool in-flight peaks by lane tag: interactive {}, timed {}, bulk {}",
+        threaded.parallel_in_flight_peak_by_tag(Lane::Interactive.dispatch_tag()),
+        threaded.parallel_in_flight_peak_by_tag(Lane::Timed.dispatch_tag()),
+        threaded.parallel_in_flight_peak_by_tag(Lane::Bulk.dispatch_tag()),
     );
     println!(
         "  key cache: {} / {} bytes resident, {} evictions",
